@@ -1,0 +1,52 @@
+//! # pba-algorithms
+//!
+//! The algorithms of *Parallel Balanced Allocations: The Heavily Loaded Case*
+//! (Lenzen, Parter, Yogev — SPAA 2019), implemented on top of the synchronous
+//! message-passing model of [`pba_model`]:
+//!
+//! * [`heavy`] — **`A_heavy`** (Section 3, Theorems 1 and 6): the symmetric,
+//!   adaptive threshold algorithm. Phase 1 runs the conservative threshold
+//!   schedule `T_i = m/n − (m̃_i/n)^{2/3}` for `O(log log(m/n))` rounds; phase 2
+//!   hands the `O(n)` leftover balls to `A_light` on `O(1)` virtual bins per real
+//!   bin. Final load `m/n + O(1)` w.h.p.
+//! * [`light`] — **`A_light`** (Theorem 5, the [LW16] substrate): a symmetric
+//!   collision protocol placing `u ≤ O(n)` balls into `n` bins with load at most
+//!   `capacity` (2 by default) in `log* n + O(1)` rounds using `O(n)` messages.
+//! * [`asymmetric`] — the **asymmetric superbin algorithm** (Section 5,
+//!   Theorem 3): constant rounds, load `m/n + O(1)`, per-bin message bound
+//!   `(1+o(1))·m/n + O(log n)`.
+//! * [`trivial`] — the deterministic `n`-round algorithm mentioned in Section 3
+//!   ("A Note on Success Probability"): balls sweep the bins one by one.
+//! * [`naive`] — the naive fixed-threshold strawman of Section 1.1
+//!   (`T = m/n + O(1)` in every round), which needs `Ω(log n)` rounds and is the
+//!   motivating negative example for the lower bound.
+//! * [`schedule`] — the threshold schedule shared by `A_heavy` and the ablation
+//!   experiments (slack exponents other than `2/3`).
+//! * [`threshold`] — re-exports of the generic uniform-threshold-family protocols
+//!   plus the scheduled variant used by phase 1 of `A_heavy`.
+//! * [`virtual_bins`] — the virtual-bin mapping used when `A_light` runs inside
+//!   `A_heavy` (each real bin simulates `g` virtual bins).
+//!
+//! All algorithms implement [`pba_model::Allocator`] and can be driven uniformly
+//! by the workload runner, the examples and the benches.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod asymmetric;
+pub mod heavy;
+pub mod light;
+pub mod naive;
+pub mod schedule;
+pub mod threshold;
+pub mod trivial;
+pub mod virtual_bins;
+
+pub use asymmetric::{AsymmetricAllocator, AsymmetricConfig};
+pub use heavy::{HeavyAllocator, HeavyConfig};
+pub use light::{LightAllocator, LightConfig, LightProtocol};
+pub use naive::NaiveThresholdAllocator;
+pub use schedule::ThresholdSchedule;
+pub use threshold::ScheduledThresholdProtocol;
+pub use trivial::TrivialAllocator;
+pub use virtual_bins::VirtualBinMap;

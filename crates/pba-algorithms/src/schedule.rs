@@ -1,0 +1,211 @@
+//! The threshold schedule of `A_heavy` (Section 3).
+//!
+//! In round `i` of phase 1 every bin uses the *cumulative* threshold
+//!
+//! ```text
+//! T_i = m/n − (m̃_i / n)^{2/3},          m̃_0 = m,   m̃_{i+1} = m̃_i^{2/3} · n^{1/3},
+//! ```
+//!
+//! i.e. the bins deliberately stay `(m̃_i/n)^{2/3}` *below* the running average so
+//! that — by the Chernoff bound of Claim 1 — essentially every bin receives enough
+//! requests to fill up to exactly `T_i`. Phase 1 ends at the first index `i₁` with
+//! `m̃_{i₁} ≤ stop_factor · n` (the paper uses `2n` in Claim 3/4).
+//!
+//! The schedule is a pure function of `(m, n)` (plus the slack exponent, which
+//! experiment E9 ablates), so it is computed once up front and shared by all bins
+//! — this is what makes `A_heavy` symmetric.
+
+/// A precomputed phase-1 threshold schedule.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ThresholdSchedule {
+    /// Cumulative per-bin thresholds `T_0 ≤ T_1 ≤ …` (integer, floored).
+    pub thresholds: Vec<u64>,
+    /// The bins' running estimate `m̃_i` of the number of unallocated balls at the
+    /// *beginning* of round `i` (so `estimates[0] = m` and the vector has one more
+    /// entry than `thresholds`, ending with `m̃_{i₁}`).
+    pub estimates: Vec<f64>,
+}
+
+impl ThresholdSchedule {
+    /// Computes the schedule for an `(m, n)` instance with the paper's parameters
+    /// (`slack_exponent = 2/3`, `stop_factor` as given).
+    pub fn new(m: u64, n: usize, stop_factor: f64) -> Self {
+        Self::with_exponent(m, n, stop_factor, 2.0 / 3.0)
+    }
+
+    /// Computes the schedule with a custom slack exponent `α`, so that
+    /// `T_i = m/n − (m̃_i/n)^α` and `m̃_{i+1} = m̃_i^α · n^{1-α}`.
+    ///
+    /// `α = 2/3` is the paper's choice; experiment E9 sweeps `α` to show why.
+    /// Values are clamped to `(0, 1)`.
+    pub fn with_exponent(m: u64, n: usize, stop_factor: f64, alpha: f64) -> Self {
+        let alpha = alpha.clamp(0.05, 0.999);
+        let stop_factor = stop_factor.max(1.0);
+        let mut thresholds = Vec::new();
+        let mut estimates = vec![m as f64];
+        if n == 0 || m == 0 {
+            return Self {
+                thresholds,
+                estimates,
+            };
+        }
+        let nf = n as f64;
+        let mean = m as f64 / nf;
+        let mut mt = m as f64;
+        // Phase 1 only makes sense while the estimate is comfortably above n.
+        let mut guard = 0;
+        while mt > stop_factor * nf && guard < 128 {
+            let slack = (mt / nf).powf(alpha);
+            let t = (mean - slack).floor();
+            if t <= *thresholds.last().unwrap_or(&0) as f64 && !thresholds.is_empty() {
+                // The schedule has stopped making progress (can happen for tiny
+                // m/n); end phase 1 here.
+                break;
+            }
+            if t < 1.0 {
+                // Even the first threshold is not positive: the instance is too
+                // light for phase 1 (m/n is O(1)); A_heavy goes straight to A_light.
+                break;
+            }
+            thresholds.push(t as u64);
+            mt = mt.powf(alpha) * nf.powf(1.0 - alpha);
+            estimates.push(mt);
+            guard += 1;
+        }
+        Self {
+            thresholds,
+            estimates,
+        }
+    }
+
+    /// Number of phase-1 rounds.
+    pub fn rounds(&self) -> usize {
+        self.thresholds.len()
+    }
+
+    /// The cumulative threshold in effect in round `i`, or `None` past the end of
+    /// phase 1.
+    pub fn threshold(&self, round: usize) -> Option<u64> {
+        self.thresholds.get(round).copied()
+    }
+
+    /// The final cumulative threshold (0 if the schedule is empty).
+    pub fn final_threshold(&self) -> u64 {
+        self.thresholds.last().copied().unwrap_or(0)
+    }
+
+    /// The predicted number of unallocated balls after the last phase-1 round.
+    pub fn predicted_leftover(&self) -> f64 {
+        self.estimates.last().copied().unwrap_or(0.0)
+    }
+
+    /// The predicted number of unallocated balls at the beginning of round `i`
+    /// (`m̃_i`), or `None` out of range.
+    pub fn predicted_remaining(&self, round: usize) -> Option<f64> {
+        self.estimates.get(round).copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_instances() {
+        let s = ThresholdSchedule::new(0, 16, 2.0);
+        assert_eq!(s.rounds(), 0);
+        let s = ThresholdSchedule::new(100, 0, 2.0);
+        assert_eq!(s.rounds(), 0);
+        assert_eq!(s.final_threshold(), 0);
+    }
+
+    #[test]
+    fn light_instances_skip_phase_one() {
+        // m = n: phase 1 has nothing to do.
+        let s = ThresholdSchedule::new(1024, 1024, 2.0);
+        assert_eq!(s.rounds(), 0);
+        // m = 2n with stop factor 2: also nothing to do.
+        let s = ThresholdSchedule::new(2048, 1024, 2.0);
+        assert_eq!(s.rounds(), 0);
+    }
+
+    #[test]
+    fn thresholds_are_strictly_increasing_and_below_mean() {
+        let m = 1u64 << 26;
+        let n = 1usize << 10;
+        let s = ThresholdSchedule::new(m, n, 2.0);
+        assert!(s.rounds() >= 3);
+        let mean = m / n as u64;
+        let mut prev = 0u64;
+        for (i, &t) in s.thresholds.iter().enumerate() {
+            assert!(t > prev || i == 0, "thresholds must increase (round {i})");
+            assert!(t < mean, "cumulative threshold must stay below m/n");
+            prev = t;
+        }
+        // The last threshold should be within O(1) of m/n (the leftover is ≤ 2n + n).
+        assert!(mean - prev <= 4, "final threshold too far below mean: {prev} vs {mean}");
+    }
+
+    #[test]
+    fn estimates_follow_the_two_thirds_recursion() {
+        let m = 1u64 << 24;
+        let n = 1usize << 8;
+        let s = ThresholdSchedule::new(m, n, 2.0);
+        for i in 0..s.rounds() {
+            let expected = s.estimates[i].powf(2.0 / 3.0) * (n as f64).powf(1.0 / 3.0);
+            assert!(
+                (s.estimates[i + 1] - expected).abs() < 1e-6 * expected.max(1.0),
+                "estimate recursion broken at i={i}"
+            );
+        }
+        assert!(s.predicted_leftover() <= 2.0 * n as f64);
+        assert_eq!(s.predicted_remaining(0), Some(m as f64));
+        assert_eq!(s.predicted_remaining(999), None);
+    }
+
+    #[test]
+    fn round_count_is_loglog_in_ratio() {
+        let n = 1usize << 10;
+        let r1 = ThresholdSchedule::new((n as u64) << 10, n, 2.0).rounds(); // ratio 2^10
+        let r2 = ThresholdSchedule::new((n as u64) << 20, n, 2.0).rounds(); // ratio 2^20
+        let r3 = ThresholdSchedule::new((n as u64) << 40, n, 2.0).rounds(); // ratio 2^40
+        assert!(r1 <= r2 && r2 <= r3);
+        // Doubling the exponent adds only ~log_{3/2}(2) ≈ 2 rounds.
+        assert!(r3 - r2 <= 3, "r2={r2}, r3={r3}");
+        assert!(r2 - r1 <= 3, "r1={r1}, r2={r2}");
+    }
+
+    #[test]
+    fn custom_exponent_changes_round_count() {
+        let m = 1u64 << 26;
+        let n = 1usize << 10;
+        let aggressive = ThresholdSchedule::with_exponent(m, n, 2.0, 0.5); // bigger slack
+        let paper = ThresholdSchedule::with_exponent(m, n, 2.0, 2.0 / 3.0);
+        let timid = ThresholdSchedule::with_exponent(m, n, 2.0, 0.9); // smaller slack
+        // A smaller exponent reduces the estimate faster => fewer rounds.
+        assert!(aggressive.rounds() <= paper.rounds());
+        assert!(paper.rounds() <= timid.rounds());
+        // A smaller exponent also means a *smaller* slack term (m̃/n)^α (the ratio
+        // is > 1), so its first-round threshold sits closer to the mean.
+        assert!(aggressive.thresholds[0] >= paper.thresholds[0]);
+    }
+
+    #[test]
+    fn exponent_is_clamped() {
+        let s = ThresholdSchedule::with_exponent(1 << 20, 1 << 8, 2.0, 7.0);
+        // Clamped to 0.999: still terminates.
+        assert!(s.rounds() <= 128);
+        let s2 = ThresholdSchedule::with_exponent(1 << 20, 1 << 8, 2.0, -1.0);
+        assert!(s2.rounds() <= 128);
+    }
+
+    #[test]
+    fn threshold_accessor_matches_vector() {
+        let s = ThresholdSchedule::new(1 << 22, 1 << 8, 2.0);
+        for i in 0..s.rounds() {
+            assert_eq!(s.threshold(i), Some(s.thresholds[i]));
+        }
+        assert_eq!(s.threshold(s.rounds()), None);
+        assert_eq!(s.final_threshold(), *s.thresholds.last().unwrap());
+    }
+}

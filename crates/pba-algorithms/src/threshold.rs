@@ -1,0 +1,143 @@
+//! The uniform threshold algorithm family, including the scheduled variant that
+//! phase 1 of `A_heavy` uses.
+//!
+//! The generic members of the family ([`FixedThresholdProtocol`],
+//! [`PerBinThresholdProtocol`]) live in [`pba_model::protocol`] because the engines
+//! execute them directly; they are re-exported here so that algorithm-level code
+//! (and the lower-bound crate) has a single import path for "the Section 4
+//! family". This module adds [`ScheduledThresholdProtocol`], whose global
+//! threshold follows a precomputed [`ThresholdSchedule`].
+
+pub use pba_model::protocol::{FixedThresholdProtocol, PerBinThresholdProtocol};
+
+use pba_model::protocol::{Protocol, RoundCtx};
+
+use crate::schedule::ThresholdSchedule;
+
+/// Phase 1 of `A_heavy` as a [`Protocol`]: in round `i` every bin accepts up to
+/// `T_i − ℓ` requests, where `T_i` comes from the schedule; once the schedule is
+/// exhausted the protocol gives up (phase 2 — `A_light` — takes over).
+#[derive(Debug, Clone)]
+pub struct ScheduledThresholdProtocol {
+    schedule: ThresholdSchedule,
+    name: String,
+}
+
+impl ScheduledThresholdProtocol {
+    /// Wraps a schedule.
+    pub fn new(schedule: ThresholdSchedule) -> Self {
+        Self {
+            name: format!("scheduled-threshold({} rounds)", schedule.rounds()),
+            schedule,
+        }
+    }
+
+    /// The underlying schedule.
+    pub fn schedule(&self) -> &ThresholdSchedule {
+        &self.schedule
+    }
+}
+
+impl Protocol for ScheduledThresholdProtocol {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn degree(&self, _ctx: &RoundCtx) -> usize {
+        1
+    }
+
+    fn bin_quota(&self, _bin: u32, committed: u32, ctx: &RoundCtx) -> u32 {
+        match self.schedule.threshold(ctx.round) {
+            Some(t) => {
+                let t = t.min(u32::MAX as u64) as u32;
+                t.saturating_sub(committed)
+            }
+            None => 0,
+        }
+    }
+
+    fn global_threshold(&self, ctx: &RoundCtx) -> Option<u64> {
+        self.schedule.threshold(ctx.round)
+    }
+
+    fn give_up(&self, ctx: &RoundCtx) -> bool {
+        // Phase 1 ends exactly when the schedule runs out.
+        ctx.round >= self.schedule.rounds()
+    }
+
+    fn max_rounds(&self) -> usize {
+        self.schedule.rounds().max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pba_model::engine::{run_agent_engine, EngineConfig};
+
+    #[test]
+    fn quota_follows_schedule_and_saturates() {
+        let schedule = ThresholdSchedule::new(1 << 20, 1 << 8, 2.0);
+        let t0 = schedule.thresholds[0];
+        let t1 = schedule.thresholds[1];
+        let p = ScheduledThresholdProtocol::new(schedule);
+        let ctx0 = RoundCtx {
+            round: 0,
+            n_bins: 256,
+            m_total: 1 << 20,
+            remaining: 1 << 20,
+        };
+        assert_eq!(p.bin_quota(0, 0, &ctx0), t0 as u32);
+        assert_eq!(p.bin_quota(0, t0 as u32, &ctx0), 0);
+        let ctx1 = RoundCtx { round: 1, ..ctx0 };
+        assert_eq!(p.bin_quota(0, t0 as u32, &ctx1), (t1 - t0) as u32);
+        // Past the schedule: no quota and give_up.
+        let ctx_end = RoundCtx {
+            round: p.schedule().rounds(),
+            ..ctx0
+        };
+        assert_eq!(p.bin_quota(0, 0, &ctx_end), 0);
+        assert!(p.give_up(&ctx_end));
+        assert!(!p.give_up(&ctx0));
+        assert_eq!(p.global_threshold(&ctx0), Some(t0));
+    }
+
+    #[test]
+    fn phase_one_leaves_order_n_balls() {
+        // This is Claim 2–4 of the paper in miniature: running just phase 1 leaves
+        // O(n) unallocated balls and loads every bin to exactly the final threshold
+        // (for m/n large enough that concentration is strong).
+        let m = 1u64 << 20;
+        let n = 1usize << 8;
+        let schedule = ThresholdSchedule::new(m, n, 2.0);
+        let final_t = schedule.final_threshold();
+        let p = ScheduledThresholdProtocol::new(schedule);
+        let r = run_agent_engine(&p, m, n, 42, &EngineConfig::sequential());
+        assert_eq!(r.rounds, p.schedule().rounds());
+        // No bin ever exceeds the final threshold, and (Claim 2) the vast majority
+        // of bins are filled to exactly that threshold; in the last couple of
+        // rounds concentration weakens, so a few stragglers are expected.
+        assert!(r.loads.iter().all(|&l| l as u64 <= final_t));
+        let exactly_full = r.loads.iter().filter(|&&l| l as u64 == final_t).count();
+        assert!(
+            exactly_full as f64 >= 0.9 * n as f64,
+            "only {exactly_full}/{n} bins reached the final threshold"
+        );
+        // The leftover is O(n) (Claim 4).
+        assert!(
+            (r.remaining as f64) <= 4.0 * n as f64,
+            "phase 1 left too many balls: {}",
+            r.remaining
+        );
+    }
+
+    #[test]
+    fn reexports_are_usable() {
+        // The re-exported family members remain accessible through this module.
+        let f = FixedThresholdProtocol::new(3, 1);
+        assert!(f.name().contains("fixed"));
+        let p = PerBinThresholdProtocol::new(vec![1, 2], 1);
+        assert!(p.name().contains("per-bin"));
+    }
+}

@@ -1,0 +1,153 @@
+//! The trivial deterministic `n`-round algorithm (Section 3, "A Note on Success
+//! Probability").
+//!
+//! "Balls try all bins one by one, in arbitrary order (which may be different for
+//! each ball). Bins use threshold `⌈m/n⌉` in each round." Because every ball
+//! visits every bin once within `n` rounds and the total capacity `n·⌈m/n⌉ ≥ m`,
+//! every ball is placed deterministically — no randomness, no failure
+//! probability. The paper invokes it for the corner case `n < log log(m/n)`, and
+//! it also serves as a deterministic sanity baseline in experiment E7.
+
+use pba_model::metrics::{MessageCensus, MessageTotals, RoundRecord};
+use pba_model::outcome::{AllocationOutcome, Allocator};
+
+/// The deterministic sweep allocator. Ball `b` contacts bin `(b + r) mod n` in
+/// round `r`; bins accept up to `⌈m/n⌉` balls in total.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TrivialAllocator;
+
+impl Allocator for TrivialAllocator {
+    fn name(&self) -> String {
+        "trivial-deterministic".to_string()
+    }
+
+    fn allocate(&self, m: u64, n: usize, _seed: u64) -> AllocationOutcome {
+        assert!(n > 0 || m == 0, "cannot allocate {m} balls into zero bins");
+        if m == 0 {
+            return AllocationOutcome {
+                loads: vec![0; n],
+                ..Default::default()
+            };
+        }
+        let capacity = m.div_ceil(n as u64) as u32;
+        let mut loads = vec![0u32; n];
+        let mut unallocated: Vec<u64> = (0..m).collect();
+        let mut totals = MessageTotals::default();
+        let mut per_round = Vec::new();
+        let mut census = MessageCensus::new(n, None);
+        let mut rounds = 0usize;
+
+        for r in 0..n {
+            if unallocated.is_empty() {
+                break;
+            }
+            rounds += 1;
+            let before = unallocated.len() as u64;
+            let mut next = Vec::with_capacity(unallocated.len());
+            let mut accepted_this_round = 0u64;
+            for &ball in &unallocated {
+                let bin = ((ball + r as u64) % n as u64) as usize;
+                census.per_bin_received[bin] += 1;
+                totals.requests += 1;
+                totals.responses += 1;
+                if loads[bin] < capacity {
+                    loads[bin] += 1;
+                    totals.accepts += 1;
+                    accepted_this_round += 1;
+                } else {
+                    next.push(ball);
+                }
+            }
+            per_round.push(RoundRecord {
+                round: r,
+                unallocated_before: before,
+                unallocated_after: next.len() as u64,
+                requests: before,
+                accepts: accepted_this_round,
+                committed: accepted_this_round,
+                global_threshold: Some(capacity as u64),
+            });
+            unallocated = next;
+        }
+
+        AllocationOutcome {
+            loads,
+            rounds,
+            unallocated: unallocated.len() as u64,
+            messages: totals,
+            per_round,
+            census,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn always_completes_within_n_rounds_with_perfect_balance() {
+        for &(m, n) in &[
+            (100u64, 10usize),
+            (101, 10),
+            (1, 7),
+            (1 << 16, 64),
+            (12345, 97),
+            (7, 7),
+        ] {
+            let alloc = TrivialAllocator;
+            let out = alloc.allocate(m, n, 0);
+            assert!(out.is_complete(m), "m={m} n={n} left {}", out.unallocated);
+            assert!(out.rounds <= n, "m={m} n={n}: {} rounds > n", out.rounds);
+            assert_eq!(out.max_load(), m.div_ceil(n as u64), "m={m} n={n}");
+            assert_eq!(out.excess(m), 0, "the trivial algorithm is perfectly balanced");
+        }
+    }
+
+    #[test]
+    fn is_deterministic_and_seed_independent() {
+        let alloc = TrivialAllocator;
+        let a = alloc.allocate(1000, 13, 1);
+        let b = alloc.allocate(1000, 13, 999);
+        assert_eq!(a.loads, b.loads);
+        assert_eq!(a.rounds, b.rounds);
+    }
+
+    #[test]
+    fn round_trace_is_consistent() {
+        let alloc = TrivialAllocator;
+        let m = 10_000u64;
+        let n = 32usize;
+        let out = alloc.allocate(m, n, 0);
+        let mut prev = m;
+        for rec in &out.per_round {
+            assert_eq!(rec.unallocated_before, prev);
+            assert_eq!(rec.committed, rec.unallocated_before - rec.unallocated_after);
+            assert_eq!(rec.global_threshold, Some(m.div_ceil(n as u64)));
+            prev = rec.unallocated_after;
+        }
+        assert_eq!(prev, 0);
+    }
+
+    #[test]
+    fn message_count_is_bounded_by_m_times_rounds() {
+        let alloc = TrivialAllocator;
+        let m = 5_000u64;
+        let n = 50usize;
+        let out = alloc.allocate(m, n, 0);
+        assert!(out.messages.requests <= m * out.rounds as u64);
+        assert!(out.messages.requests >= m); // at least one round of requests
+    }
+
+    #[test]
+    fn single_bin_and_zero_balls() {
+        let alloc = TrivialAllocator;
+        let out = alloc.allocate(42, 1, 0);
+        assert_eq!(out.loads, vec![42]);
+        assert_eq!(out.rounds, 1);
+
+        let out = alloc.allocate(0, 5, 0);
+        assert_eq!(out.allocated(), 0);
+        assert_eq!(out.rounds, 0);
+    }
+}

@@ -1,0 +1,141 @@
+//! Virtual-bin bookkeeping for phase 2 of `A_heavy`.
+//!
+//! Theorem 6's proof lets each real bin simulate `g(c) = O(1)` virtual bins and
+//! runs `A_light` on the virtual instance; every ball a virtual bin accepts is
+//! physically stored in the owning real bin, so each real bin gains at most
+//! `capacity · g` additional balls. [`VirtualBinMap`] fixes the mapping and folds
+//! virtual results back onto real bins.
+
+/// A mapping from `n_real · per_real` virtual bins onto `n_real` real bins.
+///
+/// Virtual bin `v` is owned by real bin `v % n_real`, so consecutive virtual bins
+/// are spread over distinct real bins (this keeps the extra load of the final
+/// hand-off balanced even if `A_light` happens to prefer low-numbered bins).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VirtualBinMap {
+    n_real: usize,
+    per_real: usize,
+}
+
+impl VirtualBinMap {
+    /// Creates a map with `per_real` virtual bins per real bin (`per_real ≥ 1`).
+    pub fn new(n_real: usize, per_real: usize) -> Self {
+        Self {
+            n_real,
+            per_real: per_real.max(1),
+        }
+    }
+
+    /// Chooses the smallest `per_real` such that the virtual instance has at least
+    /// `balls` bins (so `A_light` runs with at least as many bins as balls).
+    pub fn sized_for(n_real: usize, balls: u64) -> Self {
+        if n_real == 0 {
+            return Self::new(0, 1);
+        }
+        let per_real = balls.div_ceil(n_real as u64).max(1) as usize;
+        Self::new(n_real, per_real)
+    }
+
+    /// Number of real bins.
+    pub fn n_real(&self) -> usize {
+        self.n_real
+    }
+
+    /// Virtual bins per real bin.
+    pub fn per_real(&self) -> usize {
+        self.per_real
+    }
+
+    /// Total number of virtual bins.
+    pub fn n_virtual(&self) -> usize {
+        self.n_real * self.per_real
+    }
+
+    /// The real bin owning virtual bin `v`.
+    pub fn owner(&self, v: usize) -> usize {
+        debug_assert!(v < self.n_virtual());
+        v % self.n_real
+    }
+
+    /// Adds virtual loads onto the owning real bins (in place).
+    pub fn fold_loads(&self, virtual_loads: &[u32], real_loads: &mut [u32]) {
+        assert_eq!(virtual_loads.len(), self.n_virtual());
+        assert_eq!(real_loads.len(), self.n_real);
+        for (v, &load) in virtual_loads.iter().enumerate() {
+            real_loads[self.owner(v)] += load;
+        }
+    }
+
+    /// Adds per-virtual-bin message counts onto the owning real bins (in place).
+    pub fn fold_messages(&self, virtual_msgs: &[u64], real_msgs: &mut [u64]) {
+        assert_eq!(virtual_msgs.len(), self.n_virtual());
+        assert_eq!(real_msgs.len(), self.n_real);
+        for (v, &c) in virtual_msgs.iter().enumerate() {
+            real_msgs[self.owner(v)] += c;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizing_covers_the_ball_count() {
+        let map = VirtualBinMap::sized_for(100, 250);
+        assert_eq!(map.per_real(), 3);
+        assert_eq!(map.n_virtual(), 300);
+        assert!(map.n_virtual() as u64 >= 250);
+
+        let exact = VirtualBinMap::sized_for(100, 200);
+        assert_eq!(exact.per_real(), 2);
+
+        let zero_balls = VirtualBinMap::sized_for(100, 0);
+        assert_eq!(zero_balls.per_real(), 1);
+
+        let zero_bins = VirtualBinMap::sized_for(0, 10);
+        assert_eq!(zero_bins.n_virtual(), 0);
+    }
+
+    #[test]
+    fn owner_round_robin() {
+        let map = VirtualBinMap::new(4, 3);
+        assert_eq!(map.n_virtual(), 12);
+        let owners: Vec<usize> = (0..12).map(|v| map.owner(v)).collect();
+        assert_eq!(owners, vec![0, 1, 2, 3, 0, 1, 2, 3, 0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn fold_loads_distributes_evenly() {
+        let map = VirtualBinMap::new(3, 2);
+        let virtual_loads = vec![1u32, 2, 3, 4, 5, 6];
+        let mut real = vec![10u32, 20, 30];
+        map.fold_loads(&virtual_loads, &mut real);
+        // real[0] += v0 + v3 = 1 + 4, real[1] += 2 + 5, real[2] += 3 + 6.
+        assert_eq!(real, vec![15, 27, 39]);
+    }
+
+    #[test]
+    fn fold_messages_matches_loads_logic() {
+        let map = VirtualBinMap::new(2, 2);
+        let virtual_msgs = vec![5u64, 7, 9, 11];
+        let mut real = vec![0u64, 0];
+        map.fold_messages(&virtual_msgs, &mut real);
+        assert_eq!(real, vec![5 + 9, 7 + 11]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn fold_loads_checks_arity() {
+        let map = VirtualBinMap::new(2, 2);
+        let mut real = vec![0u32; 2];
+        map.fold_loads(&[1, 2, 3], &mut real);
+    }
+
+    #[test]
+    fn per_real_is_at_least_one() {
+        let map = VirtualBinMap::new(5, 0);
+        assert_eq!(map.per_real(), 1);
+        assert_eq!(map.n_virtual(), 5);
+    }
+}

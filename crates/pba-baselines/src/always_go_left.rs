@@ -1,0 +1,140 @@
+//! Vöcking's Always-Go-Left process [Vöc03].
+//!
+//! The bins are split into `d` contiguous groups of (almost) equal size; each
+//! ball samples one uniformly random bin from every group and joins the least
+//! loaded candidate, breaking ties towards the leftmost (lowest-numbered) group.
+//! In the lightly loaded case this improves the excess from
+//! `log log n / log d` to `log log n / (d·φ_d)`; in the heavily loaded case it
+//! remains an `O(log log n)`-excess sequential baseline. It is included because
+//! the paper's discussion of asymmetry ("how asymmetry helps load balancing")
+//! cites it as the sequential counterpart of Section 5's asymmetric algorithm.
+
+use pba_model::metrics::{MessageCensus, MessageTotals, RoundRecord};
+use pba_model::outcome::{AllocationOutcome, Allocator};
+use pba_model::rng::SplitMix64;
+
+/// The Always-Go-Left sequential allocator.
+#[derive(Debug, Clone, Copy)]
+pub struct AlwaysGoLeftAllocator {
+    /// Number of groups (and candidates per ball), `d ≥ 2`.
+    pub d: usize,
+}
+
+impl AlwaysGoLeftAllocator {
+    /// Creates the allocator with `d` groups (clamped to at least 2).
+    pub fn new(d: usize) -> Self {
+        Self { d: d.max(2) }
+    }
+}
+
+impl Default for AlwaysGoLeftAllocator {
+    fn default() -> Self {
+        Self::new(2)
+    }
+}
+
+impl Allocator for AlwaysGoLeftAllocator {
+    fn name(&self) -> String {
+        format!("always-go-left[{}]", self.d)
+    }
+
+    fn allocate(&self, m: u64, n: usize, seed: u64) -> AllocationOutcome {
+        assert!(n > 0 || m == 0, "cannot allocate {m} balls into zero bins");
+        if m == 0 {
+            return AllocationOutcome {
+                loads: vec![0; n],
+                ..Default::default()
+            };
+        }
+        let d = self.d.min(n.max(1));
+        let mut rng = SplitMix64::for_stream(seed, 0x1ef7, d as u64);
+        let mut loads = vec![0u32; n];
+        let mut per_bin_received = vec![0u64; n];
+        // Balanced contiguous groups: group g covers [g·n/d, (g+1)·n/d).
+        let group_start = |g: usize| g * n / d;
+        for _ in 0..m {
+            let mut best: Option<usize> = None;
+            for g in 0..d {
+                let start = group_start(g);
+                let end = group_start(g + 1).max(start + 1);
+                let candidate = start + rng.gen_index(end - start);
+                per_bin_received[candidate] += 1;
+                // Strictly-less comparison plus left-to-right iteration implements
+                // the "ties go left" rule.
+                best = match best {
+                    None => Some(candidate),
+                    Some(b) if loads[candidate] < loads[b] => Some(candidate),
+                    Some(b) => Some(b),
+                };
+            }
+            let chosen = best.expect("d >= 1");
+            loads[chosen] += 1;
+        }
+        AllocationOutcome {
+            rounds: m as usize,
+            unallocated: 0,
+            messages: MessageTotals {
+                requests: m * d as u64,
+                responses: m * d as u64,
+                accepts: m,
+                notifications: 0,
+            },
+            per_round: vec![RoundRecord {
+                round: 0,
+                unallocated_before: m,
+                unallocated_after: 0,
+                requests: m * d as u64,
+                accepts: m,
+                committed: m,
+                global_threshold: None,
+            }],
+            census: MessageCensus {
+                per_bin_received,
+                per_ball_sent: Vec::new(),
+            },
+            loads,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn excess_is_comparable_to_greedy_two() {
+        let m = 1u64 << 20;
+        let n = 1usize << 10;
+        let agl = AlwaysGoLeftAllocator::new(2).allocate(m, n, 3).excess(m);
+        let greedy = crate::greedy_d::GreedyDAllocator::new(2)
+            .allocate(m, n, 3)
+            .excess(m);
+        assert!(agl <= greedy + 2, "always-go-left {agl} vs greedy {greedy}");
+        assert!(agl <= 6);
+    }
+
+    #[test]
+    fn completes_and_conserves() {
+        for &(m, n) in &[(10_000u64, 100usize), (12_345, 97), (1, 2), (0, 5)] {
+            let out = AlwaysGoLeftAllocator::new(3).allocate(m, n, 1);
+            assert!(out.is_complete(m), "m={m} n={n}");
+        }
+    }
+
+    #[test]
+    fn d_is_clamped_to_at_least_two_and_at_most_n() {
+        assert_eq!(AlwaysGoLeftAllocator::new(0).d, 2);
+        // n smaller than d still works (d effectively reduced).
+        let out = AlwaysGoLeftAllocator::new(4).allocate(100, 2, 7);
+        assert!(out.is_complete(100));
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = AlwaysGoLeftAllocator::default().allocate(50_000, 64, 2);
+        let b = AlwaysGoLeftAllocator::default().allocate(50_000, 64, 2);
+        assert_eq!(a.loads, b.loads);
+        let c = AlwaysGoLeftAllocator::default().allocate(50_000, 64, 3);
+        assert_ne!(a.loads, c.loads);
+    }
+}

@@ -1,0 +1,159 @@
+//! Batched (semi-parallel) two-choice allocation, in the spirit of
+//! Berenbrink, Czumaj, Englert, Friedetzky and Nagel [BCE+12].
+//!
+//! The balls arrive in batches of `batch_size` (default `n`). Within a batch
+//! every ball samples two bins and joins the one that was less loaded **at the
+//! end of the previous batch** — i.e. all balls of a batch act in parallel on
+//! stale load information, which is exactly the difficulty a parallel
+//! multiple-choice process has to cope with. The process needs `m / batch`
+//! rounds (linear in `m/n`), which is why the paper's `O(log log(m/n))`-round
+//! algorithm is interesting; its excess sits between Greedy[2] and single-choice.
+
+use pba_model::metrics::{MessageCensus, MessageTotals, RoundRecord};
+use pba_model::outcome::{AllocationOutcome, Allocator};
+use pba_model::rng::SplitMix64;
+
+/// The batched two-choice allocator.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BatchedTwoChoiceAllocator {
+    /// Batch size; `0` (default) means "use `n`".
+    pub batch_size: usize,
+}
+
+impl BatchedTwoChoiceAllocator {
+    /// Creates the allocator with an explicit batch size.
+    pub fn with_batch_size(batch_size: usize) -> Self {
+        Self { batch_size }
+    }
+}
+
+impl Allocator for BatchedTwoChoiceAllocator {
+    fn name(&self) -> String {
+        if self.batch_size == 0 {
+            "batched-2-choice(batch=n)".to_string()
+        } else {
+            format!("batched-2-choice(batch={})", self.batch_size)
+        }
+    }
+
+    fn allocate(&self, m: u64, n: usize, seed: u64) -> AllocationOutcome {
+        assert!(n > 0 || m == 0, "cannot allocate {m} balls into zero bins");
+        if m == 0 {
+            return AllocationOutcome {
+                loads: vec![0; n],
+                ..Default::default()
+            };
+        }
+        let batch = if self.batch_size == 0 { n.max(1) } else { self.batch_size };
+        let mut rng = SplitMix64::for_stream(seed, 0xba7c, batch as u64);
+        let mut loads = vec![0u32; n];
+        let mut per_bin_received = vec![0u64; n];
+        let mut per_round = Vec::new();
+        let mut placed = 0u64;
+        let mut round = 0usize;
+
+        while placed < m {
+            let this_batch = (m - placed).min(batch as u64);
+            // Stale loads: the whole batch sees the loads at the start of the batch.
+            let snapshot = loads.clone();
+            for _ in 0..this_batch {
+                let a = rng.gen_index(n);
+                let b = rng.gen_index(n);
+                per_bin_received[a] += 1;
+                per_bin_received[b] += 1;
+                let chosen = if snapshot[a] <= snapshot[b] { a } else { b };
+                loads[chosen] += 1;
+            }
+            per_round.push(RoundRecord {
+                round,
+                unallocated_before: m - placed,
+                unallocated_after: m - placed - this_batch,
+                requests: this_batch * 2,
+                accepts: this_batch,
+                committed: this_batch,
+                global_threshold: None,
+            });
+            placed += this_batch;
+            round += 1;
+        }
+
+        AllocationOutcome {
+            rounds: round,
+            unallocated: 0,
+            messages: MessageTotals {
+                requests: 2 * m,
+                responses: 2 * m,
+                accepts: m,
+                notifications: 0,
+            },
+            per_round,
+            census: MessageCensus {
+                per_bin_received,
+                per_ball_sent: Vec::new(),
+            },
+            loads,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn completes_with_round_count_m_over_batch() {
+        let m = 1u64 << 16;
+        let n = 1usize << 8;
+        let out = BatchedTwoChoiceAllocator::default().allocate(m, n, 3);
+        assert!(out.is_complete(m));
+        assert_eq!(out.rounds, (m as usize).div_ceil(n));
+    }
+
+    #[test]
+    fn excess_between_greedy_and_single_choice() {
+        let m = 1u64 << 20;
+        let n = 1usize << 10;
+        let batched = BatchedTwoChoiceAllocator::default().allocate(m, n, 9).excess(m);
+        let greedy = crate::greedy_d::GreedyDAllocator::new(2)
+            .allocate(m, n, 9)
+            .excess(m);
+        let single = crate::single_choice::SingleChoiceAllocator::default()
+            .allocate(m, n, 9)
+            .excess(m);
+        assert!(
+            batched >= greedy,
+            "batched {batched} should not beat fully sequential greedy {greedy}"
+        );
+        assert!(
+            batched < single,
+            "batched {batched} should beat single choice {single}"
+        );
+    }
+
+    #[test]
+    fn custom_batch_size_changes_round_count() {
+        let m = 10_000u64;
+        let n = 100usize;
+        let fine = BatchedTwoChoiceAllocator::with_batch_size(50).allocate(m, n, 1);
+        let coarse = BatchedTwoChoiceAllocator::with_batch_size(5_000).allocate(m, n, 1);
+        assert_eq!(fine.rounds, 200);
+        assert_eq!(coarse.rounds, 2);
+        assert!(fine.excess(m) <= coarse.excess(m) + 2);
+    }
+
+    #[test]
+    fn zero_balls_and_partial_last_batch() {
+        let out = BatchedTwoChoiceAllocator::default().allocate(0, 8, 1);
+        assert_eq!(out.allocated(), 0);
+        let out = BatchedTwoChoiceAllocator::default().allocate(150, 100, 1);
+        assert!(out.is_complete(150));
+        assert_eq!(out.rounds, 2);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = BatchedTwoChoiceAllocator::default().allocate(100_000, 128, 4);
+        let b = BatchedTwoChoiceAllocator::default().allocate(100_000, 128, 4);
+        assert_eq!(a.loads, b.loads);
+    }
+}

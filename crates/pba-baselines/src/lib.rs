@@ -1,0 +1,71 @@
+//! # pba-baselines
+//!
+//! Baseline allocators that the paper's introduction measures `A_heavy` against
+//! (experiment E7):
+//!
+//! * [`single_choice`] — the naive one-shot allocation: each ball joins a
+//!   uniformly random bin. Maximal load `m/n + Θ(√(m/n · log n))` w.h.p. for
+//!   `m ≥ n log n` — the baseline the paper's abstract quotes.
+//! * [`greedy_d`] — the sequential multiple-choice process Greedy[d] of Azar et
+//!   al. [ABKU99]; for `d = 2` in the heavily loaded case the excess is
+//!   `O(log log n)` independent of `m` (Berenbrink et al. [BCSV06]). This is the
+//!   sequential gold standard the paper parallelises.
+//! * [`always_go_left`] — Vöcking's asymmetric sequential variant [Vöc03]
+//!   (d groups, ties broken to the left), included as a second sequential
+//!   reference point.
+//! * [`batched`] — the semi-parallel batched two-choice process in the spirit of
+//!   Berenbrink et al. [BCE+12]: balls arrive in batches of `n`, each batch is
+//!   allocated in parallel using the loads at the end of the previous batch.
+//!
+//! All baselines implement [`pba_model::Allocator`] so the workload runner and
+//! the benches can drive them exactly like the paper's algorithms.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod always_go_left;
+pub mod batched;
+pub mod greedy_d;
+pub mod single_choice;
+
+pub use always_go_left::AlwaysGoLeftAllocator;
+pub use batched::BatchedTwoChoiceAllocator;
+pub use greedy_d::GreedyDAllocator;
+pub use single_choice::SingleChoiceAllocator;
+
+/// Convenience: the full baseline line-up used by experiment E7, boxed as trait
+/// objects together with their display names.
+pub fn standard_baselines() -> Vec<Box<dyn pba_model::Allocator>> {
+    vec![
+        Box::new(SingleChoiceAllocator::default()),
+        Box::new(GreedyDAllocator::new(2)),
+        Box::new(AlwaysGoLeftAllocator::new(2)),
+        Box::new(BatchedTwoChoiceAllocator::default()),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pba_model::Allocator;
+
+    #[test]
+    fn standard_baselines_all_complete_a_small_instance() {
+        let m = 10_000u64;
+        let n = 100usize;
+        for alloc in standard_baselines() {
+            let out = alloc.allocate(m, n, 7);
+            assert!(out.is_complete(m), "{} left {} balls", alloc.name(), out.unallocated);
+            assert!(out.conserves_balls(m));
+        }
+    }
+
+    #[test]
+    fn standard_baselines_have_distinct_names() {
+        let names: Vec<String> = standard_baselines().iter().map(|a| a.name()).collect();
+        let mut dedup = names.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(names.len(), dedup.len(), "duplicate baseline names: {names:?}");
+    }
+}

@@ -1,0 +1,161 @@
+//! The single-choice (one-shot random) baseline.
+//!
+//! Every ball independently joins a uniformly random bin; there is no
+//! communication beyond the single placement message. For `m ≥ n log n` the
+//! maximal load is `m/n + Θ(√(m/n · log n))` w.h.p. — this is exactly the
+//! "naive solution" quoted in the paper's abstract, and the gap between this
+//! excess and `A_heavy`'s `O(1)` excess is the paper's headline improvement.
+
+use pba_model::metrics::{MessageCensus, MessageTotals, RoundRecord};
+use pba_model::outcome::{AllocationOutcome, Allocator};
+use pba_model::rng::SplitMix64;
+use pba_model::sampling::sample_uniform_multinomial;
+
+/// One-shot uniform random allocation.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SingleChoiceAllocator {
+    /// Sample every ball individually instead of drawing the per-bin counts from
+    /// a multinomial. The two are distributionally identical; per-ball mode
+    /// exists for cross-validation and costs `O(m)` instead of `O(n)` memory.
+    pub per_ball: bool,
+}
+
+impl SingleChoiceAllocator {
+    /// Per-ball sampling variant (mainly for tests / cross-validation).
+    pub fn per_ball() -> Self {
+        Self { per_ball: true }
+    }
+}
+
+impl Allocator for SingleChoiceAllocator {
+    fn name(&self) -> String {
+        "single-choice".to_string()
+    }
+
+    fn allocate(&self, m: u64, n: usize, seed: u64) -> AllocationOutcome {
+        assert!(n > 0 || m == 0, "cannot allocate {m} balls into zero bins");
+        if m == 0 {
+            return AllocationOutcome {
+                loads: vec![0; n],
+                ..Default::default()
+            };
+        }
+        let mut rng = SplitMix64::for_stream(seed, 0x51c0, 0);
+        let mut loads = vec![0u32; n];
+        if self.per_ball {
+            for _ in 0..m {
+                loads[rng.gen_index(n)] += 1;
+            }
+        } else {
+            let mut counts = Vec::with_capacity(n);
+            sample_uniform_multinomial(&mut rng, m, n, &mut counts);
+            for (l, &c) in loads.iter_mut().zip(&counts) {
+                *l = c as u32;
+            }
+        }
+        let census = MessageCensus {
+            per_bin_received: loads.iter().map(|&l| l as u64).collect(),
+            per_ball_sent: Vec::new(),
+        };
+        AllocationOutcome {
+            rounds: 1,
+            unallocated: 0,
+            messages: MessageTotals {
+                requests: m,
+                responses: 0,
+                accepts: m,
+                notifications: 0,
+            },
+            per_round: vec![RoundRecord {
+                round: 0,
+                unallocated_before: m,
+                unallocated_after: 0,
+                requests: m,
+                accepts: m,
+                committed: m,
+                global_threshold: None,
+            }],
+            census,
+            loads,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pba_stats::LoadMetrics;
+
+    #[test]
+    fn conserves_balls_and_uses_one_round() {
+        let alloc = SingleChoiceAllocator::default();
+        let out = alloc.allocate(1 << 20, 1 << 10, 3);
+        assert!(out.is_complete(1 << 20));
+        assert_eq!(out.rounds, 1);
+        assert_eq!(out.messages.requests, 1 << 20);
+    }
+
+    #[test]
+    fn excess_matches_sqrt_scaling() {
+        // Excess should grow roughly like sqrt((m/n)·log n): quadrupling m/n should
+        // roughly double it (very loose tolerances — this is a statistical check).
+        let n = 1usize << 10;
+        let mut small = 0.0;
+        let mut large = 0.0;
+        for seed in 0..5u64 {
+            small += SingleChoiceAllocator::default()
+                .allocate((n as u64) << 8, n, seed)
+                .excess((n as u64) << 8) as f64;
+            large += SingleChoiceAllocator::default()
+                .allocate((n as u64) << 12, n, seed)
+                .excess((n as u64) << 12) as f64;
+        }
+        small /= 5.0;
+        large /= 5.0;
+        assert!(small > 0.0, "single choice should overshoot the mean");
+        let ratio = large / small;
+        assert!(
+            ratio > 2.0 && ratio < 8.0,
+            "excess ratio {ratio} not consistent with sqrt scaling (small {small}, large {large})"
+        );
+    }
+
+    #[test]
+    fn excess_is_much_larger_than_heavy_algorithm() {
+        let m = 1u64 << 20;
+        let n = 1usize << 10;
+        let single = SingleChoiceAllocator::default().allocate(m, n, 11);
+        assert!(
+            single.excess(m) >= 20,
+            "single-choice excess {} suspiciously small",
+            single.excess(m)
+        );
+    }
+
+    #[test]
+    fn per_ball_and_multinomial_agree_statistically() {
+        let m = 1u64 << 16;
+        let n = 1usize << 8;
+        let a = SingleChoiceAllocator::default().allocate(m, n, 5);
+        let b = SingleChoiceAllocator::per_ball().allocate(m, n, 5);
+        assert!(b.is_complete(m));
+        let ma = LoadMetrics::from_loads(&a.loads);
+        let mb = LoadMetrics::from_loads(&b.loads);
+        assert!((ma.std_dev - mb.std_dev).abs() / ma.std_dev < 0.25);
+        assert!((ma.max_load as f64 - mb.max_load as f64).abs() < 0.3 * ma.max_load as f64);
+    }
+
+    #[test]
+    fn zero_balls() {
+        let out = SingleChoiceAllocator::default().allocate(0, 4, 1);
+        assert_eq!(out.allocated(), 0);
+        assert_eq!(out.rounds, 0);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = SingleChoiceAllocator::default().allocate(100_000, 64, 9);
+        let b = SingleChoiceAllocator::default().allocate(100_000, 64, 9);
+        assert_eq!(a.loads, b.loads);
+    }
+}

@@ -1,0 +1,34 @@
+//! Criterion bench for experiment E9: A_heavy under different slack exponents
+//! (the paper's 2/3 vs alternatives) — the round-count differences translate
+//! directly into wall-clock differences.
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pba_algorithms::{HeavyAllocator, HeavyConfig};
+use pba_model::Allocator;
+
+fn bench_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e9_ablation");
+    group.sample_size(10);
+    let n = 1usize << 8;
+    let m = (n as u64) << 10;
+    for &alpha in &[0.5f64, 2.0 / 3.0, 0.9] {
+        group.bench_with_input(
+            BenchmarkId::new("slack_exponent", format!("{alpha:.2}")),
+            &alpha,
+            |b, &alpha| {
+                let alloc = HeavyAllocator::new(HeavyConfig {
+                    slack_exponent: alpha,
+                    ..HeavyConfig::default()
+                });
+                let mut seed = 0u64;
+                b.iter(|| {
+                    seed = seed.wrapping_add(1);
+                    std::hint::black_box(alloc.allocate(m, n, seed))
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

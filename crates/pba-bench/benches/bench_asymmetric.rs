@@ -1,0 +1,25 @@
+//! Criterion bench for experiment E5: the asymmetric superbin algorithm.
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pba_algorithms::AsymmetricAllocator;
+use pba_model::Allocator;
+
+fn bench_asymmetric(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e5_asymmetric");
+    group.sample_size(10);
+    let n = 1usize << 10;
+    for ratio in [64u64, 1024] {
+        let m = n as u64 * ratio;
+        group.bench_with_input(BenchmarkId::new("allocate", ratio), &ratio, |b, _| {
+            let alloc = AsymmetricAllocator::default();
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed = seed.wrapping_add(1);
+                std::hint::black_box(alloc.allocate(m, n, seed))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_asymmetric);
+criterion_main!(benches);

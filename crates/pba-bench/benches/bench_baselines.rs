@@ -1,0 +1,34 @@
+//! Criterion bench for experiment E7: the baseline allocators on a fixed
+//! heavily loaded instance.
+use criterion::{criterion_group, criterion_main, Criterion};
+use pba_baselines::{standard_baselines, SingleChoiceAllocator};
+use pba_model::Allocator;
+
+fn bench_baselines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e7_baselines");
+    group.sample_size(10);
+    let n = 1usize << 9;
+    let m = (n as u64) << 8;
+    for alloc in standard_baselines() {
+        group.bench_function(alloc.name(), |b| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed = seed.wrapping_add(1);
+                std::hint::black_box(alloc.allocate(m, n, seed))
+            });
+        });
+    }
+    // The multinomial fast path of single choice, for reference.
+    group.bench_function("single-choice (per-ball)", |b| {
+        let alloc = SingleChoiceAllocator::per_ball();
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed = seed.wrapping_add(1);
+            std::hint::black_box(alloc.allocate(m, n, seed))
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_baselines);
+criterion_main!(benches);

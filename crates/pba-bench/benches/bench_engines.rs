@@ -1,0 +1,71 @@
+//! Criterion bench for experiment E8: the four execution substrates running the
+//! same fixed-threshold protocol.
+use criterion::{criterion_group, criterion_main, Criterion};
+use pba_concurrent::{run_actor_threshold, run_concurrent_threshold};
+use pba_model::engine::{run_agent_engine, run_count_engine, EngineConfig};
+use pba_model::protocol::FixedThresholdProtocol;
+
+fn bench_engines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e8_engines");
+    group.sample_size(10);
+    let n = 1usize << 9;
+    let m = (n as u64) << 9;
+    let t = (m / n as u64) as u32 + 8;
+    group.bench_function("agent_engine", |b| {
+        let mut protocol = FixedThresholdProtocol::new(t, 1);
+        protocol.max_rounds = 10_000;
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed = seed.wrapping_add(1);
+            std::hint::black_box(run_agent_engine(
+                &protocol,
+                m,
+                n,
+                seed,
+                &EngineConfig::sequential(),
+            ))
+        });
+    });
+    group.bench_function("agent_engine_parallel", |b| {
+        let mut protocol = FixedThresholdProtocol::new(t, 1);
+        protocol.max_rounds = 10_000;
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed = seed.wrapping_add(1);
+            std::hint::black_box(run_agent_engine(
+                &protocol,
+                m,
+                n,
+                seed,
+                &EngineConfig::parallel(),
+            ))
+        });
+    });
+    group.bench_function("count_engine", |b| {
+        let mut protocol = FixedThresholdProtocol::new(t, 1);
+        protocol.max_rounds = 10_000;
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed = seed.wrapping_add(1);
+            std::hint::black_box(run_count_engine(&protocol, m, n, seed))
+        });
+    });
+    group.bench_function("shared_memory_atomics", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed = seed.wrapping_add(1);
+            std::hint::black_box(run_concurrent_threshold(m, n, t, 10_000, seed))
+        });
+    });
+    group.bench_function("actor_channels", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed = seed.wrapping_add(1);
+            std::hint::black_box(run_actor_threshold(m, n, t, 10_000, 4, seed))
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_engines);
+criterion_main!(benches);

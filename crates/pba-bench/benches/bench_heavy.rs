@@ -1,0 +1,27 @@
+//! Criterion bench for experiment E1: A_heavy end-to-end allocation time across
+//! load ratios. The table itself is produced by `exp_e1`; this bench tracks the
+//! wall-clock cost of the algorithm so performance regressions are visible.
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pba_algorithms::HeavyAllocator;
+use pba_model::Allocator;
+
+fn bench_heavy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e1_heavy");
+    group.sample_size(10);
+    let n = 1usize << 8;
+    for ratio in [64u64, 512, 4096] {
+        let m = n as u64 * ratio;
+        group.bench_with_input(BenchmarkId::new("allocate", ratio), &ratio, |b, _| {
+            let alloc = HeavyAllocator::default();
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed = seed.wrapping_add(1);
+                std::hint::black_box(alloc.allocate(m, n, seed))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_heavy);
+criterion_main!(benches);

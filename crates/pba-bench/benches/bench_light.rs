@@ -1,0 +1,24 @@
+//! Criterion bench for experiment E6: A_light (the LW16 substrate) on n balls
+//! into n bins for growing n.
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pba_algorithms::LightAllocator;
+use pba_model::Allocator;
+
+fn bench_light(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e6_light");
+    group.sample_size(10);
+    for n in [1usize << 10, 1 << 13, 1 << 16] {
+        group.bench_with_input(BenchmarkId::new("allocate", n), &n, |b, &n| {
+            let alloc = LightAllocator::default();
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed = seed.wrapping_add(1);
+                std::hint::black_box(alloc.allocate(n as u64, n, seed))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_light);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Criterion bench for experiment E4: one rejection phase of the lower-bound
+//! census and the naive fixed-threshold allocator it explains.
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pba_algorithms::NaiveThresholdAllocator;
+use pba_lowerbound::rejection::{run_rejection_phase, uniform_capacities};
+use pba_model::Allocator;
+
+fn bench_lowerbound(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e4_lowerbound");
+    group.sample_size(10);
+    let n = 1usize << 10;
+    for ratio in [256u64, 4096] {
+        let m = n as u64 * ratio;
+        let caps = uniform_capacities(m, n, 1);
+        group.bench_with_input(BenchmarkId::new("rejection_phase", ratio), &ratio, |b, _| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed = seed.wrapping_add(1);
+                std::hint::black_box(run_rejection_phase(m, &caps, seed))
+            });
+        });
+    }
+    group.bench_function("naive_threshold_full_run", |b| {
+        let n = 1usize << 8;
+        let m = (n as u64) << 6;
+        let alloc = NaiveThresholdAllocator::new(1, 1);
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed = seed.wrapping_add(1);
+            std::hint::black_box(alloc.allocate(m, n, seed))
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_lowerbound);
+criterion_main!(benches);

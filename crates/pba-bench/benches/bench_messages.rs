@@ -1,0 +1,35 @@
+//! Criterion bench for experiment E3: A_heavy with full per-ball message
+//! tracking enabled (the accounting overhead is part of what E3 measures).
+use criterion::{criterion_group, criterion_main, Criterion};
+use pba_algorithms::{HeavyAllocator, HeavyConfig};
+use pba_model::Allocator;
+
+fn bench_messages(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e3_messages");
+    group.sample_size(10);
+    let n = 1usize << 8;
+    let m = (n as u64) << 8;
+    group.bench_function("heavy_with_per_ball_census", |b| {
+        let alloc = HeavyAllocator::new(HeavyConfig {
+            track_per_ball: true,
+            ..HeavyConfig::default()
+        });
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed = seed.wrapping_add(1);
+            std::hint::black_box(alloc.allocate(m, n, seed))
+        });
+    });
+    group.bench_function("heavy_without_census", |b| {
+        let alloc = HeavyAllocator::default();
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed = seed.wrapping_add(1);
+            std::hint::black_box(alloc.allocate(m, n, seed))
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_messages);
+criterion_main!(benches);

@@ -1,0 +1,5 @@
+//! E2 — unallocated-ball trajectory (Claims 1–4).
+fn main() {
+    let opts = pba_bench::ExpOptions::from_env();
+    opts.print_all(&[pba_workloads::experiments::e2_trajectory(!opts.full)]);
+}

@@ -1,0 +1,5 @@
+//! E3 — message complexity of A_heavy (Theorem 6).
+fn main() {
+    let opts = pba_bench::ExpOptions::from_env();
+    opts.print_all(&[pba_workloads::experiments::e3_messages(!opts.full)]);
+}

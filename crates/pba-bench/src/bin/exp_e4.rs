@@ -1,0 +1,5 @@
+//! E4 — lower bound: rejection census and round counts (Theorems 2/7).
+fn main() {
+    let opts = pba_bench::ExpOptions::from_env();
+    opts.print_all(&pba_workloads::experiments::e4_lower_bound(!opts.full));
+}

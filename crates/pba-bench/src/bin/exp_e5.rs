@@ -1,0 +1,5 @@
+//! E5 — asymmetric superbin algorithm (Theorem 3).
+fn main() {
+    let opts = pba_bench::ExpOptions::from_env();
+    opts.print_all(&[pba_workloads::experiments::e5_asymmetric(!opts.full)]);
+}

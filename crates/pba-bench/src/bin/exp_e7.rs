@@ -1,0 +1,5 @@
+//! E7 — baseline landscape (Section 1).
+fn main() {
+    let opts = pba_bench::ExpOptions::from_env();
+    opts.print_all(&[pba_workloads::experiments::e7_baselines(!opts.full)]);
+}

@@ -1,0 +1,5 @@
+//! E8 — execution-substrate fidelity and parallel speed-up.
+fn main() {
+    let opts = pba_bench::ExpOptions::from_env();
+    opts.print_all(&pba_workloads::experiments::e8_engines(!opts.full));
+}

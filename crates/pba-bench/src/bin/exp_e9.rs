@@ -1,0 +1,5 @@
+//! E9 — ablations: slack exponent and degree simulation.
+fn main() {
+    let opts = pba_bench::ExpOptions::from_env();
+    opts.print_all(&pba_workloads::experiments::e9_ablation(!opts.full));
+}

@@ -1,0 +1,18 @@
+//! Regenerates every experiment table (E1–E9) and prints the EXPERIMENTS.md body.
+//!
+//! Usage:
+//!   cargo run -p pba-bench --release --bin gen_tables            # quick sweeps, text tables
+//!   cargo run -p pba-bench --release --bin gen_tables -- --full  # paper-scale sweeps
+//!   cargo run -p pba-bench --release --bin gen_tables -- --full --markdown > EXPERIMENTS.md
+fn main() {
+    let opts = pba_bench::ExpOptions::from_env();
+    let tables = pba_workloads::experiments::all_experiments(!opts.full);
+    if opts.markdown {
+        print!(
+            "{}",
+            pba_workloads::report::render_experiments_markdown(&tables)
+        );
+    } else {
+        opts.print_all(&tables);
+    }
+}

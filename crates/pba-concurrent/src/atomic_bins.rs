@@ -1,0 +1,148 @@
+//! Bins as atomic counters.
+//!
+//! The threshold rule "a bin with load `ℓ` accepts up to `T − ℓ` requests" maps
+//! directly onto a bounded atomic increment: a ball's request succeeds iff the
+//! bin's counter was still below the threshold at the moment of the
+//! compare-and-swap. Which of several concurrent requesters wins is decided by
+//! the hardware — the paper's "arbitrary subset" rule — so the shared-memory
+//! execution is a legitimate member of the same algorithm family.
+
+use std::sync::atomic::{AtomicU32, Ordering};
+
+/// A fixed-size array of atomic bin load counters.
+#[derive(Debug, Default)]
+pub struct AtomicBins {
+    loads: Vec<AtomicU32>,
+}
+
+impl AtomicBins {
+    /// Creates `n` empty bins.
+    pub fn new(n: usize) -> Self {
+        Self {
+            loads: (0..n).map(|_| AtomicU32::new(0)).collect(),
+        }
+    }
+
+    /// Number of bins.
+    pub fn len(&self) -> usize {
+        self.loads.len()
+    }
+
+    /// True when there are no bins.
+    pub fn is_empty(&self) -> bool {
+        self.loads.is_empty()
+    }
+
+    /// Attempts to place one ball into `bin` subject to the cumulative threshold
+    /// `threshold`. Returns `true` on success. Lock-free; linearises on the
+    /// bin's counter.
+    pub fn try_acquire(&self, bin: usize, threshold: u32) -> bool {
+        self.loads[bin]
+            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |current| {
+                if current < threshold {
+                    Some(current + 1)
+                } else {
+                    None
+                }
+            })
+            .is_ok()
+    }
+
+    /// Current load of `bin` (relaxed read; exact once the round has quiesced).
+    pub fn load(&self, bin: usize) -> u32 {
+        self.loads[bin].load(Ordering::Acquire)
+    }
+
+    /// Snapshot of all loads.
+    pub fn snapshot(&self) -> Vec<u32> {
+        self.loads.iter().map(|l| l.load(Ordering::Acquire)).collect()
+    }
+
+    /// Sum of all loads.
+    pub fn total(&self) -> u64 {
+        self.loads
+            .iter()
+            .map(|l| l.load(Ordering::Acquire) as u64)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn sequential_acquire_respects_threshold() {
+        let bins = AtomicBins::new(2);
+        for _ in 0..5 {
+            assert!(bins.try_acquire(0, 5));
+        }
+        assert!(!bins.try_acquire(0, 5));
+        assert_eq!(bins.load(0), 5);
+        assert_eq!(bins.load(1), 0);
+        // Raising the threshold allows more.
+        assert!(bins.try_acquire(0, 6));
+        assert_eq!(bins.load(0), 6);
+        assert_eq!(bins.total(), 6);
+        assert_eq!(bins.snapshot(), vec![6, 0]);
+    }
+
+    #[test]
+    fn empty_and_len() {
+        let bins = AtomicBins::new(0);
+        assert!(bins.is_empty());
+        assert_eq!(bins.len(), 0);
+        let bins = AtomicBins::new(3);
+        assert!(!bins.is_empty());
+        assert_eq!(bins.len(), 3);
+    }
+
+    #[test]
+    fn concurrent_acquires_never_exceed_threshold() {
+        // 8 threads hammer a single bin with threshold 1000; exactly 1000 must win.
+        let bins = Arc::new(AtomicBins::new(1));
+        let threshold = 1000u32;
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let bins = Arc::clone(&bins);
+            handles.push(std::thread::spawn(move || {
+                let mut wins = 0u32;
+                for _ in 0..500 {
+                    if bins.try_acquire(0, threshold) {
+                        wins += 1;
+                    }
+                }
+                wins
+            }));
+        }
+        let total_wins: u32 = handles.into_iter().map(|h| h.join().unwrap()).sum();
+        assert_eq!(total_wins, threshold);
+        assert_eq!(bins.load(0), threshold);
+    }
+
+    #[test]
+    fn concurrent_acquires_across_many_bins_conserve_totals() {
+        let n = 64usize;
+        let bins = Arc::new(AtomicBins::new(n));
+        let cap = 10u32;
+        let mut handles = Vec::new();
+        for t in 0..4 {
+            let bins = Arc::clone(&bins);
+            handles.push(std::thread::spawn(move || {
+                let mut accepted = 0u64;
+                for i in 0..n as u64 * 20 {
+                    let bin = ((i * 31 + t * 17) % n as u64) as usize;
+                    if bins.try_acquire(bin, cap) {
+                        accepted += 1;
+                    }
+                }
+                accepted
+            }));
+        }
+        let accepted: u64 = handles.into_iter().map(|h| h.join().unwrap()).sum();
+        assert_eq!(accepted, bins.total());
+        assert_eq!(bins.total(), (n as u64) * cap as u64);
+        assert!(bins.snapshot().iter().all(|&l| l == cap));
+    }
+}

@@ -1,0 +1,35 @@
+//! # pba-concurrent
+//!
+//! A shared-memory, truly multi-threaded execution substrate for the paper's
+//! threshold protocols. The round-based simulator in [`pba_model`] is the ground
+//! truth for the *model-level* quantities (rounds, loads, messages); this crate
+//! answers the systems question "what does the protocol look like as an actual
+//! parallel program?" and provides the speed-up experiment E8:
+//!
+//! * [`atomic_bins`] — bins as a flat array of atomic counters. A ball claims a
+//!   slot with a bounded `fetch_update`, which is exactly the "bin accepts up to
+//!   `T − ℓ` requests" rule of the threshold model, resolved by the hardware's
+//!   arbitration instead of the simulator's arrival order.
+//! * [`executor`] — a rayon-based round executor: in each round all unallocated
+//!   balls try to claim a slot in a uniformly random bin under the round's
+//!   threshold; rejected balls retry next round. Supports the `A_heavy` schedule
+//!   and fixed thresholds.
+//! * [`actor`] — a crossbeam-channel actor executor: bins are sharded over worker
+//!   threads, balls' requests are messages on the shards' channels and accepts
+//!   flow back over a result channel. A faithful "message passing" realisation of
+//!   the model, used to cross-validate the shared-memory path.
+//! * [`speedup`] — wall-clock measurements of one allocation under varying rayon
+//!   thread counts.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod actor;
+pub mod atomic_bins;
+pub mod executor;
+pub mod speedup;
+
+pub use actor::run_actor_threshold;
+pub use atomic_bins::AtomicBins;
+pub use executor::{run_concurrent_heavy, run_concurrent_threshold, ConcurrentOutcome};
+pub use speedup::{measure_speedup, SpeedupPoint};

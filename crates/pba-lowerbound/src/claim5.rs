@@ -1,0 +1,148 @@
+//! Empirical verification of Claim 5 and the negative-association step.
+//!
+//! Claim 5 is the anti-concentration heart of the lower bound: *any* bin receives
+//! at least `μ + 2√μ` requests with constant probability `p₀` (proved via the
+//! Berry–Esseen inequality). Corollary 1 then sums this over bins, and the
+//! concentration step relies on the per-bin overload indicators being
+//! **negatively associated** (Definition 2 / [DR98]) so a Chernoff bound applies.
+//!
+//! This module measures both ingredients directly:
+//!
+//! * [`measure_overload_probability`] — the empirical frequency with which a bin
+//!   receives at least `μ + 2√μ` requests, to compare against the analytic
+//!   prediction [`pba_stats::tails::claim5_overload_probability`];
+//! * [`measure_indicator_covariance`] — the empirical covariance between the
+//!   overload indicators of two distinct bins, which negative association
+//!   requires to be `≤ 0` (up to sampling noise).
+
+use pba_model::rng::SplitMix64;
+use pba_model::sampling::sample_uniform_multinomial;
+use pba_stats::tails::claim5_overload_probability;
+
+/// Result of the Claim 5 overload census.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OverloadCensus {
+    /// Number of balls per trial.
+    pub balls: u64,
+    /// Number of bins.
+    pub bins: usize,
+    /// The overload level `μ + 2√μ`.
+    pub level: f64,
+    /// Number of trials performed.
+    pub trials: u32,
+    /// Empirical probability that a (fixed) bin reaches the overload level.
+    pub empirical_probability: f64,
+    /// The analytic prediction (normal approximation minus the Berry–Esseen error).
+    pub predicted_lower_bound: f64,
+}
+
+/// Estimates the probability that a bin receives at least `μ + 2√μ` of `m`
+/// uniform requests over `n` bins, averaging over all bins and `trials`
+/// independent experiments.
+pub fn measure_overload_probability(
+    m: u64,
+    n: usize,
+    trials: u32,
+    seed: u64,
+) -> OverloadCensus {
+    assert!(n > 0, "need at least one bin");
+    let mu = m as f64 / n as f64;
+    let level = mu + 2.0 * mu.sqrt();
+    let mut rng = SplitMix64::for_stream(seed, 0xc1a1_05, m);
+    let mut requests = Vec::with_capacity(n);
+    let mut overloaded: u64 = 0;
+    for _ in 0..trials {
+        sample_uniform_multinomial(&mut rng, m, n, &mut requests);
+        overloaded += requests.iter().filter(|&&r| r as f64 >= level).count() as u64;
+    }
+    let total_observations = trials as u64 * n as u64;
+    OverloadCensus {
+        balls: m,
+        bins: n,
+        level,
+        trials,
+        empirical_probability: if total_observations == 0 {
+            0.0
+        } else {
+            overloaded as f64 / total_observations as f64
+        },
+        predicted_lower_bound: claim5_overload_probability(m, n as u64),
+    }
+}
+
+/// Estimates the covariance between the overload indicators of bins `0` and `1`
+/// over `trials` independent experiments. Negative association (the [DR98]
+/// machinery used throughout Section 4) implies this covariance is `≤ 0`.
+pub fn measure_indicator_covariance(m: u64, n: usize, trials: u32, seed: u64) -> f64 {
+    assert!(n >= 2, "need at least two bins to correlate");
+    let mu = m as f64 / n as f64;
+    let level = mu + 2.0 * mu.sqrt();
+    let mut rng = SplitMix64::for_stream(seed, 0xc0_5a, m);
+    let mut requests = Vec::with_capacity(n);
+    let mut sum_a = 0.0;
+    let mut sum_b = 0.0;
+    let mut sum_ab = 0.0;
+    for _ in 0..trials {
+        sample_uniform_multinomial(&mut rng, m, n, &mut requests);
+        let a = if requests[0] as f64 >= level { 1.0 } else { 0.0 };
+        let b = if requests[1] as f64 >= level { 1.0 } else { 0.0 };
+        sum_a += a;
+        sum_b += b;
+        sum_ab += a * b;
+    }
+    let t = trials.max(1) as f64;
+    sum_ab / t - (sum_a / t) * (sum_b / t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empirical_overload_probability_dominates_the_analytic_lower_bound() {
+        let m = 1u64 << 20;
+        let n = 1usize << 8;
+        let census = measure_overload_probability(m, n, 40, 7);
+        // Claim 5: the probability is a positive constant; the analytic value is a
+        // *lower* bound, so the measurement must not fall meaningfully below it.
+        assert!(census.empirical_probability > 0.005);
+        assert!(
+            census.empirical_probability + 0.01 >= census.predicted_lower_bound,
+            "measured {} vs predicted lower bound {}",
+            census.empirical_probability,
+            census.predicted_lower_bound
+        );
+        // And it is a probability for a ~2σ deviation, so it cannot be large.
+        assert!(census.empirical_probability < 0.2);
+        assert_eq!(census.trials, 40);
+        assert!(census.level > m as f64 / n as f64);
+    }
+
+    #[test]
+    fn overload_probability_is_roughly_scale_invariant() {
+        // The 2√μ deviation is measured in standard-deviation units, so the
+        // probability should not collapse as μ grows.
+        let n = 1usize << 8;
+        let small = measure_overload_probability((n as u64) << 8, n, 40, 3);
+        let large = measure_overload_probability((n as u64) << 12, n, 40, 3);
+        assert!(small.empirical_probability > 0.005);
+        assert!(large.empirical_probability > 0.005);
+        let ratio = small.empirical_probability / large.empirical_probability;
+        assert!(ratio > 0.2 && ratio < 5.0, "ratio {ratio}");
+    }
+
+    #[test]
+    fn overload_indicators_are_not_positively_correlated() {
+        let m = 1u64 << 18;
+        let n = 1usize << 7;
+        let cov = measure_indicator_covariance(m, n, 400, 11);
+        // Negative association ⇒ covariance ≤ 0; allow a little sampling noise.
+        assert!(cov <= 0.01, "covariance {cov} suspiciously positive");
+    }
+
+    #[test]
+    fn zero_trials_yield_zero_probability() {
+        let census = measure_overload_probability(1 << 12, 1 << 4, 0, 1);
+        assert_eq!(census.empirical_probability, 0.0);
+    }
+}

@@ -1,0 +1,194 @@
+//! The class decomposition used in the proof of Theorem 7.
+//!
+//! For every bin `i` the proof considers `S_i = μ + 2√μ − L_i` (how far the bin's
+//! capacity sits below the `μ + 2√μ` request level that Claim 5 shows is reached
+//! with constant probability). Bins with `S_i > 0` are grouped into dyadic
+//! classes `I_k = {i : S_i ∈ [2^k, 2^{k+1})}` plus the fractional class
+//! `I_* = {i : S_i ∈ (0, 1)}`; Claim 6 shows that the classes
+//! `k ∈ [k_max − t, k_max]` capture at least half of the expected rejections, and
+//! the pigeonhole principle then yields a single "heavy" class carrying a
+//! `1/(t+1)` fraction. This module computes the decomposition so experiment E4
+//! can display it and verify the claims numerically.
+
+use pba_stats::tails::claim5_overload_probability;
+
+/// The dyadic class decomposition of a capacity vector.
+#[derive(Debug, Clone)]
+pub struct ClassDecomposition {
+    /// `μ = M/n`.
+    pub mu: f64,
+    /// The paper's `t = min{⌈log n⌉, ⌈log(M/n)⌉ + 1}`.
+    pub t: u32,
+    /// `S_i` for every bin (may be negative for over-provisioned bins).
+    pub s_values: Vec<f64>,
+    /// Size of the fractional class `I_*` (bins with `S_i ∈ (0,1)`).
+    pub fractional_class_size: usize,
+    /// For each `k ≥ 0`, the indices of bins in class `I_k`.
+    pub classes: Vec<Vec<usize>>,
+    /// The largest non-empty class index `k_max` (`None` if every `S_i ≤ 0`).
+    pub k_max: Option<usize>,
+    /// The class index `k ∈ [k_min, k_max]` maximising `Σ_{i ∈ I_k} S_i`
+    /// (the "heavy" class of the pigeonhole step).
+    pub heavy_class: Option<usize>,
+    /// Lower bound on the expected number of rejections contributed by the heavy
+    /// class: `p₀ · Σ_{i ∈ heavy} S_i / 2` (Claim 6 / the pigeonhole argument),
+    /// where `p₀` is the Claim 5 overload probability.
+    pub heavy_class_expected_rejections: f64,
+}
+
+impl ClassDecomposition {
+    /// Computes the decomposition for `m` balls and the given per-bin capacities.
+    pub fn new(m: u64, capacities: &[u32]) -> Self {
+        let n = capacities.len();
+        let mu = if n == 0 { 0.0 } else { m as f64 / n as f64 };
+        let overload_level = mu + 2.0 * mu.sqrt();
+        let s_values: Vec<f64> = capacities
+            .iter()
+            .map(|&l| overload_level - l as f64)
+            .collect();
+
+        let log_n = if n <= 1 { 1.0 } else { (n as f64).log2().ceil() };
+        let log_ratio = if mu <= 1.0 { 1.0 } else { mu.log2().ceil() + 1.0 };
+        let t = log_n.min(log_ratio).max(1.0) as u32;
+
+        let mut fractional = 0usize;
+        let mut classes: Vec<Vec<usize>> = Vec::new();
+        for (i, &s) in s_values.iter().enumerate() {
+            if s <= 0.0 {
+                continue;
+            }
+            if s < 1.0 {
+                fractional += 1;
+                continue;
+            }
+            let k = s.log2().floor() as usize;
+            if classes.len() <= k {
+                classes.resize(k + 1, Vec::new());
+            }
+            classes[k].push(i);
+        }
+        let k_max = classes.iter().rposition(|c| !c.is_empty());
+
+        let (heavy_class, heavy_mass) = match k_max {
+            None => (None, 0.0),
+            Some(kmax) => {
+                let kmin = kmax.saturating_sub(t as usize);
+                let mut best_k = None;
+                let mut best_mass = -1.0f64;
+                for (k, members) in classes.iter().enumerate().take(kmax + 1).skip(kmin) {
+                    let mass: f64 = members.iter().map(|&i| s_values[i]).sum();
+                    if mass > best_mass {
+                        best_mass = mass;
+                        best_k = Some(k);
+                    }
+                }
+                (best_k, best_mass.max(0.0))
+            }
+        };
+
+        let p0 = claim5_overload_probability(m, n as u64);
+        Self {
+            mu,
+            t,
+            s_values,
+            fractional_class_size: fractional,
+            classes,
+            k_max,
+            heavy_class,
+            heavy_class_expected_rejections: 0.5 * p0 * heavy_mass,
+        }
+    }
+
+    /// Corollary 1's lower bound on the *total* expected rejections:
+    /// `p₀ · Σ_i max(S_i, 0)` (up to the `√(Mn)` simplification).
+    pub fn expected_rejections_lower_bound(&self, m: u64, n: usize) -> f64 {
+        let p0 = claim5_overload_probability(m, n as u64);
+        let mass: f64 = self.s_values.iter().map(|&s| s.max(0.0)).sum();
+        p0 * mass
+    }
+
+    /// Number of non-empty dyadic classes.
+    pub fn non_empty_classes(&self) -> usize {
+        self.classes.iter().filter(|c| !c.is_empty()).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_capacities_form_a_single_class() {
+        // All bins have the same capacity => all S_i identical => one class.
+        let m = 1u64 << 20;
+        let n = 1usize << 10;
+        let caps = vec![(m / n as u64) as u32 + 1; n];
+        let d = ClassDecomposition::new(m, &caps);
+        assert_eq!(d.non_empty_classes(), 1);
+        assert_eq!(d.heavy_class, d.k_max);
+        assert!(d.heavy_class_expected_rejections > 0.0);
+        assert_eq!(d.fractional_class_size, 0);
+        // S_i = 2 sqrt(mu) - 1 for every bin.
+        let expected_s = 2.0 * (m as f64 / n as f64).sqrt() - 1.0;
+        assert!((d.s_values[0] - expected_s).abs() < 1e-9);
+    }
+
+    #[test]
+    fn overprovisioned_bins_have_no_class() {
+        let m = 1000u64;
+        let n = 10usize;
+        // Every bin can hold everything: S_i << 0.
+        let caps = vec![10_000u32; n];
+        let d = ClassDecomposition::new(m, &caps);
+        assert_eq!(d.k_max, None);
+        assert_eq!(d.heavy_class, None);
+        assert_eq!(d.heavy_class_expected_rejections, 0.0);
+        assert_eq!(d.non_empty_classes(), 0);
+    }
+
+    #[test]
+    fn mixed_capacities_spread_over_classes() {
+        let m = 1u64 << 16;
+        let n = 64usize;
+        let mu = (m / n as u64) as u32; // 1024
+        // Capacities at distances ~1, ~2, ~4, … below mu+2 sqrt(mu).
+        let caps: Vec<u32> = (0..n)
+            .map(|i| mu + 2 * (mu as f64).sqrt() as u32 - (1 << (i % 6)))
+            .collect();
+        let d = ClassDecomposition::new(m, &caps);
+        assert!(d.non_empty_classes() >= 4);
+        assert!(d.k_max.unwrap() >= 4);
+        let heavy = d.heavy_class.unwrap();
+        assert!(heavy <= d.k_max.unwrap());
+        assert!(heavy + (d.t as usize) >= d.k_max.unwrap());
+    }
+
+    #[test]
+    fn t_is_min_of_logs() {
+        // Small ratio: t driven by log(M/n).
+        let d = ClassDecomposition::new(1 << 12, &vec![5u32; 1 << 10]);
+        assert!(d.t <= 4); // log2(4) + 1 = 3
+        // Large ratio: t driven by log n.
+        let d2 = ClassDecomposition::new(1 << 30, &vec![5u32; 1 << 4]);
+        assert_eq!(d2.t, 4);
+    }
+
+    #[test]
+    fn total_expected_rejection_bound_positive_for_fair_capacities() {
+        let m = 1u64 << 18;
+        let n = 1usize << 8;
+        let caps = vec![(m / n as u64) as u32; n];
+        let d = ClassDecomposition::new(m, &caps);
+        let lb = d.expected_rejections_lower_bound(m, n);
+        // p0 * n * 2 sqrt(mu) ~ 0.02…0.5 * 256 * 64 — definitely positive.
+        assert!(lb > 10.0, "lower bound {lb} unexpectedly small");
+    }
+
+    #[test]
+    fn empty_instance() {
+        let d = ClassDecomposition::new(0, &[]);
+        assert_eq!(d.mu, 0.0);
+        assert_eq!(d.k_max, None);
+        assert_eq!(d.non_empty_classes(), 0);
+    }
+}

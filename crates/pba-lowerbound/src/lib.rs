@@ -1,0 +1,37 @@
+//! # pba-lowerbound
+//!
+//! Empirical apparatus for Section 4 of the paper — the lower bound for uniform
+//! threshold algorithms (Theorems 2 and 7):
+//!
+//! * [`rejection`] — single-phase rejection census: throw `M` balls uniformly at
+//!   `n` bins with per-bin capacities `L_i` (total capacity `M + O(n)`) and count
+//!   how many balls are rejected. Theorem 7 predicts `Ω(√(Mn)/t)` rejections with
+//!   probability `1 − e^{-Ω((n/t)^{2/3})}`, `t = Θ(min{log n, log(M/n)})`.
+//! * [`classes`] — the proof's class decomposition: `S_i = μ + 2√μ − L_i`, the
+//!   dyadic classes `I_k`, and the heaviest class that carries a `1/(t+1)`
+//!   fraction of the expected rejections (Claim 6).
+//! * [`simulation`] — the simulation arguments of Lemmas 2 and 3: a degree-`d`
+//!   threshold algorithm can be simulated by a degree-1 algorithm with phases of
+//!   length `d`, with an identical load distribution. We verify the equivalence
+//!   empirically by comparing load statistics of the direct and the simulated
+//!   execution.
+//! * [`rounds`] — the round-complexity consequence (Theorem 2): iterating the
+//!   single-phase bound shows any uniform threshold algorithm with total capacity
+//!   `m + O(n)` needs `Ω(log log (m/n))` rounds; the experiment measures the
+//!   round count of capacity-bounded threshold algorithms and compares it with
+//!   both the iterated prediction and `A_heavy`'s upper bound.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod claim5;
+pub mod classes;
+pub mod rejection;
+pub mod rounds;
+pub mod simulation;
+
+pub use claim5::{measure_indicator_covariance, measure_overload_probability, OverloadCensus};
+pub use classes::ClassDecomposition;
+pub use rejection::{run_rejection_phase, RejectionCensus};
+pub use rounds::{lower_bound_round_prediction, measure_rounds_to_finish};
+pub use simulation::{simulate_degree_d_by_degree_1, SimulationComparison};

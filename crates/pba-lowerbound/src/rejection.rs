@@ -1,0 +1,199 @@
+//! Single-phase rejection census (Theorem 7).
+//!
+//! Theorem 7: *Suppose `M` balls each contact one of `n ≥ 2` bins independently
+//! and uniformly at random, where `M ≥ Cn` for a sufficiently large constant `C`.
+//! If bin `i` accepts up to `L_i` balls, where `Σ L_i ∈ M + O(n)` and `L_i` does
+//! not depend on the balls' randomness, then with probability at least
+//! `1 − e^{-Ω((n/t)^{2/3})}` the number of balls that is not accepted is
+//! `Ω(√(Mn)/t)` for `t = Θ(min{log n, log(M/n)})`.*
+//!
+//! The census below performs exactly this experiment: it samples the per-bin
+//! request counts (a uniform multinomial), applies the capacities, and reports
+//! the rejected count together with the theorem's reference scale `√(Mn)/t` so
+//! that experiment E4 can plot measured rejections against the prediction and
+//! fit the hidden constant.
+
+use pba_model::rng::SplitMix64;
+use pba_model::sampling::sample_uniform_multinomial;
+use pba_stats::tails::theorem7_rejection_reference;
+
+/// The result of one rejection phase.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RejectionCensus {
+    /// Number of balls thrown.
+    pub balls: u64,
+    /// Number of bins.
+    pub bins: usize,
+    /// Total capacity `Σ L_i`.
+    pub total_capacity: u64,
+    /// Number of rejected balls.
+    pub rejected: u64,
+    /// Number of bins that received more requests than their capacity.
+    pub overloaded_bins: usize,
+    /// The reference scale `√(Mn)/t` of Theorem 7 (the measured rejections divided
+    /// by this value estimate the theorem's hidden constant).
+    pub reference: f64,
+}
+
+impl RejectionCensus {
+    /// Measured rejections divided by the `√(Mn)/t` reference (the empirical
+    /// constant of Theorem 7); `0.0` if the reference is degenerate.
+    pub fn constant_estimate(&self) -> f64 {
+        if self.reference <= 0.0 {
+            0.0
+        } else {
+            self.rejected as f64 / self.reference
+        }
+    }
+}
+
+/// Runs one phase: `m` balls choose uniformly among `n = capacities.len()` bins,
+/// bin `i` accepts at most `capacities[i]` of its requests.
+pub fn run_rejection_phase(m: u64, capacities: &[u32], seed: u64) -> RejectionCensus {
+    let n = capacities.len();
+    assert!(n > 0 || m == 0, "cannot throw {m} balls at zero bins");
+    let mut rng = SplitMix64::for_stream(seed, 0x4e1ec7, m);
+    let mut requests = Vec::with_capacity(n);
+    sample_uniform_multinomial(&mut rng, m, n, &mut requests);
+    let mut rejected = 0u64;
+    let mut overloaded = 0usize;
+    for (&req, &cap) in requests.iter().zip(capacities) {
+        if req > cap as u64 {
+            rejected += req - cap as u64;
+            overloaded += 1;
+        }
+    }
+    RejectionCensus {
+        balls: m,
+        bins: n,
+        total_capacity: capacities.iter().map(|&c| c as u64).sum(),
+        rejected,
+        overloaded_bins: overloaded,
+        reference: theorem7_rejection_reference(m, n as u64),
+    }
+}
+
+/// Builds the "fair share plus slack" capacity vector `L_i = ⌈M/n⌉ + slack`
+/// (uniform thresholds, total capacity `M + O(n)` for constant slack).
+pub fn uniform_capacities(m: u64, n: usize, slack: u32) -> Vec<u32> {
+    let base = if n == 0 { 0 } else { m.div_ceil(n as u64) as u32 };
+    vec![base.saturating_add(slack); n]
+}
+
+/// Builds an uneven capacity vector with the same total as
+/// [`uniform_capacities`]: half the bins get `2·slack` extra capacity, the other
+/// half get none. Used to confirm that Theorem 7 (and hence the lower bound) is
+/// insensitive to *how* the `M + O(n)` capacity is distributed.
+pub fn skewed_capacities(m: u64, n: usize, slack: u32) -> Vec<u32> {
+    let base = if n == 0 { 0 } else { m.div_ceil(n as u64) as u32 };
+    (0..n)
+        .map(|i| {
+            if i % 2 == 0 {
+                base.saturating_add(2 * slack)
+            } else {
+                base
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejections_scale_like_sqrt_mn_over_t() {
+        // Quadrupling M should roughly double the rejections (√M scaling).
+        let n = 1usize << 10;
+        let slack = 1;
+        let avg = |m: u64| -> f64 {
+            (0..5)
+                .map(|s| run_rejection_phase(m, &uniform_capacities(m, n, slack), s).rejected as f64)
+                .sum::<f64>()
+                / 5.0
+        };
+        let small = avg(1 << 18);
+        let large = avg(1 << 20);
+        assert!(small > 0.0);
+        let ratio = large / small;
+        assert!(
+            ratio > 1.4 && ratio < 3.0,
+            "rejection ratio {ratio} inconsistent with sqrt(M) scaling ({small} -> {large})"
+        );
+    }
+
+    #[test]
+    fn rejection_constant_is_order_one() {
+        // The measured constant in front of sqrt(Mn)/t should be neither tiny nor
+        // huge for a heavily loaded instance.
+        let m = 1u64 << 20;
+        let n = 1usize << 10;
+        let census = run_rejection_phase(m, &uniform_capacities(m, n, 1), 3);
+        let c = census.constant_estimate();
+        assert!(c > 0.05 && c < 50.0, "constant estimate {c} out of range");
+    }
+
+    #[test]
+    fn skewed_capacities_do_not_prevent_rejections() {
+        let m = 1u64 << 20;
+        let n = 1usize << 10;
+        let uniform = run_rejection_phase(m, &uniform_capacities(m, n, 1), 5);
+        let skewed = run_rejection_phase(m, &skewed_capacities(m, n, 1), 5);
+        assert!(skewed.rejected > 0);
+        // Same asymptotic order: within a factor of ~4 of each other.
+        let ratio = skewed.rejected as f64 / uniform.rejected as f64;
+        assert!(ratio > 0.25 && ratio < 4.0, "ratio {ratio}");
+        assert_eq!(uniform.total_capacity, m + n as u64);
+        assert_eq!(skewed.total_capacity, m + n as u64);
+    }
+
+    #[test]
+    fn huge_capacity_means_no_rejections() {
+        let m = 100_000u64;
+        let n = 100usize;
+        let capacities = uniform_capacities(m, n, 10_000);
+        let census = run_rejection_phase(m, &capacities, 1);
+        assert_eq!(census.rejected, 0);
+        assert_eq!(census.overloaded_bins, 0);
+        assert_eq!(census.constant_estimate(), 0.0);
+    }
+
+    #[test]
+    fn zero_capacity_rejects_everything() {
+        let m = 10_000u64;
+        let n = 10usize;
+        let census = run_rejection_phase(m, &vec![0u32; n], 1);
+        assert_eq!(census.rejected, m);
+        assert_eq!(census.overloaded_bins, n);
+    }
+
+    #[test]
+    fn zero_balls() {
+        let census = run_rejection_phase(0, &uniform_capacities(0, 8, 1), 1);
+        assert_eq!(census.rejected, 0);
+        assert_eq!(census.balls, 0);
+    }
+
+    #[test]
+    fn capacity_builders_have_expected_totals() {
+        let u = uniform_capacities(1000, 10, 2);
+        assert_eq!(u.len(), 10);
+        assert!(u.iter().all(|&c| c == 102));
+        let s = skewed_capacities(1000, 10, 2);
+        assert_eq!(s.iter().map(|&c| c as u64).sum::<u64>(), 1020);
+        assert_eq!(s[0], 104);
+        assert_eq!(s[1], 100);
+        assert!(uniform_capacities(5, 0, 1).is_empty());
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let m = 1u64 << 18;
+        let caps = uniform_capacities(m, 256, 1);
+        let a = run_rejection_phase(m, &caps, 9);
+        let b = run_rejection_phase(m, &caps, 9);
+        assert_eq!(a, b);
+        let c = run_rejection_phase(m, &caps, 10);
+        assert_ne!(a.rejected, c.rejected);
+    }
+}

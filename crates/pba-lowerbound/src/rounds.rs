@@ -1,0 +1,123 @@
+//! Round-complexity consequences of the lower bound (Theorem 2).
+//!
+//! Iterating Theorem 7 shows that any uniform threshold algorithm whose total
+//! capacity is `m + O(n)` must run for `Ω(min{log log(m/n), 2^{n^{Ω(1)}}})`
+//! rounds: after round `i` at least `M_i = (m/n)^{3^{-i}} · n^{1 − 3^{-i}}` balls
+//! remain w.h.p. This module provides
+//!
+//! * [`lower_bound_round_prediction`] — the number of iterations of that
+//!   recursion until fewer than `C·n` balls remain (the quantity the measured
+//!   round counts are compared against), and
+//! * [`measure_rounds_to_finish`] — the measured number of rounds a
+//!   capacity-bounded uniform threshold algorithm (the naive strawman of
+//!   Section 1.1, or `A_heavy` itself) needs on a given instance.
+//!
+//! Experiment E4 plots both against `m/n` and shows that `A_heavy`'s measured
+//! round count tracks the prediction — i.e. the paper's analysis is tight.
+
+use pba_model::outcome::Allocator;
+
+/// Number of iterations of the Theorem 2 recursion `M_{i+1} = √(M_i · n) / t_i`
+/// (the simplified form `M_i = (m/n)^{3^{-i}} n^{1-3^{-i}}` of the induction)
+/// until at most `stop_factor · n` balls remain. This is `Θ(log log (m/n))`.
+pub fn lower_bound_round_prediction(m: u64, n: usize, stop_factor: f64) -> u32 {
+    if n == 0 || m == 0 {
+        return 0;
+    }
+    let nf = n as f64;
+    let stop = stop_factor.max(1.0) * nf;
+    let mut remaining = m as f64;
+    let mut rounds = 0u32;
+    while remaining > stop && rounds < 128 {
+        let t = (nf.log2().max(1.0)).min((remaining / nf).log2().max(1.0));
+        // Theorem 7: Ω(√(M n)/t) balls are rejected; the *surviving* count after
+        // the round is therefore at least that many.
+        remaining = (remaining * nf).sqrt() / t;
+        rounds += 1;
+    }
+    rounds
+}
+
+/// Measures the number of rounds `allocator` needs on `(m, n)` with each of the
+/// given seeds, returning `(mean, max)`.
+pub fn measure_rounds_to_finish<A: Allocator + ?Sized>(
+    allocator: &A,
+    m: u64,
+    n: usize,
+    seeds: &[u64],
+) -> (f64, usize) {
+    let mut total = 0usize;
+    let mut max = 0usize;
+    for &seed in seeds {
+        let rounds = allocator.allocate(m, n, seed).rounds;
+        total += rounds;
+        max = max.max(rounds);
+    }
+    let mean = if seeds.is_empty() {
+        0.0
+    } else {
+        total as f64 / seeds.len() as f64
+    };
+    (mean, max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pba_algorithms::{HeavyAllocator, NaiveThresholdAllocator};
+    use pba_stats::log_log2;
+
+    #[test]
+    fn prediction_is_loglog_like() {
+        let n = 1usize << 10;
+        let p1 = lower_bound_round_prediction((n as u64) << 10, n, 4.0);
+        let p2 = lower_bound_round_prediction((n as u64) << 20, n, 4.0);
+        let p3 = lower_bound_round_prediction((n as u64) << 40, n, 4.0);
+        assert!(p1 >= 1);
+        assert!(p2 >= p1);
+        assert!(p3 >= p2);
+        // Doubling the exponent of m/n costs O(1) extra rounds.
+        assert!(p3 - p2 <= 2, "p2={p2} p3={p3}");
+        assert_eq!(lower_bound_round_prediction(0, 10, 2.0), 0);
+        assert_eq!(lower_bound_round_prediction(10, 0, 2.0), 0);
+    }
+
+    #[test]
+    fn heavy_round_count_is_within_a_constant_of_the_prediction() {
+        // Theorem 2 says you cannot beat ~log log(m/n); Theorem 1 says A_heavy
+        // achieves it up to +log* n. So measured rounds should be sandwiched.
+        let n = 1usize << 8;
+        let m = (n as u64) << 12;
+        let prediction = lower_bound_round_prediction(m, n, 4.0) as f64;
+        let (mean_rounds, _) = measure_rounds_to_finish(&HeavyAllocator::default(), m, n, &[1, 2, 3]);
+        assert!(
+            mean_rounds + 1.0 >= prediction / 2.0,
+            "A_heavy finished in {mean_rounds} rounds, below half the lower-bound prediction {prediction}"
+        );
+        let upper = log_log2(m as f64 / n as f64) + 12.0;
+        assert!(
+            mean_rounds <= upper,
+            "A_heavy took {mean_rounds} rounds, above the Theorem 1 prediction {upper}"
+        );
+    }
+
+    #[test]
+    fn naive_threshold_needs_far_more_rounds_than_the_prediction() {
+        let n = 1usize << 10;
+        let m = (n as u64) << 8;
+        let prediction = lower_bound_round_prediction(m, n, 4.0) as f64;
+        let (mean_rounds, _) =
+            measure_rounds_to_finish(&NaiveThresholdAllocator::new(1, 1), m, n, &[1, 2]);
+        assert!(
+            mean_rounds >= 3.0 * prediction,
+            "naive threshold took only {mean_rounds} rounds vs prediction {prediction}"
+        );
+    }
+
+    #[test]
+    fn measure_handles_empty_seed_list() {
+        let (mean, max) = measure_rounds_to_finish(&HeavyAllocator::default(), 1000, 10, &[]);
+        assert_eq!(mean, 0.0);
+        assert_eq!(max, 0);
+    }
+}

@@ -1,0 +1,430 @@
+//! The exact per-ball ("agent") engine.
+//!
+//! Plays the synchronous round of Section 3 verbatim:
+//!
+//! 1. every unallocated ball samples its target bin(s) from its own stream,
+//! 2. every bin computes its acceptance quota and grants accepts to at most that
+//!    many of its requesters (in arrival order — the paper allows an arbitrary
+//!    choice),
+//! 3. every ball that received at least one accept commits to one accepting bin
+//!    and notifies the remaining accepting bins (which do not count it).
+//!
+//! The only state carried across rounds is each bin's committed load and the set
+//! of unallocated balls, exactly as in the model. Sampling (step 1) is the
+//! dominant cost and is optionally parallelised with rayon; because every ball's
+//! choices are a pure function of `(seed, ball, round)`, parallel and sequential
+//! executions produce identical requests and therefore identical per-bin loads.
+
+use rayon::prelude::*;
+
+use crate::engine::{EngineConfig, EngineResult};
+use crate::metrics::{MessageCensus, MessageTotals, RoundRecord};
+use crate::protocol::{Protocol, RoundCtx};
+use crate::rng::ball_round_rng;
+
+/// Runs `protocol` on `m` balls and `n` bins with master seed `seed`.
+///
+/// # Panics
+/// Panics if `n == 0` while `m > 0` (there is nowhere to put the balls).
+pub fn run_agent_engine<P: Protocol + ?Sized>(
+    protocol: &P,
+    m: u64,
+    n: usize,
+    seed: u64,
+    config: &EngineConfig,
+) -> EngineResult {
+    run_agent_engine_on(protocol, &(0..m).collect::<Vec<u64>>(), m, n, seed, config)
+}
+
+/// Runs `protocol` on an explicit set of (still unallocated) ball identities.
+///
+/// This entry point exists so that multi-phase algorithms (`A_heavy`) can hand the
+/// leftover balls of one phase to another protocol — possibly on a different
+/// (virtual) bin count — while keeping per-ball message attribution consistent.
+/// `m_total` is the size of the *original* instance and is only used for the
+/// protocol's [`RoundCtx`] and for sizing the per-ball census.
+pub fn run_agent_engine_on<P: Protocol + ?Sized>(
+    protocol: &P,
+    initial_balls: &[u64],
+    m_total: u64,
+    n: usize,
+    seed: u64,
+    config: &EngineConfig,
+) -> EngineResult {
+    assert!(
+        n > 0 || initial_balls.is_empty(),
+        "cannot allocate {} balls into zero bins",
+        initial_balls.len()
+    );
+
+    let mut unallocated: Vec<u64> = initial_balls.to_vec();
+    let mut committed: Vec<u32> = vec![0; n];
+    let mut census = MessageCensus::new(
+        n,
+        if config.track_per_ball {
+            Some(m_total)
+        } else {
+            None
+        },
+    );
+    let mut totals = MessageTotals::default();
+    let mut per_round: Vec<RoundRecord> = Vec::new();
+
+    // Scratch buffers reused across rounds to avoid per-round allocation churn.
+    let mut targets: Vec<u32> = Vec::new();
+    let mut requests_per_bin: Vec<u32> = vec![0; n];
+    let mut granted: Vec<u32> = vec![0; n];
+    let mut taken: Vec<u32> = vec![0; n];
+
+    let mut rounds_run = 0usize;
+
+    for round in 0..protocol.max_rounds() {
+        let ctx = RoundCtx {
+            round,
+            n_bins: n,
+            m_total,
+            remaining: unallocated.len() as u64,
+        };
+        if unallocated.is_empty() || protocol.give_up(&ctx) {
+            break;
+        }
+        rounds_run += 1;
+
+        let degree = protocol.degree(&ctx);
+        if degree == 0 {
+            // A "collect" round in which balls stay silent; nothing can change, so
+            // record it (if tracing) and move on.
+            if config.record_rounds {
+                per_round.push(RoundRecord {
+                    round,
+                    unallocated_before: ctx.remaining,
+                    unallocated_after: ctx.remaining,
+                    requests: 0,
+                    accepts: 0,
+                    committed: 0,
+                    global_threshold: protocol.global_threshold(&ctx),
+                });
+            }
+            continue;
+        }
+        let distinct = protocol.distinct_choices();
+        let u = unallocated.len();
+
+        // ---- Step 1: every unallocated ball samples its target bins. ----
+        targets.clear();
+        targets.resize(u * degree, 0);
+        let sample_for = |ball: u64, slots: &mut [u32]| {
+            let mut rng = ball_round_rng(seed, ball, round as u64);
+            if distinct && degree > 1 {
+                let mut buf = Vec::with_capacity(degree);
+                rng.sample_distinct(n, degree, &mut buf);
+                // If n < degree, sample_distinct returns fewer entries; repeat the
+                // last bin to keep slot arity (duplicates are harmless: the ball
+                // simply contacts that bin once more).
+                for (i, slot) in slots.iter_mut().enumerate() {
+                    *slot = *buf.get(i).unwrap_or(buf.last().unwrap_or(&0));
+                }
+            } else {
+                for slot in slots.iter_mut() {
+                    *slot = rng.gen_index(n) as u32;
+                }
+            }
+        };
+        if config.parallel {
+            targets
+                .par_chunks_mut(degree)
+                .zip(unallocated.par_iter())
+                .for_each(|(slots, &ball)| sample_for(ball, slots));
+        } else {
+            for (slots, &ball) in targets.chunks_mut(degree).zip(unallocated.iter()) {
+                sample_for(ball, slots);
+            }
+        }
+
+        // ---- Step 2: bins count requests and compute grants. ----
+        requests_per_bin.iter_mut().for_each(|c| *c = 0);
+        for &t in &targets {
+            requests_per_bin[t as usize] += 1;
+        }
+        for b in 0..n {
+            let quota = protocol.bin_quota(b as u32, committed[b], &ctx);
+            granted[b] = quota.min(requests_per_bin[b]);
+        }
+
+        // ---- Step 3: balls receive responses, commit, and notify. ----
+        taken.iter_mut().for_each(|c| *c = 0);
+        let mut next_unallocated: Vec<u64> = Vec::with_capacity(u);
+        let mut round_accepts: u64 = 0;
+        let mut round_committed: u64 = 0;
+        let mut round_notifications: u64 = 0;
+
+        // Bins that accepted the current ball, in slot order; the first one is the
+        // bin the ball joins. Degree is O(1), so this buffer stays tiny.
+        let mut accepting_bins: Vec<u32> = Vec::with_capacity(degree);
+        for (idx, &ball) in unallocated.iter().enumerate() {
+            let slots = &targets[idx * degree..(idx + 1) * degree];
+            accepting_bins.clear();
+            for &t in slots {
+                let b = t as usize;
+                census.per_bin_received[b] += 1;
+                if taken[b] < granted[b] {
+                    taken[b] += 1;
+                    accepting_bins.push(t);
+                }
+            }
+            let accepts_for_ball = accepting_bins.len() as u32;
+            round_accepts += accepts_for_ball as u64;
+            let mut sent_by_ball = degree as u32;
+            if let Some(&bin) = accepting_bins.first() {
+                committed[bin as usize] += 1;
+                round_committed += 1;
+                // The ball notifies every *other* accepting bin that it will not join.
+                let extra = accepts_for_ball.saturating_sub(1);
+                round_notifications += extra as u64;
+                sent_by_ball += extra;
+                for &other in &accepting_bins[1..] {
+                    census.per_bin_received[other as usize] += 1;
+                }
+            } else {
+                next_unallocated.push(ball);
+            }
+            if census.tracks_balls() {
+                census.per_ball_sent[ball as usize] += sent_by_ball;
+            }
+        }
+
+        let round_requests = (u * degree) as u64;
+        totals.requests += round_requests;
+        totals.responses += round_requests; // every request is answered (accept or decline)
+        totals.accepts += round_accepts;
+        totals.notifications += round_notifications;
+
+        if config.record_rounds {
+            per_round.push(RoundRecord {
+                round,
+                unallocated_before: u as u64,
+                unallocated_after: next_unallocated.len() as u64,
+                requests: round_requests,
+                accepts: round_accepts,
+                committed: round_committed,
+                global_threshold: protocol.global_threshold(&ctx),
+            });
+        }
+
+        unallocated = next_unallocated;
+    }
+
+    EngineResult {
+        loads: committed,
+        rounds: rounds_run,
+        remaining: unallocated.len() as u64,
+        remaining_balls: unallocated,
+        totals,
+        per_round,
+        census,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::{FixedThresholdProtocol, PerBinThresholdProtocol};
+
+    fn ideal_threshold(m: u64, n: usize) -> u32 {
+        m.div_ceil(n as u64) as u32
+    }
+
+    #[test]
+    fn fixed_threshold_allocates_everything_with_slack() {
+        let m = 10_000u64;
+        let n = 100usize;
+        // Threshold with +10 slack: everything must eventually be placed.
+        let p = FixedThresholdProtocol::new(ideal_threshold(m, n) + 10, 1);
+        let r = run_agent_engine(&p, m, n, 42, &EngineConfig::sequential());
+        assert_eq!(r.remaining, 0);
+        assert_eq!(r.loads.iter().map(|&l| l as u64).sum::<u64>(), m);
+        assert!(r.loads.iter().all(|&l| l <= ideal_threshold(m, n) + 10));
+        assert!(r.rounds >= 1);
+    }
+
+    #[test]
+    fn conservation_holds_even_when_capacity_is_insufficient() {
+        let m = 1000u64;
+        let n = 10usize;
+        // Capacity 50 per bin = 500 slots total: exactly 500 balls must remain.
+        let p = FixedThresholdProtocol::new(50, 1);
+        let mut proto = p;
+        proto.max_rounds = 200;
+        let r = run_agent_engine(&proto, m, n, 7, &EngineConfig::sequential());
+        let allocated: u64 = r.loads.iter().map(|&l| l as u64).sum();
+        assert_eq!(allocated + r.remaining, m);
+        assert_eq!(allocated, 500);
+        assert_eq!(r.remaining, 500);
+        assert!(r.loads.iter().all(|&l| l == 50));
+    }
+
+    #[test]
+    fn parallel_and_sequential_agree_for_degree_one() {
+        let m = 20_000u64;
+        let n = 64usize;
+        let p = FixedThresholdProtocol::new(ideal_threshold(m, n) + 5, 1);
+        let seq = run_agent_engine(&p, m, n, 123, &EngineConfig::sequential());
+        let par = run_agent_engine(&p, m, n, 123, &EngineConfig::parallel());
+        assert_eq!(seq.loads, par.loads);
+        assert_eq!(seq.rounds, par.rounds);
+        assert_eq!(seq.totals, par.totals);
+        assert_eq!(seq.remaining, par.remaining);
+    }
+
+    #[test]
+    fn different_seeds_give_different_executions() {
+        let m = 5_000u64;
+        let n = 32usize;
+        let p = FixedThresholdProtocol::new(ideal_threshold(m, n) + 2, 1);
+        let a = run_agent_engine(&p, m, n, 1, &EngineConfig::sequential());
+        let b = run_agent_engine(&p, m, n, 2, &EngineConfig::sequential());
+        assert_ne!(a.loads, b.loads);
+    }
+
+    #[test]
+    fn per_ball_tracking_counts_at_least_one_message_per_ball() {
+        let m = 2_000u64;
+        let n = 16usize;
+        let p = FixedThresholdProtocol::new(ideal_threshold(m, n) + 4, 1);
+        let r = run_agent_engine(
+            &p,
+            m,
+            n,
+            5,
+            &EngineConfig::sequential().with_per_ball_tracking(true),
+        );
+        assert_eq!(r.census.per_ball_sent.len(), m as usize);
+        assert!(r.census.per_ball_sent.iter().all(|&c| c >= 1));
+        let total_sent: u64 = r.census.per_ball_sent.iter().map(|&c| c as u64).sum();
+        assert_eq!(total_sent, r.totals.requests + r.totals.notifications);
+    }
+
+    #[test]
+    fn per_bin_received_matches_request_totals_for_degree_one() {
+        let m = 3_000u64;
+        let n = 20usize;
+        let p = FixedThresholdProtocol::new(ideal_threshold(m, n) + 3, 1);
+        let r = run_agent_engine(&p, m, n, 9, &EngineConfig::sequential());
+        let received: u64 = r.census.per_bin_received.iter().sum();
+        // Degree 1 => no notifications, so received messages == requests.
+        assert_eq!(r.totals.notifications, 0);
+        assert_eq!(received, r.totals.requests);
+    }
+
+    #[test]
+    fn degree_two_places_faster_than_degree_one_under_tight_threshold() {
+        let m = 40_000u64;
+        let n = 64usize;
+        let t = ideal_threshold(m, n) + 1;
+        let d1 = FixedThresholdProtocol::new(t, 1);
+        let d2 = FixedThresholdProtocol::new(t, 2);
+        let r1 = run_agent_engine(&d1, m, n, 11, &EngineConfig::sequential());
+        let r2 = run_agent_engine(&d2, m, n, 11, &EngineConfig::sequential());
+        assert_eq!(r1.remaining, 0);
+        assert_eq!(r2.remaining, 0);
+        assert!(
+            r2.rounds <= r1.rounds,
+            "degree 2 should not be slower: d1={} d2={}",
+            r1.rounds,
+            r2.rounds
+        );
+        // Degree-2 balls may receive two accepts and must notify the second bin.
+        assert!(r2.totals.notifications > 0);
+    }
+
+    #[test]
+    fn per_bin_threshold_protocol_respects_every_cap() {
+        let n = 8usize;
+        let thresholds: Vec<u32> = (1..=n as u32).map(|i| i * 3).collect();
+        let total_capacity: u64 = thresholds.iter().map(|&t| t as u64).sum();
+        let m = total_capacity + 50;
+        let p = PerBinThresholdProtocol::new(thresholds.clone(), 1).with_max_rounds(500);
+        let r = run_agent_engine(&p, m, n, 3, &EngineConfig::sequential());
+        for (b, &load) in r.loads.iter().enumerate() {
+            assert!(load <= thresholds[b], "bin {b} exceeded its threshold");
+        }
+        assert_eq!(r.remaining, m - total_capacity);
+    }
+
+    #[test]
+    fn round_records_trace_monotone_unallocated_counts() {
+        let m = 8_000u64;
+        let n = 32usize;
+        let p = FixedThresholdProtocol::new(ideal_threshold(m, n) + 2, 1);
+        let r = run_agent_engine(&p, m, n, 17, &EngineConfig::sequential());
+        assert_eq!(r.per_round.len(), r.rounds);
+        let mut prev = m;
+        for rec in &r.per_round {
+            assert_eq!(rec.unallocated_before, prev);
+            assert!(rec.unallocated_after <= rec.unallocated_before);
+            assert_eq!(
+                rec.committed,
+                rec.unallocated_before - rec.unallocated_after
+            );
+            prev = rec.unallocated_after;
+        }
+        assert_eq!(prev, 0);
+    }
+
+    #[test]
+    fn zero_balls_and_zero_bins_edge_cases() {
+        let p = FixedThresholdProtocol::new(5, 1);
+        let r = run_agent_engine(&p, 0, 4, 1, &EngineConfig::sequential());
+        assert_eq!(r.rounds, 0);
+        assert_eq!(r.remaining, 0);
+        assert_eq!(r.loads, vec![0, 0, 0, 0]);
+
+        let r2 = run_agent_engine(&p, 0, 0, 1, &EngineConfig::sequential());
+        assert_eq!(r2.loads.len(), 0);
+        assert_eq!(r2.remaining, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero bins")]
+    fn balls_with_zero_bins_panics() {
+        let p = FixedThresholdProtocol::new(5, 1);
+        let _ = run_agent_engine(&p, 10, 0, 1, &EngineConfig::sequential());
+    }
+
+    #[test]
+    fn run_on_subset_of_balls_preserves_identities() {
+        let p = FixedThresholdProtocol::new(100, 1);
+        let balls: Vec<u64> = vec![1_000_000, 2_000_000, 3_000_000];
+        let r = run_agent_engine_on(
+            &p,
+            &balls,
+            4_000_000,
+            4,
+            99,
+            &EngineConfig::sequential().with_per_ball_tracking(true),
+        );
+        assert_eq!(r.remaining, 0);
+        assert_eq!(r.loads.iter().map(|&l| l as u64).sum::<u64>(), 3);
+        // Only the three named balls sent messages.
+        let senders: Vec<u64> = r
+            .census
+            .per_ball_sent
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, _)| i as u64)
+            .collect();
+        assert_eq!(senders, balls);
+    }
+
+    #[test]
+    fn max_rounds_caps_execution() {
+        // Zero capacity: nothing is ever placed, engine must stop at max_rounds.
+        let mut p = FixedThresholdProtocol::new(0, 1);
+        p.max_rounds = 5;
+        let r = run_agent_engine(&p, 100, 4, 1, &EngineConfig::sequential());
+        assert_eq!(r.rounds, 5);
+        assert_eq!(r.remaining, 100);
+        assert_eq!(r.loads, vec![0, 0, 0, 0]);
+    }
+}

@@ -1,0 +1,231 @@
+//! The count ("multinomial") engine.
+//!
+//! For **degree-1** protocols, the per-round system state visible to the bins is
+//! fully described by (a) the per-bin committed loads and (b) the number of
+//! remaining balls: the vector of per-bin request counts in a round is exactly a
+//! uniform multinomial sample over the remaining balls. The count engine
+//! therefore never materialises individual balls and runs in `O(rounds · n)`
+//! time and `O(n)` memory — it is the engine of choice for very large `m`
+//! (e.g. the `m/n = 2^20` points of experiment E1) and for the lower-bound
+//! sweeps that only need *how many* balls were rejected.
+//!
+//! Per-ball statistics (which ball sent how many messages) are inherently
+//! unavailable here; experiment E8 cross-validates the count engine's load
+//! distributions against the agent engine.
+
+use crate::engine::EngineResult;
+use crate::metrics::{MessageCensus, MessageTotals, RoundRecord};
+use crate::protocol::{Protocol, RoundCtx};
+use crate::rng::SplitMix64;
+use crate::sampling::sample_uniform_multinomial;
+
+/// Runs a degree-1 `protocol` on `m` balls and `n` bins using per-bin counts only.
+///
+/// # Panics
+/// Panics if the protocol requests a degree other than 1 in any round, or if
+/// `n == 0` while `m > 0`.
+pub fn run_count_engine<P: Protocol + ?Sized>(
+    protocol: &P,
+    m: u64,
+    n: usize,
+    seed: u64,
+) -> EngineResult {
+    assert!(n > 0 || m == 0, "cannot allocate {m} balls into zero bins");
+
+    let mut remaining = m;
+    let mut committed: Vec<u32> = vec![0; n];
+    let mut census = MessageCensus::new(n, None);
+    let mut totals = MessageTotals::default();
+    let mut per_round: Vec<RoundRecord> = Vec::new();
+    let mut rng = SplitMix64::for_stream(seed, 0xC0DE_C0DE, 0);
+    let mut requests: Vec<u64> = Vec::with_capacity(n);
+    let mut rounds_run = 0usize;
+
+    for round in 0..protocol.max_rounds() {
+        let ctx = RoundCtx {
+            round,
+            n_bins: n,
+            m_total: m,
+            remaining,
+        };
+        if remaining == 0 || protocol.give_up(&ctx) {
+            break;
+        }
+        let degree = protocol.degree(&ctx);
+        assert_eq!(
+            degree, 1,
+            "the count engine only supports degree-1 protocols (got degree {degree} in round {round})"
+        );
+        rounds_run += 1;
+
+        sample_uniform_multinomial(&mut rng, remaining, n, &mut requests);
+
+        let mut placed_this_round: u64 = 0;
+        for b in 0..n {
+            let quota = protocol.bin_quota(b as u32, committed[b], &ctx) as u64;
+            let granted = quota.min(requests[b]);
+            committed[b] += granted as u32;
+            placed_this_round += granted;
+            census.per_bin_received[b] += requests[b];
+        }
+
+        totals.requests += remaining;
+        totals.responses += remaining;
+        totals.accepts += placed_this_round;
+
+        per_round.push(RoundRecord {
+            round,
+            unallocated_before: remaining,
+            unallocated_after: remaining - placed_this_round,
+            requests: remaining,
+            accepts: placed_this_round,
+            committed: placed_this_round,
+            global_threshold: protocol.global_threshold(&ctx),
+        });
+
+        remaining -= placed_this_round;
+    }
+
+    EngineResult {
+        loads: committed,
+        rounds: rounds_run,
+        remaining,
+        remaining_balls: Vec::new(),
+        totals,
+        per_round,
+        census,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::EngineConfig;
+    use crate::engine::agent::run_agent_engine;
+    use crate::protocol::FixedThresholdProtocol;
+
+    fn ideal_threshold(m: u64, n: usize) -> u32 {
+        m.div_ceil(n as u64) as u32
+    }
+
+    #[test]
+    fn allocates_everything_with_slack() {
+        let m = 1_000_000u64;
+        let n = 256usize;
+        let p = FixedThresholdProtocol::new(ideal_threshold(m, n) + 20, 1);
+        let r = run_count_engine(&p, m, n, 7);
+        assert_eq!(r.remaining, 0);
+        assert_eq!(r.loads.iter().map(|&l| l as u64).sum::<u64>(), m);
+        assert!(r.rounds >= 1);
+    }
+
+    #[test]
+    fn conservation_under_insufficient_capacity() {
+        let m = 100_000u64;
+        let n = 50usize;
+        let capacity_per_bin = 1_000u32;
+        let mut p = FixedThresholdProtocol::new(capacity_per_bin, 1);
+        p.max_rounds = 300;
+        let r = run_count_engine(&p, m, n, 3);
+        let allocated: u64 = r.loads.iter().map(|&l| l as u64).sum();
+        assert_eq!(allocated + r.remaining, m);
+        assert_eq!(allocated, capacity_per_bin as u64 * n as u64);
+        assert!(r.loads.iter().all(|&l| l == capacity_per_bin));
+    }
+
+    #[test]
+    fn zero_balls_is_a_noop() {
+        let p = FixedThresholdProtocol::new(5, 1);
+        let r = run_count_engine(&p, 0, 8, 1);
+        assert_eq!(r.rounds, 0);
+        assert_eq!(r.loads, vec![0; 8]);
+        assert_eq!(r.totals.requests, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero bins")]
+    fn zero_bins_with_balls_panics() {
+        let p = FixedThresholdProtocol::new(5, 1);
+        let _ = run_count_engine(&p, 10, 0, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "degree-1")]
+    fn rejects_higher_degree_protocols() {
+        let p = FixedThresholdProtocol::new(5, 2);
+        let _ = run_count_engine(&p, 10, 4, 1);
+    }
+
+    #[test]
+    fn per_round_records_are_consistent() {
+        let m = 200_000u64;
+        let n = 128usize;
+        let p = FixedThresholdProtocol::new(ideal_threshold(m, n) + 10, 1);
+        let r = run_count_engine(&p, m, n, 11);
+        let mut prev = m;
+        for rec in &r.per_round {
+            assert_eq!(rec.unallocated_before, prev);
+            assert_eq!(rec.committed, rec.unallocated_before - rec.unallocated_after);
+            prev = rec.unallocated_after;
+        }
+        assert_eq!(prev, r.remaining);
+        assert_eq!(r.per_round.len(), r.rounds);
+    }
+
+    #[test]
+    fn per_bin_received_sums_to_total_requests() {
+        let m = 500_000u64;
+        let n = 64usize;
+        let p = FixedThresholdProtocol::new(ideal_threshold(m, n) + 15, 1);
+        let r = run_count_engine(&p, m, n, 13);
+        let received: u64 = r.census.per_bin_received.iter().sum();
+        assert_eq!(received, r.totals.requests);
+    }
+
+    #[test]
+    fn statistically_agrees_with_agent_engine() {
+        // Same protocol, same instance; the two engines use different randomness
+        // but must agree on aggregate behaviour: everything placed, similar round
+        // counts, similar load spread.
+        let m = 100_000u64;
+        let n = 100usize;
+        let slack = 10;
+        let p = FixedThresholdProtocol::new(ideal_threshold(m, n) + slack, 1);
+        let count = run_count_engine(&p, m, n, 17);
+        let agent = run_agent_engine(&p, m, n, 17, &EngineConfig::sequential());
+        assert_eq!(count.remaining, 0);
+        assert_eq!(agent.remaining, 0);
+        // The final straggler balls make the *total* round count noisy (geometric
+        // tail), so compare the number of rounds needed to place 99% of the balls,
+        // which concentrates tightly.
+        let rounds_to_99 = |records: &[crate::metrics::RoundRecord]| {
+            records
+                .iter()
+                .position(|r| r.unallocated_after <= m / 100)
+                .map(|p| p + 1)
+                .unwrap_or(records.len())
+        };
+        let c99 = rounds_to_99(&count.per_round) as i64;
+        let a99 = rounds_to_99(&agent.per_round) as i64;
+        assert!(
+            (c99 - a99).abs() <= 2,
+            "rounds-to-99% differ too much: {c99} vs {a99}"
+        );
+        let max_c = *count.loads.iter().max().unwrap() as i64;
+        let max_a = *agent.loads.iter().max().unwrap() as i64;
+        assert!((max_c - max_a).abs() <= slack as i64);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let m = 50_000u64;
+        let n = 32usize;
+        let p = FixedThresholdProtocol::new(ideal_threshold(m, n) + 8, 1);
+        let a = run_count_engine(&p, m, n, 21);
+        let b = run_count_engine(&p, m, n, 21);
+        assert_eq!(a.loads, b.loads);
+        assert_eq!(a.rounds, b.rounds);
+        let c = run_count_engine(&p, m, n, 22);
+        assert_ne!(a.loads, c.loads);
+    }
+}

@@ -1,0 +1,78 @@
+//! Strongly typed agent identifiers.
+//!
+//! Balls are indexed by `u64` (the heavily loaded regime allows `m ≫ n`, far
+//! beyond `u32`), bins by `u32` (`n` is "small" by assumption). The newtypes
+//! prevent the classic bug of swapping the two index spaces.
+
+/// Identifier of a ball, `0 ≤ id < m`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BallId(pub u64);
+
+/// Identifier of a bin, `0 ≤ id < n`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BinId(pub u32);
+
+impl BallId {
+    /// The raw index.
+    pub fn index(self) -> u64 {
+        self.0
+    }
+}
+
+impl BinId {
+    /// The raw index as a usize (for indexing load vectors).
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for BallId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ball#{}", self.0)
+    }
+}
+
+impl std::fmt::Display for BinId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "bin#{}", self.0)
+    }
+}
+
+impl From<u64> for BallId {
+    fn from(v: u64) -> Self {
+        BallId(v)
+    }
+}
+
+impl From<u32> for BinId {
+    fn from(v: u32) -> Self {
+        BinId(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(BallId(7).to_string(), "ball#7");
+        assert_eq!(BinId(3).to_string(), "bin#3");
+    }
+
+    #[test]
+    fn ordering_and_indexing() {
+        assert!(BallId(1) < BallId(2));
+        assert!(BinId(0) < BinId(9));
+        assert_eq!(BallId(5).index(), 5);
+        assert_eq!(BinId(5).index(), 5usize);
+    }
+
+    #[test]
+    fn conversions() {
+        let b: BallId = 9u64.into();
+        assert_eq!(b, BallId(9));
+        let c: BinId = 4u32.into();
+        assert_eq!(c, BinId(4));
+    }
+}

@@ -1,0 +1,52 @@
+//! # pba-model
+//!
+//! The synchronous message-passing **balls-into-bins model** that all algorithms in
+//! this workspace run on, reproducing the model of Section 3 of
+//! *Parallel Balanced Allocations: The Heavily Loaded Case* (Lenzen, Parter, Yogev,
+//! SPAA 2019):
+//!
+//! > The system consists of `m` balls and `n` bins, and operates in the synchronous
+//! > message passing model, where each round consists of the following steps.
+//! > 1. Balls perform local computations and send messages to arbitrary bins.
+//! > 2. Bins receive these messages, perform local computations and send messages to
+//! >    any balls they have been contacted by in this or earlier rounds.
+//! > 3. Balls receive these messages and may commit to a bin (and terminate).
+//!
+//! The crate provides:
+//!
+//! * [`rng`] — deterministic, splittable pseudo-random streams so that every ball's
+//!   random choices in every round are a pure function of `(seed, ball, round)`;
+//!   this makes sequential and parallel executions bit-identical.
+//! * [`ids`] — strongly typed ball / bin identifiers.
+//! * [`metrics`] — message accounting (who sent how many messages of which kind) and
+//!   per-round records; the message-complexity claims of Theorems 1, 3, 5 and 6 are
+//!   verified against these counters.
+//! * [`protocol`] — the [`Protocol`](protocol::Protocol) trait describing a
+//!   *uniform threshold style* protocol: per-round ball degree and per-bin
+//!   acceptance quota. This captures the algorithm family of Section 4 and is the
+//!   interface both engines execute.
+//! * [`sampling`] — binomial / multinomial samplers used by the count engine.
+//! * [`engine`] — two executors:
+//!   the **agent engine** (exact per-ball simulation, sequential or rayon-parallel)
+//!   and the **count engine** (per-bin multinomial counts only; scales to huge `m`).
+//! * [`outcome`] — the [`AllocationOutcome`](outcome::AllocationOutcome) result type
+//!   and the [`Allocator`](outcome::Allocator) trait shared by every algorithm and
+//!   baseline crate.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod ids;
+pub mod metrics;
+pub mod outcome;
+pub mod protocol;
+pub mod rng;
+pub mod sampling;
+
+pub use engine::{run_agent_engine, run_count_engine, EngineConfig, EngineResult};
+pub use ids::{BallId, BinId};
+pub use metrics::{MessageTotals, RoundRecord};
+pub use outcome::{AllocationOutcome, Allocator};
+pub use protocol::{Protocol, RoundCtx};
+pub use rng::SplitMix64;

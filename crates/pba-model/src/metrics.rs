@@ -1,0 +1,216 @@
+//! Message accounting and per-round records.
+//!
+//! The paper's complexity statements are threefold: *round* complexity, *load*
+//! guarantee and *message* complexity. Loads are plain vectors; this module
+//! provides the message counters and per-round trace records that the
+//! experiments (E2, E3, E5) read off.
+//!
+//! Message conventions (matching Section 3's model):
+//!
+//! * a ball sends one **request** per contacted bin,
+//! * a bin sends one **response** per received request (accept or decline),
+//! * a ball that received more than one accept sends a **notification** to every
+//!   accepting bin it does not join (only relevant for degree ≥ 2 protocols and
+//!   for `A_light`).
+
+/// Total message counts over a whole execution.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MessageTotals {
+    /// Ball → bin allocation requests.
+    pub requests: u64,
+    /// Bin → ball responses (accepts + declines).
+    pub responses: u64,
+    /// Bin → ball accepts (subset of responses).
+    pub accepts: u64,
+    /// Ball → bin commit/release notifications (degree ≥ 2 protocols).
+    pub notifications: u64,
+}
+
+impl MessageTotals {
+    /// Sum of all messages, in either direction.
+    pub fn total(&self) -> u64 {
+        self.requests + self.responses + self.notifications
+    }
+
+    /// Messages per ball of an `m`-ball instance (`0.0` if `m == 0`).
+    pub fn per_ball(&self, m: u64) -> f64 {
+        if m == 0 {
+            0.0
+        } else {
+            self.total() as f64 / m as f64
+        }
+    }
+
+    /// Merges counts from another execution segment (e.g. phase 2 of `A_heavy`).
+    pub fn merge(&mut self, other: &MessageTotals) {
+        self.requests += other.requests;
+        self.responses += other.responses;
+        self.accepts += other.accepts;
+        self.notifications += other.notifications;
+    }
+}
+
+/// A per-round trace record. Experiment E2 plots `unallocated_before` against the
+/// paper's predicted trajectory `m̃_i`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RoundRecord {
+    /// Round index (0-based).
+    pub round: usize,
+    /// Unallocated balls at the beginning of the round.
+    pub unallocated_before: u64,
+    /// Unallocated balls at the end of the round.
+    pub unallocated_after: u64,
+    /// Requests sent in this round.
+    pub requests: u64,
+    /// Accepts granted by bins in this round.
+    pub accepts: u64,
+    /// Balls newly committed in this round.
+    pub committed: u64,
+    /// The threshold / quota parameter in effect this round, if the protocol has a
+    /// single global one (informational; `None` for per-bin thresholds).
+    pub global_threshold: Option<u64>,
+}
+
+impl RoundRecord {
+    /// Fraction of the round's unallocated balls that were placed.
+    pub fn placement_rate(&self) -> f64 {
+        if self.unallocated_before == 0 {
+            1.0
+        } else {
+            self.committed as f64 / self.unallocated_before as f64
+        }
+    }
+}
+
+/// Per-agent message census: how many messages each bin received and (optionally)
+/// each ball sent. Bin-received counts verify the `(1+o(1))·m/n + O(log n)` claim of
+/// Theorems 3 and 6; ball-sent counts verify the `O(1)` expectation / `O(log n)`
+/// w.h.p. claim.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MessageCensus {
+    /// Messages received by each bin (requests + notifications).
+    pub per_bin_received: Vec<u64>,
+    /// Messages sent by each ball (requests + notifications). Empty when per-ball
+    /// tracking is disabled.
+    pub per_ball_sent: Vec<u32>,
+}
+
+impl MessageCensus {
+    /// Creates a census for `n` bins, optionally tracking `m` balls.
+    pub fn new(n_bins: usize, m_balls: Option<u64>) -> Self {
+        Self {
+            per_bin_received: vec![0; n_bins],
+            per_ball_sent: match m_balls {
+                Some(m) => vec![0; m as usize],
+                None => Vec::new(),
+            },
+        }
+    }
+
+    /// Whether per-ball tracking is enabled.
+    pub fn tracks_balls(&self) -> bool {
+        !self.per_ball_sent.is_empty()
+    }
+
+    /// Maximum messages received by any bin (`0` when there are no bins).
+    pub fn max_bin_received(&self) -> u64 {
+        self.per_bin_received.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Maximum messages sent by any ball (`0` when not tracked).
+    pub fn max_ball_sent(&self) -> u32 {
+        self.per_ball_sent.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Mean messages sent per ball (`0.0` when not tracked).
+    pub fn mean_ball_sent(&self) -> f64 {
+        if self.per_ball_sent.is_empty() {
+            0.0
+        } else {
+            self.per_ball_sent.iter().map(|&x| x as f64).sum::<f64>()
+                / self.per_ball_sent.len() as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_sum_and_merge() {
+        let mut a = MessageTotals {
+            requests: 10,
+            responses: 10,
+            accepts: 7,
+            notifications: 2,
+        };
+        assert_eq!(a.total(), 22);
+        let b = MessageTotals {
+            requests: 5,
+            responses: 5,
+            accepts: 5,
+            notifications: 0,
+        };
+        a.merge(&b);
+        assert_eq!(a.requests, 15);
+        assert_eq!(a.responses, 15);
+        assert_eq!(a.accepts, 12);
+        assert_eq!(a.notifications, 2);
+        assert_eq!(a.total(), 32);
+    }
+
+    #[test]
+    fn per_ball_average() {
+        let t = MessageTotals {
+            requests: 100,
+            responses: 100,
+            accepts: 90,
+            notifications: 0,
+        };
+        assert!((t.per_ball(100) - 2.0).abs() < 1e-12);
+        assert_eq!(t.per_ball(0), 0.0);
+    }
+
+    #[test]
+    fn round_record_placement_rate() {
+        let r = RoundRecord {
+            round: 0,
+            unallocated_before: 100,
+            unallocated_after: 25,
+            requests: 100,
+            accepts: 75,
+            committed: 75,
+            global_threshold: Some(10),
+        };
+        assert!((r.placement_rate() - 0.75).abs() < 1e-12);
+        let done = RoundRecord {
+            unallocated_before: 0,
+            ..r
+        };
+        assert_eq!(done.placement_rate(), 1.0);
+    }
+
+    #[test]
+    fn census_tracking_modes() {
+        let with_balls = MessageCensus::new(4, Some(10));
+        assert!(with_balls.tracks_balls());
+        assert_eq!(with_balls.per_bin_received.len(), 4);
+        assert_eq!(with_balls.per_ball_sent.len(), 10);
+
+        let without = MessageCensus::new(4, None);
+        assert!(!without.tracks_balls());
+        assert_eq!(without.max_ball_sent(), 0);
+        assert_eq!(without.mean_ball_sent(), 0.0);
+    }
+
+    #[test]
+    fn census_maxima_and_means() {
+        let mut c = MessageCensus::new(3, Some(4));
+        c.per_bin_received = vec![5, 9, 1];
+        c.per_ball_sent = vec![1, 2, 3, 2];
+        assert_eq!(c.max_bin_received(), 9);
+        assert_eq!(c.max_ball_sent(), 3);
+        assert!((c.mean_ball_sent() - 2.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,188 @@
+//! Allocation outcomes and the common `Allocator` interface.
+//!
+//! Every algorithm in the workspace — the paper's `A_heavy`, `A_light` and
+//! asymmetric algorithms, the trivial deterministic allocator, and every
+//! baseline — reduces to "given `(m, n, seed)`, produce final bin loads plus
+//! complexity counters". [`AllocationOutcome`] is that result and
+//! [`Allocator`] is the interface the workload runner and the experiment
+//! binaries drive.
+
+use pba_stats::LoadMetrics;
+
+use crate::metrics::{MessageCensus, MessageTotals, RoundRecord};
+
+/// The result of running an allocation algorithm on an `(m, n)` instance.
+#[derive(Debug, Clone, Default)]
+pub struct AllocationOutcome {
+    /// Final load of every bin.
+    pub loads: Vec<u32>,
+    /// Number of synchronous rounds executed (1 for one-shot/sequential algorithms).
+    pub rounds: usize,
+    /// Balls left unallocated when the algorithm stopped (0 on success).
+    pub unallocated: u64,
+    /// Message totals over the whole execution.
+    pub messages: MessageTotals,
+    /// Per-round trace records (may be empty when tracing is disabled).
+    pub per_round: Vec<RoundRecord>,
+    /// Per-bin / per-ball message census (per-ball part may be empty).
+    pub census: MessageCensus,
+}
+
+impl AllocationOutcome {
+    /// Summary metrics of the final load vector.
+    pub fn load_metrics(&self) -> LoadMetrics {
+        LoadMetrics::from_loads(&self.loads)
+    }
+
+    /// Maximum bin load.
+    pub fn max_load(&self) -> u64 {
+        self.loads.iter().copied().max().unwrap_or(0) as u64
+    }
+
+    /// Excess of the maximum load over the ideal `⌈m/n⌉` for the full instance
+    /// of `m` balls (the quantity all of the paper's load guarantees bound).
+    pub fn excess(&self, m: u64) -> i64 {
+        if self.loads.is_empty() {
+            return 0;
+        }
+        let ideal = m.div_ceil(self.loads.len() as u64);
+        self.max_load() as i64 - ideal as i64
+    }
+
+    /// Total number of balls placed into bins.
+    pub fn allocated(&self) -> u64 {
+        self.loads.iter().map(|&l| l as u64).sum()
+    }
+
+    /// True when every ball of an `m`-ball instance was placed.
+    pub fn is_complete(&self, m: u64) -> bool {
+        self.unallocated == 0 && self.allocated() == m
+    }
+
+    /// Asserts the conservation invariant `allocated + unallocated == m`.
+    /// Returns `true` when it holds (used by tests and debug assertions).
+    pub fn conserves_balls(&self, m: u64) -> bool {
+        self.allocated() + self.unallocated == m
+    }
+}
+
+/// A balls-into-bins allocation algorithm.
+pub trait Allocator {
+    /// Human-readable algorithm name used in tables and reports.
+    fn name(&self) -> String;
+
+    /// Runs the algorithm on `m` balls and `n` bins with the given seed.
+    fn allocate(&self, m: u64, n: usize, seed: u64) -> AllocationOutcome;
+}
+
+impl<T: Allocator + ?Sized> Allocator for &T {
+    fn name(&self) -> String {
+        (**self).name()
+    }
+
+    fn allocate(&self, m: u64, n: usize, seed: u64) -> AllocationOutcome {
+        (**self).allocate(m, n, seed)
+    }
+}
+
+impl<T: Allocator + ?Sized> Allocator for Box<T> {
+    fn name(&self) -> String {
+        (**self).name()
+    }
+
+    fn allocate(&self, m: u64, n: usize, seed: u64) -> AllocationOutcome {
+        (**self).allocate(m, n, seed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn outcome_with_loads(loads: Vec<u32>, unallocated: u64) -> AllocationOutcome {
+        AllocationOutcome {
+            loads,
+            unallocated,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn max_load_and_excess() {
+        let o = outcome_with_loads(vec![3, 5, 4, 4], 0);
+        assert_eq!(o.max_load(), 5);
+        assert_eq!(o.allocated(), 16);
+        assert_eq!(o.excess(16), 5 - 4);
+        assert!(o.is_complete(16));
+        assert!(o.conserves_balls(16));
+    }
+
+    #[test]
+    fn incomplete_outcome() {
+        let o = outcome_with_loads(vec![2, 2], 6);
+        assert!(!o.is_complete(10));
+        assert!(o.conserves_balls(10));
+        assert!(!o.conserves_balls(11));
+        assert_eq!(o.excess(10), 2 - 5);
+    }
+
+    #[test]
+    fn empty_outcome() {
+        let o = AllocationOutcome::default();
+        assert_eq!(o.max_load(), 0);
+        assert_eq!(o.excess(5), 0);
+        assert_eq!(o.allocated(), 0);
+        assert!(o.is_complete(0));
+        assert!(!o.is_complete(1));
+    }
+
+    #[test]
+    fn load_metrics_passthrough() {
+        let o = outcome_with_loads(vec![1, 2, 3], 0);
+        let lm = o.load_metrics();
+        assert_eq!(lm.max_load, 3);
+        assert_eq!(lm.total_balls, 6);
+        assert_eq!(lm.bins, 3);
+    }
+
+    struct Dummy;
+    impl Allocator for Dummy {
+        fn name(&self) -> String {
+            "dummy".into()
+        }
+        fn allocate(&self, m: u64, n: usize, _seed: u64) -> AllocationOutcome {
+            // Perfectly even allocation.
+            let base = (m / n as u64) as u32;
+            let extra = (m % n as u64) as usize;
+            let mut loads = vec![base; n];
+            for load in loads.iter_mut().take(extra) {
+                *load += 1;
+            }
+            AllocationOutcome {
+                loads,
+                rounds: 1,
+                ..Default::default()
+            }
+        }
+    }
+
+    #[test]
+    fn allocator_trait_object_and_reference_impls() {
+        let d = Dummy;
+        let via_ref: &dyn Allocator = &d;
+        assert_eq!(via_ref.name(), "dummy");
+        let out = via_ref.allocate(10, 4, 0);
+        assert_eq!(out.allocated(), 10);
+        assert!(out.is_complete(10));
+        assert_eq!(out.excess(10), 0);
+
+        let boxed: Box<dyn Allocator> = Box::new(Dummy);
+        let out2 = boxed.allocate(7, 3, 1);
+        assert_eq!(out2.allocated(), 7);
+        assert_eq!(boxed.name(), "dummy");
+
+        // &T blanket impl.
+        let borrowed = &d;
+        assert_eq!(Allocator::name(&borrowed), "dummy");
+    }
+}

@@ -1,0 +1,293 @@
+//! The uniform-threshold protocol interface.
+//!
+//! Section 4 of the paper defines the *family of uniform threshold algorithms*:
+//! in every round, every unallocated ball contacts `O(1)` bins chosen uniformly
+//! and independently at random, and every bin `b` accepts up to a threshold
+//! `T_b − ℓ_b` of the requests it receives (where `ℓ_b` is its current load),
+//! declining the rest. The paper's own upper-bound algorithm (`A_heavy`, Section 3),
+//! the naive fixed-threshold strawman (Section 1.1), the [LW16] `A_light`
+//! subroutine and the lower-bound experiments are all members of this family, so
+//! a single trait captures all of them and a single engine executes them.
+//!
+//! The trait intentionally exposes only what the family allows a protocol to see:
+//! the round number, instance sizes and the number of remaining balls (bins may
+//! base thresholds on the system state at the beginning of a round, but never on
+//! the balls' *future* random choices).
+
+/// Per-round context handed to a [`Protocol`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RoundCtx {
+    /// Zero-based round index.
+    pub round: usize,
+    /// Number of bins `n`.
+    pub n_bins: usize,
+    /// Total number of balls `m` in the instance.
+    pub m_total: u64,
+    /// Number of unallocated balls at the beginning of this round.
+    pub remaining: u64,
+}
+
+impl RoundCtx {
+    /// The average load `m / n` of the full instance.
+    pub fn mean_load(&self) -> f64 {
+        if self.n_bins == 0 {
+            0.0
+        } else {
+            self.m_total as f64 / self.n_bins as f64
+        }
+    }
+
+    /// The expected number of requests per bin this round (`remaining / n`),
+    /// assuming degree-1 uniform choices.
+    pub fn expected_requests_per_bin(&self) -> f64 {
+        if self.n_bins == 0 {
+            0.0
+        } else {
+            self.remaining as f64 / self.n_bins as f64
+        }
+    }
+}
+
+/// A protocol in the uniform threshold family of Section 4.
+///
+/// The engine drives the protocol as follows, once per round, until either no
+/// balls remain, [`Protocol::give_up`] returns `true`, or
+/// [`Protocol::max_rounds`] is reached:
+///
+/// 1. every unallocated ball contacts [`Protocol::degree`] bins chosen uniformly
+///    and independently at random (with replacement across balls; a single ball's
+///    choices are distinct when `distinct_choices` is `true`),
+/// 2. every bin computes its acceptance quota [`Protocol::bin_quota`] from its
+///    committed load and grants accepts to at most that many of its requesters
+///    (an arbitrary subset — the engine uses arrival order),
+/// 3. every ball that received at least one accept commits to one accepting bin
+///    and notifies the other accepting bins, which do **not** count the ball
+///    toward their load.
+pub trait Protocol: Sync {
+    /// Human-readable protocol name for reports.
+    fn name(&self) -> &str;
+
+    /// Number of bins an unallocated ball contacts this round. Must be ≥ 1 for
+    /// progress; the engine skips balls in rounds where this returns 0.
+    fn degree(&self, ctx: &RoundCtx) -> usize {
+        let _ = ctx;
+        1
+    }
+
+    /// Whether a single ball's choices within one round must be distinct bins.
+    fn distinct_choices(&self) -> bool {
+        false
+    }
+
+    /// How many *new* acceptances bin `bin` may grant this round, given the load
+    /// it has already committed to. This is exactly `max{T_b − ℓ_b, 0}` in the
+    /// paper's notation.
+    fn bin_quota(&self, bin: u32, committed: u32, ctx: &RoundCtx) -> u32;
+
+    /// An optional global threshold value for trace records (purely informational).
+    fn global_threshold(&self, ctx: &RoundCtx) -> Option<u64> {
+        let _ = ctx;
+        None
+    }
+
+    /// Allows a protocol to terminate early even though balls remain (e.g. the
+    /// asymmetric algorithm's explicit termination rule, or phase-1-only runs).
+    fn give_up(&self, ctx: &RoundCtx) -> bool {
+        let _ = ctx;
+        false
+    }
+
+    /// Safety cap on the number of rounds the engine will execute.
+    fn max_rounds(&self) -> usize {
+        4096
+    }
+}
+
+/// A protocol with one fixed threshold `T` per bin for the whole execution —
+/// the "most naive algorithm" discussed in Section 1.1, and the building block of
+/// the lower-bound experiments. Bins accept while their committed load is below
+/// `threshold`.
+#[derive(Debug, Clone)]
+pub struct FixedThresholdProtocol {
+    /// The per-bin total capacity `T`.
+    pub threshold: u32,
+    /// Degree: how many bins a ball contacts per round.
+    pub degree: usize,
+    /// Safety cap on rounds.
+    pub max_rounds: usize,
+    name: String,
+}
+
+impl FixedThresholdProtocol {
+    /// Creates a fixed-threshold protocol with the given per-bin capacity and degree.
+    pub fn new(threshold: u32, degree: usize) -> Self {
+        Self {
+            threshold,
+            degree: degree.max(1),
+            max_rounds: 4096,
+            name: format!("fixed-threshold(T={threshold},d={degree})"),
+        }
+    }
+}
+
+impl Protocol for FixedThresholdProtocol {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn degree(&self, _ctx: &RoundCtx) -> usize {
+        self.degree
+    }
+
+    fn distinct_choices(&self) -> bool {
+        self.degree > 1
+    }
+
+    fn bin_quota(&self, _bin: u32, committed: u32, _ctx: &RoundCtx) -> u32 {
+        self.threshold.saturating_sub(committed)
+    }
+
+    fn global_threshold(&self, _ctx: &RoundCtx) -> Option<u64> {
+        Some(self.threshold as u64)
+    }
+
+    fn max_rounds(&self) -> usize {
+        self.max_rounds
+    }
+}
+
+/// A protocol whose per-bin thresholds are an arbitrary fixed vector — the general
+/// member of the Section 4 family (bins may have *different* thresholds). Used by
+/// the lower-bound experiments.
+#[derive(Debug, Clone)]
+pub struct PerBinThresholdProtocol {
+    thresholds: Vec<u32>,
+    degree: usize,
+    max_rounds: usize,
+    name: String,
+}
+
+impl PerBinThresholdProtocol {
+    /// Creates the protocol from per-bin capacities.
+    pub fn new(thresholds: Vec<u32>, degree: usize) -> Self {
+        Self {
+            degree: degree.max(1),
+            max_rounds: 4096,
+            name: format!("per-bin-threshold(d={degree})"),
+            thresholds,
+        }
+    }
+
+    /// The per-bin capacities.
+    pub fn thresholds(&self) -> &[u32] {
+        &self.thresholds
+    }
+
+    /// Sets the safety round cap (builder style).
+    pub fn with_max_rounds(mut self, max_rounds: usize) -> Self {
+        self.max_rounds = max_rounds;
+        self
+    }
+}
+
+impl Protocol for PerBinThresholdProtocol {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn degree(&self, _ctx: &RoundCtx) -> usize {
+        self.degree
+    }
+
+    fn distinct_choices(&self) -> bool {
+        self.degree > 1
+    }
+
+    fn bin_quota(&self, bin: u32, committed: u32, _ctx: &RoundCtx) -> u32 {
+        self.thresholds
+            .get(bin as usize)
+            .copied()
+            .unwrap_or(0)
+            .saturating_sub(committed)
+    }
+
+    fn max_rounds(&self) -> usize {
+        self.max_rounds
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_ctx_derived_quantities() {
+        let ctx = RoundCtx {
+            round: 2,
+            n_bins: 10,
+            m_total: 1000,
+            remaining: 250,
+        };
+        assert!((ctx.mean_load() - 100.0).abs() < 1e-12);
+        assert!((ctx.expected_requests_per_bin() - 25.0).abs() < 1e-12);
+
+        let degenerate = RoundCtx {
+            round: 0,
+            n_bins: 0,
+            m_total: 10,
+            remaining: 10,
+        };
+        assert_eq!(degenerate.mean_load(), 0.0);
+        assert_eq!(degenerate.expected_requests_per_bin(), 0.0);
+    }
+
+    #[test]
+    fn fixed_threshold_quota_saturates() {
+        let p = FixedThresholdProtocol::new(5, 1);
+        let ctx = RoundCtx {
+            round: 0,
+            n_bins: 4,
+            m_total: 20,
+            remaining: 20,
+        };
+        assert_eq!(p.bin_quota(0, 0, &ctx), 5);
+        assert_eq!(p.bin_quota(0, 3, &ctx), 2);
+        assert_eq!(p.bin_quota(0, 5, &ctx), 0);
+        assert_eq!(p.bin_quota(0, 9, &ctx), 0);
+        assert_eq!(p.global_threshold(&ctx), Some(5));
+        assert_eq!(p.degree(&ctx), 1);
+        assert!(!p.distinct_choices());
+        assert!(p.name().contains("fixed-threshold"));
+    }
+
+    #[test]
+    fn fixed_threshold_degree_clamped_to_one() {
+        let p = FixedThresholdProtocol::new(5, 0);
+        let ctx = RoundCtx {
+            round: 0,
+            n_bins: 4,
+            m_total: 20,
+            remaining: 20,
+        };
+        assert_eq!(p.degree(&ctx), 1);
+    }
+
+    #[test]
+    fn per_bin_threshold_quota() {
+        let p = PerBinThresholdProtocol::new(vec![1, 2, 3], 2).with_max_rounds(7);
+        let ctx = RoundCtx {
+            round: 0,
+            n_bins: 3,
+            m_total: 6,
+            remaining: 6,
+        };
+        assert_eq!(p.bin_quota(0, 0, &ctx), 1);
+        assert_eq!(p.bin_quota(1, 1, &ctx), 1);
+        assert_eq!(p.bin_quota(2, 3, &ctx), 0);
+        // Out-of-range bins have no capacity.
+        assert_eq!(p.bin_quota(9, 0, &ctx), 0);
+        assert_eq!(p.max_rounds(), 7);
+        assert!(p.distinct_choices());
+        assert_eq!(p.thresholds(), &[1, 2, 3]);
+    }
+}

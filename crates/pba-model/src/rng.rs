@@ -1,0 +1,343 @@
+//! Deterministic, splittable pseudo-random number generation.
+//!
+//! Reproducibility requirement: an algorithm run is fully determined by
+//! `(algorithm, m, n, seed)`. Inside a round, every ball's random bin choices are
+//! a pure function of `(seed, ball_id, round, draw_index)`, so the agent engine can
+//! sample them in any order (sequentially or from rayon worker threads) and still
+//! produce bit-identical executions.
+//!
+//! We use the SplitMix64 generator (Steele, Lea, Flood 2014) — a tiny, fast,
+//! full-period 64-bit generator that is more than adequate for simulation work —
+//! together with a mixing function to derive independent streams.
+
+/// SplitMix64 pseudo-random number generator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+/// Finalizer from SplitMix64 / MurmurHash3; used both for advancing the stream and
+/// for deriving per-agent stream seeds.
+#[inline]
+pub fn mix64(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+impl SplitMix64 {
+    /// Creates a generator from a seed. Different seeds yield statistically
+    /// independent streams for simulation purposes.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            // Pre-mix so that small consecutive seeds do not yield correlated
+            // first outputs.
+            state: mix64(seed ^ 0x9e37_79b9_7f4a_7c15),
+        }
+    }
+
+    /// Derives a generator for a `(seed, stream, substream)` triple. Used to give
+    /// each ball in each round its own independent stream.
+    pub fn for_stream(seed: u64, stream: u64, substream: u64) -> Self {
+        let a = mix64(seed ^ 0xa076_1d64_78bd_642f);
+        let b = mix64(stream.wrapping_add(0xe703_7ed1_a0b4_28db).wrapping_mul(0x8ebc_6af0_9c88_c6e3));
+        let c = mix64(substream.wrapping_add(0x5896_36e0_8cda_3e7b));
+        Self {
+            state: mix64(a ^ b.rotate_left(23) ^ c.rotate_left(47)),
+        }
+    }
+
+    /// Next 64 uniformly random bits.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        mix64(self.state)
+    }
+
+    /// Next 32 uniformly random bits.
+    #[inline]
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Uniform integer in `[0, bound)`. Returns `0` when `bound == 0`.
+    ///
+    /// Uses rejection sampling on the top bits so the result is exactly uniform.
+    #[inline]
+    pub fn gen_range(&mut self, bound: u64) -> u64 {
+        if bound == 0 {
+            return 0;
+        }
+        if bound.is_power_of_two() {
+            return self.next_u64() & (bound - 1);
+        }
+        // Rejection sampling: draw from the largest multiple of `bound` below 2^64.
+        let zone = u64::MAX - (u64::MAX % bound);
+        loop {
+            let v = self.next_u64();
+            if v < zone {
+                return v % bound;
+            }
+        }
+    }
+
+    /// Uniform `usize` in `[0, bound)`.
+    #[inline]
+    pub fn gen_index(&mut self, bound: usize) -> usize {
+        self.gen_range(bound as u64) as usize
+    }
+
+    /// Uniform float in `[0, 1)`.
+    #[inline]
+    pub fn gen_f64(&mut self) -> f64 {
+        // 53 random mantissa bits.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Bernoulli trial with success probability `p` (clamped to `[0, 1]`).
+    #[inline]
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        if p <= 0.0 {
+            return false;
+        }
+        if p >= 1.0 {
+            return true;
+        }
+        self.gen_f64() < p
+    }
+
+    /// A standard normal variate via the Box–Muller transform.
+    pub fn gen_normal(&mut self) -> f64 {
+        // Avoid u1 == 0 so the logarithm is finite.
+        let u1 = (self.next_u64() >> 11) as f64 + 1.0;
+        let u1 = u1 * (1.0 / (1u64 << 53) as f64);
+        let u2 = self.gen_f64();
+        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+    }
+
+    /// Fisher–Yates shuffle of a slice.
+    pub fn shuffle<T>(&mut self, xs: &mut [T]) {
+        let n = xs.len();
+        if n < 2 {
+            return;
+        }
+        for i in (1..n).rev() {
+            let j = self.gen_index(i + 1);
+            xs.swap(i, j);
+        }
+    }
+
+    /// Samples `k` distinct indices from `[0, bound)` (or all of them if `k >= bound`),
+    /// appending to `out`. Uses rejection for small `k` relative to `bound`, which is
+    /// the regime every protocol in this workspace uses (`k ∈ O(1)` or `O(log n)`).
+    pub fn sample_distinct(&mut self, bound: usize, k: usize, out: &mut Vec<u32>) {
+        if bound == 0 {
+            return;
+        }
+        if k >= bound {
+            out.extend(0..bound as u32);
+            return;
+        }
+        let start = out.len();
+        while out.len() - start < k {
+            let candidate = self.gen_index(bound) as u32;
+            if !out[start..].contains(&candidate) {
+                out.push(candidate);
+            }
+        }
+    }
+}
+
+/// The per-ball, per-round stream used by the engines: ball `ball` in round `round`
+/// under master seed `seed`.
+#[inline]
+pub fn ball_round_rng(seed: u64, ball: u64, round: u64) -> SplitMix64 {
+    SplitMix64::for_stream(seed, ball, round)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let mut a = SplitMix64::new(42);
+        let mut b = SplitMix64::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = SplitMix64::new(1);
+        let mut b = SplitMix64::new(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 4, "streams from different seeds should diverge");
+    }
+
+    #[test]
+    fn stream_derivation_is_deterministic_and_distinct() {
+        let a1 = SplitMix64::for_stream(7, 100, 3);
+        let a2 = SplitMix64::for_stream(7, 100, 3);
+        assert_eq!(a1, a2);
+        let b = SplitMix64::for_stream(7, 101, 3);
+        let c = SplitMix64::for_stream(7, 100, 4);
+        assert_ne!(a1, b);
+        assert_ne!(a1, c);
+        assert_ne!(b, c);
+    }
+
+    #[test]
+    fn gen_range_bounds() {
+        let mut rng = SplitMix64::new(3);
+        assert_eq!(rng.gen_range(0), 0);
+        assert_eq!(rng.gen_range(1), 0);
+        for bound in [2u64, 3, 7, 10, 1024, 1000003] {
+            for _ in 0..200 {
+                let v = rng.gen_range(bound);
+                assert!(v < bound, "v = {v} >= bound = {bound}");
+            }
+        }
+    }
+
+    #[test]
+    fn gen_range_is_roughly_uniform() {
+        let mut rng = SplitMix64::new(11);
+        let bound = 10u64;
+        let n = 100_000;
+        let mut counts = [0u32; 10];
+        for _ in 0..n {
+            counts[rng.gen_range(bound) as usize] += 1;
+        }
+        let expected = n as f64 / bound as f64;
+        for (i, &c) in counts.iter().enumerate() {
+            let dev = (c as f64 - expected).abs() / expected;
+            assert!(dev < 0.05, "bucket {i} deviates by {dev}");
+        }
+    }
+
+    #[test]
+    fn gen_f64_in_unit_interval_with_reasonable_mean() {
+        let mut rng = SplitMix64::new(5);
+        let mut sum = 0.0;
+        let n = 50_000;
+        for _ in 0..n {
+            let x = rng.gen_f64();
+            assert!((0.0..1.0).contains(&x));
+            sum += x;
+        }
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean = {mean}");
+    }
+
+    #[test]
+    fn gen_bool_extremes_and_rate() {
+        let mut rng = SplitMix64::new(9);
+        assert!(!rng.gen_bool(0.0));
+        assert!(rng.gen_bool(1.0));
+        assert!(!rng.gen_bool(-0.3));
+        assert!(rng.gen_bool(1.5));
+        let hits = (0..20_000).filter(|_| rng.gen_bool(0.25)).count();
+        let rate = hits as f64 / 20_000.0;
+        assert!((rate - 0.25).abs() < 0.02, "rate = {rate}");
+    }
+
+    #[test]
+    fn gen_normal_moments() {
+        let mut rng = SplitMix64::new(17);
+        let n = 100_000;
+        let mut sum = 0.0;
+        let mut sumsq = 0.0;
+        for _ in 0..n {
+            let x = rng.gen_normal();
+            assert!(x.is_finite());
+            sum += x;
+            sumsq += x * x;
+        }
+        let mean = sum / n as f64;
+        let var = sumsq / n as f64 - mean * mean;
+        assert!(mean.abs() < 0.02, "mean = {mean}");
+        assert!((var - 1.0).abs() < 0.03, "var = {var}");
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = SplitMix64::new(23);
+        let mut xs: Vec<u32> = (0..1000).collect();
+        rng.shuffle(&mut xs);
+        let mut sorted = xs.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..1000).collect::<Vec<u32>>());
+        // And it should actually move things around.
+        let fixed = xs.iter().enumerate().filter(|(i, &v)| *i as u32 == v).count();
+        assert!(fixed < 50);
+    }
+
+    #[test]
+    fn shuffle_short_slices() {
+        let mut rng = SplitMix64::new(1);
+        let mut empty: Vec<u32> = vec![];
+        rng.shuffle(&mut empty);
+        let mut one = vec![42u32];
+        rng.shuffle(&mut one);
+        assert_eq!(one, vec![42]);
+    }
+
+    #[test]
+    fn sample_distinct_properties() {
+        let mut rng = SplitMix64::new(31);
+        let mut out = Vec::new();
+        rng.sample_distinct(100, 10, &mut out);
+        assert_eq!(out.len(), 10);
+        let mut dedup = out.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), 10, "samples must be distinct");
+        assert!(out.iter().all(|&x| x < 100));
+
+        // k >= bound returns all indices.
+        let mut all = Vec::new();
+        rng.sample_distinct(5, 10, &mut all);
+        assert_eq!(all, vec![0, 1, 2, 3, 4]);
+
+        // bound == 0 appends nothing.
+        let mut none = Vec::new();
+        rng.sample_distinct(0, 3, &mut none);
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    fn sample_distinct_appends_after_existing_content() {
+        let mut rng = SplitMix64::new(37);
+        let mut out = vec![999u32];
+        rng.sample_distinct(50, 5, &mut out);
+        assert_eq!(out.len(), 6);
+        assert_eq!(out[0], 999);
+    }
+
+    #[test]
+    fn ball_round_rng_streams_are_independent_enough() {
+        // Two different balls in the same round must get different first choices
+        // most of the time (for a large range).
+        let mut collisions = 0;
+        for ball in 0..1000u64 {
+            let mut a = ball_round_rng(99, ball, 0);
+            let mut b = ball_round_rng(99, ball + 1, 0);
+            if a.gen_range(1 << 20) == b.gen_range(1 << 20) {
+                collisions += 1;
+            }
+        }
+        assert!(collisions < 5);
+    }
+
+    #[test]
+    fn mix64_is_not_identity_and_is_deterministic() {
+        // mix64 fixes 0 (a well-known property of the SplitMix64 finalizer); any
+        // non-zero input must move.
+        assert_ne!(mix64(1), 1);
+        assert_ne!(mix64(0xdead_beef), 0xdead_beef);
+        assert_eq!(mix64(12345), mix64(12345));
+        assert_ne!(mix64(1), mix64(2));
+    }
+}

@@ -1,0 +1,235 @@
+//! Binomial and multinomial sampling for the count engine.
+//!
+//! The count engine never materialises individual balls: in a round with `M`
+//! remaining balls and `n` bins, the vector of per-bin request counts is a
+//! `Multinomial(M, (1/n, …, 1/n))` sample, which we draw via the standard
+//! conditional-binomial decomposition. The binomial sampler switches between
+//! three regimes:
+//!
+//! * **exact Bernoulli summation** for very small trial counts,
+//! * **exact inversion** (CDF walk) when the mean is small,
+//! * a **normal approximation** with continuity correction for large means.
+//!
+//! The agent engine remains the ground truth; experiment E8 cross-validates the
+//! count engine's load distributions against it.
+
+use crate::rng::SplitMix64;
+
+/// Draws a sample from `Binomial(trials, p)`.
+pub fn sample_binomial(rng: &mut SplitMix64, trials: u64, p: f64) -> u64 {
+    if trials == 0 || p <= 0.0 {
+        return 0;
+    }
+    if p >= 1.0 {
+        return trials;
+    }
+    // Work with p <= 1/2 to keep the inversion loop short; mirror at the end.
+    if p > 0.5 {
+        return trials - sample_binomial(rng, trials, 1.0 - p);
+    }
+    let mean = trials as f64 * p;
+    if trials <= 64 {
+        let mut count = 0u64;
+        for _ in 0..trials {
+            if rng.gen_bool(p) {
+                count += 1;
+            }
+        }
+        return count;
+    }
+    if mean <= 32.0 {
+        return binomial_inversion(rng, trials, p);
+    }
+    binomial_normal_approx(rng, trials, p)
+}
+
+/// Exact inversion sampling: walk the CDF from `k = 0` upward using the pmf
+/// recurrence. Only used when the mean is small so the walk is short.
+fn binomial_inversion(rng: &mut SplitMix64, trials: u64, p: f64) -> u64 {
+    let q = 1.0 - p;
+    let s = p / q;
+    let n = trials as f64;
+    // pmf(0) = q^n computed in log space for numerical robustness.
+    let mut pmf = (n * q.ln()).exp();
+    if pmf <= 0.0 || !pmf.is_finite() {
+        // Mean is actually large relative to floating point range; fall back.
+        return binomial_normal_approx(rng, trials, p);
+    }
+    let mut cdf = pmf;
+    let u = rng.gen_f64();
+    let mut k = 0u64;
+    while u > cdf && k < trials {
+        k += 1;
+        pmf *= s * (n - (k as f64 - 1.0)) / k as f64;
+        cdf += pmf;
+        if pmf < 1e-320 {
+            break;
+        }
+    }
+    k
+}
+
+/// Normal approximation with continuity correction, clamped to `[0, trials]`.
+fn binomial_normal_approx(rng: &mut SplitMix64, trials: u64, p: f64) -> u64 {
+    let mean = trials as f64 * p;
+    let sd = (mean * (1.0 - p)).sqrt();
+    let z = rng.gen_normal();
+    let v = (mean + sd * z + 0.5).floor();
+    if v <= 0.0 {
+        0
+    } else if v >= trials as f64 {
+        trials
+    } else {
+        v as u64
+    }
+}
+
+/// Draws a `Multinomial(total, uniform over n)` sample into `out` (which is
+/// cleared and resized to `n`). Uses the conditional-binomial decomposition, so
+/// the counts always sum exactly to `total`.
+pub fn sample_uniform_multinomial(rng: &mut SplitMix64, total: u64, n: usize, out: &mut Vec<u64>) {
+    out.clear();
+    out.resize(n, 0);
+    if n == 0 || total == 0 {
+        return;
+    }
+    let mut remaining = total;
+    for i in 0..n - 1 {
+        if remaining == 0 {
+            break;
+        }
+        let p = 1.0 / (n - i) as f64;
+        let x = sample_binomial(rng, remaining, p);
+        out[i] = x;
+        remaining -= x;
+    }
+    out[n - 1] = remaining;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mean_and_var(samples: &[u64]) -> (f64, f64) {
+        let n = samples.len() as f64;
+        let mean = samples.iter().map(|&x| x as f64).sum::<f64>() / n;
+        let var = samples
+            .iter()
+            .map(|&x| {
+                let d = x as f64 - mean;
+                d * d
+            })
+            .sum::<f64>()
+            / n;
+        (mean, var)
+    }
+
+    #[test]
+    fn binomial_edge_cases() {
+        let mut rng = SplitMix64::new(1);
+        assert_eq!(sample_binomial(&mut rng, 0, 0.5), 0);
+        assert_eq!(sample_binomial(&mut rng, 100, 0.0), 0);
+        assert_eq!(sample_binomial(&mut rng, 100, -0.1), 0);
+        assert_eq!(sample_binomial(&mut rng, 100, 1.0), 100);
+        assert_eq!(sample_binomial(&mut rng, 100, 1.5), 100);
+    }
+
+    #[test]
+    fn binomial_never_exceeds_trials() {
+        let mut rng = SplitMix64::new(2);
+        for &(trials, p) in &[(10u64, 0.9), (100, 0.5), (1000, 0.01), (100_000, 0.3)] {
+            for _ in 0..200 {
+                let x = sample_binomial(&mut rng, trials, p);
+                assert!(x <= trials);
+            }
+        }
+    }
+
+    #[test]
+    fn binomial_small_trials_moments() {
+        let mut rng = SplitMix64::new(3);
+        let samples: Vec<u64> = (0..40_000).map(|_| sample_binomial(&mut rng, 50, 0.3)).collect();
+        let (mean, var) = mean_and_var(&samples);
+        assert!((mean - 15.0).abs() < 0.2, "mean = {mean}");
+        assert!((var - 10.5).abs() < 0.5, "var = {var}");
+    }
+
+    #[test]
+    fn binomial_inversion_regime_moments() {
+        // trials large, mean small -> inversion branch.
+        let mut rng = SplitMix64::new(4);
+        let trials = 1_000_000u64;
+        let p = 5.0 / trials as f64;
+        let samples: Vec<u64> = (0..20_000).map(|_| sample_binomial(&mut rng, trials, p)).collect();
+        let (mean, var) = mean_and_var(&samples);
+        assert!((mean - 5.0).abs() < 0.15, "mean = {mean}");
+        assert!((var - 5.0).abs() < 0.35, "var = {var}");
+    }
+
+    #[test]
+    fn binomial_normal_regime_moments() {
+        let mut rng = SplitMix64::new(5);
+        let trials = 100_000u64;
+        let p = 0.25;
+        let samples: Vec<u64> = (0..20_000).map(|_| sample_binomial(&mut rng, trials, p)).collect();
+        let (mean, var) = mean_and_var(&samples);
+        let expect_mean = trials as f64 * p;
+        let expect_var = expect_mean * (1.0 - p);
+        assert!((mean - expect_mean).abs() / expect_mean < 0.005, "mean = {mean}");
+        assert!((var - expect_var).abs() / expect_var < 0.08, "var = {var}");
+    }
+
+    #[test]
+    fn binomial_mirror_branch_moments() {
+        let mut rng = SplitMix64::new(6);
+        let samples: Vec<u64> = (0..40_000).map(|_| sample_binomial(&mut rng, 40, 0.85)).collect();
+        let (mean, var) = mean_and_var(&samples);
+        assert!((mean - 34.0).abs() < 0.2, "mean = {mean}");
+        assert!((var - 5.1).abs() < 0.5, "var = {var}");
+    }
+
+    #[test]
+    fn multinomial_sums_to_total() {
+        let mut rng = SplitMix64::new(7);
+        let mut out = Vec::new();
+        for &(total, n) in &[(0u64, 5usize), (1, 1), (1000, 7), (1 << 20, 64), (123, 1)] {
+            sample_uniform_multinomial(&mut rng, total, n, &mut out);
+            assert_eq!(out.len(), n);
+            assert_eq!(out.iter().sum::<u64>(), total, "total={total} n={n}");
+        }
+    }
+
+    #[test]
+    fn multinomial_empty_bins() {
+        let mut rng = SplitMix64::new(8);
+        let mut out = vec![99u64; 3];
+        sample_uniform_multinomial(&mut rng, 10, 0, &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn multinomial_is_roughly_uniform() {
+        let mut rng = SplitMix64::new(9);
+        let n = 32usize;
+        let total = 1u64 << 20;
+        let mut out = Vec::new();
+        sample_uniform_multinomial(&mut rng, total, n, &mut out);
+        let expected = total as f64 / n as f64;
+        for (i, &c) in out.iter().enumerate() {
+            let dev = (c as f64 - expected).abs() / expected;
+            assert!(dev < 0.05, "bin {i} deviates by {dev}");
+        }
+    }
+
+    #[test]
+    fn multinomial_reuses_output_buffer() {
+        let mut rng = SplitMix64::new(10);
+        let mut out = Vec::with_capacity(100);
+        sample_uniform_multinomial(&mut rng, 500, 10, &mut out);
+        let first: u64 = out.iter().sum();
+        sample_uniform_multinomial(&mut rng, 600, 20, &mut out);
+        assert_eq!(out.len(), 20);
+        assert_eq!(out.iter().sum::<u64>(), 600);
+        assert_eq!(first, 500);
+    }
+}

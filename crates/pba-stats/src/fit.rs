@@ -1,0 +1,161 @@
+//! Least-squares fitting helpers.
+//!
+//! Several experiments summarise a sweep by the *scaling exponent* of a measured
+//! quantity: e.g. single-choice excess grows like `(m/n)^{1/2}` while `A_heavy`'s
+//! excess has exponent `≈ 0` (E7), and the per-phase rejection count of the lower
+//! bound grows like `M^{1/2}` (E4). Fitting a line to the log–log points turns
+//! "the shape matches the theorem" into a single number that EXPERIMENTS.md can
+//! report.
+
+/// Result of an ordinary least-squares fit `y ≈ slope·x + intercept`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinearFit {
+    /// Slope of the fitted line.
+    pub slope: f64,
+    /// Intercept of the fitted line.
+    pub intercept: f64,
+    /// Coefficient of determination `R²` (1.0 for a perfect fit; 0.0 when the
+    /// fit explains nothing or is degenerate).
+    pub r_squared: f64,
+    /// Number of points used.
+    pub points: usize,
+}
+
+/// Fits `y ≈ slope·x + intercept` by ordinary least squares over the finite
+/// points of `xs`/`ys` (pairs with non-finite coordinates are dropped).
+/// Returns `None` when fewer than two usable points remain or the x-values are
+/// all identical.
+pub fn linear_fit(xs: &[f64], ys: &[f64]) -> Option<LinearFit> {
+    let pairs: Vec<(f64, f64)> = xs
+        .iter()
+        .zip(ys)
+        .map(|(&x, &y)| (x, y))
+        .filter(|(x, y)| x.is_finite() && y.is_finite())
+        .collect();
+    let n = pairs.len();
+    if n < 2 {
+        return None;
+    }
+    let nf = n as f64;
+    let mean_x = pairs.iter().map(|(x, _)| x).sum::<f64>() / nf;
+    let mean_y = pairs.iter().map(|(_, y)| y).sum::<f64>() / nf;
+    let mut sxx = 0.0;
+    let mut sxy = 0.0;
+    let mut syy = 0.0;
+    for &(x, y) in &pairs {
+        let dx = x - mean_x;
+        let dy = y - mean_y;
+        sxx += dx * dx;
+        sxy += dx * dy;
+        syy += dy * dy;
+    }
+    if sxx <= 0.0 {
+        return None;
+    }
+    let slope = sxy / sxx;
+    let intercept = mean_y - slope * mean_x;
+    let r_squared = if syy <= 0.0 {
+        1.0
+    } else {
+        (sxy * sxy / (sxx * syy)).clamp(0.0, 1.0)
+    };
+    Some(LinearFit {
+        slope,
+        intercept,
+        r_squared,
+        points: n,
+    })
+}
+
+/// Fits a power law `y ≈ c·x^α` by linear regression in log–log space and
+/// returns `(α, R²)`. Points with non-positive coordinates are dropped.
+/// Returns `None` when fewer than two usable points remain.
+pub fn power_law_exponent(xs: &[f64], ys: &[f64]) -> Option<(f64, f64)> {
+    let log_xs: Vec<f64> = xs
+        .iter()
+        .zip(ys)
+        .filter(|(&x, &y)| x > 0.0 && y > 0.0)
+        .map(|(&x, _)| x.ln())
+        .collect();
+    let log_ys: Vec<f64> = xs
+        .iter()
+        .zip(ys)
+        .filter(|(&x, &y)| x > 0.0 && y > 0.0)
+        .map(|(_, &y)| y.ln())
+        .collect();
+    linear_fit(&log_xs, &log_ys).map(|f| (f.slope, f.r_squared))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_line_is_recovered() {
+        let xs: Vec<f64> = (0..20).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 3.0 * x - 7.0).collect();
+        let fit = linear_fit(&xs, &ys).unwrap();
+        assert!((fit.slope - 3.0).abs() < 1e-12);
+        assert!((fit.intercept + 7.0).abs() < 1e-10);
+        assert!((fit.r_squared - 1.0).abs() < 1e-12);
+        assert_eq!(fit.points, 20);
+    }
+
+    #[test]
+    fn noisy_line_has_high_but_imperfect_r2() {
+        let xs: Vec<f64> = (0..50).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs
+            .iter()
+            .enumerate()
+            .map(|(i, x)| 2.0 * x + if i % 2 == 0 { 1.0 } else { -1.0 })
+            .collect();
+        let fit = linear_fit(&xs, &ys).unwrap();
+        assert!((fit.slope - 2.0).abs() < 0.05);
+        assert!(fit.r_squared > 0.99 && fit.r_squared < 1.0);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert!(linear_fit(&[], &[]).is_none());
+        assert!(linear_fit(&[1.0], &[2.0]).is_none());
+        // All x identical => undefined slope.
+        assert!(linear_fit(&[3.0, 3.0, 3.0], &[1.0, 2.0, 3.0]).is_none());
+        // NaNs are dropped.
+        let fit = linear_fit(&[1.0, f64::NAN, 2.0, 3.0], &[1.0, 9.0, 2.0, 3.0]).unwrap();
+        assert_eq!(fit.points, 3);
+        assert!((fit.slope - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn constant_y_has_zero_slope_and_full_r2() {
+        let fit = linear_fit(&[1.0, 2.0, 3.0], &[5.0, 5.0, 5.0]).unwrap();
+        assert!(fit.slope.abs() < 1e-12);
+        assert_eq!(fit.r_squared, 1.0);
+    }
+
+    #[test]
+    fn power_law_recovers_sqrt_exponent() {
+        let xs: Vec<f64> = (1..=64).map(|i| i as f64 * 16.0).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 2.5 * x.sqrt()).collect();
+        let (alpha, r2) = power_law_exponent(&xs, &ys).unwrap();
+        assert!((alpha - 0.5).abs() < 1e-9, "alpha = {alpha}");
+        assert!(r2 > 0.999);
+    }
+
+    #[test]
+    fn power_law_flat_data_has_near_zero_exponent() {
+        let xs: Vec<f64> = (1..=10).map(|i| (1u64 << i) as f64).collect();
+        let ys = vec![3.0; 10];
+        let (alpha, _) = power_law_exponent(&xs, &ys).unwrap();
+        assert!(alpha.abs() < 1e-9);
+    }
+
+    #[test]
+    fn power_law_drops_non_positive_points() {
+        let xs = [0.0, 1.0, 2.0, 4.0];
+        let ys = [5.0, 1.0, 2.0, 4.0];
+        let (alpha, _) = power_law_exponent(&xs, &ys).unwrap();
+        assert!((alpha - 1.0).abs() < 1e-9);
+        assert!(power_law_exponent(&[0.0, -1.0], &[1.0, 2.0]).is_none());
+    }
+}

@@ -1,0 +1,282 @@
+//! Integer-valued histograms.
+//!
+//! Load distributions (balls per bin) and message distributions (messages per
+//! bin / per ball) are small non-negative integers, so a dense `Vec<u64>`
+//! histogram indexed by value is both the fastest and the most precise
+//! representation. The experiments use histograms to report complete load
+//! profiles, not just maxima.
+
+use crate::online::OnlineStats;
+
+/// A dense histogram over non-negative integer observations.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Histogram {
+    counts: Vec<u64>,
+    total: u64,
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a histogram and records every value of `values`.
+    pub fn from_values<I, T>(values: I) -> Self
+    where
+        I: IntoIterator<Item = T>,
+        T: Into<u64>,
+    {
+        let mut h = Self::new();
+        for v in values {
+            h.record(v.into());
+        }
+        h
+    }
+
+    /// Records a single observation of `value`.
+    pub fn record(&mut self, value: u64) {
+        let idx = value as usize;
+        if idx >= self.counts.len() {
+            self.counts.resize(idx + 1, 0);
+        }
+        self.counts[idx] += 1;
+        self.total += 1;
+    }
+
+    /// Records `count` observations of `value`.
+    pub fn record_n(&mut self, value: u64, count: u64) {
+        if count == 0 {
+            return;
+        }
+        let idx = value as usize;
+        if idx >= self.counts.len() {
+            self.counts.resize(idx + 1, 0);
+        }
+        self.counts[idx] += count;
+        self.total += count;
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        if other.counts.len() > self.counts.len() {
+            self.counts.resize(other.counts.len(), 0);
+        }
+        for (i, &c) in other.counts.iter().enumerate() {
+            self.counts[i] += c;
+        }
+        self.total += other.total;
+    }
+
+    /// Total number of recorded observations.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Number of observations with exactly this value.
+    pub fn count(&self, value: u64) -> u64 {
+        self.counts.get(value as usize).copied().unwrap_or(0)
+    }
+
+    /// Number of observations with value `≥ threshold`.
+    pub fn count_ge(&self, threshold: u64) -> u64 {
+        let start = threshold as usize;
+        if start >= self.counts.len() {
+            return 0;
+        }
+        self.counts[start..].iter().sum()
+    }
+
+    /// Largest recorded value, or `None` when empty.
+    pub fn max(&self) -> Option<u64> {
+        self.counts
+            .iter()
+            .rposition(|&c| c > 0)
+            .map(|i| i as u64)
+    }
+
+    /// Smallest recorded value, or `None` when empty.
+    pub fn min(&self) -> Option<u64> {
+        self.counts.iter().position(|&c| c > 0).map(|i| i as u64)
+    }
+
+    /// Mean of the recorded values (`0.0` when empty).
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let weighted: f64 = self
+            .counts
+            .iter()
+            .enumerate()
+            .map(|(v, &c)| v as f64 * c as f64)
+            .sum();
+        weighted / self.total as f64
+    }
+
+    /// The `q`-quantile (`0.0 ≤ q ≤ 1.0`) of the recorded values using the
+    /// "lower value at or above rank" convention, or `None` when empty.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if self.total == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (value, &count) in self.counts.iter().enumerate() {
+            seen += count;
+            if seen >= rank {
+                return Some(value as u64);
+            }
+        }
+        self.max()
+    }
+
+    /// Iterates over `(value, count)` pairs with non-zero count.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(v, &c)| (v as u64, c))
+    }
+
+    /// Converts the histogram to an [`OnlineStats`] summary of the raw values.
+    pub fn to_stats(&self) -> OnlineStats {
+        let mut s = OnlineStats::new();
+        for (value, count) in self.iter() {
+            for _ in 0..count {
+                s.push(value as f64);
+            }
+        }
+        s
+    }
+
+    /// A compact single-line rendering `value:count` pairs, used in log output.
+    pub fn render_compact(&self) -> String {
+        let parts: Vec<String> = self.iter().map(|(v, c)| format!("{v}:{c}")).collect();
+        format!("[{}]", parts.join(" "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram() {
+        let h = Histogram::new();
+        assert_eq!(h.total(), 0);
+        assert_eq!(h.max(), None);
+        assert_eq!(h.min(), None);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.quantile(0.5), None);
+        assert_eq!(h.count(3), 0);
+        assert_eq!(h.count_ge(0), 0);
+    }
+
+    #[test]
+    fn record_and_count() {
+        let mut h = Histogram::new();
+        h.record(3);
+        h.record(3);
+        h.record(7);
+        h.record(0);
+        assert_eq!(h.total(), 4);
+        assert_eq!(h.count(3), 2);
+        assert_eq!(h.count(7), 1);
+        assert_eq!(h.count(0), 1);
+        assert_eq!(h.count(5), 0);
+        assert_eq!(h.max(), Some(7));
+        assert_eq!(h.min(), Some(0));
+    }
+
+    #[test]
+    fn record_n_matches_repeated_record() {
+        let mut a = Histogram::new();
+        a.record_n(5, 10);
+        a.record_n(2, 3);
+        a.record_n(9, 0);
+        let mut b = Histogram::new();
+        for _ in 0..10 {
+            b.record(5);
+        }
+        for _ in 0..3 {
+            b.record(2);
+        }
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn count_ge_threshold() {
+        let h = Histogram::from_values([1u64, 2, 2, 3, 5, 8]);
+        assert_eq!(h.count_ge(0), 6);
+        assert_eq!(h.count_ge(2), 5);
+        assert_eq!(h.count_ge(3), 3);
+        assert_eq!(h.count_ge(6), 1);
+        assert_eq!(h.count_ge(9), 0);
+        assert_eq!(h.count_ge(100), 0);
+    }
+
+    #[test]
+    fn mean_matches_reference() {
+        let values = [1u64, 2, 2, 3, 5, 8, 13];
+        let h = Histogram::from_values(values);
+        let expected = values.iter().sum::<u64>() as f64 / values.len() as f64;
+        assert!((h.mean() - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantiles_on_known_data() {
+        let h = Histogram::from_values(0u64..=99);
+        assert_eq!(h.quantile(0.0), Some(0));
+        assert_eq!(h.quantile(0.01), Some(0));
+        assert_eq!(h.quantile(0.5), Some(49));
+        assert_eq!(h.quantile(1.0), Some(99));
+        assert_eq!(h.quantile(2.0), Some(99)); // clamped
+    }
+
+    #[test]
+    fn merge_combines_counts() {
+        let mut a = Histogram::from_values([1u64, 2, 3]);
+        let b = Histogram::from_values([3u64, 4, 4, 10]);
+        a.merge(&b);
+        assert_eq!(a.total(), 7);
+        assert_eq!(a.count(3), 2);
+        assert_eq!(a.count(4), 2);
+        assert_eq!(a.max(), Some(10));
+        assert_eq!(a.min(), Some(1));
+    }
+
+    #[test]
+    fn merge_into_empty() {
+        let mut a = Histogram::new();
+        let b = Histogram::from_values([5u64, 6]);
+        a.merge(&b);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn iter_skips_zero_counts() {
+        let h = Histogram::from_values([0u64, 5]);
+        let pairs: Vec<(u64, u64)> = h.iter().collect();
+        assert_eq!(pairs, vec![(0, 1), (5, 1)]);
+    }
+
+    #[test]
+    fn to_stats_agrees_with_histogram_moments() {
+        let values = [2u64, 2, 4, 6, 6, 6, 9];
+        let h = Histogram::from_values(values);
+        let s = h.to_stats();
+        assert_eq!(s.count(), values.len() as u64);
+        assert!((s.mean() - h.mean()).abs() < 1e-12);
+        assert_eq!(s.max(), 9.0);
+        assert_eq!(s.min(), 2.0);
+    }
+
+    #[test]
+    fn render_compact_format() {
+        let h = Histogram::from_values([1u64, 1, 3]);
+        assert_eq!(h.render_compact(), "[1:2 3:1]");
+    }
+}

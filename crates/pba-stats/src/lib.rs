@@ -1,0 +1,45 @@
+//! # pba-stats
+//!
+//! Statistics substrate for the reproduction of *Parallel Balanced Allocations:
+//! The Heavily Loaded Case* (Lenzen, Parter, Yogev — SPAA 2019).
+//!
+//! Everything in this crate is dependency-free, deterministic numerics that the
+//! model, algorithm, lower-bound and workload crates share:
+//!
+//! * [`logstar`] — iterated logarithm `log* n` and related slow-growing functions,
+//!   used for the round-count predictions of Theorems 1, 5 and 6.
+//! * [`tails`] — normal CDF, Chernoff bounds and exact binomial tails, used for the
+//!   Berry–Esseen / Chernoff predictions in the lower bound (Section 4).
+//! * [`online`] — single-pass mean/variance/min/max accumulators.
+//! * [`histogram`] — integer histograms for load and message distributions.
+//! * [`quantiles`] — order statistics over integer and float samples.
+//! * [`load_metrics`] — max load, excess over `⌈m/n⌉`, gap, and related summaries
+//!   that every experiment reports.
+//! * [`table`] — plain-text / Markdown / CSV table rendering for EXPERIMENTS.md.
+//! * [`summary`] — aggregation of repeated (multi-seed) experiment outcomes.
+//!
+//! The crate is intentionally small-surface and heavily unit-tested because every
+//! experiment's acceptance criterion goes through it.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod fit;
+pub mod histogram;
+pub mod load_metrics;
+pub mod logstar;
+pub mod online;
+pub mod quantiles;
+pub mod summary;
+pub mod table;
+pub mod tails;
+
+pub use fit::{linear_fit, power_law_exponent, LinearFit};
+pub use histogram::Histogram;
+pub use load_metrics::LoadMetrics;
+pub use logstar::{log2_ceil, log2_floor, log_log2, log_star};
+pub use online::OnlineStats;
+pub use quantiles::{quantile_sorted, quantiles_of};
+pub use summary::SeedAggregate;
+pub use table::{Align, Cell, Table};
+pub use tails::{binomial_tail_ge, chernoff_upper, normal_cdf};

@@ -1,0 +1,191 @@
+//! Load-vector summaries.
+//!
+//! Every allocation algorithm in the workspace produces a vector of final bin
+//! loads. The paper's statements are all phrased in terms of the *excess* of the
+//! maximal load over the perfectly balanced value `⌈m/n⌉` (Theorem 1:
+//! `m/n + O(1)`; single choice: `m/n + Θ(√(m/n · log n))`; Greedy[2]:
+//! `m/n + O(log log n)`). [`LoadMetrics`] computes exactly those quantities from
+//! a load vector so every crate reports them identically.
+
+use crate::histogram::Histogram;
+
+/// Summary of a final (or intermediate) bin-load vector.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoadMetrics {
+    /// Number of bins (`n`).
+    pub bins: usize,
+    /// Total number of allocated balls (sum of loads).
+    pub total_balls: u64,
+    /// Maximum load over all bins.
+    pub max_load: u64,
+    /// Minimum load over all bins.
+    pub min_load: u64,
+    /// Average load `total_balls / bins`.
+    pub avg_load: f64,
+    /// `max_load - ⌈total/n⌉`: the excess the paper's theorems bound.
+    pub excess_over_ceil_avg: i64,
+    /// `max_load - min_load`: the load gap.
+    pub gap: u64,
+    /// Population standard deviation of the load vector.
+    pub std_dev: f64,
+    /// Number of bins carrying the maximum load.
+    pub bins_at_max: usize,
+    /// Full load histogram.
+    pub histogram: Histogram,
+}
+
+impl LoadMetrics {
+    /// Computes metrics from a load vector. An empty vector yields all-zero metrics.
+    pub fn from_loads(loads: &[u32]) -> Self {
+        if loads.is_empty() {
+            return Self {
+                bins: 0,
+                total_balls: 0,
+                max_load: 0,
+                min_load: 0,
+                avg_load: 0.0,
+                excess_over_ceil_avg: 0,
+                gap: 0,
+                std_dev: 0.0,
+                bins_at_max: 0,
+                histogram: Histogram::new(),
+            };
+        }
+        let bins = loads.len();
+        let mut total: u64 = 0;
+        let mut max_load: u64 = 0;
+        let mut min_load: u64 = u64::MAX;
+        let mut histogram = Histogram::new();
+        for &l in loads {
+            let l = l as u64;
+            total += l;
+            if l > max_load {
+                max_load = l;
+            }
+            if l < min_load {
+                min_load = l;
+            }
+            histogram.record(l);
+        }
+        let avg = total as f64 / bins as f64;
+        let var = loads
+            .iter()
+            .map(|&l| {
+                let d = l as f64 - avg;
+                d * d
+            })
+            .sum::<f64>()
+            / bins as f64;
+        let ceil_avg = total.div_ceil(bins as u64);
+        let bins_at_max = loads.iter().filter(|&&l| l as u64 == max_load).count();
+        Self {
+            bins,
+            total_balls: total,
+            max_load,
+            min_load,
+            avg_load: avg,
+            excess_over_ceil_avg: max_load as i64 - ceil_avg as i64,
+            gap: max_load - min_load,
+            std_dev: var.sqrt(),
+            bins_at_max,
+            histogram,
+        }
+    }
+
+    /// The excess of the maximum load over `⌈m/n⌉` for an *externally specified*
+    /// ball count `m` (useful when some balls remain unallocated and the ideal
+    /// is still computed against the full instance).
+    pub fn excess_vs_ideal(&self, m: u64) -> i64 {
+        if self.bins == 0 {
+            return 0;
+        }
+        let ideal = m.div_ceil(self.bins as u64);
+        self.max_load as i64 - ideal as i64
+    }
+
+    /// True when every ball of an `m`-ball instance is accounted for in the loads.
+    pub fn is_complete(&self, m: u64) -> bool {
+        self.total_balls == m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_loads() {
+        let m = LoadMetrics::from_loads(&[]);
+        assert_eq!(m.bins, 0);
+        assert_eq!(m.total_balls, 0);
+        assert_eq!(m.max_load, 0);
+        assert_eq!(m.excess_over_ceil_avg, 0);
+        assert_eq!(m.excess_vs_ideal(100), 0);
+        assert!(m.is_complete(0));
+        assert!(!m.is_complete(5));
+    }
+
+    #[test]
+    fn uniform_loads() {
+        let m = LoadMetrics::from_loads(&[5, 5, 5, 5]);
+        assert_eq!(m.total_balls, 20);
+        assert_eq!(m.max_load, 5);
+        assert_eq!(m.min_load, 5);
+        assert_eq!(m.gap, 0);
+        assert_eq!(m.avg_load, 5.0);
+        assert_eq!(m.excess_over_ceil_avg, 0);
+        assert_eq!(m.std_dev, 0.0);
+        assert_eq!(m.bins_at_max, 4);
+        assert!(m.is_complete(20));
+    }
+
+    #[test]
+    fn skewed_loads() {
+        let m = LoadMetrics::from_loads(&[0, 0, 0, 12]);
+        assert_eq!(m.total_balls, 12);
+        assert_eq!(m.max_load, 12);
+        assert_eq!(m.min_load, 0);
+        assert_eq!(m.gap, 12);
+        assert_eq!(m.avg_load, 3.0);
+        // ceil(12/4) = 3, excess = 9.
+        assert_eq!(m.excess_over_ceil_avg, 9);
+        assert_eq!(m.bins_at_max, 1);
+        assert!(m.std_dev > 0.0);
+    }
+
+    #[test]
+    fn excess_with_non_divisible_total() {
+        // total = 10, bins = 4, ceil avg = 3, max = 4 -> excess 1.
+        let m = LoadMetrics::from_loads(&[4, 3, 2, 1]);
+        assert_eq!(m.excess_over_ceil_avg, 1);
+        assert_eq!(m.gap, 3);
+    }
+
+    #[test]
+    fn excess_vs_ideal_with_unallocated_balls() {
+        // 100-ball instance, only 40 allocated so far across 10 bins.
+        let loads = vec![4u32; 10];
+        let m = LoadMetrics::from_loads(&loads);
+        assert!(!m.is_complete(100));
+        assert_eq!(m.excess_vs_ideal(100), 4 - 10);
+    }
+
+    #[test]
+    fn histogram_agrees_with_counts() {
+        let loads = [1u32, 1, 2, 3, 3, 3];
+        let m = LoadMetrics::from_loads(&loads);
+        assert_eq!(m.histogram.count(1), 2);
+        assert_eq!(m.histogram.count(2), 1);
+        assert_eq!(m.histogram.count(3), 3);
+        assert_eq!(m.histogram.total(), 6);
+        assert_eq!(m.histogram.max(), Some(3));
+    }
+
+    #[test]
+    fn std_dev_matches_reference() {
+        let loads = [2u32, 4, 4, 4, 5, 5, 7, 9];
+        let m = LoadMetrics::from_loads(&loads);
+        // Known example: population std dev of this data is 2.0.
+        assert!((m.std_dev - 2.0).abs() < 1e-12);
+    }
+}

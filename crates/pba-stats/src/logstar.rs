@@ -1,0 +1,228 @@
+//! Slow-growing functions used by the paper's round-count bounds.
+//!
+//! Theorem 1 bounds the round complexity of the symmetric algorithm by
+//! `O(log log(m/n) + log* n)`; Theorem 5 (the [LW16] substrate) runs for
+//! `log* n + O(1)` rounds. The experiment harness compares measured round
+//! counts against these functions, so they live here as exact integer
+//! routines with well-defined behaviour at the small-argument corner cases.
+
+/// The iterated logarithm `log* x` (base 2): the number of times `log2` must be
+/// applied to `x` before the result is `≤ 1`.
+///
+/// By convention `log_star(x) = 0` for `x ≤ 1.0` (including non-finite and
+/// non-positive inputs, which cannot arise from the callers in this workspace
+/// but are handled defensively).
+///
+/// ```
+/// use pba_stats::log_star;
+/// assert_eq!(log_star(1.0), 0);
+/// assert_eq!(log_star(2.0), 1);
+/// assert_eq!(log_star(4.0), 2);
+/// assert_eq!(log_star(16.0), 3);
+/// assert_eq!(log_star(65536.0), 4);
+/// assert_eq!(log_star(1e30), 5);
+/// ```
+pub fn log_star(x: f64) -> u32 {
+    if !x.is_finite() || x <= 1.0 {
+        return 0;
+    }
+    let mut v = x;
+    let mut iterations = 0u32;
+    while v > 1.0 {
+        v = v.log2();
+        iterations += 1;
+        // log2 of anything representable reaches <= 1 within a handful of steps;
+        // the guard below only protects against pathological NaN propagation.
+        if iterations > 64 {
+            break;
+        }
+    }
+    iterations
+}
+
+/// `⌊log2 x⌋` for positive integers, and `0` for `x = 0`.
+///
+/// ```
+/// use pba_stats::log2_floor;
+/// assert_eq!(log2_floor(0), 0);
+/// assert_eq!(log2_floor(1), 0);
+/// assert_eq!(log2_floor(2), 1);
+/// assert_eq!(log2_floor(3), 1);
+/// assert_eq!(log2_floor(1024), 10);
+/// ```
+pub fn log2_floor(x: u64) -> u32 {
+    if x == 0 {
+        0
+    } else {
+        63 - x.leading_zeros()
+    }
+}
+
+/// `⌈log2 x⌉` for positive integers, and `0` for `x ∈ {0, 1}`.
+///
+/// ```
+/// use pba_stats::log2_ceil;
+/// assert_eq!(log2_ceil(0), 0);
+/// assert_eq!(log2_ceil(1), 0);
+/// assert_eq!(log2_ceil(2), 1);
+/// assert_eq!(log2_ceil(3), 2);
+/// assert_eq!(log2_ceil(1024), 10);
+/// assert_eq!(log2_ceil(1025), 11);
+/// ```
+pub fn log2_ceil(x: u64) -> u32 {
+    if x <= 1 {
+        0
+    } else {
+        64 - (x - 1).leading_zeros()
+    }
+}
+
+/// `log2 log2 x`, clamped to zero for arguments where the inner logarithm is
+/// not positive. This is the leading term of the round bound of Theorem 1 for
+/// the heavily loaded ratio `x = m/n`.
+///
+/// ```
+/// use pba_stats::log_log2;
+/// assert_eq!(log_log2(4.0), 1.0);
+/// assert_eq!(log_log2(16.0), 2.0);
+/// assert!(log_log2(2.0) <= 0.0 + 1e-12);
+/// assert_eq!(log_log2(1.0), 0.0);
+/// ```
+pub fn log_log2(x: f64) -> f64 {
+    if !x.is_finite() || x <= 1.0 {
+        return 0.0;
+    }
+    let inner = x.log2();
+    if inner <= 1.0 {
+        0.0
+    } else {
+        inner.log2()
+    }
+}
+
+/// The predicted phase-1 round count of the symmetric algorithm `A_heavy` for
+/// allocating `m` balls into `n` bins: the number of iterations of
+/// `r ↦ r^(2/3)` needed to bring the ratio `m/n` down to at most `stop_ratio`.
+///
+/// This is the exact recursion the algorithm uses (`m̃_{i+1} = m̃_i^{2/3} n^{1/3}`
+/// divided through by `n`), so the experiments compare measured phase-1 rounds
+/// against this value rather than the looser `O(log log(m/n))` form.
+pub fn predicted_phase1_rounds(m: u64, n: u64, stop_ratio: f64) -> u32 {
+    if n == 0 || m == 0 {
+        return 0;
+    }
+    let mut ratio = m as f64 / n as f64;
+    let stop = stop_ratio.max(1.0);
+    let mut rounds = 0u32;
+    while ratio > stop && rounds < 256 {
+        ratio = ratio.powf(2.0 / 3.0);
+        rounds += 1;
+    }
+    rounds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn log_star_small_values() {
+        assert_eq!(log_star(0.0), 0);
+        assert_eq!(log_star(-3.0), 0);
+        assert_eq!(log_star(1.0), 0);
+        assert_eq!(log_star(1.5), 1);
+        assert_eq!(log_star(2.0), 1);
+    }
+
+    #[test]
+    fn log_star_tower_values() {
+        // log*(2) = 1, log*(4) = 2, log*(16) = 3, log*(65536) = 4, log*(2^65536) = 5.
+        assert_eq!(log_star(2.0), 1);
+        assert_eq!(log_star(4.0), 2);
+        assert_eq!(log_star(16.0), 3);
+        assert_eq!(log_star(65536.0), 4);
+        assert_eq!(log_star(f64::MAX), 5);
+    }
+
+    #[test]
+    fn log_star_is_monotone_on_a_grid() {
+        let mut prev = 0;
+        for e in 0..300 {
+            let x = 1.1f64.powi(e);
+            let v = log_star(x);
+            assert!(v >= prev, "log* must be monotone, failed at x={x}");
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn log_star_handles_nan_and_infinity() {
+        assert_eq!(log_star(f64::NAN), 0);
+        assert_eq!(log_star(f64::INFINITY), 0);
+        assert_eq!(log_star(f64::NEG_INFINITY), 0);
+    }
+
+    #[test]
+    fn log2_floor_matches_reference() {
+        for x in 1u64..=4096 {
+            let expected = (x as f64).log2().floor() as u32;
+            assert_eq!(log2_floor(x), expected, "x = {x}");
+        }
+    }
+
+    #[test]
+    fn log2_ceil_matches_reference() {
+        for x in 2u64..=4096 {
+            let expected = (x as f64).log2().ceil() as u32;
+            // Floating point can be off by one exactly at powers of two; use the
+            // exact integer characterisation instead: smallest k with 2^k >= x.
+            let exact = (0..64).find(|&k| (1u128 << k) >= x as u128).unwrap() as u32;
+            assert_eq!(log2_ceil(x), exact, "x = {x} (float reference {expected})");
+        }
+    }
+
+    #[test]
+    fn log2_ceil_and_floor_relation() {
+        for x in 1u64..=10_000 {
+            let f = log2_floor(x);
+            let c = log2_ceil(x);
+            assert!(c == f || c == f + 1, "x = {x}, floor = {f}, ceil = {c}");
+            if x.is_power_of_two() {
+                assert_eq!(c, f);
+            }
+        }
+    }
+
+    #[test]
+    fn log_log2_known_points() {
+        assert!((log_log2(4.0) - 1.0).abs() < 1e-12);
+        assert!((log_log2(16.0) - 2.0).abs() < 1e-12);
+        assert!((log_log2(256.0) - 3.0).abs() < 1e-12);
+        assert_eq!(log_log2(0.0), 0.0);
+        assert_eq!(log_log2(f64::NAN), 0.0);
+    }
+
+    #[test]
+    fn predicted_phase1_rounds_decreases_with_stop_ratio() {
+        let tight = predicted_phase1_rounds(1 << 30, 1 << 10, 2.0);
+        let loose = predicted_phase1_rounds(1 << 30, 1 << 10, 64.0);
+        assert!(tight >= loose);
+        assert!(tight > 0);
+    }
+
+    #[test]
+    fn predicted_phase1_rounds_is_loglog_like() {
+        // Squaring the ratio m/n should add only O(1) rounds.
+        let a = predicted_phase1_rounds(1 << 20, 1 << 10, 2.0); // ratio 2^10
+        let b = predicted_phase1_rounds(1 << 30, 1 << 10, 2.0); // ratio 2^20
+        assert!(b >= a);
+        assert!(b - a <= 3, "doubling the exponent must cost O(1) rounds: {a} vs {b}");
+    }
+
+    #[test]
+    fn predicted_phase1_rounds_edge_cases() {
+        assert_eq!(predicted_phase1_rounds(0, 10, 2.0), 0);
+        assert_eq!(predicted_phase1_rounds(10, 0, 2.0), 0);
+        assert_eq!(predicted_phase1_rounds(16, 16, 2.0), 0);
+    }
+}

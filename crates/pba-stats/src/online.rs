@@ -1,0 +1,257 @@
+//! Single-pass moment accumulators.
+//!
+//! Every experiment aggregates per-seed or per-round observations (max load,
+//! round count, message totals, …). [`OnlineStats`] implements Welford's
+//! numerically stable streaming mean/variance together with min/max tracking,
+//! and supports merging partial accumulators so rayon reductions can use it
+//! directly.
+
+/// Streaming mean / variance / min / max accumulator (Welford's algorithm).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OnlineStats {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Default for OnlineStats {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl OnlineStats {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Builds an accumulator from an iterator of observations.
+    pub fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        let mut s = Self::new();
+        for x in iter {
+            s.push(x);
+        }
+        s
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        let delta2 = x - self.mean;
+        self.m2 += delta * delta2;
+        if x < self.min {
+            self.min = x;
+        }
+        if x > self.max {
+            self.max = x;
+        }
+    }
+
+    /// Merges another accumulator into this one (parallel-reduction friendly).
+    pub fn merge(&mut self, other: &OnlineStats) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        let total = self.count + other.count;
+        let delta = other.mean - self.mean;
+        let combined_mean =
+            self.mean + delta * (other.count as f64 / total as f64);
+        let combined_m2 = self.m2
+            + other.m2
+            + delta * delta * (self.count as f64 * other.count as f64 / total as f64);
+        self.count = total;
+        self.mean = combined_mean;
+        self.m2 = combined_m2;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Arithmetic mean (`0.0` when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population variance (`0.0` when fewer than two observations).
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / self.count as f64
+        }
+    }
+
+    /// Sample variance with Bessel's correction (`0.0` when fewer than two observations).
+    pub fn sample_variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / (self.count - 1) as f64
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Sample standard deviation.
+    pub fn sample_std_dev(&self) -> f64 {
+        self.sample_variance().sqrt()
+    }
+
+    /// Standard error of the mean.
+    pub fn std_error(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sample_std_dev() / (self.count as f64).sqrt()
+        }
+    }
+
+    /// Minimum observation (`NaN` when empty).
+    pub fn min(&self) -> f64 {
+        if self.count == 0 {
+            f64::NAN
+        } else {
+            self.min
+        }
+    }
+
+    /// Maximum observation (`NaN` when empty).
+    pub fn max(&self) -> f64 {
+        if self.count == 0 {
+            f64::NAN
+        } else {
+            self.max
+        }
+    }
+
+    /// Sum of all observations.
+    pub fn sum(&self) -> f64 {
+        self.mean() * self.count as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reference_mean_var(xs: &[f64]) -> (f64, f64) {
+        let n = xs.len() as f64;
+        let mean = xs.iter().sum::<f64>() / n;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n;
+        (mean, var)
+    }
+
+    #[test]
+    fn empty_accumulator() {
+        let s = OnlineStats::new();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.variance(), 0.0);
+        assert_eq!(s.std_error(), 0.0);
+        assert!(s.min().is_nan());
+        assert!(s.max().is_nan());
+        assert_eq!(s.sum(), 0.0);
+    }
+
+    #[test]
+    fn single_observation() {
+        let mut s = OnlineStats::new();
+        s.push(42.0);
+        assert_eq!(s.count(), 1);
+        assert_eq!(s.mean(), 42.0);
+        assert_eq!(s.variance(), 0.0);
+        assert_eq!(s.min(), 42.0);
+        assert_eq!(s.max(), 42.0);
+    }
+
+    #[test]
+    fn matches_reference_computation() {
+        let xs: Vec<f64> = (0..1000).map(|i| ((i * 37) % 101) as f64 * 0.5 - 13.0).collect();
+        let s = OnlineStats::from_iter(xs.iter().copied());
+        let (mean, var) = reference_mean_var(&xs);
+        assert!((s.mean() - mean).abs() < 1e-9);
+        assert!((s.variance() - var).abs() < 1e-7);
+        assert_eq!(s.count(), 1000);
+        assert_eq!(s.min(), xs.iter().cloned().fold(f64::INFINITY, f64::min));
+        assert_eq!(s.max(), xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max));
+    }
+
+    #[test]
+    fn sample_variance_uses_bessel_correction() {
+        let s = OnlineStats::from_iter([1.0, 2.0, 3.0, 4.0]);
+        assert!((s.variance() - 1.25).abs() < 1e-12);
+        assert!((s.sample_variance() - 5.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let xs: Vec<f64> = (0..500).map(|i| (i as f64).sin() * 10.0).collect();
+        let ys: Vec<f64> = (0..300).map(|i| (i as f64).cos() * 3.0 + 5.0).collect();
+
+        let mut merged = OnlineStats::from_iter(xs.iter().copied());
+        merged.merge(&OnlineStats::from_iter(ys.iter().copied()));
+
+        let all: Vec<f64> = xs.iter().chain(ys.iter()).copied().collect();
+        let sequential = OnlineStats::from_iter(all.iter().copied());
+
+        assert_eq!(merged.count(), sequential.count());
+        assert!((merged.mean() - sequential.mean()).abs() < 1e-9);
+        assert!((merged.variance() - sequential.variance()).abs() < 1e-9);
+        assert_eq!(merged.min(), sequential.min());
+        assert_eq!(merged.max(), sequential.max());
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let xs = [3.0, 1.0, 4.0, 1.0, 5.0];
+        let base = OnlineStats::from_iter(xs);
+        let mut a = base;
+        a.merge(&OnlineStats::new());
+        assert_eq!(a, base);
+
+        let mut b = OnlineStats::new();
+        b.merge(&base);
+        assert_eq!(b.count(), base.count());
+        assert!((b.mean() - base.mean()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn std_error_shrinks_with_sample_size() {
+        let small = OnlineStats::from_iter((0..10).map(|i| i as f64));
+        let large = OnlineStats::from_iter((0..1000).map(|i| (i % 10) as f64));
+        assert!(large.std_error() < small.std_error());
+    }
+
+    #[test]
+    fn sum_matches_direct_sum() {
+        let xs: Vec<f64> = (0..100).map(|i| i as f64 * 0.25).collect();
+        let s = OnlineStats::from_iter(xs.iter().copied());
+        assert!((s.sum() - xs.iter().sum::<f64>()).abs() < 1e-9);
+    }
+}

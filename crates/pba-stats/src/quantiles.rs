@@ -1,0 +1,107 @@
+//! Order statistics over float samples.
+//!
+//! The histogram module covers integer-valued distributions; this module covers
+//! quantiles of real-valued derived quantities (e.g. excess load averaged over
+//! seeds, wall-clock times in the speedup experiment).
+
+/// Returns the `q`-quantile of an **already sorted** slice using linear
+/// interpolation between closest ranks, or `None` for an empty slice.
+///
+/// ```
+/// use pba_stats::quantile_sorted;
+/// let xs = [1.0, 2.0, 3.0, 4.0];
+/// assert_eq!(quantile_sorted(&xs, 0.0), Some(1.0));
+/// assert_eq!(quantile_sorted(&xs, 1.0), Some(4.0));
+/// assert_eq!(quantile_sorted(&xs, 0.5), Some(2.5));
+/// ```
+pub fn quantile_sorted(sorted: &[f64], q: f64) -> Option<f64> {
+    if sorted.is_empty() {
+        return None;
+    }
+    let q = q.clamp(0.0, 1.0);
+    if sorted.len() == 1 {
+        return Some(sorted[0]);
+    }
+    let pos = q * (sorted.len() - 1) as f64;
+    let lower = pos.floor() as usize;
+    let upper = pos.ceil() as usize;
+    if lower == upper {
+        return Some(sorted[lower]);
+    }
+    let weight = pos - lower as f64;
+    Some(sorted[lower] * (1.0 - weight) + sorted[upper] * weight)
+}
+
+/// Sorts a copy of `values` (NaNs are dropped) and returns the requested
+/// quantiles in order. Returns an empty vector if no finite values remain.
+pub fn quantiles_of(values: &[f64], qs: &[f64]) -> Vec<f64> {
+    let mut sorted: Vec<f64> = values.iter().copied().filter(|v| v.is_finite()).collect();
+    if sorted.is_empty() {
+        return Vec::new();
+    }
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values compare"));
+    qs.iter()
+        .map(|&q| quantile_sorted(&sorted, q).expect("non-empty"))
+        .collect()
+}
+
+/// Median convenience wrapper over [`quantiles_of`]; returns `None` when no
+/// finite values are present.
+pub fn median(values: &[f64]) -> Option<f64> {
+    let qs = quantiles_of(values, &[0.5]);
+    qs.first().copied()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_input() {
+        assert_eq!(quantile_sorted(&[], 0.5), None);
+        assert!(quantiles_of(&[], &[0.5]).is_empty());
+        assert_eq!(median(&[]), None);
+    }
+
+    #[test]
+    fn single_element() {
+        assert_eq!(quantile_sorted(&[7.0], 0.0), Some(7.0));
+        assert_eq!(quantile_sorted(&[7.0], 0.5), Some(7.0));
+        assert_eq!(quantile_sorted(&[7.0], 1.0), Some(7.0));
+    }
+
+    #[test]
+    fn interpolation_between_ranks() {
+        let xs = [10.0, 20.0, 30.0, 40.0, 50.0];
+        assert_eq!(quantile_sorted(&xs, 0.25), Some(20.0));
+        assert_eq!(quantile_sorted(&xs, 0.5), Some(30.0));
+        assert_eq!(quantile_sorted(&xs, 0.75), Some(40.0));
+        assert_eq!(quantile_sorted(&xs, 0.1), Some(14.0));
+    }
+
+    #[test]
+    fn clamps_out_of_range_q() {
+        let xs = [1.0, 2.0, 3.0];
+        assert_eq!(quantile_sorted(&xs, -1.0), Some(1.0));
+        assert_eq!(quantile_sorted(&xs, 2.0), Some(3.0));
+    }
+
+    #[test]
+    fn quantiles_of_unsorted_input_with_nan() {
+        let xs = [5.0, f64::NAN, 1.0, 3.0, 2.0, 4.0];
+        let qs = quantiles_of(&xs, &[0.0, 0.5, 1.0]);
+        assert_eq!(qs, vec![1.0, 3.0, 5.0]);
+    }
+
+    #[test]
+    fn quantiles_of_all_nan() {
+        let xs = [f64::NAN, f64::NAN];
+        assert!(quantiles_of(&xs, &[0.5]).is_empty());
+    }
+
+    #[test]
+    fn median_even_and_odd() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]), Some(2.0));
+        assert_eq!(median(&[4.0, 1.0, 2.0, 3.0]), Some(2.5));
+    }
+}

@@ -1,0 +1,138 @@
+//! Multi-seed experiment aggregation.
+//!
+//! The paper's guarantees hold *with high probability*; empirically we verify
+//! them by repeating every configuration over several independent seeds and
+//! reporting the mean, worst case and failure count of each metric.
+//! [`SeedAggregate`] is a tiny named-metric container the workload runner fills
+//! per configuration.
+
+use std::collections::BTreeMap;
+
+use crate::online::OnlineStats;
+
+/// Aggregates named metrics over repeated runs of the same configuration.
+#[derive(Debug, Clone, Default)]
+pub struct SeedAggregate {
+    metrics: BTreeMap<String, OnlineStats>,
+    runs: u64,
+}
+
+impl SeedAggregate {
+    /// Creates an empty aggregate.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Marks the start of a new run (seed). Only affects [`runs`](Self::runs).
+    pub fn begin_run(&mut self) {
+        self.runs += 1;
+    }
+
+    /// Records an observation of metric `name` for the current run.
+    pub fn record(&mut self, name: &str, value: f64) {
+        self.metrics
+            .entry(name.to_string())
+            .or_default()
+            .push(value);
+    }
+
+    /// Number of runs started.
+    pub fn runs(&self) -> u64 {
+        self.runs
+    }
+
+    /// Statistics for a named metric, if it was ever recorded.
+    pub fn stats(&self, name: &str) -> Option<&OnlineStats> {
+        self.metrics.get(name)
+    }
+
+    /// Mean of a metric (0.0 when missing).
+    pub fn mean(&self, name: &str) -> f64 {
+        self.stats(name).map(|s| s.mean()).unwrap_or(0.0)
+    }
+
+    /// Maximum of a metric (NaN when missing).
+    pub fn max(&self, name: &str) -> f64 {
+        self.stats(name).map(|s| s.max()).unwrap_or(f64::NAN)
+    }
+
+    /// Minimum of a metric (NaN when missing).
+    pub fn min(&self, name: &str) -> f64 {
+        self.stats(name).map(|s| s.min()).unwrap_or(f64::NAN)
+    }
+
+    /// Sample standard deviation of a metric (0.0 when missing).
+    pub fn std_dev(&self, name: &str) -> f64 {
+        self.stats(name).map(|s| s.sample_std_dev()).unwrap_or(0.0)
+    }
+
+    /// All metric names, sorted.
+    pub fn metric_names(&self) -> Vec<&str> {
+        self.metrics.keys().map(|s| s.as_str()).collect()
+    }
+
+    /// A `mean ± std (max)` rendering for one metric, used in report rows.
+    pub fn format_metric(&self, name: &str) -> String {
+        match self.stats(name) {
+            None => "-".to_string(),
+            Some(s) => format!(
+                "{:.2} ± {:.2} (max {:.2})",
+                s.mean(),
+                s.sample_std_dev(),
+                s.max()
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_aggregate() {
+        let a = SeedAggregate::new();
+        assert_eq!(a.runs(), 0);
+        assert!(a.stats("x").is_none());
+        assert_eq!(a.mean("x"), 0.0);
+        assert!(a.max("x").is_nan());
+        assert_eq!(a.format_metric("x"), "-");
+        assert!(a.metric_names().is_empty());
+    }
+
+    #[test]
+    fn records_across_runs() {
+        let mut a = SeedAggregate::new();
+        for seed in 0..5u64 {
+            a.begin_run();
+            a.record("max_load", 10.0 + seed as f64);
+            a.record("rounds", 3.0);
+        }
+        assert_eq!(a.runs(), 5);
+        assert_eq!(a.stats("max_load").unwrap().count(), 5);
+        assert!((a.mean("max_load") - 12.0).abs() < 1e-12);
+        assert_eq!(a.max("max_load"), 14.0);
+        assert_eq!(a.min("max_load"), 10.0);
+        assert_eq!(a.mean("rounds"), 3.0);
+        assert_eq!(a.std_dev("rounds"), 0.0);
+    }
+
+    #[test]
+    fn metric_names_sorted() {
+        let mut a = SeedAggregate::new();
+        a.record("zeta", 1.0);
+        a.record("alpha", 2.0);
+        a.record("mid", 3.0);
+        assert_eq!(a.metric_names(), vec!["alpha", "mid", "zeta"]);
+    }
+
+    #[test]
+    fn format_metric_contains_mean_and_max() {
+        let mut a = SeedAggregate::new();
+        a.record("rounds", 4.0);
+        a.record("rounds", 6.0);
+        let s = a.format_metric("rounds");
+        assert!(s.contains("5.00"));
+        assert!(s.contains("max 6.00"));
+    }
+}

@@ -1,0 +1,109 @@
+//! Instance and sweep configuration.
+//!
+//! The paper's parameter space is two-dimensional: the number of bins `n` and
+//! the load ratio `m/n` (the heavily loaded regime is `m/n ≫ 1`). A sweep is a
+//! list of `(n, ratio)` instances plus a number of independent seeds per
+//! instance.
+
+/// One `(n, m)` instance, described by `n` and the ratio `m/n`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InstanceConfig {
+    /// Number of bins.
+    pub n: usize,
+    /// Load ratio `m/n`.
+    pub ratio: u64,
+}
+
+impl InstanceConfig {
+    /// Creates an instance from `n` and `m/n`.
+    pub fn new(n: usize, ratio: u64) -> Self {
+        Self { n, ratio }
+    }
+
+    /// The number of balls `m = n · ratio`.
+    pub fn m(&self) -> u64 {
+        self.n as u64 * self.ratio
+    }
+}
+
+/// A named sweep over instances, repeated over several seeds.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SweepConfig {
+    /// Sweep name (used as the table title prefix).
+    pub name: String,
+    /// Instances to run.
+    pub instances: Vec<InstanceConfig>,
+    /// Number of independent seeds per instance (seeds `0..seeds`).
+    pub seeds: u64,
+}
+
+impl SweepConfig {
+    /// A sweep over `m/n` ratios at a fixed `n`.
+    pub fn ratio_sweep(name: &str, n: usize, ratios: &[u64], seeds: u64) -> Self {
+        Self {
+            name: name.to_string(),
+            instances: ratios.iter().map(|&r| InstanceConfig::new(n, r)).collect(),
+            seeds: seeds.max(1),
+        }
+    }
+
+    /// The cross product of bin counts and ratios, optionally capping the total
+    /// number of balls per instance (instances exceeding the cap are dropped —
+    /// the agent engine materialises every ball, so `m` must stay in memory).
+    pub fn cross(name: &str, ns: &[usize], ratios: &[u64], seeds: u64, max_balls: u64) -> Self {
+        let mut instances = Vec::new();
+        for &n in ns {
+            for &r in ratios {
+                let inst = InstanceConfig::new(n, r);
+                if inst.m() <= max_balls {
+                    instances.push(inst);
+                }
+            }
+        }
+        Self {
+            name: name.to_string(),
+            instances,
+            seeds: seeds.max(1),
+        }
+    }
+
+    /// Total number of allocator runs the sweep implies (instances × seeds).
+    pub fn total_runs(&self) -> u64 {
+        self.instances.len() as u64 * self.seeds
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn instance_ball_count() {
+        let i = InstanceConfig::new(1024, 64);
+        assert_eq!(i.m(), 65_536);
+    }
+
+    #[test]
+    fn ratio_sweep_builder() {
+        let s = SweepConfig::ratio_sweep("E1", 256, &[16, 64, 256], 5);
+        assert_eq!(s.instances.len(), 3);
+        assert!(s.instances.iter().all(|i| i.n == 256));
+        assert_eq!(s.total_runs(), 15);
+        assert_eq!(s.name, "E1");
+    }
+
+    #[test]
+    fn cross_builder_respects_ball_cap() {
+        let s = SweepConfig::cross("E1", &[256, 1024], &[16, 1 << 20], 2, 1 << 20);
+        // 256*16, 1024*16 are fine; 256*2^20 and 1024*2^20 exceed the cap except 256*2^20 == 2^28 > cap.
+        assert_eq!(s.instances.len(), 2);
+        assert!(s.instances.iter().all(|i| i.m() <= 1 << 20));
+    }
+
+    #[test]
+    fn seeds_clamped_to_one() {
+        let s = SweepConfig::ratio_sweep("x", 8, &[2], 0);
+        assert_eq!(s.seeds, 1);
+        assert_eq!(s.total_runs(), 1);
+    }
+}

@@ -1,0 +1,664 @@
+//! The reproduction experiments E1–E9 (see DESIGN.md for the full index).
+//!
+//! The paper is a theory paper without numbered tables/figures, so each
+//! experiment here plays the role of a table: it validates one theorem, claim or
+//! message bound and reports the measured quantity next to the paper's
+//! prediction. Every function has a `quick` mode (small instances, used by the
+//! test-suite and CI) and a full mode (used by the `pba-bench` report binaries
+//! and recorded in EXPERIMENTS.md).
+
+use pba_algorithms::{
+    AsymmetricAllocator, HeavyAllocator, HeavyConfig, LightAllocator, NaiveThresholdAllocator,
+    TrivialAllocator,
+};
+use pba_baselines::{
+    AlwaysGoLeftAllocator, BatchedTwoChoiceAllocator, GreedyDAllocator, SingleChoiceAllocator,
+};
+use pba_concurrent::{
+    measure_speedup, run_actor_threshold, run_concurrent_heavy, run_concurrent_threshold,
+};
+use pba_lowerbound::{
+    lower_bound_round_prediction, measure_rounds_to_finish, rejection, simulate_degree_d_by_degree_1,
+    ClassDecomposition,
+};
+use pba_model::engine::run_count_engine;
+use pba_model::protocol::FixedThresholdProtocol;
+use pba_model::Allocator;
+use pba_stats::{log_log2, log_star, Align, Cell, SeedAggregate, Table};
+
+use crate::config::SweepConfig;
+use crate::runner::{run_sweep, summaries_to_table};
+
+/// Number of seeds per configuration.
+fn seeds(quick: bool) -> u64 {
+    if quick {
+        2
+    } else {
+        5
+    }
+}
+
+/// E1 — Theorem 1 / Theorem 6: `A_heavy` achieves `m/n + O(1)` load in
+/// `≈ log₂log₂(m/n) + log* n` rounds.
+pub fn e1_heavy_load_and_rounds(quick: bool) -> Table {
+    let (ns, ratios, cap): (Vec<usize>, Vec<u64>, u64) = if quick {
+        (vec![128, 256], vec![16, 256], 1 << 18)
+    } else {
+        (
+            vec![256, 1024, 4096],
+            vec![16, 64, 256, 1024, 4096],
+            1 << 24,
+        )
+    };
+    let sweep = SweepConfig::cross("E1", &ns, &ratios, seeds(quick), cap);
+    let mut table = Table::with_alignments(
+        "E1: A_heavy — maximal load and round count vs the Theorem 1 prediction",
+        &[
+            ("n", Align::Right),
+            ("m/n", Align::Right),
+            ("excess mean", Align::Right),
+            ("excess max", Align::Right),
+            ("rounds mean", Align::Right),
+            ("rounds max", Align::Right),
+            ("phase1 rounds", Align::Right),
+            ("predicted rounds", Align::Right),
+            ("leftover/n after phase1", Align::Right),
+            ("complete", Align::Left),
+        ],
+    );
+    let alloc = HeavyAllocator::default();
+    for inst in &sweep.instances {
+        let m = inst.m();
+        let mut agg = SeedAggregate::new();
+        let mut complete = true;
+        for seed in 0..sweep.seeds {
+            let (out, trace) = alloc.allocate_traced(m, inst.n, seed);
+            complete &= out.is_complete(m);
+            agg.record("excess", out.excess(m) as f64);
+            agg.record("rounds", out.rounds as f64);
+            agg.record("phase1", trace.phase1_rounds as f64);
+            agg.record(
+                "leftover_ratio",
+                trace.leftover_after_phase1 as f64 / inst.n as f64,
+            );
+        }
+        let predicted =
+            log_log2(inst.ratio as f64).ceil() + log_star(inst.n as f64) as f64 + 2.0;
+        table.push_row([
+            Cell::from(inst.n),
+            Cell::from(inst.ratio),
+            Cell::from(agg.mean("excess")),
+            Cell::from(agg.max("excess")),
+            Cell::from(agg.mean("rounds")),
+            Cell::from(agg.max("rounds")),
+            Cell::from(agg.mean("phase1")),
+            Cell::from(predicted),
+            Cell::from(agg.mean("leftover_ratio")),
+            Cell::from(if complete { "yes" } else { "NO" }),
+        ]);
+    }
+    table
+}
+
+/// E2 — Claims 1–4: the per-round trajectory of unallocated balls follows
+/// `m̃_{i+1} = m̃_i^{2/3} · n^{1/3}`.
+pub fn e2_trajectory(quick: bool) -> Table {
+    let (n, ratio) = if quick { (256usize, 256u64) } else { (1024usize, 4096u64) };
+    let m = n as u64 * ratio;
+    let alloc = HeavyAllocator::default();
+    let (out, trace) = alloc.allocate_traced(m, n, 0);
+    let mut table = Table::with_alignments(
+        "E2: unallocated-ball trajectory of A_heavy vs the m̃_i recursion",
+        &[
+            ("round", Align::Right),
+            ("measured unallocated", Align::Right),
+            ("predicted m̃_i", Align::Right),
+            ("measured / predicted", Align::Right),
+            ("threshold T_i", Align::Right),
+        ],
+    );
+    for rec in out.per_round.iter().take(trace.phase1_rounds) {
+        let predicted = trace
+            .schedule
+            .predicted_remaining(rec.round)
+            .unwrap_or(f64::NAN);
+        let ratio_cell = if predicted > 0.0 {
+            rec.unallocated_before as f64 / predicted
+        } else {
+            f64::NAN
+        };
+        table.push_row([
+            Cell::from(rec.round),
+            Cell::from(rec.unallocated_before),
+            Cell::from(predicted),
+            Cell::from(ratio_cell),
+            Cell::from(rec.global_threshold.unwrap_or(0)),
+        ]);
+    }
+    table
+}
+
+/// E3 — Theorem 6's message bounds: `O(m)` total, `O(1)` expected per ball,
+/// `O(log n)` per ball w.h.p., `(1+o(1))·m/n + O(log n)` per bin.
+pub fn e3_messages(quick: bool) -> Table {
+    let (ns, ratios, cap): (Vec<usize>, Vec<u64>, u64) = if quick {
+        (vec![256], vec![64, 256], 1 << 18)
+    } else {
+        (vec![1024, 4096], vec![64, 256, 1024], 1 << 23)
+    };
+    let sweep = SweepConfig::cross("E3", &ns, &ratios, seeds(quick), cap);
+    let mut table = Table::with_alignments(
+        "E3: A_heavy message complexity vs the Theorem 6 bounds",
+        &[
+            ("n", Align::Right),
+            ("m/n", Align::Right),
+            ("requests / m", Align::Right),
+            ("total msgs / m", Align::Right),
+            ("mean msgs per ball", Align::Right),
+            ("max msgs per ball", Align::Right),
+            ("O(log n) reference", Align::Right),
+            ("max bin received", Align::Right),
+            ("bin bound m/n+3√(m/n·ln n)", Align::Right),
+        ],
+    );
+    let alloc = HeavyAllocator::new(HeavyConfig {
+        track_per_ball: true,
+        ..HeavyConfig::default()
+    });
+    for inst in &sweep.instances {
+        let m = inst.m();
+        let mut agg = SeedAggregate::new();
+        for seed in 0..sweep.seeds {
+            let out = alloc.allocate(m, inst.n, seed);
+            agg.record("req_per_m", out.messages.requests as f64 / m as f64);
+            agg.record("total_per_m", out.messages.total() as f64 / m as f64);
+            agg.record("mean_ball", out.census.mean_ball_sent());
+            agg.record("max_ball", out.census.max_ball_sent() as f64);
+            agg.record("max_bin", out.census.max_bin_received() as f64);
+        }
+        let mean = inst.ratio as f64;
+        let bin_bound = mean + 3.0 * (mean * (inst.n as f64).ln()).sqrt();
+        table.push_row([
+            Cell::from(inst.n),
+            Cell::from(inst.ratio),
+            Cell::from(agg.mean("req_per_m")),
+            Cell::from(agg.mean("total_per_m")),
+            Cell::from(agg.mean("mean_ball")),
+            Cell::from(agg.max("max_ball")),
+            Cell::from((inst.n as f64).log2()),
+            Cell::from(agg.max("max_bin")),
+            Cell::from(bin_bound),
+        ]);
+    }
+    table
+}
+
+/// E4 — the lower bound (Theorems 2 and 7): per-phase rejections scale like
+/// `√(Mn)/t`, and fixed-threshold ("naive") algorithms need far more rounds than
+/// `A_heavy`, which itself tracks the `log log(m/n)` prediction.
+pub fn e4_lower_bound(quick: bool) -> Vec<Table> {
+    let n = if quick { 256usize } else { 1024 };
+    let ratios: Vec<u64> = if quick {
+        vec![64, 256]
+    } else {
+        vec![64, 256, 1024, 4096]
+    };
+    let n_seeds = seeds(quick);
+
+    // (a) Single-phase rejection census vs the Theorem 7 reference.
+    let mut rejections = Table::with_alignments(
+        "E4a: single-phase rejections vs the Theorem 7 prediction Ω(√(Mn)/t)",
+        &[
+            ("n", Align::Right),
+            ("M/n", Align::Right),
+            ("capacity layout", Align::Left),
+            ("rejected mean", Align::Right),
+            ("√(Mn)/t reference", Align::Right),
+            ("constant estimate", Align::Right),
+            ("expected-rejection LB (Cor. 1)", Align::Right),
+        ],
+    );
+    for &ratio in &ratios {
+        let m = n as u64 * ratio;
+        for (layout, caps) in [
+            ("uniform +1", rejection::uniform_capacities(m, n, 1)),
+            ("skewed +2/0", rejection::skewed_capacities(m, n, 1)),
+        ] {
+            let mut agg = SeedAggregate::new();
+            let mut reference = 0.0;
+            for seed in 0..n_seeds {
+                let census = rejection::run_rejection_phase(m, &caps, seed);
+                agg.record("rejected", census.rejected as f64);
+                agg.record("constant", census.constant_estimate());
+                reference = census.reference;
+            }
+            let decomposition = ClassDecomposition::new(m, &caps);
+            rejections.push_row([
+                Cell::from(n),
+                Cell::from(ratio),
+                Cell::from(layout),
+                Cell::from(agg.mean("rejected")),
+                Cell::from(reference),
+                Cell::from(agg.mean("constant")),
+                Cell::from(decomposition.expected_rejections_lower_bound(m, n)),
+            ]);
+        }
+    }
+
+    // (b) Round counts: naive fixed threshold vs A_heavy vs the predictions.
+    let mut rounds = Table::with_alignments(
+        "E4b: rounds to completion — naive fixed threshold vs A_heavy vs predictions",
+        &[
+            ("n", Align::Right),
+            ("m/n", Align::Right),
+            ("naive(+1) rounds", Align::Right),
+            ("naive(+4) rounds", Align::Right),
+            ("A_heavy rounds", Align::Right),
+            ("lower-bound prediction", Align::Right),
+            ("log2 n (naive reference)", Align::Right),
+        ],
+    );
+    let seed_list: Vec<u64> = (0..n_seeds).collect();
+    for &ratio in &ratios {
+        let m = n as u64 * ratio;
+        let (naive1, _) =
+            measure_rounds_to_finish(&NaiveThresholdAllocator::new(1, 1), m, n, &seed_list);
+        let (naive4, _) =
+            measure_rounds_to_finish(&NaiveThresholdAllocator::new(4, 1), m, n, &seed_list);
+        let (heavy, _) = measure_rounds_to_finish(&HeavyAllocator::default(), m, n, &seed_list);
+        rounds.push_row([
+            Cell::from(n),
+            Cell::from(ratio),
+            Cell::from(naive1),
+            Cell::from(naive4),
+            Cell::from(heavy),
+            Cell::from(lower_bound_round_prediction(m, n, 4.0) as u64),
+            Cell::from((n as f64).log2()),
+        ]);
+    }
+
+    vec![rejections, rounds]
+}
+
+/// E5 — Theorem 3: the asymmetric algorithm finishes in a constant number of
+/// rounds with `m/n + O(1)` load and `(1+o(1))·m/n + O(log n)` messages per bin.
+pub fn e5_asymmetric(quick: bool) -> Table {
+    let (ns, ratios, cap): (Vec<usize>, Vec<u64>, u64) = if quick {
+        (vec![256], vec![4, 64, 256], 1 << 18)
+    } else {
+        (vec![1024, 4096], vec![4, 64, 1024, 4096], 1 << 23)
+    };
+    let sweep = SweepConfig::cross("E5", &ns, &ratios, seeds(quick), cap);
+    let mut table = Table::with_alignments(
+        "E5: asymmetric superbin algorithm — rounds, load and per-bin messages (Theorem 3)",
+        &[
+            ("n", Align::Right),
+            ("m/n", Align::Right),
+            ("rounds mean", Align::Right),
+            ("rounds max", Align::Right),
+            ("bulk rounds", Align::Right),
+            ("excess mean", Align::Right),
+            ("excess max", Align::Right),
+            ("max bin msgs", Align::Right),
+            ("bin bound (1.35·m/n + 60·ln n)", Align::Right),
+            ("preround", Align::Left),
+        ],
+    );
+    let alloc = AsymmetricAllocator::default();
+    for inst in &sweep.instances {
+        let m = inst.m();
+        let mut agg = SeedAggregate::new();
+        let mut preround = false;
+        for seed in 0..sweep.seeds {
+            let (out, trace) = alloc.allocate_traced(m, inst.n, seed);
+            agg.record("rounds", out.rounds as f64);
+            agg.record("bulk", trace.bulk_rounds as f64);
+            agg.record("excess", out.excess(m) as f64);
+            agg.record("max_bin", out.census.max_bin_received() as f64);
+            preround = trace.preround;
+        }
+        let bound = 1.35 * inst.ratio as f64 + 60.0 * (inst.n as f64).ln();
+        table.push_row([
+            Cell::from(inst.n),
+            Cell::from(inst.ratio),
+            Cell::from(agg.mean("rounds")),
+            Cell::from(agg.max("rounds")),
+            Cell::from(agg.mean("bulk")),
+            Cell::from(agg.mean("excess")),
+            Cell::from(agg.max("excess")),
+            Cell::from(agg.max("max_bin")),
+            Cell::from(bound),
+            Cell::from(if preround { "yes" } else { "no" }),
+        ]);
+    }
+    table
+}
+
+/// E6 — Theorem 5 (the `A_light` substrate): load ≤ 2, `log* n + O(1)` rounds,
+/// `O(n)` messages for `n` balls into `n` bins.
+pub fn e6_light(quick: bool) -> Table {
+    let ns: Vec<usize> = if quick {
+        vec![1 << 10, 1 << 12]
+    } else {
+        vec![1 << 10, 1 << 12, 1 << 14, 1 << 16, 1 << 18]
+    };
+    let n_seeds = seeds(quick);
+    let mut table = Table::with_alignments(
+        "E6: A_light (LW16 substrate) — rounds, load and messages (Theorem 5)",
+        &[
+            ("n", Align::Right),
+            ("rounds mean", Align::Right),
+            ("rounds max", Align::Right),
+            ("log* n + 4 reference", Align::Right),
+            ("max load (bound 2)", Align::Right),
+            ("msgs per ball mean", Align::Right),
+        ],
+    );
+    let alloc = LightAllocator::default();
+    for &n in &ns {
+        let mut agg = SeedAggregate::new();
+        for seed in 0..n_seeds {
+            let out = alloc.allocate(n as u64, n, seed);
+            agg.record("rounds", out.rounds as f64);
+            agg.record("max_load", out.max_load() as f64);
+            agg.record("msgs", out.messages.total() as f64 / n as f64);
+        }
+        table.push_row([
+            Cell::from(n),
+            Cell::from(agg.mean("rounds")),
+            Cell::from(agg.max("rounds")),
+            Cell::from(log_star(n as f64) as u64 + 4),
+            Cell::from(agg.max("max_load")),
+            Cell::from(agg.mean("msgs")),
+        ]);
+    }
+    table
+}
+
+/// E7 — the baseline landscape of the introduction: single-choice vs Greedy[2]
+/// vs always-go-left vs batched two-choice vs the trivial deterministic sweep vs
+/// the naive threshold strawman vs `A_heavy` vs the asymmetric algorithm.
+pub fn e7_baselines(quick: bool) -> Table {
+    let (n, ratios, cap): (usize, Vec<u64>, u64) = if quick {
+        (256, vec![16, 256], 1 << 18)
+    } else {
+        (1024, vec![16, 256, 4096], 1 << 23)
+    };
+    let sweep = SweepConfig::cross("E7", &[n], &ratios, seeds(quick), cap);
+    let heavy = HeavyAllocator::default();
+    let asymmetric = AsymmetricAllocator::default();
+    let single = SingleChoiceAllocator::default();
+    let greedy = GreedyDAllocator::new(2);
+    let agl = AlwaysGoLeftAllocator::new(2);
+    let batched = BatchedTwoChoiceAllocator::default();
+    let naive = NaiveThresholdAllocator::new(1, 1);
+    let trivial = TrivialAllocator;
+    let allocators: Vec<&dyn Allocator> = vec![
+        &single, &greedy, &agl, &batched, &naive, &trivial, &heavy, &asymmetric,
+    ];
+    let summaries = run_sweep(&allocators, &sweep);
+    summaries_to_table(
+        "E7: baseline landscape — excess load and round counts across algorithms",
+        &summaries,
+    )
+}
+
+/// E8 — engine fidelity and parallel speed-up: the agent engine, the count
+/// engine, the shared-memory executor and the actor executor agree on the
+/// aggregate behaviour of the same protocol; plus wall-clock speed-up of the
+/// shared-memory executor over rayon thread counts.
+pub fn e8_engines(quick: bool) -> Vec<Table> {
+    let (m, n) = if quick {
+        (1u64 << 16, 1usize << 8)
+    } else {
+        (1u64 << 20, 1usize << 10)
+    };
+    let threshold = (m / n as u64) as u32 + 8;
+
+    let mut fidelity = Table::with_alignments(
+        "E8a: execution-substrate fidelity — same protocol, four executors",
+        &[
+            ("executor", Align::Left),
+            ("max load", Align::Right),
+            ("excess", Align::Right),
+            ("rounds", Align::Right),
+            ("unallocated", Align::Right),
+        ],
+    );
+    let ideal = m.div_ceil(n as u64);
+
+    let mut fixed = FixedThresholdProtocol::new(threshold, 1);
+    fixed.max_rounds = 10_000;
+    let agent = pba_model::engine::run_agent_engine(
+        &fixed,
+        m,
+        n,
+        3,
+        &pba_model::engine::EngineConfig::sequential(),
+    );
+    fidelity.push_row([
+        Cell::from("agent engine (model)"),
+        Cell::from(*agent.loads.iter().max().unwrap() as u64),
+        Cell::from(*agent.loads.iter().max().unwrap() as i64 - ideal as i64),
+        Cell::from(agent.rounds),
+        Cell::from(agent.remaining),
+    ]);
+    let count = run_count_engine(&fixed, m, n, 3);
+    fidelity.push_row([
+        Cell::from("count engine (multinomial)"),
+        Cell::from(*count.loads.iter().max().unwrap() as u64),
+        Cell::from(*count.loads.iter().max().unwrap() as i64 - ideal as i64),
+        Cell::from(count.rounds),
+        Cell::from(count.remaining),
+    ]);
+    let shared = run_concurrent_threshold(m, n, threshold, 10_000, 3);
+    fidelity.push_row([
+        Cell::from("shared-memory (atomics + rayon)"),
+        Cell::from(*shared.loads.iter().max().unwrap() as u64),
+        Cell::from(shared.excess(m)),
+        Cell::from(shared.rounds),
+        Cell::from(shared.unallocated),
+    ]);
+    let actor = run_actor_threshold(m, n, threshold, 10_000, 4, 3);
+    fidelity.push_row([
+        Cell::from("actor (crossbeam channels)"),
+        Cell::from(*actor.loads.iter().max().unwrap() as u64),
+        Cell::from(actor.excess(m)),
+        Cell::from(actor.rounds),
+        Cell::from(actor.unallocated),
+    ]);
+    let heavy_concurrent = run_concurrent_heavy(m, n, 3);
+    fidelity.push_row([
+        Cell::from("shared-memory A_heavy schedule"),
+        Cell::from(*heavy_concurrent.loads.iter().max().unwrap() as u64),
+        Cell::from(heavy_concurrent.excess(m)),
+        Cell::from(heavy_concurrent.rounds),
+        Cell::from(heavy_concurrent.unallocated),
+    ]);
+
+    let threads: Vec<usize> = if quick { vec![1, 2] } else { vec![1, 2, 4, 8] };
+    let mut speedup = Table::with_alignments(
+        "E8b: shared-memory executor wall-clock vs rayon thread count",
+        &[
+            ("threads", Align::Right),
+            ("seconds", Align::Right),
+            ("speedup vs 1 thread", Align::Right),
+        ],
+    );
+    for point in measure_speedup(m, n, threshold, &threads, 5) {
+        speedup.push_row([
+            Cell::from(point.threads),
+            Cell::from(point.seconds),
+            Cell::from(point.speedup),
+        ]);
+    }
+    vec![fidelity, speedup]
+}
+
+/// E9 — ablations: the slack exponent of the threshold schedule (the paper's
+/// `2/3` vs alternatives) and the degree-`d` → degree-1 simulation of Lemmas 2–3.
+pub fn e9_ablation(quick: bool) -> Vec<Table> {
+    let (m, n) = if quick {
+        (1u64 << 16, 1usize << 8)
+    } else {
+        (1u64 << 22, 1usize << 10)
+    };
+    let n_seeds = seeds(quick);
+
+    let mut exponents = Table::with_alignments(
+        "E9a: ablation of the threshold slack exponent α (paper: 2/3)",
+        &[
+            ("alpha", Align::Right),
+            ("phase1 rounds", Align::Right),
+            ("total rounds mean", Align::Right),
+            ("excess mean", Align::Right),
+            ("excess max", Align::Right),
+            ("leftover/n after phase1", Align::Right),
+        ],
+    );
+    for &alpha in &[0.5f64, 2.0 / 3.0, 0.75, 0.9] {
+        let alloc = HeavyAllocator::new(HeavyConfig {
+            slack_exponent: alpha,
+            ..HeavyConfig::default()
+        });
+        let mut agg = SeedAggregate::new();
+        for seed in 0..n_seeds {
+            let (out, trace) = alloc.allocate_traced(m, n, seed);
+            agg.record("phase1", trace.phase1_rounds as f64);
+            agg.record("rounds", out.rounds as f64);
+            agg.record("excess", out.excess(m) as f64);
+            agg.record(
+                "leftover",
+                trace.leftover_after_phase1 as f64 / n as f64,
+            );
+        }
+        exponents.push_row([
+            Cell::from(alpha),
+            Cell::from(agg.mean("phase1")),
+            Cell::from(agg.mean("rounds")),
+            Cell::from(agg.mean("excess")),
+            Cell::from(agg.max("excess")),
+            Cell::from(agg.mean("leftover")),
+        ]);
+    }
+
+    let mut degrees = Table::with_alignments(
+        "E9b: degree-d algorithms vs their degree-1 simulations (Lemmas 2–3)",
+        &[
+            ("degree", Align::Right),
+            ("direct rounds", Align::Right),
+            ("simulated rounds", Align::Right),
+            ("round ratio", Align::Right),
+            ("max-load difference", Align::Right),
+        ],
+    );
+    let (sm, sn) = if quick {
+        (1u64 << 14, 1usize << 7)
+    } else {
+        (1u64 << 17, 1usize << 8)
+    };
+    let threshold = (sm / sn as u64) as u32 + 2;
+    for degree in 1..=3usize {
+        let cmp = simulate_degree_d_by_degree_1(sm, sn, threshold, degree, 7);
+        degrees.push_row([
+            Cell::from(degree),
+            Cell::from(cmp.direct.rounds),
+            Cell::from(cmp.simulated.rounds),
+            Cell::from(cmp.round_ratio()),
+            Cell::from(cmp.max_load_difference()),
+        ]);
+    }
+
+    vec![exponents, degrees]
+}
+
+/// Runs every experiment and returns all tables in order (E1 … E9).
+pub fn all_experiments(quick: bool) -> Vec<Table> {
+    let mut tables = vec![
+        e1_heavy_load_and_rounds(quick),
+        e2_trajectory(quick),
+        e3_messages(quick),
+    ];
+    tables.extend(e4_lower_bound(quick));
+    tables.push(e5_asymmetric(quick));
+    tables.push(e6_light(quick));
+    tables.push(e7_baselines(quick));
+    tables.extend(e8_engines(quick));
+    tables.extend(e9_ablation(quick));
+    tables
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e1_quick_has_expected_shape_and_sane_values() {
+        let t = e1_heavy_load_and_rounds(true);
+        assert!(t.n_rows() >= 4);
+        assert_eq!(t.n_cols(), 10);
+        // Every row must report a complete allocation.
+        for row in t.rows() {
+            assert_eq!(row.last().unwrap().0, "yes");
+        }
+    }
+
+    #[test]
+    fn e2_quick_trajectory_tracks_prediction() {
+        let t = e2_trajectory(true);
+        assert!(t.n_rows() >= 2);
+        // The measured/predicted ratio column should be close to 1 in round 0.
+        let first = &t.rows()[0];
+        let ratio: f64 = first[3].0.parse().unwrap();
+        assert!((ratio - 1.0).abs() < 0.2, "round-0 ratio {ratio}");
+    }
+
+    #[test]
+    fn e4_quick_shows_naive_is_slower_than_heavy() {
+        let tables = e4_lower_bound(true);
+        assert_eq!(tables.len(), 2);
+        let rounds = &tables[1];
+        for row in rounds.rows() {
+            let naive1: f64 = row[2].0.parse().unwrap();
+            let heavy: f64 = row[4].0.parse().unwrap();
+            assert!(
+                naive1 > heavy,
+                "naive ({naive1}) should need more rounds than A_heavy ({heavy})"
+            );
+        }
+    }
+
+    #[test]
+    fn e6_quick_light_meets_theorem5() {
+        let t = e6_light(true);
+        for row in t.rows() {
+            let max_load: f64 = row[4].0.parse().unwrap();
+            assert!(max_load <= 2.0);
+        }
+    }
+
+    #[test]
+    fn e8_quick_fidelity_rows_complete() {
+        let tables = e8_engines(true);
+        assert_eq!(tables.len(), 2);
+        for row in tables[0].rows() {
+            let unallocated: f64 = row[4].0.parse().unwrap();
+            assert_eq!(unallocated, 0.0, "executor {} left balls", row[0].0);
+        }
+        assert!(tables[1].n_rows() >= 2);
+    }
+
+    #[test]
+    fn e9_quick_exponent_ablation_shows_tradeoff() {
+        let tables = e9_ablation(true);
+        let exponents = &tables[0];
+        assert_eq!(exponents.n_rows(), 4);
+        // Larger alpha => more phase-1 rounds (monotone within tolerance).
+        let phase1: Vec<f64> = exponents
+            .rows()
+            .iter()
+            .map(|r| r[1].0.parse().unwrap())
+            .collect();
+        assert!(phase1[0] <= phase1[3] + 0.5);
+    }
+}

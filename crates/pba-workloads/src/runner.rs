@@ -1,0 +1,163 @@
+//! The multi-seed experiment runner.
+//!
+//! Drives any set of [`Allocator`]s over a [`SweepConfig`] and aggregates, per
+//! `(allocator, instance)` pair: excess load over `⌈m/n⌉` (the quantity every
+//! theorem bounds), round counts, messages per ball, and the maximum number of
+//! messages any bin received — each as mean / std / max over the seeds.
+
+use pba_model::outcome::Allocator;
+use pba_stats::{Align, SeedAggregate, Table};
+
+use crate::config::SweepConfig;
+
+/// Aggregated results of one allocator on one instance across all seeds.
+#[derive(Debug, Clone)]
+pub struct AllocatorRunSummary {
+    /// Allocator display name.
+    pub allocator: String,
+    /// Number of bins.
+    pub n: usize,
+    /// Load ratio `m/n`.
+    pub ratio: u64,
+    /// Number of seeds run.
+    pub seeds: u64,
+    /// Whether every run placed every ball.
+    pub all_complete: bool,
+    /// Per-metric aggregates: `excess`, `rounds`, `msgs_per_ball`, `max_bin_msgs`.
+    pub metrics: SeedAggregate,
+}
+
+impl AllocatorRunSummary {
+    /// Mean excess over seeds.
+    pub fn mean_excess(&self) -> f64 {
+        self.metrics.mean("excess")
+    }
+
+    /// Worst-case excess over seeds.
+    pub fn max_excess(&self) -> f64 {
+        self.metrics.max("excess")
+    }
+
+    /// Mean round count over seeds.
+    pub fn mean_rounds(&self) -> f64 {
+        self.metrics.mean("rounds")
+    }
+}
+
+/// Runs every allocator on every instance of the sweep, for every seed.
+pub fn run_sweep<A: Allocator + ?Sized>(
+    allocators: &[&A],
+    sweep: &SweepConfig,
+) -> Vec<AllocatorRunSummary> {
+    let mut out = Vec::new();
+    for inst in &sweep.instances {
+        for alloc in allocators {
+            let mut agg = SeedAggregate::new();
+            let mut all_complete = true;
+            for seed in 0..sweep.seeds {
+                agg.begin_run();
+                let m = inst.m();
+                let outcome = alloc.allocate(m, inst.n, seed);
+                all_complete &= outcome.is_complete(m);
+                agg.record("excess", outcome.excess(m) as f64);
+                agg.record("rounds", outcome.rounds as f64);
+                agg.record("msgs_per_ball", outcome.messages.per_ball(m));
+                agg.record(
+                    "max_bin_msgs",
+                    outcome.census.max_bin_received() as f64,
+                );
+            }
+            out.push(AllocatorRunSummary {
+                allocator: alloc.name(),
+                n: inst.n,
+                ratio: inst.ratio,
+                seeds: sweep.seeds,
+                all_complete,
+                metrics: agg,
+            });
+        }
+    }
+    out
+}
+
+/// Renders run summaries as a table with one row per `(instance, allocator)`.
+pub fn summaries_to_table(title: &str, summaries: &[AllocatorRunSummary]) -> Table {
+    let mut table = Table::with_alignments(
+        title,
+        &[
+            ("n", Align::Right),
+            ("m/n", Align::Right),
+            ("algorithm", Align::Left),
+            ("excess mean", Align::Right),
+            ("excess max", Align::Right),
+            ("rounds mean", Align::Right),
+            ("rounds max", Align::Right),
+            ("msgs/ball", Align::Right),
+            ("max bin msgs", Align::Right),
+            ("complete", Align::Left),
+        ],
+    );
+    for s in summaries {
+        table.push_row([
+            pba_stats::Cell::from(s.n),
+            pba_stats::Cell::from(s.ratio),
+            pba_stats::Cell::from(s.allocator.as_str()),
+            pba_stats::Cell::from(s.metrics.mean("excess")),
+            pba_stats::Cell::from(s.metrics.max("excess")),
+            pba_stats::Cell::from(s.metrics.mean("rounds")),
+            pba_stats::Cell::from(s.metrics.max("rounds")),
+            pba_stats::Cell::from(s.metrics.mean("msgs_per_ball")),
+            pba_stats::Cell::from(s.metrics.max("max_bin_msgs")),
+            pba_stats::Cell::from(if s.all_complete { "yes" } else { "NO" }),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SweepConfig;
+    use pba_algorithms::HeavyAllocator;
+    use pba_baselines::SingleChoiceAllocator;
+    use pba_model::Allocator;
+
+    #[test]
+    fn runs_every_allocator_on_every_instance() {
+        let sweep = SweepConfig::ratio_sweep("test", 64, &[16, 64], 2);
+        let heavy = HeavyAllocator::default();
+        let single = SingleChoiceAllocator::default();
+        let allocators: Vec<&dyn Allocator> = vec![&heavy, &single];
+        let summaries = run_sweep(&allocators, &sweep);
+        assert_eq!(summaries.len(), 4);
+        assert!(summaries.iter().all(|s| s.seeds == 2));
+        assert!(summaries.iter().all(|s| s.all_complete));
+        // Heavy's excess is O(1); single choice is noticeably larger at ratio 64.
+        let heavy64 = summaries
+            .iter()
+            .find(|s| s.allocator == "A_heavy" && s.ratio == 64)
+            .unwrap();
+        let single64 = summaries
+            .iter()
+            .find(|s| s.allocator == "single-choice" && s.ratio == 64)
+            .unwrap();
+        assert!(heavy64.mean_excess() <= 8.0);
+        assert!(single64.mean_excess() > heavy64.mean_excess());
+        assert!(heavy64.mean_rounds() >= 1.0);
+        assert!(heavy64.max_excess() >= heavy64.mean_excess());
+    }
+
+    #[test]
+    fn table_has_one_row_per_summary() {
+        let sweep = SweepConfig::ratio_sweep("test", 32, &[8], 1);
+        let heavy = HeavyAllocator::default();
+        let allocators: Vec<&dyn Allocator> = vec![&heavy];
+        let summaries = run_sweep(&allocators, &sweep);
+        let table = summaries_to_table("T", &summaries);
+        assert_eq!(table.n_rows(), summaries.len());
+        assert_eq!(table.n_cols(), 10);
+        let text = table.render_text();
+        assert!(text.contains("A_heavy"));
+        assert!(text.contains("yes"));
+    }
+}

@@ -1,0 +1,66 @@
+//! The asymmetric superbin algorithm of Section 5 (Theorem 3) in action.
+//!
+//! Shows the per-round schedule (superbin counts, per-bin quotas), the final
+//! load profile and the per-bin message bound — and contrasts its *constant*
+//! round count with `A_heavy`'s `log log(m/n)` rounds on the same instance.
+//!
+//! Run with `cargo run --release --example asymmetric_allocation`.
+
+use parallel_balanced_allocations::algorithms::{AsymmetricAllocator, HeavyAllocator};
+use parallel_balanced_allocations::model::Allocator;
+use parallel_balanced_allocations::stats::{Align, Cell, Table};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let n: usize = args.first().and_then(|s| s.parse().ok()).unwrap_or(1 << 10);
+    let ratio: u64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(1 << 11);
+    let m = n as u64 * ratio;
+    let seed = 11u64;
+
+    println!("Instance: m = {m} balls, n = {n} bins (m/n = {ratio})\n");
+
+    let asymmetric = AsymmetricAllocator::default();
+    let (out, trace) = asymmetric.allocate_traced(m, n, seed);
+    assert!(out.is_complete(m));
+
+    println!("symmetric pre-round used : {}", trace.preround);
+    let mut schedule = Table::with_alignments(
+        "asymmetric round schedule",
+        &[
+            ("round", Align::Right),
+            ("superbins n_r", Align::Right),
+            ("per-bin quota q_r", Align::Left),
+        ],
+    );
+    for (i, (&n_r, &q)) in trace
+        .superbins_per_round
+        .iter()
+        .zip(&trace.quotas_per_round)
+        .enumerate()
+    {
+        let quota = if q == u64::MAX {
+            "accept everything (final)".to_string()
+        } else {
+            q.to_string()
+        };
+        schedule.push_row([Cell::from(i + 1), Cell::from(n_r), Cell::from(quota)]);
+    }
+    println!("{}", schedule.render_text());
+
+    println!("rounds                  : {}", out.rounds);
+    println!("excess over ⌈m/n⌉       : {}   (Theorem 3: O(1))", out.excess(m));
+    println!(
+        "max messages at a bin   : {}   (bound: (1+o(1))·m/n + O(log n) = {:.0})",
+        out.census.max_bin_received(),
+        1.05 * ratio as f64 + 60.0 * (n as f64).ln()
+    );
+
+    // Contrast with the symmetric algorithm on the same instance.
+    let heavy = HeavyAllocator::default().allocate(m, n, seed);
+    println!(
+        "\nA_heavy on the same instance: {} rounds, excess {} — asymmetry buys a round count that\n\
+         does not grow with m/n at all.",
+        heavy.rounds,
+        heavy.excess(m)
+    );
+}

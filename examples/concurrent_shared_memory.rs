@@ -1,0 +1,67 @@
+//! Running the threshold protocol as a real shared-memory parallel program.
+//!
+//! The model crates simulate the synchronous rounds; this example executes the
+//! same protocol with bins as atomic counters and balls fanned out over a rayon
+//! thread pool (and, for comparison, over crossbeam channel actors), then checks
+//! that the load guarantees carry over and reports the wall-clock speed-up
+//! curve.
+//!
+//! Run with `cargo run --release --example concurrent_shared_memory`.
+
+use parallel_balanced_allocations::concurrent::{
+    measure_speedup, run_actor_threshold, run_concurrent_heavy, run_concurrent_threshold,
+};
+use parallel_balanced_allocations::stats::{Align, Cell, Table};
+
+fn main() {
+    let n = 1usize << 10;
+    let m = (n as u64) << 10;
+    let threshold = (m / n as u64) as u32 + 8;
+    let seed = 5u64;
+
+    println!("Instance: m = {m}, n = {n}, fixed threshold ⌈m/n⌉+8\n");
+
+    let shared = run_concurrent_threshold(m, n, threshold, 10_000, seed);
+    let actor = run_actor_threshold(m, n, threshold, 10_000, 4, seed);
+    let heavy = run_concurrent_heavy(m, n, seed);
+
+    let mut table = Table::with_alignments(
+        "shared-memory executions",
+        &[
+            ("executor", Align::Left),
+            ("rounds", Align::Right),
+            ("max load", Align::Right),
+            ("excess", Align::Right),
+            ("unallocated", Align::Right),
+        ],
+    );
+    for (name, out) in [
+        ("atomics + rayon (fixed threshold)", &shared),
+        ("crossbeam actors (fixed threshold)", &actor),
+        ("atomics + rayon (A_heavy schedule)", &heavy),
+    ] {
+        table.push_row([
+            Cell::from(name),
+            Cell::from(out.rounds),
+            Cell::from(out.loads.iter().copied().max().unwrap_or(0) as u64),
+            Cell::from(out.excess(m)),
+            Cell::from(out.unallocated),
+        ]);
+    }
+    println!("{}", table.render_text());
+
+    println!("speed-up of one fixed-threshold allocation vs rayon threads:");
+    let mut speed = Table::with_alignments(
+        "wall-clock speed-up",
+        &[
+            ("threads", Align::Right),
+            ("seconds", Align::Right),
+            ("speed-up", Align::Right),
+        ],
+    );
+    for p in measure_speedup(m, n, threshold, &[1, 2, 4], seed) {
+        speed.push_row([Cell::from(p.threads), Cell::from(p.seconds), Cell::from(p.speedup)]);
+    }
+    println!("{}", speed.render_text());
+    println!("(On a single-core host the speed-up column is expectedly flat.)");
+}

@@ -1,0 +1,53 @@
+//! Quickstart: allocate m balls into n bins with the paper's symmetric
+//! threshold algorithm `A_heavy` and print the headline quantities of Theorem 1.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example quickstart
+//! cargo run --release --example quickstart -- 2097152 1024 7   # m n seed
+//! ```
+
+use parallel_balanced_allocations::algorithms::HeavyAllocator;
+use parallel_balanced_allocations::stats::{log_log2, log_star};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let m: u64 = args.first().and_then(|s| s.parse().ok()).unwrap_or(1 << 20);
+    let n: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(1 << 10);
+    let seed: u64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(42);
+
+    println!("Allocating m = {m} balls into n = {n} bins (seed {seed}) with A_heavy…\n");
+
+    let allocator = HeavyAllocator::default();
+    let (outcome, trace) = allocator.allocate_traced(m, n, seed);
+    let metrics = outcome.load_metrics();
+
+    let ideal = m.div_ceil(n as u64);
+    println!("ideal load ⌈m/n⌉        : {ideal}");
+    println!("maximal bin load        : {}", metrics.max_load);
+    println!("excess over ⌈m/n⌉       : {}   (Theorem 1: O(1))", outcome.excess(m));
+    println!("minimum bin load        : {}", metrics.min_load);
+    println!(
+        "rounds                  : {}   (phase 1: {}, phase 2: {})",
+        outcome.rounds, trace.phase1_rounds, trace.phase2_rounds
+    );
+    println!(
+        "Theorem 1 round budget  : ~log2log2(m/n) + log* n = {:.1} + {}",
+        log_log2(m as f64 / n as f64),
+        log_star(n as f64)
+    );
+    println!(
+        "total messages          : {}   ({:.2} per ball; Theorem 6: O(1) expected)",
+        outcome.messages.total(),
+        outcome.messages.per_ball(m)
+    );
+    println!(
+        "max messages at a bin   : {}   (bound: (1+o(1))·m/n + O(log n))",
+        outcome.census.max_bin_received()
+    );
+    println!(
+        "\nload histogram (load: #bins): {}",
+        metrics.histogram.render_compact()
+    );
+    assert!(outcome.is_complete(m), "every ball must be placed");
+}

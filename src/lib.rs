@@ -1,0 +1,82 @@
+//! # Parallel Balanced Allocations: The Heavily Loaded Case — reproduction
+//!
+//! This crate is the façade of a full reproduction of
+//! *Parallel Balanced Allocations: The Heavily Loaded Case*
+//! (Christoph Lenzen, Merav Parter, Eylon Yogev — SPAA 2019, arXiv:1904.07532).
+//!
+//! The paper studies the parallel balls-into-bins problem in the heavily loaded
+//! regime `m ≫ n` and shows that a simple symmetric threshold algorithm achieves
+//! a maximal bin load of `m/n + O(1)` within `O(log log(m/n) + log* n)`
+//! synchronous rounds, that this round count is optimal for uniform threshold
+//! algorithms, and that an asymmetric variant needs only `O(1)` rounds.
+//!
+//! The workspace is organised as one crate per subsystem; this façade re-exports
+//! them under stable module names:
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`model`] | `pba-model` | the synchronous message-passing model: protocol trait, agent/count engines, RNG streams, message accounting, [`Allocator`](model::Allocator) |
+//! | [`algorithms`] | `pba-algorithms` | `A_heavy`, `A_light` (LW16 substrate), the asymmetric superbin algorithm, the trivial deterministic sweep, the naive fixed-threshold strawman, threshold schedules |
+//! | [`baselines`] | `pba-baselines` | single-choice, sequential Greedy[d], always-go-left, batched two-choice |
+//! | [`lowerbound`] | `pba-lowerbound` | the Section 4 apparatus: rejection census, class decomposition, degree simulation, round predictions |
+//! | [`concurrent`] | `pba-concurrent` | shared-memory execution: atomic bins, rayon executor, crossbeam actor executor, speed-up harness |
+//! | [`stats`] | `pba-stats` | tails, histograms, load metrics, tables, multi-seed aggregation |
+//! | [`workloads`] | `pba-workloads` | experiment configurations and the E1–E9 experiment definitions |
+//!
+//! ## Quick start
+//!
+//! ```
+//! use parallel_balanced_allocations::prelude::*;
+//!
+//! let m = 1u64 << 16;       // balls
+//! let n = 1usize << 8;      // bins
+//! let outcome = HeavyAllocator::default().allocate(m, n, 42);
+//!
+//! assert!(outcome.is_complete(m));
+//! // Theorem 1: the excess over ⌈m/n⌉ is O(1).
+//! assert!(outcome.excess(m) <= 8);
+//! ```
+//!
+//! See `examples/` for runnable end-to-end scenarios and `DESIGN.md` /
+//! `EXPERIMENTS.md` for the experiment index and measured results.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use pba_algorithms as algorithms;
+pub use pba_baselines as baselines;
+pub use pba_concurrent as concurrent;
+pub use pba_lowerbound as lowerbound;
+pub use pba_model as model;
+pub use pba_stats as stats;
+pub use pba_workloads as workloads;
+
+/// The most common imports for library users.
+pub mod prelude {
+    pub use pba_algorithms::{
+        AsymmetricAllocator, HeavyAllocator, HeavyConfig, LightAllocator, LightConfig,
+        NaiveThresholdAllocator, TrivialAllocator,
+    };
+    pub use pba_baselines::{GreedyDAllocator, SingleChoiceAllocator};
+    pub use pba_model::{AllocationOutcome, Allocator, EngineConfig};
+    pub use pba_stats::{LoadMetrics, Table};
+}
+
+/// The arXiv identifier of the reproduced paper.
+pub const PAPER_ARXIV_ID: &str = "1904.07532";
+
+/// The venue of the reproduced paper.
+pub const PAPER_VENUE: &str = "SPAA 2019";
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn facade_reexports_are_usable() {
+        let out = HeavyAllocator::default().allocate(1 << 12, 1 << 6, 1);
+        assert!(out.is_complete(1 << 12));
+        assert_eq!(crate::PAPER_VENUE, "SPAA 2019");
+        assert!(crate::PAPER_ARXIV_ID.contains("1904"));
+    }
+}

@@ -1,0 +1,80 @@
+//! Cross-crate integration tests for the execution substrates (experiment E8):
+//! the model engines, the shared-memory executor and the actor executor must
+//! agree on the aggregate behaviour of the same protocol.
+
+use parallel_balanced_allocations::concurrent::{
+    run_actor_threshold, run_concurrent_heavy, run_concurrent_threshold, AtomicBins,
+};
+use parallel_balanced_allocations::model::engine::{
+    run_agent_engine, run_count_engine, EngineConfig,
+};
+use parallel_balanced_allocations::model::protocol::FixedThresholdProtocol;
+
+#[test]
+fn four_substrates_agree_on_aggregate_outcome() {
+    let m = 1u64 << 16;
+    let n = 1usize << 8;
+    let t = (m / n as u64) as u32 + 8;
+    let mut protocol = FixedThresholdProtocol::new(t, 1);
+    protocol.max_rounds = 10_000;
+
+    let agent = run_agent_engine(&protocol, m, n, 7, &EngineConfig::sequential());
+    let count = run_count_engine(&protocol, m, n, 7);
+    let shared = run_concurrent_threshold(m, n, t, 10_000, 7);
+    let actor = run_actor_threshold(m, n, t, 10_000, 4, 7);
+
+    for (name, loads, remaining) in [
+        ("agent", &agent.loads, agent.remaining),
+        ("count", &count.loads, count.remaining),
+        ("shared", &shared.loads, shared.unallocated),
+        ("actor", &actor.loads, actor.unallocated),
+    ] {
+        assert_eq!(remaining, 0, "{name} left balls behind");
+        assert_eq!(
+            loads.iter().map(|&l| l as u64).sum::<u64>(),
+            m,
+            "{name} lost balls"
+        );
+        assert!(loads.iter().all(|&l| l <= t), "{name} violated the threshold");
+    }
+
+    // Max loads land in the same narrow band (the threshold is the cap).
+    let maxes: Vec<u64> = [&agent.loads, &count.loads, &shared.loads, &actor.loads]
+        .iter()
+        .map(|ls| ls.iter().copied().max().unwrap() as u64)
+        .collect();
+    let spread = maxes.iter().max().unwrap() - maxes.iter().min().unwrap();
+    assert!(spread <= 8, "max loads diverge: {maxes:?}");
+}
+
+#[test]
+fn shared_memory_heavy_schedule_reproduces_theorem1_load() {
+    let m = 1u64 << 18;
+    let n = 1usize << 8;
+    let out = run_concurrent_heavy(m, n, 3);
+    assert_eq!(out.unallocated, 0);
+    assert!(out.excess(m) <= 12, "excess {}", out.excess(m));
+}
+
+#[test]
+fn atomic_bins_used_directly_respect_caps_under_contention() {
+    let bins = std::sync::Arc::new(AtomicBins::new(16));
+    let cap = 100u32;
+    let handles: Vec<_> = (0..4)
+        .map(|t| {
+            let bins = std::sync::Arc::clone(&bins);
+            std::thread::spawn(move || {
+                let mut accepted = 0u32;
+                for i in 0..2_000u32 {
+                    if bins.try_acquire(((i + t) % 16) as usize, cap) {
+                        accepted += 1;
+                    }
+                }
+                accepted
+            })
+        })
+        .collect();
+    let total: u32 = handles.into_iter().map(|h| h.join().unwrap()).sum();
+    assert_eq!(total as u64, bins.total());
+    assert_eq!(bins.total(), 16 * cap as u64);
+}

@@ -1,0 +1,64 @@
+//! Smoke tests for the experiment harness (quick mode): every experiment
+//! E1–E9 produces non-empty tables with the expected shape, and the Markdown
+//! report embeds all of them. These are the same entry points the `pba-bench`
+//! binaries and EXPERIMENTS.md use.
+
+use parallel_balanced_allocations::workloads::experiments;
+use parallel_balanced_allocations::workloads::report::render_experiments_markdown;
+
+#[test]
+fn all_quick_experiments_produce_tables() {
+    let tables = experiments::all_experiments(true);
+    // E1, E2, E3, E4(2), E5, E6, E7, E8(2), E9(2) = 12 tables.
+    assert_eq!(tables.len(), 12);
+    for table in &tables {
+        assert!(table.n_rows() > 0, "table '{}' is empty", table.title());
+        assert!(table.n_cols() >= 3, "table '{}' too narrow", table.title());
+    }
+}
+
+#[test]
+fn markdown_report_covers_every_experiment() {
+    let tables = experiments::all_experiments(true);
+    let md = render_experiments_markdown(&tables);
+    for prefix in ["E1", "E2", "E3", "E4a", "E4b", "E5", "E6", "E7", "E8a", "E8b", "E9a", "E9b"] {
+        assert!(
+            md.contains(&format!("### {prefix}")),
+            "report is missing section {prefix}"
+        );
+    }
+    assert!(md.contains("Claim reproduced"));
+}
+
+#[test]
+fn e7_baseline_table_contains_every_algorithm() {
+    let table = experiments::e7_baselines(true);
+    let text = table.render_text();
+    for name in [
+        "single-choice",
+        "greedy[2]",
+        "always-go-left[2]",
+        "batched-2-choice",
+        "naive-threshold",
+        "trivial-deterministic",
+        "A_heavy",
+        "asymmetric-superbin",
+    ] {
+        assert!(text.contains(name), "E7 table is missing {name}");
+    }
+}
+
+#[test]
+fn e5_asymmetric_rounds_stay_constant_across_ratios() {
+    let table = experiments::e5_asymmetric(true);
+    let max_rounds: Vec<f64> = table
+        .rows()
+        .iter()
+        .map(|r| r[3].0.parse::<f64>().unwrap())
+        .collect();
+    assert!(!max_rounds.is_empty());
+    assert!(
+        max_rounds.iter().cloned().fold(0.0, f64::max) <= 10.0,
+        "asymmetric round counts {max_rounds:?} are not constant-like"
+    );
+}

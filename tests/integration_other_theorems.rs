@@ -1,0 +1,98 @@
+//! Cross-crate integration tests for the remaining theorems: the asymmetric
+//! algorithm (Theorem 3), the `A_light` substrate (Theorem 5), the lower bound
+//! (Theorems 2/7), and the baseline ordering the introduction describes.
+
+use parallel_balanced_allocations::algorithms::{
+    AsymmetricAllocator, LightAllocator, NaiveThresholdAllocator, TrivialAllocator,
+};
+use parallel_balanced_allocations::baselines::{
+    standard_baselines, GreedyDAllocator, SingleChoiceAllocator,
+};
+use parallel_balanced_allocations::lowerbound::rejection::{run_rejection_phase, uniform_capacities};
+use parallel_balanced_allocations::lowerbound::{
+    lower_bound_round_prediction, measure_rounds_to_finish,
+};
+use parallel_balanced_allocations::prelude::*;
+use parallel_balanced_allocations::stats::log_star;
+
+#[test]
+fn theorem3_asymmetric_constant_rounds_and_load() {
+    let n = 1usize << 10;
+    for &ratio in &[1u64 << 6, 1 << 10, 1 << 12] {
+        let m = n as u64 * ratio;
+        let out = AsymmetricAllocator::default().allocate(m, n, 2);
+        assert!(out.is_complete(m));
+        assert!(out.rounds <= 9, "ratio {ratio}: {} rounds", out.rounds);
+        assert!(out.excess(m) <= 16, "ratio {ratio}: excess {}", out.excess(m));
+        let bin_bound = 1.35 * ratio as f64 + 60.0 * (n as f64).ln();
+        assert!((out.census.max_bin_received() as f64) <= bin_bound);
+    }
+}
+
+#[test]
+fn theorem5_light_substrate_guarantees() {
+    for &n in &[1usize << 10, 1 << 14] {
+        let out = LightAllocator::default().allocate(n as u64, n, 4);
+        assert!(out.is_complete(n as u64));
+        assert!(out.max_load() <= 2);
+        assert!(out.rounds <= log_star(n as f64) as usize + 6);
+        assert!(out.messages.total() <= 16 * n as u64);
+    }
+}
+
+#[test]
+fn theorem7_single_phase_rejections_scale() {
+    let n = 1usize << 10;
+    let m = (n as u64) << 10;
+    let census = run_rejection_phase(m, &uniform_capacities(m, n, 1), 0);
+    assert!(census.rejected > 0, "a capacity-M+n phase must reject balls");
+    // Within a wide constant band of the √(Mn)/t prediction.
+    let c = census.constant_estimate();
+    assert!(c > 0.05 && c < 50.0, "constant {c}");
+}
+
+#[test]
+fn theorem2_round_ordering_naive_vs_heavy_vs_prediction() {
+    let n = 1usize << 9;
+    let m = (n as u64) << 8;
+    let seeds = [0u64, 1];
+    let (naive_rounds, _) =
+        measure_rounds_to_finish(&NaiveThresholdAllocator::new(1, 1), m, n, &seeds);
+    let (heavy_rounds, _) = measure_rounds_to_finish(&HeavyAllocator::default(), m, n, &seeds);
+    let prediction = lower_bound_round_prediction(m, n, 4.0) as f64;
+    assert!(heavy_rounds + 1.0 >= prediction / 2.0, "heavy {heavy_rounds} vs prediction {prediction}");
+    assert!(
+        naive_rounds >= 2.0 * heavy_rounds,
+        "naive {naive_rounds} vs heavy {heavy_rounds}"
+    );
+}
+
+#[test]
+fn introduction_ordering_of_excesses() {
+    // single-choice ≫ greedy[2] ≥ heavy ≈ O(1); trivial is perfectly balanced.
+    let n = 1usize << 10;
+    let m = (n as u64) << 10;
+    let seed = 13u64;
+    let single = SingleChoiceAllocator::default().allocate(m, n, seed).excess(m);
+    let greedy = GreedyDAllocator::new(2).allocate(m, n, seed).excess(m);
+    let heavy = HeavyAllocator::default().allocate(m, n, seed).excess(m);
+    let trivial = TrivialAllocator.allocate(m, n, seed).excess(m);
+    assert!(single > 4 * greedy.max(1), "single {single} vs greedy {greedy}");
+    assert!(greedy <= 6);
+    assert!(heavy <= 8);
+    assert_eq!(trivial, 0);
+}
+
+#[test]
+fn every_standard_baseline_completes_and_conserves() {
+    let m = 50_000u64;
+    let n = 250usize;
+    for alloc in standard_baselines() {
+        for seed in 0..2u64 {
+            let out = alloc.allocate(m, n, seed);
+            assert!(out.is_complete(m), "{}", alloc.name());
+            assert!(out.conserves_balls(m), "{}", alloc.name());
+            assert!(out.max_load() >= m.div_ceil(n as u64));
+        }
+    }
+}

@@ -1,0 +1,95 @@
+//! Cross-crate "shape" tests: fit power-law exponents to the measured sweeps and
+//! check they match the exponents the paper's theorems predict. This is the
+//! closest thing to comparing a figure's *shape* against the paper: who grows,
+//! at what rate, and who stays flat.
+
+use parallel_balanced_allocations::baselines::SingleChoiceAllocator;
+use parallel_balanced_allocations::lowerbound::claim5::measure_overload_probability;
+use parallel_balanced_allocations::lowerbound::rejection::{
+    run_rejection_phase, uniform_capacities,
+};
+use parallel_balanced_allocations::prelude::*;
+use parallel_balanced_allocations::stats::power_law_exponent;
+
+/// Single-choice excess grows like `(m/n)^{1/2}` (the `√(m/n·log n)` of the
+/// abstract), while `A_heavy`'s excess has exponent ≈ 0.
+#[test]
+fn excess_exponents_match_the_abstract() {
+    let n = 1usize << 10;
+    let ratios: Vec<u64> = vec![1 << 4, 1 << 6, 1 << 8, 1 << 10, 1 << 12];
+    let xs: Vec<f64> = ratios.iter().map(|&r| r as f64).collect();
+
+    let mut single_excess = Vec::new();
+    let mut heavy_excess = Vec::new();
+    for &r in &ratios {
+        let m = n as u64 * r;
+        // Average over a few seeds to tame the noise in the fitted exponent.
+        let avg = |f: &dyn Fn(u64) -> i64| -> f64 {
+            (0..3).map(|s| f(s) as f64).sum::<f64>() / 3.0
+        };
+        single_excess.push(avg(&|s| {
+            SingleChoiceAllocator::default().allocate(m, n, s).excess(m)
+        }));
+        heavy_excess.push(avg(&|s| HeavyAllocator::default().allocate(m, n, s).excess(m)));
+    }
+
+    let (alpha_single, r2_single) = power_law_exponent(&xs, &single_excess).unwrap();
+    assert!(
+        (0.3..=0.7).contains(&alpha_single),
+        "single-choice excess exponent {alpha_single} (R²={r2_single}) is not ≈ 1/2"
+    );
+    assert!(r2_single > 0.9, "single-choice excess should follow a clean power law");
+
+    let (alpha_heavy, _) = power_law_exponent(&xs, &heavy_excess).unwrap();
+    assert!(
+        alpha_heavy.abs() < 0.15,
+        "A_heavy excess exponent {alpha_heavy} should be ≈ 0 (m-independent)"
+    );
+}
+
+/// Theorem 7: one threshold phase rejects `Θ(√(M·n)/t)` balls, so the rejected
+/// count grows with exponent ≈ 1/2 in `M` (at fixed `n`, `t` varies only
+/// logarithmically).
+#[test]
+fn rejection_exponent_is_one_half_in_m() {
+    let n = 1usize << 10;
+    let ratios: Vec<u64> = vec![1 << 6, 1 << 8, 1 << 10, 1 << 12];
+    let xs: Vec<f64> = ratios.iter().map(|&r| (n as u64 * r) as f64).collect();
+    let ys: Vec<f64> = ratios
+        .iter()
+        .map(|&r| {
+            let m = n as u64 * r;
+            let caps = uniform_capacities(m, n, 1);
+            (0..3)
+                .map(|s| run_rejection_phase(m, &caps, s).rejected as f64)
+                .sum::<f64>()
+                / 3.0
+        })
+        .collect();
+    let (alpha, r2) = power_law_exponent(&xs, &ys).unwrap();
+    assert!(
+        (0.35..=0.65).contains(&alpha),
+        "rejection exponent {alpha} (R²={r2}) is not ≈ 1/2"
+    );
+}
+
+/// Claim 5: the probability that a bin receives `μ + 2√μ` requests is a
+/// constant — it must not decay as the load ratio grows.
+#[test]
+fn claim5_overload_probability_is_flat_in_the_ratio() {
+    let n = 1usize << 8;
+    let ratios: Vec<u64> = vec![1 << 8, 1 << 10, 1 << 12];
+    let xs: Vec<f64> = ratios.iter().map(|&r| r as f64).collect();
+    let ys: Vec<f64> = ratios
+        .iter()
+        .map(|&r| {
+            measure_overload_probability(n as u64 * r, n, 30, 5).empirical_probability
+        })
+        .collect();
+    assert!(ys.iter().all(|&p| p > 0.005), "probabilities {ys:?}");
+    let (alpha, _) = power_law_exponent(&xs, &ys).unwrap();
+    assert!(
+        alpha.abs() < 0.25,
+        "overload probability should be ratio-independent, exponent {alpha} ({ys:?})"
+    );
+}

@@ -1,0 +1,132 @@
+//! Cross-crate integration tests for Theorem 1 / Theorem 6: the symmetric
+//! threshold algorithm `A_heavy` achieves `m/n + O(1)` load within
+//! `O(log log(m/n) + log* n)` rounds using `O(m)` messages, across the parameter
+//! grid the experiments use.
+
+use parallel_balanced_allocations::prelude::*;
+use parallel_balanced_allocations::stats::{log_log2, log_star};
+
+#[test]
+fn theorem1_load_rounds_and_messages_across_grid() {
+    for &(n, ratio) in &[
+        (1usize << 8, 1u64 << 4),
+        (1 << 8, 1 << 10),
+        (1 << 10, 1 << 8),
+        (1 << 12, 1 << 6),
+    ] {
+        let m = n as u64 * ratio;
+        for seed in 0..2u64 {
+            let out = HeavyAllocator::default().allocate(m, n, seed);
+            assert!(out.is_complete(m), "n={n} ratio={ratio} seed={seed}");
+            assert!(
+                out.excess(m) <= 8,
+                "n={n} ratio={ratio} seed={seed}: excess {}",
+                out.excess(m)
+            );
+            let round_budget =
+                log_log2(ratio as f64).ceil() as usize + log_star(n as f64) as usize + 8;
+            assert!(
+                out.rounds <= round_budget,
+                "n={n} ratio={ratio} seed={seed}: {} rounds > {round_budget}",
+                out.rounds
+            );
+            assert!(
+                out.messages.requests <= 3 * m,
+                "n={n} ratio={ratio}: {} requests",
+                out.messages.requests
+            );
+        }
+    }
+}
+
+#[test]
+fn rounds_grow_double_logarithmically_with_ratio() {
+    // The defining scaling of Theorem 1: squaring m/n adds only O(1) rounds.
+    let n = 1usize << 8;
+    let rounds_at = |ratio: u64| {
+        let m = n as u64 * ratio;
+        HeavyAllocator::default().allocate(m, n, 3).rounds
+    };
+    let r_small = rounds_at(1 << 6);
+    let r_medium = rounds_at(1 << 12);
+    let r_large = rounds_at(1 << 15);
+    // Total rounds include the (noisy, ±2) A_light clean-up phase, so only the
+    // coarse double-logarithmic scaling is asserted: hugely larger ratios may add
+    // only a handful of rounds.
+    assert!(
+        r_medium.saturating_sub(r_small) <= 4,
+        "squaring the ratio added too many rounds: {r_small} -> {r_medium}"
+    );
+    assert!(
+        r_large.saturating_sub(r_medium) <= 3,
+        "{r_medium} -> {r_large}"
+    );
+    // And the phase-1 round count (a deterministic function of the schedule) is
+    // genuinely monotone in the ratio.
+    let phase1_at = |ratio: u64| {
+        HeavyAllocator::default()
+            .allocate_traced(n as u64 * ratio, n, 3)
+            .1
+            .phase1_rounds
+    };
+    assert!(phase1_at(1 << 12) >= phase1_at(1 << 6));
+    assert!(phase1_at(1 << 15) >= phase1_at(1 << 12));
+}
+
+#[test]
+fn excess_does_not_grow_with_ratio_unlike_single_choice() {
+    let n = 1usize << 10;
+    let excess_heavy = |ratio: u64| {
+        let m = n as u64 * ratio;
+        HeavyAllocator::default().allocate(m, n, 5).excess(m)
+    };
+    let excess_single = |ratio: u64| {
+        let m = n as u64 * ratio;
+        SingleChoiceAllocator::default().allocate(m, n, 5).excess(m)
+    };
+    // Heavy: flat in the ratio. Single choice: grows like sqrt(ratio).
+    let h1 = excess_heavy(1 << 6);
+    let h2 = excess_heavy(1 << 12);
+    assert!((h1 - h2).abs() <= 6, "heavy excess moved: {h1} vs {h2}");
+    let s1 = excess_single(1 << 6);
+    let s2 = excess_single(1 << 12);
+    assert!(
+        s2 >= 3 * s1,
+        "single-choice excess should grow substantially: {s1} vs {s2}"
+    );
+    assert!(h2 < s2 / 4, "heavy ({h2}) must beat single choice ({s2}) clearly");
+}
+
+#[test]
+fn heavy_config_knobs_are_respected() {
+    let m = 1u64 << 16;
+    let n = 1usize << 8;
+    // Per-ball tracking.
+    let tracked = HeavyAllocator::new(HeavyConfig {
+        track_per_ball: true,
+        ..HeavyConfig::default()
+    })
+    .allocate(m, n, 1);
+    assert_eq!(tracked.census.per_ball_sent.len(), m as usize);
+    assert!(tracked.census.mean_ball_sent() >= 1.0);
+    // Parallel sampling must be bit-identical to sequential.
+    let parallel = HeavyAllocator::new(HeavyConfig {
+        parallel: true,
+        ..HeavyConfig::default()
+    })
+    .allocate(m, n, 1);
+    let sequential = HeavyAllocator::default().allocate(m, n, 1);
+    assert_eq!(parallel.loads, sequential.loads);
+}
+
+#[test]
+fn load_metrics_view_is_consistent_with_outcome() {
+    let m = 1u64 << 14;
+    let n = 1usize << 7;
+    let out = HeavyAllocator::default().allocate(m, n, 9);
+    let metrics: LoadMetrics = out.load_metrics();
+    assert_eq!(metrics.total_balls, m);
+    assert_eq!(metrics.bins, n);
+    assert_eq!(metrics.max_load, out.max_load());
+    assert_eq!(metrics.histogram.total(), n as u64);
+}

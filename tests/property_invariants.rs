@@ -1,0 +1,125 @@
+//! Property-based tests (proptest) for the workspace-wide invariants:
+//! conservation of balls, threshold caps, determinism, and schedule sanity,
+//! over randomly drawn instance sizes and seeds.
+
+use proptest::prelude::*;
+
+use parallel_balanced_allocations::algorithms::schedule::ThresholdSchedule;
+use parallel_balanced_allocations::algorithms::{
+    AsymmetricAllocator, HeavyAllocator, LightAllocator, NaiveThresholdAllocator, TrivialAllocator,
+};
+use parallel_balanced_allocations::model::engine::{run_agent_engine, EngineConfig};
+use parallel_balanced_allocations::model::protocol::FixedThresholdProtocol;
+use parallel_balanced_allocations::model::Allocator;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every allocator in the workspace conserves balls and never reports an
+    /// incomplete allocation on feasible instances.
+    #[test]
+    fn allocators_conserve_and_complete(
+        n in 2usize..200,
+        ratio in 1u64..64,
+        seed in 0u64..1_000,
+    ) {
+        let m = n as u64 * ratio;
+        let allocators: Vec<Box<dyn Allocator>> = vec![
+            Box::new(HeavyAllocator::default()),
+            Box::new(AsymmetricAllocator::default()),
+            Box::new(NaiveThresholdAllocator::new(2, 1)),
+            Box::new(TrivialAllocator),
+        ];
+        for alloc in allocators {
+            let out = alloc.allocate(m, n, seed);
+            prop_assert!(out.conserves_balls(m), "{} does not conserve", alloc.name());
+            prop_assert!(out.is_complete(m), "{} incomplete", alloc.name());
+            prop_assert_eq!(out.loads.len(), n);
+        }
+    }
+
+    /// The heavy allocator's excess stays O(1) over random instances.
+    #[test]
+    fn heavy_excess_is_bounded(
+        n_exp in 5u32..10,
+        ratio_exp in 2u32..12,
+        seed in 0u64..1_000,
+    ) {
+        let n = 1usize << n_exp;
+        let m = (n as u64) << ratio_exp;
+        let out = HeavyAllocator::default().allocate(m, n, seed);
+        prop_assert!(out.is_complete(m));
+        prop_assert!(out.excess(m) <= 10, "excess {}", out.excess(m));
+    }
+
+    /// A_light never exceeds its capacity and always terminates for u ≤ n balls.
+    #[test]
+    fn light_respects_capacity(
+        n_exp in 6u32..13,
+        frac in 1u64..=4,
+        seed in 0u64..1_000,
+    ) {
+        let n = 1usize << n_exp;
+        let u = (n as u64) * frac / 4;
+        let out = LightAllocator::default().allocate(u, n, seed);
+        prop_assert!(out.is_complete(u));
+        prop_assert!(out.max_load() <= 2);
+    }
+
+    /// The agent engine respects per-bin thresholds and conserves balls even when
+    /// the total capacity is insufficient.
+    #[test]
+    fn engine_threshold_cap_and_conservation(
+        n in 2usize..128,
+        ratio in 1u64..32,
+        threshold in 1u32..64,
+        seed in 0u64..1_000,
+    ) {
+        let m = n as u64 * ratio;
+        let mut protocol = FixedThresholdProtocol::new(threshold, 1);
+        protocol.max_rounds = 256;
+        let r = run_agent_engine(&protocol, m, n, seed, &EngineConfig::sequential());
+        prop_assert!(r.loads.iter().all(|&l| l <= threshold));
+        let allocated: u64 = r.loads.iter().map(|&l| l as u64).sum();
+        prop_assert_eq!(allocated + r.remaining, m);
+    }
+
+    /// Allocations are a pure function of (m, n, seed).
+    #[test]
+    fn determinism_per_seed(
+        n in 2usize..128,
+        ratio in 1u64..32,
+        seed in 0u64..1_000,
+    ) {
+        let m = n as u64 * ratio;
+        let a = HeavyAllocator::default().allocate(m, n, seed);
+        let b = HeavyAllocator::default().allocate(m, n, seed);
+        prop_assert_eq!(a.loads, b.loads);
+        prop_assert_eq!(a.rounds, b.rounds);
+        prop_assert_eq!(a.messages, b.messages);
+    }
+
+    /// Threshold schedules are monotone, stay below the mean, and their leftover
+    /// prediction is O(n).
+    #[test]
+    fn schedule_invariants(
+        n_exp in 4u32..12,
+        ratio_exp in 3u32..20,
+    ) {
+        let n = 1usize << n_exp;
+        let m = (n as u64) << ratio_exp;
+        let s = ThresholdSchedule::new(m, n, 2.0);
+        let mean = m / n as u64;
+        let mut prev = 0u64;
+        for &t in &s.thresholds {
+            prop_assert!(t >= prev);
+            prop_assert!(t < mean);
+            prev = t;
+        }
+        if s.rounds() > 0 {
+            // The schedule may stop one step early when integer flooring stalls progress,
+            // so the leftover prediction is O(n) with a small constant rather than exactly 2n.
+            prop_assert!(s.predicted_leftover() <= 4.0 * n as f64 + 1.0);
+        }
+    }
+}
