@@ -327,7 +327,11 @@ mod tests {
     fn constant_rounds_and_constant_excess_heavy_regime() {
         // m > n log n: pre-round plus a handful of asymmetric rounds, independent
         // of how large m/n is.
-        for &(m, n) in &[(1u64 << 20, 1usize << 10), (1 << 22, 1 << 12), (1 << 18, 1 << 8)] {
+        for &(m, n) in &[
+            (1u64 << 20, 1usize << 10),
+            (1 << 22, 1 << 12),
+            (1 << 18, 1 << 8),
+        ] {
             for seed in 0..3u64 {
                 let alloc = AsymmetricAllocator::default();
                 let (out, trace) = alloc.allocate_traced(m, n, seed);
@@ -353,8 +357,12 @@ mod tests {
         // The defining contrast with the symmetric algorithm: the number of rounds
         // is (essentially) independent of m/n.
         let n = 1usize << 8;
-        let r_small = AsymmetricAllocator::default().allocate((n as u64) << 6, n, 3).rounds;
-        let r_large = AsymmetricAllocator::default().allocate((n as u64) << 14, n, 3).rounds;
+        let r_small = AsymmetricAllocator::default()
+            .allocate((n as u64) << 6, n, 3)
+            .rounds;
+        let r_large = AsymmetricAllocator::default()
+            .allocate((n as u64) << 14, n, 3)
+            .rounds;
         assert!(
             r_large <= r_small + 3,
             "rounds grew with m/n: {r_small} -> {r_large}"

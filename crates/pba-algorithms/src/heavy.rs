@@ -90,12 +90,7 @@ impl HeavyAllocator {
 
     /// The threshold schedule this allocator would use on an `(m, n)` instance.
     pub fn schedule_for(&self, m: u64, n: usize) -> ThresholdSchedule {
-        ThresholdSchedule::with_exponent(
-            m,
-            n,
-            self.config.stop_factor,
-            self.config.slack_exponent,
-        )
+        ThresholdSchedule::with_exponent(m, n, self.config.stop_factor, self.config.slack_exponent)
     }
 
     /// Runs the algorithm and also returns the [`HeavyTrace`].
@@ -152,7 +147,7 @@ impl HeavyAllocator {
             let map = VirtualBinMap::sized_for(n, leftovers.len() as u64);
             virtual_per_real = map.per_real();
             let light = LightAllocator::new(self.config.light);
-            let phase2_seed = mix64(seed ^ 0x51bb_a11e_5_u64);
+            let phase2_seed = mix64(seed ^ 0x5_1bba_11e5_u64);
             let r2 = light.allocate_balls(
                 &leftovers,
                 m,
@@ -277,20 +272,26 @@ mod tests {
 
     #[test]
     fn round_count_matches_theorem_one() {
-        for &(m, n) in &[(1u64 << 20, 1usize << 10), (1 << 24, 1 << 10), (1 << 22, 1 << 12)] {
+        for &(m, n) in &[
+            (1u64 << 20, 1usize << 10),
+            (1 << 24, 1 << 10),
+            (1 << 22, 1 << 12),
+        ] {
             let alloc = HeavyAllocator::default();
             let (out, trace) = alloc.allocate_traced(m, n, 7);
             assert!(out.is_complete(m));
-            let predicted = log_log2(m as f64 / n as f64).ceil() as usize
-                + log_star(n as f64) as usize
-                + 8;
+            let predicted =
+                log_log2(m as f64 / n as f64).ceil() as usize + log_star(n as f64) as usize + 8;
             assert!(
                 out.rounds <= predicted,
                 "m={m} n={n}: {} rounds > predicted {}",
                 out.rounds,
                 predicted
             );
-            assert_eq!(out.rounds, trace.phase1_rounds + trace.phase2_rounds + trace.fallback_rounds);
+            assert_eq!(
+                out.rounds,
+                trace.phase1_rounds + trace.phase2_rounds + trace.fallback_rounds
+            );
         }
     }
 

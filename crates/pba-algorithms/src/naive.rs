@@ -124,7 +124,10 @@ mod tests {
         let r1 = d1.allocate(m, n, 5).rounds;
         let r2 = d2.allocate(m, n, 5).rounds;
         assert!(r2 <= r1, "degree 2 should not be slower ({r2} vs {r1})");
-        assert!(r2 >= 3, "even degree 2 needs several rounds with tight thresholds");
+        assert!(
+            r2 >= 3,
+            "even degree 2 needs several rounds with tight thresholds"
+        );
     }
 
     #[test]
@@ -137,6 +140,9 @@ mod tests {
 
     #[test]
     fn name_includes_parameters() {
-        assert_eq!(NaiveThresholdAllocator::new(3, 2).name(), "naive-threshold(+3,d=2)");
+        assert_eq!(
+            NaiveThresholdAllocator::new(3, 2).name(),
+            "naive-threshold(+3,d=2)"
+        );
     }
 }

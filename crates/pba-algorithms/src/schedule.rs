@@ -143,7 +143,10 @@ mod tests {
             prev = t;
         }
         // The last threshold should be within O(1) of m/n (the leftover is ≤ 2n + n).
-        assert!(mean - prev <= 4, "final threshold too far below mean: {prev} vs {mean}");
+        assert!(
+            mean - prev <= 4,
+            "final threshold too far below mean: {prev} vs {mean}"
+        );
     }
 
     #[test]
@@ -182,7 +185,7 @@ mod tests {
         let aggressive = ThresholdSchedule::with_exponent(m, n, 2.0, 0.5); // bigger slack
         let paper = ThresholdSchedule::with_exponent(m, n, 2.0, 2.0 / 3.0);
         let timid = ThresholdSchedule::with_exponent(m, n, 2.0, 0.9); // smaller slack
-        // A smaller exponent reduces the estimate faster => fewer rounds.
+                                                                      // A smaller exponent reduces the estimate faster => fewer rounds.
         assert!(aggressive.rounds() <= paper.rounds());
         assert!(paper.rounds() <= timid.rounds());
         // A smaller exponent also means a *smaller* slack term (m̃/n)^α (the ratio

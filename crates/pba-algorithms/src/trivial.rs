@@ -100,7 +100,11 @@ mod tests {
             assert!(out.is_complete(m), "m={m} n={n} left {}", out.unallocated);
             assert!(out.rounds <= n, "m={m} n={n}: {} rounds > n", out.rounds);
             assert_eq!(out.max_load(), m.div_ceil(n as u64), "m={m} n={n}");
-            assert_eq!(out.excess(m), 0, "the trivial algorithm is perfectly balanced");
+            assert_eq!(
+                out.excess(m),
+                0,
+                "the trivial algorithm is perfectly balanced"
+            );
         }
     }
 
@@ -122,7 +126,10 @@ mod tests {
         let mut prev = m;
         for rec in &out.per_round {
             assert_eq!(rec.unallocated_before, prev);
-            assert_eq!(rec.committed, rec.unallocated_before - rec.unallocated_after);
+            assert_eq!(
+                rec.committed,
+                rec.unallocated_before - rec.unallocated_after
+            );
             assert_eq!(rec.global_threshold, Some(m.div_ceil(n as u64)));
             prev = rec.unallocated_after;
         }

@@ -44,7 +44,11 @@ impl Allocator for BatchedTwoChoiceAllocator {
                 ..Default::default()
             };
         }
-        let batch = if self.batch_size == 0 { n.max(1) } else { self.batch_size };
+        let batch = if self.batch_size == 0 {
+            n.max(1)
+        } else {
+            self.batch_size
+        };
         let mut rng = SplitMix64::for_stream(seed, 0xba7c, batch as u64);
         let mut loads = vec![0u32; n];
         let mut per_bin_received = vec![0u64; n];
@@ -113,7 +117,9 @@ mod tests {
     fn excess_between_greedy_and_single_choice() {
         let m = 1u64 << 20;
         let n = 1usize << 10;
-        let batched = BatchedTwoChoiceAllocator::default().allocate(m, n, 9).excess(m);
+        let batched = BatchedTwoChoiceAllocator::default()
+            .allocate(m, n, 9)
+            .excess(m);
         let greedy = crate::greedy_d::GreedyDAllocator::new(2)
             .allocate(m, n, 9)
             .excess(m);

@@ -55,7 +55,12 @@ mod tests {
         let n = 100usize;
         for alloc in standard_baselines() {
             let out = alloc.allocate(m, n, 7);
-            assert!(out.is_complete(m), "{} left {} balls", alloc.name(), out.unallocated);
+            assert!(
+                out.is_complete(m),
+                "{} left {} balls",
+                alloc.name(),
+                out.unallocated
+            );
             assert!(out.conserves_balls(m));
         }
     }
@@ -66,6 +71,10 @@ mod tests {
         let mut dedup = names.clone();
         dedup.sort();
         dedup.dedup();
-        assert_eq!(names.len(), dedup.len(), "duplicate baseline names: {names:?}");
+        assert_eq!(
+            names.len(),
+            dedup.len(),
+            "duplicate baseline names: {names:?}"
+        );
     }
 }

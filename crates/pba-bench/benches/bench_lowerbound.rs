@@ -12,13 +12,17 @@ fn bench_lowerbound(c: &mut Criterion) {
     for ratio in [256u64, 4096] {
         let m = n as u64 * ratio;
         let caps = uniform_capacities(m, n, 1);
-        group.bench_with_input(BenchmarkId::new("rejection_phase", ratio), &ratio, |b, _| {
-            let mut seed = 0u64;
-            b.iter(|| {
-                seed = seed.wrapping_add(1);
-                std::hint::black_box(run_rejection_phase(m, &caps, seed))
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::new("rejection_phase", ratio),
+            &ratio,
+            |b, _| {
+                let mut seed = 0u64;
+                b.iter(|| {
+                    seed = seed.wrapping_add(1);
+                    std::hint::black_box(run_rejection_phase(m, &caps, seed))
+                });
+            },
+        );
     }
     group.bench_function("naive_threshold_full_run", |b| {
         let n = 1usize << 8;

@@ -1,0 +1,68 @@
+//! Criterion bench for the streaming engine: push + drain throughput of the
+//! sequential vs sharded drain paths, and the policy cost on the hot path.
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pba_stream::{Policy, StreamAllocator, StreamConfig};
+
+fn run_stream(config: StreamConfig, m: u64, key_seed: u64) -> f64 {
+    let mut stream = StreamAllocator::new(config);
+    let mut keys = pba_model::rng::SplitMix64::new(key_seed);
+    for _ in 0..m {
+        stream.push(keys.next_u64());
+    }
+    stream.flush();
+    stream.gap_trajectory().last().copied().unwrap_or(0.0)
+}
+
+fn bench_stream(c: &mut Criterion) {
+    let mut group = c.benchmark_group("stream");
+    group.sample_size(10);
+    let n = 1usize << 10;
+    let m = 1u64 << 18;
+
+    group.bench_function("two_choice_sequential", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed = seed.wrapping_add(1);
+            std::hint::black_box(run_stream(
+                StreamConfig::new(n).batch_size(n).seed(seed).sequential(),
+                m,
+                seed,
+            ))
+        });
+    });
+    for shards in [2usize, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("two_choice_sharded", shards),
+            &shards,
+            |b, &shards| {
+                let mut seed = 0u64;
+                b.iter(|| {
+                    seed = seed.wrapping_add(1);
+                    std::hint::black_box(run_stream(
+                        StreamConfig::new(n).batch_size(n).seed(seed).shards(shards),
+                        m,
+                        seed,
+                    ))
+                });
+            },
+        );
+    }
+    group.bench_function("threshold_policy", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed = seed.wrapping_add(1);
+            std::hint::black_box(run_stream(
+                StreamConfig::new(n)
+                    .policy(Policy::Threshold { d: 2, slack: 2 })
+                    .batch_size(n)
+                    .seed(seed),
+                m,
+                seed,
+            ))
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_stream);
+criterion_main!(benches);

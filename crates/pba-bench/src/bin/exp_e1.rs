@@ -1,5 +1,7 @@
 //! E1 — A_heavy load and round count (Theorems 1/6).
 fn main() {
     let opts = pba_bench::ExpOptions::from_env();
-    opts.print_all(&[pba_workloads::experiments::e1_heavy_load_and_rounds(!opts.full)]);
+    opts.print_all(&[pba_workloads::experiments::e1_heavy_load_and_rounds(
+        !opts.full,
+    )]);
 }

@@ -1,0 +1,7 @@
+//! E10 — streaming two-choice: gap vs batch size (staleness window).
+fn main() {
+    let opts = pba_bench::ExpOptions::from_env();
+    opts.print_all(&[pba_workloads::experiments::e10_stream_batch_sweep(
+        !opts.full,
+    )]);
+}

@@ -1,0 +1,7 @@
+//! E11 — streaming gap vs key skew (Zipf exponent) across policies.
+fn main() {
+    let opts = pba_bench::ExpOptions::from_env();
+    opts.print_all(&[pba_workloads::experiments::e11_stream_skew_sweep(
+        !opts.full,
+    )]);
+}

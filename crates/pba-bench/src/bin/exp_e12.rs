@@ -1,0 +1,5 @@
+//! E12 — streaming under churn: steady-state gap and population.
+fn main() {
+    let opts = pba_bench::ExpOptions::from_env();
+    opts.print_all(&[pba_workloads::experiments::e12_stream_churn(!opts.full)]);
+}

@@ -4,10 +4,11 @@
 //!
 //! * `benches/` — Criterion micro-benchmarks, one per experiment family
 //!   (`bench_heavy`, `bench_light`, `bench_asymmetric`, `bench_baselines`,
-//!   `bench_lowerbound`, `bench_engines`, `bench_messages`, `bench_ablation`).
+//!   `bench_lowerbound`, `bench_engines`, `bench_messages`, `bench_ablation`,
+//!   `bench_stream`).
 //!   They time the allocators on fixed instances so regressions in the hot paths
 //!   are caught by `cargo bench`.
-//! * `src/bin/` — the table-regenerating binaries: `exp_e1` … `exp_e9` print one
+//! * `src/bin/` — the table-regenerating binaries: `exp_e1` … `exp_e12` print one
 //!   experiment's tables, and `gen_tables` prints (or writes) the whole
 //!   EXPERIMENTS.md body. Pass `--full` for the paper-scale parameter sweeps
 //!   (the default is the quick configuration used by the test-suite).

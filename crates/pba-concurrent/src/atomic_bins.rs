@@ -48,6 +48,22 @@ impl AtomicBins {
             .is_ok()
     }
 
+    /// Unconditionally places one ball into `bin` (no threshold). Used by the
+    /// streaming engine, whose policies decide the bin *before* the increment.
+    pub fn add(&self, bin: usize) -> u32 {
+        self.loads[bin].fetch_add(1, Ordering::AcqRel) + 1
+    }
+
+    /// Removes one ball from `bin` if it is non-empty (ball departure in
+    /// dynamic/streaming workloads). Returns `false` when the bin was empty.
+    pub fn try_release(&self, bin: usize) -> bool {
+        self.loads[bin]
+            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |current| {
+                current.checked_sub(1)
+            })
+            .is_ok()
+    }
+
     /// Current load of `bin` (relaxed read; exact once the round has quiesced).
     pub fn load(&self, bin: usize) -> u32 {
         self.loads[bin].load(Ordering::Acquire)
@@ -55,7 +71,10 @@ impl AtomicBins {
 
     /// Snapshot of all loads.
     pub fn snapshot(&self) -> Vec<u32> {
-        self.loads.iter().map(|l| l.load(Ordering::Acquire)).collect()
+        self.loads
+            .iter()
+            .map(|l| l.load(Ordering::Acquire))
+            .collect()
     }
 
     /// Sum of all loads.
@@ -86,6 +105,20 @@ mod tests {
         assert_eq!(bins.load(0), 6);
         assert_eq!(bins.total(), 6);
         assert_eq!(bins.snapshot(), vec![6, 0]);
+    }
+
+    #[test]
+    fn add_and_release_roundtrip() {
+        let bins = AtomicBins::new(2);
+        assert_eq!(bins.add(0), 1);
+        assert_eq!(bins.add(0), 2);
+        assert_eq!(bins.add(1), 1);
+        assert!(bins.try_release(0));
+        assert_eq!(bins.load(0), 1);
+        assert!(bins.try_release(0));
+        assert!(!bins.try_release(0), "empty bin must not go negative");
+        assert_eq!(bins.load(0), 0);
+        assert_eq!(bins.total(), 1);
     }
 
     #[test]

@@ -154,12 +154,11 @@ mod tests {
         let m = 1u64 << 18;
         let n = 1usize << 8;
         let out = run_concurrent_heavy(m, n, 11);
-        assert_eq!(out.unallocated, 0, "concurrent heavy left balls unallocated");
-        assert!(
-            out.excess(m) <= 12,
-            "excess {} is not O(1)",
-            out.excess(m)
+        assert_eq!(
+            out.unallocated, 0,
+            "concurrent heavy left balls unallocated"
         );
+        assert!(out.excess(m) <= 12, "excess {} is not O(1)", out.excess(m));
         // Round count should be small (log log (m/n) + clean-up), certainly far
         // below the naive Ω(log n).
         assert!(out.rounds <= 40, "took {} rounds", out.rounds);

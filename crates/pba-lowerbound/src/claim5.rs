@@ -39,16 +39,11 @@ pub struct OverloadCensus {
 /// Estimates the probability that a bin receives at least `μ + 2√μ` of `m`
 /// uniform requests over `n` bins, averaging over all bins and `trials`
 /// independent experiments.
-pub fn measure_overload_probability(
-    m: u64,
-    n: usize,
-    trials: u32,
-    seed: u64,
-) -> OverloadCensus {
+pub fn measure_overload_probability(m: u64, n: usize, trials: u32, seed: u64) -> OverloadCensus {
     assert!(n > 0, "need at least one bin");
     let mu = m as f64 / n as f64;
     let level = mu + 2.0 * mu.sqrt();
-    let mut rng = SplitMix64::for_stream(seed, 0xc1a1_05, m);
+    let mut rng = SplitMix64::for_stream(seed, 0xc1_a105, m);
     let mut requests = Vec::with_capacity(n);
     let mut overloaded: u64 = 0;
     for _ in 0..trials {
@@ -84,8 +79,16 @@ pub fn measure_indicator_covariance(m: u64, n: usize, trials: u32, seed: u64) ->
     let mut sum_ab = 0.0;
     for _ in 0..trials {
         sample_uniform_multinomial(&mut rng, m, n, &mut requests);
-        let a = if requests[0] as f64 >= level { 1.0 } else { 0.0 };
-        let b = if requests[1] as f64 >= level { 1.0 } else { 0.0 };
+        let a = if requests[0] as f64 >= level {
+            1.0
+        } else {
+            0.0
+        };
+        let b = if requests[1] as f64 >= level {
+            1.0
+        } else {
+            0.0
+        };
         sum_a += a;
         sum_b += b;
         sum_ab += a * b;

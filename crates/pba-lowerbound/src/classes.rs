@@ -47,8 +47,16 @@ impl ClassDecomposition {
             .map(|&l| overload_level - l as f64)
             .collect();
 
-        let log_n = if n <= 1 { 1.0 } else { (n as f64).log2().ceil() };
-        let log_ratio = if mu <= 1.0 { 1.0 } else { mu.log2().ceil() + 1.0 };
+        let log_n = if n <= 1 {
+            1.0
+        } else {
+            (n as f64).log2().ceil()
+        };
+        let log_ratio = if mu <= 1.0 {
+            1.0
+        } else {
+            mu.log2().ceil() + 1.0
+        };
         let t = log_n.min(log_ratio).max(1.0) as u32;
 
         let mut fractional = 0usize;
@@ -151,7 +159,7 @@ mod tests {
         let m = 1u64 << 16;
         let n = 64usize;
         let mu = (m / n as u64) as u32; // 1024
-        // Capacities at distances ~1, ~2, ~4, … below mu+2 sqrt(mu).
+                                        // Capacities at distances ~1, ~2, ~4, … below mu+2 sqrt(mu).
         let caps: Vec<u32> = (0..n)
             .map(|i| mu + 2 * (mu as f64).sqrt() as u32 - (1 << (i % 6)))
             .collect();
@@ -166,10 +174,10 @@ mod tests {
     #[test]
     fn t_is_min_of_logs() {
         // Small ratio: t driven by log(M/n).
-        let d = ClassDecomposition::new(1 << 12, &vec![5u32; 1 << 10]);
+        let d = ClassDecomposition::new(1 << 12, &[5u32; 1 << 10]);
         assert!(d.t <= 4); // log2(4) + 1 = 3
-        // Large ratio: t driven by log n.
-        let d2 = ClassDecomposition::new(1 << 30, &vec![5u32; 1 << 4]);
+                           // Large ratio: t driven by log n.
+        let d2 = ClassDecomposition::new(1 << 30, &[5u32; 1 << 4]);
         assert_eq!(d2.t, 4);
     }
 

@@ -76,7 +76,11 @@ pub fn run_rejection_phase(m: u64, capacities: &[u32], seed: u64) -> RejectionCe
 /// Builds the "fair share plus slack" capacity vector `L_i = ⌈M/n⌉ + slack`
 /// (uniform thresholds, total capacity `M + O(n)` for constant slack).
 pub fn uniform_capacities(m: u64, n: usize, slack: u32) -> Vec<u32> {
-    let base = if n == 0 { 0 } else { m.div_ceil(n as u64) as u32 };
+    let base = if n == 0 {
+        0
+    } else {
+        m.div_ceil(n as u64) as u32
+    };
     vec![base.saturating_add(slack); n]
 }
 
@@ -85,7 +89,11 @@ pub fn uniform_capacities(m: u64, n: usize, slack: u32) -> Vec<u32> {
 /// half get none. Used to confirm that Theorem 7 (and hence the lower bound) is
 /// insensitive to *how* the `M + O(n)` capacity is distributed.
 pub fn skewed_capacities(m: u64, n: usize, slack: u32) -> Vec<u32> {
-    let base = if n == 0 { 0 } else { m.div_ceil(n as u64) as u32 };
+    let base = if n == 0 {
+        0
+    } else {
+        m.div_ceil(n as u64) as u32
+    };
     (0..n)
         .map(|i| {
             if i % 2 == 0 {
@@ -108,7 +116,9 @@ mod tests {
         let slack = 1;
         let avg = |m: u64| -> f64 {
             (0..5)
-                .map(|s| run_rejection_phase(m, &uniform_capacities(m, n, slack), s).rejected as f64)
+                .map(|s| {
+                    run_rejection_phase(m, &uniform_capacities(m, n, slack), s).rejected as f64
+                })
                 .sum::<f64>()
                 / 5.0
         };

@@ -89,7 +89,8 @@ mod tests {
         let n = 1usize << 8;
         let m = (n as u64) << 12;
         let prediction = lower_bound_round_prediction(m, n, 4.0) as f64;
-        let (mean_rounds, _) = measure_rounds_to_finish(&HeavyAllocator::default(), m, n, &[1, 2, 3]);
+        let (mean_rounds, _) =
+            measure_rounds_to_finish(&HeavyAllocator::default(), m, n, &[1, 2, 3]);
         assert!(
             mean_rounds + 1.0 >= prediction / 2.0,
             "A_heavy finished in {mean_rounds} rounds, below half the lower-bound prediction {prediction}"

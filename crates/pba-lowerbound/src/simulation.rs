@@ -122,8 +122,8 @@ pub fn simulate_degree_d_by_degree_1(
 ) -> SimulationComparison {
     let degree = degree.max(1);
     let direct_protocol = FixedThresholdProtocol::new(threshold, degree);
-    let direct = run_agent_engine(&direct_protocol, m, n, seed, &EngineConfig::sequential())
-        .into_outcome();
+    let direct =
+        run_agent_engine(&direct_protocol, m, n, seed, &EngineConfig::sequential()).into_outcome();
     let simulated_protocol = PhaseSimulationProtocol::new(threshold, degree);
     let simulated = run_agent_engine(
         &simulated_protocol,
@@ -169,8 +169,8 @@ mod tests {
                 cmp.std_dev_relative_difference()
             );
             // Request totals agree within a small factor (both are Θ(m)).
-            let req_ratio = cmp.simulated.messages.requests as f64
-                / cmp.direct.messages.requests.max(1) as f64;
+            let req_ratio =
+                cmp.simulated.messages.requests as f64 / cmp.direct.messages.requests.max(1) as f64;
             assert!(
                 req_ratio > 0.1 && req_ratio < 10.0,
                 "degree {degree}: request totals diverge (ratio {req_ratio})"

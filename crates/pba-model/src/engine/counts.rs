@@ -100,8 +100,8 @@ pub fn run_count_engine<P: Protocol + ?Sized>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::engine::EngineConfig;
     use crate::engine::agent::run_agent_engine;
+    use crate::engine::EngineConfig;
     use crate::protocol::FixedThresholdProtocol;
 
     fn ideal_threshold(m: u64, n: usize) -> u32 {
@@ -165,7 +165,10 @@ mod tests {
         let mut prev = m;
         for rec in &r.per_round {
             assert_eq!(rec.unallocated_before, prev);
-            assert_eq!(rec.committed, rec.unallocated_before - rec.unallocated_after);
+            assert_eq!(
+                rec.committed,
+                rec.unallocated_before - rec.unallocated_after
+            );
             prev = rec.unallocated_after;
         }
         assert_eq!(prev, r.remaining);

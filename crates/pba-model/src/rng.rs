@@ -40,7 +40,11 @@ impl SplitMix64 {
     /// each ball in each round its own independent stream.
     pub fn for_stream(seed: u64, stream: u64, substream: u64) -> Self {
         let a = mix64(seed ^ 0xa076_1d64_78bd_642f);
-        let b = mix64(stream.wrapping_add(0xe703_7ed1_a0b4_28db).wrapping_mul(0x8ebc_6af0_9c88_c6e3));
+        let b = mix64(
+            stream
+                .wrapping_add(0xe703_7ed1_a0b4_28db)
+                .wrapping_mul(0x8ebc_6af0_9c88_c6e3),
+        );
         let c = mix64(substream.wrapping_add(0x5896_36e0_8cda_3e7b));
         Self {
             state: mix64(a ^ b.rotate_left(23) ^ c.rotate_left(47)),
@@ -270,7 +274,11 @@ mod tests {
         sorted.sort_unstable();
         assert_eq!(sorted, (0..1000).collect::<Vec<u32>>());
         // And it should actually move things around.
-        let fixed = xs.iter().enumerate().filter(|(i, &v)| *i as u32 == v).count();
+        let fixed = xs
+            .iter()
+            .enumerate()
+            .filter(|(i, &v)| *i as u32 == v)
+            .count();
         assert!(fixed < 50);
     }
 

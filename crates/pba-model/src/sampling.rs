@@ -94,13 +94,13 @@ pub fn sample_uniform_multinomial(rng: &mut SplitMix64, total: u64, n: usize, ou
         return;
     }
     let mut remaining = total;
-    for i in 0..n - 1 {
+    for (i, slot) in out.iter_mut().enumerate().take(n - 1) {
         if remaining == 0 {
             break;
         }
         let p = 1.0 / (n - i) as f64;
         let x = sample_binomial(rng, remaining, p);
-        out[i] = x;
+        *slot = x;
         remaining -= x;
     }
     out[n - 1] = remaining;
@@ -148,7 +148,9 @@ mod tests {
     #[test]
     fn binomial_small_trials_moments() {
         let mut rng = SplitMix64::new(3);
-        let samples: Vec<u64> = (0..40_000).map(|_| sample_binomial(&mut rng, 50, 0.3)).collect();
+        let samples: Vec<u64> = (0..40_000)
+            .map(|_| sample_binomial(&mut rng, 50, 0.3))
+            .collect();
         let (mean, var) = mean_and_var(&samples);
         assert!((mean - 15.0).abs() < 0.2, "mean = {mean}");
         assert!((var - 10.5).abs() < 0.5, "var = {var}");
@@ -160,7 +162,9 @@ mod tests {
         let mut rng = SplitMix64::new(4);
         let trials = 1_000_000u64;
         let p = 5.0 / trials as f64;
-        let samples: Vec<u64> = (0..20_000).map(|_| sample_binomial(&mut rng, trials, p)).collect();
+        let samples: Vec<u64> = (0..20_000)
+            .map(|_| sample_binomial(&mut rng, trials, p))
+            .collect();
         let (mean, var) = mean_and_var(&samples);
         assert!((mean - 5.0).abs() < 0.15, "mean = {mean}");
         assert!((var - 5.0).abs() < 0.35, "var = {var}");
@@ -171,18 +175,25 @@ mod tests {
         let mut rng = SplitMix64::new(5);
         let trials = 100_000u64;
         let p = 0.25;
-        let samples: Vec<u64> = (0..20_000).map(|_| sample_binomial(&mut rng, trials, p)).collect();
+        let samples: Vec<u64> = (0..20_000)
+            .map(|_| sample_binomial(&mut rng, trials, p))
+            .collect();
         let (mean, var) = mean_and_var(&samples);
         let expect_mean = trials as f64 * p;
         let expect_var = expect_mean * (1.0 - p);
-        assert!((mean - expect_mean).abs() / expect_mean < 0.005, "mean = {mean}");
+        assert!(
+            (mean - expect_mean).abs() / expect_mean < 0.005,
+            "mean = {mean}"
+        );
         assert!((var - expect_var).abs() / expect_var < 0.08, "var = {var}");
     }
 
     #[test]
     fn binomial_mirror_branch_moments() {
         let mut rng = SplitMix64::new(6);
-        let samples: Vec<u64> = (0..40_000).map(|_| sample_binomial(&mut rng, 40, 0.85)).collect();
+        let samples: Vec<u64> = (0..40_000)
+            .map(|_| sample_binomial(&mut rng, 40, 0.85))
+            .collect();
         let (mean, var) = mean_and_var(&samples);
         assert!((mean - 34.0).abs() < 0.2, "mean = {mean}");
         assert!((var - 5.1).abs() < 0.5, "var = {var}");

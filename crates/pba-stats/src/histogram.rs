@@ -89,10 +89,7 @@ impl Histogram {
 
     /// Largest recorded value, or `None` when empty.
     pub fn max(&self) -> Option<u64> {
-        self.counts
-            .iter()
-            .rposition(|&c| c > 0)
-            .map(|i| i as u64)
+        self.counts.iter().rposition(|&c| c > 0).map(|i| i as u64)
     }
 
     /// Smallest recorded value, or `None` when empty.

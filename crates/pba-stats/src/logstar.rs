@@ -216,7 +216,10 @@ mod tests {
         let a = predicted_phase1_rounds(1 << 20, 1 << 10, 2.0); // ratio 2^10
         let b = predicted_phase1_rounds(1 << 30, 1 << 10, 2.0); // ratio 2^20
         assert!(b >= a);
-        assert!(b - a <= 3, "doubling the exponent must cost O(1) rounds: {a} vs {b}");
+        assert!(
+            b - a <= 3,
+            "doubling the exponent must cost O(1) rounds: {a} vs {b}"
+        );
     }
 
     #[test]

@@ -22,6 +22,18 @@ impl Default for OnlineStats {
     }
 }
 
+/// Builds an accumulator from an iterator of observations
+/// (`OnlineStats::from_iter(...)` / `.collect::<OnlineStats>()`).
+impl FromIterator<f64> for OnlineStats {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        let mut s = Self::new();
+        for x in iter {
+            s.push(x);
+        }
+        s
+    }
+}
+
 impl OnlineStats {
     /// Creates an empty accumulator.
     pub fn new() -> Self {
@@ -32,15 +44,6 @@ impl OnlineStats {
             min: f64::INFINITY,
             max: f64::NEG_INFINITY,
         }
-    }
-
-    /// Builds an accumulator from an iterator of observations.
-    pub fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
-        let mut s = Self::new();
-        for x in iter {
-            s.push(x);
-        }
-        s
     }
 
     /// Adds one observation.
@@ -69,8 +72,7 @@ impl OnlineStats {
         }
         let total = self.count + other.count;
         let delta = other.mean - self.mean;
-        let combined_mean =
-            self.mean + delta * (other.count as f64 / total as f64);
+        let combined_mean = self.mean + delta * (other.count as f64 / total as f64);
         let combined_m2 = self.m2
             + other.m2
             + delta * delta * (self.count as f64 * other.count as f64 / total as f64);
@@ -192,14 +194,19 @@ mod tests {
 
     #[test]
     fn matches_reference_computation() {
-        let xs: Vec<f64> = (0..1000).map(|i| ((i * 37) % 101) as f64 * 0.5 - 13.0).collect();
+        let xs: Vec<f64> = (0..1000)
+            .map(|i| ((i * 37) % 101) as f64 * 0.5 - 13.0)
+            .collect();
         let s = OnlineStats::from_iter(xs.iter().copied());
         let (mean, var) = reference_mean_var(&xs);
         assert!((s.mean() - mean).abs() < 1e-9);
         assert!((s.variance() - var).abs() < 1e-7);
         assert_eq!(s.count(), 1000);
         assert_eq!(s.min(), xs.iter().cloned().fold(f64::INFINITY, f64::min));
-        assert_eq!(s.max(), xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max));
+        assert_eq!(
+            s.max(),
+            xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+        );
     }
 
     #[test]

@@ -74,7 +74,10 @@ impl Table {
     pub fn new(title: &str, columns: &[&str]) -> Self {
         Self {
             title: title.to_string(),
-            columns: columns.iter().map(|c| (c.to_string(), Align::Left)).collect(),
+            columns: columns
+                .iter()
+                .map(|c| (c.to_string(), Align::Left))
+                .collect(),
             rows: Vec::new(),
         }
     }
@@ -214,7 +217,11 @@ mod tests {
     fn sample_table() -> Table {
         let mut t = Table::with_alignments(
             "E1: heavy algorithm",
-            &[("n", Align::Right), ("m/n", Align::Right), ("algo", Align::Left)],
+            &[
+                ("n", Align::Right),
+                ("m/n", Align::Right),
+                ("algo", Align::Left),
+            ],
         );
         t.push_row([Cell::from(1024u64), Cell::from(16u64), Cell::from("heavy")]);
         t.push_row([Cell::from(4096u64), Cell::from(256u64), Cell::from("heavy")]);
@@ -273,7 +280,7 @@ mod tests {
 
     #[test]
     fn cell_from_float_formatting() {
-        assert_eq!(Cell::from(3.14159).0, "3.142");
+        assert_eq!(Cell::from(1.23456).0, "1.235");
         assert_eq!(Cell::from(12000.0).0, "12000.0");
         assert_eq!(Cell::from(2.0).0, "2.0");
     }

@@ -142,7 +142,7 @@ pub fn binomial_tail_ge(n: u64, p: f64, k: u64) -> f64 {
     if span <= 4096 || n <= 8192 {
         // Exact summation from k to n (or the complementary side if shorter).
         let lower_span = k; // number of terms in 0..k
-        if lower_span as u64 <= span {
+        if lower_span <= span {
             let mut acc = 0.0;
             for j in 0..k {
                 acc += binomial_pmf(n, p, j);
@@ -321,7 +321,10 @@ mod tests {
         let mut prev = 1.0;
         for k in 0..=n {
             let t = binomial_tail_ge(n, p, k);
-            assert!(t <= prev + 1e-12, "tail must be non-increasing in k (k={k})");
+            assert!(
+                t <= prev + 1e-12,
+                "tail must be non-increasing in k (k={k})"
+            );
             assert!((0.0..=1.0).contains(&t));
             prev = t;
         }

@@ -1,0 +1,253 @@
+//! Arrival processes for the streaming engine.
+//!
+//! A stream is a sequence of *ticks*; at each tick some number of balls
+//! (requests) arrives, each carrying a **key**. Keys model request identity in
+//! a router: the candidate bins of a ball are a pure hash of its key, so two
+//! balls with the same key always contend for the same candidate set — which
+//! is exactly why key skew (Zipfian traffic) stresses a load balancer in ways
+//! uniform traffic does not.
+//!
+//! Three processes cover the scenario families of experiments E10–E12:
+//!
+//! * [`ArrivalProcess::Uniform`] — keys uniform over a key space, constant rate.
+//! * [`ArrivalProcess::Zipf`] — keys Zipf(`exponent`)-distributed (rank 1 most
+//!   popular), constant rate.
+//! * [`ArrivalProcess::Bursty`] — uniform keys, but the rate alternates between
+//!   a base level and `burst_mult ×` bursts.
+
+use pba_model::rng::SplitMix64;
+
+/// Sentinel key-space size meaning "effectively unique key per ball", i.e. the
+/// classic balanced-allocations regime where every ball samples independent
+/// candidate bins.
+pub const UNIQUE_KEYS: u64 = u64::MAX;
+
+/// How balls arrive over time: rate per tick plus key distribution.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ArrivalProcess {
+    /// Uniform keys at a constant rate.
+    Uniform {
+        /// Key-space size (`UNIQUE_KEYS` for per-ball independent candidates).
+        keys: u64,
+        /// Balls per tick.
+        rate: usize,
+    },
+    /// Zipf-distributed keys at a constant rate: key `k` (0-based rank) has
+    /// probability proportional to `(k+1)^-exponent`.
+    Zipf {
+        /// Key-space size (must be finite).
+        keys: u64,
+        /// Skew exponent `s ≥ 0` (`0` degenerates to uniform).
+        exponent: f64,
+        /// Balls per tick.
+        rate: usize,
+    },
+    /// Uniform keys with a periodically bursting rate: within every window of
+    /// `burst_every` ticks, the first `burst_len` ticks carry
+    /// `base_rate × burst_mult` arrivals and the rest carry `base_rate`.
+    Bursty {
+        /// Key-space size (`UNIQUE_KEYS` allowed).
+        keys: u64,
+        /// Off-burst balls per tick.
+        base_rate: usize,
+        /// Window length in ticks.
+        burst_every: usize,
+        /// Burst length in ticks (clamped to the window).
+        burst_len: usize,
+        /// Rate multiplier during a burst.
+        burst_mult: usize,
+    },
+}
+
+impl ArrivalProcess {
+    /// Uniform keys over a key space sized so every ball is effectively unique
+    /// — the classic "each ball samples fresh candidates" regime.
+    pub fn uniform_independent(rate: usize) -> Self {
+        Self::Uniform {
+            keys: UNIQUE_KEYS,
+            rate,
+        }
+    }
+
+    /// Number of arrivals at `tick`.
+    pub fn arrivals_at(&self, tick: u64) -> usize {
+        match *self {
+            Self::Uniform { rate, .. } | Self::Zipf { rate, .. } => rate,
+            Self::Bursty {
+                base_rate,
+                burst_every,
+                burst_len,
+                burst_mult,
+                ..
+            } => {
+                let window = burst_every.max(1) as u64;
+                if tick % window < burst_len.min(burst_every) as u64 {
+                    base_rate * burst_mult.max(1)
+                } else {
+                    base_rate
+                }
+            }
+        }
+    }
+}
+
+/// A sampler for one [`ArrivalProcess`]; precomputes the Zipf CDF once so
+/// per-ball sampling is `O(log keys)` at worst.
+#[derive(Debug, Clone)]
+pub struct ArrivalSampler {
+    process: ArrivalProcess,
+    /// Cumulative (unnormalised) Zipf weights; empty for non-Zipf processes.
+    zipf_cdf: Vec<f64>,
+}
+
+impl ArrivalSampler {
+    /// Builds the sampler (precomputes the Zipf table when needed).
+    pub fn new(process: ArrivalProcess) -> Self {
+        let zipf_cdf = match process {
+            ArrivalProcess::Zipf { keys, exponent, .. } => {
+                assert!(
+                    keys != UNIQUE_KEYS && keys > 0,
+                    "Zipf arrivals need a finite, non-empty key space"
+                );
+                assert!(exponent >= 0.0, "Zipf exponent must be non-negative");
+                let mut cdf = Vec::with_capacity(keys as usize);
+                let mut acc = 0.0f64;
+                for k in 0..keys {
+                    acc += ((k + 1) as f64).powf(-exponent);
+                    cdf.push(acc);
+                }
+                cdf
+            }
+            _ => Vec::new(),
+        };
+        Self { process, zipf_cdf }
+    }
+
+    /// The underlying process.
+    pub fn process(&self) -> &ArrivalProcess {
+        &self.process
+    }
+
+    /// Number of arrivals at `tick` (delegates to the process).
+    pub fn arrivals_at(&self, tick: u64) -> usize {
+        self.process.arrivals_at(tick)
+    }
+
+    /// Draws one key.
+    pub fn sample_key(&self, rng: &mut SplitMix64) -> u64 {
+        match self.process {
+            ArrivalProcess::Uniform { keys, .. } | ArrivalProcess::Bursty { keys, .. } => {
+                if keys == UNIQUE_KEYS {
+                    rng.next_u64()
+                } else {
+                    rng.gen_range(keys)
+                }
+            }
+            ArrivalProcess::Zipf { .. } => {
+                let total = *self.zipf_cdf.last().expect("non-empty zipf table");
+                let u = rng.gen_f64() * total;
+                // First rank whose cumulative weight exceeds u.
+                self.zipf_cdf.partition_point(|&c| c <= u) as u64
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_covers_key_space() {
+        let sampler = ArrivalSampler::new(ArrivalProcess::Uniform { keys: 8, rate: 4 });
+        let mut rng = SplitMix64::new(1);
+        let mut seen = [false; 8];
+        for _ in 0..500 {
+            seen[sampler.sample_key(&mut rng) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+        assert_eq!(sampler.arrivals_at(0), 4);
+        assert_eq!(sampler.arrivals_at(999), 4);
+    }
+
+    #[test]
+    fn unique_keys_rarely_collide() {
+        let sampler = ArrivalSampler::new(ArrivalProcess::uniform_independent(1));
+        let mut rng = SplitMix64::new(2);
+        let mut keys: Vec<u64> = (0..10_000).map(|_| sampler.sample_key(&mut rng)).collect();
+        keys.sort_unstable();
+        keys.dedup();
+        assert_eq!(keys.len(), 10_000, "64-bit keys should not collide here");
+    }
+
+    #[test]
+    fn zipf_is_skewed_and_ranked() {
+        let sampler = ArrivalSampler::new(ArrivalProcess::Zipf {
+            keys: 100,
+            exponent: 1.2,
+            rate: 1,
+        });
+        let mut rng = SplitMix64::new(3);
+        let mut counts = [0u32; 100];
+        let draws = 50_000;
+        for _ in 0..draws {
+            counts[sampler.sample_key(&mut rng) as usize] += 1;
+        }
+        // Rank 0 clearly dominates rank 9 which dominates rank 99.
+        assert!(counts[0] > 2 * counts[9]);
+        assert!(counts[9] > counts[99]);
+        // Rank 0 frequency is near its theoretical share.
+        let share = counts[0] as f64 / draws as f64;
+        let expect = 1.0 / (1..=100u32).map(|k| (k as f64).powf(-1.2)).sum::<f64>();
+        assert!((share - expect).abs() < 0.02, "share {share} vs {expect}");
+    }
+
+    #[test]
+    fn zipf_exponent_zero_is_uniform() {
+        let sampler = ArrivalSampler::new(ArrivalProcess::Zipf {
+            keys: 10,
+            exponent: 0.0,
+            rate: 1,
+        });
+        let mut rng = SplitMix64::new(4);
+        let mut counts = [0u32; 10];
+        for _ in 0..20_000 {
+            counts[sampler.sample_key(&mut rng) as usize] += 1;
+        }
+        for &c in &counts {
+            let dev = (c as f64 - 2000.0).abs() / 2000.0;
+            assert!(dev < 0.1, "bucket deviates by {dev}");
+        }
+    }
+
+    #[test]
+    fn bursty_rate_schedule() {
+        let p = ArrivalProcess::Bursty {
+            keys: UNIQUE_KEYS,
+            base_rate: 10,
+            burst_every: 5,
+            burst_len: 2,
+            burst_mult: 4,
+        };
+        let rates: Vec<usize> = (0..10).map(|t| p.arrivals_at(t)).collect();
+        assert_eq!(rates, vec![40, 40, 10, 10, 10, 40, 40, 10, 10, 10]);
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let sampler = ArrivalSampler::new(ArrivalProcess::Zipf {
+            keys: 50,
+            exponent: 0.9,
+            rate: 1,
+        });
+        let a: Vec<u64> = {
+            let mut rng = SplitMix64::new(9);
+            (0..100).map(|_| sampler.sample_key(&mut rng)).collect()
+        };
+        let b: Vec<u64> = {
+            let mut rng = SplitMix64::new(9);
+            (0..100).map(|_| sampler.sample_key(&mut rng)).collect()
+        };
+        assert_eq!(a, b);
+    }
+}

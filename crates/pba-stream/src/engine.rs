@@ -1,0 +1,653 @@
+//! The incremental streaming allocator.
+//!
+//! [`StreamAllocator`] is the online counterpart of the one-shot
+//! [`pba_model::Allocator`]s: balls are **pushed** as they arrive, buffered,
+//! and **drained** in batches of `batch_size`. Every ball of a batch chooses
+//! its bin from the load *snapshot taken at the previous batch boundary* —
+//! the batched / outdated-information model of Los & Sauerwald (2022) — so
+//! the placements of a batch are mutually independent and the drain can run
+//! sharded and parallel without changing a single placement relative to the
+//! sequential drain.
+//!
+//! Gap tracking is online: after each batch the allocator records
+//! `max load − mean load` into a trajectory and a streaming
+//! [`OnlineStats`] accumulator.
+
+use pba_stats::{quantiles_of, LoadMetrics, OnlineStats};
+use rayon::prelude::*;
+
+use crate::policy::{candidate_bins, Policy};
+use crate::shard::{ShardStats, ShardedBins};
+
+/// Minimum balls per worker in the parallel choose step. The per-ball work
+/// (key hash + policy) is ~50–150 ns while the vendored rayon shim spawns a
+/// fresh scoped thread per worker (~30 µs), so a worker needs a few thousand
+/// balls to amortise the spawn; below that the sequential path wins.
+const CHOOSE_MIN_BALLS_PER_WORKER: usize = 2048;
+
+/// Batch size below which the sharded parallel apply is skipped: applying a
+/// placement is one atomic increment, so small batches are faster applied
+/// inline than grouped by shard and fanned out.
+const PARALLEL_APPLY_MIN_BATCH: usize = 4096;
+
+/// Configuration of a [`StreamAllocator`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamConfig {
+    /// Number of bins (`n`).
+    pub bins: usize,
+    /// Number of bin shards for the parallel drain (clamped to `[1, bins]`).
+    pub shards: usize,
+    /// Batch size `b`: how many buffered balls one drain step allocates with
+    /// one (stale) load snapshot.
+    pub batch_size: usize,
+    /// Placement policy.
+    pub policy: Policy,
+    /// Master seed; together with each ball's key it determines candidates.
+    pub seed: u64,
+    /// Whether `drain` uses the sharded parallel path (`true`) or the
+    /// sequential reference path (`false`). Both produce identical loads.
+    pub parallel: bool,
+    /// Most recent per-batch gap entries retained in the trajectory. A
+    /// long-running stream drains batches forever, so the trajectory must not
+    /// grow with uptime; [`OnlineStats`] keeps the full-history summary
+    /// regardless. Default `65536`.
+    pub trajectory_cap: usize,
+}
+
+impl StreamConfig {
+    /// A reasonable default: two-choice, batch = n, 4 shards, parallel drain.
+    pub fn new(bins: usize) -> Self {
+        Self {
+            bins,
+            shards: 4,
+            batch_size: bins.max(1),
+            policy: Policy::TwoChoice,
+            seed: 0,
+            parallel: true,
+            trajectory_cap: 1 << 16,
+        }
+    }
+
+    /// Sets the policy (builder style).
+    pub fn policy(mut self, policy: Policy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Sets the batch size (builder style).
+    pub fn batch_size(mut self, b: usize) -> Self {
+        self.batch_size = b.max(1);
+        self
+    }
+
+    /// Sets the shard count (builder style).
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.shards = shards;
+        self
+    }
+
+    /// Sets the seed (builder style).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Selects the sequential drain path (builder style).
+    pub fn sequential(mut self) -> Self {
+        self.parallel = false;
+        self
+    }
+}
+
+/// A ball waiting in the arrival buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct PendingBall {
+    /// Globally unique, monotonically increasing ball id.
+    id: u64,
+    /// Router key; candidate bins are a pure hash of `(seed, key)`.
+    key: u64,
+}
+
+/// A point-in-time view of the stream state.
+#[derive(Debug, Clone)]
+pub struct StreamSnapshot {
+    /// Current (fresh) per-bin loads.
+    pub loads: Vec<u32>,
+    /// The stale snapshot the *next* batch will decide from.
+    pub stale_loads: Vec<u32>,
+    /// Balls pushed so far.
+    pub arrived: u64,
+    /// Balls placed into bins so far.
+    pub placed: u64,
+    /// Balls departed so far.
+    pub departed: u64,
+    /// Balls buffered but not yet drained.
+    pub pending: u64,
+    /// Batches drained so far.
+    pub batches: u64,
+    /// Current gap `max − mean` of the fresh loads.
+    pub gap: f64,
+    /// Load quantiles `[p50, p90, p99, max]` of the fresh loads.
+    pub load_quantiles: [f64; 4],
+}
+
+/// Online, sharded, batched streaming allocator.
+#[derive(Debug)]
+pub struct StreamAllocator {
+    config: StreamConfig,
+    bins: ShardedBins,
+    /// Stale load vector: the state at the last batch boundary.
+    stale: Vec<u32>,
+    pending: Vec<PendingBall>,
+    next_ball: u64,
+    arrived: u64,
+    placed: u64,
+    departed: u64,
+    batches: u64,
+    gap_trajectory: Vec<f64>,
+    gap_stats: OnlineStats,
+    /// Scratch: chosen bin per ball of the batch being drained (reused).
+    chosen_scratch: Vec<u32>,
+    /// Scratch: placements grouped by shard for the parallel apply (reused).
+    by_shard: Vec<Vec<u32>>,
+    /// The shard indices `0..shards`, kept as a slice for `par_iter`.
+    shard_ids: Vec<usize>,
+}
+
+impl StreamAllocator {
+    /// Creates an empty stream over `config.bins` bins.
+    pub fn new(config: StreamConfig) -> Self {
+        assert!(config.bins > 0, "a stream needs at least one bin");
+        let config = StreamConfig {
+            batch_size: config.batch_size.max(1),
+            ..config
+        };
+        let bins = ShardedBins::new(config.bins, config.shards);
+        let shard_count = bins.shard_count();
+        Self {
+            bins,
+            stale: vec![0; config.bins],
+            pending: Vec::with_capacity(config.batch_size),
+            next_ball: 0,
+            arrived: 0,
+            placed: 0,
+            departed: 0,
+            batches: 0,
+            gap_trajectory: Vec::new(),
+            gap_stats: OnlineStats::new(),
+            chosen_scratch: Vec::new(),
+            by_shard: vec![Vec::new(); shard_count],
+            shard_ids: (0..shard_count).collect(),
+            config,
+        }
+    }
+
+    /// The configuration this stream runs with.
+    pub fn config(&self) -> &StreamConfig {
+        &self.config
+    }
+
+    /// Buffers one arriving ball with router key `key`; returns its ball id.
+    /// Nothing is allocated until [`StreamAllocator::drain_ready`] (or
+    /// [`StreamAllocator::flush`]) runs.
+    pub fn push(&mut self, key: u64) -> u64 {
+        let id = self.next_ball;
+        self.next_ball += 1;
+        self.arrived += 1;
+        self.pending.push(PendingBall { id, key });
+        id
+    }
+
+    /// Drains every *full* batch currently buffered; returns the number of
+    /// batches drained. Balls beyond the last full batch stay buffered.
+    pub fn drain_ready(&mut self) -> usize {
+        self.drain_buffered(false)
+    }
+
+    /// Drains everything that is buffered, including a final partial batch.
+    /// Returns the number of batches drained.
+    pub fn flush(&mut self) -> usize {
+        self.drain_buffered(true)
+    }
+
+    /// Drains the buffer in `batch_size` windows without copying balls out:
+    /// the buffer is taken whole, batches are slices of it, and only an
+    /// undrained tail (if any) is compacted back.
+    fn drain_buffered(&mut self, include_partial: bool) -> usize {
+        let mut buffer = std::mem::take(&mut self.pending);
+        let batch_size = self.config.batch_size;
+        let mut drained = 0;
+        let mut start = 0;
+        while buffer.len() - start >= batch_size {
+            self.drain_batch(&buffer[start..start + batch_size]);
+            start += batch_size;
+            drained += 1;
+        }
+        if include_partial && start < buffer.len() {
+            self.drain_batch(&buffer[start..]);
+            start = buffer.len();
+            drained += 1;
+        }
+        buffer.drain(..start);
+        self.pending = buffer;
+        drained
+    }
+
+    /// Removes one resident ball from `bin` (a departure / connection close).
+    /// Returns `false` when the bin is empty. Departures take effect on
+    /// policies at the next batch boundary, like every other load change.
+    pub fn depart(&mut self, bin: usize) -> bool {
+        let ok = self.bins.depart(bin);
+        if ok {
+            self.departed += 1;
+        }
+        ok
+    }
+
+    /// Allocates one batch against the stale snapshot, then advances the
+    /// snapshot to the new loads and records the gap.
+    fn drain_batch(&mut self, batch: &[PendingBall]) {
+        if batch.is_empty() {
+            return;
+        }
+        let n = self.config.bins;
+        let threshold = self.batch_threshold(batch.len() as u64);
+
+        // Step 1 — choose: a pure function of (stale snapshot, key), so this
+        // is safe to run in any order and in parallel. `chosen_scratch` is
+        // reused across batches (the parallel collect replaces it wholesale;
+        // the sequential path refills it in place).
+        let mut chosen = std::mem::take(&mut self.chosen_scratch);
+        chosen.clear();
+        if self.config.parallel {
+            let stale = &self.stale;
+            let policy = self.config.policy;
+            let seed = self.config.seed;
+            let d = policy.choices();
+            chosen = batch
+                .par_iter()
+                .with_min_len(CHOOSE_MIN_BALLS_PER_WORKER)
+                .map_init(
+                    || Vec::with_capacity(d),
+                    |candidates, ball| {
+                        candidate_bins(seed, ball.key, d, n, candidates);
+                        policy.pick(stale, candidates, threshold)
+                    },
+                )
+                .collect()
+        } else {
+            let d = self.config.policy.choices();
+            let mut candidates = Vec::with_capacity(d);
+            chosen.extend(batch.iter().map(|ball| {
+                candidate_bins(self.config.seed, ball.key, d, n, &mut candidates);
+                self.config.policy.pick(&self.stale, &candidates, threshold)
+            }));
+        }
+
+        // Step 2 — apply: for large batches, group placements by shard and
+        // let each shard apply its own in parallel (per-shard stats folded
+        // once under the shard lock). Below the cutoff the per-shard work is
+        // a few microseconds of atomic increments — thread + grouping
+        // overhead dominates — so apply directly. Both paths produce
+        // identical loads and identical shard stats.
+        if self.config.parallel && chosen.len() >= PARALLEL_APPLY_MIN_BATCH {
+            for group in &mut self.by_shard {
+                group.clear();
+            }
+            for &bin in &chosen {
+                self.by_shard[self.bins.shard_of(bin as usize)].push(bin);
+            }
+            let bins = &self.bins;
+            let by_shard = &self.by_shard;
+            self.shard_ids.par_iter().with_min_len(1).for_each(|&s| {
+                let mut peak = 0u32;
+                for &bin in &by_shard[s] {
+                    peak = peak.max(bins.place_unrecorded(bin as usize));
+                }
+                bins.record_batch(s, by_shard[s].len() as u64, peak);
+            });
+        } else {
+            for &bin in &chosen {
+                self.bins.place(bin as usize);
+            }
+        }
+        self.chosen_scratch = chosen;
+
+        self.placed += batch.len() as u64;
+        self.batches += 1;
+
+        // Step 3 — advance the snapshot and track the gap online. The
+        // trajectory keeps only the most recent `trajectory_cap` entries
+        // (amortised O(1): compact when it reaches twice the cap) so a
+        // long-running stream does not grow with uptime.
+        self.stale = self.bins.snapshot();
+        let gap = gap_of(&self.stale, self.bins.total());
+        let cap = self.config.trajectory_cap.max(1);
+        if self.gap_trajectory.len() >= cap.saturating_mul(2) {
+            self.gap_trajectory.drain(..self.gap_trajectory.len() - cap);
+        }
+        self.gap_trajectory.push(gap);
+        self.gap_stats.push(gap);
+    }
+
+    /// The batch threshold of the paper-style [`Policy::Threshold`] rule:
+    /// `⌈(resident + batch)/n⌉ + slack`.
+    fn batch_threshold(&self, batch_len: u64) -> u32 {
+        match self.config.policy {
+            Policy::Threshold { slack, .. } => {
+                let resident = self.bins.total();
+                let mean = (resident + batch_len).div_ceil(self.config.bins as u64);
+                mean.min(u32::MAX as u64) as u32 + slack
+            }
+            _ => 0,
+        }
+    }
+
+    /// Fresh per-bin loads.
+    pub fn loads(&self) -> Vec<u32> {
+        self.bins.snapshot()
+    }
+
+    /// Fresh load of one bin (no allocation; see [`StreamAllocator::loads`]
+    /// for the full vector).
+    pub fn load(&self, bin: usize) -> u32 {
+        self.bins.load(bin)
+    }
+
+    /// Balls currently resident (`placed − departed`).
+    pub fn resident(&self) -> u64 {
+        self.bins.total()
+    }
+
+    /// Balls buffered but not yet drained.
+    pub fn pending(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// The gap after recent drained batches, in order (the most recent
+    /// [`StreamConfig::trajectory_cap`] entries at least; use
+    /// [`StreamAllocator::gap_stats`] for full-history aggregates).
+    pub fn gap_trajectory(&self) -> &[f64] {
+        &self.gap_trajectory
+    }
+
+    /// Streaming statistics over the per-batch gaps.
+    pub fn gap_stats(&self) -> &OnlineStats {
+        &self.gap_stats
+    }
+
+    /// Per-shard bookkeeping.
+    pub fn shard_stats(&self) -> Vec<ShardStats> {
+        self.bins.all_shard_stats()
+    }
+
+    /// Summary metrics of the current (fresh) load vector.
+    pub fn load_metrics(&self) -> LoadMetrics {
+        LoadMetrics::from_loads(&self.bins.snapshot())
+    }
+
+    /// A full point-in-time snapshot.
+    pub fn snapshot(&self) -> StreamSnapshot {
+        let loads = self.bins.snapshot();
+        let total = self.bins.total();
+        let gap = gap_of(&loads, total);
+        let as_f64: Vec<f64> = loads.iter().map(|&l| l as f64).collect();
+        let qs = quantiles_of(&as_f64, &[0.5, 0.9, 0.99, 1.0]);
+        StreamSnapshot {
+            stale_loads: self.stale.clone(),
+            arrived: self.arrived,
+            placed: self.placed,
+            departed: self.departed,
+            pending: self.pending.len() as u64,
+            batches: self.batches,
+            gap,
+            load_quantiles: [qs[0], qs[1], qs[2], qs[3]],
+            loads,
+        }
+    }
+
+    /// The conservation invariant every streaming run must satisfy:
+    /// `placed − departed == Σ loads` and `arrived == placed + pending`.
+    pub fn conserves_balls(&self) -> bool {
+        self.placed - self.departed == self.bins.total()
+            && self.arrived == self.placed + self.pending.len() as u64
+    }
+}
+
+/// `max − mean` of a load vector (`0` for an empty stream).
+fn gap_of(loads: &[u32], total: u64) -> f64 {
+    if loads.is_empty() {
+        return 0.0;
+    }
+    let max = loads.iter().copied().max().unwrap_or(0) as f64;
+    max - total as f64 / loads.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pba_model::rng::SplitMix64;
+
+    fn push_uniform(stream: &mut StreamAllocator, count: u64, seed: u64) {
+        let mut rng = SplitMix64::new(seed);
+        for _ in 0..count {
+            stream.push(rng.next_u64());
+        }
+    }
+
+    #[test]
+    fn push_buffers_until_batch_is_full() {
+        let mut s = StreamAllocator::new(StreamConfig::new(8).batch_size(4));
+        for k in 0..3 {
+            s.push(k);
+        }
+        assert_eq!(s.drain_ready(), 0, "no full batch yet");
+        assert_eq!(s.pending(), 3);
+        assert_eq!(s.resident(), 0);
+        s.push(3);
+        assert_eq!(s.drain_ready(), 1);
+        assert_eq!(s.pending(), 0);
+        assert_eq!(s.resident(), 4);
+        assert!(s.conserves_balls());
+    }
+
+    #[test]
+    fn flush_drains_partial_batches() {
+        let mut s = StreamAllocator::new(StreamConfig::new(8).batch_size(100));
+        push_uniform(&mut s, 42, 1);
+        assert_eq!(s.drain_ready(), 0);
+        assert_eq!(s.flush(), 1);
+        assert_eq!(s.resident(), 42);
+        assert_eq!(s.pending(), 0);
+        assert!(s.conserves_balls());
+    }
+
+    #[test]
+    fn sequential_and_parallel_drains_are_identical() {
+        for policy in [
+            Policy::OneChoice,
+            Policy::TwoChoice,
+            Policy::DChoice(3),
+            Policy::Threshold { d: 2, slack: 1 },
+        ] {
+            let cfg = StreamConfig::new(64)
+                .policy(policy)
+                .batch_size(128)
+                .seed(99);
+            let mut par = StreamAllocator::new(cfg.clone().shards(8));
+            let mut seq = StreamAllocator::new(cfg.sequential());
+            push_uniform(&mut par, 10_000, 5);
+            push_uniform(&mut seq, 10_000, 5);
+            par.flush();
+            seq.flush();
+            assert_eq!(par.loads(), seq.loads(), "policy {}", policy.name());
+            assert_eq!(par.gap_trajectory(), seq.gap_trajectory());
+        }
+    }
+
+    #[test]
+    fn parallel_paths_engage_for_large_batches_and_match_sequential() {
+        // The small-batch equivalence test above never crosses the
+        // parallelism cutoffs; this one does: batch 8192 ≥
+        // PARALLEL_APPLY_MIN_BATCH exercises the by_shard grouping +
+        // record_batch fold, and the 4-thread pool makes the choose step
+        // split across workers (8192 / CHOOSE_MIN_BALLS_PER_WORKER = 4).
+        const BATCH: usize = 8192;
+        const { assert!(BATCH >= PARALLEL_APPLY_MIN_BATCH) };
+        let cfg = StreamConfig::new(64)
+            .policy(Policy::TwoChoice)
+            .batch_size(BATCH)
+            .shards(8)
+            .seed(17);
+        let mut par = StreamAllocator::new(cfg.clone());
+        let mut seq = StreamAllocator::new(cfg.sequential());
+        push_uniform(&mut par, 20_000, 3);
+        push_uniform(&mut seq, 20_000, 3);
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(4)
+            .build()
+            .expect("pool");
+        pool.install(|| par.flush());
+        seq.flush();
+        assert_eq!(par.loads(), seq.loads());
+        assert_eq!(par.gap_trajectory(), seq.gap_trajectory());
+        // The batched stats fold must agree with the per-ball path too.
+        assert_eq!(par.shard_stats(), seq.shard_stats());
+        assert!(par.conserves_balls() && seq.conserves_balls());
+    }
+
+    #[test]
+    fn two_choice_beats_one_choice_on_the_same_stream() {
+        let m = 200_000u64;
+        let base = StreamConfig::new(256).batch_size(256).seed(7);
+        let mut one = StreamAllocator::new(base.clone().policy(Policy::OneChoice));
+        let mut two = StreamAllocator::new(base.policy(Policy::TwoChoice));
+        push_uniform(&mut one, m, 11);
+        push_uniform(&mut two, m, 11);
+        one.flush();
+        two.flush();
+        let g1 = *one.gap_trajectory().last().unwrap();
+        let g2 = *two.gap_trajectory().last().unwrap();
+        assert!(
+            g2 < g1 / 2.0,
+            "two-choice gap {g2} should be far below one-choice gap {g1}"
+        );
+    }
+
+    #[test]
+    fn departures_keep_conservation_and_reduce_load() {
+        let mut s = StreamAllocator::new(StreamConfig::new(16).batch_size(16).seed(3));
+        push_uniform(&mut s, 160, 2);
+        s.drain_ready();
+        assert_eq!(s.resident(), 160);
+        let before = s.loads();
+        let bin = before.iter().position(|&l| l > 0).unwrap();
+        assert!(s.depart(bin));
+        assert_eq!(s.resident(), 159);
+        assert!(s.conserves_balls());
+        // Departing from an empty bin fails and changes nothing.
+        let empty = s.loads().iter().position(|&l| l == 0);
+        if let Some(empty) = empty {
+            assert!(!s.depart(empty));
+            assert_eq!(s.resident(), 159);
+        }
+    }
+
+    #[test]
+    fn gap_trajectory_grows_one_entry_per_batch() {
+        let mut s = StreamAllocator::new(StreamConfig::new(32).batch_size(64).seed(1));
+        push_uniform(&mut s, 640, 8);
+        assert_eq!(s.drain_ready(), 10);
+        assert_eq!(s.gap_trajectory().len(), 10);
+        assert_eq!(s.gap_stats().count(), 10);
+        assert_eq!(s.snapshot().batches, 10);
+    }
+
+    #[test]
+    fn gap_trajectory_is_capped_for_long_streams() {
+        let mut cfg = StreamConfig::new(8).batch_size(1).seed(1);
+        cfg.trajectory_cap = 10;
+        let mut s = StreamAllocator::new(cfg);
+        for k in 0..100u64 {
+            s.push(k);
+            s.drain_ready();
+        }
+        // Bounded retention (≤ 2×cap) but full-history aggregates.
+        assert!(
+            s.gap_trajectory().len() <= 20,
+            "{}",
+            s.gap_trajectory().len()
+        );
+        assert!(s.gap_trajectory().len() >= 10);
+        assert_eq!(s.gap_stats().count(), 100);
+        assert_eq!(s.snapshot().batches, 100);
+    }
+
+    #[test]
+    fn snapshot_reports_consistent_counters() {
+        let mut s = StreamAllocator::new(StreamConfig::new(16).batch_size(10).seed(2));
+        push_uniform(&mut s, 25, 4);
+        s.drain_ready();
+        let snap = s.snapshot();
+        assert_eq!(snap.arrived, 25);
+        assert_eq!(snap.placed, 20);
+        assert_eq!(snap.pending, 5);
+        assert_eq!(snap.departed, 0);
+        assert_eq!(snap.loads.iter().map(|&l| l as u64).sum::<u64>(), 20);
+        assert_eq!(
+            snap.stale_loads, snap.loads,
+            "at a batch boundary they agree"
+        );
+        assert!(snap.load_quantiles[3] >= snap.load_quantiles[0]);
+        assert!(snap.gap >= 0.0);
+    }
+
+    #[test]
+    fn same_seed_same_stream_is_deterministic() {
+        let run = || {
+            let mut s =
+                StreamAllocator::new(StreamConfig::new(64).batch_size(50).seed(77).shards(8));
+            push_uniform(&mut s, 5_000, 6);
+            s.flush();
+            s.loads()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn repeated_hot_key_lands_on_its_candidate_set() {
+        // A single hot key must only ever hit its ≤2 candidate bins: the
+        // consistent-hashing behaviour a keyed router relies on.
+        let mut s = StreamAllocator::new(StreamConfig::new(64).batch_size(32).seed(5));
+        for _ in 0..640 {
+            s.push(0xfeed);
+        }
+        s.flush();
+        let nonzero = s.loads().iter().filter(|&&l| l > 0).count();
+        assert!(nonzero <= 2, "hot key spread over {nonzero} bins");
+        assert_eq!(s.resident(), 640);
+    }
+
+    #[test]
+    fn threshold_policy_respects_threshold_when_feasible() {
+        // With generous slack the threshold rule behaves like "first fit
+        // below T", so no bin exceeds mean + slack + batch contention bound.
+        let mut s = StreamAllocator::new(
+            StreamConfig::new(64)
+                .policy(Policy::Threshold { d: 2, slack: 4 })
+                .batch_size(64)
+                .seed(13),
+        );
+        push_uniform(&mut s, 64 * 100, 21);
+        s.flush();
+        let metrics = s.load_metrics();
+        assert_eq!(metrics.total_balls, 6400);
+        // Stale info within a batch can overshoot by the batch's worth of
+        // collisions on one bin, but not by orders of magnitude.
+        assert!(
+            metrics.excess_over_ceil_avg <= 16,
+            "threshold excess {}",
+            metrics.excess_over_ceil_avg
+        );
+    }
+}

@@ -1,0 +1,66 @@
+//! # pba-stream
+//!
+//! An **online, sharded, batched streaming allocation engine** — the dynamic
+//! counterpart of the one-shot allocators in this workspace.
+//!
+//! The SPAA'19 paper allocates all `m` balls in a few synchronous rounds; a
+//! production router instead sees balls *arrive over time* and must place each
+//! one with whatever load information it has. Los & Sauerwald,
+//! *Balanced Allocations in Batches: Simplified and Generalized* (2022), show
+//! that the two-choice machinery survives this regime: if balls are allocated
+//! in batches of size `b` and every ball of a batch only sees the loads from
+//! the previous batch boundary (stale info), the gap stays `O(b/n + log n)` —
+//! so batching/staleness costs a quantifiable, bounded amount of balance.
+//! This crate implements exactly that model and makes the trade-offs
+//! measurable (experiments E10–E12 in [`pba_workloads`-style tables]).
+//!
+//! * [`engine`] — [`StreamAllocator`]: the incremental `push` / `drain` /
+//!   `snapshot` API. Balls buffer until a batch of `b` is ready; a drain
+//!   allocates the batch against the **stale** snapshot and then advances the
+//!   snapshot. Because every placement decision is a pure function of
+//!   `(stale snapshot, ball key)`, the sharded parallel drain is bit-identical
+//!   to the sequential one.
+//! * [`shard`] — [`ShardedBins`]: bins partitioned into contiguous shards;
+//!   lock-free atomic load counters (from [`pba_concurrent`]) plus per-shard
+//!   mutex-guarded bookkeeping, drained in parallel via rayon.
+//! * [`policy`] — [`Policy`]: single-choice, two-choice, `d`-choice and the
+//!   paper-style threshold rule, all over stale loads; candidate bins are a
+//!   consistent hash of the ball's key.
+//! * [`arrival`] — [`ArrivalProcess`]: uniform, Zipf-skewed and bursty
+//!   arrival streams.
+//! * [`scenario`] — [`run_scenario`]: ticks of arrivals + optional churn
+//!   (departures) driving a [`StreamAllocator`], reporting online gap
+//!   trajectories.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use pba_stream::{Policy, StreamAllocator, StreamConfig};
+//!
+//! let mut stream = StreamAllocator::new(
+//!     StreamConfig::new(64).policy(Policy::TwoChoice).batch_size(64).seed(42),
+//! );
+//! for key in 0..10_000u64 {
+//!     stream.push(key);
+//! }
+//! stream.flush();
+//! assert!(stream.conserves_balls());
+//! assert_eq!(stream.resident(), 10_000);
+//! // The online gap trajectory has one entry per drained batch.
+//! assert!(!stream.gap_trajectory().is_empty());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod arrival;
+pub mod engine;
+pub mod policy;
+pub mod scenario;
+pub mod shard;
+
+pub use arrival::{ArrivalProcess, ArrivalSampler, UNIQUE_KEYS};
+pub use engine::{StreamAllocator, StreamConfig, StreamSnapshot};
+pub use policy::{candidate_bins, Policy};
+pub use scenario::{run_scenario, ScenarioConfig, ScenarioReport};
+pub use shard::{ShardStats, ShardedBins};

@@ -1,0 +1,181 @@
+//! Allocation policies over **stale** load snapshots.
+//!
+//! The defining property of the batched model (Los & Sauerwald 2022) is that
+//! every ball of a batch decides from the load vector *as of the previous
+//! batch boundary* — the in-flight placements of its own batch are invisible.
+//! A policy is therefore a pure function
+//! `(stale snapshot, candidate bins, batch threshold) → chosen bin`,
+//! which is what makes the sharded drain embarrassingly parallel and bit-wise
+//! identical to the sequential drain.
+//!
+//! Candidate bins are a pure hash of the ball's key (see
+//! [`candidate_bins`]), so a repeated key always contends for the same
+//! candidate set — the consistent-hashing behaviour of a real router.
+
+use pba_model::rng::SplitMix64;
+
+/// Stream used to derive candidate bins from `(seed, key)`.
+const CANDIDATE_STREAM: u64 = 0x5742_a11c;
+
+/// A placement policy for one ball, applied to stale loads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Policy {
+    /// The ball joins its first candidate unconditionally (single-choice).
+    OneChoice,
+    /// Two candidates; the ball joins the one with the smaller stale load
+    /// (ties to the earlier candidate) — the classic two-choice rule.
+    TwoChoice,
+    /// `d` candidates; least stale load wins (Greedy[d] on stale info).
+    DChoice(usize),
+    /// The paper's threshold rule adapted to streaming: the ball joins the
+    /// first candidate whose stale load is below the batch threshold
+    /// `⌈(resident + batch)/n⌉ + slack`, falling back to the least-loaded
+    /// candidate when all are at or above it. Uses `d` candidates.
+    Threshold {
+        /// Number of candidate bins.
+        d: usize,
+        /// Additive slack over the post-batch mean.
+        slack: u32,
+    },
+}
+
+impl Policy {
+    /// Number of candidate bins this policy samples per ball.
+    pub fn choices(&self) -> usize {
+        match *self {
+            Policy::OneChoice => 1,
+            Policy::TwoChoice => 2,
+            Policy::DChoice(d) => d.max(1),
+            Policy::Threshold { d, .. } => d.max(1),
+        }
+    }
+
+    /// Display name used in tables and reports.
+    pub fn name(&self) -> String {
+        match *self {
+            Policy::OneChoice => "one-choice".to_string(),
+            Policy::TwoChoice => "two-choice".to_string(),
+            Policy::DChoice(d) => format!("{d}-choice"),
+            Policy::Threshold { d, slack } => format!("threshold(d={d},slack={slack})"),
+        }
+    }
+
+    /// Picks the bin for one ball. `snapshot` is the stale load vector,
+    /// `candidates` the ball's candidate bins (non-empty), and
+    /// `batch_threshold` the precomputed threshold for this batch (only used
+    /// by [`Policy::Threshold`]).
+    pub fn pick(&self, snapshot: &[u32], candidates: &[u32], batch_threshold: u32) -> u32 {
+        debug_assert!(!candidates.is_empty());
+        match *self {
+            Policy::OneChoice => candidates[0],
+            Policy::TwoChoice | Policy::DChoice(_) => least_loaded(snapshot, candidates),
+            Policy::Threshold { .. } => {
+                for &c in candidates {
+                    if snapshot[c as usize] < batch_threshold {
+                        return c;
+                    }
+                }
+                least_loaded(snapshot, candidates)
+            }
+        }
+    }
+}
+
+/// The candidate with the smallest stale load; ties break to the earliest
+/// candidate so the choice is deterministic.
+fn least_loaded(snapshot: &[u32], candidates: &[u32]) -> u32 {
+    let mut best = candidates[0];
+    let mut best_load = snapshot[best as usize];
+    for &c in &candidates[1..] {
+        let load = snapshot[c as usize];
+        if load < best_load {
+            best = c;
+            best_load = load;
+        }
+    }
+    best
+}
+
+/// Derives the candidate bins of a ball with key `key`: `d` distinct bins
+/// (fewer only when `n < d`), a pure function of `(seed, key)`.
+pub fn candidate_bins(seed: u64, key: u64, d: usize, n: usize, out: &mut Vec<u32>) {
+    out.clear();
+    let mut rng = SplitMix64::for_stream(seed, CANDIDATE_STREAM, key);
+    rng.sample_distinct(n, d.max(1).min(n.max(1)), out);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_choice_ignores_loads() {
+        let snapshot = vec![100, 0, 0];
+        assert_eq!(Policy::OneChoice.pick(&snapshot, &[0, 1], 0), 0);
+        assert_eq!(Policy::OneChoice.choices(), 1);
+    }
+
+    #[test]
+    fn two_choice_takes_less_loaded_with_deterministic_ties() {
+        let snapshot = vec![5, 3, 3, 9];
+        assert_eq!(Policy::TwoChoice.pick(&snapshot, &[0, 1], 0), 1);
+        assert_eq!(
+            Policy::TwoChoice.pick(&snapshot, &[1, 2], 0),
+            1,
+            "tie → first"
+        );
+        assert_eq!(
+            Policy::TwoChoice.pick(&snapshot, &[2, 1], 0),
+            2,
+            "tie → first"
+        );
+        assert_eq!(Policy::DChoice(3).pick(&snapshot, &[3, 0, 2], 0), 2);
+    }
+
+    #[test]
+    fn threshold_prefers_first_below_threshold() {
+        let snapshot = vec![10, 4, 2];
+        let p = Policy::Threshold { d: 2, slack: 0 };
+        // First candidate below T wins even if the second is emptier.
+        assert_eq!(p.pick(&snapshot, &[1, 2], 5), 1);
+        // All candidates at/above T → least loaded.
+        assert_eq!(p.pick(&snapshot, &[0, 1], 4), 1);
+        assert_eq!(p.choices(), 2);
+    }
+
+    #[test]
+    fn candidates_are_distinct_deterministic_and_key_stable() {
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        candidate_bins(7, 42, 2, 64, &mut a);
+        candidate_bins(7, 42, 2, 64, &mut b);
+        assert_eq!(a, b, "same (seed, key) → same candidates");
+        assert_eq!(a.len(), 2);
+        assert_ne!(a[0], a[1]);
+        candidate_bins(7, 43, 2, 64, &mut b);
+        assert_ne!(a, b, "different keys should (almost surely) differ");
+        candidate_bins(8, 42, 2, 64, &mut b);
+        assert_ne!(a, b, "different seeds should (almost surely) differ");
+    }
+
+    #[test]
+    fn candidates_clamp_to_bin_count() {
+        let mut out = Vec::new();
+        candidate_bins(1, 5, 4, 2, &mut out);
+        assert_eq!(out, vec![0, 1], "d > n returns every bin");
+    }
+
+    #[test]
+    fn policy_names_are_distinct() {
+        let names = [
+            Policy::OneChoice.name(),
+            Policy::TwoChoice.name(),
+            Policy::DChoice(3).name(),
+            Policy::Threshold { d: 2, slack: 1 }.name(),
+        ];
+        let mut dedup = names.to_vec();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), names.len());
+    }
+}

@@ -1,0 +1,325 @@
+//! Scenario driver: an arrival process, optional churn, and a policy, run for
+//! a fixed number of ticks.
+//!
+//! This is the piece that turns the incremental [`StreamAllocator`] API into
+//! end-to-end experiments: each tick pushes the process's arrivals, drains
+//! every full batch, and (after a warm-up) retires residents at a configurable
+//! churn rate, sampling departures uniformly over *resident balls* (i.e. a bin
+//! is hit proportionally to its load, the standard M/M/∞-style service model).
+
+use pba_model::rng::SplitMix64;
+
+use crate::arrival::{ArrivalProcess, ArrivalSampler};
+use crate::engine::{StreamAllocator, StreamConfig};
+
+/// Stream used for arrival-key randomness.
+const ARRIVAL_STREAM: u64 = 0xa331_7a15;
+/// Stream used for departure randomness.
+const DEPART_STREAM: u64 = 0xdea9_0b75;
+
+/// A complete streaming scenario.
+#[derive(Debug, Clone)]
+pub struct ScenarioConfig {
+    /// Ticks to simulate.
+    pub ticks: u64,
+    /// The arrival process.
+    pub arrivals: ArrivalProcess,
+    /// Expected departures per arrival once warm-up has passed (`0.0` = pure
+    /// growth; `1.0` = steady state).
+    pub churn: f64,
+    /// Ticks before churn starts (lets the system fill up first).
+    pub warmup_ticks: u64,
+    /// Whether to flush the final partial batch at the end of the run.
+    pub flush_at_end: bool,
+}
+
+impl ScenarioConfig {
+    /// A growth-only scenario: `ticks` ticks of the given arrivals, no churn.
+    pub fn growth(ticks: u64, arrivals: ArrivalProcess) -> Self {
+        Self {
+            ticks,
+            arrivals,
+            churn: 0.0,
+            warmup_ticks: 0,
+            flush_at_end: true,
+        }
+    }
+
+    /// Adds churn after a warm-up period (builder style).
+    pub fn with_churn(mut self, churn: f64, warmup_ticks: u64) -> Self {
+        self.churn = churn;
+        self.warmup_ticks = warmup_ticks;
+        self
+    }
+}
+
+/// Outcome of a scenario run.
+#[derive(Debug)]
+pub struct ScenarioReport {
+    /// The allocator in its final state (loads, stats, trajectory).
+    pub stream: StreamAllocator,
+    /// Total arrivals generated.
+    pub arrived: u64,
+    /// Total departures executed.
+    pub departed: u64,
+    /// Gap after the final batch (`0` when no batch was drained).
+    pub final_gap: f64,
+    /// Maximum gap observed at any batch boundary.
+    pub max_gap: f64,
+    /// Mean gap over all batch boundaries.
+    pub mean_gap: f64,
+}
+
+/// Runs `scenario` on a fresh [`StreamAllocator`] built from `config`.
+pub fn run_scenario(scenario: &ScenarioConfig, config: StreamConfig) -> ScenarioReport {
+    let seed = config.seed;
+    let n = config.bins;
+    let mut stream = StreamAllocator::new(config);
+    let sampler = ArrivalSampler::new(scenario.arrivals.clone());
+    let mut key_rng = SplitMix64::for_stream(seed, ARRIVAL_STREAM, 0);
+    let mut depart_rng = SplitMix64::for_stream(seed, DEPART_STREAM, 0);
+    // Fractional churn accumulates across ticks so e.g. 0.5 retires one ball
+    // every other arrival on average.
+    let mut churn_credit = 0.0f64;
+
+    for tick in 0..scenario.ticks {
+        let arrivals = sampler.arrivals_at(tick);
+        for _ in 0..arrivals {
+            stream.push(sampler.sample_key(&mut key_rng));
+        }
+        stream.drain_ready();
+
+        if scenario.churn > 0.0 && tick >= scenario.warmup_ticks {
+            churn_credit += scenario.churn * arrivals as f64;
+            if churn_credit >= 1.0 && stream.resident() > 0 {
+                // One O(n) Fenwick build per tick, then O(log n) per
+                // departure — the per-departure linear scan would make churn
+                // cost O(departures · n).
+                let mut tree = LoadTree::build_from(&stream, n);
+                while churn_credit >= 1.0 && tree.total() > 0 {
+                    churn_credit -= 1.0;
+                    let bin = tree.sample_and_remove(depart_rng.gen_range(tree.total()));
+                    let departed = stream.depart(bin);
+                    debug_assert!(departed, "tree tracked a ball the stream lacks");
+                }
+            }
+        }
+    }
+    if scenario.flush_at_end {
+        stream.flush();
+    }
+
+    let trajectory = stream.gap_trajectory();
+    let final_gap = trajectory.last().copied().unwrap_or(0.0);
+    let max_gap = stream.gap_stats().max();
+    let max_gap = if max_gap.is_nan() { 0.0 } else { max_gap };
+    let mean_gap = stream.gap_stats().mean();
+    let snapshot = stream.snapshot();
+    ScenarioReport {
+        arrived: snapshot.arrived,
+        departed: snapshot.departed,
+        final_gap,
+        max_gap,
+        mean_gap,
+        stream,
+    }
+}
+
+/// Fenwick (binary indexed) tree over per-bin loads, used to sample a
+/// departing ball uniformly over residents: bin `i` is drawn with probability
+/// `load_i / total`, in `O(log n)` per draw after an `O(n)` build.
+struct LoadTree {
+    /// 1-based Fenwick array of partial sums.
+    tree: Vec<u64>,
+    total: u64,
+}
+
+impl LoadTree {
+    fn build_from(stream: &StreamAllocator, n: usize) -> Self {
+        let mut tree = vec![0u64; n + 1];
+        for bin in 0..n {
+            tree[bin + 1] += stream.load(bin) as u64;
+            let parent = (bin + 1) + ((bin + 1) & (bin + 1).wrapping_neg());
+            if parent <= n {
+                let v = tree[bin + 1];
+                tree[parent] += v;
+            }
+        }
+        Self {
+            total: stream.resident(),
+            tree,
+        }
+    }
+
+    fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Finds the bin holding the `target`-th resident ball (0-based over the
+    /// cumulative load order) and removes one ball from it in the tree.
+    fn sample_and_remove(&mut self, mut target: u64) -> usize {
+        debug_assert!(target < self.total);
+        let n = self.tree.len() - 1;
+        let mut pos = 0usize;
+        let mut mask = n.next_power_of_two();
+        while mask > 0 {
+            let next = pos + mask;
+            if next <= n && self.tree[next] <= target {
+                target -= self.tree[next];
+                pos = next;
+            }
+            mask >>= 1;
+        }
+        // `pos` is the count of bins whose cumulative load is ≤ target, i.e.
+        // the 0-based bin index to depart from.
+        let bin = pos;
+        let mut idx = bin + 1;
+        while idx <= n {
+            self.tree[idx] -= 1;
+            idx += idx & idx.wrapping_neg();
+        }
+        self.total -= 1;
+        bin
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::Policy;
+
+    #[test]
+    fn growth_scenario_allocates_every_arrival() {
+        let scenario = ScenarioConfig::growth(
+            50,
+            ArrivalProcess::Uniform {
+                keys: crate::arrival::UNIQUE_KEYS,
+                rate: 40,
+            },
+        );
+        let report = run_scenario(&scenario, StreamConfig::new(64).batch_size(100).seed(1));
+        assert_eq!(report.arrived, 2000);
+        assert_eq!(report.departed, 0);
+        assert_eq!(report.stream.resident(), 2000);
+        assert!(report.stream.conserves_balls());
+        assert!(report.final_gap >= 0.0);
+        assert!(report.max_gap >= report.final_gap);
+    }
+
+    #[test]
+    fn steady_state_churn_keeps_population_bounded() {
+        let scenario = ScenarioConfig::growth(
+            400,
+            ArrivalProcess::Uniform {
+                keys: crate::arrival::UNIQUE_KEYS,
+                rate: 64,
+            },
+        )
+        .with_churn(1.0, 100);
+        let report = run_scenario(&scenario, StreamConfig::new(64).batch_size(64).seed(2));
+        assert!(report.departed > 0);
+        assert!(report.stream.conserves_balls());
+        // Population ≈ warm-up intake; certainly far below total arrivals.
+        let resident = report.stream.resident();
+        assert!(
+            resident < report.arrived / 2,
+            "churn failed to retire balls: {resident} of {}",
+            report.arrived
+        );
+    }
+
+    #[test]
+    fn bursty_arrivals_are_all_drained() {
+        let scenario = ScenarioConfig::growth(
+            60,
+            ArrivalProcess::Bursty {
+                keys: 1024,
+                base_rate: 16,
+                burst_every: 10,
+                burst_len: 3,
+                burst_mult: 8,
+            },
+        );
+        let report = run_scenario(&scenario, StreamConfig::new(32).batch_size(64).seed(3));
+        // 60 ticks: per window of 10 → 3·128 + 7·16 = 496; 6 windows = 2976.
+        assert_eq!(report.arrived, 2976);
+        assert_eq!(report.stream.pending(), 0);
+        assert_eq!(report.stream.resident(), 2976);
+    }
+
+    #[test]
+    fn scenarios_are_deterministic() {
+        let scenario = ScenarioConfig::growth(
+            100,
+            ArrivalProcess::Zipf {
+                keys: 512,
+                exponent: 1.1,
+                rate: 32,
+            },
+        )
+        .with_churn(0.5, 20);
+        let run = || {
+            let r = run_scenario(
+                &scenario,
+                StreamConfig::new(64)
+                    .policy(Policy::TwoChoice)
+                    .batch_size(128)
+                    .seed(9),
+            );
+            (r.stream.loads(), r.departed)
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn load_tree_sampling_matches_linear_scan_reference() {
+        let mut stream = StreamAllocator::new(StreamConfig::new(16).batch_size(16).seed(5));
+        for k in 0..200u64 {
+            stream.push(k);
+        }
+        stream.flush();
+        let loads = stream.loads();
+        let total: u64 = loads.iter().map(|&l| l as u64).sum();
+        for target in 0..total {
+            let mut tree = LoadTree::build_from(&stream, 16);
+            assert_eq!(tree.total(), total);
+            let bin = tree.sample_and_remove(target);
+            // Linear reference: first bin whose cumulative load exceeds target.
+            let mut t = target;
+            let expected = loads
+                .iter()
+                .position(|&l| {
+                    if t < l as u64 {
+                        true
+                    } else {
+                        t -= l as u64;
+                        false
+                    }
+                })
+                .unwrap();
+            assert_eq!(bin, expected, "target {target}");
+            assert_eq!(tree.total(), total - 1);
+        }
+    }
+
+    #[test]
+    fn two_choice_beats_one_choice_under_zipf() {
+        let scenario = ScenarioConfig::growth(
+            200,
+            ArrivalProcess::Zipf {
+                keys: 1 << 14,
+                exponent: 0.9,
+                rate: 256,
+            },
+        );
+        let base = StreamConfig::new(256).batch_size(512).seed(4);
+        let one = run_scenario(&scenario, base.clone().policy(Policy::OneChoice));
+        let two = run_scenario(&scenario, base.policy(Policy::TwoChoice));
+        assert!(
+            two.final_gap < one.final_gap,
+            "two-choice {} vs one-choice {}",
+            two.final_gap,
+            one.final_gap
+        );
+    }
+}

@@ -1,0 +1,219 @@
+//! The shard layer: bins partitioned into contiguous shards.
+//!
+//! Load counters live in one flat [`AtomicBins`] array (the same lock-free
+//! bounded-increment substrate the concurrent executor uses), so placements
+//! from any thread are linearisable without locks. Each shard additionally
+//! owns a small mutex-guarded bookkeeping record ([`ShardStats`]) — accepted /
+//! departed totals and the peak load ever observed in the shard — which the
+//! parallel drain updates once per (shard, batch), keeping lock traffic
+//! negligible.
+
+use std::sync::Mutex;
+
+use pba_concurrent::AtomicBins;
+
+/// Per-shard bookkeeping, updated under the shard's lock.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct ShardStats {
+    /// Balls placed into this shard over the stream's lifetime.
+    pub accepted: u64,
+    /// Balls departed from this shard.
+    pub departed: u64,
+    /// Highest load ever observed on a bin of this shard.
+    pub peak_load: u32,
+}
+
+/// `n` bins split into `shards` contiguous ranges.
+#[derive(Debug)]
+pub struct ShardedBins {
+    bins: AtomicBins,
+    shards: usize,
+    stats: Vec<Mutex<ShardStats>>,
+}
+
+impl ShardedBins {
+    /// Creates `n` empty bins in `shards` shards (clamped to `[1, n]`).
+    pub fn new(n: usize, shards: usize) -> Self {
+        let shards = shards.clamp(1, n.max(1));
+        Self {
+            bins: AtomicBins::new(n),
+            shards,
+            stats: (0..shards)
+                .map(|_| Mutex::new(ShardStats::default()))
+                .collect(),
+        }
+    }
+
+    /// Number of bins.
+    pub fn len(&self) -> usize {
+        self.bins.len()
+    }
+
+    /// True when there are no bins.
+    pub fn is_empty(&self) -> bool {
+        self.bins.is_empty()
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards
+    }
+
+    /// The shard owning `bin`: `⌊bin·S/n⌋`, the inverse of [`Self::shard_start`].
+    pub fn shard_of(&self, bin: usize) -> usize {
+        debug_assert!(bin < self.len());
+        bin * self.shards / self.len()
+    }
+
+    /// First bin of shard `s`: `⌈s·n/S⌉` (so shard `s` owns
+    /// `[start(s), start(s+1))`, consistent with [`Self::shard_of`]).
+    pub fn shard_start(&self, s: usize) -> usize {
+        (s * self.len()).div_ceil(self.shards)
+    }
+
+    /// Places one ball into `bin` and updates the owning shard's stats.
+    /// Used by the sequential drain path; the parallel path batches the stats
+    /// update via [`ShardedBins::record_batch`].
+    pub fn place(&self, bin: usize) {
+        let new_load = self.bins.add(bin);
+        let mut stats = self.stats[self.shard_of(bin)].lock().expect("shard lock");
+        stats.accepted += 1;
+        stats.peak_load = stats.peak_load.max(new_load);
+    }
+
+    /// Places one ball into `bin` without touching shard stats; returns the
+    /// new load. The caller is expected to fold stats via `record_batch`.
+    pub fn place_unrecorded(&self, bin: usize) -> u32 {
+        self.bins.add(bin)
+    }
+
+    /// Folds one batch's worth of per-shard bookkeeping under the shard lock.
+    pub fn record_batch(&self, shard: usize, accepted: u64, peak_load: u32) {
+        let mut stats = self.stats[shard].lock().expect("shard lock");
+        stats.accepted += accepted;
+        stats.peak_load = stats.peak_load.max(peak_load);
+    }
+
+    /// Removes one ball from `bin` (if non-empty) and updates shard stats.
+    pub fn depart(&self, bin: usize) -> bool {
+        let ok = self.bins.try_release(bin);
+        if ok {
+            let mut stats = self.stats[self.shard_of(bin)].lock().expect("shard lock");
+            stats.departed += 1;
+        }
+        ok
+    }
+
+    /// Current load of `bin`.
+    pub fn load(&self, bin: usize) -> u32 {
+        self.bins.load(bin)
+    }
+
+    /// Snapshot of all loads.
+    pub fn snapshot(&self) -> Vec<u32> {
+        self.bins.snapshot()
+    }
+
+    /// Sum of all loads (balls currently resident).
+    pub fn total(&self) -> u64 {
+        self.bins.total()
+    }
+
+    /// Copy of shard `s`'s bookkeeping.
+    pub fn shard_stats(&self, s: usize) -> ShardStats {
+        *self.stats[s].lock().expect("shard lock")
+    }
+
+    /// Bookkeeping of every shard.
+    pub fn all_shard_stats(&self) -> Vec<ShardStats> {
+        (0..self.shards).map(|s| self.shard_stats(s)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shard_partition_is_contiguous_and_complete() {
+        for (n, shards) in [(8, 3), (64, 4), (7, 7), (10, 1), (5, 9)] {
+            let sb = ShardedBins::new(n, shards);
+            let s = sb.shard_count();
+            assert!(s >= 1 && s <= n);
+            // Every bin maps to exactly one shard consistent with the ranges.
+            for bin in 0..n {
+                let shard = sb.shard_of(bin);
+                assert!(sb.shard_start(shard) <= bin);
+                assert!(bin < sb.shard_start(shard + 1));
+            }
+            // No shard is empty.
+            for shard in 0..s {
+                assert!(sb.shard_start(shard) < sb.shard_start(shard + 1));
+            }
+            // Shard starts are non-decreasing and cover [0, n).
+            assert_eq!(sb.shard_start(0), 0);
+            assert_eq!(sb.shard_start(s), n);
+        }
+    }
+
+    #[test]
+    fn place_and_depart_update_stats() {
+        let sb = ShardedBins::new(4, 2);
+        sb.place(0);
+        sb.place(0);
+        sb.place(3);
+        assert_eq!(sb.total(), 3);
+        assert_eq!(sb.shard_stats(0).accepted, 2);
+        assert_eq!(sb.shard_stats(0).peak_load, 2);
+        assert_eq!(sb.shard_stats(1).accepted, 1);
+        assert!(sb.depart(0));
+        assert_eq!(sb.shard_stats(0).departed, 1);
+        assert_eq!(sb.total(), 2);
+        assert!(!sb.depart(1), "empty bin");
+        // Peak load is sticky even after departures.
+        assert_eq!(sb.shard_stats(0).peak_load, 2);
+    }
+
+    #[test]
+    fn unrecorded_place_plus_record_batch_equals_place() {
+        let a = ShardedBins::new(8, 2);
+        let b = ShardedBins::new(8, 2);
+        for bin in [0usize, 1, 1, 5, 7, 7, 7] {
+            a.place(bin);
+        }
+        let mut peaks = [0u32; 2];
+        let mut counts = [0u64; 2];
+        for bin in [0usize, 1, 1, 5, 7, 7, 7] {
+            let load = b.place_unrecorded(bin);
+            let s = b.shard_of(bin);
+            peaks[s] = peaks[s].max(load);
+            counts[s] += 1;
+        }
+        for s in 0..2 {
+            b.record_batch(s, counts[s], peaks[s]);
+        }
+        assert_eq!(a.snapshot(), b.snapshot());
+        assert_eq!(a.all_shard_stats(), b.all_shard_stats());
+    }
+
+    #[test]
+    fn concurrent_places_conserve() {
+        use std::sync::Arc;
+        let sb = Arc::new(ShardedBins::new(32, 4));
+        let mut handles = Vec::new();
+        for t in 0..4u64 {
+            let sb = Arc::clone(&sb);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..1000u64 {
+                    sb.place(((i * 7 + t * 13) % 32) as usize);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(sb.total(), 4000);
+        let accepted: u64 = sb.all_shard_stats().iter().map(|s| s.accepted).sum();
+        assert_eq!(accepted, 4000);
+    }
+}

@@ -1,4 +1,6 @@
-//! The reproduction experiments E1–E9 (see DESIGN.md for the full index).
+//! The reproduction experiments E1–E12 (see DESIGN.md for the full index).
+//! E1–E9 validate the SPAA'19 paper; E10–E12 measure the streaming engine of
+//! `pba-stream` in the batched/stale-information model (Los–Sauerwald 2022).
 //!
 //! The paper is a theory paper without numbered tables/figures, so each
 //! experiment here plays the role of a table: it validates one theorem, claim or
@@ -18,13 +20,16 @@ use pba_concurrent::{
     measure_speedup, run_actor_threshold, run_concurrent_heavy, run_concurrent_threshold,
 };
 use pba_lowerbound::{
-    lower_bound_round_prediction, measure_rounds_to_finish, rejection, simulate_degree_d_by_degree_1,
-    ClassDecomposition,
+    lower_bound_round_prediction, measure_rounds_to_finish, rejection,
+    simulate_degree_d_by_degree_1, ClassDecomposition,
 };
 use pba_model::engine::run_count_engine;
 use pba_model::protocol::FixedThresholdProtocol;
 use pba_model::Allocator;
 use pba_stats::{log_log2, log_star, Align, Cell, SeedAggregate, Table};
+use pba_stream::{
+    run_scenario, ArrivalProcess, Policy, ScenarioConfig, StreamAllocator, StreamConfig,
+};
 
 use crate::config::SweepConfig;
 use crate::runner::{run_sweep, summaries_to_table};
@@ -82,8 +87,7 @@ pub fn e1_heavy_load_and_rounds(quick: bool) -> Table {
                 trace.leftover_after_phase1 as f64 / inst.n as f64,
             );
         }
-        let predicted =
-            log_log2(inst.ratio as f64).ceil() + log_star(inst.n as f64) as f64 + 2.0;
+        let predicted = log_log2(inst.ratio as f64).ceil() + log_star(inst.n as f64) as f64 + 2.0;
         table.push_row([
             Cell::from(inst.n),
             Cell::from(inst.ratio),
@@ -103,7 +107,11 @@ pub fn e1_heavy_load_and_rounds(quick: bool) -> Table {
 /// E2 — Claims 1–4: the per-round trajectory of unallocated balls follows
 /// `m̃_{i+1} = m̃_i^{2/3} · n^{1/3}`.
 pub fn e2_trajectory(quick: bool) -> Table {
-    let (n, ratio) = if quick { (256usize, 256u64) } else { (1024usize, 4096u64) };
+    let (n, ratio) = if quick {
+        (256usize, 256u64)
+    } else {
+        (1024usize, 4096u64)
+    };
     let m = n as u64 * ratio;
     let alloc = HeavyAllocator::default();
     let (out, trace) = alloc.allocate_traced(m, n, 0);
@@ -394,7 +402,14 @@ pub fn e7_baselines(quick: bool) -> Table {
     let naive = NaiveThresholdAllocator::new(1, 1);
     let trivial = TrivialAllocator;
     let allocators: Vec<&dyn Allocator> = vec![
-        &single, &greedy, &agl, &batched, &naive, &trivial, &heavy, &asymmetric,
+        &single,
+        &greedy,
+        &agl,
+        &batched,
+        &naive,
+        &trivial,
+        &heavy,
+        &asymmetric,
     ];
     let summaries = run_sweep(&allocators, &sweep);
     summaries_to_table(
@@ -527,10 +542,7 @@ pub fn e9_ablation(quick: bool) -> Vec<Table> {
             agg.record("phase1", trace.phase1_rounds as f64);
             agg.record("rounds", out.rounds as f64);
             agg.record("excess", out.excess(m) as f64);
-            agg.record(
-                "leftover",
-                trace.leftover_after_phase1 as f64 / n as f64,
-            );
+            agg.record("leftover", trace.leftover_after_phase1 as f64 / n as f64);
         }
         exponents.push_row([
             Cell::from(alpha),
@@ -572,7 +584,182 @@ pub fn e9_ablation(quick: bool) -> Vec<Table> {
     vec![exponents, degrees]
 }
 
-/// Runs every experiment and returns all tables in order (E1 … E9).
+/// E10 — the streaming engine's batch-size sweep: with batches of size `b`
+/// every ball sees loads that are up to `b` placements stale, and the
+/// Los–Sauerwald bound says the two-choice gap degrades gracefully (O(b/n)
+/// for large batches) instead of collapsing to one-choice behaviour.
+pub fn e10_stream_batch_sweep(quick: bool) -> Table {
+    let (n, ratio, n_seeds): (usize, u64, u64) = if quick { (256, 64, 2) } else { (1024, 256, 5) };
+    let m = n as u64 * ratio;
+    let batch_factors: &[usize] = if quick { &[1, 4, 16] } else { &[1, 4, 16, 64] };
+    let mut table = Table::with_alignments(
+        "E10: streaming two-choice — gap vs batch size (staleness window)",
+        &[
+            ("n", Align::Right),
+            ("balls", Align::Right),
+            ("batch b", Align::Right),
+            ("b/n", Align::Right),
+            ("final gap mean", Align::Right),
+            ("max gap mean", Align::Right),
+            ("one-choice final gap", Align::Right),
+        ],
+    );
+    for &factor in batch_factors {
+        let batch = n * factor;
+        let mut agg = SeedAggregate::new();
+        for seed in 0..n_seeds {
+            for (policy, key) in [(Policy::TwoChoice, "two"), (Policy::OneChoice, "one")] {
+                let mut stream = StreamAllocator::new(
+                    StreamConfig::new(n)
+                        .policy(policy)
+                        .batch_size(batch)
+                        .seed(seed),
+                );
+                let mut keys = pba_model::rng::SplitMix64::for_stream(seed, 0xe10, factor as u64);
+                for _ in 0..m {
+                    stream.push(keys.next_u64());
+                }
+                stream.flush();
+                let final_gap = stream.gap_trajectory().last().copied().unwrap_or(0.0);
+                agg.record(&format!("{key}_final"), final_gap);
+                agg.record(&format!("{key}_max"), stream.gap_stats().max());
+            }
+        }
+        table.push_row([
+            Cell::from(n),
+            Cell::from(m),
+            Cell::from(batch),
+            Cell::from(factor),
+            Cell::from(agg.mean("two_final")),
+            Cell::from(agg.mean("two_max")),
+            Cell::from(agg.mean("one_final")),
+        ]);
+    }
+    table
+}
+
+/// E11 — skewed (Zipfian) keyed traffic: hot keys hash to fixed candidate
+/// sets, so the engine behaves like a consistent-hashing router under a
+/// power-law workload. Two-choice keeps its advantage over one-choice until
+/// single keys dominate whole bins.
+pub fn e11_stream_skew_sweep(quick: bool) -> Table {
+    let (n, ratio, n_seeds): (usize, u64, u64) = if quick { (256, 64, 2) } else { (1024, 256, 5) };
+    let m = n as u64 * ratio;
+    let exponents: &[f64] = if quick {
+        &[0.0, 0.9, 1.2]
+    } else {
+        &[0.0, 0.5, 0.9, 1.2, 1.5]
+    };
+    let ticks = 64u64;
+    let rate = (m / ticks).max(1) as usize;
+    let mut table = Table::with_alignments(
+        "E11: streaming gap vs key skew (Zipf exponent), one- vs two-choice vs threshold",
+        &[
+            ("n", Align::Right),
+            ("zipf s", Align::Right),
+            ("keys", Align::Right),
+            ("one-choice gap", Align::Right),
+            ("two-choice gap", Align::Right),
+            ("threshold gap", Align::Right),
+            ("two/one ratio", Align::Right),
+        ],
+    );
+    let keys = 16 * n as u64;
+    for &exponent in exponents {
+        let mut agg = SeedAggregate::new();
+        for seed in 0..n_seeds {
+            let scenario = ScenarioConfig::growth(
+                ticks,
+                ArrivalProcess::Zipf {
+                    keys,
+                    exponent,
+                    rate,
+                },
+            );
+            for (policy, label) in [
+                (Policy::OneChoice, "one"),
+                (Policy::TwoChoice, "two"),
+                (Policy::Threshold { d: 2, slack: 2 }, "thr"),
+            ] {
+                let report = run_scenario(
+                    &scenario,
+                    StreamConfig::new(n).policy(policy).batch_size(n).seed(seed),
+                );
+                agg.record(label, report.final_gap);
+            }
+        }
+        let (one, two) = (agg.mean("one"), agg.mean("two"));
+        table.push_row([
+            Cell::from(n),
+            Cell::from(exponent),
+            Cell::from(keys),
+            Cell::from(one),
+            Cell::from(two),
+            Cell::from(agg.mean("thr")),
+            Cell::from(if one > 0.0 { two / one } else { f64::NAN }),
+        ]);
+    }
+    table
+}
+
+/// E12 — churn: arrivals matched by departures after a warm-up, so the
+/// system sits at a steady-state population while balls flow through it.
+/// The online gap must stay bounded over time instead of growing with the
+/// total number of arrivals.
+pub fn e12_stream_churn(quick: bool) -> Table {
+    let (n, n_seeds): (usize, u64) = if quick { (128, 2) } else { (512, 5) };
+    let ticks: u64 = if quick { 300 } else { 1000 };
+    let warmup = ticks / 5;
+    let rate = n / 2;
+    let mut table = Table::with_alignments(
+        "E12: streaming under churn — steady-state gap and population",
+        &[
+            ("n", Align::Right),
+            ("policy", Align::Left),
+            ("ticks", Align::Right),
+            ("arrived mean", Align::Right),
+            ("departed mean", Align::Right),
+            ("resident mean", Align::Right),
+            ("final gap mean", Align::Right),
+            ("max gap mean", Align::Right),
+        ],
+    );
+    for policy in [Policy::OneChoice, Policy::TwoChoice] {
+        let mut agg = SeedAggregate::new();
+        for seed in 0..n_seeds {
+            let scenario = ScenarioConfig::growth(
+                ticks,
+                ArrivalProcess::Uniform {
+                    keys: pba_stream::UNIQUE_KEYS,
+                    rate,
+                },
+            )
+            .with_churn(1.0, warmup);
+            let report = run_scenario(
+                &scenario,
+                StreamConfig::new(n).policy(policy).batch_size(n).seed(seed),
+            );
+            agg.record("arrived", report.arrived as f64);
+            agg.record("departed", report.departed as f64);
+            agg.record("resident", report.stream.resident() as f64);
+            agg.record("final_gap", report.final_gap);
+            agg.record("max_gap", report.max_gap);
+        }
+        table.push_row([
+            Cell::from(n),
+            Cell::from(policy.name()),
+            Cell::from(ticks),
+            Cell::from(agg.mean("arrived")),
+            Cell::from(agg.mean("departed")),
+            Cell::from(agg.mean("resident")),
+            Cell::from(agg.mean("final_gap")),
+            Cell::from(agg.mean("max_gap")),
+        ]);
+    }
+    table
+}
+
+/// Runs every experiment and returns all tables in order (E1 … E12).
 pub fn all_experiments(quick: bool) -> Vec<Table> {
     let mut tables = vec![
         e1_heavy_load_and_rounds(quick),
@@ -585,6 +772,9 @@ pub fn all_experiments(quick: bool) -> Vec<Table> {
     tables.push(e7_baselines(quick));
     tables.extend(e8_engines(quick));
     tables.extend(e9_ablation(quick));
+    tables.push(e10_stream_batch_sweep(quick));
+    tables.push(e11_stream_skew_sweep(quick));
+    tables.push(e12_stream_churn(quick));
     tables
 }
 
@@ -646,6 +836,42 @@ mod tests {
             assert_eq!(unallocated, 0.0, "executor {} left balls", row[0].0);
         }
         assert!(tables[1].n_rows() >= 2);
+    }
+
+    #[test]
+    fn e10_quick_two_choice_beats_one_choice_at_every_batch_size() {
+        let t = e10_stream_batch_sweep(true);
+        assert_eq!(t.n_rows(), 3);
+        for row in t.rows() {
+            let two: f64 = row[4].0.parse().unwrap();
+            let one: f64 = row[6].0.parse().unwrap();
+            assert!(
+                two < one,
+                "two-choice gap {two} should beat one-choice {one}"
+            );
+        }
+    }
+
+    #[test]
+    fn e11_quick_has_one_row_per_exponent() {
+        let t = e11_stream_skew_sweep(true);
+        assert_eq!(t.n_rows(), 3);
+        for row in t.rows() {
+            let one: f64 = row[3].0.parse().unwrap();
+            let two: f64 = row[4].0.parse().unwrap();
+            assert!(two <= one, "two-choice {two} worse than one-choice {one}");
+        }
+    }
+
+    #[test]
+    fn e12_quick_churn_reaches_steady_state() {
+        let t = e12_stream_churn(true);
+        assert_eq!(t.n_rows(), 2);
+        for row in t.rows() {
+            let arrived: f64 = row[3].0.parse().unwrap();
+            let resident: f64 = row[5].0.parse().unwrap();
+            assert!(resident < arrived / 2.0, "churn did not retire balls");
+        }
     }
 
     #[test]

@@ -62,10 +62,7 @@ pub fn run_sweep<A: Allocator + ?Sized>(
                 agg.record("excess", outcome.excess(m) as f64);
                 agg.record("rounds", outcome.rounds as f64);
                 agg.record("msgs_per_ball", outcome.messages.per_ball(m));
-                agg.record(
-                    "max_bin_msgs",
-                    outcome.census.max_bin_received() as f64,
-                );
+                agg.record("max_bin_msgs", outcome.census.max_bin_received() as f64);
             }
             out.push(AllocatorRunSummary {
                 allocator: alloc.name(),

@@ -48,7 +48,10 @@ fn main() {
     println!("{}", schedule.render_text());
 
     println!("rounds                  : {}", out.rounds);
-    println!("excess over ⌈m/n⌉       : {}   (Theorem 3: O(1))", out.excess(m));
+    println!(
+        "excess over ⌈m/n⌉       : {}   (Theorem 3: O(1))",
+        out.excess(m)
+    );
     println!(
         "max messages at a bin   : {}   (bound: (1+o(1))·m/n + O(log n) = {:.0})",
         out.census.max_bin_received(),

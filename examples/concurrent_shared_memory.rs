@@ -60,7 +60,11 @@ fn main() {
         ],
     );
     for p in measure_speedup(m, n, threshold, &[1, 2, 4], seed) {
-        speed.push_row([Cell::from(p.threads), Cell::from(p.seconds), Cell::from(p.speedup)]);
+        speed.push_row([
+            Cell::from(p.threads),
+            Cell::from(p.seconds),
+            Cell::from(p.speedup),
+        ]);
     }
     println!("{}", speed.render_text());
     println!("(On a single-core host the speed-up column is expectedly flat.)");

@@ -53,7 +53,11 @@ fn main() {
     );
     for (alloc, note) in algorithms {
         let out = alloc.allocate(m, n, seed);
-        assert!(out.is_complete(m), "{} must allocate every ball", alloc.name());
+        assert!(
+            out.is_complete(m),
+            "{} must allocate every ball",
+            alloc.name()
+        );
         table.push_row([
             Cell::from(alloc.name()),
             Cell::from(out.excess(m)),

@@ -63,7 +63,8 @@ fn main() {
     );
     for &r in &[64u64, 256, 1024, 4096] {
         let m = n as u64 * r;
-        let (naive, _) = measure_rounds_to_finish(&NaiveThresholdAllocator::new(1, 1), m, n, &seeds);
+        let (naive, _) =
+            measure_rounds_to_finish(&NaiveThresholdAllocator::new(1, 1), m, n, &seeds);
         let (heavy, _) = measure_rounds_to_finish(&HeavyAllocator::default(), m, n, &seeds);
         rounds.push_row([
             Cell::from(r),

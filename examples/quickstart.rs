@@ -25,7 +25,10 @@ fn main() {
     let ideal = m.div_ceil(n as u64);
     println!("ideal load ⌈m/n⌉        : {ideal}");
     println!("maximal bin load        : {}", metrics.max_load);
-    println!("excess over ⌈m/n⌉       : {}   (Theorem 1: O(1))", outcome.excess(m));
+    println!(
+        "excess over ⌈m/n⌉       : {}   (Theorem 1: O(1))",
+        outcome.excess(m)
+    );
     println!("minimum bin load        : {}", metrics.min_load);
     println!(
         "rounds                  : {}   (phase 1: {}, phase 2: {})",

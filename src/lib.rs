@@ -20,8 +20,9 @@
 //! | [`baselines`] | `pba-baselines` | single-choice, sequential Greedy[d], always-go-left, batched two-choice |
 //! | [`lowerbound`] | `pba-lowerbound` | the Section 4 apparatus: rejection census, class decomposition, degree simulation, round predictions |
 //! | [`concurrent`] | `pba-concurrent` | shared-memory execution: atomic bins, rayon executor, crossbeam actor executor, speed-up harness |
+//! | [`stream`] | `pba-stream` | the online, sharded, batched streaming allocation engine (two-choice on stale loads, arrival processes, churn scenarios) |
 //! | [`stats`] | `pba-stats` | tails, histograms, load metrics, tables, multi-seed aggregation |
-//! | [`workloads`] | `pba-workloads` | experiment configurations and the E1–E9 experiment definitions |
+//! | [`workloads`] | `pba-workloads` | experiment configurations and the E1–E12 experiment definitions |
 //!
 //! ## Quick start
 //!
@@ -49,6 +50,7 @@ pub use pba_concurrent as concurrent;
 pub use pba_lowerbound as lowerbound;
 pub use pba_model as model;
 pub use pba_stats as stats;
+pub use pba_stream as stream;
 pub use pba_workloads as workloads;
 
 /// The most common imports for library users.
@@ -60,6 +62,7 @@ pub mod prelude {
     pub use pba_baselines::{GreedyDAllocator, SingleChoiceAllocator};
     pub use pba_model::{AllocationOutcome, Allocator, EngineConfig};
     pub use pba_stats::{LoadMetrics, Table};
+    pub use pba_stream::{ArrivalProcess, Policy as StreamPolicy, StreamAllocator, StreamConfig};
 }
 
 /// The arXiv identifier of the reproduced paper.

@@ -35,7 +35,10 @@ fn four_substrates_agree_on_aggregate_outcome() {
             m,
             "{name} lost balls"
         );
-        assert!(loads.iter().all(|&l| l <= t), "{name} violated the threshold");
+        assert!(
+            loads.iter().all(|&l| l <= t),
+            "{name} violated the threshold"
+        );
     }
 
     // Max loads land in the same narrow band (the threshold is the cap).

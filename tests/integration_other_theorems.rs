@@ -8,7 +8,9 @@ use parallel_balanced_allocations::algorithms::{
 use parallel_balanced_allocations::baselines::{
     standard_baselines, GreedyDAllocator, SingleChoiceAllocator,
 };
-use parallel_balanced_allocations::lowerbound::rejection::{run_rejection_phase, uniform_capacities};
+use parallel_balanced_allocations::lowerbound::rejection::{
+    run_rejection_phase, uniform_capacities,
+};
 use parallel_balanced_allocations::lowerbound::{
     lower_bound_round_prediction, measure_rounds_to_finish,
 };
@@ -23,7 +25,11 @@ fn theorem3_asymmetric_constant_rounds_and_load() {
         let out = AsymmetricAllocator::default().allocate(m, n, 2);
         assert!(out.is_complete(m));
         assert!(out.rounds <= 9, "ratio {ratio}: {} rounds", out.rounds);
-        assert!(out.excess(m) <= 16, "ratio {ratio}: excess {}", out.excess(m));
+        assert!(
+            out.excess(m) <= 16,
+            "ratio {ratio}: excess {}",
+            out.excess(m)
+        );
         let bin_bound = 1.35 * ratio as f64 + 60.0 * (n as f64).ln();
         assert!((out.census.max_bin_received() as f64) <= bin_bound);
     }
@@ -45,7 +51,10 @@ fn theorem7_single_phase_rejections_scale() {
     let n = 1usize << 10;
     let m = (n as u64) << 10;
     let census = run_rejection_phase(m, &uniform_capacities(m, n, 1), 0);
-    assert!(census.rejected > 0, "a capacity-M+n phase must reject balls");
+    assert!(
+        census.rejected > 0,
+        "a capacity-M+n phase must reject balls"
+    );
     // Within a wide constant band of the √(Mn)/t prediction.
     let c = census.constant_estimate();
     assert!(c > 0.05 && c < 50.0, "constant {c}");
@@ -60,7 +69,10 @@ fn theorem2_round_ordering_naive_vs_heavy_vs_prediction() {
         measure_rounds_to_finish(&NaiveThresholdAllocator::new(1, 1), m, n, &seeds);
     let (heavy_rounds, _) = measure_rounds_to_finish(&HeavyAllocator::default(), m, n, &seeds);
     let prediction = lower_bound_round_prediction(m, n, 4.0) as f64;
-    assert!(heavy_rounds + 1.0 >= prediction / 2.0, "heavy {heavy_rounds} vs prediction {prediction}");
+    assert!(
+        heavy_rounds + 1.0 >= prediction / 2.0,
+        "heavy {heavy_rounds} vs prediction {prediction}"
+    );
     assert!(
         naive_rounds >= 2.0 * heavy_rounds,
         "naive {naive_rounds} vs heavy {heavy_rounds}"
@@ -73,11 +85,16 @@ fn introduction_ordering_of_excesses() {
     let n = 1usize << 10;
     let m = (n as u64) << 10;
     let seed = 13u64;
-    let single = SingleChoiceAllocator::default().allocate(m, n, seed).excess(m);
+    let single = SingleChoiceAllocator::default()
+        .allocate(m, n, seed)
+        .excess(m);
     let greedy = GreedyDAllocator::new(2).allocate(m, n, seed).excess(m);
     let heavy = HeavyAllocator::default().allocate(m, n, seed).excess(m);
     let trivial = TrivialAllocator.allocate(m, n, seed).excess(m);
-    assert!(single > 4 * greedy.max(1), "single {single} vs greedy {greedy}");
+    assert!(
+        single > 4 * greedy.max(1),
+        "single {single} vs greedy {greedy}"
+    );
     assert!(greedy <= 6);
     assert!(heavy <= 8);
     assert_eq!(trivial, 0);

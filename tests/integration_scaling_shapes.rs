@@ -24,13 +24,14 @@ fn excess_exponents_match_the_abstract() {
     for &r in &ratios {
         let m = n as u64 * r;
         // Average over a few seeds to tame the noise in the fitted exponent.
-        let avg = |f: &dyn Fn(u64) -> i64| -> f64 {
-            (0..3).map(|s| f(s) as f64).sum::<f64>() / 3.0
-        };
+        let avg =
+            |f: &dyn Fn(u64) -> i64| -> f64 { (0..3).map(|s| f(s) as f64).sum::<f64>() / 3.0 };
         single_excess.push(avg(&|s| {
             SingleChoiceAllocator::default().allocate(m, n, s).excess(m)
         }));
-        heavy_excess.push(avg(&|s| HeavyAllocator::default().allocate(m, n, s).excess(m)));
+        heavy_excess.push(avg(&|s| {
+            HeavyAllocator::default().allocate(m, n, s).excess(m)
+        }));
     }
 
     let (alpha_single, r2_single) = power_law_exponent(&xs, &single_excess).unwrap();
@@ -38,7 +39,10 @@ fn excess_exponents_match_the_abstract() {
         (0.3..=0.7).contains(&alpha_single),
         "single-choice excess exponent {alpha_single} (R²={r2_single}) is not ≈ 1/2"
     );
-    assert!(r2_single > 0.9, "single-choice excess should follow a clean power law");
+    assert!(
+        r2_single > 0.9,
+        "single-choice excess should follow a clean power law"
+    );
 
     let (alpha_heavy, _) = power_law_exponent(&xs, &heavy_excess).unwrap();
     assert!(
@@ -82,9 +86,7 @@ fn claim5_overload_probability_is_flat_in_the_ratio() {
     let xs: Vec<f64> = ratios.iter().map(|&r| r as f64).collect();
     let ys: Vec<f64> = ratios
         .iter()
-        .map(|&r| {
-            measure_overload_probability(n as u64 * r, n, 30, 5).empirical_probability
-        })
+        .map(|&r| measure_overload_probability(n as u64 * r, n, 30, 5).empirical_probability)
         .collect();
     assert!(ys.iter().all(|&p| p > 0.005), "probabilities {ys:?}");
     let (alpha, _) = power_law_exponent(&xs, &ys).unwrap();

@@ -94,7 +94,10 @@ fn excess_does_not_grow_with_ratio_unlike_single_choice() {
         s2 >= 3 * s1,
         "single-choice excess should grow substantially: {s1} vs {s2}"
     );
-    assert!(h2 < s2 / 4, "heavy ({h2}) must beat single choice ({s2}) clearly");
+    assert!(
+        h2 < s2 / 4,
+        "heavy ({h2}) must beat single choice ({s2}) clearly"
+    );
 }
 
 #[test]

@@ -1,0 +1,120 @@
+//! Offline stand-in for the subset of the `crossbeam` API this workspace uses:
+//! `channel::unbounded` and `thread::scope`/`spawn`/`join`.
+//!
+//! The build environment has no crates.io access, so this local crate maps the
+//! crossbeam names onto the standard library: channels are `std::sync::mpsc`
+//! and scoped threads are `std::thread::scope`. Semantics relevant to this
+//! workspace are identical (unbounded FIFO channels whose `recv` fails once
+//! every sender is dropped; scoped threads joined before `scope` returns).
+
+#![forbid(unsafe_code)]
+
+/// Unbounded MPSC channels with the crossbeam names.
+pub mod channel {
+    pub use std::sync::mpsc::{RecvError, SendError, TryRecvError};
+
+    /// Sending half of an unbounded channel.
+    pub type Sender<T> = std::sync::mpsc::Sender<T>;
+    /// Receiving half of an unbounded channel.
+    pub type Receiver<T> = std::sync::mpsc::Receiver<T>;
+
+    /// Creates an unbounded FIFO channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        std::sync::mpsc::channel()
+    }
+}
+
+/// Scoped threads with the crossbeam calling convention (the spawned closure
+/// receives a `&Scope` argument).
+pub mod thread {
+    use std::thread as stdthread;
+
+    /// A scope handle; spawned closures receive a reference to it.
+    #[derive(Clone, Copy)]
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope stdthread::Scope<'scope, 'env>,
+    }
+
+    /// Handle to a scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: stdthread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<T> ScopedJoinHandle<'_, T> {
+        /// Waits for the thread and returns its result (Err on panic).
+        pub fn join(self) -> stdthread::Result<T> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a thread inside the scope; the closure receives the scope so
+        /// it can spawn further threads (crossbeam convention).
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle {
+                inner: inner.spawn(move || f(&Scope { inner })),
+            }
+        }
+    }
+
+    /// Runs `f` with a scope in which borrowing threads can be spawned; all of
+    /// them are joined before this returns. Matches crossbeam's `Result`-shaped
+    /// signature (this shim always returns `Ok`; panics propagate as panics).
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn std::any::Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(stdthread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn channel_roundtrip_and_disconnect() {
+        let (tx, rx) = channel::unbounded::<u32>();
+        tx.send(1).unwrap();
+        let tx2 = tx.clone();
+        tx2.send(2).unwrap();
+        drop(tx);
+        drop(tx2);
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.recv(), Ok(2));
+        assert!(
+            rx.recv().is_err(),
+            "recv must fail once all senders dropped"
+        );
+    }
+
+    #[test]
+    fn scope_joins_and_returns() {
+        let data = [1u64, 2, 3, 4];
+        let total: u64 = thread::scope(|s| {
+            let handles: Vec<_> = data
+                .chunks(2)
+                .map(|c| s.spawn(move |_| c.iter().sum::<u64>()))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum()
+        })
+        .expect("no panics");
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn nested_spawn_through_scope_argument() {
+        let out = thread::scope(|s| {
+            s.spawn(|inner| inner.spawn(|_| 21).join().unwrap() * 2)
+                .join()
+                .unwrap()
+        })
+        .unwrap();
+        assert_eq!(out, 42);
+    }
+}

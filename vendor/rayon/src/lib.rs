@@ -1,0 +1,517 @@
+//! Offline stand-in for the subset of the `rayon` API this workspace uses.
+//!
+//! The build environment has no crates.io access, so this local crate provides
+//! the same names (`prelude::*`, `par_iter`, `par_chunks_mut`, `zip`,
+//! `filter_map`, `for_each`, `collect`, `ThreadPoolBuilder`) with a real
+//! data-parallel implementation on top of `std::thread::scope`: inputs are cut
+//! into one contiguous piece per worker, workers run on scoped OS threads, and
+//! results are re-assembled in input order, so every operation is deterministic
+//! and produces exactly what the sequential execution would.
+//!
+//! Differences from real rayon: there is no global work-stealing pool (threads
+//! are spawned per call, amortised by a minimum sequential cutoff), and only
+//! the combinators this workspace needs are provided.
+
+#![forbid(unsafe_code)]
+
+use std::cell::Cell;
+use std::num::NonZeroUsize;
+
+thread_local! {
+    /// Thread-count override installed by [`ThreadPool::install`].
+    static POOL_THREADS: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// Below this many items per prospective worker, run sequentially: spawning OS
+/// threads costs more than the work saves.
+const MIN_ITEMS_PER_WORKER: usize = 1024;
+
+/// Number of worker threads the current scope would use.
+pub fn current_num_threads() -> usize {
+    POOL_THREADS.with(|c| c.get()).unwrap_or_else(|| {
+        std::thread::available_parallelism()
+            .map(NonZeroUsize::get)
+            .unwrap_or(1)
+    })
+}
+
+fn worker_count(items: usize) -> usize {
+    worker_count_min(items, MIN_ITEMS_PER_WORKER)
+}
+
+fn worker_count_min(items: usize, min_len: usize) -> usize {
+    current_num_threads().min(items / min_len.max(1)).max(1)
+}
+
+/// Error type of [`ThreadPoolBuilder::build`] (this shim never fails).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder mirroring `rayon::ThreadPoolBuilder`.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// Creates a builder with the default thread count.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the worker thread count (0 = number of cores).
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Builds the pool. Never fails in this shim.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let threads = if self.num_threads == 0 {
+            std::thread::available_parallelism()
+                .map(NonZeroUsize::get)
+                .unwrap_or(1)
+        } else {
+            self.num_threads
+        };
+        Ok(ThreadPool { threads })
+    }
+}
+
+/// A "pool" that scopes the worker-thread count of parallel operations run
+/// under [`ThreadPool::install`].
+#[derive(Debug)]
+pub struct ThreadPool {
+    threads: usize,
+}
+
+impl ThreadPool {
+    /// Runs `op` with this pool's thread count governing all parallel
+    /// operations invoked from the current thread.
+    pub fn install<R>(&self, op: impl FnOnce() -> R) -> R {
+        POOL_THREADS.with(|c| {
+            let prev = c.replace(Some(self.threads));
+            let out = op();
+            c.set(prev);
+            out
+        })
+    }
+
+    /// The configured thread count.
+    pub fn current_num_threads(&self) -> usize {
+        self.threads
+    }
+}
+
+/// Parallel shared-reference iterator over a slice (the result of `par_iter`).
+pub struct ParIter<'a, T> {
+    slice: &'a [T],
+    min_len: usize,
+}
+
+impl<'a, T: Sync> ParIter<'a, T> {
+    /// Mirrors rayon's `with_min_len`: guarantees every worker gets at least
+    /// `min` items, i.e. lowers (or raises) the sequential cutoff. Use a small
+    /// `min` for coarse items whose per-item work is large.
+    pub fn with_min_len(mut self, min: usize) -> Self {
+        self.min_len = min.max(1);
+        self
+    }
+
+    /// Parallel `filter_map`; lazily evaluated, driven by `collect`.
+    pub fn filter_map<R, F>(self, f: F) -> ParFilterMap<'a, T, F>
+    where
+        F: Fn(&'a T) -> Option<R> + Sync,
+        R: Send,
+    {
+        ParFilterMap {
+            slice: self.slice,
+            min_len: self.min_len,
+            f,
+        }
+    }
+
+    /// Parallel `map`; lazily evaluated, driven by `collect`.
+    pub fn map<R, F>(self, f: F) -> ParMap<'a, T, F>
+    where
+        F: Fn(&'a T) -> R + Sync,
+        R: Send,
+    {
+        ParMap {
+            slice: self.slice,
+            min_len: self.min_len,
+            f,
+        }
+    }
+
+    /// Mirrors rayon's `map_init`: like `map`, but each worker first builds a
+    /// scratch value with `init` and threads it through its items — the
+    /// standard way to reuse a per-worker buffer instead of allocating per
+    /// item.
+    pub fn map_init<S, R, INIT, F>(self, init: INIT, f: F) -> ParMapInit<'a, T, INIT, F>
+    where
+        INIT: Fn() -> S + Sync,
+        F: Fn(&mut S, &'a T) -> R + Sync,
+        R: Send,
+    {
+        ParMapInit {
+            slice: self.slice,
+            min_len: self.min_len,
+            init,
+            f,
+        }
+    }
+
+    /// Parallel `for_each` over shared references.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(&'a T) + Sync,
+    {
+        let slice = self.slice;
+        let w = worker_count_min(slice.len(), self.min_len);
+        if w <= 1 {
+            slice.iter().for_each(f);
+            return;
+        }
+        std::thread::scope(|scope| {
+            let f = &f;
+            for i in 0..w {
+                let piece = &slice[i * slice.len() / w..(i + 1) * slice.len() / w];
+                scope.spawn(move || piece.iter().for_each(f));
+            }
+        });
+    }
+}
+
+/// Lazy parallel `filter_map` adaptor.
+pub struct ParFilterMap<'a, T, F> {
+    slice: &'a [T],
+    min_len: usize,
+    f: F,
+}
+
+impl<'a, T, R, F> ParFilterMap<'a, T, F>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&'a T) -> Option<R> + Sync,
+{
+    /// Evaluates the pipeline and collects the results in input order.
+    pub fn collect<C: FromIterator<R>>(self) -> C {
+        let slice = self.slice;
+        let w = worker_count_min(slice.len(), self.min_len);
+        if w <= 1 {
+            return slice.iter().filter_map(&self.f).collect();
+        }
+        let parts: Vec<Vec<R>> = std::thread::scope(|scope| {
+            let f = &self.f;
+            let handles: Vec<_> = (0..w)
+                .map(|i| {
+                    let piece = &slice[i * slice.len() / w..(i + 1) * slice.len() / w];
+                    scope.spawn(move || piece.iter().filter_map(f).collect::<Vec<R>>())
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("parallel worker panicked"))
+                .collect()
+        });
+        parts.into_iter().flatten().collect()
+    }
+}
+
+/// Lazy parallel `map` adaptor.
+pub struct ParMap<'a, T, F> {
+    slice: &'a [T],
+    min_len: usize,
+    f: F,
+}
+
+impl<'a, T, R, F> ParMap<'a, T, F>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&'a T) -> R + Sync,
+{
+    /// Evaluates the pipeline and collects the results in input order.
+    pub fn collect<C: FromIterator<R>>(self) -> C {
+        let slice = self.slice;
+        let w = worker_count_min(slice.len(), self.min_len);
+        if w <= 1 {
+            return slice.iter().map(&self.f).collect();
+        }
+        let parts: Vec<Vec<R>> = std::thread::scope(|scope| {
+            let f = &self.f;
+            let handles: Vec<_> = (0..w)
+                .map(|i| {
+                    let piece = &slice[i * slice.len() / w..(i + 1) * slice.len() / w];
+                    scope.spawn(move || piece.iter().map(f).collect::<Vec<R>>())
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("parallel worker panicked"))
+                .collect()
+        });
+        parts.into_iter().flatten().collect()
+    }
+}
+
+/// Lazy parallel `map_init` adaptor (per-worker scratch state).
+pub struct ParMapInit<'a, T, INIT, F> {
+    slice: &'a [T],
+    min_len: usize,
+    init: INIT,
+    f: F,
+}
+
+impl<'a, T, S, R, INIT, F> ParMapInit<'a, T, INIT, F>
+where
+    T: Sync,
+    R: Send,
+    INIT: Fn() -> S + Sync,
+    F: Fn(&mut S, &'a T) -> R + Sync,
+{
+    /// Evaluates the pipeline and collects the results in input order.
+    pub fn collect<C: FromIterator<R>>(self) -> C {
+        let slice = self.slice;
+        let w = worker_count_min(slice.len(), self.min_len);
+        if w <= 1 {
+            let mut scratch = (self.init)();
+            return slice.iter().map(|x| (self.f)(&mut scratch, x)).collect();
+        }
+        let parts: Vec<Vec<R>> = std::thread::scope(|scope| {
+            let f = &self.f;
+            let init = &self.init;
+            let handles: Vec<_> = (0..w)
+                .map(|i| {
+                    let piece = &slice[i * slice.len() / w..(i + 1) * slice.len() / w];
+                    scope.spawn(move || {
+                        let mut scratch = init();
+                        piece.iter().map(|x| f(&mut scratch, x)).collect::<Vec<R>>()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("parallel worker panicked"))
+                .collect()
+        });
+        parts.into_iter().flatten().collect()
+    }
+}
+
+/// Parallel mutable chunk iterator (the result of `par_chunks_mut`).
+pub struct ParChunksMut<'a, T> {
+    slice: &'a mut [T],
+    size: usize,
+}
+
+impl<'a, T: Send> ParChunksMut<'a, T> {
+    /// Zips the chunks with a parallel shared-reference iterator, truncating to
+    /// the shorter side (rayon semantics).
+    pub fn zip<U: Sync>(self, other: ParIter<'a, U>) -> ParZipChunks<'a, T, U> {
+        ParZipChunks {
+            chunks: self.slice,
+            size: self.size,
+            other: other.slice,
+        }
+    }
+}
+
+/// Zip of mutable chunks with a shared slice.
+pub struct ParZipChunks<'a, T, U> {
+    chunks: &'a mut [T],
+    size: usize,
+    other: &'a [U],
+}
+
+impl<'a, T: Send, U: Sync> ParZipChunks<'a, T, U> {
+    /// Applies `f` to every `(chunk, item)` pair, splitting the pairs across
+    /// worker threads on chunk boundaries.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn((&mut [T], &'a U)) + Sync,
+    {
+        let size = self.size.max(1);
+        let pairs = self.chunks.len().div_ceil(size).min(self.other.len());
+        let elems = (pairs * size).min(self.chunks.len());
+        let mut data = &mut self.chunks[..elems];
+        let mut keys = &self.other[..pairs];
+
+        let w = worker_count(pairs);
+        if w <= 1 {
+            for (chunk, key) in data.chunks_mut(size).zip(keys.iter()) {
+                f((chunk, key));
+            }
+            return;
+        }
+        let mut jobs = Vec::with_capacity(w);
+        let mut done = 0usize;
+        for i in 0..w {
+            let hi = (i + 1) * pairs / w;
+            let take = hi - done;
+            done = hi;
+            let split = (take * size).min(data.len());
+            let (piece, rest) = std::mem::take(&mut data).split_at_mut(split);
+            data = rest;
+            let (piece_keys, rest_keys) = keys.split_at(take);
+            keys = rest_keys;
+            jobs.push((piece, piece_keys));
+        }
+        std::thread::scope(|scope| {
+            let f = &f;
+            for (piece, piece_keys) in jobs {
+                scope.spawn(move || {
+                    for (chunk, key) in piece.chunks_mut(size).zip(piece_keys.iter()) {
+                        f((chunk, key));
+                    }
+                });
+            }
+        });
+    }
+}
+
+/// Extension trait providing `par_iter` on slices (and through auto-deref, on
+/// `Vec`).
+pub trait ParallelSlice<T: Sync> {
+    /// Parallel iterator of shared references.
+    fn par_iter(&self) -> ParIter<'_, T>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_iter(&self) -> ParIter<'_, T> {
+        ParIter {
+            slice: self,
+            min_len: MIN_ITEMS_PER_WORKER,
+        }
+    }
+}
+
+/// Extension trait providing `par_chunks_mut` on mutable slices.
+pub trait ParallelSliceMut<T: Send> {
+    /// Parallel iterator of mutable, `size`-element chunks.
+    fn par_chunks_mut(&mut self, size: usize) -> ParChunksMut<'_, T>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, size: usize) -> ParChunksMut<'_, T> {
+        ParChunksMut { slice: self, size }
+    }
+}
+
+/// The rayon prelude: the two slice extension traits.
+pub mod prelude {
+    pub use crate::{ParallelSlice, ParallelSliceMut};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn filter_map_collect_matches_sequential_and_preserves_order() {
+        let xs: Vec<u64> = (0..10_000).collect();
+        let par: Vec<u64> = xs
+            .par_iter()
+            .filter_map(|&x| if x % 3 == 0 { Some(x * 2) } else { None })
+            .collect();
+        let seq: Vec<u64> = xs
+            .iter()
+            .filter_map(|&x| if x % 3 == 0 { Some(x * 2) } else { None })
+            .collect();
+        assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn zip_chunks_matches_sequential() {
+        let n = 5_000usize;
+        let degree = 3usize;
+        let keys: Vec<u64> = (0..n as u64).collect();
+        let mut par = vec![0u32; n * degree];
+        let mut seq = par.clone();
+        par.par_chunks_mut(degree)
+            .zip(keys.par_iter())
+            .for_each(|(chunk, &k)| {
+                for (i, slot) in chunk.iter_mut().enumerate() {
+                    *slot = (k as u32).wrapping_mul(31).wrapping_add(i as u32);
+                }
+            });
+        for (chunk, &k) in seq.chunks_mut(degree).zip(keys.iter()) {
+            for (i, slot) in chunk.iter_mut().enumerate() {
+                *slot = (k as u32).wrapping_mul(31).wrapping_add(i as u32);
+            }
+        }
+        assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn zip_truncates_to_shorter_side() {
+        let keys: Vec<u64> = (0..4).collect();
+        let mut data = [0u32; 20];
+        data.par_chunks_mut(2)
+            .zip(keys.par_iter())
+            .for_each(|(chunk, &k)| chunk.iter_mut().for_each(|s| *s = k as u32 + 1));
+        // Only the first 4 chunks (8 elements) are touched.
+        assert!(data[..8].iter().all(|&x| x > 0));
+        assert!(data[8..].iter().all(|&x| x == 0));
+    }
+
+    #[test]
+    fn with_min_len_lowers_the_sequential_cutoff() {
+        // 8 items with default min_len stay sequential; with min_len 1 they
+        // split across workers — results must be identical either way.
+        let xs: Vec<u64> = (0..8).collect();
+        let coarse: Vec<u64> = xs.par_iter().with_min_len(1).map(|&x| x * 3).collect();
+        let fine: Vec<u64> = xs.par_iter().map(|&x| x * 3).collect();
+        assert_eq!(coarse, fine);
+        let mut seen = 0u64;
+        let sum = std::sync::Mutex::new(&mut seen);
+        xs.par_iter().with_min_len(2).for_each(|&x| {
+            **sum.lock().unwrap() += x;
+        });
+        assert_eq!(seen, 28);
+    }
+
+    #[test]
+    fn map_init_reuses_scratch_and_matches_map() {
+        let xs: Vec<u64> = (0..5000).collect();
+        let via_map: Vec<u64> = xs.par_iter().map(|&x| x + 1).collect();
+        let via_init: Vec<u64> = xs
+            .par_iter()
+            .with_min_len(1)
+            .map_init(Vec::<u64>::new, |scratch, &x| {
+                scratch.push(x); // scratch persists across a worker's items
+                x + 1
+            })
+            .collect();
+        assert_eq!(via_map, via_init);
+    }
+
+    #[test]
+    fn thread_pool_install_scopes_thread_count() {
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        let outside = current_num_threads();
+        let inside = pool.install(current_num_threads);
+        assert_eq!(inside, 3);
+        assert_eq!(current_num_threads(), outside);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let xs: Vec<u64> = vec![];
+        let out: Vec<u64> = xs.par_iter().filter_map(|&x| Some(x)).collect();
+        assert!(out.is_empty());
+        let mut data: Vec<u32> = vec![];
+        data.par_chunks_mut(4).zip(xs.par_iter()).for_each(|_| {});
+    }
+}
