@@ -9,7 +9,7 @@
 //!   schedule `T_i = m/n − (m̃_i/n)^{2/3}` for `O(log log(m/n))` rounds; phase 2
 //!   hands the `O(n)` leftover balls to `A_light` on `O(1)` virtual bins per real
 //!   bin. Final load `m/n + O(1)` w.h.p.
-//! * [`light`] — **`A_light`** (Theorem 5, the [LW16] substrate): a symmetric
+//! * [`light`] — **`A_light`** (Theorem 5, the `[LW16]` substrate): a symmetric
 //!   collision protocol placing `u ≤ O(n)` balls into `n` bins with load at most
 //!   `capacity` (2 by default) in `log* n + O(1)` rounds using `O(n)` messages.
 //! * [`asymmetric`] — the **asymmetric superbin algorithm** (Section 5,
@@ -26,6 +26,12 @@
 //!   plus the scheduled variant used by phase 1 of `A_heavy`.
 //! * [`virtual_bins`] — the virtual-bin mapping used when `A_light` runs inside
 //!   `A_heavy` (each real bin simulates `g` virtual bins).
+//! * [`weighted_asymmetric`] — a constant-round **weighted** variant of the
+//!   asymmetric algorithm for heterogeneous bin capacities: each bin of
+//!   integer capacity `c_i` is expanded into `c_i` consecutive virtual bins
+//!   and the unweighted schedule runs on the expansion, giving normalized load
+//!   `m/W + O(1)` per unit weight in the same constant round count
+//!   (bit-identical to [`asymmetric`] when every capacity is 1).
 //!
 //! All algorithms implement [`pba_model::Allocator`] and can be driven uniformly
 //! by the workload runner, the examples and the benches.
@@ -41,6 +47,7 @@ pub mod schedule;
 pub mod threshold;
 pub mod trivial;
 pub mod virtual_bins;
+pub mod weighted_asymmetric;
 
 pub use asymmetric::{AsymmetricAllocator, AsymmetricConfig};
 pub use heavy::{HeavyAllocator, HeavyConfig};
@@ -50,3 +57,4 @@ pub use schedule::ThresholdSchedule;
 pub use threshold::ScheduledThresholdProtocol;
 pub use trivial::TrivialAllocator;
 pub use virtual_bins::VirtualBinMap;
+pub use weighted_asymmetric::{WeightedAsymmetricAllocator, WeightedAsymmetricTrace};

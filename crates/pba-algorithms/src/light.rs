@@ -1,4 +1,4 @@
-//! `A_light` — the [LW16] substrate (Theorem 5).
+//! `A_light` — the `[LW16]` substrate (Theorem 5).
 //!
 //! Theorem 5 (quoted from the paper) promises a symmetric algorithm placing `n`
 //! balls into `n` bins within `log* n + O(1)` rounds with bin load at most 2,

@@ -1,0 +1,321 @@
+//! A constant-round **weighted** variant of the asymmetric superbin algorithm.
+//!
+//! The asymmetric setting (Section 5, Theorem 3) gives every ball a global
+//! labelling of the bins — which is exactly what a capacity-expansion
+//! reduction needs. A bin of integer capacity `c_i` is expanded into `c_i`
+//! **consecutive virtual bins** (prefix-sum layout), the unweighted
+//! [`AsymmetricAllocator`] runs on
+//! the `N = Σ c_i` virtual bins, and the virtual loads are folded back onto
+//! their owners. This is the classic reduction from weighted to unweighted
+//! balanced allocation (cf. Berenbrink et al.), and the superbin structure
+//! survives it because superbins are ranges of consecutive (virtual) bin
+//! labels: a superbin of virtual bins is a contiguous span of real capacity.
+//!
+//! Inherited guarantees, restated per unit weight:
+//!
+//! * **constant rounds** — the virtual instance finishes in the same small,
+//!   `m/N`-independent round count as Theorem 3;
+//! * **normalized load** — each virtual bin receives `m/N + O(1)` balls, so
+//!   real bin `i` holds `c_i·m/N + O(c_i)` balls, i.e. its *normalized* load
+//!   `load_i/c_i` is `m/W + O(1)` — the weighted analogue of `m/n + O(1)`;
+//! * **messages** — a real bin answers for its `c_i` virtual bins, so its
+//!   message load is `(1+o(1))·c_i·m/W + O(c_i·log N)`, proportional to
+//!   capacity (big backends do proportionally more coordination, as they
+//!   should).
+//!
+//! With all capacities equal to 1 the virtual instance *is* the real one:
+//! the allocator is then **bit-identical** to the unweighted
+//! [`AsymmetricAllocator`] (same RNG
+//! stream, same schedule), the algorithms-level face of the workspace-wide
+//! "weights = uniform is a strict no-op" invariant.
+
+use pba_model::metrics::MessageCensus;
+use pba_model::outcome::{AllocationOutcome, Allocator};
+use pba_model::weights::BinWeights;
+
+use crate::asymmetric::{AsymmetricAllocator, AsymmetricConfig, AsymmetricTrace};
+
+/// The weighted asymmetric superbin allocator: integer bin capacities over
+/// the unweighted constant-round schedule.
+#[derive(Debug, Clone)]
+pub struct WeightedAsymmetricAllocator {
+    /// Configuration forwarded to the inner unweighted schedule.
+    pub config: AsymmetricConfig,
+    /// Integer capacity of each real bin (`≥ 1`).
+    capacities: Vec<u32>,
+    /// Prefix sums: virtual bins `[starts[i], starts[i+1])` belong to real
+    /// bin `i`; `starts[n]` is the virtual bin count `N`.
+    starts: Vec<u64>,
+}
+
+/// Trace of one weighted run: the inner unweighted trace plus the expansion.
+#[derive(Debug, Clone)]
+pub struct WeightedAsymmetricTrace {
+    /// Trace of the unweighted schedule on the virtual instance.
+    pub inner: AsymmetricTrace,
+    /// Number of virtual bins `N = Σ c_i`.
+    pub virtual_bins: u64,
+}
+
+impl WeightedAsymmetricAllocator {
+    /// Creates an allocator over explicit integer capacities (each `≥ 1`).
+    pub fn new(capacities: Vec<u32>, config: AsymmetricConfig) -> Self {
+        assert!(
+            !capacities.is_empty(),
+            "weighted asymmetric needs at least one bin"
+        );
+        assert!(
+            capacities.iter().all(|&c| c >= 1),
+            "bin capacities must be at least 1"
+        );
+        let mut starts = Vec::with_capacity(capacities.len() + 1);
+        let mut acc = 0u64;
+        starts.push(0);
+        for &c in &capacities {
+            acc += c as u64;
+            starts.push(acc);
+        }
+        Self {
+            config,
+            capacities,
+            starts,
+        }
+    }
+
+    /// Creates an allocator from a [`BinWeights`] description of an `n`-bin
+    /// instance (weights are rounded to integer capacities, smallest → 1).
+    pub fn from_weights(weights: &BinWeights, n: usize) -> Self {
+        Self::new(weights.integer_capacities(n), AsymmetricConfig::default())
+    }
+
+    /// The per-bin integer capacities.
+    pub fn capacities(&self) -> &[u32] {
+        &self.capacities
+    }
+
+    /// Total capacity `W = Σ c_i` (the virtual bin count).
+    pub fn total_capacity(&self) -> u64 {
+        *self.starts.last().expect("non-empty starts")
+    }
+
+    /// The real bin owning virtual bin `v` (binary search over the prefix
+    /// sums — only used for folding, not on the per-ball path).
+    fn owner(&self, v: u64) -> usize {
+        debug_assert!(v < self.total_capacity());
+        self.starts.partition_point(|&s| s <= v) - 1
+    }
+
+    /// Runs the algorithm and returns the outcome plus its trace.
+    pub fn allocate_traced(
+        &self,
+        m: u64,
+        seed: u64,
+    ) -> (AllocationOutcome, WeightedAsymmetricTrace) {
+        let n = self.capacities.len();
+        let n_virtual = self.total_capacity();
+        let inner = AsymmetricAllocator::new(self.config);
+        let (virt, inner_trace) = inner.allocate_traced(m, n_virtual as usize, seed);
+
+        // Fold virtual loads and per-bin message counts onto the owners. The
+        // virtual bins of one owner are consecutive, so a two-pointer walk
+        // over the prefix sums folds everything in one true linear sweep
+        // (no per-virtual-bin binary search).
+        let mut loads = vec![0u32; n];
+        let mut census = MessageCensus::new(n, None);
+        let mut owner = 0usize;
+        for (v, (&load, &received)) in virt
+            .loads
+            .iter()
+            .zip(&virt.census.per_bin_received)
+            .enumerate()
+        {
+            while self.starts[owner + 1] <= v as u64 {
+                owner += 1;
+            }
+            debug_assert_eq!(owner, self.owner(v as u64));
+            loads[owner] += load;
+            census.per_bin_received[owner] += received;
+        }
+
+        let outcome = AllocationOutcome {
+            loads,
+            rounds: virt.rounds,
+            unallocated: virt.unallocated,
+            messages: virt.messages,
+            per_round: virt.per_round,
+            census,
+        };
+        (
+            outcome,
+            WeightedAsymmetricTrace {
+                inner: inner_trace,
+                virtual_bins: n_virtual,
+            },
+        )
+    }
+
+    /// Normalized loads `load_i / c_i` of an outcome produced by this
+    /// allocator.
+    pub fn normalized_loads(&self, outcome: &AllocationOutcome) -> Vec<f64> {
+        outcome
+            .loads
+            .iter()
+            .zip(&self.capacities)
+            .map(|(&l, &c)| l as f64 / c as f64)
+            .collect()
+    }
+
+    /// The weighted excess: `max_i(load_i/c_i) − m/W`, the per-unit-weight
+    /// analogue of [`AllocationOutcome::excess`].
+    pub fn normalized_excess(&self, outcome: &AllocationOutcome, m: u64) -> f64 {
+        let fair = m as f64 / self.total_capacity() as f64;
+        self.normalized_loads(outcome)
+            .into_iter()
+            .fold(0.0f64, f64::max)
+            - fair
+    }
+}
+
+impl Allocator for WeightedAsymmetricAllocator {
+    fn name(&self) -> String {
+        "weighted-asymmetric-superbin".to_string()
+    }
+
+    /// Runs on `m` balls; `n` must match the capacity vector's length (the
+    /// capacities, not the call site, define the instance).
+    fn allocate(&self, m: u64, n: usize, seed: u64) -> AllocationOutcome {
+        assert_eq!(
+            n,
+            self.capacities.len(),
+            "allocator configured for {} bins, called with {n}",
+            self.capacities.len()
+        );
+        self.allocate_traced(m, seed).0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiered(n4: usize, n2: usize, n1: usize) -> Vec<u32> {
+        let mut caps = vec![4u32; n4];
+        caps.extend(vec![2u32; n2]);
+        caps.extend(vec![1u32; n1]);
+        caps
+    }
+
+    #[test]
+    fn unit_capacities_are_bit_identical_to_unweighted() {
+        let n = 1usize << 9;
+        let m = 1u64 << 17;
+        for seed in 0..3u64 {
+            let weighted =
+                WeightedAsymmetricAllocator::new(vec![1; n], AsymmetricConfig::default());
+            let (w, trace) = weighted.allocate_traced(m, seed);
+            let (u, inner) = AsymmetricAllocator::default().allocate_traced(m, n, seed);
+            assert_eq!(w.loads, u.loads, "seed {seed}");
+            assert_eq!(w.rounds, u.rounds);
+            assert_eq!(w.census.per_bin_received, u.census.per_bin_received);
+            assert_eq!(trace.virtual_bins, n as u64);
+            assert_eq!(trace.inner.superbins_per_round, inner.superbins_per_round);
+        }
+    }
+
+    #[test]
+    fn constant_rounds_and_small_normalized_excess_on_tiers() {
+        let caps = tiered(32, 64, 160); // W = 128 + 128 + 160 = 416
+        let alloc = WeightedAsymmetricAllocator::new(caps, AsymmetricConfig::default());
+        for &m in &[1u64 << 18, 1 << 20] {
+            for seed in 0..2u64 {
+                let (out, trace) = alloc.allocate_traced(m, seed);
+                assert!(out.is_complete(m), "m={m} seed={seed}");
+                assert!(
+                    out.rounds <= 9,
+                    "m={m} seed={seed}: {} rounds not constant-like",
+                    out.rounds
+                );
+                assert_eq!(trace.virtual_bins, 416);
+                let excess = alloc.normalized_excess(&out, m);
+                assert!(
+                    excess <= 16.0,
+                    "m={m} seed={seed}: normalized excess {excess:.1}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn loads_are_proportional_to_capacity() {
+        let caps = tiered(16, 32, 64); // W = 64 + 64 + 64: thirds per tier
+        let alloc = WeightedAsymmetricAllocator::new(caps.clone(), AsymmetricConfig::default());
+        let m = 1u64 << 20;
+        let (out, _) = alloc.allocate_traced(m, 5);
+        let w = alloc.total_capacity() as f64;
+        for (bin, (&load, &cap)) in out.loads.iter().zip(&caps).enumerate() {
+            let fair = m as f64 * cap as f64 / w;
+            let dev = (load as f64 - fair).abs() / fair;
+            assert!(
+                dev < 0.02,
+                "bin {bin} (cap {cap}): load {load} deviates {dev:.3} from fair {fair:.0}"
+            );
+        }
+    }
+
+    #[test]
+    fn message_load_scales_with_capacity() {
+        let caps = tiered(8, 0, 64);
+        let alloc = WeightedAsymmetricAllocator::new(caps.clone(), AsymmetricConfig::default());
+        let m = 1u64 << 18;
+        let (out, _) = alloc.allocate_traced(m, 3);
+        let mean_big: f64 = out.census.per_bin_received[..8]
+            .iter()
+            .map(|&x| x as f64)
+            .sum::<f64>()
+            / 8.0;
+        let mean_small: f64 = out.census.per_bin_received[8..]
+            .iter()
+            .map(|&x| x as f64)
+            .sum::<f64>()
+            / 64.0;
+        let ratio = mean_big / mean_small;
+        assert!(
+            (2.0..=8.0).contains(&ratio),
+            "capacity-4 bins should receive ~4x the messages of capacity-1 bins, got {ratio:.2}"
+        );
+    }
+
+    #[test]
+    fn from_weights_rounds_to_integer_capacities() {
+        let weights = BinWeights::power_of_two_tiers(&[(2, 2), (4, 0)]);
+        let alloc = WeightedAsymmetricAllocator::from_weights(&weights, 6);
+        assert_eq!(alloc.capacities(), &[4, 4, 1, 1, 1, 1]);
+        assert_eq!(alloc.total_capacity(), 12);
+        let out = alloc.allocate(10_000, 6, 1);
+        assert!(out.is_complete(10_000));
+    }
+
+    #[test]
+    fn owner_mapping_is_the_prefix_sum_inverse() {
+        let alloc = WeightedAsymmetricAllocator::new(vec![3, 1, 2], AsymmetricConfig::default());
+        let owners: Vec<usize> = (0..6).map(|v| alloc.owner(v)).collect();
+        assert_eq!(owners, vec![0, 0, 0, 1, 2, 2]);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let alloc = WeightedAsymmetricAllocator::new(tiered(4, 8, 16), AsymmetricConfig::default());
+        let a = alloc.allocate(1 << 16, 28, 9);
+        let b = alloc.allocate(1 << 16, 28, 9);
+        assert_eq!(a.loads, b.loads);
+        let c = alloc.allocate(1 << 16, 28, 10);
+        assert_ne!(a.loads, c.loads);
+    }
+
+    #[test]
+    #[should_panic(expected = "configured for")]
+    fn wrong_bin_count_panics() {
+        WeightedAsymmetricAllocator::new(vec![1, 1], AsymmetricConfig::default())
+            .allocate(10, 3, 0);
+    }
+}

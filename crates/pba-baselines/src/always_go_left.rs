@@ -1,4 +1,4 @@
-//! Vöcking's Always-Go-Left process [Vöc03].
+//! Vöcking's Always-Go-Left process `[Vöc03]`.
 //!
 //! The bins are split into `d` contiguous groups of (almost) equal size; each
 //! ball samples one uniformly random bin from every group and joins the least

@@ -7,7 +7,7 @@
 //! stale load information, which is exactly the difficulty a parallel
 //! multiple-choice process has to cope with. The process needs `m / batch`
 //! rounds (linear in `m/n`), which is why the paper's `O(log log(m/n))`-round
-//! algorithm is interesting; its excess sits between Greedy[2] and single-choice.
+//! algorithm is interesting; its excess sits between `Greedy[2]` and single-choice.
 
 use pba_model::metrics::{MessageCensus, MessageTotals, RoundRecord};
 use pba_model::outcome::{AllocationOutcome, Allocator};

@@ -1,7 +1,7 @@
-//! Sequential Greedy[d] — the multiple-choice process of Azar et al. [ABKU99].
+//! Sequential `Greedy[d]` — the multiple-choice process of Azar et al. `[ABKU99]`.
 //!
 //! Balls arrive one by one; each samples `d ≥ 2` bins uniformly at random and
-//! joins the least loaded of them. Berenbrink et al. [BCSV06] proved that in the
+//! joins the least loaded of them. Berenbrink et al. `[BCSV06]` proved that in the
 //! heavily loaded case the maximal load is `m/n + O(log log n)` w.h.p.,
 //! *independent of `m`* — the result whose parallelisation is the subject of the
 //! paper. Experiment E7 places its excess between single-choice
@@ -11,7 +11,7 @@ use pba_model::metrics::{MessageCensus, MessageTotals, RoundRecord};
 use pba_model::outcome::{AllocationOutcome, Allocator};
 use pba_model::rng::SplitMix64;
 
-/// The sequential Greedy[d] allocator.
+/// The sequential `Greedy[d]` allocator.
 #[derive(Debug, Clone, Copy)]
 pub struct GreedyDAllocator {
     /// Number of uniformly random candidate bins per ball (`d ≥ 1`).
@@ -19,7 +19,7 @@ pub struct GreedyDAllocator {
 }
 
 impl GreedyDAllocator {
-    /// Creates Greedy[d].
+    /// Creates `Greedy[d]`.
     pub fn new(d: usize) -> Self {
         Self { d: d.max(1) }
     }

@@ -6,11 +6,11 @@
 //! * [`single_choice`] — the naive one-shot allocation: each ball joins a
 //!   uniformly random bin. Maximal load `m/n + Θ(√(m/n · log n))` w.h.p. for
 //!   `m ≥ n log n` — the baseline the paper's abstract quotes.
-//! * [`greedy_d`] — the sequential multiple-choice process Greedy[d] of Azar et
-//!   al. [ABKU99]; for `d = 2` in the heavily loaded case the excess is
-//!   `O(log log n)` independent of `m` (Berenbrink et al. [BCSV06]). This is the
+//! * [`greedy_d`] — the sequential multiple-choice process `Greedy[d]` of Azar et
+//!   al. `[ABKU99]`; for `d = 2` in the heavily loaded case the excess is
+//!   `O(log log n)` independent of `m` (Berenbrink et al. `[BCSV06]`). This is the
 //!   sequential gold standard the paper parallelises.
-//! * [`always_go_left`] — Vöcking's asymmetric sequential variant [Vöc03]
+//! * [`always_go_left`] — Vöcking's asymmetric sequential variant `[Vöc03]`
 //!   (d groups, ties broken to the left), included as a second sequential
 //!   reference point.
 //! * [`batched`] — the semi-parallel batched two-choice process in the spirit of

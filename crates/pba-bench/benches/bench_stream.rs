@@ -1,7 +1,8 @@
 //! Criterion bench for the streaming engine: push + drain throughput of the
-//! sequential vs sharded drain paths, and the policy cost on the hot path.
+//! sequential vs sharded drain paths, the policy cost on the hot path, and
+//! the weighted (alias-table) choice path vs the unweighted one.
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use pba_stream::{Policy, StreamAllocator, StreamConfig};
+use pba_stream::{BinWeights, Policy, StreamAllocator, StreamConfig};
 
 fn run_stream(config: StreamConfig, m: u64, key_seed: u64) -> f64 {
     let mut stream = StreamAllocator::new(config);
@@ -61,6 +62,34 @@ fn bench_stream(c: &mut Criterion) {
             ))
         });
     });
+    // The weighted hot path: alias-table candidate sampling + normalized-load
+    // comparison on a 4:2:1 capacity tier mix, against the unweighted
+    // two_choice_sequential baseline above (same n, m, batch).
+    let weights = BinWeights::power_of_two_tiers(&[(n / 8, 2), (n / 4, 1), (5 * n / 8, 0)]);
+    for (name, policy) in [
+        ("weighted_two_choice_tiers", Policy::WeightedTwoChoice),
+        (
+            "capacity_threshold_tiers",
+            Policy::CapacityThreshold { d: 2, slack: 2 },
+        ),
+    ] {
+        let weights = weights.clone();
+        group.bench_function(name, move |b| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed = seed.wrapping_add(1);
+                std::hint::black_box(run_stream(
+                    StreamConfig::new(n)
+                        .policy(policy)
+                        .batch_size(n)
+                        .seed(seed)
+                        .weights(weights.clone()),
+                    m,
+                    seed,
+                ))
+            });
+        });
+    }
     group.finish();
 }
 

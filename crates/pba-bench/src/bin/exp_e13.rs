@@ -1,0 +1,5 @@
+//! E13 — weighted multi-backend routing: max normalized load vs capacity skew.
+fn main() {
+    let opts = pba_bench::ExpOptions::from_env();
+    opts.print_all(&[pba_workloads::experiments::e13_weighted_routing(!opts.full)]);
+}

@@ -1,4 +1,4 @@
-//! E6 — A_light substrate (Theorem 5, [LW16]).
+//! E6 — A_light substrate (Theorem 5, `[LW16]`).
 fn main() {
     let opts = pba_bench::ExpOptions::from_env();
     opts.print_all(&[pba_workloads::experiments::e6_light(!opts.full)]);

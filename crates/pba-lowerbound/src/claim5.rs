@@ -4,7 +4,7 @@
 //! at least `μ + 2√μ` requests with constant probability `p₀` (proved via the
 //! Berry–Esseen inequality). Corollary 1 then sums this over bins, and the
 //! concentration step relies on the per-bin overload indicators being
-//! **negatively associated** (Definition 2 / [DR98]) so a Chernoff bound applies.
+//! **negatively associated** (Definition 2 / `[DR98]`) so a Chernoff bound applies.
 //!
 //! This module measures both ingredients directly:
 //!
@@ -66,7 +66,7 @@ pub fn measure_overload_probability(m: u64, n: usize, trials: u32, seed: u64) ->
 }
 
 /// Estimates the covariance between the overload indicators of bins `0` and `1`
-/// over `trials` independent experiments. Negative association (the [DR98]
+/// over `trials` independent experiments. Negative association (the `[DR98]`
 /// machinery used throughout Section 4) implies this covariance is `≤ 0`.
 pub fn measure_indicator_covariance(m: u64, n: usize, trials: u32, seed: u64) -> f64 {
     assert!(n >= 2, "need at least two bins to correlate");

@@ -21,7 +21,7 @@
 //! * [`metrics`] — message accounting (who sent how many messages of which kind) and
 //!   per-round records; the message-complexity claims of Theorems 1, 3, 5 and 6 are
 //!   verified against these counters.
-//! * [`protocol`] — the [`Protocol`](protocol::Protocol) trait describing a
+//! * [`protocol`] — the [`Protocol`] trait describing a
 //!   *uniform threshold style* protocol: per-round ball degree and per-bin
 //!   acceptance quota. This captures the algorithm family of Section 4 and is the
 //!   interface both engines execute.
@@ -29,9 +29,12 @@
 //! * [`engine`] — two executors:
 //!   the **agent engine** (exact per-ball simulation, sequential or rayon-parallel)
 //!   and the **count engine** (per-bin multinomial counts only; scales to huge `m`).
-//! * [`outcome`] — the [`AllocationOutcome`](outcome::AllocationOutcome) result type
-//!   and the [`Allocator`](outcome::Allocator) trait shared by every algorithm and
+//! * [`outcome`] — the [`AllocationOutcome`] result type
+//!   and the [`Allocator`] trait shared by every algorithm and
 //!   baseline crate.
+//! * [`weights`] — heterogeneous bin weights ([`BinWeights`]:
+//!   uniform / explicit / power-of-two tiers), alias-table weighted sampling, and
+//!   the normalized-load helpers used by the weighted routing policies.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -43,6 +46,7 @@ pub mod outcome;
 pub mod protocol;
 pub mod rng;
 pub mod sampling;
+pub mod weights;
 
 pub use engine::{run_agent_engine, run_count_engine, EngineConfig, EngineResult};
 pub use ids::{BallId, BinId};
@@ -50,3 +54,4 @@ pub use metrics::{MessageTotals, RoundRecord};
 pub use outcome::{AllocationOutcome, Allocator};
 pub use protocol::{Protocol, RoundCtx};
 pub use rng::SplitMix64;
+pub use weights::{AliasTable, BinWeights, ResolvedWeights, WeightTier};

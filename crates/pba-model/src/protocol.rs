@@ -5,7 +5,7 @@
 //! and independently at random, and every bin `b` accepts up to a threshold
 //! `T_b − ℓ_b` of the requests it receives (where `ℓ_b` is its current load),
 //! declining the rest. The paper's own upper-bound algorithm (`A_heavy`, Section 3),
-//! the naive fixed-threshold strawman (Section 1.1), the [LW16] `A_light`
+//! the naive fixed-threshold strawman (Section 1.1), the `[LW16]` `A_light`
 //! subroutine and the lower-bound experiments are all members of this family, so
 //! a single trait captures all of them and a single engine executes them.
 //!

@@ -3,7 +3,7 @@
 //! Every allocation algorithm in the workspace produces a vector of final bin
 //! loads. The paper's statements are all phrased in terms of the *excess* of the
 //! maximal load over the perfectly balanced value `⌈m/n⌉` (Theorem 1:
-//! `m/n + O(1)`; single choice: `m/n + Θ(√(m/n · log n))`; Greedy[2]:
+//! `m/n + O(1)`; single choice: `m/n + Θ(√(m/n · log n))`; `Greedy[2]`:
 //! `m/n + O(log log n)`). [`LoadMetrics`] computes exactly those quantities from
 //! a load vector so every crate reports them identically.
 

@@ -1,7 +1,7 @@
 //! Slow-growing functions used by the paper's round-count bounds.
 //!
 //! Theorem 1 bounds the round complexity of the symmetric algorithm by
-//! `O(log log(m/n) + log* n)`; Theorem 5 (the [LW16] substrate) runs for
+//! `O(log log(m/n) + log* n)`; Theorem 5 (the `[LW16]` substrate) runs for
 //! `log* n + O(1)` rounds. The experiment harness compares measured round
 //! counts against these functions, so they live here as exact integer
 //! routines with well-defined behaviour at the small-argument corner cases.

@@ -11,12 +11,16 @@
 //!
 //! Gap tracking is online: after each batch the allocator records
 //! `max load − mean load` into a trajectory and a streaming
-//! [`OnlineStats`] accumulator.
+//! [`OnlineStats`] accumulator. With non-uniform [`BinWeights`] the recorded
+//! gap is the **weighted** gap `max_i(load_i/w_i) − (Σ load)/W` — the
+//! normalized-load form that coincides with the classic gap when all weights
+//! are equal, so uniform configurations remain bit-identical.
 
+use pba_model::weights::{normalized_loads, weighted_gap, BinWeights, ResolvedWeights};
 use pba_stats::{quantiles_of, LoadMetrics, OnlineStats};
 use rayon::prelude::*;
 
-use crate::policy::{candidate_bins, Policy};
+use crate::policy::{choose_bin, ChoiceCtx, Policy};
 use crate::shard::{ShardStats, ShardedBins};
 
 /// Minimum balls per worker in the parallel choose step. The per-ball work
@@ -52,6 +56,10 @@ pub struct StreamConfig {
     /// grow with uptime; [`OnlineStats`] keeps the full-history summary
     /// regardless. Default `65536`.
     pub trajectory_cap: usize,
+    /// Per-bin weights (relative backend capacities). Uniform by default;
+    /// uniform weights — including explicit constant vectors — are a strict
+    /// no-op relative to the unweighted engine (see [`BinWeights::resolve`]).
+    pub weights: BinWeights,
 }
 
 impl StreamConfig {
@@ -65,6 +73,7 @@ impl StreamConfig {
             seed: 0,
             parallel: true,
             trajectory_cap: 1 << 16,
+            weights: BinWeights::Uniform,
         }
     }
 
@@ -97,6 +106,13 @@ impl StreamConfig {
         self.parallel = false;
         self
     }
+
+    /// Sets the bin weights (builder style). Non-uniform weights must
+    /// prescribe exactly `bins` bins.
+    pub fn weights(mut self, weights: BinWeights) -> Self {
+        self.weights = weights;
+        self
+    }
 }
 
 /// A ball waiting in the arrival buffer.
@@ -125,10 +141,14 @@ pub struct StreamSnapshot {
     pub pending: u64,
     /// Batches drained so far.
     pub batches: u64,
-    /// Current gap `max − mean` of the fresh loads.
+    /// Current gap of the fresh loads: `max − mean` for uniform weights, the
+    /// weighted gap `max_i(load_i/w_i) − (Σ load)/W` otherwise.
     pub gap: f64,
     /// Load quantiles `[p50, p90, p99, max]` of the fresh loads.
     pub load_quantiles: [f64; 4],
+    /// Largest normalized load `max_i(load_i / w_i)` — equal to the raw max
+    /// load for uniform weights.
+    pub max_normalized_load: f64,
 }
 
 /// Online, sharded, batched streaming allocator.
@@ -152,6 +172,12 @@ pub struct StreamAllocator {
     by_shard: Vec<Vec<u32>>,
     /// The shard indices `0..shards`, kept as a slice for `par_iter`.
     shard_ids: Vec<usize>,
+    /// Non-uniform weights resolved once at construction; `None` keeps every
+    /// hot path on the exact unweighted code (the strict no-op invariant).
+    resolved: Option<ResolvedWeights>,
+    /// Scratch: per-bin capacity thresholds of the batch being drained (only
+    /// filled for [`Policy::CapacityThreshold`] on non-uniform weights).
+    capacity_scratch: Vec<u32>,
 }
 
 impl StreamAllocator {
@@ -162,6 +188,14 @@ impl StreamAllocator {
             batch_size: config.batch_size.max(1),
             ..config
         };
+        if let Some(prescribed) = config.weights.prescribed_bins() {
+            assert_eq!(
+                prescribed, config.bins,
+                "weights describe {prescribed} bins but the stream has {}",
+                config.bins
+            );
+        }
+        let resolved = config.weights.resolve(config.bins);
         let bins = ShardedBins::new(config.bins, config.shards);
         let shard_count = bins.shard_count();
         Self {
@@ -178,6 +212,8 @@ impl StreamAllocator {
             chosen_scratch: Vec::new(),
             by_shard: vec![Vec::new(); shard_count],
             shard_ids: (0..shard_count).collect(),
+            resolved,
+            capacity_scratch: Vec::new(),
             config,
         }
     }
@@ -252,6 +288,7 @@ impl StreamAllocator {
         }
         let n = self.config.bins;
         let threshold = self.batch_threshold(batch.len() as u64);
+        self.fill_capacity_thresholds(batch.len() as u64);
 
         // Step 1 — choose: a pure function of (stale snapshot, key), so this
         // is safe to run in any order and in parallel. `chosen_scratch` is
@@ -259,29 +296,32 @@ impl StreamAllocator {
         // the sequential path refills it in place).
         let mut chosen = std::mem::take(&mut self.chosen_scratch);
         chosen.clear();
+        let policy = self.config.policy;
+        let ctx = ChoiceCtx {
+            snapshot: &self.stale,
+            weights: self.resolved.as_ref(),
+            batch_threshold: threshold,
+            capacity_thresholds: &self.capacity_scratch,
+            seed: self.config.seed,
+            bins: n,
+        };
+        let d = policy.choices();
         if self.config.parallel {
-            let stale = &self.stale;
-            let policy = self.config.policy;
-            let seed = self.config.seed;
-            let d = policy.choices();
             chosen = batch
                 .par_iter()
                 .with_min_len(CHOOSE_MIN_BALLS_PER_WORKER)
                 .map_init(
-                    || Vec::with_capacity(d),
-                    |candidates, ball| {
-                        candidate_bins(seed, ball.key, d, n, candidates);
-                        policy.pick(stale, candidates, threshold)
-                    },
+                    || Vec::with_capacity(2 * d),
+                    |candidates, ball| choose_bin(policy, &ctx, ball.key, candidates),
                 )
                 .collect()
         } else {
-            let d = self.config.policy.choices();
-            let mut candidates = Vec::with_capacity(d);
-            chosen.extend(batch.iter().map(|ball| {
-                candidate_bins(self.config.seed, ball.key, d, n, &mut candidates);
-                self.config.policy.pick(&self.stale, &candidates, threshold)
-            }));
+            let mut candidates = Vec::with_capacity(2 * d);
+            chosen.extend(
+                batch
+                    .iter()
+                    .map(|ball| choose_bin(policy, &ctx, ball.key, &mut candidates)),
+            );
         }
 
         // Step 2 — apply: for large batches, group placements by shard and
@@ -321,7 +361,7 @@ impl StreamAllocator {
         // (amortised O(1): compact when it reaches twice the cap) so a
         // long-running stream does not grow with uptime.
         self.stale = self.bins.snapshot();
-        let gap = gap_of(&self.stale, self.bins.total());
+        let gap = self.gap_of_loads(&self.stale);
         let cap = self.config.trajectory_cap.max(1);
         if self.gap_trajectory.len() >= cap.saturating_mul(2) {
             self.gap_trajectory.drain(..self.gap_trajectory.len() - cap);
@@ -331,15 +371,44 @@ impl StreamAllocator {
     }
 
     /// The batch threshold of the paper-style [`Policy::Threshold`] rule:
-    /// `⌈(resident + batch)/n⌉ + slack`.
+    /// `⌈(resident + batch)/n⌉ + slack`. Also the flat fallback threshold of
+    /// [`Policy::CapacityThreshold`] under uniform weights, where every bin's
+    /// capacity share collapses to the plain mean.
     fn batch_threshold(&self, batch_len: u64) -> u32 {
         match self.config.policy {
-            Policy::Threshold { slack, .. } => {
+            Policy::Threshold { slack, .. } | Policy::CapacityThreshold { slack, .. } => {
                 let resident = self.bins.total();
                 let mean = (resident + batch_len).div_ceil(self.config.bins as u64);
                 mean.min(u32::MAX as u64) as u32 + slack
             }
             _ => 0,
+        }
+    }
+
+    /// Fills `capacity_scratch` with the per-bin thresholds
+    /// `⌈(resident + batch)·w_i/W⌉ + slack` of [`Policy::CapacityThreshold`];
+    /// leaves it empty (flat-threshold fallback) for every other
+    /// configuration so no per-batch `O(n)` work is added to them.
+    fn fill_capacity_thresholds(&mut self, batch_len: u64) {
+        self.capacity_scratch.clear();
+        if let (Policy::CapacityThreshold { slack, .. }, Some(weights)) =
+            (self.config.policy, self.resolved.as_ref())
+        {
+            let post = (self.bins.total() + batch_len) as f64;
+            self.capacity_scratch.extend((0..self.config.bins).map(|i| {
+                let fair = (post * weights.share(i)).ceil();
+                (fair as u64).min(u32::MAX as u64) as u32 + slack
+            }));
+        }
+    }
+
+    /// The gap of a load vector under this stream's weights: classic
+    /// `max − mean` when uniform, weighted `max_i(load_i/w_i) − (Σ load)/W`
+    /// otherwise.
+    fn gap_of_loads(&self, loads: &[u32]) -> f64 {
+        match &self.resolved {
+            None => gap_of(loads, loads.iter().map(|&l| l as u64).sum()),
+            Some(weights) => weighted_gap(loads, weights),
         }
     }
 
@@ -357,6 +426,28 @@ impl StreamAllocator {
     /// Balls currently resident (`placed − departed`).
     pub fn resident(&self) -> u64 {
         self.bins.total()
+    }
+
+    /// The resolved non-uniform weights, or `None` when the stream runs the
+    /// uniform (unweighted) configuration.
+    pub fn weights(&self) -> Option<&ResolvedWeights> {
+        self.resolved.as_ref()
+    }
+
+    /// Fresh normalized loads `load_i / w_i` (the raw loads as `f64` for a
+    /// uniform stream).
+    pub fn normalized_loads(&self) -> Vec<f64> {
+        let loads = self.bins.snapshot();
+        match &self.resolved {
+            None => loads.iter().map(|&l| l as f64).collect(),
+            Some(weights) => normalized_loads(&loads, weights),
+        }
+    }
+
+    /// Largest fresh normalized load `max_i(load_i / w_i)` — the quantity the
+    /// weighted policies minimise (raw max load when uniform).
+    pub fn max_normalized_load(&self) -> f64 {
+        self.normalized_loads().into_iter().fold(0.0f64, f64::max)
     }
 
     /// Balls buffered but not yet drained.
@@ -389,10 +480,15 @@ impl StreamAllocator {
     /// A full point-in-time snapshot.
     pub fn snapshot(&self) -> StreamSnapshot {
         let loads = self.bins.snapshot();
-        let total = self.bins.total();
-        let gap = gap_of(&loads, total);
+        let gap = self.gap_of_loads(&loads);
         let as_f64: Vec<f64> = loads.iter().map(|&l| l as f64).collect();
         let qs = quantiles_of(&as_f64, &[0.5, 0.9, 0.99, 1.0]);
+        let max_normalized_load = match &self.resolved {
+            None => qs[3],
+            Some(weights) => normalized_loads(&loads, weights)
+                .into_iter()
+                .fold(0.0f64, f64::max),
+        };
         StreamSnapshot {
             stale_loads: self.stale.clone(),
             arrived: self.arrived,
@@ -402,6 +498,7 @@ impl StreamAllocator {
             batches: self.batches,
             gap,
             load_quantiles: [qs[0], qs[1], qs[2], qs[3]],
+            max_normalized_load,
             loads,
         }
     }
@@ -626,6 +723,129 @@ mod tests {
         let nonzero = s.loads().iter().filter(|&&l| l > 0).count();
         assert!(nonzero <= 2, "hot key spread over {nonzero} bins");
         assert_eq!(s.resident(), 640);
+    }
+
+    #[test]
+    fn uniform_weights_are_a_strict_noop() {
+        // An explicit constant weight vector (any constant) must produce the
+        // exact loads and gap trajectory of the default unweighted engine,
+        // for every policy — including the weight-aware ones.
+        use pba_model::weights::BinWeights;
+        for policy in [
+            Policy::OneChoice,
+            Policy::TwoChoice,
+            Policy::DChoice(3),
+            Policy::Threshold { d: 2, slack: 1 },
+            Policy::WeightedTwoChoice,
+            Policy::CapacityThreshold { d: 2, slack: 1 },
+        ] {
+            let base = StreamConfig::new(64).policy(policy).batch_size(96).seed(3);
+            let mut plain = StreamAllocator::new(base.clone());
+            let mut weighted =
+                StreamAllocator::new(base.weights(BinWeights::explicit(vec![2.5; 64])));
+            push_uniform(&mut plain, 6_000, 9);
+            push_uniform(&mut weighted, 6_000, 9);
+            plain.flush();
+            weighted.flush();
+            assert_eq!(plain.loads(), weighted.loads(), "policy {}", policy.name());
+            assert_eq!(plain.gap_trajectory(), weighted.gap_trajectory());
+            assert!(weighted.weights().is_none(), "uniform must resolve to None");
+        }
+    }
+
+    #[test]
+    fn weighted_two_choice_under_uniform_weights_equals_two_choice() {
+        let base = StreamConfig::new(128).batch_size(128).seed(11);
+        let mut two = StreamAllocator::new(base.clone().policy(Policy::TwoChoice));
+        let mut weighted = StreamAllocator::new(base.policy(Policy::WeightedTwoChoice));
+        push_uniform(&mut two, 20_000, 4);
+        push_uniform(&mut weighted, 20_000, 4);
+        two.flush();
+        weighted.flush();
+        assert_eq!(two.loads(), weighted.loads());
+        assert_eq!(two.gap_trajectory(), weighted.gap_trajectory());
+    }
+
+    #[test]
+    fn weighted_sequential_and_parallel_drains_are_identical() {
+        use pba_model::weights::BinWeights;
+        let weights = BinWeights::power_of_two_tiers(&[(8, 2), (16, 1), (40, 0)]);
+        for policy in [
+            Policy::WeightedTwoChoice,
+            Policy::CapacityThreshold { d: 2, slack: 2 },
+        ] {
+            let cfg = StreamConfig::new(64)
+                .policy(policy)
+                .batch_size(128)
+                .seed(23)
+                .weights(weights.clone());
+            let mut par = StreamAllocator::new(cfg.clone().shards(8));
+            let mut seq = StreamAllocator::new(cfg.sequential());
+            push_uniform(&mut par, 10_000, 6);
+            push_uniform(&mut seq, 10_000, 6);
+            par.flush();
+            seq.flush();
+            assert_eq!(par.loads(), seq.loads(), "policy {}", policy.name());
+            assert_eq!(par.gap_trajectory(), seq.gap_trajectory());
+            assert!(par.conserves_balls());
+        }
+    }
+
+    #[test]
+    fn weighted_two_choice_beats_oblivious_two_choice_on_tiers() {
+        use pba_model::weights::BinWeights;
+        // 4:2:1 capacity tiers. The weight-oblivious policy equalises raw
+        // loads, overloading the weight-1 tier relative to its capacity; the
+        // weighted policy balances load/weight and must achieve a lower max
+        // normalized load.
+        let n = 112usize;
+        let weights = BinWeights::power_of_two_tiers(&[(16, 2), (32, 1), (64, 0)]);
+        let base = StreamConfig::new(n).batch_size(n).seed(7).weights(weights);
+        let mut oblivious = StreamAllocator::new(base.clone().policy(Policy::TwoChoice));
+        let mut weighted = StreamAllocator::new(base.policy(Policy::WeightedTwoChoice));
+        push_uniform(&mut oblivious, 64 * n as u64, 13);
+        push_uniform(&mut weighted, 64 * n as u64, 13);
+        oblivious.flush();
+        weighted.flush();
+        let o = oblivious.max_normalized_load();
+        let w = weighted.max_normalized_load();
+        assert!(
+            w < 0.8 * o,
+            "weighted max normalized load {w:.1} should be well below oblivious {o:.1}"
+        );
+        assert!(weighted.conserves_balls());
+    }
+
+    #[test]
+    fn capacity_threshold_tracks_capacity_shares() {
+        use pba_model::weights::BinWeights;
+        let n = 48usize;
+        let weights = BinWeights::power_of_two_tiers(&[(8, 2), (40, 0)]);
+        let mut s = StreamAllocator::new(
+            StreamConfig::new(n)
+                .policy(Policy::CapacityThreshold { d: 2, slack: 3 })
+                .batch_size(n)
+                .seed(19)
+                .weights(weights),
+        );
+        push_uniform(&mut s, 72 * n as u64, 29);
+        s.flush();
+        // Total weight W = 8·4 + 40·1 = 72, so the fair normalized level is
+        // (72·n)/W = n = 48 balls per unit weight; stale info plus slack can
+        // overshoot by a bounded amount only.
+        let max_norm = s.max_normalized_load();
+        assert!(
+            max_norm < 48.0 + 16.0,
+            "capacity threshold let a bin run to {max_norm:.1} per unit weight"
+        );
+        assert!(s.conserves_balls());
+    }
+
+    #[test]
+    #[should_panic(expected = "weights describe")]
+    fn mismatched_weight_count_panics() {
+        use pba_model::weights::BinWeights;
+        StreamAllocator::new(StreamConfig::new(8).weights(BinWeights::explicit(vec![1.0, 2.0])));
     }
 
     #[test]

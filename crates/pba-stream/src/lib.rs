@@ -25,7 +25,11 @@
 //!   mutex-guarded bookkeeping, drained in parallel via rayon.
 //! * [`policy`] — [`Policy`]: single-choice, two-choice, `d`-choice and the
 //!   paper-style threshold rule, all over stale loads; candidate bins are a
-//!   consistent hash of the ball's key.
+//!   consistent hash of the ball's key. Heterogeneous backends are served by
+//!   the weight-aware [`Policy::WeightedTwoChoice`] (sample ∝ weight, balance
+//!   `load/weight`) and [`Policy::CapacityThreshold`] (per-bin capacity
+//!   shares with one overflow retry); uniform weights are a **strict no-op**
+//!   relative to the unweighted engine.
 //! * [`arrival`] — [`ArrivalProcess`]: uniform, Zipf-skewed and bursty
 //!   arrival streams.
 //! * [`scenario`] — [`run_scenario`]: ticks of arrivals + optional churn
@@ -61,6 +65,9 @@ pub mod shard;
 
 pub use arrival::{ArrivalProcess, ArrivalSampler, UNIQUE_KEYS};
 pub use engine::{StreamAllocator, StreamConfig, StreamSnapshot};
-pub use policy::{candidate_bins, Policy};
+pub use policy::{candidate_bins, choose_bin, ChoiceCtx, Policy};
 pub use scenario::{run_scenario, ScenarioConfig, ScenarioReport};
 pub use shard::{ShardStats, ShardedBins};
+
+// Re-exported so weighted stream configurations need only this crate.
+pub use pba_model::weights::{BinWeights, ResolvedWeights};

@@ -11,8 +11,25 @@
 //! Candidate bins are a pure hash of the ball's key (see
 //! [`candidate_bins`]), so a repeated key always contends for the same
 //! candidate set — the consistent-hashing behaviour of a real router.
+//!
+//! ## Weighted (heterogeneous) policies
+//!
+//! Two policies are **weight-aware**: [`Policy::WeightedTwoChoice`] and
+//! [`Policy::CapacityThreshold`]. When the stream carries non-uniform
+//! [`BinWeights`](pba_model::weights::BinWeights), they sample candidates
+//! proportionally to weight (alias table) and balance the **normalized load**
+//! `load_i / w_i` instead of the raw load. The remaining policies are
+//! deliberately weight-*oblivious* — they serve as the "what if the router
+//! ignored capacities" baseline that experiment E13 measures against.
+//!
+//! When the weights are uniform, [`BinWeights::resolve`](pba_model::weights::BinWeights::resolve)
+//! canonicalises them to `None` and [`choose_bin`] takes exactly the
+//! unweighted code path (same RNG stream, same comparisons), so a uniform
+//! weighted configuration is a **strict no-op** — bit-identical to the
+//! unweighted engine, as enforced by `tests/weighted_properties.rs`.
 
 use pba_model::rng::SplitMix64;
+use pba_model::weights::ResolvedWeights;
 
 /// Stream used to derive candidate bins from `(seed, key)`.
 const CANDIDATE_STREAM: u64 = 0x5742_a11c;
@@ -25,7 +42,7 @@ pub enum Policy {
     /// Two candidates; the ball joins the one with the smaller stale load
     /// (ties to the earlier candidate) — the classic two-choice rule.
     TwoChoice,
-    /// `d` candidates; least stale load wins (Greedy[d] on stale info).
+    /// `d` candidates; least stale load wins (`Greedy[d]` on stale info).
     DChoice(usize),
     /// The paper's threshold rule adapted to streaming: the ball joins the
     /// first candidate whose stale load is below the batch threshold
@@ -37,17 +54,44 @@ pub enum Policy {
         /// Additive slack over the post-batch mean.
         slack: u32,
     },
+    /// Weighted two-choice (heterogeneous bins): two candidates sampled
+    /// proportionally to bin weight; the ball joins the candidate with the
+    /// smaller **normalized** stale load `load / weight` (ties to the earlier
+    /// candidate). With uniform weights this is exactly [`Policy::TwoChoice`].
+    WeightedTwoChoice,
+    /// Capacity-aware threshold with **overflow retry**: the ball joins the
+    /// first of `d` weight-proportional candidates whose stale load is below
+    /// that bin's capacity share `⌈(resident + batch)·w_i/W⌉ + slack`. If all
+    /// candidates are at or above their threshold (an overflow), the ball
+    /// retries once with a fresh candidate set, then falls back to the
+    /// least-normalized-loaded candidate seen across both sets.
+    CapacityThreshold {
+        /// Number of candidate bins per attempt.
+        d: usize,
+        /// Additive slack over each bin's capacity-fair share.
+        slack: u32,
+    },
 }
 
 impl Policy {
-    /// Number of candidate bins this policy samples per ball.
+    /// Number of candidate bins this policy samples per ball (per attempt —
+    /// [`Policy::CapacityThreshold`] may sample a second set on overflow).
     pub fn choices(&self) -> usize {
         match *self {
             Policy::OneChoice => 1,
-            Policy::TwoChoice => 2,
+            Policy::TwoChoice | Policy::WeightedTwoChoice => 2,
             Policy::DChoice(d) => d.max(1),
-            Policy::Threshold { d, .. } => d.max(1),
+            Policy::Threshold { d, .. } | Policy::CapacityThreshold { d, .. } => d.max(1),
         }
+    }
+
+    /// True for policies that consult bin weights (sampling and comparison);
+    /// the rest ignore weights entirely and act as the oblivious baseline.
+    pub fn is_weight_aware(&self) -> bool {
+        matches!(
+            *self,
+            Policy::WeightedTwoChoice | Policy::CapacityThreshold { .. }
+        )
     }
 
     /// Display name used in tables and reports.
@@ -57,19 +101,31 @@ impl Policy {
             Policy::TwoChoice => "two-choice".to_string(),
             Policy::DChoice(d) => format!("{d}-choice"),
             Policy::Threshold { d, slack } => format!("threshold(d={d},slack={slack})"),
+            Policy::WeightedTwoChoice => "weighted-two-choice".to_string(),
+            Policy::CapacityThreshold { d, slack } => {
+                format!("capacity-threshold(d={d},slack={slack})")
+            }
         }
     }
 
-    /// Picks the bin for one ball. `snapshot` is the stale load vector,
-    /// `candidates` the ball's candidate bins (non-empty), and
-    /// `batch_threshold` the precomputed threshold for this batch (only used
-    /// by [`Policy::Threshold`]).
+    /// Picks the bin for one ball from an already-sampled candidate set.
+    /// `snapshot` is the stale load vector, `candidates` the ball's candidate
+    /// bins (non-empty), and `batch_threshold` the precomputed threshold for
+    /// this batch (only used by the threshold rules).
+    ///
+    /// This is the **unweighted** picker: the weight-aware policies degrade
+    /// to their uniform-weight behaviour here (weighted two-choice → plain
+    /// least-loaded; capacity threshold → flat threshold, no retry). The
+    /// engine drives the full weighted logic through [`choose_bin`], which
+    /// also owns candidate sampling and the overflow retry.
     pub fn pick(&self, snapshot: &[u32], candidates: &[u32], batch_threshold: u32) -> u32 {
         debug_assert!(!candidates.is_empty());
         match *self {
             Policy::OneChoice => candidates[0],
-            Policy::TwoChoice | Policy::DChoice(_) => least_loaded(snapshot, candidates),
-            Policy::Threshold { .. } => {
+            Policy::TwoChoice | Policy::DChoice(_) | Policy::WeightedTwoChoice => {
+                least_loaded(snapshot, candidates)
+            }
+            Policy::Threshold { .. } | Policy::CapacityThreshold { .. } => {
                 for &c in candidates {
                     if snapshot[c as usize] < batch_threshold {
                         return c;
@@ -79,6 +135,131 @@ impl Policy {
             }
         }
     }
+}
+
+/// Everything a policy needs to place one ball of a batch. Borrowed
+/// immutably, so one `ChoiceCtx` is shared by every worker of a parallel
+/// drain (placements stay pure functions of `(stale snapshot, key)`).
+#[derive(Debug, Clone, Copy)]
+pub struct ChoiceCtx<'a> {
+    /// The stale load vector of the previous batch boundary.
+    pub snapshot: &'a [u32],
+    /// Resolved non-uniform weights, or `None` for the uniform no-op path.
+    pub weights: Option<&'a ResolvedWeights>,
+    /// Scalar batch threshold `⌈(resident + batch)/n⌉ + slack` (used by
+    /// [`Policy::Threshold`], and by [`Policy::CapacityThreshold`] when the
+    /// weights are uniform).
+    pub batch_threshold: u32,
+    /// Per-bin capacity thresholds `⌈(resident + batch)·w_i/W⌉ + slack`;
+    /// empty unless the policy is [`Policy::CapacityThreshold`] and the
+    /// weights are non-uniform.
+    pub capacity_thresholds: &'a [u32],
+    /// Master seed (candidates are a pure hash of `(seed, key)`).
+    pub seed: u64,
+    /// Number of bins `n`.
+    pub bins: usize,
+}
+
+impl ChoiceCtx<'_> {
+    /// The overflow threshold of `bin`: its capacity share when per-bin
+    /// thresholds were computed, the flat batch threshold otherwise.
+    fn threshold_of(&self, bin: u32) -> u32 {
+        if self.capacity_thresholds.is_empty() {
+            self.batch_threshold
+        } else {
+            self.capacity_thresholds[bin as usize]
+        }
+    }
+}
+
+/// Samples candidates and picks the bin for one ball — the single entry point
+/// the engine uses for every policy, weighted or not. A pure function of
+/// `(ctx, key)`; `candidates` is caller-provided scratch (cleared here).
+///
+/// With `ctx.weights == None` this consumes the RNG stream exactly like
+/// [`candidate_bins`] + [`Policy::pick`] — the strict uniform no-op.
+pub fn choose_bin(policy: Policy, ctx: &ChoiceCtx<'_>, key: u64, candidates: &mut Vec<u32>) -> u32 {
+    candidates.clear();
+    let d = policy.choices();
+    let mut rng = SplitMix64::for_stream(ctx.seed, CANDIDATE_STREAM, key);
+    sample_candidates(policy, ctx, &mut rng, d, candidates);
+    debug_assert!(!candidates.is_empty());
+    match policy {
+        Policy::OneChoice => candidates[0],
+        Policy::TwoChoice | Policy::DChoice(_) => least_loaded(ctx.snapshot, candidates),
+        Policy::Threshold { .. } => {
+            for &c in candidates.iter() {
+                if ctx.snapshot[c as usize] < ctx.batch_threshold {
+                    return c;
+                }
+            }
+            least_loaded(ctx.snapshot, candidates)
+        }
+        Policy::WeightedTwoChoice => least_normalized(ctx, candidates),
+        Policy::CapacityThreshold { .. } => {
+            if let Some(c) = first_below_capacity(ctx, candidates) {
+                return c;
+            }
+            // Overflow retry: every first-attempt candidate is at or above
+            // its capacity share, so draw one fresh set from the same stream
+            // (still a pure function of (seed, key)) before giving up.
+            let retry_start = candidates.len();
+            sample_candidates(policy, ctx, &mut rng, d, candidates);
+            if let Some(c) = first_below_capacity(ctx, &candidates[retry_start..]) {
+                return c;
+            }
+            // Both sets overflowed: concede and take the least normalized
+            // load among everything seen.
+            least_normalized(ctx, candidates)
+        }
+    }
+}
+
+/// Appends `d` distinct candidates to `out`: weight-proportional for a
+/// weight-aware policy on non-uniform weights, uniform otherwise (the exact
+/// [`candidate_bins`] stream).
+fn sample_candidates(
+    policy: Policy,
+    ctx: &ChoiceCtx<'_>,
+    rng: &mut SplitMix64,
+    d: usize,
+    out: &mut Vec<u32>,
+) {
+    match ctx.weights {
+        Some(weights) if policy.is_weight_aware() => {
+            weights.sample_distinct(rng, d.max(1).min(ctx.bins.max(1)), out);
+        }
+        _ => rng.sample_distinct(ctx.bins, d.max(1).min(ctx.bins.max(1)), out),
+    }
+}
+
+/// First candidate whose stale load is strictly below its capacity threshold.
+fn first_below_capacity(ctx: &ChoiceCtx<'_>, candidates: &[u32]) -> Option<u32> {
+    candidates
+        .iter()
+        .copied()
+        .find(|&c| ctx.snapshot[c as usize] < ctx.threshold_of(c))
+}
+
+/// The candidate with the smallest **normalized** stale load `load / weight`;
+/// ties break to the earliest candidate. Falls back to the raw-load
+/// comparison when the weights are uniform (`None`), where the two orders
+/// coincide.
+fn least_normalized(ctx: &ChoiceCtx<'_>, candidates: &[u32]) -> u32 {
+    let Some(weights) = ctx.weights else {
+        return least_loaded(ctx.snapshot, candidates);
+    };
+    let mut best = candidates[0];
+    for &c in &candidates[1..] {
+        // load_c/w_c < load_best/w_best  ⇔  load_c·w_best < load_best·w_c
+        // (cross-multiplied to avoid the division; weights are positive).
+        let lhs = ctx.snapshot[c as usize] as f64 * weights.weight(best as usize);
+        let rhs = ctx.snapshot[best as usize] as f64 * weights.weight(c as usize);
+        if lhs < rhs {
+            best = c;
+        }
+    }
+    best
 }
 
 /// The candidate with the smallest stale load; ties break to the earliest
@@ -172,10 +353,149 @@ mod tests {
             Policy::TwoChoice.name(),
             Policy::DChoice(3).name(),
             Policy::Threshold { d: 2, slack: 1 }.name(),
+            Policy::WeightedTwoChoice.name(),
+            Policy::CapacityThreshold { d: 2, slack: 1 }.name(),
         ];
         let mut dedup = names.to_vec();
         dedup.sort();
         dedup.dedup();
         assert_eq!(dedup.len(), names.len());
+    }
+
+    fn uniform_ctx<'a>(snapshot: &'a [u32], threshold: u32) -> ChoiceCtx<'a> {
+        ChoiceCtx {
+            snapshot,
+            weights: None,
+            batch_threshold: threshold,
+            capacity_thresholds: &[],
+            seed: 9,
+            bins: snapshot.len(),
+        }
+    }
+
+    #[test]
+    fn choose_bin_matches_candidate_bins_plus_pick_when_unweighted() {
+        // The uniform no-op invariant at the policy level: choose_bin must be
+        // byte-for-byte the candidate_bins + pick composition.
+        let snapshot: Vec<u32> = (0..64u32).map(|i| (i * 7) % 13).collect();
+        let mut scratch = Vec::new();
+        let mut reference = Vec::new();
+        for policy in [
+            Policy::OneChoice,
+            Policy::TwoChoice,
+            Policy::DChoice(3),
+            Policy::Threshold { d: 2, slack: 1 },
+        ] {
+            let ctx = uniform_ctx(&snapshot, 6);
+            for key in 0..500u64 {
+                let chosen = choose_bin(policy, &ctx, key, &mut scratch);
+                candidate_bins(ctx.seed, key, policy.choices(), ctx.bins, &mut reference);
+                let expected = policy.pick(&snapshot, &reference, ctx.batch_threshold);
+                assert_eq!(chosen, expected, "policy {} key {key}", policy.name());
+            }
+        }
+    }
+
+    #[test]
+    fn weighted_two_choice_balances_normalized_load() {
+        use pba_model::weights::BinWeights;
+        // Bin 0 has weight 4 and load 6 (normalized 1.5); bin 1 has weight 1
+        // and load 2 (normalized 2). Raw comparison prefers bin 1; the
+        // normalized comparison must prefer bin 0.
+        let weights = BinWeights::explicit(vec![4.0, 1.0, 1.0])
+            .resolve(3)
+            .unwrap();
+        let snapshot = vec![6u32, 2, 50];
+        let ctx = ChoiceCtx {
+            snapshot: &snapshot,
+            weights: Some(&weights),
+            batch_threshold: 0,
+            capacity_thresholds: &[],
+            seed: 1,
+            bins: 3,
+        };
+        assert_eq!(least_normalized(&ctx, &[0, 1]), 0);
+        assert_eq!(least_normalized(&ctx, &[1, 0]), 0);
+        // Exact normalized tie (8/4 vs 2/1) breaks to the earlier candidate.
+        let snapshot = vec![8u32, 2, 50];
+        let ctx = ChoiceCtx {
+            snapshot: &snapshot,
+            ..ctx
+        };
+        assert_eq!(least_normalized(&ctx, &[1, 0]), 1);
+        assert_eq!(least_normalized(&ctx, &[0, 1]), 0);
+    }
+
+    #[test]
+    fn capacity_threshold_uses_per_bin_thresholds_and_retries() {
+        use pba_model::weights::BinWeights;
+        let weights = BinWeights::explicit(vec![4.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0])
+            .resolve(8)
+            .unwrap();
+        // Every bin is saturated except bin 0 (threshold 8, load 3): whatever
+        // candidates are drawn, every ball must end up in a bin that was
+        // below its threshold if one was ever sampled, and the retry gives it
+        // a second chance to find one.
+        let snapshot = vec![3u32, 9, 9, 9, 9, 9, 9, 9];
+        let caps = vec![8u32, 2, 2, 2, 2, 2, 2, 2];
+        let ctx = ChoiceCtx {
+            snapshot: &snapshot,
+            weights: Some(&weights),
+            batch_threshold: 2,
+            capacity_thresholds: &caps,
+            seed: 77,
+            bins: 8,
+        };
+        let policy = Policy::CapacityThreshold { d: 2, slack: 0 };
+        let mut scratch = Vec::new();
+        let mut found_bin0 = 0usize;
+        for key in 0..200u64 {
+            let chosen = choose_bin(policy, &ctx, key, &mut scratch);
+            if chosen == 0 {
+                found_bin0 += 1;
+                // Bin 0 is the only below-threshold bin.
+                assert!(snapshot[chosen as usize] < caps[chosen as usize]);
+            }
+        }
+        // Weighted sampling gives bin 0 a 4/11 share per draw and the retry
+        // doubles the attempts, so a large majority of balls must find it.
+        assert!(found_bin0 > 120, "only {found_bin0}/200 found the open bin");
+    }
+
+    #[test]
+    fn capacity_threshold_overflow_falls_back_to_least_normalized() {
+        use pba_model::weights::BinWeights;
+        let weights = BinWeights::explicit(vec![4.0, 1.0]).resolve(2).unwrap();
+        // Both bins saturated: fall back to least normalized (12/4 = 3 < 4/1).
+        let snapshot = vec![12u32, 4];
+        let caps = vec![2u32, 2];
+        let ctx = ChoiceCtx {
+            snapshot: &snapshot,
+            weights: Some(&weights),
+            batch_threshold: 2,
+            capacity_thresholds: &caps,
+            seed: 5,
+            bins: 2,
+        };
+        let mut scratch = Vec::new();
+        for key in 0..50u64 {
+            let chosen = choose_bin(
+                Policy::CapacityThreshold { d: 2, slack: 0 },
+                &ctx,
+                key,
+                &mut scratch,
+            );
+            assert_eq!(chosen, 0, "key {key}");
+        }
+    }
+
+    #[test]
+    fn weight_awareness_flags() {
+        assert!(Policy::WeightedTwoChoice.is_weight_aware());
+        assert!(Policy::CapacityThreshold { d: 2, slack: 0 }.is_weight_aware());
+        assert!(!Policy::TwoChoice.is_weight_aware());
+        assert!(!Policy::Threshold { d: 2, slack: 0 }.is_weight_aware());
+        assert_eq!(Policy::WeightedTwoChoice.choices(), 2);
+        assert_eq!(Policy::CapacityThreshold { d: 3, slack: 0 }.choices(), 3);
     }
 }

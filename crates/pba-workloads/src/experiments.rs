@@ -1,6 +1,8 @@
-//! The reproduction experiments E1–E12 (see DESIGN.md for the full index).
+//! The reproduction experiments E1–E13 (see DESIGN.md for the full index).
 //! E1–E9 validate the SPAA'19 paper; E10–E12 measure the streaming engine of
-//! `pba-stream` in the batched/stale-information model (Los–Sauerwald 2022).
+//! `pba-stream` in the batched/stale-information model (Los–Sauerwald 2022);
+//! E13 measures weighted multi-backend routing over heterogeneous capacity
+//! tiers (streaming policies plus the weighted asymmetric algorithm).
 //!
 //! The paper is a theory paper without numbered tables/figures, so each
 //! experiment here plays the role of a table: it validates one theorem, claim or
@@ -11,7 +13,7 @@
 
 use pba_algorithms::{
     AsymmetricAllocator, HeavyAllocator, HeavyConfig, LightAllocator, NaiveThresholdAllocator,
-    TrivialAllocator,
+    TrivialAllocator, WeightedAsymmetricAllocator,
 };
 use pba_baselines::{
     AlwaysGoLeftAllocator, BatchedTwoChoiceAllocator, GreedyDAllocator, SingleChoiceAllocator,
@@ -25,8 +27,9 @@ use pba_lowerbound::{
 };
 use pba_model::engine::run_count_engine;
 use pba_model::protocol::FixedThresholdProtocol;
+use pba_model::weights::BinWeights;
 use pba_model::Allocator;
-use pba_stats::{log_log2, log_star, Align, Cell, SeedAggregate, Table};
+use pba_stats::{log_log2, log_star, power_law_exponent, Align, Cell, SeedAggregate, Table};
 use pba_stream::{
     run_scenario, ArrivalProcess, Policy, ScenarioConfig, StreamAllocator, StreamConfig,
 };
@@ -383,7 +386,7 @@ pub fn e6_light(quick: bool) -> Table {
     table
 }
 
-/// E7 — the baseline landscape of the introduction: single-choice vs Greedy[2]
+/// E7 — the baseline landscape of the introduction: single-choice vs `Greedy[2]`
 /// vs always-go-left vs batched two-choice vs the trivial deterministic sweep vs
 /// the naive threshold strawman vs `A_heavy` vs the asymmetric algorithm.
 pub fn e7_baselines(quick: bool) -> Table {
@@ -586,12 +589,21 @@ pub fn e9_ablation(quick: bool) -> Vec<Table> {
 
 /// E10 — the streaming engine's batch-size sweep: with batches of size `b`
 /// every ball sees loads that are up to `b` placements stale, and the
-/// Los–Sauerwald bound says the two-choice gap degrades gracefully (O(b/n)
-/// for large batches) instead of collapsing to one-choice behaviour.
+/// Los–Sauerwald bound says the two-choice gap degrades gracefully (Θ(b/n)
+/// for large batches) instead of collapsing to one-choice behaviour. The
+/// `Θ(b/n)` column fits a power law `gap ∝ (b/n)^α` over the staleness-
+/// dominated rows (`b/n ≥ 4`) via [`pba_stats::power_law_exponent`] and
+/// reports pass/fail for `α ≈ 1`, like E2 does for the `m̃_i` recursion.
 pub fn e10_stream_batch_sweep(quick: bool) -> Table {
     let (n, ratio, n_seeds): (usize, u64, u64) = if quick { (256, 64, 2) } else { (1024, 256, 5) };
     let m = n as u64 * ratio;
-    let batch_factors: &[usize] = if quick { &[1, 4, 16] } else { &[1, 4, 16, 64] };
+    // Quick mode keeps three points in the staleness-dominated regime
+    // (b/n ≥ 4) so the power-law fit below is never a degenerate 2-point fit.
+    let batch_factors: &[usize] = if quick {
+        &[1, 4, 8, 16]
+    } else {
+        &[1, 4, 16, 64]
+    };
     let mut table = Table::with_alignments(
         "E10: streaming two-choice — gap vs batch size (staleness window)",
         &[
@@ -602,8 +614,11 @@ pub fn e10_stream_batch_sweep(quick: bool) -> Table {
             ("final gap mean", Align::Right),
             ("max gap mean", Align::Right),
             ("one-choice final gap", Align::Right),
+            ("gap/(b/n)", Align::Right),
+            ("Θ(b/n) fit", Align::Left),
         ],
     );
+    let mut rows: Vec<(usize, f64, f64, f64)> = Vec::new();
     for &factor in batch_factors {
         let batch = n * factor;
         let mut agg = SeedAggregate::new();
@@ -625,14 +640,47 @@ pub fn e10_stream_batch_sweep(quick: bool) -> Table {
                 agg.record(&format!("{key}_max"), stream.gap_stats().max());
             }
         }
+        rows.push((
+            factor,
+            agg.mean("two_final"),
+            agg.mean("two_max"),
+            agg.mean("one_final"),
+        ));
+    }
+    // Los–Sauerwald Θ(b/n) check: fit gap ∝ (b/n)^α over the rows where
+    // staleness dominates the additive log-n term (b/n ≥ 4); pass when the
+    // fitted exponent is compatible with linear growth.
+    let staleness: Vec<(f64, f64)> = rows
+        .iter()
+        .filter(|&&(factor, ..)| factor >= 4)
+        .map(|&(factor, two_final, ..)| (factor as f64, two_final))
+        .collect();
+    let xs: Vec<f64> = staleness.iter().map(|&(x, _)| x).collect();
+    let ys: Vec<f64> = staleness.iter().map(|&(_, y)| y).collect();
+    let fit_cell = match power_law_exponent(&xs, &ys) {
+        Some((alpha, r2)) => {
+            let verdict = if (0.5..=1.5).contains(&alpha) {
+                "ok"
+            } else {
+                "FAIL"
+            };
+            format!("α={alpha:.2} (R²={r2:.2}) {verdict}")
+        }
+        None => "n/a".to_string(),
+    };
+    for (factor, two_final, two_max, one_final) in rows {
+        // The verdict only annotates the rows that participated in the fit.
+        let fit = if factor >= 4 { fit_cell.as_str() } else { "" };
         table.push_row([
             Cell::from(n),
             Cell::from(m),
-            Cell::from(batch),
+            Cell::from(n * factor),
             Cell::from(factor),
-            Cell::from(agg.mean("two_final")),
-            Cell::from(agg.mean("two_max")),
-            Cell::from(agg.mean("one_final")),
+            Cell::from(two_final),
+            Cell::from(two_max),
+            Cell::from(one_final),
+            Cell::from(two_final / factor as f64),
+            Cell::from(fit),
         ]);
     }
     table
@@ -759,7 +807,94 @@ pub fn e12_stream_churn(quick: bool) -> Table {
     table
 }
 
-/// Runs every experiment and returns all tables in order (E1 … E12).
+/// E13 — weighted multi-backend routing: heterogeneous capacity tiers under
+/// the streaming engine. The weight-oblivious two-choice baseline equalises
+/// *raw* loads, overloading small backends in proportion to the skew; the
+/// weighted two-choice and capacity-threshold policies balance the
+/// **normalized** load `load_i / w_i` and must keep the max normalized load
+/// near the capacity-fair level `m/W` regardless of the tier mix. The last
+/// column cross-checks the one-shot side: the weighted asymmetric superbin
+/// algorithm's normalized excess stays `O(1)` on the same tier mix.
+pub fn e13_weighted_routing(quick: bool) -> Table {
+    let (n, ratio, n_seeds): (usize, u64, u64) = if quick { (128, 64, 2) } else { (512, 256, 5) };
+    let m = n as u64 * ratio;
+    // Tier mixes over a fixed n (multiples of 16), from identical bins to an
+    // 8:4:2:1 capacity pyramid.
+    let mixes: Vec<(&str, Vec<(usize, u32)>)> = {
+        let mut mixes = vec![
+            ("uniform", vec![(n, 0)]),
+            ("2:1", vec![(n / 4, 1), (3 * n / 4, 0)]),
+            ("4:2:1", vec![(n / 8, 2), (n / 4, 1), (5 * n / 8, 0)]),
+        ];
+        if !quick {
+            mixes.push((
+                "8:4:2:1",
+                vec![(n / 16, 3), (n / 8, 2), (n / 4, 1), (9 * n / 16, 0)],
+            ));
+        }
+        mixes
+    };
+    let mut table = Table::with_alignments(
+        "E13: weighted multi-backend routing — max normalized load vs capacity skew",
+        &[
+            ("n", Align::Right),
+            ("tiers", Align::Left),
+            ("W/n", Align::Right),
+            ("fair m/W", Align::Right),
+            ("oblivious two-choice", Align::Right),
+            ("weighted two-choice", Align::Right),
+            ("capacity-threshold", Align::Right),
+            ("weighted/oblivious", Align::Right),
+            ("asym norm excess", Align::Right),
+        ],
+    );
+    for (label, tiers) in mixes {
+        let weights = BinWeights::power_of_two_tiers(&tiers);
+        let total_weight: f64 = weights.to_vec(n).iter().sum();
+        let fair = m as f64 / total_weight;
+        let mut agg = SeedAggregate::new();
+        for seed in 0..n_seeds {
+            for (policy, key) in [
+                (Policy::TwoChoice, "oblivious"),
+                (Policy::WeightedTwoChoice, "weighted"),
+                (Policy::CapacityThreshold { d: 2, slack: 2 }, "capacity"),
+            ] {
+                let mut stream = StreamAllocator::new(
+                    StreamConfig::new(n)
+                        .policy(policy)
+                        .batch_size(n)
+                        .seed(seed)
+                        .weights(weights.clone()),
+                );
+                let mut keys = pba_model::rng::SplitMix64::for_stream(seed, 0xe13, 0);
+                for _ in 0..m {
+                    stream.push(keys.next_u64());
+                }
+                stream.flush();
+                agg.record(key, stream.max_normalized_load());
+            }
+            let asym = WeightedAsymmetricAllocator::from_weights(&weights, n);
+            let (out, _) = asym.allocate_traced(m, seed);
+            debug_assert!(out.is_complete(m));
+            agg.record("asym_excess", asym.normalized_excess(&out, m));
+        }
+        let (oblivious, weighted) = (agg.mean("oblivious"), agg.mean("weighted"));
+        table.push_row([
+            Cell::from(n),
+            Cell::from(label),
+            Cell::from(total_weight / n as f64),
+            Cell::from(fair),
+            Cell::from(oblivious),
+            Cell::from(weighted),
+            Cell::from(agg.mean("capacity")),
+            Cell::from(weighted / oblivious),
+            Cell::from(agg.mean("asym_excess")),
+        ]);
+    }
+    table
+}
+
+/// Runs every experiment and returns all tables in order (E1 … E13).
 pub fn all_experiments(quick: bool) -> Vec<Table> {
     let mut tables = vec![
         e1_heavy_load_and_rounds(quick),
@@ -775,6 +910,7 @@ pub fn all_experiments(quick: bool) -> Vec<Table> {
     tables.push(e10_stream_batch_sweep(quick));
     tables.push(e11_stream_skew_sweep(quick));
     tables.push(e12_stream_churn(quick));
+    tables.push(e13_weighted_routing(quick));
     tables
 }
 
@@ -841,13 +977,58 @@ mod tests {
     #[test]
     fn e10_quick_two_choice_beats_one_choice_at_every_batch_size() {
         let t = e10_stream_batch_sweep(true);
-        assert_eq!(t.n_rows(), 3);
+        assert_eq!(t.n_rows(), 4);
         for row in t.rows() {
             let two: f64 = row[4].0.parse().unwrap();
             let one: f64 = row[6].0.parse().unwrap();
             assert!(
                 two < one,
                 "two-choice gap {two} should beat one-choice {one}"
+            );
+        }
+    }
+
+    #[test]
+    fn e10_quick_theta_b_over_n_fit_passes() {
+        let t = e10_stream_batch_sweep(true);
+        // The verdict appears exactly on the staleness-dominated rows
+        // (b/n ≥ 4: three of the four quick rows, a genuine 3-point fit)
+        // and must pass there; the b/n = 1 row carries no verdict.
+        let verdicts: Vec<&str> = t
+            .rows()
+            .iter()
+            .map(|row| row[8].0.as_str())
+            .filter(|fit| !fit.is_empty())
+            .collect();
+        assert_eq!(verdicts.len(), 3, "fit should annotate the b/n ≥ 4 rows");
+        for fit in verdicts {
+            assert!(
+                fit.ends_with("ok"),
+                "Los–Sauerwald Θ(b/n) fit failed: {fit}"
+            );
+        }
+    }
+
+    #[test]
+    fn e13_quick_weighted_beats_oblivious_under_skew() {
+        let t = e13_weighted_routing(true);
+        assert_eq!(t.n_rows(), 3);
+        for row in t.rows() {
+            let tiers = &row[1].0;
+            let ratio: f64 = row[7].0.parse().unwrap();
+            if tiers == "uniform" {
+                // The strict no-op: identical engines, ratio exactly 1.
+                assert!((ratio - 1.0).abs() < 1e-9, "uniform ratio {ratio}");
+            } else {
+                assert!(
+                    ratio < 0.9,
+                    "weighted two-choice should beat oblivious on {tiers}: ratio {ratio}"
+                );
+            }
+            let asym_excess: f64 = row[8].0.parse().unwrap();
+            assert!(
+                asym_excess.abs() <= 16.0,
+                "asymmetric normalized excess {asym_excess} too large on {tiers}"
             );
         }
     }

@@ -5,7 +5,7 @@ use pba_stats::Table;
 /// Per-experiment commentary: what the paper predicts and what to look for in
 /// the measured rows. Indexed by experiment prefix (e.g. "E1").
 fn commentary(title: &str) -> &'static str {
-    // E10–E12 must be matched before the bare "E1" prefix.
+    // E10–E13 must be matched before the bare "E1" prefix.
     if title.starts_with("E10") {
         "Batched-model prediction (Los–Sauerwald 2022): with batch size b ≥ n the two-choice gap \
          grows like Θ(b/n) — graceful degradation with staleness — and stays far below the \
@@ -23,6 +23,15 @@ fn commentary(title: &str) -> &'static str {
          stabilises near the warm-up intake and the online gap stays bounded over the whole run \
          instead of growing with total arrivals; two-choice holds a smaller steady-state gap than \
          one-choice."
+    } else if title.starts_with("E13") {
+        "Heterogeneous backends (Los–Sauerwald weighted setting + the asymmetric superbin idea): \
+         a weight-oblivious router equalises raw loads, so its max *normalized* load grows with \
+         the capacity skew (the small tier saturates first). Weighted two-choice — candidates \
+         sampled ∝ weight, normalized loads compared — and the capacity-aware threshold hold the \
+         max normalized load near the capacity-fair level m/W at every tier mix; the \
+         weighted/oblivious ratio is exactly 1.00 on the uniform row (the strict no-op invariant) \
+         and drops as skew grows. The weighted asymmetric algorithm keeps its O(1) normalized \
+         excess on the same mixes — the constant-round guarantee survives heterogeneity."
     } else if title.starts_with("E1") {
         "Paper prediction (Theorems 1/6): maximal load m/n + O(1) — the excess column must stay a \
          small constant across the whole sweep — and round count O(log log(m/n) + log* n), so the \
@@ -125,6 +134,7 @@ mod tests {
         assert!(commentary("E10: stream").contains("Los–Sauerwald"));
         assert!(commentary("E11: skew").contains("Zipfian"));
         assert!(commentary("E12: churn").contains("departures"));
+        assert!(commentary("E13: weighted").contains("normalized"));
         assert!(commentary("E1: heavy").contains("Theorems 1/6"));
     }
 
@@ -132,7 +142,7 @@ mod tests {
     fn every_known_experiment_has_commentary() {
         for prefix in [
             "E1", "E2", "E3", "E4a", "E4b", "E5", "E6", "E7", "E8a", "E8b", "E9a", "E9b", "E10",
-            "E11", "E12",
+            "E11", "E12", "E13",
         ] {
             assert!(
                 !commentary(&format!("{prefix}: x")).is_empty(),
