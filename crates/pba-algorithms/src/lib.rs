@@ -34,7 +34,10 @@
 //!   (bit-identical to [`asymmetric`] when every capacity is 1).
 //!
 //! All algorithms implement [`pba_model::Allocator`] and can be driven uniformly
-//! by the workload runner, the examples and the benches.
+//! by the workload runner, the examples and the benches — and, lifted through
+//! [`pba_model::OneShotRouter`], they also serve the unified
+//! [`pba_model::Router`] interface, so a caller can swap `A_heavy` for the
+//! streaming engine (or vice versa) behind `&mut dyn Router`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -58,3 +61,32 @@ pub use threshold::ScheduledThresholdProtocol;
 pub use trivial::TrivialAllocator;
 pub use virtual_bins::VirtualBinMap;
 pub use weighted_asymmetric::{WeightedAsymmetricAllocator, WeightedAsymmetricTrace};
+
+#[cfg(test)]
+mod router_tests {
+    use super::*;
+    use pba_model::{OneShotRouter, Router};
+
+    #[test]
+    fn paper_algorithms_serve_the_router_interface() {
+        // Every paper algorithm, behind one `dyn Router`: routing all m
+        // placements reproduces its allocate() loads exactly.
+        let m = 1u64 << 12;
+        let n = 1usize << 6;
+        let algorithms: Vec<Box<dyn pba_model::Allocator>> = vec![
+            Box::new(HeavyAllocator::default()),
+            Box::new(AsymmetricAllocator::default()),
+            Box::new(TrivialAllocator),
+        ];
+        for algorithm in algorithms {
+            let reference = algorithm.allocate(m, n, 3);
+            let mut adapter = OneShotRouter::new(&algorithm, m, n, 3);
+            let router: &mut dyn Router = &mut adapter;
+            for key in 0..m {
+                router.route(key).expect("within capacity");
+            }
+            assert_eq!(router.loads(), reference.loads, "{}", algorithm.name());
+            assert_eq!(router.stats().resident, m);
+        }
+    }
+}

@@ -77,4 +77,29 @@ mod tests {
             "duplicate baseline names: {names:?}"
         );
     }
+
+    #[test]
+    fn baselines_serve_the_router_interface() {
+        use pba_model::{OneShotRouter, Router};
+        // A partially consumed baseline router reports consistent stats and
+        // stays balanced (the adapter deals placements round-robin).
+        let m = 1u64 << 10;
+        let n = 32usize;
+        let mut router = OneShotRouter::new(GreedyDAllocator::new(2), m, n, 5);
+        for key in 0..(m / 2) {
+            router.route(key).unwrap();
+        }
+        let stats = router.stats();
+        assert_eq!(stats.routed, m / 2);
+        assert_eq!(stats.resident, m / 2);
+        let loads = router.loads();
+        let (min, max) = (
+            loads.iter().copied().min().unwrap(),
+            loads.iter().copied().max().unwrap(),
+        );
+        assert!(
+            max - min <= 2,
+            "round-robin prefix should stay balanced: min {min}, max {max}"
+        );
+    }
 }

@@ -1,0 +1,7 @@
+//! E14 — runtime reweighting: gap recovery after a mid-stream capacity change.
+fn main() {
+    let opts = pba_bench::ExpOptions::from_env();
+    opts.print_all(&[pba_workloads::experiments::e14_runtime_reweighting(
+        !opts.full,
+    )]);
+}

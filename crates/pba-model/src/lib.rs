@@ -35,6 +35,10 @@
 //! * [`weights`] — heterogeneous bin weights ([`BinWeights`]:
 //!   uniform / explicit / power-of-two tiers), alias-table weighted sampling, and
 //!   the normalized-load helpers used by the weighted routing policies.
+//! * [`router`] — the unified service-shaped [`Router`] interface
+//!   (`route(key) → Placement`, handle-based `release(Ticket)`, typed
+//!   [`RouteError`], pluggable [`RouterObserver`] hooks) shared by the
+//!   streaming engine and, via [`OneShotRouter`], every one-shot allocator.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -45,6 +49,7 @@ pub mod metrics;
 pub mod outcome;
 pub mod protocol;
 pub mod rng;
+pub mod router;
 pub mod sampling;
 pub mod weights;
 
@@ -54,4 +59,8 @@ pub use metrics::{MessageTotals, RoundRecord};
 pub use outcome::{AllocationOutcome, Allocator};
 pub use protocol::{Protocol, RoundCtx};
 pub use rng::SplitMix64;
+pub use router::{
+    BatchEvent, OneShotRouter, Placement, ReleaseEvent, ReweightEvent, RouteError, Router,
+    RouterObserver, RouterStats, Ticket, TicketLedger,
+};
 pub use weights::{AliasTable, BinWeights, ResolvedWeights, WeightTier};

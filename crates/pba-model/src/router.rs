@@ -1,0 +1,612 @@
+//! The unified **`Router`** API: handle-based routing over any allocation
+//! engine in the workspace.
+//!
+//! The workspace grew two disjoint user-facing surfaces: the one-shot
+//! [`Allocator`] family (`allocate(m, n, seed)` → final loads) and the
+//! streaming `StreamAllocator` (`push` / `drain` / `depart`). A service-shaped
+//! caller — a load balancer routing requests onto backends — wants neither: it
+//! wants to **route one key now**, hold a **handle** for the placement, and
+//! later **release** that handle when the connection closes. This module is
+//! that interface:
+//!
+//! * [`Router`] — `route(key) → Placement`, `release(Ticket)`, `loads()`,
+//!   `stats()`; object-safe, so experiments and examples can drive any engine
+//!   through `&mut dyn Router`.
+//! * [`Ticket`] / [`Placement`] — the handle a `route` call returns. Departures
+//!   go through `release(ticket)` instead of a raw bin index, which lets an
+//!   engine validate them (double release, foreign tickets) and lets scenario
+//!   drivers express churn policies in terms of *which resident ball* leaves.
+//! * [`RouteError`] — the typed error surface of both operations.
+//! * [`RouterObserver`] — pluggable per-boundary hooks (`on_batch`,
+//!   `on_reweight`, `on_release`) so metrics become sinks wired into the drain
+//!   loop instead of ad-hoc polling.
+//! * [`TicketLedger`] — the shared resident-ball table (ball id ↔ bin with
+//!   per-bin occupancy lists) used by every `Router` implementation.
+//! * [`OneShotRouter`] — the adapter that lifts any one-shot [`Allocator`]
+//!   into the `Router` interface by precomputing its allocation and handing
+//!   out the placements one `route` call at a time.
+//!
+//! The streaming implementation lives in the `pba-stream` crate
+//! (`StreamAllocator` implements `Router` natively); this module holds the
+//! engine-independent vocabulary.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::outcome::Allocator;
+use crate::weights::ResolvedWeights;
+
+/// Source of unique [`TicketLedger`] realm ids (0 is reserved for manually
+/// constructed tickets, so a hand-made ticket can never match a ledger).
+static NEXT_REALM: AtomicU64 = AtomicU64::new(1);
+
+/// A handle for one routed (resident) ball: the ball's id within its router,
+/// the bin it was placed into, and the issuing router's **realm** — a
+/// process-unique ledger id. Tickets are issued by [`Router::route`] and
+/// consumed by [`Router::release`]; routers validate all three parts, so a
+/// forged, double-released or foreign ticket (one issued by a *different*
+/// router, even with a colliding id and bin) fails with
+/// [`RouteError::UnknownTicket`] instead of corrupting loads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Ticket {
+    id: u64,
+    bin: u32,
+    realm: u64,
+}
+
+impl Ticket {
+    /// Assembles a ticket with the reserved realm `0`. Routers hand out
+    /// tickets themselves; a manually constructed ticket never names a live
+    /// placement and every `release` rejects it — useful only for tests.
+    pub fn new(id: u64, bin: u32) -> Self {
+        Self { id, bin, realm: 0 }
+    }
+
+    /// The ball id, unique within the issuing router.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// The bin the ball resides in.
+    pub fn bin(&self) -> usize {
+        self.bin as usize
+    }
+}
+
+/// The result of routing one key: the chosen bin plus the ticket to release
+/// the placement later.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Placement {
+    /// Handle for the resident ball (pass to [`Router::release`]).
+    pub ticket: Ticket,
+    /// The bin the ball was placed into (same as `ticket.bin()`).
+    pub bin: usize,
+}
+
+/// Typed errors of the [`Router`] surface.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RouteError {
+    /// A one-shot engine ran out of precomputed placements: it was built for a
+    /// fixed number of balls and every one of them has been routed.
+    Exhausted {
+        /// The ball capacity the engine was built for.
+        capacity: u64,
+    },
+    /// The released ticket does not name a resident ball — it was already
+    /// released, belongs to another router, or was forged.
+    UnknownTicket {
+        /// The offending ticket.
+        ticket: Ticket,
+    },
+}
+
+impl std::fmt::Display for RouteError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Exhausted { capacity } => {
+                write!(f, "router exhausted: all {capacity} placements routed")
+            }
+            Self::UnknownTicket { ticket } => write!(
+                f,
+                "unknown ticket (ball {} / bin {}): already released or foreign",
+                ticket.id(),
+                ticket.bin()
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RouteError {}
+
+/// Aggregate counters every router reports through [`Router::stats`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RouterStats {
+    /// Balls routed (tickets issued) over the router's lifetime.
+    pub routed: u64,
+    /// Tickets released.
+    pub released: u64,
+    /// Balls currently resident (`routed − released` for pure-router use;
+    /// streaming engines may also count balls placed through the batch API).
+    pub resident: u64,
+    /// Number of bins.
+    pub bins: usize,
+    /// Load-information refreshes: batch boundaries for a streaming engine,
+    /// `1` for a one-shot engine (its information is always final).
+    pub batches: u64,
+    /// Current gap of the fresh loads (`max − mean`, weighted where the engine
+    /// carries non-uniform weights).
+    pub gap: f64,
+}
+
+/// A keyed routing engine with handle-based departures — the one interface the
+/// one-shot and streaming engines share. Object-safe: drive any engine as
+/// `&mut dyn Router`.
+pub trait Router {
+    /// Routes one key: places a ball and returns its [`Placement`].
+    fn route(&mut self, key: u64) -> Result<Placement, RouteError>;
+
+    /// Releases a previously issued ticket (the ball departs its bin).
+    fn release(&mut self, ticket: Ticket) -> Result<(), RouteError>;
+
+    /// Current per-bin loads.
+    fn loads(&self) -> Vec<u32>;
+
+    /// Aggregate routing statistics.
+    fn stats(&self) -> RouterStats;
+}
+
+/// One batch boundary: the load snapshot just advanced after `batch_len`
+/// placements. Fired by streaming engines after every drained batch.
+#[derive(Debug, Clone, Copy)]
+pub struct BatchEvent<'a> {
+    /// 1-based index of the batch that just completed.
+    pub batch_index: u64,
+    /// Balls placed by this batch.
+    pub batch_len: usize,
+    /// The fresh loads at the boundary (also the next stale snapshot).
+    pub loads: &'a [u32],
+    /// The (weighted) gap of `loads`.
+    pub gap: f64,
+    /// Balls resident after the batch.
+    pub resident: u64,
+}
+
+/// A runtime reweighting taking effect: fired at the batch boundary where the
+/// new weights replace the old ones (see `StreamAllocator::set_weights`).
+#[derive(Debug, Clone, Copy)]
+pub struct ReweightEvent<'a> {
+    /// Batches completed before the new weights take effect.
+    pub batch_index: u64,
+    /// The loads the new weights inherit.
+    pub loads: &'a [u32],
+    /// The newly resolved weights (`None` = the engine is now uniform).
+    pub weights: Option<&'a ResolvedWeights>,
+    /// Balls resident at the boundary.
+    pub resident: u64,
+}
+
+/// A ticket release (departure).
+#[derive(Debug, Clone, Copy)]
+pub struct ReleaseEvent {
+    /// The released ticket.
+    pub ticket: Ticket,
+    /// The bin's load after the departure.
+    pub load_after: u32,
+    /// Balls resident after the departure.
+    pub resident: u64,
+}
+
+/// Pluggable metrics sink for router lifecycles. All hooks default to no-ops,
+/// so an observer implements only what it cares about. Streaming engines call
+/// `on_batch` once per drained batch (the natural sampling boundary of the
+/// batched model — within a batch loads are stale anyway), `on_reweight` when
+/// a [`set_weights`](crate::weights::BinWeights) change takes effect, and
+/// `on_release` per departure.
+pub trait RouterObserver {
+    /// A batch finished and the load snapshot advanced.
+    fn on_batch(&mut self, _event: &BatchEvent<'_>) {}
+
+    /// New bin weights took effect at a batch boundary.
+    fn on_reweight(&mut self, _event: &ReweightEvent<'_>) {}
+
+    /// A resident ball departed through [`Router::release`].
+    fn on_release(&mut self, _event: &ReleaseEvent) {}
+}
+
+/// The resident-ball table behind handle-based routing: ball id → bin with a
+/// per-bin occupancy list, O(1) insert and release (swap-remove), and per-bin
+/// sampling hooks for churn drivers (release the most recent resident of a
+/// chosen bin). Every ledger carries a process-unique **realm** id stamped
+/// into the tickets it issues, so a ticket from one router can never redeem
+/// against another even when ball ids and bins collide.
+#[derive(Debug)]
+pub struct TicketLedger {
+    /// This ledger's process-unique realm id.
+    realm: u64,
+    /// Resident ball ids per bin (unordered; swap-removed on release).
+    by_bin: Vec<Vec<u64>>,
+    /// Ball id → (bin, index into `by_bin[bin]`).
+    position: HashMap<u64, (u32, u32)>,
+}
+
+impl TicketLedger {
+    /// An empty ledger over `n` bins with a fresh realm.
+    pub fn new(n: usize) -> Self {
+        Self {
+            realm: NEXT_REALM.fetch_add(1, Ordering::Relaxed),
+            by_bin: vec![Vec::new(); n],
+            position: HashMap::new(),
+        }
+    }
+
+    /// Records a placement and returns its ticket (stamped with this
+    /// ledger's realm).
+    pub fn issue(&mut self, id: u64, bin: usize) -> Ticket {
+        let slot = self.by_bin[bin].len() as u32;
+        self.by_bin[bin].push(id);
+        let previous = self.position.insert(id, (bin as u32, slot));
+        debug_assert!(previous.is_none(), "ball id {id} issued twice");
+        Ticket {
+            id,
+            bin: bin as u32,
+            realm: self.realm,
+        }
+    }
+
+    /// Validates and removes a ticket, returning the bin it resided in. The
+    /// realm, ball id and bin must all match a resident placement.
+    pub fn redeem(&mut self, ticket: Ticket) -> Result<usize, RouteError> {
+        if ticket.realm != self.realm {
+            return Err(RouteError::UnknownTicket { ticket });
+        }
+        match self.position.get(&ticket.id()) {
+            Some(&(bin, slot)) if bin as usize == ticket.bin() => {
+                self.position.remove(&ticket.id());
+                let list = &mut self.by_bin[bin as usize];
+                list.swap_remove(slot as usize);
+                // The swap moved the former tail into `slot`; re-point it.
+                if let Some(&moved) = list.get(slot as usize) {
+                    self.position.insert(moved, (bin, slot));
+                }
+                Ok(bin as usize)
+            }
+            _ => Err(RouteError::UnknownTicket { ticket }),
+        }
+    }
+
+    /// Number of resident (unreleased) tickets.
+    pub fn len(&self) -> usize {
+        self.position.len()
+    }
+
+    /// True when no tickets are resident.
+    pub fn is_empty(&self) -> bool {
+        self.position.is_empty()
+    }
+
+    /// Resident tickets in `bin`.
+    pub fn count_in(&self, bin: usize) -> usize {
+        self.by_bin[bin].len()
+    }
+
+    /// A resident ticket of `bin`, if any — the handle churn drivers release
+    /// after choosing a bin to retire from. Deterministic given the ledger's
+    /// operation history (the current tail of the bin's occupancy list), but
+    /// **not** necessarily the most recently placed ball: releases compact the
+    /// list via swap-remove, which reorders it. Balls are exchangeable for
+    /// every load-level property, so churn semantics only need *a* resident.
+    pub fn resident_in(&self, bin: usize) -> Option<Ticket> {
+        self.by_bin[bin].last().map(|&id| Ticket {
+            id,
+            bin: bin as u32,
+            realm: self.realm,
+        })
+    }
+}
+
+/// Lifts any one-shot [`Allocator`] into the [`Router`] interface.
+///
+/// A one-shot algorithm decides the whole `(m, n, seed)` allocation at once —
+/// its random choices are internal, not keyed — so the adapter runs the
+/// allocation up front and deals the resulting placements out one
+/// [`route`](Router::route) call at a time, round-robin across the bins so a
+/// partially consumed router is still balanced. The `key` argument is ignored
+/// (documented deviation: keyed consistent hashing is the streaming engine's
+/// contract); after `m` routed balls further routes fail with
+/// [`RouteError::Exhausted`].
+///
+/// After exactly `m` `route` calls, [`Router::loads`] equals the
+/// [`Allocator::allocate`] loads bit for bit — the adapter invents nothing.
+#[derive(Debug)]
+pub struct OneShotRouter<A> {
+    allocator: A,
+    /// Ball i (in route order) → its bin.
+    placements: Vec<u32>,
+    /// Final loads of the precomputed allocation (the target of `placements`).
+    target_loads: Vec<u32>,
+    /// Live loads: grows as balls are routed, shrinks as tickets release.
+    live: Vec<u32>,
+    ledger: TicketLedger,
+    cursor: u64,
+    released: u64,
+}
+
+impl<A: Allocator> OneShotRouter<A> {
+    /// Runs `allocator` on the `(m, n, seed)` instance and wraps the outcome
+    /// as a router of exactly `m` placements.
+    pub fn new(allocator: A, m: u64, n: usize, seed: u64) -> Self {
+        assert!(n > 0, "a router needs at least one bin");
+        let outcome = allocator.allocate(m, n, seed);
+        assert!(
+            outcome.conserves_balls(m),
+            "allocator {} lost balls",
+            allocator.name()
+        );
+        // Deal the final loads out round-robin: cycle the bins, placing one
+        // ball per still-unfilled bin, so any route-call prefix is spread
+        // across the whole fleet instead of filling bin 0 first.
+        let mut remaining = outcome.loads.clone();
+        let mut placements = Vec::with_capacity(outcome.allocated() as usize);
+        let mut open = remaining.iter().filter(|&&l| l > 0).count();
+        while open > 0 {
+            for (bin, left) in remaining.iter_mut().enumerate() {
+                if *left > 0 {
+                    *left -= 1;
+                    placements.push(bin as u32);
+                    if *left == 0 {
+                        open -= 1;
+                    }
+                }
+            }
+        }
+        Self {
+            allocator,
+            placements,
+            target_loads: outcome.loads,
+            live: vec![0; n],
+            ledger: TicketLedger::new(n),
+            cursor: 0,
+            released: 0,
+        }
+    }
+
+    /// The wrapped allocator's display name.
+    pub fn name(&self) -> String {
+        self.allocator.name()
+    }
+
+    /// Total placements the router was built with.
+    pub fn capacity(&self) -> u64 {
+        self.placements.len() as u64
+    }
+
+    /// The final loads of the underlying one-shot allocation (what
+    /// [`Router::loads`] converges to after every placement is routed).
+    pub fn target_loads(&self) -> &[u32] {
+        &self.target_loads
+    }
+}
+
+impl<A: Allocator> Router for OneShotRouter<A> {
+    fn route(&mut self, _key: u64) -> Result<Placement, RouteError> {
+        let Some(&bin) = self.placements.get(self.cursor as usize) else {
+            return Err(RouteError::Exhausted {
+                capacity: self.capacity(),
+            });
+        };
+        let id = self.cursor;
+        self.cursor += 1;
+        self.live[bin as usize] += 1;
+        let ticket = self.ledger.issue(id, bin as usize);
+        Ok(Placement {
+            ticket,
+            bin: bin as usize,
+        })
+    }
+
+    fn release(&mut self, ticket: Ticket) -> Result<(), RouteError> {
+        let bin = self.ledger.redeem(ticket)?;
+        debug_assert!(self.live[bin] > 0);
+        self.live[bin] -= 1;
+        self.released += 1;
+        Ok(())
+    }
+
+    fn loads(&self) -> Vec<u32> {
+        self.live.clone()
+    }
+
+    fn stats(&self) -> RouterStats {
+        let total: u64 = self.live.iter().map(|&l| l as u64).sum();
+        let max = self.live.iter().copied().max().unwrap_or(0) as f64;
+        let gap = if self.live.is_empty() {
+            0.0
+        } else {
+            max - total as f64 / self.live.len() as f64
+        };
+        RouterStats {
+            routed: self.cursor,
+            released: self.released,
+            resident: total,
+            bins: self.live.len(),
+            batches: 1,
+            gap,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::outcome::AllocationOutcome;
+
+    /// Deterministic fake allocator: bin i gets i balls (plus remainder dumping
+    /// into the last bin) — enough structure to exercise the adapter.
+    struct Staircase;
+    impl Allocator for Staircase {
+        fn name(&self) -> String {
+            "staircase".into()
+        }
+        fn allocate(&self, m: u64, n: usize, _seed: u64) -> AllocationOutcome {
+            let mut loads = vec![0u32; n];
+            for ball in 0..m {
+                loads[(ball % n as u64) as usize] += 1;
+            }
+            AllocationOutcome {
+                loads,
+                rounds: 1,
+                ..Default::default()
+            }
+        }
+    }
+
+    #[test]
+    fn ledger_issue_redeem_roundtrip() {
+        let mut ledger = TicketLedger::new(4);
+        let t1 = ledger.issue(10, 2);
+        let t2 = ledger.issue(11, 2);
+        let t3 = ledger.issue(12, 0);
+        assert_eq!(ledger.len(), 3);
+        assert_eq!(ledger.count_in(2), 2);
+        assert_eq!(ledger.resident_in(2), Some(t2));
+        assert_eq!(ledger.resident_in(1), None);
+        // Redeeming the *older* ticket exercises the swap-remove repointing.
+        assert_eq!(ledger.redeem(t1), Ok(2));
+        assert_eq!(ledger.count_in(2), 1);
+        assert_eq!(ledger.resident_in(2), Some(t2));
+        assert_eq!(ledger.redeem(t2), Ok(2));
+        assert_eq!(ledger.redeem(t3), Ok(0));
+        assert!(ledger.is_empty());
+    }
+
+    #[test]
+    fn ledger_rejects_double_release_and_forgeries() {
+        let mut ledger = TicketLedger::new(2);
+        let t = ledger.issue(7, 1);
+        assert!(ledger.redeem(t).is_ok());
+        assert_eq!(
+            ledger.redeem(t),
+            Err(RouteError::UnknownTicket { ticket: t })
+        );
+        // A hand-made ticket carries the reserved realm 0: rejected even
+        // when its (id, bin) names a resident ball.
+        ledger.issue(8, 1);
+        let forged = Ticket::new(8, 1);
+        assert!(matches!(
+            ledger.redeem(forged),
+            Err(RouteError::UnknownTicket { .. })
+        ));
+        assert_eq!(ledger.len(), 1);
+    }
+
+    #[test]
+    fn ledger_rejects_foreign_tickets_with_colliding_ids() {
+        // Two routers number their balls identically; a ticket from one must
+        // not redeem against the other (the realm distinguishes them).
+        let mut a = TicketLedger::new(4);
+        let mut b = TicketLedger::new(4);
+        let from_a = a.issue(0, 2);
+        let from_b = b.issue(0, 2);
+        assert_eq!(from_a.id(), from_b.id());
+        assert_eq!(from_a.bin(), from_b.bin());
+        assert_ne!(from_a, from_b, "realms differ");
+        assert!(matches!(
+            b.redeem(from_a),
+            Err(RouteError::UnknownTicket { .. })
+        ));
+        assert_eq!(b.len(), 1, "foreign redeem must not remove anything");
+        assert!(b.redeem(from_b).is_ok());
+        assert!(a.redeem(from_a).is_ok());
+    }
+
+    #[test]
+    fn one_shot_router_reproduces_allocate_loads_exactly() {
+        let m = 103u64;
+        let n = 8usize;
+        let reference = Staircase.allocate(m, n, 0);
+        let mut router = OneShotRouter::new(Staircase, m, n, 0);
+        for key in 0..m {
+            router.route(key).expect("within capacity");
+        }
+        assert_eq!(router.loads(), reference.loads);
+        assert_eq!(router.target_loads(), reference.loads.as_slice());
+        let err = router.route(0).unwrap_err();
+        assert_eq!(err, RouteError::Exhausted { capacity: m });
+        assert!(err.to_string().contains("exhausted"));
+    }
+
+    #[test]
+    fn one_shot_router_prefix_is_round_robin_balanced() {
+        let n = 8usize;
+        let mut router = OneShotRouter::new(Staircase, 64, n, 0);
+        for key in 0..n as u64 {
+            router.route(key).unwrap();
+        }
+        // One full round-robin pass touches every bin once.
+        assert_eq!(router.loads(), vec![1; n]);
+    }
+
+    #[test]
+    fn one_shot_router_release_updates_loads_and_stats() {
+        let mut router = OneShotRouter::new(Staircase, 16, 4, 0);
+        let mut tickets = Vec::new();
+        for key in 0..16u64 {
+            tickets.push(router.route(key).unwrap().ticket);
+        }
+        let stats = router.stats();
+        assert_eq!(stats.routed, 16);
+        assert_eq!(stats.resident, 16);
+        assert_eq!(stats.batches, 1);
+        for t in tickets.drain(..) {
+            router.release(t).unwrap();
+        }
+        assert_eq!(router.loads(), vec![0; 4]);
+        let stats = router.stats();
+        assert_eq!(stats.released, 16);
+        assert_eq!(stats.resident, 0);
+        assert_eq!(stats.gap, 0.0);
+    }
+
+    #[test]
+    fn router_is_object_safe() {
+        let mut router = OneShotRouter::new(Staircase, 4, 2, 0);
+        let dynamic: &mut dyn Router = &mut router;
+        let placement = dynamic.route(1).unwrap();
+        assert_eq!(placement.bin, placement.ticket.bin());
+        dynamic.release(placement.ticket).unwrap();
+        assert_eq!(dynamic.stats().resident, 0);
+    }
+
+    #[test]
+    fn observer_hooks_default_to_noops() {
+        struct Silent;
+        impl RouterObserver for Silent {}
+        let mut obs = Silent;
+        obs.on_batch(&BatchEvent {
+            batch_index: 1,
+            batch_len: 4,
+            loads: &[1, 1, 1, 1],
+            gap: 0.0,
+            resident: 4,
+        });
+        obs.on_reweight(&ReweightEvent {
+            batch_index: 1,
+            loads: &[1, 1, 1, 1],
+            weights: None,
+            resident: 4,
+        });
+        obs.on_release(&ReleaseEvent {
+            ticket: Ticket::new(0, 0),
+            load_after: 0,
+            resident: 3,
+        });
+    }
+
+    #[test]
+    fn route_error_display_is_informative() {
+        let t = Ticket::new(3, 1);
+        let msg = RouteError::UnknownTicket { ticket: t }.to_string();
+        assert!(msg.contains("ball 3"));
+        assert!(msg.contains("bin 1"));
+    }
+}

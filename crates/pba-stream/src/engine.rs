@@ -9,17 +9,50 @@
 //! sharded and parallel without changing a single placement relative to the
 //! sequential drain.
 //!
-//! Gap tracking is online: after each batch the allocator records
-//! `max load − mean load` into a trajectory and a streaming
-//! [`OnlineStats`] accumulator. With non-uniform [`BinWeights`] the recorded
-//! gap is the **weighted** gap `max_i(load_i/w_i) − (Σ load)/W` — the
-//! normalized-load form that coincides with the classic gap when all weights
-//! are equal, so uniform configurations remain bit-identical.
+//! Gap tracking is online: after each batch the allocator fires a
+//! [`BatchEvent`] through the observer chain; the default
+//! [`GapTrajectoryObserver`] records `max load − mean load` into a trajectory
+//! and a streaming [`OnlineStats`] accumulator. With
+//! non-uniform [`BinWeights`] the recorded gap is the **weighted** gap
+//! `max_i(load_i/w_i) − (Σ load)/W` — the normalized-load form that coincides
+//! with the classic gap when all weights are equal, so uniform configurations
+//! remain bit-identical.
+//!
+//! ## The router surface
+//!
+//! Besides the batch API (`push` / `drain_ready` / `flush`), the engine
+//! implements [`Router`] natively: [`StreamAllocator::route`] places one ball
+//! *synchronously* against the current stale snapshot and returns a
+//! [`Placement`] whose [`Ticket`] later releases the ball through
+//! [`StreamAllocator::release`]. Because every placement of a batch is a pure
+//! function of `(stale snapshot, key)`, routing balls one at a time and
+//! advancing the snapshot every `batch_size` placements produces **bit
+//! identical** loads, gap trajectories and shard stats to buffering the same
+//! keys and draining them in batches — the batched model does not care who
+//! holds the buffer. (One caveat: the threshold policies project a *full*
+//! batch when routing, since a router cannot know how many requests a batch
+//! will eventually have; push-mode partial flushes use the true batch length.
+//! Full batches are identical either way.)
+//!
+//! Runtime reweighting ([`StreamAllocator::set_weights`]) takes effect at the
+//! next batch boundary: the in-flight batch finishes under the old weights,
+//! then the alias table, capacity thresholds and gap measure are rebuilt, and
+//! every subsequent drain is bit-identical to a fresh engine constructed with
+//! the new weights over the same resident loads (see
+//! [`StreamAllocator::with_resident_loads`]).
 
+use std::fmt;
+use std::sync::{Arc, Mutex};
+
+use pba_model::router::{
+    BatchEvent, Placement, ReleaseEvent, ReweightEvent, RouteError, Router, RouterObserver,
+    RouterStats, Ticket, TicketLedger,
+};
 use pba_model::weights::{normalized_loads, weighted_gap, BinWeights, ResolvedWeights};
 use pba_stats::{quantiles_of, LoadMetrics, OnlineStats};
 use rayon::prelude::*;
 
+use crate::observer::GapTrajectoryObserver;
 use crate::policy::{choose_bin, ChoiceCtx, Policy};
 use crate::shard::{ShardStats, ShardedBins};
 
@@ -151,6 +184,38 @@ pub struct StreamSnapshot {
     pub max_normalized_load: f64,
 }
 
+/// External observers, shared handles so callers keep access to their sinks
+/// while the engine notifies them. Interior mutability (one lock per event,
+/// only at batch boundaries / departures) keeps the hot path lock-free.
+#[derive(Default)]
+struct Observers(Vec<Arc<Mutex<dyn RouterObserver + Send>>>);
+
+impl Observers {
+    fn notify_batch(&self, event: &BatchEvent<'_>) {
+        for obs in &self.0 {
+            obs.lock().expect("observer lock").on_batch(event);
+        }
+    }
+
+    fn notify_reweight(&self, event: &ReweightEvent<'_>) {
+        for obs in &self.0 {
+            obs.lock().expect("observer lock").on_reweight(event);
+        }
+    }
+
+    fn notify_release(&self, event: &ReleaseEvent) {
+        for obs in &self.0 {
+            obs.lock().expect("observer lock").on_release(event);
+        }
+    }
+}
+
+impl fmt::Debug for Observers {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Observers({})", self.0.len())
+    }
+}
+
 /// Online, sharded, batched streaming allocator.
 #[derive(Debug)]
 pub struct StreamAllocator {
@@ -164,20 +229,43 @@ pub struct StreamAllocator {
     placed: u64,
     departed: u64,
     batches: u64,
-    gap_trajectory: Vec<f64>,
-    gap_stats: OnlineStats,
+    /// The default observer: per-batch gap trajectory + streaming stats.
+    gap: GapTrajectoryObserver,
+    /// External observer sinks, notified after the default observer.
+    observers: Observers,
+    /// Resident-ball table for handle-based routing: only balls placed via
+    /// [`StreamAllocator::route`] are ticketed; `push`ed balls are anonymous.
+    tickets: TicketLedger,
+    /// Balls routed (tickets issued).
+    routed: u64,
+    /// Tickets released (a subset of `departed`).
+    released: u64,
+    /// Balls routed since the last batch boundary (the open routed batch).
+    open_batch: usize,
+    /// Weights staged by [`StreamAllocator::set_weights`], applied at the
+    /// next batch boundary.
+    pending_weights: Option<BinWeights>,
     /// Scratch: chosen bin per ball of the batch being drained (reused).
     chosen_scratch: Vec<u32>,
     /// Scratch: placements grouped by shard for the parallel apply (reused).
     by_shard: Vec<Vec<u32>>,
     /// The shard indices `0..shards`, kept as a slice for `par_iter`.
     shard_ids: Vec<usize>,
-    /// Non-uniform weights resolved once at construction; `None` keeps every
-    /// hot path on the exact unweighted code (the strict no-op invariant).
+    /// Non-uniform weights resolved once at construction (and re-resolved at
+    /// reweighting boundaries); `None` keeps every hot path on the exact
+    /// unweighted code (the strict no-op invariant).
     resolved: Option<ResolvedWeights>,
     /// Scratch: per-bin capacity thresholds of the batch being drained (only
     /// filled for [`Policy::CapacityThreshold`] on non-uniform weights).
     capacity_scratch: Vec<u32>,
+    /// The flat threshold of the open routed batch (projected full batch).
+    route_threshold: u32,
+    /// Per-bin capacity thresholds of the open routed batch (kept separate
+    /// from `capacity_scratch` so interleaved `drain_ready` calls cannot
+    /// clobber an open batch's thresholds).
+    route_capacity: Vec<u32>,
+    /// Scratch: candidate bins of a single `route` call (reused).
+    route_candidates: Vec<u32>,
 }
 
 impl StreamAllocator {
@@ -207,15 +295,59 @@ impl StreamAllocator {
             placed: 0,
             departed: 0,
             batches: 0,
-            gap_trajectory: Vec::new(),
-            gap_stats: OnlineStats::new(),
+            gap: GapTrajectoryObserver::new(config.trajectory_cap),
+            observers: Observers::default(),
+            tickets: TicketLedger::new(config.bins),
+            routed: 0,
+            released: 0,
+            open_batch: 0,
+            pending_weights: None,
             chosen_scratch: Vec::new(),
             by_shard: vec![Vec::new(); shard_count],
             shard_ids: (0..shard_count).collect(),
             resolved,
             capacity_scratch: Vec::new(),
+            route_threshold: 0,
+            route_capacity: Vec::new(),
+            route_candidates: Vec::new(),
             config,
         }
+    }
+
+    /// Creates a stream whose bins already hold `loads` **anonymous** resident
+    /// balls (no tickets), with the stale snapshot advanced to match — i.e.
+    /// the state an engine reaches at a batch boundary with those loads. This
+    /// is the reference constructor of the reweighting equivalence property:
+    /// after [`StreamAllocator::set_weights`] takes effect, the suffix of
+    /// drains is bit-identical to a fresh engine built here with the new
+    /// weights and the loads at the reweighting boundary.
+    pub fn with_resident_loads(config: StreamConfig, loads: &[u32]) -> Self {
+        let mut stream = Self::new(config);
+        assert_eq!(
+            loads.len(),
+            stream.config.bins,
+            "resident loads describe {} bins but the stream has {}",
+            loads.len(),
+            stream.config.bins
+        );
+        for (bin, &load) in loads.iter().enumerate() {
+            for _ in 0..load {
+                stream.bins.place_unrecorded(bin);
+            }
+        }
+        // Fold the seeded balls into the shard bookkeeping so stats stay
+        // consistent with an engine that placed them one by one.
+        for s in 0..stream.bins.shard_count() {
+            let range = stream.bins.shard_start(s)..stream.bins.shard_start(s + 1);
+            let accepted: u64 = loads[range.clone()].iter().map(|&l| l as u64).sum();
+            let peak = loads[range].iter().copied().max().unwrap_or(0);
+            stream.bins.record_batch(s, accepted, peak);
+        }
+        let total = stream.bins.total();
+        stream.placed = total;
+        stream.arrived = total;
+        stream.stale = stream.bins.snapshot();
+        stream
     }
 
     /// The configuration this stream runs with.
@@ -240,10 +372,12 @@ impl StreamAllocator {
         self.drain_buffered(false)
     }
 
-    /// Drains everything that is buffered, including a final partial batch.
-    /// Returns the number of batches drained.
+    /// Drains everything that is buffered, including a final partial batch,
+    /// and closes a partially filled routed batch (so its boundary is
+    /// recorded). Returns the number of batch boundaries produced.
     pub fn flush(&mut self) -> usize {
-        self.drain_buffered(true)
+        let closed = self.close_open_batch() as usize;
+        closed + self.drain_buffered(true)
     }
 
     /// Drains the buffer in `batch_size` windows without copying balls out:
@@ -272,6 +406,15 @@ impl StreamAllocator {
     /// Removes one resident ball from `bin` (a departure / connection close).
     /// Returns `false` when the bin is empty. Departures take effect on
     /// policies at the next batch boundary, like every other load change.
+    ///
+    /// Deprecated: raw-bin departures cannot say *which* ball leaves, cannot
+    /// be validated, and cannot express churn policies over resident balls.
+    /// Route balls with [`StreamAllocator::route`] and retire them with
+    /// [`StreamAllocator::release`] instead. Kept as a shim for anonymous
+    /// (`push`-placed) balls; never mix it with ticketed routing on the same
+    /// bins, or release validation may observe bins drained from under the
+    /// ledger.
+    #[deprecated(since = "0.1.0", note = "use route()/release(Ticket) instead")]
     pub fn depart(&mut self, bin: usize) -> bool {
         let ok = self.bins.depart(bin);
         if ok {
@@ -280,20 +423,171 @@ impl StreamAllocator {
         ok
     }
 
+    /// Routes one ball **synchronously**: places it against the current stale
+    /// snapshot, issues a [`Ticket`], and advances the snapshot once
+    /// `batch_size` balls have been routed since the last boundary. For the
+    /// same keys this is bit-identical to `push` + `drain_ready` (see the
+    /// module docs); unlike `push`, the caller learns the bin immediately and
+    /// holds a handle to release the placement later.
+    ///
+    /// Streaming routing is infallible (the `Result` is the shared
+    /// [`Router`] surface); the error arm is never taken.
+    pub fn route(&mut self, key: u64) -> Result<Placement, RouteError> {
+        if self.open_batch == 0 {
+            // A routed batch opens here: apply staged weights and compute the
+            // batch thresholds, projecting a full batch (a router cannot know
+            // how many requests the batch will eventually have).
+            self.apply_pending_weights();
+            self.route_threshold = self.batch_threshold(self.config.batch_size as u64);
+            let mut thresholds = std::mem::take(&mut self.route_capacity);
+            self.fill_capacity_thresholds_into(self.config.batch_size as u64, &mut thresholds);
+            self.route_capacity = thresholds;
+        }
+        let mut candidates = std::mem::take(&mut self.route_candidates);
+        let bin = {
+            let ctx = ChoiceCtx {
+                snapshot: &self.stale,
+                weights: self.resolved.as_ref(),
+                batch_threshold: self.route_threshold,
+                capacity_thresholds: &self.route_capacity,
+                seed: self.config.seed,
+                bins: self.config.bins,
+            };
+            choose_bin(self.config.policy, &ctx, key, &mut candidates)
+        };
+        self.route_candidates = candidates;
+        self.bins.place(bin as usize);
+        let id = self.next_ball;
+        self.next_ball += 1;
+        self.arrived += 1;
+        self.placed += 1;
+        self.routed += 1;
+        self.open_batch += 1;
+        let ticket = self.tickets.issue(id, bin as usize);
+        if self.open_batch >= self.config.batch_size {
+            self.close_open_batch();
+        }
+        Ok(Placement {
+            ticket,
+            bin: bin as usize,
+        })
+    }
+
+    /// Releases a routed ball: validates the ticket against the resident
+    /// table, departs its bin, and notifies observers. Double releases and
+    /// foreign tickets fail with [`RouteError::UnknownTicket`]. Like every
+    /// load change, the departure reaches the policies at the next batch
+    /// boundary.
+    pub fn release(&mut self, ticket: Ticket) -> Result<(), RouteError> {
+        let bin = self.tickets.redeem(ticket)?;
+        if !self.bins.depart(bin) {
+            // Only reachable when deprecated raw-bin departures drained the
+            // bin from under the ledger; the ticket is dead either way.
+            return Err(RouteError::UnknownTicket { ticket });
+        }
+        self.departed += 1;
+        self.released += 1;
+        let event = ReleaseEvent {
+            ticket,
+            load_after: self.bins.load(bin),
+            // O(1): the counters track Σ loads exactly (`conserves_balls`);
+            // an O(n) `bins.total()` scan per departure would reintroduce
+            // the O(departures·n) churn cost.
+            resident: self.placed - self.departed,
+        };
+        self.gap.on_release(&event);
+        self.observers.notify_release(&event);
+        Ok(())
+    }
+
+    /// Stages new bin weights, applied at the **next batch boundary**: the
+    /// in-flight batch finishes under the old weights, then the alias table,
+    /// capacity thresholds and gap measure are rebuilt and
+    /// [`RouterObserver::on_reweight`] fires. From that boundary on, drains
+    /// are bit-identical to a fresh engine constructed with the new weights
+    /// over the same resident loads. Non-uniform weights must describe
+    /// exactly `bins` bins; uniform weights (any constant) return the engine
+    /// to the strict unweighted path.
+    pub fn set_weights(&mut self, weights: BinWeights) {
+        if let Some(prescribed) = weights.prescribed_bins() {
+            assert_eq!(
+                prescribed, self.config.bins,
+                "weights describe {prescribed} bins but the stream has {}",
+                self.config.bins
+            );
+        }
+        self.pending_weights = Some(weights);
+    }
+
+    /// Registers an external observer, notified (after the built-in gap
+    /// observer) on every batch boundary, reweighting and release. The caller
+    /// keeps its own `Arc` handle to read the sink back.
+    pub fn add_observer(&mut self, observer: Arc<Mutex<dyn RouterObserver + Send>>) {
+        self.observers.0.push(observer);
+    }
+
+    /// Applies weights staged by [`StreamAllocator::set_weights`]. Called at
+    /// batch starts — i.e. the boundary after which the new weights govern
+    /// placements — and a no-op when nothing is staged.
+    fn apply_pending_weights(&mut self) {
+        let Some(weights) = self.pending_weights.take() else {
+            return;
+        };
+        self.resolved = weights.resolve(self.config.bins);
+        self.config.weights = weights;
+        // Report the *current* loads (an O(n) snapshot — reweights are rare):
+        // the stale snapshot omits departures since the last boundary, which
+        // would make the event's loads and resident fields inconsistent.
+        let loads = self.bins.snapshot();
+        let event = ReweightEvent {
+            batch_index: self.batches,
+            loads: &loads,
+            weights: self.resolved.as_ref(),
+            resident: self.placed - self.departed,
+        };
+        self.gap.on_reweight(&event);
+        self.observers.notify_reweight(&event);
+    }
+
+    /// Closes the open routed batch (if any): advances the snapshot, records
+    /// the gap (under the weights the batch ran with), fires `on_batch`, and
+    /// then applies any staged weights — this *is* a batch boundary, so a
+    /// `set_weights` staged mid-batch must not survive past it (mirroring the
+    /// push path, where `drain_batch` applies staged weights at the start of
+    /// the next batch). Returns `true` when a boundary was produced.
+    fn close_open_batch(&mut self) -> bool {
+        if self.open_batch == 0 {
+            return false;
+        }
+        let batch_len = self.open_batch;
+        self.open_batch = 0;
+        self.batches += 1;
+        self.advance_boundary(batch_len);
+        self.apply_pending_weights();
+        true
+    }
+
     /// Allocates one batch against the stale snapshot, then advances the
     /// snapshot to the new loads and records the gap.
     fn drain_batch(&mut self, batch: &[PendingBall]) {
         if batch.is_empty() {
             return;
         }
+        // A batch starts here: this is the boundary where staged weights take
+        // effect.
+        self.apply_pending_weights();
         let n = self.config.bins;
         let threshold = self.batch_threshold(batch.len() as u64);
-        self.fill_capacity_thresholds(batch.len() as u64);
+        let mut thresholds = std::mem::take(&mut self.capacity_scratch);
+        self.fill_capacity_thresholds_into(batch.len() as u64, &mut thresholds);
+        self.capacity_scratch = thresholds;
 
         // Step 1 — choose: a pure function of (stale snapshot, key), so this
         // is safe to run in any order and in parallel. `chosen_scratch` is
-        // reused across batches (the parallel collect replaces it wholesale;
-        // the sequential path refills it in place).
+        // reused across batches by both paths: the parallel path fills it in
+        // place via `collect_into_vec` (no per-worker part vectors, no
+        // per-batch allocation once the capacity is warm), the sequential
+        // path extends it in place.
         let mut chosen = std::mem::take(&mut self.chosen_scratch);
         chosen.clear();
         let policy = self.config.policy;
@@ -307,14 +601,14 @@ impl StreamAllocator {
         };
         let d = policy.choices();
         if self.config.parallel {
-            chosen = batch
+            batch
                 .par_iter()
                 .with_min_len(CHOOSE_MIN_BALLS_PER_WORKER)
                 .map_init(
                     || Vec::with_capacity(2 * d),
                     |candidates, ball| choose_bin(policy, &ctx, ball.key, candidates),
                 )
-                .collect()
+                .collect_into_vec(&mut chosen)
         } else {
             let mut candidates = Vec::with_capacity(2 * d);
             chosen.extend(
@@ -356,18 +650,26 @@ impl StreamAllocator {
         self.placed += batch.len() as u64;
         self.batches += 1;
 
-        // Step 3 — advance the snapshot and track the gap online. The
-        // trajectory keeps only the most recent `trajectory_cap` entries
-        // (amortised O(1): compact when it reaches twice the cap) so a
-        // long-running stream does not grow with uptime.
+        // Step 3 — advance the snapshot and notify observers.
+        self.advance_boundary(batch.len());
+    }
+
+    /// The batch boundary: advances the stale snapshot to the fresh loads and
+    /// fires `on_batch` through the observer chain — the default
+    /// [`GapTrajectoryObserver`] first (keeping the gap trajectory
+    /// bit-identical to the pre-observer engine), then external sinks.
+    fn advance_boundary(&mut self, batch_len: usize) {
         self.stale = self.bins.snapshot();
         let gap = self.gap_of_loads(&self.stale);
-        let cap = self.config.trajectory_cap.max(1);
-        if self.gap_trajectory.len() >= cap.saturating_mul(2) {
-            self.gap_trajectory.drain(..self.gap_trajectory.len() - cap);
-        }
-        self.gap_trajectory.push(gap);
-        self.gap_stats.push(gap);
+        let event = BatchEvent {
+            batch_index: self.batches,
+            batch_len,
+            loads: &self.stale,
+            gap,
+            resident: self.placed - self.departed,
+        };
+        self.gap.on_batch(&event);
+        self.observers.notify_batch(&event);
     }
 
     /// The batch threshold of the paper-style [`Policy::Threshold`] rule:
@@ -385,17 +687,19 @@ impl StreamAllocator {
         }
     }
 
-    /// Fills `capacity_scratch` with the per-bin thresholds
+    /// Fills `out` with the per-bin thresholds
     /// `⌈(resident + batch)·w_i/W⌉ + slack` of [`Policy::CapacityThreshold`];
     /// leaves it empty (flat-threshold fallback) for every other
-    /// configuration so no per-batch `O(n)` work is added to them.
-    fn fill_capacity_thresholds(&mut self, batch_len: u64) {
-        self.capacity_scratch.clear();
+    /// configuration so no per-batch `O(n)` work is added to them. The drain
+    /// path and the route path keep separate buffers, so an interleaved
+    /// `drain_ready` cannot clobber an open routed batch's thresholds.
+    fn fill_capacity_thresholds_into(&self, batch_len: u64, out: &mut Vec<u32>) {
+        out.clear();
         if let (Policy::CapacityThreshold { slack, .. }, Some(weights)) =
             (self.config.policy, self.resolved.as_ref())
         {
             let post = (self.bins.total() + batch_len) as f64;
-            self.capacity_scratch.extend((0..self.config.bins).map(|i| {
+            out.extend((0..self.config.bins).map(|i| {
                 let fair = (post * weights.share(i)).ceil();
                 (fair as u64).min(u32::MAX as u64) as u32 + slack
             }));
@@ -457,14 +761,35 @@ impl StreamAllocator {
 
     /// The gap after recent drained batches, in order (the most recent
     /// [`StreamConfig::trajectory_cap`] entries at least; use
-    /// [`StreamAllocator::gap_stats`] for full-history aggregates).
+    /// [`StreamAllocator::gap_stats`] for full-history aggregates). Served by
+    /// the default [`GapTrajectoryObserver`].
     pub fn gap_trajectory(&self) -> &[f64] {
-        &self.gap_trajectory
+        self.gap.trajectory()
     }
 
     /// Streaming statistics over the per-batch gaps.
     pub fn gap_stats(&self) -> &OnlineStats {
-        &self.gap_stats
+        self.gap.stats()
+    }
+
+    /// Resident tickets (balls placed via [`StreamAllocator::route`] and not
+    /// yet released). Anonymous `push`-placed balls are not counted.
+    pub fn resident_tickets(&self) -> usize {
+        self.tickets.len()
+    }
+
+    /// Resident tickets in `bin`.
+    pub fn tickets_in(&self, bin: usize) -> usize {
+        self.tickets.count_in(bin)
+    }
+
+    /// A resident ticket of `bin` — the handle churn drivers pass to
+    /// [`StreamAllocator::release`] after choosing a bin to retire from.
+    /// Deterministic given the routing/release history, but not necessarily
+    /// the most recently routed ball (releases reorder the occupancy list;
+    /// see [`TicketLedger::resident_in`]).
+    pub fn ticket_in(&self, bin: usize) -> Option<Ticket> {
+        self.tickets.resident_in(bin)
     }
 
     /// Per-shard bookkeeping.
@@ -508,6 +833,32 @@ impl StreamAllocator {
     pub fn conserves_balls(&self) -> bool {
         self.placed - self.departed == self.bins.total()
             && self.arrived == self.placed + self.pending.len() as u64
+    }
+}
+
+impl Router for StreamAllocator {
+    fn route(&mut self, key: u64) -> Result<Placement, RouteError> {
+        StreamAllocator::route(self, key)
+    }
+
+    fn release(&mut self, ticket: Ticket) -> Result<(), RouteError> {
+        StreamAllocator::release(self, ticket)
+    }
+
+    fn loads(&self) -> Vec<u32> {
+        StreamAllocator::loads(self)
+    }
+
+    fn stats(&self) -> RouterStats {
+        let loads = self.bins.snapshot();
+        RouterStats {
+            routed: self.routed,
+            released: self.released,
+            resident: self.bins.total(),
+            bins: self.config.bins,
+            batches: self.batches,
+            gap: self.gap_of_loads(&loads),
+        }
     }
 }
 
@@ -632,6 +983,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)] // the raw-bin shim must keep working until removal
     fn departures_keep_conservation_and_reduce_load() {
         let mut s = StreamAllocator::new(StreamConfig::new(16).batch_size(16).seed(3));
         push_uniform(&mut s, 160, 2);
@@ -846,6 +1198,213 @@ mod tests {
     fn mismatched_weight_count_panics() {
         use pba_model::weights::BinWeights;
         StreamAllocator::new(StreamConfig::new(8).weights(BinWeights::explicit(vec![1.0, 2.0])));
+    }
+
+    #[test]
+    fn route_matches_push_drain_bit_identically() {
+        // The route path advances the snapshot every batch_size placements,
+        // so for the same keys (m divisible by the batch) it must reproduce
+        // the push+drain engine exactly: loads, gap trajectory, shard stats
+        // and batch count — for every policy, weighted ones included.
+        use pba_model::weights::BinWeights;
+        let weights = BinWeights::power_of_two_tiers(&[(8, 2), (16, 1), (40, 0)]);
+        for policy in [
+            Policy::OneChoice,
+            Policy::TwoChoice,
+            Policy::DChoice(3),
+            Policy::Threshold { d: 2, slack: 1 },
+            Policy::WeightedTwoChoice,
+            Policy::CapacityThreshold { d: 2, slack: 2 },
+        ] {
+            let cfg = StreamConfig::new(64)
+                .policy(policy)
+                .batch_size(128)
+                .seed(31)
+                .weights(weights.clone());
+            let mut routed = StreamAllocator::new(cfg.clone());
+            let mut pushed = StreamAllocator::new(cfg);
+            let mut keys = SplitMix64::new(12);
+            for _ in 0..(128 * 40) {
+                let key = keys.next_u64();
+                routed.route(key).unwrap();
+                pushed.push(key);
+            }
+            pushed.drain_ready();
+            assert_eq!(routed.loads(), pushed.loads(), "policy {}", policy.name());
+            assert_eq!(routed.gap_trajectory(), pushed.gap_trajectory());
+            assert_eq!(routed.shard_stats(), pushed.shard_stats());
+            assert_eq!(routed.snapshot().batches, pushed.snapshot().batches);
+            assert!(routed.conserves_balls());
+            assert_eq!(routed.resident_tickets(), 128 * 40);
+            assert_eq!(pushed.resident_tickets(), 0, "pushed balls are anonymous");
+        }
+    }
+
+    #[test]
+    fn route_tickets_release_and_validate() {
+        let mut s = StreamAllocator::new(StreamConfig::new(16).batch_size(8).seed(5));
+        let mut tickets = Vec::new();
+        for key in 0..64u64 {
+            let placement = s.route(key).unwrap();
+            assert_eq!(placement.bin, placement.ticket.bin());
+            tickets.push(placement.ticket);
+        }
+        assert_eq!(s.resident(), 64);
+        assert_eq!(s.resident_tickets(), 64);
+        let stats = Router::stats(&s);
+        assert_eq!(stats.routed, 64);
+        assert_eq!(stats.batches, 8);
+        // Release everything: loads return to zero, conservation holds.
+        for t in tickets.drain(..) {
+            s.release(t).unwrap();
+            assert!(s.conserves_balls());
+        }
+        assert_eq!(s.resident(), 0);
+        assert_eq!(s.loads(), vec![0; 16]);
+        assert_eq!(Router::stats(&s).released, 64);
+        // Double release and forged tickets are rejected.
+        let dead = s.route(1).unwrap().ticket;
+        s.release(dead).unwrap();
+        assert_eq!(
+            s.release(dead),
+            Err(RouteError::UnknownTicket { ticket: dead })
+        );
+        let forged = Ticket::new(9999, 0);
+        assert!(matches!(
+            s.release(forged),
+            Err(RouteError::UnknownTicket { .. })
+        ));
+    }
+
+    #[test]
+    fn flush_closes_a_partial_routed_batch() {
+        let mut s = StreamAllocator::new(StreamConfig::new(8).batch_size(10).seed(2));
+        for key in 0..5u64 {
+            s.route(key).unwrap();
+        }
+        assert_eq!(s.snapshot().batches, 0, "open batch not yet closed");
+        assert_eq!(s.flush(), 1);
+        assert_eq!(s.snapshot().batches, 1);
+        assert_eq!(s.gap_trajectory().len(), 1);
+        assert_eq!(s.resident(), 5);
+        assert!(s.conserves_balls());
+        assert_eq!(s.flush(), 0, "nothing left to close");
+    }
+
+    #[test]
+    fn set_weights_applies_at_the_next_batch_boundary() {
+        use crate::observer::ReweightLog;
+        use pba_model::weights::BinWeights;
+        let n = 16usize;
+        let mut s = StreamAllocator::new(StreamConfig::new(n).batch_size(n).seed(4));
+        let log = Arc::new(Mutex::new(ReweightLog::new()));
+        s.add_observer(log.clone());
+        push_uniform(&mut s, 3 * n as u64, 1);
+        s.drain_ready();
+        assert!(s.weights().is_none());
+        // Stage tiers mid-stream: nothing changes until the next batch.
+        s.set_weights(BinWeights::power_of_two_tiers(&[(4, 1), (12, 0)]));
+        assert!(s.weights().is_none(), "staged, not yet applied");
+        assert!(log.lock().unwrap().records().is_empty());
+        push_uniform(&mut s, n as u64, 2);
+        s.drain_ready();
+        assert!(s.weights().is_some(), "applied at the boundary");
+        let records = log.lock().unwrap().records().to_vec();
+        assert_eq!(records.len(), 1);
+        assert_eq!(records[0].batch_index, 3, "after the 3 pre-switch batches");
+        assert_eq!(records[0].resident, 3 * n as u64);
+        assert!(!records[0].uniform);
+        assert!(s.conserves_balls());
+        // Re-weighting back to a constant vector returns to the strict
+        // unweighted path.
+        s.set_weights(BinWeights::explicit(vec![7.0; n]));
+        push_uniform(&mut s, n as u64, 3);
+        s.drain_ready();
+        assert!(s.weights().is_none());
+        assert!(log.lock().unwrap().records().last().unwrap().uniform);
+    }
+
+    #[test]
+    fn set_weights_staged_mid_routed_batch_applies_when_it_closes() {
+        use crate::observer::ReweightLog;
+        use pba_model::weights::BinWeights;
+        let n = 16usize;
+        let mut s = StreamAllocator::new(StreamConfig::new(n).batch_size(10).seed(6));
+        let log = Arc::new(Mutex::new(ReweightLog::new()));
+        s.add_observer(log.clone());
+        for key in 0..5u64 {
+            s.route(key).unwrap();
+        }
+        // Staged mid-open-batch: nothing applies while the batch is in flight…
+        s.set_weights(BinWeights::power_of_two_tiers(&[(4, 1), (12, 0)]));
+        assert!(s.weights().is_none());
+        assert!(log.lock().unwrap().records().is_empty());
+        // …but closing the batch IS a boundary, so the staged weights must
+        // not survive past it (the closing batch's gap is still recorded
+        // under the old weights — it ran under them).
+        s.flush();
+        assert!(s.weights().is_some(), "applied at the flush boundary");
+        let records = log.lock().unwrap().records().to_vec();
+        assert_eq!(records.len(), 1);
+        assert_eq!(records[0].batch_index, 1);
+        assert_eq!(s.gap_trajectory().len(), 1);
+        assert!(s.conserves_balls());
+    }
+
+    #[test]
+    fn observers_see_every_batch_and_release() {
+        use pba_model::router::{BatchEvent, ReleaseEvent, RouterObserver};
+        #[derive(Default)]
+        struct Counter {
+            batches: u64,
+            balls: u64,
+            releases: u64,
+        }
+        impl RouterObserver for Counter {
+            fn on_batch(&mut self, event: &BatchEvent<'_>) {
+                self.batches += 1;
+                self.balls += event.batch_len as u64;
+            }
+            fn on_release(&mut self, _event: &ReleaseEvent) {
+                self.releases += 1;
+            }
+        }
+        let counter = Arc::new(Mutex::new(Counter::default()));
+        let mut s = StreamAllocator::new(StreamConfig::new(8).batch_size(4).seed(9));
+        s.add_observer(counter.clone());
+        let mut tickets = Vec::new();
+        for key in 0..20u64 {
+            tickets.push(s.route(key).unwrap().ticket);
+        }
+        s.release(tickets[0]).unwrap();
+        s.release(tickets[1]).unwrap();
+        let seen = counter.lock().unwrap();
+        assert_eq!(seen.batches, 5);
+        assert_eq!(seen.balls, 20);
+        assert_eq!(seen.releases, 2);
+    }
+
+    #[test]
+    fn with_resident_loads_matches_an_organically_grown_engine() {
+        // Grow an engine to a boundary, then clone its loads into a fresh
+        // engine via with_resident_loads: both must drain an identical suffix
+        // (same loads, same per-batch gaps, same shard stats).
+        let cfg = StreamConfig::new(32).batch_size(64).seed(8);
+        let mut grown = StreamAllocator::new(cfg.clone());
+        push_uniform(&mut grown, 640, 4);
+        grown.drain_ready();
+        let mut seeded = StreamAllocator::with_resident_loads(cfg, &grown.loads());
+        assert_eq!(seeded.loads(), grown.loads());
+        assert_eq!(seeded.resident(), grown.resident());
+        assert_eq!(seeded.shard_stats(), grown.shard_stats());
+        assert!(seeded.conserves_balls());
+        let before = grown.gap_trajectory().len();
+        push_uniform(&mut grown, 320, 5);
+        push_uniform(&mut seeded, 320, 5);
+        grown.drain_ready();
+        seeded.drain_ready();
+        assert_eq!(seeded.loads(), grown.loads());
+        assert_eq!(seeded.gap_trajectory(), &grown.gap_trajectory()[before..]);
     }
 
     #[test]

@@ -30,11 +30,21 @@
 //!   `load/weight`) and [`Policy::CapacityThreshold`] (per-bin capacity
 //!   shares with one overflow retry); uniform weights are a **strict no-op**
 //!   relative to the unweighted engine.
+//! * [`observer`] — built-in [`RouterObserver`] sinks: the default
+//!   [`GapTrajectoryObserver`] (the engine's own gap tracking, reimplemented
+//!   as the first client of the observer hooks) and [`ReweightLog`].
 //! * [`arrival`] — [`ArrivalProcess`]: uniform, Zipf-skewed and bursty
 //!   arrival streams.
 //! * [`scenario`] — [`run_scenario`]: ticks of arrivals + optional churn
-//!   (departures) driving a [`StreamAllocator`], reporting online gap
-//!   trajectories.
+//!   (ticket releases, load- or capacity-proportional) driving a
+//!   [`StreamAllocator`], reporting online gap trajectories.
+//!
+//! The engine also implements the unified [`Router`] interface of
+//! [`pba_model::router`]: [`StreamAllocator::route`] places one ball
+//! synchronously (bit-identical to `push` + `drain` for the same keys) and
+//! returns a [`Ticket`]; [`StreamAllocator::release`] retires it with
+//! validation. `StreamAllocator::set_weights` re-weights a **running** stream
+//! at the next batch boundary.
 //!
 //! ## Quick start
 //!
@@ -59,15 +69,18 @@
 
 pub mod arrival;
 pub mod engine;
+pub mod observer;
 pub mod policy;
 pub mod scenario;
 pub mod shard;
 
 pub use arrival::{ArrivalProcess, ArrivalSampler, UNIQUE_KEYS};
 pub use engine::{StreamAllocator, StreamConfig, StreamSnapshot};
+pub use observer::{GapTrajectoryObserver, ReweightLog, ReweightRecord};
 pub use policy::{candidate_bins, choose_bin, ChoiceCtx, Policy};
-pub use scenario::{run_scenario, ScenarioConfig, ScenarioReport};
+pub use scenario::{run_scenario, run_scenario_on, ChurnMode, ScenarioConfig, ScenarioReport};
 pub use shard::{ShardStats, ShardedBins};
 
 // Re-exported so weighted stream configurations need only this crate.
+pub use pba_model::router::{Placement, RouteError, Router, RouterObserver, RouterStats, Ticket};
 pub use pba_model::weights::{BinWeights, ResolvedWeights};

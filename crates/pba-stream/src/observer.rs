@@ -1,0 +1,148 @@
+//! Built-in [`RouterObserver`] implementations for the streaming engine.
+//!
+//! Observers are the pluggable metrics surface of the router API: the engine
+//! fires [`RouterObserver::on_batch`] at every batch boundary,
+//! [`RouterObserver::on_reweight`] when a runtime weight change takes effect,
+//! and [`RouterObserver::on_release`] per departure. The engine's own gap
+//! tracking is itself an observer — [`GapTrajectoryObserver`] — installed by
+//! default, so "the gap trajectory" is no longer ad-hoc engine state but the
+//! first client of the same hook external sinks use.
+
+use pba_model::router::{BatchEvent, ReweightEvent, RouterObserver};
+use pba_stats::OnlineStats;
+
+/// The default observer: records the per-batch (weighted) gap into a bounded
+/// trajectory plus a full-history [`OnlineStats`] accumulator.
+///
+/// The trajectory keeps only the most recent `cap` entries (amortised O(1):
+/// compacted when it reaches twice the cap) so a long-running stream does not
+/// grow with uptime; the streaming statistics cover every batch regardless.
+#[derive(Debug, Clone)]
+pub struct GapTrajectoryObserver {
+    cap: usize,
+    trajectory: Vec<f64>,
+    stats: OnlineStats,
+}
+
+impl GapTrajectoryObserver {
+    /// An empty trajectory retaining at least the `cap` most recent entries.
+    pub fn new(cap: usize) -> Self {
+        Self {
+            cap: cap.max(1),
+            trajectory: Vec::new(),
+            stats: OnlineStats::new(),
+        }
+    }
+
+    /// The recorded gaps, oldest retained entry first.
+    pub fn trajectory(&self) -> &[f64] {
+        &self.trajectory
+    }
+
+    /// Full-history streaming statistics over every recorded gap.
+    pub fn stats(&self) -> &OnlineStats {
+        &self.stats
+    }
+}
+
+impl RouterObserver for GapTrajectoryObserver {
+    fn on_batch(&mut self, event: &BatchEvent<'_>) {
+        if self.trajectory.len() >= self.cap.saturating_mul(2) {
+            self.trajectory.drain(..self.trajectory.len() - self.cap);
+        }
+        self.trajectory.push(event.gap);
+        self.stats.push(event.gap);
+    }
+}
+
+/// One recorded reweighting, as seen by [`ReweightLog`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReweightRecord {
+    /// Batches completed before the new weights took effect.
+    pub batch_index: u64,
+    /// Balls resident at the boundary.
+    pub resident: u64,
+    /// Whether the engine is uniform (`true`) or weighted after the change.
+    pub uniform: bool,
+}
+
+/// An observer that logs every runtime reweighting boundary — used by the
+/// reweighting experiment (E14) and the `router_lifecycle` example to verify
+/// *when* a `set_weights` call actually took effect.
+#[derive(Debug, Clone, Default)]
+pub struct ReweightLog {
+    records: Vec<ReweightRecord>,
+}
+
+impl ReweightLog {
+    /// An empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Every reweighting observed so far, in order.
+    pub fn records(&self) -> &[ReweightRecord] {
+        &self.records
+    }
+}
+
+impl RouterObserver for ReweightLog {
+    fn on_reweight(&mut self, event: &ReweightEvent<'_>) {
+        self.records.push(ReweightRecord {
+            batch_index: event.batch_index,
+            resident: event.resident,
+            uniform: event.weights.is_none(),
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn batch_event(loads: &[u32], gap: f64, index: u64) -> BatchEvent<'_> {
+        BatchEvent {
+            batch_index: index,
+            batch_len: loads.len(),
+            loads,
+            gap,
+            resident: loads.iter().map(|&l| l as u64).sum(),
+        }
+    }
+
+    #[test]
+    fn gap_observer_records_and_caps() {
+        let mut obs = GapTrajectoryObserver::new(4);
+        let loads = [1u32, 2];
+        for i in 0..20 {
+            obs.on_batch(&batch_event(&loads, i as f64, i + 1));
+        }
+        assert!(obs.trajectory().len() <= 8, "{}", obs.trajectory().len());
+        assert!(obs.trajectory().len() >= 4);
+        assert_eq!(obs.stats().count(), 20);
+        assert_eq!(*obs.trajectory().last().unwrap(), 19.0);
+    }
+
+    #[test]
+    fn reweight_log_records_boundaries() {
+        let mut log = ReweightLog::new();
+        let loads = [3u32, 3];
+        log.on_reweight(&ReweightEvent {
+            batch_index: 7,
+            loads: &loads,
+            weights: None,
+            resident: 6,
+        });
+        assert_eq!(
+            log.records(),
+            &[ReweightRecord {
+                batch_index: 7,
+                resident: 6,
+                uniform: true,
+            }]
+        );
+        // Batch events are ignored by the log.
+        log.on_batch(&batch_event(&loads, 0.0, 8));
+        assert_eq!(log.records().len(), 1);
+    }
+}

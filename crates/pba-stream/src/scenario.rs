@@ -2,10 +2,21 @@
 //! a fixed number of ticks.
 //!
 //! This is the piece that turns the incremental [`StreamAllocator`] API into
-//! end-to-end experiments: each tick pushes the process's arrivals, drains
-//! every full batch, and (after a warm-up) retires residents at a configurable
-//! churn rate, sampling departures uniformly over *resident balls* (i.e. a bin
-//! is hit proportionally to its load, the standard M/M/∞-style service model).
+//! end-to-end experiments: each tick **routes** the process's arrivals
+//! through the handle-based router surface (batch boundaries advance
+//! automatically every `batch_size` placements, exactly as a `push` + drain
+//! loop would) and, after a warm-up, retires residents at a configurable
+//! churn rate by **releasing their tickets**. Two service models are
+//! supported ([`ChurnMode`]):
+//!
+//! * [`ChurnMode::LoadProportional`] — a departing ball is drawn uniformly
+//!   over *residents*, so a bin is hit proportionally to its load (the
+//!   standard M/M/∞-style model).
+//! * [`ChurnMode::CapacityProportional`] — the departing bin is drawn
+//!   proportionally to its **weight**: big backends drain connections faster,
+//!   the service-rate-∝-capacity model heterogeneous fleets actually exhibit.
+//!   Under uniform weights this degrades to a uniformly random (non-empty)
+//!   bin.
 
 use pba_model::rng::SplitMix64;
 
@@ -17,6 +28,30 @@ const ARRIVAL_STREAM: u64 = 0xa331_7a15;
 /// Stream used for departure randomness.
 const DEPART_STREAM: u64 = 0xdea9_0b75;
 
+/// How churn picks the ball that departs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ChurnMode {
+    /// Departures sample uniformly over resident balls: a bin is hit
+    /// proportionally to its load (M/M/∞-style service).
+    #[default]
+    LoadProportional,
+    /// The departing bin is sampled proportionally to its **weight** (service
+    /// rate ∝ capacity); one of that bin's resident tickets is released.
+    /// Empty draws retry a bounded number of times, then fall back to the
+    /// nearest non-empty bin, so the draw always terminates.
+    CapacityProportional,
+}
+
+impl ChurnMode {
+    /// Short display name used in experiment tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Self::LoadProportional => "load-prop",
+            Self::CapacityProportional => "capacity-prop",
+        }
+    }
+}
+
 /// A complete streaming scenario.
 #[derive(Debug, Clone)]
 pub struct ScenarioConfig {
@@ -27,9 +62,12 @@ pub struct ScenarioConfig {
     /// Expected departures per arrival once warm-up has passed (`0.0` = pure
     /// growth; `1.0` = steady state).
     pub churn: f64,
+    /// Which resident departs when churn strikes.
+    pub churn_mode: ChurnMode,
     /// Ticks before churn starts (lets the system fill up first).
     pub warmup_ticks: u64,
-    /// Whether to flush the final partial batch at the end of the run.
+    /// Whether to close the final partial batch at the end of the run (so its
+    /// boundary is recorded in the gap trajectory).
     pub flush_at_end: bool,
 }
 
@@ -40,6 +78,7 @@ impl ScenarioConfig {
             ticks,
             arrivals,
             churn: 0.0,
+            churn_mode: ChurnMode::default(),
             warmup_ticks: 0,
             flush_at_end: true,
         }
@@ -49,6 +88,12 @@ impl ScenarioConfig {
     pub fn with_churn(mut self, churn: f64, warmup_ticks: u64) -> Self {
         self.churn = churn;
         self.warmup_ticks = warmup_ticks;
+        self
+    }
+
+    /// Selects how churn picks departing balls (builder style).
+    pub fn with_churn_mode(mut self, mode: ChurnMode) -> Self {
+        self.churn_mode = mode;
         self
     }
 }
@@ -72,9 +117,16 @@ pub struct ScenarioReport {
 
 /// Runs `scenario` on a fresh [`StreamAllocator`] built from `config`.
 pub fn run_scenario(scenario: &ScenarioConfig, config: StreamConfig) -> ScenarioReport {
-    let seed = config.seed;
-    let n = config.bins;
-    let mut stream = StreamAllocator::new(config);
+    run_scenario_on(scenario, StreamAllocator::new(config))
+}
+
+/// Runs `scenario` on an already-constructed [`StreamAllocator`] — the entry
+/// point to use when observers must be attached (or state pre-seeded) before
+/// the run. The stream should be freshly constructed; arrival and departure
+/// randomness derive from its configured seed.
+pub fn run_scenario_on(scenario: &ScenarioConfig, mut stream: StreamAllocator) -> ScenarioReport {
+    let seed = stream.config().seed;
+    let n = stream.config().bins;
     let sampler = ArrivalSampler::new(scenario.arrivals.clone());
     let mut key_rng = SplitMix64::for_stream(seed, ARRIVAL_STREAM, 0);
     let mut depart_rng = SplitMix64::for_stream(seed, DEPART_STREAM, 0);
@@ -85,22 +137,36 @@ pub fn run_scenario(scenario: &ScenarioConfig, config: StreamConfig) -> Scenario
     for tick in 0..scenario.ticks {
         let arrivals = sampler.arrivals_at(tick);
         for _ in 0..arrivals {
-            stream.push(sampler.sample_key(&mut key_rng));
+            let key = sampler.sample_key(&mut key_rng);
+            stream.route(key).expect("streaming route is infallible");
         }
-        stream.drain_ready();
 
         if scenario.churn > 0.0 && tick >= scenario.warmup_ticks {
             churn_credit += scenario.churn * arrivals as f64;
-            if churn_credit >= 1.0 && stream.resident() > 0 {
-                // One O(n) Fenwick build per tick, then O(log n) per
-                // departure — the per-departure linear scan would make churn
-                // cost O(departures · n).
-                let mut tree = LoadTree::build_from(&stream, n);
-                while churn_credit >= 1.0 && tree.total() > 0 {
-                    churn_credit -= 1.0;
-                    let bin = tree.sample_and_remove(depart_rng.gen_range(tree.total()));
-                    let departed = stream.depart(bin);
-                    debug_assert!(departed, "tree tracked a ball the stream lacks");
+            match scenario.churn_mode {
+                ChurnMode::LoadProportional => {
+                    if churn_credit >= 1.0 && stream.resident() > 0 {
+                        // One O(n) Fenwick build per tick, then O(log n) per
+                        // departure — the per-departure linear scan would make
+                        // churn cost O(departures · n).
+                        let mut tree = LoadTree::build_from(&stream, n);
+                        while churn_credit >= 1.0 && tree.total() > 0 {
+                            churn_credit -= 1.0;
+                            let bin = tree.sample_and_remove(depart_rng.gen_range(tree.total()));
+                            release_resident_in(&mut stream, bin);
+                        }
+                    }
+                }
+                ChurnMode::CapacityProportional => {
+                    // Track the resident count locally: `stream.resident()`
+                    // is an O(n) scan, too expensive once per departure.
+                    let mut residents = stream.resident();
+                    while churn_credit >= 1.0 && residents > 0 {
+                        churn_credit -= 1.0;
+                        residents -= 1;
+                        let bin = sample_capacity_bin(&stream, &mut depart_rng, n);
+                        release_resident_in(&mut stream, bin);
+                    }
                 }
             }
         }
@@ -124,6 +190,46 @@ pub fn run_scenario(scenario: &ScenarioConfig, config: StreamConfig) -> Scenario
         stream,
     }
 }
+
+/// Releases a resident of `bin` (every scenario ball is ticketed, so a
+/// loaded bin always has one; which resident is arbitrary-but-deterministic —
+/// balls are exchangeable for every load-level property).
+fn release_resident_in(stream: &mut StreamAllocator, bin: usize) {
+    let ticket = stream
+        .ticket_in(bin)
+        .expect("churn chose a bin without resident tickets");
+    stream
+        .release(ticket)
+        .expect("ticket was just read from the ledger");
+}
+
+/// Draws the departing bin with probability proportional to its weight
+/// (uniformly when the stream is unweighted). A drawn empty bin is redrawn up
+/// to [`MAX_EMPTY_DRAWS`] times — under pathological skew the heavy bins may
+/// all be empty — after which the draw falls forward cyclically to the first
+/// non-empty bin, so the sample always terminates in O(n) worst case while
+/// staying a pure function of the RNG stream.
+fn sample_capacity_bin(stream: &StreamAllocator, rng: &mut SplitMix64, n: usize) -> usize {
+    debug_assert!(stream.resident() > 0);
+    let mut bin = 0usize;
+    for _ in 0..MAX_EMPTY_DRAWS {
+        bin = match stream.weights() {
+            Some(weights) => weights.sample(rng) as usize,
+            None => rng.gen_index(n),
+        };
+        if stream.load(bin) > 0 {
+            return bin;
+        }
+    }
+    (0..n)
+        .map(|step| (bin + step) % n)
+        .find(|&candidate| stream.load(candidate) > 0)
+        .expect("resident > 0 guarantees a non-empty bin")
+}
+
+/// Empty-bin redraws tolerated by [`sample_capacity_bin`] before it falls
+/// forward to the nearest non-empty bin.
+const MAX_EMPTY_DRAWS: usize = 64;
 
 /// Fenwick (binary indexed) tree over per-bin loads, used to sample a
 /// departing ball uniformly over residents: bin `i` is drawn with probability
@@ -299,6 +405,92 @@ mod tests {
                 .unwrap();
             assert_eq!(bin, expected, "target {target}");
             assert_eq!(tree.total(), total - 1);
+        }
+    }
+
+    #[test]
+    fn capacity_proportional_churn_retires_from_heavy_bins() {
+        use pba_model::router::{ReleaseEvent, RouterObserver};
+        use pba_model::weights::BinWeights;
+        use std::sync::{Arc, Mutex};
+
+        /// Counts releases per bin via the observer hook — the per-bin
+        /// departure census that distinguishes capacity-proportional churn
+        /// from a load- or uniform-bin sampler.
+        struct ReleaseCensus(Vec<u64>);
+        impl RouterObserver for ReleaseCensus {
+            fn on_release(&mut self, event: &ReleaseEvent) {
+                self.0[event.ticket.bin()] += 1;
+            }
+        }
+
+        // 4 bins of weight 8 and 28 of weight 1 (W = 60): each heavy bin
+        // receives 8/60 of the departures vs 1/60 per light bin — an 8x
+        // higher per-bin service rate. A weight-oblivious sampler (uniform
+        // bins, or load-proportional once the weighted policy has balanced
+        // load ∝ weight... which would also give ~8x; uniform gives 1x)
+        // cannot reproduce the 8x per-bin ratio we assert.
+        let n = 32usize;
+        let weights = BinWeights::power_of_two_tiers(&[(4, 3), (28, 0)]);
+        let scenario = ScenarioConfig::growth(
+            400,
+            ArrivalProcess::Uniform {
+                keys: crate::arrival::UNIQUE_KEYS,
+                rate: n,
+            },
+        )
+        .with_churn(1.0, 50)
+        .with_churn_mode(ChurnMode::CapacityProportional);
+        let census = Arc::new(Mutex::new(ReleaseCensus(vec![0; n])));
+        let mut stream = StreamAllocator::new(
+            StreamConfig::new(n)
+                .policy(Policy::WeightedTwoChoice)
+                .batch_size(n)
+                .seed(11)
+                .weights(weights),
+        );
+        stream.add_observer(census.clone());
+        let report = run_scenario_on(&scenario, stream);
+        assert!(report.departed > 0);
+        assert!(report.stream.conserves_balls());
+        let resident = report.stream.resident();
+        assert!(
+            resident < report.arrived / 2,
+            "churn failed to retire balls: {resident} of {}",
+            report.arrived
+        );
+        // The per-bin departure census must show the 8x service-rate skew.
+        let counts = &census.lock().unwrap().0;
+        let heavy_per_bin: f64 = counts[..4].iter().sum::<u64>() as f64 / 4.0;
+        let light_per_bin: f64 = counts[4..].iter().sum::<u64>() as f64 / 28.0;
+        assert_eq!(counts.iter().sum::<u64>(), report.departed);
+        assert!(
+            heavy_per_bin > 5.0 * light_per_bin,
+            "heavy bins should retire ~8x per bin: heavy {heavy_per_bin:.1}, \
+             light {light_per_bin:.1}"
+        );
+        let stats = report.stream.shard_stats();
+        let departed_total: u64 = stats.iter().map(|s| s.departed).sum();
+        assert_eq!(departed_total, report.departed);
+    }
+
+    #[test]
+    fn churn_modes_are_both_deterministic() {
+        for mode in [ChurnMode::LoadProportional, ChurnMode::CapacityProportional] {
+            let scenario = ScenarioConfig::growth(
+                120,
+                ArrivalProcess::Uniform {
+                    keys: 512,
+                    rate: 32,
+                },
+            )
+            .with_churn(0.8, 20)
+            .with_churn_mode(mode);
+            let run = || {
+                let r = run_scenario(&scenario, StreamConfig::new(64).batch_size(64).seed(3));
+                (r.stream.loads(), r.departed)
+            };
+            assert_eq!(run(), run(), "mode {}", mode.name());
         }
     }
 

@@ -1,8 +1,11 @@
-//! The reproduction experiments E1–E13 (see DESIGN.md for the full index).
+//! The reproduction experiments E1–E14 (see DESIGN.md for the full index).
 //! E1–E9 validate the SPAA'19 paper; E10–E12 measure the streaming engine of
-//! `pba-stream` in the batched/stale-information model (Los–Sauerwald 2022);
-//! E13 measures weighted multi-backend routing over heterogeneous capacity
-//! tiers (streaming policies plus the weighted asymmetric algorithm).
+//! `pba-stream` in the batched/stale-information model (Los–Sauerwald 2022),
+//! with E12 exercising both load- and capacity-proportional churn through the
+//! handle-based router surface; E13 measures weighted multi-backend routing
+//! over heterogeneous capacity tiers (streaming policies plus the weighted
+//! asymmetric algorithm); E14 measures **runtime reweighting** — a capacity
+//! change applied to a running stream at a batch boundary.
 //!
 //! The paper is a theory paper without numbered tables/figures, so each
 //! experiment here plays the role of a table: it validates one theorem, claim or
@@ -31,7 +34,8 @@ use pba_model::weights::BinWeights;
 use pba_model::Allocator;
 use pba_stats::{log_log2, log_star, power_law_exponent, Align, Cell, SeedAggregate, Table};
 use pba_stream::{
-    run_scenario, ArrivalProcess, Policy, ScenarioConfig, StreamAllocator, StreamConfig,
+    run_scenario, ArrivalProcess, ChurnMode, Policy, ReweightLog, ScenarioConfig, StreamAllocator,
+    StreamConfig,
 };
 
 use crate::config::SweepConfig;
@@ -753,26 +757,57 @@ pub fn e11_stream_skew_sweep(quick: bool) -> Table {
 /// E12 — churn: arrivals matched by departures after a warm-up, so the
 /// system sits at a steady-state population while balls flow through it.
 /// The online gap must stay bounded over time instead of growing with the
-/// total number of arrivals.
+/// total number of arrivals. The weighted arm runs heterogeneous 4:2:1
+/// capacity tiers under both service models: load-proportional departures
+/// (M/M/∞) and **capacity-proportional** departures (service rate ∝ weight)
+/// — the latter is only expressible through handle-based ticket releases,
+/// since the churn driver must retire a specific resident of a
+/// weight-sampled bin.
 pub fn e12_stream_churn(quick: bool) -> Table {
     let (n, n_seeds): (usize, u64) = if quick { (128, 2) } else { (512, 5) };
     let ticks: u64 = if quick { 300 } else { 1000 };
     let warmup = ticks / 5;
     let rate = n / 2;
+    let tiers = BinWeights::power_of_two_tiers(&[(n / 8, 2), (n / 4, 1), (5 * n / 8, 0)]);
     let mut table = Table::with_alignments(
         "E12: streaming under churn — steady-state gap and population",
         &[
             ("n", Align::Right),
             ("policy", Align::Left),
+            ("weights", Align::Left),
+            ("churn", Align::Left),
             ("ticks", Align::Right),
             ("arrived mean", Align::Right),
             ("departed mean", Align::Right),
             ("resident mean", Align::Right),
             ("final gap mean", Align::Right),
             ("max gap mean", Align::Right),
+            ("max norm load", Align::Right),
         ],
     );
-    for policy in [Policy::OneChoice, Policy::TwoChoice] {
+    let arms: Vec<(Policy, BinWeights, ChurnMode)> = vec![
+        (
+            Policy::OneChoice,
+            BinWeights::Uniform,
+            ChurnMode::LoadProportional,
+        ),
+        (
+            Policy::TwoChoice,
+            BinWeights::Uniform,
+            ChurnMode::LoadProportional,
+        ),
+        (
+            Policy::WeightedTwoChoice,
+            tiers.clone(),
+            ChurnMode::LoadProportional,
+        ),
+        (
+            Policy::WeightedTwoChoice,
+            tiers,
+            ChurnMode::CapacityProportional,
+        ),
+    ];
+    for (policy, weights, churn_mode) in arms {
         let mut agg = SeedAggregate::new();
         for seed in 0..n_seeds {
             let scenario = ScenarioConfig::growth(
@@ -782,26 +817,35 @@ pub fn e12_stream_churn(quick: bool) -> Table {
                     rate,
                 },
             )
-            .with_churn(1.0, warmup);
+            .with_churn(1.0, warmup)
+            .with_churn_mode(churn_mode);
             let report = run_scenario(
                 &scenario,
-                StreamConfig::new(n).policy(policy).batch_size(n).seed(seed),
+                StreamConfig::new(n)
+                    .policy(policy)
+                    .batch_size(n)
+                    .seed(seed)
+                    .weights(weights.clone()),
             );
             agg.record("arrived", report.arrived as f64);
             agg.record("departed", report.departed as f64);
             agg.record("resident", report.stream.resident() as f64);
             agg.record("final_gap", report.final_gap);
             agg.record("max_gap", report.max_gap);
+            agg.record("max_norm", report.stream.max_normalized_load());
         }
         table.push_row([
             Cell::from(n),
             Cell::from(policy.name()),
+            Cell::from(weights.name()),
+            Cell::from(churn_mode.name()),
             Cell::from(ticks),
             Cell::from(agg.mean("arrived")),
             Cell::from(agg.mean("departed")),
             Cell::from(agg.mean("resident")),
             Cell::from(agg.mean("final_gap")),
             Cell::from(agg.mean("max_gap")),
+            Cell::from(agg.mean("max_norm")),
         ]);
     }
     table
@@ -894,7 +938,113 @@ pub fn e13_weighted_routing(quick: bool) -> Table {
     table
 }
 
-/// Runs every experiment and returns all tables in order (E1 … E13).
+/// E14 — runtime reweighting: capacities change *while the stream runs*.
+/// Each run routes the first half of the stream under a 4:2:1 tier mix, then
+/// stages the inverted 1:2:4 mix via `set_weights` (applied at the next batch
+/// boundary — a [`ReweightLog`] observer records exactly which one) and
+/// routes the second half. The weighted gap spikes at the switch (the
+/// resident distribution was balanced for the *old* capacities) and the
+/// weight-aware policies work it back down; the last column verifies the
+/// boundary semantics are **exact**: the post-switch drains must be
+/// bit-identical to a fresh engine built with the new weights over the loads
+/// at the switch.
+pub fn e14_runtime_reweighting(quick: bool) -> Table {
+    use std::sync::{Arc, Mutex};
+
+    let (n, ratio, n_seeds): (usize, u64, u64) = if quick { (128, 64, 2) } else { (512, 256, 5) };
+    let m = n as u64 * ratio;
+    let half = m / 2; // multiple of the batch (= n), so the switch is boundary-aligned
+    let before = BinWeights::power_of_two_tiers(&[(n / 8, 2), (n / 4, 1), (5 * n / 8, 0)]);
+    let after = BinWeights::power_of_two_tiers(&[(5 * n / 8, 0), (n / 4, 1), (n / 8, 2)]);
+    let mut table = Table::with_alignments(
+        "E14: runtime reweighting — gap recovery after a mid-stream capacity change",
+        &[
+            ("n", Align::Right),
+            ("policy", Align::Left),
+            ("switch", Align::Left),
+            ("reweight at batch", Align::Right),
+            ("gap before switch", Align::Right),
+            ("peak gap after", Align::Right),
+            ("final gap", Align::Right),
+            ("fresh-engine final gap", Align::Right),
+            ("suffix identical", Align::Left),
+        ],
+    );
+    for policy in [
+        Policy::WeightedTwoChoice,
+        Policy::CapacityThreshold { d: 2, slack: 2 },
+    ] {
+        let mut agg = SeedAggregate::new();
+        let mut suffix_identical = true;
+        let mut reweight_batch = 0u64;
+        for seed in 0..n_seeds {
+            let cfg = StreamConfig::new(n)
+                .policy(policy)
+                .batch_size(n)
+                .seed(seed)
+                .weights(before.clone());
+            let mut stream = StreamAllocator::new(cfg.clone());
+            let log = Arc::new(Mutex::new(ReweightLog::new()));
+            stream.add_observer(log.clone());
+            let mut keys = pba_model::rng::SplitMix64::for_stream(seed, 0xe14, 0);
+            let first: Vec<u64> = (0..half).map(|_| keys.next_u64()).collect();
+            let second: Vec<u64> = (0..m - half).map(|_| keys.next_u64()).collect();
+            for &key in &first {
+                stream.push(key);
+            }
+            stream.drain_ready();
+            agg.record(
+                "gap_before",
+                stream.gap_trajectory().last().copied().unwrap_or(0.0),
+            );
+            let switch_batches = stream.gap_trajectory().len();
+            let loads_at_switch = stream.loads();
+
+            stream.set_weights(after.clone());
+            for &key in &second {
+                stream.push(key);
+            }
+            stream.flush();
+            let suffix = &stream.gap_trajectory()[switch_batches..];
+            agg.record(
+                "peak_after",
+                suffix.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+            );
+            agg.record("final", suffix.last().copied().unwrap_or(0.0));
+            let records = log.lock().expect("observer lock").records().to_vec();
+            assert_eq!(records.len(), 1, "exactly one reweighting must fire");
+            reweight_batch = records[0].batch_index;
+
+            // The exactness check: a fresh engine with the new weights over
+            // the loads at the switch must drain the identical suffix.
+            let mut fresh =
+                StreamAllocator::with_resident_loads(cfg.weights(after.clone()), &loads_at_switch);
+            for &key in &second {
+                fresh.push(key);
+            }
+            fresh.flush();
+            suffix_identical &= fresh.loads() == stream.loads() && fresh.gap_trajectory() == suffix;
+            agg.record(
+                "fresh_final",
+                fresh.gap_trajectory().last().copied().unwrap_or(0.0),
+            );
+        }
+        table.push_row([
+            Cell::from(n),
+            Cell::from(policy.name()),
+            Cell::from(format!("{} → {}", before.name(), after.name())),
+            Cell::from(reweight_batch),
+            Cell::from(agg.mean("gap_before")),
+            Cell::from(agg.mean("peak_after")),
+            Cell::from(agg.mean("final")),
+            Cell::from(agg.mean("fresh_final")),
+            Cell::from(if suffix_identical { "yes" } else { "NO" }),
+        ]);
+    }
+    table
+}
+
+/// Runs every experiment and returns all tables in order (E1 … E14).
 pub fn all_experiments(quick: bool) -> Vec<Table> {
     let mut tables = vec![
         e1_heavy_load_and_rounds(quick),
@@ -911,6 +1061,7 @@ pub fn all_experiments(quick: bool) -> Vec<Table> {
     tables.push(e11_stream_skew_sweep(quick));
     tables.push(e12_stream_churn(quick));
     tables.push(e13_weighted_routing(quick));
+    tables.push(e14_runtime_reweighting(quick));
     tables
 }
 
@@ -1047,11 +1198,44 @@ mod tests {
     #[test]
     fn e12_quick_churn_reaches_steady_state() {
         let t = e12_stream_churn(true);
-        assert_eq!(t.n_rows(), 2);
+        assert_eq!(t.n_rows(), 4, "2 uniform arms + 2 weighted churn arms");
         for row in t.rows() {
-            let arrived: f64 = row[3].0.parse().unwrap();
-            let resident: f64 = row[5].0.parse().unwrap();
+            let arrived: f64 = row[5].0.parse().unwrap();
+            let departed: f64 = row[6].0.parse().unwrap();
+            let resident: f64 = row[7].0.parse().unwrap();
+            assert!(departed > 0.0, "churn arm {} never departed", row[3].0);
             assert!(resident < arrived / 2.0, "churn did not retire balls");
+        }
+        // Both churn modes appear in the weighted arm.
+        let churn_modes: Vec<&str> = t.rows().iter().map(|r| r[3].0.as_str()).collect();
+        assert!(churn_modes.contains(&"load-prop"));
+        assert!(churn_modes.contains(&"capacity-prop"));
+    }
+
+    #[test]
+    fn e14_quick_reweighting_suffix_is_exact_and_recovers() {
+        let t = e14_runtime_reweighting(true);
+        assert_eq!(t.n_rows(), 2, "both weight-aware policies");
+        for row in t.rows() {
+            // The boundary-exactness property must hold on every row.
+            assert_eq!(row[8].0, "yes", "suffix not bit-identical: {}", row[1].0);
+            // The reweighting fired exactly at the half-stream boundary
+            // (m/2 balls in batches of n → ratio/2 batches).
+            let reweight_at: u64 = row[3].0.parse().unwrap();
+            assert_eq!(
+                reweight_at, 32,
+                "quick mode drains 64 batches, switch at 32"
+            );
+            // The switch disturbs the balance; the policy must work it back
+            // down to (near) the fresh-engine level.
+            let peak: f64 = row[5].0.parse().unwrap();
+            let final_gap: f64 = row[6].0.parse().unwrap();
+            let fresh_final: f64 = row[7].0.parse().unwrap();
+            assert!(peak >= final_gap, "no recovery visible");
+            assert!(
+                (final_gap - fresh_final).abs() < 1e-9,
+                "suffix-identical rows must agree on the final gap"
+            );
         }
     }
 

@@ -2,28 +2,43 @@
 
 use pba_stats::Table;
 
+/// The experiment id token of a table title: everything before the first
+/// `:` (or whitespace), e.g. `"E10"` from `"E10: streaming two-choice — …"`.
+/// Matching the token exactly — instead of `starts_with` prefixes — means new
+/// experiments can never silently inherit another experiment's commentary
+/// ("E14" must not fall into "E1") and the match arms need no ordering rules.
+fn experiment_token(title: &str) -> &str {
+    title
+        .split(|c: char| c == ':' || c.is_whitespace())
+        .next()
+        .unwrap_or("")
+}
+
 /// Per-experiment commentary: what the paper predicts and what to look for in
-/// the measured rows. Indexed by experiment prefix (e.g. "E1").
+/// the measured rows. Indexed by the exact experiment id token (e.g. "E1").
 fn commentary(title: &str) -> &'static str {
-    // E10–E13 must be matched before the bare "E1" prefix.
-    if title.starts_with("E10") {
+    match experiment_token(title) {
+        "E10" => {
         "Batched-model prediction (Los–Sauerwald 2022): with batch size b ≥ n the two-choice gap \
          grows like Θ(b/n) — graceful degradation with staleness — and stays far below the \
          one-choice reference for moderate batches. At extreme staleness (b/n ≫ 10, i.e. batches \
          approaching m) the whole batch herds onto the same stale-least-loaded bins and \
          two-choice overshoots one-choice — the classic stale-information herding effect \
          (Mitzenmacher 2000), reproduced here."
-    } else if title.starts_with("E11") {
+    }
+        "E11" => {
         "Keyed (consistent-hashing) traffic: candidates are a hash of the key, so hot Zipfian keys \
          concentrate on fixed candidate pairs. Two-choice retains a clear advantage over \
          one-choice at moderate skew; as s grows past 1 single keys dominate whole bins and the \
          two/one ratio climbs toward 1 — a real router limitation, reproduced, not an artefact."
-    } else if title.starts_with("E12") {
+    }
+        "E12" => {
         "Dynamic population (arrivals matched by departures after warm-up): the resident count \
          stabilises near the warm-up intake and the online gap stays bounded over the whole run \
          instead of growing with total arrivals; two-choice holds a smaller steady-state gap than \
          one-choice."
-    } else if title.starts_with("E13") {
+    }
+        "E13" => {
         "Heterogeneous backends (Los–Sauerwald weighted setting + the asymmetric superbin idea): \
          a weight-oblivious router equalises raw loads, so its max *normalized* load grows with \
          the capacity skew (the small tier saturates first). Weighted two-choice — candidates \
@@ -32,51 +47,73 @@ fn commentary(title: &str) -> &'static str {
          weighted/oblivious ratio is exactly 1.00 on the uniform row (the strict no-op invariant) \
          and drops as skew grows. The weighted asymmetric algorithm keeps its O(1) normalized \
          excess on the same mixes — the constant-round guarantee survives heterogeneity."
-    } else if title.starts_with("E1") {
+    }
+        "E1" => {
         "Paper prediction (Theorems 1/6): maximal load m/n + O(1) — the excess column must stay a \
          small constant across the whole sweep — and round count O(log log(m/n) + log* n), so the \
          measured rounds should track the prediction column rather than growing with m/n."
-    } else if title.starts_with("E2") {
+    }
+        "E2" => {
         "Paper prediction (Claims 1–4): the number of unallocated balls after round i follows \
          m̃_{i+1} = m̃_i^{2/3}·n^{1/3}; the measured/predicted ratio should stay ≈ 1 until the \
          final couple of phase-1 rounds where concentration weakens."
-    } else if title.starts_with("E3") {
+    }
+        "E3" => {
         "Paper prediction (Theorem 6): O(m) messages in total (requests/m ≈ a small constant), \
          O(1) messages per ball in expectation, O(log n) per ball w.h.p., and \
          (1+o(1))·m/n + O(log n) messages per bin."
-    } else if title.starts_with("E4a") {
+    }
+        "E4a" => {
         "Paper prediction (Theorem 7): a single threshold phase with total capacity M + O(n) \
          rejects Ω(√(Mn)/t) balls; the constant-estimate column (measured / reference) should be \
          bounded away from 0 and roughly stable across M/n and across capacity layouts."
-    } else if title.starts_with("E4b") {
+    }
+        "E4b" => {
         "Paper prediction (Theorem 2 + §1.1): fixed-threshold algorithms need Ω(log n)-ish round \
          counts, while A_heavy needs only Θ(log log(m/n)) — matching the lower-bound prediction \
          column, i.e. the analysis is tight."
-    } else if title.starts_with("E5") {
+    }
+        "E5" => {
         "Paper prediction (Theorem 3): constant rounds (independent of m/n), excess O(1), and per-\
          bin messages (1+o(1))·m/n + O(log n). See DESIGN.md for the reconstruction note on the \
          round schedule."
-    } else if title.starts_with("E6") {
+    }
+        "E6" => {
         "Paper prediction (Theorem 5, [LW16]): load ≤ 2, log* n + O(1) rounds, O(n) messages."
-    } else if title.starts_with("E7") {
+    }
+        "E7" => {
         "Paper framing (§1): single-choice excess Θ(√(m/n·log n)) ≫ Greedy[2] excess O(log log n) \
          ≫ A_heavy / asymmetric excess O(1); the naive threshold strawman needs many more rounds \
          than A_heavy; the trivial deterministic sweep is perfectly balanced but takes up to n \
          rounds (reported as its actual round count)."
-    } else if title.starts_with("E8a") {
+    }
+        "E8a" => {
         "All four executors run the same threshold protocol and must agree on the aggregate \
          outcome (everything placed, same excess regime, comparable round counts)."
-    } else if title.starts_with("E8b") {
+    }
+        "E8b" => {
         "Wall-clock scaling of the shared-memory executor with rayon threads (flat on a single-\
          core host)."
-    } else if title.starts_with("E9a") {
+    }
+        "E9a" => {
         "Ablation of the threshold slack exponent α: smaller α finishes phase 1 in fewer rounds \
          but wastes more capacity per round; α = 2/3 (the paper's choice) balances the two."
-    } else if title.starts_with("E9b") {
+    }
+        "E9b" => {
         "Lemmas 2–3: a degree-d threshold algorithm and its degree-1 simulation reach the same \
          load regime, with the simulation paying roughly a factor-d in rounds."
-    } else {
-        ""
+    }
+        "E14" => {
+        "Runtime reweighting: capacities change *while the stream runs* — set_weights stages new \
+         weights and the engine applies them at the next batch boundary. The boundary semantics \
+         are exact, not approximate: from that boundary on the drains are bit-identical to a \
+         fresh engine built with the new weights over the same resident loads (the \"suffix \
+         identical\" column must read yes on every row). The weighted gap spikes right after the \
+         switch — the resident distribution was balanced for the *old* capacities — and the \
+         weight-aware policies then work it back down toward the fresh-engine level, while the \
+         observer log pins the reweighting to its exact batch index."
+    }
+        _ => "",
     }
 }
 
@@ -130,19 +167,31 @@ mod tests {
     }
 
     #[test]
-    fn e10_commentary_is_not_shadowed_by_e1() {
+    fn experiment_ids_match_exactly_not_by_prefix() {
         assert!(commentary("E10: stream").contains("Los–Sauerwald"));
         assert!(commentary("E11: skew").contains("Zipfian"));
         assert!(commentary("E12: churn").contains("departures"));
         assert!(commentary("E13: weighted").contains("normalized"));
+        assert!(commentary("E14: reweighting").contains("set_weights"));
         assert!(commentary("E1: heavy").contains("Theorems 1/6"));
+        // Regression: an id that merely *starts with* a known id must not
+        // inherit its commentary ("E14" used to fall into the bare "E1"
+        // prefix; a hypothetical "E15"/"E141" must stay empty until someone
+        // writes its text).
+        assert_ne!(commentary("E14: x"), commentary("E1: x"));
+        assert!(commentary("E15: future").is_empty());
+        assert!(commentary("E141: typo").is_empty());
+        assert!(commentary("E4ab: typo").is_empty());
+        // The token parser handles title shapes beyond "Exx:".
+        assert_eq!(experiment_token("E9b — dashes"), "E9b");
+        assert_eq!(experiment_token(""), "");
     }
 
     #[test]
     fn every_known_experiment_has_commentary() {
         for prefix in [
             "E1", "E2", "E3", "E4a", "E4b", "E5", "E6", "E7", "E8a", "E8b", "E9a", "E9b", "E10",
-            "E11", "E12", "E13",
+            "E11", "E12", "E13", "E14",
         ] {
             assert!(
                 !commentary(&format!("{prefix}: x")).is_empty(),

@@ -15,14 +15,14 @@
 //!
 //! | module | crate | contents |
 //! |---|---|---|
-//! | [`model`] | `pba-model` | the synchronous message-passing model: protocol trait, agent/count engines, RNG streams, message accounting, heterogeneous bin weights ([`BinWeights`](model::BinWeights)), [`Allocator`](model::Allocator) |
+//! | [`model`] | `pba-model` | the synchronous message-passing model: protocol trait, agent/count engines, RNG streams, message accounting, heterogeneous bin weights ([`BinWeights`](model::BinWeights)), [`Allocator`](model::Allocator), the unified [`Router`](model::Router) interface (handle-based routing, [`OneShotRouter`](model::OneShotRouter), pluggable [`RouterObserver`](model::RouterObserver)s) |
 //! | [`algorithms`] | `pba-algorithms` | `A_heavy`, `A_light` (LW16 substrate), the asymmetric superbin algorithm and its constant-round weighted variant, the trivial deterministic sweep, the naive fixed-threshold strawman, threshold schedules |
 //! | [`baselines`] | `pba-baselines` | single-choice, sequential `Greedy[d]`, always-go-left, batched two-choice |
 //! | [`lowerbound`] | `pba-lowerbound` | the Section 4 apparatus: rejection census, class decomposition, degree simulation, round predictions |
 //! | [`concurrent`] | `pba-concurrent` | shared-memory execution: atomic bins, rayon executor, crossbeam actor executor, speed-up harness |
-//! | [`stream`] | `pba-stream` | the online, sharded, batched streaming allocation engine (two-choice on stale loads, weighted two-choice and capacity-aware thresholds for heterogeneous backends, arrival processes, churn scenarios) |
+//! | [`stream`] | `pba-stream` | the online, sharded, batched streaming allocation engine (two-choice on stale loads, weighted two-choice and capacity-aware thresholds for heterogeneous backends, arrival processes, ticket-based churn scenarios, runtime reweighting) — a native [`Router`](model::Router) |
 //! | [`stats`] | `pba-stats` | tails, histograms, load metrics, fits, tables, multi-seed aggregation |
-//! | [`workloads`] | `pba-workloads` | experiment configurations and the E1–E13 experiment definitions |
+//! | [`workloads`] | `pba-workloads` | experiment configurations and the E1–E14 experiment definitions |
 //!
 //! ## Quick start
 //!
@@ -60,7 +60,10 @@ pub mod prelude {
         NaiveThresholdAllocator, TrivialAllocator, WeightedAsymmetricAllocator,
     };
     pub use pba_baselines::{GreedyDAllocator, SingleChoiceAllocator};
-    pub use pba_model::{AllocationOutcome, Allocator, BinWeights, EngineConfig};
+    pub use pba_model::{
+        AllocationOutcome, Allocator, BinWeights, EngineConfig, OneShotRouter, Placement,
+        RouteError, Router, RouterObserver, RouterStats, Ticket,
+    };
     pub use pba_stats::{LoadMetrics, Table};
     pub use pba_stream::{ArrivalProcess, Policy as StreamPolicy, StreamAllocator, StreamConfig};
 }

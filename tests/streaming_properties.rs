@@ -54,7 +54,10 @@ proptest! {
             push_keys(&mut stream, pushes, seed ^ cycle as u64);
             stream.drain_ready();
             prop_assert!(stream.conserves_balls(), "after drain in cycle {}", cycle);
-            // Retire a few residents.
+            // Retire a few residents through the deprecated raw-bin shim —
+            // pushed balls are anonymous (no tickets), and the shim must keep
+            // conserving until it is removed.
+            #[allow(deprecated)]
             for _ in 0..(pushes / 4) {
                 let bin = depart_rng.gen_index(n);
                 stream.depart(bin); // may fail on empty bins — still conserved

@@ -263,6 +263,31 @@ where
         });
         parts.into_iter().flatten().collect()
     }
+
+    /// Mirrors rayon's `collect_into_vec`: evaluates the pipeline into a
+    /// caller-provided vector (cleared first), in input order, **without**
+    /// per-worker part vectors — the output is sized once and split into one
+    /// contiguous window per worker, so a reused `out` makes repeated calls
+    /// allocation-free once its capacity is warm. Divergence from real rayon:
+    /// pre-sizing the output without `unsafe` needs `R: Default`.
+    pub fn collect_into_vec(self, out: &mut Vec<R>)
+    where
+        R: Default,
+    {
+        let slice = self.slice;
+        out.clear();
+        let w = worker_count_min(slice.len(), self.min_len);
+        if w <= 1 {
+            out.extend(slice.iter().map(&self.f));
+            return;
+        }
+        out.resize_with(slice.len(), R::default);
+        run_into_windows(slice, out, w, |piece_in, piece_out| {
+            for (slot, x) in piece_out.iter_mut().zip(piece_in) {
+                *slot = (self.f)(x);
+            }
+        });
+    }
 }
 
 /// Lazy parallel `map_init` adaptor (per-worker scratch state).
@@ -307,6 +332,57 @@ where
         });
         parts.into_iter().flatten().collect()
     }
+
+    /// Mirrors rayon's `collect_into_vec` for `map_init` pipelines: evaluates
+    /// into a caller-provided vector (cleared first), in input order, with one
+    /// scratch per worker and **no** per-worker part vectors (see
+    /// [`ParMap::collect_into_vec`]). Divergence from real rayon: pre-sizing
+    /// the output without `unsafe` needs `R: Default`.
+    pub fn collect_into_vec(self, out: &mut Vec<R>)
+    where
+        R: Default,
+    {
+        let slice = self.slice;
+        out.clear();
+        let w = worker_count_min(slice.len(), self.min_len);
+        if w <= 1 {
+            let mut scratch = (self.init)();
+            out.extend(slice.iter().map(|x| (self.f)(&mut scratch, x)));
+            return;
+        }
+        out.resize_with(slice.len(), R::default);
+        run_into_windows(slice, out, w, |piece_in, piece_out| {
+            let mut scratch = (self.init)();
+            for (slot, x) in piece_out.iter_mut().zip(piece_in) {
+                *slot = (self.f)(&mut scratch, x);
+            }
+        });
+    }
+}
+
+/// Splits `slice` and `out` (which must have equal lengths) into `w` aligned
+/// contiguous windows and runs `work(input_window, output_window)` on one
+/// scoped thread per window — the shared backbone of the `collect_into_vec`
+/// implementations.
+fn run_into_windows<'a, T: Sync, R: Send>(
+    slice: &'a [T],
+    out: &mut [R],
+    w: usize,
+    work: impl Fn(&'a [T], &mut [R]) + Sync,
+) {
+    debug_assert_eq!(slice.len(), out.len());
+    let mut rest = out;
+    std::thread::scope(|scope| {
+        let work = &work;
+        for i in 0..w {
+            let lo = i * slice.len() / w;
+            let hi = (i + 1) * slice.len() / w;
+            let (piece_out, tail) = std::mem::take(&mut rest).split_at_mut(hi - lo);
+            rest = tail;
+            let piece_in = &slice[lo..hi];
+            scope.spawn(move || work(piece_in, piece_out));
+        }
+    });
 }
 
 /// Parallel mutable chunk iterator (the result of `par_chunks_mut`).
@@ -480,6 +556,34 @@ mod tests {
             **sum.lock().unwrap() += x;
         });
         assert_eq!(seen, 28);
+    }
+
+    #[test]
+    fn collect_into_vec_matches_collect_and_reuses_capacity() {
+        let xs: Vec<u64> = (0..10_000).collect();
+        let via_collect: Vec<u64> = xs.par_iter().with_min_len(1).map(|&x| x * 7 + 1).collect();
+        let mut out = Vec::new();
+        xs.par_iter()
+            .with_min_len(1)
+            .map(|&x| x * 7 + 1)
+            .collect_into_vec(&mut out);
+        assert_eq!(out, via_collect);
+        // A second call reuses the buffer: same results, capacity retained.
+        let cap = out.capacity();
+        xs.par_iter()
+            .with_min_len(1)
+            .map_init(|| 0u64, |_, &x| x * 7 + 1)
+            .collect_into_vec(&mut out);
+        assert_eq!(out, via_collect);
+        assert_eq!(out.capacity(), cap);
+        // Sequential cutoff path (default min_len keeps 8 items on 1 worker).
+        let small: Vec<u64> = (0..8).collect();
+        small.par_iter().map(|&x| x + 1).collect_into_vec(&mut out);
+        assert_eq!(out, (1..=8).collect::<Vec<u64>>());
+        // Empty input clears the output.
+        let empty: Vec<u64> = Vec::new();
+        empty.par_iter().map(|&x| x).collect_into_vec(&mut out);
+        assert!(out.is_empty());
     }
 
     #[test]
