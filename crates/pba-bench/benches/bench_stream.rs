@@ -1,6 +1,8 @@
 //! Criterion bench for the streaming engine: push + drain throughput of the
-//! sequential vs sharded drain paths, the policy cost on the hot path, and
-//! the weighted (alias-table) choice path vs the unweighted one.
+//! sequential vs sharded drain paths, the policy cost on the hot path, the
+//! weighted (alias-table) choice path vs the unweighted one, and the drain on
+//! dedicated worker pools of different sizes (the `num_threads` knob over the
+//! persistent pool of the rayon shim).
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use pba_stream::{BinWeights, Policy, StreamAllocator, StreamConfig};
 
@@ -89,6 +91,30 @@ fn bench_stream(c: &mut Criterion) {
                 ))
             });
         });
+    }
+    // Dedicated-pool drains: the same sharded workload on engine-owned pools
+    // of 1/2/4 workers (batch 8192 crosses the parallel cutoffs, so the pool
+    // is genuinely exercised; on a single-core host the counts tie).
+    for threads in [1usize, 2, 4] {
+        group.bench_with_input(
+            BenchmarkId::new("two_choice_pool_threads", threads),
+            &threads,
+            |b, &threads| {
+                let mut seed = 0u64;
+                b.iter(|| {
+                    seed = seed.wrapping_add(1);
+                    std::hint::black_box(run_stream(
+                        StreamConfig::new(n)
+                            .batch_size(8192)
+                            .seed(seed)
+                            .shards(8)
+                            .num_threads(threads),
+                        m,
+                        seed,
+                    ))
+                });
+            },
+        );
     }
     group.finish();
 }

@@ -1,0 +1,6 @@
+//! E15 — execution layer: drain throughput vs worker count, warm-pool vs
+//! cold-spawn dispatch.
+fn main() {
+    let opts = pba_bench::ExpOptions::from_env();
+    opts.print_all(&[pba_workloads::experiments::e15_execution_layer(!opts.full)]);
+}

@@ -13,13 +13,15 @@
 //! * [`executor`] — a rayon-based round executor: in each round all unallocated
 //!   balls try to claim a slot in a uniformly random bin under the round's
 //!   threshold; rejected balls retry next round. Supports the `A_heavy` schedule
-//!   and fixed thresholds.
+//!   and fixed thresholds. Rounds run on the workspace-wide **persistent worker
+//!   pool** of the rayon shim (the same pool the streaming drain uses), so
+//!   per-round dispatch is a channel send, not a thread spawn.
 //! * [`actor`] — a crossbeam-channel actor executor: bins are sharded over worker
 //!   threads, balls' requests are messages on the shards' channels and accepts
 //!   flow back over a result channel. A faithful "message passing" realisation of
 //!   the model, used to cross-validate the shared-memory path.
 //! * [`speedup`] — wall-clock measurements of one allocation under varying rayon
-//!   thread counts.
+//!   thread counts (pool-warm: each pool's first run is a discarded warm-up).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -344,20 +344,23 @@ impl<A: Allocator> OneShotRouter<A> {
         );
         // Deal the final loads out round-robin: cycle the bins, placing one
         // ball per still-unfilled bin, so any route-call prefix is spread
-        // across the whole fleet instead of filling bin 0 first.
+        // across the whole fleet instead of filling bin 0 first. Exhausted
+        // bins leave the cycle (`retain` keeps ascending order, so the dealt
+        // sequence is exactly the skip-scan's), making this O(m + n) instead
+        // of O(max_load · n) — a skewed outcome no longer pays a full fleet
+        // scan per load level.
         let mut remaining = outcome.loads.clone();
         let mut placements = Vec::with_capacity(outcome.allocated() as usize);
-        let mut open = remaining.iter().filter(|&&l| l > 0).count();
-        while open > 0 {
-            for (bin, left) in remaining.iter_mut().enumerate() {
-                if *left > 0 {
-                    *left -= 1;
-                    placements.push(bin as u32);
-                    if *left == 0 {
-                        open -= 1;
-                    }
-                }
-            }
+        let mut open: Vec<u32> = (0..n as u32)
+            .filter(|&bin| remaining[bin as usize] > 0)
+            .collect();
+        while !open.is_empty() {
+            open.retain(|&bin| {
+                let left = &mut remaining[bin as usize];
+                *left -= 1;
+                placements.push(bin);
+                *left > 0
+            });
         }
         Self {
             allocator,

@@ -57,14 +57,16 @@ use crate::policy::{choose_bin, ChoiceCtx, Policy};
 use crate::shard::{ShardStats, ShardedBins};
 
 /// Minimum balls per worker in the parallel choose step. The per-ball work
-/// (key hash + policy) is ~50–150 ns while the vendored rayon shim spawns a
-/// fresh scoped thread per worker (~30 µs), so a worker needs a few thousand
-/// balls to amortise the spawn; below that the sequential path wins.
-const CHOOSE_MIN_BALLS_PER_WORKER: usize = 2048;
+/// (key hash + policy) is ~50–150 ns; dispatching a chunk to the persistent
+/// rayon-shim pool costs a boxed job plus a channel send (~1 µs), so a worker
+/// needs a few hundred balls to amortise the dispatch. (Before the pool this
+/// cutoff was 2048: a fresh scoped thread per worker cost ~30 µs.)
+const CHOOSE_MIN_BALLS_PER_WORKER: usize = 512;
 
 /// Batch size below which the sharded parallel apply is skipped: applying a
 /// placement is one atomic increment, so small batches are faster applied
-/// inline than grouped by shard and fanned out.
+/// inline than grouped by shard and fanned out (the by-shard grouping pass,
+/// not dispatch, is the overhead that needs amortising).
 const PARALLEL_APPLY_MIN_BATCH: usize = 4096;
 
 /// Configuration of a [`StreamAllocator`].
@@ -89,6 +91,21 @@ pub struct StreamConfig {
     /// grow with uptime; [`OnlineStats`] keeps the full-history summary
     /// regardless. Default `65536`.
     pub trajectory_cap: usize,
+    /// Worker-thread count of the parallel drain. `0` (the default) uses the
+    /// ambient pool — whatever `ThreadPool::install` scope the caller runs
+    /// drains under, or the global pool (`PBA_THREADS` / core count). A
+    /// positive value gives this engine its **own** dedicated pool of that
+    /// size, so engine parallelism is configured here instead of ambiently.
+    /// Results are bit-identical for every worker count (parallelism only
+    /// partitions index ranges; it never reorders RNG consumption).
+    ///
+    /// Caveat: when the drain itself runs *inside* a pool task (e.g. engines
+    /// driven from a `par_iter`), nested parallel operations fall back to
+    /// inline execution — the dedicated pool is then idle and the drain runs
+    /// sequentially (results unchanged, the inner parallelism just does not
+    /// materialise). Drive engines from plain threads to combine outer and
+    /// inner parallelism.
+    pub num_threads: usize,
     /// Per-bin weights (relative backend capacities). Uniform by default;
     /// uniform weights — including explicit constant vectors — are a strict
     /// no-op relative to the unweighted engine (see [`BinWeights::resolve`]).
@@ -106,6 +123,7 @@ impl StreamConfig {
             seed: 0,
             parallel: true,
             trajectory_cap: 1 << 16,
+            num_threads: 0,
             weights: BinWeights::Uniform,
         }
     }
@@ -137,6 +155,13 @@ impl StreamConfig {
     /// Selects the sequential drain path (builder style).
     pub fn sequential(mut self) -> Self {
         self.parallel = false;
+        self
+    }
+
+    /// Sets the parallel drain's worker count (builder style); `0` keeps the
+    /// ambient pool. See [`StreamConfig::num_threads`].
+    pub fn num_threads(mut self, threads: usize) -> Self {
+        self.num_threads = threads;
         self
     }
 
@@ -266,6 +291,10 @@ pub struct StreamAllocator {
     route_capacity: Vec<u32>,
     /// Scratch: candidate bins of a single `route` call (reused).
     route_candidates: Vec<u32>,
+    /// Dedicated worker pool of the parallel drain when
+    /// [`StreamConfig::num_threads`] is positive; `None` drains on the
+    /// ambient (installed or global) pool.
+    pool: Option<rayon::ThreadPool>,
 }
 
 impl StreamAllocator {
@@ -310,6 +339,12 @@ impl StreamAllocator {
             route_threshold: 0,
             route_capacity: Vec::new(),
             route_candidates: Vec::new(),
+            pool: (config.num_threads > 0).then(|| {
+                rayon::ThreadPoolBuilder::new()
+                    .num_threads(config.num_threads)
+                    .build()
+                    .expect("stream drain pool")
+            }),
             config,
         }
     }
@@ -568,14 +603,35 @@ impl StreamAllocator {
     }
 
     /// Allocates one batch against the stale snapshot, then advances the
-    /// snapshot to the new loads and records the gap.
+    /// snapshot to the new loads and records the gap. Runs on the engine's
+    /// dedicated pool when [`StreamConfig::num_threads`] is set.
     fn drain_batch(&mut self, batch: &[PendingBall]) {
+        // Take/restore the pool around the drain so the closure can borrow
+        // `self` mutably; the drain itself never touches `self.pool`.
+        match self.pool.take() {
+            Some(pool) => {
+                pool.install(|| self.drain_batch_inner(batch));
+                self.pool = Some(pool);
+            }
+            None => self.drain_batch_inner(batch),
+        }
+    }
+
+    /// The drain body: choose (parallel over balls), apply (parallel over
+    /// shards), advance the boundary.
+    fn drain_batch_inner(&mut self, batch: &[PendingBall]) {
         if batch.is_empty() {
             return;
         }
         // A batch starts here: this is the boundary where staged weights take
-        // effect.
-        self.apply_pending_weights();
+        // effect — unless a *routed* batch is still open. Its thresholds were
+        // priced under the old weights, so applying mid-flight would let the
+        // open batch's remaining placements run under new weights against old
+        // thresholds; the staged change instead waits for the boundary that
+        // closes it (`close_open_batch`).
+        if self.open_batch == 0 {
+            self.apply_pending_weights();
+        }
         let n = self.config.bins;
         let threshold = self.batch_threshold(batch.len() as u64);
         let mut thresholds = std::mem::take(&mut self.capacity_scratch);
@@ -965,6 +1021,30 @@ mod tests {
     }
 
     #[test]
+    fn num_threads_knob_is_load_and_trajectory_invariant() {
+        // A dedicated drain pool of any size must reproduce the ambient-pool
+        // run exactly: parallelism partitions index ranges, it never reorders
+        // RNG consumption. Batch 8192 crosses both parallel cutoffs.
+        let base = StreamConfig::new(64)
+            .policy(Policy::TwoChoice)
+            .batch_size(8192)
+            .shards(8)
+            .seed(41);
+        let mut ambient = StreamAllocator::new(base.clone());
+        push_uniform(&mut ambient, 20_000, 9);
+        ambient.flush();
+        for threads in [1usize, 2, 4] {
+            let mut dedicated = StreamAllocator::new(base.clone().num_threads(threads));
+            assert_eq!(dedicated.config().num_threads, threads);
+            push_uniform(&mut dedicated, 20_000, 9);
+            dedicated.flush();
+            assert_eq!(dedicated.loads(), ambient.loads(), "threads = {threads}");
+            assert_eq!(dedicated.gap_trajectory(), ambient.gap_trajectory());
+            assert_eq!(dedicated.shard_stats(), ambient.shard_stats());
+        }
+    }
+
+    #[test]
     fn two_choice_beats_one_choice_on_the_same_stream() {
         let m = 200_000u64;
         let base = StreamConfig::new(256).batch_size(256).seed(7);
@@ -1348,6 +1428,38 @@ mod tests {
         assert_eq!(records.len(), 1);
         assert_eq!(records[0].batch_index, 1);
         assert_eq!(s.gap_trajectory().len(), 1);
+        assert!(s.conserves_balls());
+    }
+
+    #[test]
+    fn set_weights_staged_mid_routed_batch_survives_interleaved_push_drains() {
+        // A push-mode drain is NOT the boundary that may apply staged weights
+        // while a routed batch is open: the open batch's thresholds were
+        // priced under the old weights, so the change must wait for the
+        // boundary that closes it.
+        use pba_model::weights::BinWeights;
+        let n = 16usize;
+        let mut s = StreamAllocator::new(StreamConfig::new(n).batch_size(10).seed(8));
+        for key in 0..5u64 {
+            s.route(key).unwrap();
+        }
+        s.set_weights(BinWeights::power_of_two_tiers(&[(4, 1), (12, 0)]));
+        // Interleaved push traffic drains a full batch while the routed batch
+        // is still open — the staged weights must not apply here.
+        push_uniform(&mut s, 10, 3);
+        s.drain_ready();
+        assert!(
+            s.weights().is_none(),
+            "staged weights applied mid-open routed batch"
+        );
+        // Closing the routed batch is a boundary: now they apply.
+        for key in 5..10u64 {
+            s.route(key).unwrap();
+        }
+        assert!(
+            s.weights().is_some(),
+            "applied once the routed batch closed"
+        );
         assert!(s.conserves_balls());
     }
 

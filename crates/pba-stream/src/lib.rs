@@ -39,6 +39,12 @@
 //!   (ticket releases, load- or capacity-proportional) driving a
 //!   [`StreamAllocator`], reporting online gap trajectories.
 //!
+//! Drain parallelism is explicit: [`StreamConfig::num_threads`] gives an
+//! engine its own worker pool (`0` = the ambient/global pool, sized by
+//! `PBA_THREADS` or the core count). Results are **bit-identical for every
+//! worker count** — parallelism only partitions index ranges, it never
+//! reorders RNG consumption.
+//!
 //! The engine also implements the unified [`Router`] interface of
 //! [`pba_model::router`]: [`StreamAllocator::route`] places one ball
 //! synchronously (bit-identical to `push` + `drain` for the same keys) and
@@ -84,3 +90,8 @@ pub use shard::{ShardStats, ShardedBins};
 // Re-exported so weighted stream configurations need only this crate.
 pub use pba_model::router::{Placement, RouteError, Router, RouterObserver, RouterStats, Ticket};
 pub use pba_model::weights::{BinWeights, ResolvedWeights};
+
+// Re-exported so callers can build/install drain pools without naming the
+// vendored shim: `StreamConfig::num_threads` covers the dedicated-pool case,
+// `ThreadPool::install` the ambient one.
+pub use rayon::{ThreadPool, ThreadPoolBuilder};

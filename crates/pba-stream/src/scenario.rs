@@ -145,7 +145,7 @@ pub fn run_scenario_on(scenario: &ScenarioConfig, mut stream: StreamAllocator) -
             churn_credit += scenario.churn * arrivals as f64;
             match scenario.churn_mode {
                 ChurnMode::LoadProportional => {
-                    if churn_credit >= 1.0 && stream.resident() > 0 {
+                    if churn_credit >= 1.0 && stream.resident_tickets() > 0 {
                         // One O(n) Fenwick build per tick, then O(log n) per
                         // departure — the per-departure linear scan would make
                         // churn cost O(departures · n).
@@ -158,9 +158,9 @@ pub fn run_scenario_on(scenario: &ScenarioConfig, mut stream: StreamAllocator) -
                     }
                 }
                 ChurnMode::CapacityProportional => {
-                    // Track the resident count locally: `stream.resident()`
-                    // is an O(n) scan, too expensive once per departure.
-                    let mut residents = stream.resident();
+                    // Track the releasable count locally: `resident_tickets`
+                    // is cheap, but the loop should not re-query per step.
+                    let mut residents = stream.resident_tickets() as u64;
                     while churn_credit >= 1.0 && residents > 0 {
                         churn_credit -= 1.0;
                         residents -= 1;
@@ -191,9 +191,10 @@ pub fn run_scenario_on(scenario: &ScenarioConfig, mut stream: StreamAllocator) -
     }
 }
 
-/// Releases a resident of `bin` (every scenario ball is ticketed, so a
-/// loaded bin always has one; which resident is arbitrary-but-deterministic —
-/// balls are exchangeable for every load-level property).
+/// Releases a resident of `bin` (the churn samplers only propose bins with
+/// resident *tickets*, so one always exists; which resident is
+/// arbitrary-but-deterministic — balls are exchangeable for every load-level
+/// property).
 fn release_resident_in(stream: &mut StreamAllocator, bin: usize) {
     let ticket = stream
         .ticket_in(bin)
@@ -204,36 +205,43 @@ fn release_resident_in(stream: &mut StreamAllocator, bin: usize) {
 }
 
 /// Draws the departing bin with probability proportional to its weight
-/// (uniformly when the stream is unweighted). A drawn empty bin is redrawn up
-/// to [`MAX_EMPTY_DRAWS`] times — under pathological skew the heavy bins may
-/// all be empty — after which the draw falls forward cyclically to the first
-/// non-empty bin, so the sample always terminates in O(n) worst case while
-/// staying a pure function of the RNG stream.
+/// (uniformly when the stream is unweighted). A drawn ticketless bin is
+/// redrawn up to [`MAX_EMPTY_DRAWS`] times — under pathological skew the
+/// heavy bins may all be empty — after which the draw falls forward
+/// cyclically to the first bin holding a ticket, so the sample always
+/// terminates in O(n) worst case while staying a pure function of the RNG
+/// stream. Only *ticketed* residents are releasable, so the ledger, not the
+/// raw load, decides eligibility (a pre-seeded engine may hold anonymous
+/// balls on top).
 fn sample_capacity_bin(stream: &StreamAllocator, rng: &mut SplitMix64, n: usize) -> usize {
-    debug_assert!(stream.resident() > 0);
+    debug_assert!(stream.resident_tickets() > 0);
     let mut bin = 0usize;
     for _ in 0..MAX_EMPTY_DRAWS {
         bin = match stream.weights() {
             Some(weights) => weights.sample(rng) as usize,
             None => rng.gen_index(n),
         };
-        if stream.load(bin) > 0 {
+        if stream.tickets_in(bin) > 0 {
             return bin;
         }
     }
     (0..n)
         .map(|step| (bin + step) % n)
-        .find(|&candidate| stream.load(candidate) > 0)
-        .expect("resident > 0 guarantees a non-empty bin")
+        .find(|&candidate| stream.tickets_in(candidate) > 0)
+        .expect("resident_tickets > 0 guarantees a ticketed bin")
 }
 
-/// Empty-bin redraws tolerated by [`sample_capacity_bin`] before it falls
-/// forward to the nearest non-empty bin.
+/// Ticketless-bin redraws tolerated by [`sample_capacity_bin`] before it
+/// falls forward to the nearest bin holding a ticket.
 const MAX_EMPTY_DRAWS: usize = 64;
 
-/// Fenwick (binary indexed) tree over per-bin loads, used to sample a
-/// departing ball uniformly over residents: bin `i` is drawn with probability
-/// `load_i / total`, in `O(log n)` per draw after an `O(n)` build.
+/// Fenwick (binary indexed) tree over per-bin **resident-ticket** counts,
+/// used to sample a departing ball uniformly over the releasable residents:
+/// bin `i` is drawn with probability `tickets_i / total`, in `O(log n)` per
+/// draw after an `O(n)` build. For a stream whose balls were all routed (the
+/// scenario driver's own arrivals) this is identical to sampling by load;
+/// anonymous residents of a pre-seeded engine are excluded — they cannot be
+/// released.
 struct LoadTree {
     /// 1-based Fenwick array of partial sums.
     tree: Vec<u64>,
@@ -243,18 +251,18 @@ struct LoadTree {
 impl LoadTree {
     fn build_from(stream: &StreamAllocator, n: usize) -> Self {
         let mut tree = vec![0u64; n + 1];
+        let mut total = 0u64;
         for bin in 0..n {
-            tree[bin + 1] += stream.load(bin) as u64;
+            let tickets = stream.tickets_in(bin) as u64;
+            total += tickets;
+            tree[bin + 1] += tickets;
             let parent = (bin + 1) + ((bin + 1) & (bin + 1).wrapping_neg());
             if parent <= n {
                 let v = tree[bin + 1];
                 tree[parent] += v;
             }
         }
-        Self {
-            total: stream.resident(),
-            tree,
-        }
+        Self { total, tree }
     }
 
     fn total(&self) -> u64 {
@@ -310,6 +318,39 @@ mod tests {
         assert!(report.stream.conserves_balls());
         assert!(report.final_gap >= 0.0);
         assert!(report.max_gap >= report.final_gap);
+    }
+
+    #[test]
+    fn churn_on_a_preseeded_engine_only_releases_ticketed_balls() {
+        // A pre-seeded engine holds anonymous residents (no tickets); churn
+        // must sample over the ticket ledger, not raw loads, or it would pick
+        // a bin whose load is anonymous-only and panic. Both churn modes.
+        for mode in [ChurnMode::LoadProportional, ChurnMode::CapacityProportional] {
+            let n = 32usize;
+            let seeded_loads = vec![4u32; n]; // 128 anonymous residents
+            let stream = StreamAllocator::with_resident_loads(
+                StreamConfig::new(n).batch_size(16).seed(5),
+                &seeded_loads,
+            );
+            let scenario = ScenarioConfig::growth(
+                120,
+                ArrivalProcess::Uniform {
+                    keys: crate::arrival::UNIQUE_KEYS,
+                    rate: 8,
+                },
+            )
+            .with_churn(1.0, 10)
+            .with_churn_mode(mode);
+            let report = run_scenario_on(&scenario, stream);
+            assert!(report.departed > 0, "churn must run ({mode:?})");
+            assert!(report.stream.conserves_balls());
+            // The anonymous seed population is untouchable: residents can
+            // never drop below it.
+            assert!(
+                report.stream.resident() >= 128,
+                "anonymous residents were released ({mode:?})"
+            );
+        }
     }
 
     #[test]
@@ -379,11 +420,13 @@ mod tests {
 
     #[test]
     fn load_tree_sampling_matches_linear_scan_reference() {
+        // Route (not push) so every resident is ticketed — the tree samples
+        // over the ticket ledger, which for an all-routed stream equals the
+        // loads the linear reference scans.
         let mut stream = StreamAllocator::new(StreamConfig::new(16).batch_size(16).seed(5));
         for k in 0..200u64 {
-            stream.push(k);
+            stream.route(k).unwrap();
         }
-        stream.flush();
         let loads = stream.loads();
         let total: u64 = loads.iter().map(|&l| l as u64).sum();
         for target in 0..total {

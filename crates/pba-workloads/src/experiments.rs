@@ -1,11 +1,13 @@
-//! The reproduction experiments E1–E14 (see DESIGN.md for the full index).
+//! The reproduction experiments E1–E15 (see DESIGN.md for the full index).
 //! E1–E9 validate the SPAA'19 paper; E10–E12 measure the streaming engine of
 //! `pba-stream` in the batched/stale-information model (Los–Sauerwald 2022),
 //! with E12 exercising both load- and capacity-proportional churn through the
 //! handle-based router surface; E13 measures weighted multi-backend routing
 //! over heterogeneous capacity tiers (streaming policies plus the weighted
 //! asymmetric algorithm); E14 measures **runtime reweighting** — a capacity
-//! change applied to a running stream at a batch boundary.
+//! change applied to a running stream at a batch boundary; E15 measures the
+//! **execution layer** — drain throughput vs worker count and the dispatch
+//! cost of the persistent pool (warm) vs a cold spawn.
 //!
 //! The paper is a theory paper without numbered tables/figures, so each
 //! experiment here plays the role of a table: it validates one theorem, claim or
@@ -1044,7 +1046,103 @@ pub fn e14_runtime_reweighting(quick: bool) -> Table {
     table
 }
 
-/// Runs every experiment and returns all tables in order (E1 … E14).
+/// E15 — the execution layer itself: end-to-end drain throughput of the
+/// streaming engine vs the worker count of its dedicated pool, plus the
+/// dispatch cost of the persistent pool — a **cold** pool's first parallel
+/// operation (pays worker spawn) vs a **warm** pool's steady-state operation
+/// (a channel send to parked workers). The "identical loads" column verifies
+/// the execution-layer invariant end to end: every worker count must produce
+/// bit-identical loads, because parallelism only partitions index ranges.
+/// On a single-core host the throughput column is flat; the dispatch columns
+/// and the bit-identity check are meaningful everywhere.
+pub fn e15_execution_layer(quick: bool) -> Table {
+    use rayon::prelude::*;
+    use std::time::Instant;
+
+    // Batch 8192 crosses both of the engine's parallel cutoffs, so the drain
+    // genuinely runs choose + apply on the pool.
+    let batch = 8192usize;
+    let (n, batches): (usize, usize) = if quick { (256, 4) } else { (1024, 64) };
+    let m = (batch * batches) as u64;
+    let mut table = Table::with_alignments(
+        "E15: execution layer — drain throughput vs worker count, warm-pool vs cold-spawn dispatch",
+        &[
+            ("threads", Align::Right),
+            ("drain ms", Align::Right),
+            ("Mballs/s", Align::Right),
+            ("speedup vs 1", Align::Right),
+            ("identical loads", Align::Left),
+            ("cold first-op µs", Align::Right),
+            ("warm op µs", Align::Right),
+        ],
+    );
+
+    let mut keys = pba_model::rng::SplitMix64::for_stream(7, 0xe15, 0);
+    let keys: Vec<u64> = (0..m).map(|_| keys.next_u64()).collect();
+    let run = |threads: usize| -> (f64, Vec<u32>) {
+        let mut stream = StreamAllocator::new(
+            StreamConfig::new(n)
+                .batch_size(batch)
+                .shards(8)
+                .seed(7)
+                .num_threads(threads),
+        );
+        for &key in &keys {
+            stream.push(key);
+        }
+        let start = Instant::now();
+        stream.drain_ready();
+        (start.elapsed().as_secs_f64(), stream.loads())
+    };
+
+    let mut baseline = None;
+    let mut reference: Option<Vec<u32>> = None;
+    for threads in [1usize, 2, 4] {
+        // One discarded warm-up run per thread count: the timed drain then
+        // reports a warm dedicated pool, matching how a long-lived engine runs.
+        let _ = run(threads);
+        let (seconds, loads) = run(threads);
+        let identical = *reference.get_or_insert_with(|| loads.clone()) == loads;
+        let base = *baseline.get_or_insert(seconds);
+
+        // Dispatch overhead, measured on a tiny fixed-cost parallel operation
+        // (4096 trivial items, min_len 1 ⇒ always split across the workers).
+        let items: Vec<u64> = (0..4096).collect();
+        let tick = |pool: &rayon::ThreadPool| {
+            pool.install(|| {
+                items.par_iter().with_min_len(1).for_each(|x| {
+                    std::hint::black_box(x);
+                })
+            })
+        };
+        let cold_start = Instant::now();
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .expect("bench pool");
+        tick(&pool);
+        let cold_us = cold_start.elapsed().as_secs_f64() * 1e6;
+        let reps = 200u32;
+        let warm_start = Instant::now();
+        for _ in 0..reps {
+            tick(&pool);
+        }
+        let warm_us = warm_start.elapsed().as_secs_f64() * 1e6 / reps as f64;
+
+        table.push_row([
+            Cell::from(threads),
+            Cell::from(seconds * 1e3),
+            Cell::from(m as f64 / seconds / 1e6),
+            Cell::from(base / seconds),
+            Cell::from(if identical { "yes" } else { "NO" }),
+            Cell::from(cold_us),
+            Cell::from(warm_us),
+        ]);
+    }
+    table
+}
+
+/// Runs every experiment and returns all tables in order (E1 … E15).
 pub fn all_experiments(quick: bool) -> Vec<Table> {
     let mut tables = vec![
         e1_heavy_load_and_rounds(quick),
@@ -1062,6 +1160,7 @@ pub fn all_experiments(quick: bool) -> Vec<Table> {
     tables.push(e12_stream_churn(quick));
     tables.push(e13_weighted_routing(quick));
     tables.push(e14_runtime_reweighting(quick));
+    tables.push(e15_execution_layer(quick));
     tables
 }
 
@@ -1237,6 +1336,29 @@ mod tests {
                 "suffix-identical rows must agree on the final gap"
             );
         }
+    }
+
+    #[test]
+    fn e15_quick_loads_are_bit_identical_across_worker_counts() {
+        let t = e15_execution_layer(true);
+        assert_eq!(t.n_rows(), 3, "threads 1, 2, 4");
+        for row in t.rows() {
+            // The execution-layer invariant, end to end: every worker count
+            // produces the same loads.
+            assert_eq!(row[4].0, "yes", "loads diverged at threads {}", row[0].0);
+            let throughput: f64 = row[2].0.parse().unwrap();
+            assert!(throughput > 0.0);
+            let warm: f64 = row[6].0.parse().unwrap();
+            assert!(warm > 0.0);
+        }
+        // A warm pool must dispatch no slower than its own cold start (the
+        // cold number includes the warm op it ends with).
+        let cold: f64 = t.rows()[2][5].0.parse().unwrap();
+        let warm: f64 = t.rows()[2][6].0.parse().unwrap();
+        assert!(
+            warm <= cold * 4.0,
+            "warm dispatch {warm}µs should not dwarf cold start {cold}µs"
+        );
     }
 
     #[test]

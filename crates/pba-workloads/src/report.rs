@@ -113,6 +113,18 @@ fn commentary(title: &str) -> &'static str {
          weight-aware policies then work it back down toward the fresh-engine level, while the \
          observer log pins the reweighting to its exact batch index."
     }
+        "E15" => {
+        "The execution layer: every parallel operation in the workspace — the streaming drain, \
+         the shared-memory executor, the agent engine — now dispatches to one persistent worker \
+         pool instead of spawning OS threads per call. The cold column prices what every \
+         operation used to pay (pool start-up: worker spawn + first dispatch); the warm column \
+         is the steady-state cost (a boxed job + channel send to parked workers), orders of \
+         magnitude cheaper — which is why the parallel cutoffs could drop. The \"identical \
+         loads\" column must read yes on every row: worker counts only partition index ranges, \
+         so results are bit-identical for any parallelism (the invariant \
+         tests/execution_properties.rs enforces per policy). Throughput scales with threads on \
+         multi-core hardware and is flat on a single-core host."
+    }
         _ => "",
     }
 }
@@ -176,10 +188,11 @@ mod tests {
         assert!(commentary("E1: heavy").contains("Theorems 1/6"));
         // Regression: an id that merely *starts with* a known id must not
         // inherit its commentary ("E14" used to fall into the bare "E1"
-        // prefix; a hypothetical "E15"/"E141" must stay empty until someone
+        // prefix; a hypothetical "E16"/"E141" must stay empty until someone
         // writes its text).
         assert_ne!(commentary("E14: x"), commentary("E1: x"));
-        assert!(commentary("E15: future").is_empty());
+        assert_ne!(commentary("E15: x"), commentary("E1: x"));
+        assert!(commentary("E16: future").is_empty());
         assert!(commentary("E141: typo").is_empty());
         assert!(commentary("E4ab: typo").is_empty());
         // The token parser handles title shapes beyond "Exx:".
@@ -191,7 +204,7 @@ mod tests {
     fn every_known_experiment_has_commentary() {
         for prefix in [
             "E1", "E2", "E3", "E4a", "E4b", "E5", "E6", "E7", "E8a", "E8b", "E9a", "E9b", "E10",
-            "E11", "E12", "E13", "E14",
+            "E11", "E12", "E13", "E14", "E15",
         ] {
             assert!(
                 !commentary(&format!("{prefix}: x")).is_empty(),

@@ -22,7 +22,7 @@
 //! | [`concurrent`] | `pba-concurrent` | shared-memory execution: atomic bins, rayon executor, crossbeam actor executor, speed-up harness |
 //! | [`stream`] | `pba-stream` | the online, sharded, batched streaming allocation engine (two-choice on stale loads, weighted two-choice and capacity-aware thresholds for heterogeneous backends, arrival processes, ticket-based churn scenarios, runtime reweighting) — a native [`Router`](model::Router) |
 //! | [`stats`] | `pba-stats` | tails, histograms, load metrics, fits, tables, multi-seed aggregation |
-//! | [`workloads`] | `pba-workloads` | experiment configurations and the E1–E14 experiment definitions |
+//! | [`workloads`] | `pba-workloads` | experiment configurations and the E1–E15 experiment definitions |
 //!
 //! ## Quick start
 //!
@@ -65,7 +65,10 @@ pub mod prelude {
         RouteError, Router, RouterObserver, RouterStats, Ticket,
     };
     pub use pba_stats::{LoadMetrics, Table};
-    pub use pba_stream::{ArrivalProcess, Policy as StreamPolicy, StreamAllocator, StreamConfig};
+    pub use pba_stream::{
+        ArrivalProcess, Policy as StreamPolicy, StreamAllocator, StreamConfig, ThreadPool,
+        ThreadPoolBuilder,
+    };
 }
 
 /// The arXiv identifier of the reproduced paper.

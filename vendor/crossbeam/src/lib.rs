@@ -1,26 +1,194 @@
 //! Offline stand-in for the subset of the `crossbeam` API this workspace uses:
 //! `channel::unbounded` and `thread::scope`/`spawn`/`join`.
 //!
-//! The build environment has no crates.io access, so this local crate maps the
-//! crossbeam names onto the standard library: channels are `std::sync::mpsc`
-//! and scoped threads are `std::thread::scope`. Semantics relevant to this
-//! workspace are identical (unbounded FIFO channels whose `recv` fails once
-//! every sender is dropped; scoped threads joined before `scope` returns).
+//! The build environment has no crates.io access, so this local crate provides
+//! the crossbeam names on top of the standard library: channels are a small
+//! `Mutex<VecDeque>` + `Condvar` implementation with real crossbeam semantics
+//! — **both halves clone**, so many receivers can share one queue (the MPMC
+//! shape the persistent worker pool in `vendor/rayon` parks on), `recv` fails
+//! once every sender is dropped and the queue is empty, and `send` fails once
+//! every receiver is dropped. Scoped threads are `std::thread::scope`.
 
 #![forbid(unsafe_code)]
 
-/// Unbounded MPSC channels with the crossbeam names.
+/// Unbounded MPMC channels with the crossbeam names and semantics.
 pub mod channel {
-    pub use std::sync::mpsc::{RecvError, SendError, TryRecvError};
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Condvar, Mutex};
 
-    /// Sending half of an unbounded channel.
-    pub type Sender<T> = std::sync::mpsc::Sender<T>;
-    /// Receiving half of an unbounded channel.
-    pub type Receiver<T> = std::sync::mpsc::Receiver<T>;
+    /// Error of [`Receiver::recv`]: the channel is empty and every sender is
+    /// gone.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    impl std::fmt::Display for RecvError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("receiving on an empty and disconnected channel")
+        }
+    }
+
+    impl std::error::Error for RecvError {}
+
+    /// Error of [`Sender::send`]: every receiver is gone. Carries the
+    /// unsent message back to the caller.
+    #[derive(Clone, Copy, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    // Like std's mpsc::SendError: Debug without a `T: Debug` bound, so
+    // `send(...).expect(...)` works for any payload.
+    impl<T> std::fmt::Debug for SendError<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("SendError(..)")
+        }
+    }
+
+    impl<T> std::fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("sending on a disconnected channel")
+        }
+    }
+
+    impl<T> std::error::Error for SendError<T> {}
+
+    /// Error of [`Receiver::try_recv`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// The channel is currently empty (senders may still produce).
+        Empty,
+        /// The channel is empty and every sender is gone.
+        Disconnected,
+    }
+
+    impl std::fmt::Display for TryRecvError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            match self {
+                Self::Empty => f.write_str("receiving on an empty channel"),
+                Self::Disconnected => f.write_str("receiving on an empty and disconnected channel"),
+            }
+        }
+    }
+
+    impl std::error::Error for TryRecvError {}
+
+    struct State<T> {
+        queue: VecDeque<T>,
+        senders: usize,
+        receivers: usize,
+    }
+
+    struct Core<T> {
+        state: Mutex<State<T>>,
+        /// Signalled on every send and on the last sender's drop (so blocked
+        /// receivers observe disconnection).
+        ready: Condvar,
+    }
+
+    /// Sending half of an unbounded channel. Cloning adds a sender.
+    pub struct Sender<T> {
+        core: Arc<Core<T>>,
+    }
+
+    /// Receiving half of an unbounded channel. Cloning adds a receiver that
+    /// competes for the same queue (crossbeam MPMC semantics: every message
+    /// is delivered to exactly one receiver).
+    pub struct Receiver<T> {
+        core: Arc<Core<T>>,
+    }
+
+    impl<T> Sender<T> {
+        /// Enqueues `value`; fails (returning the value) once every receiver
+        /// is dropped.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            let mut state = self.core.state.lock().expect("channel lock");
+            if state.receivers == 0 {
+                return Err(SendError(value));
+            }
+            state.queue.push_back(value);
+            drop(state);
+            self.core.ready.notify_one();
+            Ok(())
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.core.state.lock().expect("channel lock").senders += 1;
+            Self {
+                core: Arc::clone(&self.core),
+            }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut state = self.core.state.lock().expect("channel lock");
+            state.senders -= 1;
+            let disconnected = state.senders == 0;
+            drop(state);
+            if disconnected {
+                self.core.ready.notify_all();
+            }
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocks until a message is available or every sender is dropped
+        /// (and the queue is drained).
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut state = self.core.state.lock().expect("channel lock");
+            loop {
+                if let Some(value) = state.queue.pop_front() {
+                    return Ok(value);
+                }
+                if state.senders == 0 {
+                    return Err(RecvError);
+                }
+                state = self.core.ready.wait(state).expect("channel lock");
+            }
+        }
+
+        /// Non-blocking receive.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let mut state = self.core.state.lock().expect("channel lock");
+            match state.queue.pop_front() {
+                Some(value) => Ok(value),
+                None if state.senders == 0 => Err(TryRecvError::Disconnected),
+                None => Err(TryRecvError::Empty),
+            }
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            self.core.state.lock().expect("channel lock").receivers += 1;
+            Self {
+                core: Arc::clone(&self.core),
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            self.core.state.lock().expect("channel lock").receivers -= 1;
+        }
+    }
 
     /// Creates an unbounded FIFO channel.
     pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
-        std::sync::mpsc::channel()
+        let core = Arc::new(Core {
+            state: Mutex::new(State {
+                queue: VecDeque::new(),
+                senders: 1,
+                receivers: 1,
+            }),
+            ready: Condvar::new(),
+        });
+        (
+            Sender {
+                core: Arc::clone(&core),
+            },
+            Receiver { core },
+        )
     }
 }
 
@@ -105,6 +273,59 @@ mod tests {
         })
         .expect("no panics");
         assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn cloned_receivers_compete_for_the_same_queue() {
+        // MPMC: every message goes to exactly one receiver, and the union of
+        // what the receivers saw is the sent set.
+        let (tx, rx) = channel::unbounded::<u32>();
+        let rx2 = rx.clone();
+        for v in 0..100 {
+            tx.send(v).unwrap();
+        }
+        drop(tx);
+        let (a, b) = thread::scope(|s| {
+            let h1 = s.spawn(|_| {
+                let mut got = Vec::new();
+                while let Ok(v) = rx.recv() {
+                    got.push(v);
+                }
+                got
+            });
+            let h2 = s.spawn(|_| {
+                let mut got = Vec::new();
+                while let Ok(v) = rx2.recv() {
+                    got.push(v);
+                }
+                got
+            });
+            (h1.join().unwrap(), h2.join().unwrap())
+        })
+        .unwrap();
+        let mut all: Vec<u32> = a.into_iter().chain(b).collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..100).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn send_fails_once_every_receiver_is_gone() {
+        let (tx, rx) = channel::unbounded::<u32>();
+        let rx2 = rx.clone();
+        drop(rx);
+        assert!(tx.send(1).is_ok(), "one receiver still alive");
+        drop(rx2);
+        assert_eq!(tx.send(2), Err(channel::SendError(2)));
+    }
+
+    #[test]
+    fn try_recv_reports_empty_vs_disconnected() {
+        let (tx, rx) = channel::unbounded::<u32>();
+        assert_eq!(rx.try_recv(), Err(channel::TryRecvError::Empty));
+        tx.send(7).unwrap();
+        assert_eq!(rx.try_recv(), Ok(7));
+        drop(tx);
+        assert_eq!(rx.try_recv(), Err(channel::TryRecvError::Disconnected));
     }
 
     #[test]

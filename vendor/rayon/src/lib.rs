@@ -2,113 +2,56 @@
 //!
 //! The build environment has no crates.io access, so this local crate provides
 //! the same names (`prelude::*`, `par_iter`, `par_chunks_mut`, `zip`,
-//! `filter_map`, `for_each`, `collect`, `ThreadPoolBuilder`) with a real
-//! data-parallel implementation on top of `std::thread::scope`: inputs are cut
-//! into one contiguous piece per worker, workers run on scoped OS threads, and
-//! results are re-assembled in input order, so every operation is deterministic
-//! and produces exactly what the sequential execution would.
+//! `filter_map`, `for_each`, `collect`, `collect_into_vec`,
+//! `ThreadPoolBuilder`) with a real data-parallel implementation on top of a
+//! **persistent worker pool** (the `pool` module): inputs are cut into one
+//! contiguous chunk per worker, chunk jobs are injected into a lazily-started
+//! global pool of long-lived threads (or the pool installed by
+//! [`ThreadPool::install`]), and results are assembled in input order, so
+//! every operation is deterministic and produces exactly what the sequential
+//! execution would — for any worker count.
 //!
-//! Differences from real rayon: there is no global work-stealing pool (threads
-//! are spawned per call, amortised by a minimum sequential cutoff), and only
-//! the combinators this workspace needs are provided.
+//! The worker count comes from, in order: the innermost installed
+//! [`ThreadPool`], the `PBA_THREADS` environment variable, the machine's
+//! available parallelism. `PBA_THREADS` exists so CI can force the parallel
+//! code paths on single-core containers.
+//!
+//! Differences from real rayon: chunking is static (one contiguous piece per
+//! worker, no work stealing), and only the combinators this workspace needs
+//! are provided.
 
-#![forbid(unsafe_code)]
+#![deny(unsafe_code)]
 
-use std::cell::Cell;
-use std::num::NonZeroUsize;
+use std::mem::MaybeUninit;
 
-thread_local! {
-    /// Thread-count override installed by [`ThreadPool::install`].
-    static POOL_THREADS: Cell<Option<usize>> = const { Cell::new(None) };
-}
+mod pool;
 
-/// Below this many items per prospective worker, run sequentially: spawning OS
-/// threads costs more than the work saves.
-const MIN_ITEMS_PER_WORKER: usize = 1024;
+pub use pool::{ThreadPool, ThreadPoolBuildError, ThreadPoolBuilder};
 
-/// Number of worker threads the current scope would use.
+/// Below this many items per prospective worker, run sequentially. Dispatching
+/// a chunk to the persistent pool costs a boxed job plus a channel send (on
+/// the order of a microsecond) — far below the ~30 µs a per-call thread spawn
+/// used to cost — so the cutoff sits where per-item work of ~100 ns amortises
+/// the dispatch, not the spawn.
+const MIN_ITEMS_PER_WORKER: usize = 256;
+
+/// Number of worker threads parallel operations from the current thread would
+/// use (innermost installed pool, else `PBA_THREADS`, else core count).
 pub fn current_num_threads() -> usize {
-    POOL_THREADS.with(|c| c.get()).unwrap_or_else(|| {
-        std::thread::available_parallelism()
-            .map(NonZeroUsize::get)
-            .unwrap_or(1)
-    })
+    pool::installed_threads()
 }
 
 fn worker_count(items: usize) -> usize {
     worker_count_min(items, MIN_ITEMS_PER_WORKER)
 }
 
+/// Chunk count for `items` under a `min_len` cutoff. Inside a pool task this
+/// is always 1: nested parallel operations run inline on their worker.
 fn worker_count_min(items: usize, min_len: usize) -> usize {
+    if pool::in_worker() {
+        return 1;
+    }
     current_num_threads().min(items / min_len.max(1)).max(1)
-}
-
-/// Error type of [`ThreadPoolBuilder::build`] (this shim never fails).
-#[derive(Debug)]
-pub struct ThreadPoolBuildError;
-
-impl std::fmt::Display for ThreadPoolBuildError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.write_str("thread pool build error")
-    }
-}
-
-impl std::error::Error for ThreadPoolBuildError {}
-
-/// Builder mirroring `rayon::ThreadPoolBuilder`.
-#[derive(Debug, Default)]
-pub struct ThreadPoolBuilder {
-    num_threads: usize,
-}
-
-impl ThreadPoolBuilder {
-    /// Creates a builder with the default thread count.
-    pub fn new() -> Self {
-        Self::default()
-    }
-
-    /// Sets the worker thread count (0 = number of cores).
-    pub fn num_threads(mut self, n: usize) -> Self {
-        self.num_threads = n;
-        self
-    }
-
-    /// Builds the pool. Never fails in this shim.
-    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
-        let threads = if self.num_threads == 0 {
-            std::thread::available_parallelism()
-                .map(NonZeroUsize::get)
-                .unwrap_or(1)
-        } else {
-            self.num_threads
-        };
-        Ok(ThreadPool { threads })
-    }
-}
-
-/// A "pool" that scopes the worker-thread count of parallel operations run
-/// under [`ThreadPool::install`].
-#[derive(Debug)]
-pub struct ThreadPool {
-    threads: usize,
-}
-
-impl ThreadPool {
-    /// Runs `op` with this pool's thread count governing all parallel
-    /// operations invoked from the current thread.
-    pub fn install<R>(&self, op: impl FnOnce() -> R) -> R {
-        POOL_THREADS.with(|c| {
-            let prev = c.replace(Some(self.threads));
-            let out = op();
-            c.set(prev);
-            out
-        })
-    }
-
-    /// The configured thread count.
-    pub fn current_num_threads(&self) -> usize {
-        self.threads
-    }
 }
 
 /// Parallel shared-reference iterator over a slice (the result of `par_iter`).
@@ -181,13 +124,14 @@ impl<'a, T: Sync> ParIter<'a, T> {
             slice.iter().for_each(f);
             return;
         }
-        std::thread::scope(|scope| {
-            let f = &f;
-            for i in 0..w {
+        let f = &f;
+        let jobs: Vec<pool::Job<'_>> = (0..w)
+            .map(|i| {
                 let piece = &slice[i * slice.len() / w..(i + 1) * slice.len() / w];
-                scope.spawn(move || piece.iter().for_each(f));
-            }
-        });
+                Box::new(move || piece.iter().for_each(f)) as pool::Job<'_>
+            })
+            .collect();
+        pool::run_jobs(jobs);
     }
 }
 
@@ -204,26 +148,27 @@ where
     R: Send,
     F: Fn(&'a T) -> Option<R> + Sync,
 {
-    /// Evaluates the pipeline and collects the results in input order.
+    /// Evaluates the pipeline and collects the results in input order. The
+    /// output length is data-dependent, so each chunk filters into its own
+    /// part vector and the parts are concatenated in chunk order.
     pub fn collect<C: FromIterator<R>>(self) -> C {
         let slice = self.slice;
         let w = worker_count_min(slice.len(), self.min_len);
         if w <= 1 {
             return slice.iter().filter_map(&self.f).collect();
         }
-        let parts: Vec<Vec<R>> = std::thread::scope(|scope| {
-            let f = &self.f;
-            let handles: Vec<_> = (0..w)
-                .map(|i| {
-                    let piece = &slice[i * slice.len() / w..(i + 1) * slice.len() / w];
-                    scope.spawn(move || piece.iter().filter_map(f).collect::<Vec<R>>())
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("parallel worker panicked"))
-                .collect()
-        });
+        let mut parts: Vec<Vec<R>> = Vec::new();
+        parts.resize_with(w, Vec::new);
+        let f = &self.f;
+        let jobs: Vec<pool::Job<'_>> = parts
+            .iter_mut()
+            .enumerate()
+            .map(|(i, part)| {
+                let piece = &slice[i * slice.len() / w..(i + 1) * slice.len() / w];
+                Box::new(move || *part = piece.iter().filter_map(f).collect()) as pool::Job<'_>
+            })
+            .collect();
+        pool::run_jobs(jobs);
         parts.into_iter().flatten().collect()
     }
 }
@@ -243,37 +188,18 @@ where
 {
     /// Evaluates the pipeline and collects the results in input order.
     pub fn collect<C: FromIterator<R>>(self) -> C {
-        let slice = self.slice;
-        let w = worker_count_min(slice.len(), self.min_len);
-        if w <= 1 {
-            return slice.iter().map(&self.f).collect();
-        }
-        let parts: Vec<Vec<R>> = std::thread::scope(|scope| {
-            let f = &self.f;
-            let handles: Vec<_> = (0..w)
-                .map(|i| {
-                    let piece = &slice[i * slice.len() / w..(i + 1) * slice.len() / w];
-                    scope.spawn(move || piece.iter().map(f).collect::<Vec<R>>())
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("parallel worker panicked"))
-                .collect()
-        });
-        parts.into_iter().flatten().collect()
+        let mut out = Vec::new();
+        self.collect_into_vec(&mut out);
+        out.into_iter().collect()
     }
 
     /// Mirrors rayon's `collect_into_vec`: evaluates the pipeline into a
     /// caller-provided vector (cleared first), in input order, **without**
-    /// per-worker part vectors — the output is sized once and split into one
-    /// contiguous window per worker, so a reused `out` makes repeated calls
-    /// allocation-free once its capacity is warm. Divergence from real rayon:
-    /// pre-sizing the output without `unsafe` needs `R: Default`.
-    pub fn collect_into_vec(self, out: &mut Vec<R>)
-    where
-        R: Default,
-    {
+    /// per-worker part vectors — each worker writes one contiguous window of
+    /// the output's spare capacity, so a reused `out` makes repeated calls
+    /// allocation-free once its capacity is warm. Same bounds as real rayon
+    /// (no `R: Default` needed).
+    pub fn collect_into_vec(self, out: &mut Vec<R>) {
         let slice = self.slice;
         out.clear();
         let w = worker_count_min(slice.len(), self.min_len);
@@ -281,10 +207,9 @@ where
             out.extend(slice.iter().map(&self.f));
             return;
         }
-        out.resize_with(slice.len(), R::default);
-        run_into_windows(slice, out, w, |piece_in, piece_out| {
+        fill_spare_windows(slice, out, w, |piece_in, piece_out| {
             for (slot, x) in piece_out.iter_mut().zip(piece_in) {
-                *slot = (self.f)(x);
+                slot.write((self.f)(x));
             }
         });
     }
@@ -307,41 +232,17 @@ where
 {
     /// Evaluates the pipeline and collects the results in input order.
     pub fn collect<C: FromIterator<R>>(self) -> C {
-        let slice = self.slice;
-        let w = worker_count_min(slice.len(), self.min_len);
-        if w <= 1 {
-            let mut scratch = (self.init)();
-            return slice.iter().map(|x| (self.f)(&mut scratch, x)).collect();
-        }
-        let parts: Vec<Vec<R>> = std::thread::scope(|scope| {
-            let f = &self.f;
-            let init = &self.init;
-            let handles: Vec<_> = (0..w)
-                .map(|i| {
-                    let piece = &slice[i * slice.len() / w..(i + 1) * slice.len() / w];
-                    scope.spawn(move || {
-                        let mut scratch = init();
-                        piece.iter().map(|x| f(&mut scratch, x)).collect::<Vec<R>>()
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("parallel worker panicked"))
-                .collect()
-        });
-        parts.into_iter().flatten().collect()
+        let mut out = Vec::new();
+        self.collect_into_vec(&mut out);
+        out.into_iter().collect()
     }
 
     /// Mirrors rayon's `collect_into_vec` for `map_init` pipelines: evaluates
     /// into a caller-provided vector (cleared first), in input order, with one
     /// scratch per worker and **no** per-worker part vectors (see
-    /// [`ParMap::collect_into_vec`]). Divergence from real rayon: pre-sizing
-    /// the output without `unsafe` needs `R: Default`.
-    pub fn collect_into_vec(self, out: &mut Vec<R>)
-    where
-        R: Default,
-    {
+    /// [`ParMap::collect_into_vec`]). Same bounds as real rayon (no
+    /// `R: Default` needed).
+    pub fn collect_into_vec(self, out: &mut Vec<R>) {
         let slice = self.slice;
         out.clear();
         let w = worker_count_min(slice.len(), self.min_len);
@@ -350,39 +251,52 @@ where
             out.extend(slice.iter().map(|x| (self.f)(&mut scratch, x)));
             return;
         }
-        out.resize_with(slice.len(), R::default);
-        run_into_windows(slice, out, w, |piece_in, piece_out| {
+        fill_spare_windows(slice, out, w, |piece_in, piece_out| {
             let mut scratch = (self.init)();
             for (slot, x) in piece_out.iter_mut().zip(piece_in) {
-                *slot = (self.f)(&mut scratch, x);
+                slot.write((self.f)(&mut scratch, x));
             }
         });
     }
 }
 
-/// Splits `slice` and `out` (which must have equal lengths) into `w` aligned
-/// contiguous windows and runs `work(input_window, output_window)` on one
-/// scoped thread per window — the shared backbone of the `collect_into_vec`
-/// implementations.
-fn run_into_windows<'a, T: Sync, R: Send>(
+/// The shared backbone of the `collect_into_vec` implementations: splits
+/// `slice` into `w` contiguous windows, carves matching output windows out of
+/// `out`'s **spare capacity**, runs `work(input_window, output_window)` on the
+/// pool, and commits the length once every window has completed. `work` must
+/// initialise every slot of its output window exactly once.
+///
+/// Panic semantics: if any window's work panics, the panic propagates to the
+/// caller and `out` keeps length 0 — slots already written in the spare
+/// capacity are leaked (never dropped, never exposed), which is safe, and the
+/// next successful call overwrites them.
+fn fill_spare_windows<'a, T: Sync, R: Send>(
     slice: &'a [T],
-    out: &mut [R],
+    out: &mut Vec<R>,
     w: usize,
-    work: impl Fn(&'a [T], &mut [R]) + Sync,
+    work: impl Fn(&'a [T], &mut [MaybeUninit<R>]) + Sync,
 ) {
-    debug_assert_eq!(slice.len(), out.len());
-    let mut rest = out;
-    std::thread::scope(|scope| {
-        let work = &work;
-        for i in 0..w {
-            let lo = i * slice.len() / w;
-            let hi = (i + 1) * slice.len() / w;
-            let (piece_out, tail) = std::mem::take(&mut rest).split_at_mut(hi - lo);
-            rest = tail;
-            let piece_in = &slice[lo..hi];
-            scope.spawn(move || work(piece_in, piece_out));
-        }
-    });
+    let n = slice.len();
+    out.reserve(n);
+    let mut spare = &mut out.spare_capacity_mut()[..n];
+    let work = &work;
+    let mut jobs: Vec<pool::Job<'_>> = Vec::with_capacity(w);
+    for i in 0..w {
+        let lo = i * n / w;
+        let hi = (i + 1) * n / w;
+        let (piece_out, rest) = std::mem::take(&mut spare).split_at_mut(hi - lo);
+        spare = rest;
+        let piece_in = &slice[lo..hi];
+        jobs.push(Box::new(move || work(piece_in, piece_out)));
+    }
+    pool::run_jobs(jobs);
+    // SAFETY: `run_jobs` returned without unwinding, so every window's work
+    // ran to completion, and the windows partition the first `n` spare slots —
+    // each slot is initialised exactly once.
+    #[allow(unsafe_code)]
+    unsafe {
+        out.set_len(n)
+    };
 }
 
 /// Parallel mutable chunk iterator (the result of `par_chunks_mut`).
@@ -412,7 +326,7 @@ pub struct ParZipChunks<'a, T, U> {
 
 impl<'a, T: Send, U: Sync> ParZipChunks<'a, T, U> {
     /// Applies `f` to every `(chunk, item)` pair, splitting the pairs across
-    /// worker threads on chunk boundaries.
+    /// pool workers on chunk boundaries.
     pub fn for_each<F>(self, f: F)
     where
         F: Fn((&mut [T], &'a U)) + Sync,
@@ -430,7 +344,8 @@ impl<'a, T: Send, U: Sync> ParZipChunks<'a, T, U> {
             }
             return;
         }
-        let mut jobs = Vec::with_capacity(w);
+        let f = &f;
+        let mut jobs: Vec<pool::Job<'_>> = Vec::with_capacity(w);
         let mut done = 0usize;
         for i in 0..w {
             let hi = (i + 1) * pairs / w;
@@ -441,18 +356,13 @@ impl<'a, T: Send, U: Sync> ParZipChunks<'a, T, U> {
             data = rest;
             let (piece_keys, rest_keys) = keys.split_at(take);
             keys = rest_keys;
-            jobs.push((piece, piece_keys));
+            jobs.push(Box::new(move || {
+                for (chunk, key) in piece.chunks_mut(size).zip(piece_keys.iter()) {
+                    f((chunk, key));
+                }
+            }));
         }
-        std::thread::scope(|scope| {
-            let f = &f;
-            for (piece, piece_keys) in jobs {
-                scope.spawn(move || {
-                    for (chunk, key) in piece.chunks_mut(size).zip(piece_keys.iter()) {
-                        f((chunk, key));
-                    }
-                });
-            }
-        });
+        pool::run_jobs(jobs);
     }
 }
 
@@ -494,13 +404,21 @@ mod tests {
     use super::prelude::*;
     use super::*;
 
+    /// A 4-thread pool so the parallel paths genuinely split even on a
+    /// single-core container.
+    fn four() -> ThreadPool {
+        ThreadPoolBuilder::new().num_threads(4).build().unwrap()
+    }
+
     #[test]
     fn filter_map_collect_matches_sequential_and_preserves_order() {
         let xs: Vec<u64> = (0..10_000).collect();
-        let par: Vec<u64> = xs
-            .par_iter()
-            .filter_map(|&x| if x % 3 == 0 { Some(x * 2) } else { None })
-            .collect();
+        let par: Vec<u64> = four().install(|| {
+            xs.par_iter()
+                .with_min_len(1)
+                .filter_map(|&x| if x % 3 == 0 { Some(x * 2) } else { None })
+                .collect()
+        });
         let seq: Vec<u64> = xs
             .iter()
             .filter_map(|&x| if x % 3 == 0 { Some(x * 2) } else { None })
@@ -515,13 +433,15 @@ mod tests {
         let keys: Vec<u64> = (0..n as u64).collect();
         let mut par = vec![0u32; n * degree];
         let mut seq = par.clone();
-        par.par_chunks_mut(degree)
-            .zip(keys.par_iter())
-            .for_each(|(chunk, &k)| {
-                for (i, slot) in chunk.iter_mut().enumerate() {
-                    *slot = (k as u32).wrapping_mul(31).wrapping_add(i as u32);
-                }
-            });
+        four().install(|| {
+            par.par_chunks_mut(degree)
+                .zip(keys.par_iter())
+                .for_each(|(chunk, &k)| {
+                    for (i, slot) in chunk.iter_mut().enumerate() {
+                        *slot = (k as u32).wrapping_mul(31).wrapping_add(i as u32);
+                    }
+                })
+        });
         for (chunk, &k) in seq.chunks_mut(degree).zip(keys.iter()) {
             for (i, slot) in chunk.iter_mut().enumerate() {
                 *slot = (k as u32).wrapping_mul(31).wrapping_add(i as u32);
@@ -547,13 +467,17 @@ mod tests {
         // 8 items with default min_len stay sequential; with min_len 1 they
         // split across workers — results must be identical either way.
         let xs: Vec<u64> = (0..8).collect();
-        let coarse: Vec<u64> = xs.par_iter().with_min_len(1).map(|&x| x * 3).collect();
+        let pool = four();
+        let coarse: Vec<u64> =
+            pool.install(|| xs.par_iter().with_min_len(1).map(|&x| x * 3).collect());
         let fine: Vec<u64> = xs.par_iter().map(|&x| x * 3).collect();
         assert_eq!(coarse, fine);
         let mut seen = 0u64;
         let sum = std::sync::Mutex::new(&mut seen);
-        xs.par_iter().with_min_len(2).for_each(|&x| {
-            **sum.lock().unwrap() += x;
+        pool.install(|| {
+            xs.par_iter().with_min_len(2).for_each(|&x| {
+                **sum.lock().unwrap() += x;
+            })
         });
         assert_eq!(seen, 28);
     }
@@ -561,19 +485,25 @@ mod tests {
     #[test]
     fn collect_into_vec_matches_collect_and_reuses_capacity() {
         let xs: Vec<u64> = (0..10_000).collect();
-        let via_collect: Vec<u64> = xs.par_iter().with_min_len(1).map(|&x| x * 7 + 1).collect();
+        let pool = four();
+        let via_collect: Vec<u64> =
+            pool.install(|| xs.par_iter().with_min_len(1).map(|&x| x * 7 + 1).collect());
         let mut out = Vec::new();
-        xs.par_iter()
-            .with_min_len(1)
-            .map(|&x| x * 7 + 1)
-            .collect_into_vec(&mut out);
+        pool.install(|| {
+            xs.par_iter()
+                .with_min_len(1)
+                .map(|&x| x * 7 + 1)
+                .collect_into_vec(&mut out)
+        });
         assert_eq!(out, via_collect);
         // A second call reuses the buffer: same results, capacity retained.
         let cap = out.capacity();
-        xs.par_iter()
-            .with_min_len(1)
-            .map_init(|| 0u64, |_, &x| x * 7 + 1)
-            .collect_into_vec(&mut out);
+        pool.install(|| {
+            xs.par_iter()
+                .with_min_len(1)
+                .map_init(|| 0u64, |_, &x| x * 7 + 1)
+                .collect_into_vec(&mut out)
+        });
         assert_eq!(out, via_collect);
         assert_eq!(out.capacity(), cap);
         // Sequential cutoff path (default min_len keeps 8 items on 1 worker).
@@ -587,17 +517,34 @@ mod tests {
     }
 
     #[test]
+    fn collect_into_vec_works_for_non_default_types() {
+        // The output type has no Default and a non-trivial drop — the spare-
+        // capacity windows must still assemble it in input order.
+        let xs: Vec<u64> = (0..4_096).collect();
+        let mut out: Vec<Box<u64>> = Vec::new();
+        four().install(|| {
+            xs.par_iter()
+                .with_min_len(1)
+                .map(|&x| Box::new(x * 3))
+                .collect_into_vec(&mut out)
+        });
+        assert_eq!(out.len(), xs.len());
+        assert!(out.iter().zip(&xs).all(|(b, &x)| **b == x * 3));
+    }
+
+    #[test]
     fn map_init_reuses_scratch_and_matches_map() {
         let xs: Vec<u64> = (0..5000).collect();
         let via_map: Vec<u64> = xs.par_iter().map(|&x| x + 1).collect();
-        let via_init: Vec<u64> = xs
-            .par_iter()
-            .with_min_len(1)
-            .map_init(Vec::<u64>::new, |scratch, &x| {
-                scratch.push(x); // scratch persists across a worker's items
-                x + 1
-            })
-            .collect();
+        let via_init: Vec<u64> = four().install(|| {
+            xs.par_iter()
+                .with_min_len(1)
+                .map_init(Vec::<u64>::new, |scratch, &x| {
+                    scratch.push(x); // scratch persists across a worker's items
+                    x + 1
+                })
+                .collect()
+        });
         assert_eq!(via_map, via_init);
     }
 
@@ -608,6 +555,110 @@ mod tests {
         let inside = pool.install(current_num_threads);
         assert_eq!(inside, 3);
         assert_eq!(current_num_threads(), outside);
+    }
+
+    #[test]
+    fn worker_panic_propagates_and_does_not_poison_the_pool() {
+        let pool = four();
+        let xs: Vec<u64> = (0..1_000).collect();
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.install(|| {
+                xs.par_iter().with_min_len(1).for_each(|&x| {
+                    if x == 997 {
+                        panic!("boom at {x}");
+                    }
+                })
+            })
+        }));
+        let payload = caught.expect_err("the worker panic must reach the caller");
+        let msg = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_default();
+        assert!(msg.contains("boom"), "unexpected payload: {msg}");
+        // The same pool keeps working after the panic (workers survived).
+        let sum: u64 = pool
+            .install(|| {
+                xs.par_iter()
+                    .with_min_len(1)
+                    .map(|&x| x)
+                    .collect::<Vec<u64>>()
+            })
+            .iter()
+            .sum();
+        assert_eq!(sum, 1000 * 999 / 2);
+    }
+
+    #[test]
+    fn caller_chunk_panic_still_waits_for_workers() {
+        // The caller runs the first chunk; a panic there must not unwind past
+        // the workers still borrowing the slice. Observable effect: by the
+        // time the panic reaches us, every element of every *worker* chunk
+        // (the last three quarters of the input under w = 4) is processed —
+        // the wait-on-drop guard held the frame open until the workers were
+        // done with it.
+        use std::sync::atomic::{AtomicBool, Ordering};
+        let pool = four();
+        let xs: Vec<u64> = (0..1_000).collect();
+        let processed: Vec<AtomicBool> = (0..xs.len()).map(|_| AtomicBool::new(false)).collect();
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.install(|| {
+                xs.par_iter().with_min_len(1).for_each(|&x| {
+                    if x == 0 {
+                        panic!("caller chunk");
+                    }
+                    processed[x as usize].store(true, Ordering::Relaxed);
+                })
+            })
+        }));
+        assert!(caught.is_err());
+        assert!(
+            processed[250..].iter().all(|p| p.load(Ordering::Relaxed)),
+            "worker chunks must complete before the caller's panic escapes"
+        );
+    }
+
+    #[test]
+    fn nested_par_iter_inside_a_pool_task_runs_inline() {
+        // A parallel operation from inside a pool task must not deadlock on
+        // the task queue; it falls back to inline execution on its worker.
+        let pool = four();
+        let outer: Vec<u64> = (0..64).collect();
+        let totals: Vec<u64> = pool.install(|| {
+            outer
+                .par_iter()
+                .with_min_len(1)
+                .map(|&x| {
+                    let inner: Vec<u64> = (0..x + 1).collect();
+                    let s = std::sync::atomic::AtomicU64::new(0);
+                    inner.par_iter().with_min_len(1).for_each(|&y| {
+                        s.fetch_add(y, std::sync::atomic::Ordering::Relaxed);
+                    });
+                    s.into_inner()
+                })
+                .collect()
+        });
+        let expected: Vec<u64> = outer.iter().map(|&x| x * (x + 1) / 2).collect();
+        assert_eq!(totals, expected);
+    }
+
+    #[test]
+    fn pools_drop_and_reinit_with_different_thread_counts() {
+        // Build, use and tear down pools of several sizes in sequence; each
+        // drop joins its workers, so no threads leak across iterations and the
+        // results stay identical under every count.
+        let xs: Vec<u64> = (0..4_096).collect();
+        let expected: Vec<u64> = xs.iter().map(|&x| x ^ 0xabcd).collect();
+        for threads in [1usize, 2, 4, 8, 2] {
+            let pool = ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .unwrap();
+            let got: Vec<u64> =
+                pool.install(|| xs.par_iter().with_min_len(1).map(|&x| x ^ 0xabcd).collect());
+            assert_eq!(got, expected, "threads = {threads}");
+            drop(pool);
+        }
     }
 
     #[test]

@@ -1,0 +1,353 @@
+//! The persistent worker pool behind every parallel operation of this shim.
+//!
+//! Workers are long-lived OS threads parked on a [`crossbeam::channel`]
+//! receiver (the shim channel is MPMC: every worker clones the same receiver
+//! and competes for tasks). A parallel operation cuts its input into one
+//! contiguous chunk per prospective worker, boxes one job per chunk, injects
+//! all but the first into the pool, and runs the first on the calling thread —
+//! so an operation with `w` chunks uses the caller plus `w − 1` workers, and
+//! dispatch costs a channel send instead of an OS thread spawn.
+//!
+//! ## Lifetime erasure
+//!
+//! Jobs borrow the caller's stack (slices, closures), but the workers are
+//! `'static` threads, so each submitted job is transmuted from
+//! `Box<dyn FnOnce() + Send + 'env>` to `'static`. Soundness rests on one
+//! invariant, enforced by [`run_jobs`]: **the call does not return — not even
+//! by unwinding — until every submitted job has completed**, so no job can
+//! outlive the frame it borrows from. A wait-on-drop guard keeps the barrier
+//! in place when the caller's own chunk panics.
+//!
+//! ## Panics
+//!
+//! A panicking job is caught on the worker, its payload is parked in the
+//! batch's latch, and the first payload is re-raised on the calling thread
+//! after the batch completes. The worker itself survives — a panic never
+//! poisons the pool.
+//!
+//! ## Nesting
+//!
+//! A parallel operation invoked from *inside* a pool task runs inline on that
+//! worker ([`in_worker`] guards both the worker-count computation and
+//! [`run_jobs`]), so nested `par_iter` calls cannot deadlock on a full queue.
+
+use std::any::Any;
+use std::cell::{Cell, RefCell};
+use std::num::NonZeroUsize;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+use crossbeam::channel;
+
+/// A borrowed unit of work: one contiguous chunk of a parallel operation.
+pub(crate) type Job<'env> = Box<dyn FnOnce() + Send + 'env>;
+
+/// A lifetime-erased job as it travels to a worker.
+type Task = Box<dyn FnOnce() + Send + 'static>;
+
+thread_local! {
+    /// True on pool worker threads; parallel operations check it to fall back
+    /// to inline execution instead of re-entering the pool.
+    static IN_WORKER: Cell<bool> = const { Cell::new(false) };
+    /// Stack of pools installed on this thread by [`ThreadPool::install`]
+    /// (innermost last).
+    static INSTALLED: RefCell<Vec<Arc<PoolCore>>> = const { RefCell::new(Vec::new()) };
+}
+
+/// True when the current thread is a pool worker executing a task.
+pub(crate) fn in_worker() -> bool {
+    IN_WORKER.with(Cell::get)
+}
+
+/// The environment/default worker count: `PBA_THREADS` (if set to a positive
+/// integer) or the machine's available parallelism. Reading it does **not**
+/// start the global pool.
+pub(crate) fn default_threads() -> usize {
+    std::env::var("PBA_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(NonZeroUsize::get)
+                .unwrap_or(1)
+        })
+}
+
+/// The thread count governing parallel operations on the current thread: the
+/// innermost installed pool's, or the global default.
+pub(crate) fn installed_threads() -> usize {
+    INSTALLED
+        .with(|stack| stack.borrow().last().map(|core| core.threads))
+        .unwrap_or_else(default_threads)
+}
+
+/// Completion latch of one submitted batch: counts outstanding jobs and parks
+/// the first panic payload for re-raise on the caller.
+struct Latch {
+    state: Mutex<LatchState>,
+    done: Condvar,
+}
+
+struct LatchState {
+    remaining: usize,
+    panic: Option<Box<dyn Any + Send>>,
+}
+
+impl Latch {
+    fn new(remaining: usize) -> Self {
+        Self {
+            state: Mutex::new(LatchState {
+                remaining,
+                panic: None,
+            }),
+            done: Condvar::new(),
+        }
+    }
+
+    /// Marks one job complete, parking its panic payload (first one wins).
+    fn complete(&self, panic: Option<Box<dyn Any + Send>>) {
+        let mut state = self.state.lock().expect("latch lock");
+        state.remaining -= 1;
+        if state.panic.is_none() {
+            state.panic = panic;
+        }
+        if state.remaining == 0 {
+            drop(state);
+            self.done.notify_all();
+        }
+    }
+
+    /// Blocks until every job of the batch has completed.
+    fn wait(&self) {
+        let mut state = self.state.lock().expect("latch lock");
+        while state.remaining > 0 {
+            state = self.done.wait(state).expect("latch lock");
+        }
+    }
+
+    /// The parked panic payload, if any job panicked.
+    fn take_panic(&self) -> Option<Box<dyn Any + Send>> {
+        self.state.lock().expect("latch lock").panic.take()
+    }
+}
+
+/// Shared state of one pool: the task injector plus the worker handles.
+pub(crate) struct PoolCore {
+    /// Task injector; `None` once the pool has been shut down. Workers exit
+    /// when the sender is dropped *and* the queue is drained.
+    tx: Mutex<Option<channel::Sender<Task>>>,
+    /// Worker join handles, reaped by [`ThreadPool::drop`].
+    handles: Mutex<Vec<std::thread::JoinHandle<()>>>,
+    /// The configured thread count (caller + workers).
+    threads: usize,
+}
+
+impl PoolCore {
+    /// Starts `threads.saturating_sub(1)` workers (the calling thread is the
+    /// remaining lane; a 1-thread pool runs everything inline and spawns
+    /// nothing).
+    fn start(threads: usize) -> Self {
+        let (tx, rx) = channel::unbounded::<Task>();
+        let handles: Vec<_> = (1..threads)
+            .map(|i| {
+                let rx = rx.clone();
+                std::thread::Builder::new()
+                    .name(format!("pba-pool-worker-{i}"))
+                    .spawn(move || {
+                        IN_WORKER.with(|flag| flag.set(true));
+                        // Tasks catch their own panics, so this loop only ends
+                        // on disconnect (pool shutdown).
+                        while let Ok(task) = rx.recv() {
+                            task();
+                        }
+                    })
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        Self {
+            tx: Mutex::new(Some(tx)),
+            handles: Mutex::new(handles),
+            threads,
+        }
+    }
+}
+
+/// The lazily-initialized global pool every parallel operation uses unless a
+/// [`ThreadPool::install`] scope overrides it. Sized by [`default_threads`]
+/// (i.e. `PBA_THREADS` or the core count) and never torn down.
+static GLOBAL: OnceLock<ThreadPool> = OnceLock::new();
+
+fn global() -> &'static ThreadPool {
+    GLOBAL.get_or_init(|| {
+        ThreadPoolBuilder::new()
+            .build()
+            .expect("building the global pool cannot fail")
+    })
+}
+
+/// The pool a submission from the current thread goes to.
+fn current_core() -> Arc<PoolCore> {
+    INSTALLED
+        .with(|stack| stack.borrow().last().map(Arc::clone))
+        .unwrap_or_else(|| Arc::clone(&global().core))
+}
+
+/// Runs a batch of chunk jobs to completion: the first job on the calling
+/// thread, the rest on pool workers. Blocks until every job has finished;
+/// re-raises the first panic. Falls back to fully inline execution for
+/// single-job batches and when called from inside a pool task.
+pub(crate) fn run_jobs(mut jobs: Vec<Job<'_>>) {
+    if jobs.len() <= 1 || in_worker() {
+        for job in jobs {
+            job();
+        }
+        return;
+    }
+    let caller_job = jobs.remove(0);
+    let core = current_core();
+    let latch = Arc::new(Latch::new(jobs.len()));
+    {
+        let tx = core.tx.lock().expect("pool injector lock");
+        for job in jobs {
+            // SAFETY: `Box<dyn FnOnce() + Send + 'env>` and the `'static`
+            // form have identical layout (a fat pointer); the transmute only
+            // erases the borrow lifetime. The job cannot outlive its borrows
+            // because this function does not return — even by unwinding, see
+            // the WaitGuard below — until the latch counts it complete.
+            #[allow(unsafe_code)]
+            let job: Task = unsafe { std::mem::transmute::<Job<'_>, Task>(job) };
+            let latch = Arc::clone(&latch);
+            let task: Task = Box::new(move || {
+                let panic = catch_unwind(AssertUnwindSafe(job)).err();
+                latch.complete(panic);
+            });
+            match tx.as_ref() {
+                // A worker picks the task up; `send` only fails if every
+                // worker already exited (pool shut down mid-use), in which
+                // case the task comes back in the error and runs inline.
+                Some(tx) => {
+                    if let Err(channel::SendError(task)) = tx.send(task) {
+                        task();
+                    }
+                }
+                None => task(),
+            }
+        }
+    }
+
+    /// Blocks on the latch when dropped: the unwind-safe form of "never
+    /// return while workers may still borrow the caller's frame".
+    struct WaitGuard<'a>(&'a Latch);
+    impl Drop for WaitGuard<'_> {
+        fn drop(&mut self) {
+            self.0.wait();
+        }
+    }
+
+    let guard = WaitGuard(&latch);
+    caller_job();
+    drop(guard);
+    if let Some(payload) = latch.take_panic() {
+        resume_unwind(payload);
+    }
+}
+
+/// Error type of [`ThreadPoolBuilder::build`] (this shim never fails).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder mirroring `rayon::ThreadPoolBuilder`.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// Creates a builder with the default thread count (`PBA_THREADS` or the
+    /// number of cores).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the worker thread count (0 = the default).
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Builds the pool, spawning its workers. Never fails in this shim.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let threads = if self.num_threads == 0 {
+            default_threads()
+        } else {
+            self.num_threads
+        };
+        Ok(ThreadPool {
+            core: Arc::new(PoolCore::start(threads)),
+        })
+    }
+}
+
+/// A persistent worker pool. [`ThreadPool::install`] scopes parallel
+/// operations of the current thread onto this pool's workers; dropping the
+/// pool disconnects the injector, lets the workers drain and exit, and joins
+/// them — so building, using and dropping pools of different sizes in one
+/// process (as the test-suite does) is safe.
+pub struct ThreadPool {
+    core: Arc<PoolCore>,
+}
+
+impl ThreadPool {
+    /// Runs `op` with this pool receiving all parallel operations invoked
+    /// from the current thread (restored on exit, even by panic).
+    pub fn install<R>(&self, op: impl FnOnce() -> R) -> R {
+        INSTALLED.with(|stack| stack.borrow_mut().push(Arc::clone(&self.core)));
+        struct PopGuard;
+        impl Drop for PopGuard {
+            fn drop(&mut self) {
+                INSTALLED.with(|stack| {
+                    stack.borrow_mut().pop();
+                });
+            }
+        }
+        let _guard = PopGuard;
+        op()
+    }
+
+    /// The configured thread count.
+    pub fn current_num_threads(&self) -> usize {
+        self.core.threads
+    }
+}
+
+impl std::fmt::Debug for ThreadPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ThreadPool")
+            .field("threads", &self.core.threads)
+            .finish()
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        // Disconnect the injector: workers finish the queued tasks, observe
+        // the hang-up, and exit; then reap them. `install` borrows the pool,
+        // so no submission can race this.
+        self.core.tx.lock().expect("pool injector lock").take();
+        let handles = std::mem::take(&mut *self.core.handles.lock().expect("pool handles lock"));
+        for handle in handles {
+            // A worker only ends by returning from its loop; it cannot have
+            // panicked (tasks catch their own), so join errors are unreachable.
+            handle.join().expect("pool worker exited cleanly");
+        }
+    }
+}
