@@ -1,10 +1,11 @@
 //! Criterion bench for the streaming engine: push + drain throughput of the
 //! sequential vs sharded drain paths, the policy cost on the hot path, the
-//! weighted (alias-table) choice path vs the unweighted one, and the drain on
+//! weighted (alias-table) choice path vs the unweighted one, the drain on
 //! dedicated worker pools of different sizes (the `num_threads` knob over the
-//! persistent pool of the rayon shim).
+//! persistent pool of the rayon shim), and concurrent routing through one
+//! shared `ConcurrentRouter` handle at 1/2/4 caller threads.
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use pba_stream::{BinWeights, Policy, StreamAllocator, StreamConfig};
+use pba_stream::{BinWeights, ConcurrentRouter, Policy, StreamAllocator, StreamConfig};
 
 fn run_stream(config: StreamConfig, m: u64, key_seed: u64) -> f64 {
     let mut stream = StreamAllocator::new(config);
@@ -112,6 +113,44 @@ fn bench_stream(c: &mut Criterion) {
                         m,
                         seed,
                     ))
+                });
+            },
+        );
+    }
+    // Concurrent-route arms: the same keyed workload routed through one
+    // shared ConcurrentRouter handle by 1/2/4 caller threads (the E16
+    // serving-core shape). The 1-caller arm prices the shared-handle
+    // overhead (epoch snapshot clone + atomics + sharded ledger) against
+    // two_choice_sequential; the multi-caller arms scale only on multi-core
+    // hosts.
+    let m_route = m / 4; // route() is per-ball synchronous; keep iters short
+    for callers in [1u64, 2, 4] {
+        group.bench_with_input(
+            BenchmarkId::new("concurrent_route_callers", callers),
+            &callers,
+            |b, &callers| {
+                let mut seed = 0u64;
+                b.iter(|| {
+                    seed = seed.wrapping_add(1);
+                    let router = ConcurrentRouter::new(
+                        StreamConfig::new(n).batch_size(n).seed(seed).shards(8),
+                    );
+                    let per_caller = m_route / callers;
+                    std::thread::scope(|scope| {
+                        for t in 0..callers {
+                            let router = router.clone();
+                            let key_seed = seed ^ (t << 32);
+                            scope.spawn(move || {
+                                let mut keys = pba_model::rng::SplitMix64::new(key_seed);
+                                for _ in 0..per_caller {
+                                    std::hint::black_box(
+                                        router.route(keys.next_u64()).expect("infallible"),
+                                    );
+                                }
+                            });
+                        }
+                    });
+                    std::hint::black_box(router.stats().gap)
                 });
             },
         );

@@ -1,0 +1,8 @@
+//! E16 — concurrent serving core: route throughput vs caller threads through
+//! one shared `ConcurrentRouter` handle.
+fn main() {
+    let opts = pba_bench::ExpOptions::from_env();
+    opts.print_all(&[pba_workloads::experiments::e16_concurrent_routing(
+        !opts.full,
+    )]);
+}

@@ -54,6 +54,15 @@ impl AtomicBins {
         self.loads[bin].fetch_add(1, Ordering::AcqRel) + 1
     }
 
+    /// Unconditionally places `count` balls into `bin` with one atomic
+    /// increment; returns the new load. The batched form of
+    /// [`AtomicBins::add`], used when a commit groups placements per bin
+    /// (e.g. seeding resident loads) so the counter is touched once instead
+    /// of `count` times.
+    pub fn add_many(&self, bin: usize, count: u32) -> u32 {
+        self.loads[bin].fetch_add(count, Ordering::AcqRel) + count
+    }
+
     /// Removes one ball from `bin` if it is non-empty (ball departure in
     /// dynamic/streaming workloads). Returns `false` when the bin was empty.
     pub fn try_release(&self, bin: usize) -> bool {
@@ -62,6 +71,20 @@ impl AtomicBins {
                 current.checked_sub(1)
             })
             .is_ok()
+    }
+
+    /// Removes up to `count` balls from `bin` with one CAS loop; returns how
+    /// many were actually released (fewer than `count` only when the bin ran
+    /// out). The batched form of [`AtomicBins::try_release`]: the whole
+    /// decrement linearises at a single successful compare-and-swap, so
+    /// concurrent releasers can never drive a bin negative between them.
+    pub fn try_release_many(&self, bin: usize, count: u32) -> u32 {
+        let mut released = 0;
+        let _ = self.loads[bin].fetch_update(Ordering::AcqRel, Ordering::Acquire, |current| {
+            released = current.min(count);
+            Some(current - released)
+        });
+        released
     }
 
     /// Current load of `bin` (relaxed read; exact once the round has quiesced).
@@ -119,6 +142,43 @@ mod tests {
         assert!(!bins.try_release(0), "empty bin must not go negative");
         assert_eq!(bins.load(0), 0);
         assert_eq!(bins.total(), 1);
+    }
+
+    #[test]
+    fn batched_add_and_release_clamp_at_zero() {
+        let bins = AtomicBins::new(2);
+        assert_eq!(bins.add_many(0, 5), 5);
+        assert_eq!(bins.add_many(0, 3), 8);
+        assert_eq!(bins.add_many(1, 0), 0, "a zero add is a no-op");
+        assert_eq!(bins.try_release_many(0, 3), 3);
+        assert_eq!(bins.load(0), 5);
+        // Releasing more than resident drains the bin and reports the truth.
+        assert_eq!(bins.try_release_many(0, 100), 5);
+        assert_eq!(bins.load(0), 0);
+        assert_eq!(bins.try_release_many(0, 1), 0, "empty bin releases nothing");
+        assert_eq!(bins.total(), 0);
+    }
+
+    #[test]
+    fn concurrent_batched_releases_conserve() {
+        // 4 threads release in chunks of 3 from a bin holding 100: exactly
+        // 100 releases must succeed in total, never driving the bin negative.
+        let bins = Arc::new(AtomicBins::new(1));
+        bins.add_many(0, 100);
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let bins = Arc::clone(&bins);
+            handles.push(std::thread::spawn(move || {
+                let mut released = 0u32;
+                for _ in 0..20 {
+                    released += bins.try_release_many(0, 3);
+                }
+                released
+            }));
+        }
+        let released: u32 = handles.into_iter().map(|h| h.join().unwrap()).sum();
+        assert_eq!(released, 100);
+        assert_eq!(bins.load(0), 0);
     }
 
     #[test]

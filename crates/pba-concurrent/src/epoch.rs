@@ -1,0 +1,122 @@
+//! Epoch-published snapshots for concurrent readers.
+//!
+//! The batched/stale-information model gives every ball of a batch the same
+//! load snapshot — the loads *as of the previous batch boundary*. A
+//! multi-threaded router therefore needs exactly one concurrency primitive on
+//! its read path: a cell holding the current snapshot that many reader
+//! threads can clone cheaply while one boundary thread swaps in the next
+//! snapshot. [`EpochCell`] is that cell: the value lives behind an `Arc` so a
+//! swap is a pointer exchange (readers holding the old `Arc` keep a coherent
+//! old snapshot — nothing is ever mutated in place), and every publication
+//! bumps a monotone **epoch** counter so observers can tell which batch
+//! boundary a snapshot belongs to and verify publication order.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+/// A snapshot cell with monotone epoch publication.
+///
+/// Readers call [`EpochCell::load`] (a read-lock held only for one `Arc`
+/// clone — many readers proceed concurrently); the boundary thread calls
+/// [`EpochCell::publish`] to atomically swap in the next snapshot and bump
+/// the epoch. The epoch is incremented while the write lock is held, so
+/// [`EpochCell::load_with_epoch`] always returns a consistent
+/// `(epoch, value)` pair and epochs observed by any reader are
+/// non-decreasing.
+#[derive(Debug)]
+pub struct EpochCell<T> {
+    epoch: AtomicU64,
+    value: RwLock<Arc<T>>,
+}
+
+impl<T> EpochCell<T> {
+    /// A cell holding `initial` at epoch 0.
+    pub fn new(initial: T) -> Self {
+        Self {
+            epoch: AtomicU64::new(0),
+            value: RwLock::new(Arc::new(initial)),
+        }
+    }
+
+    /// The epoch of the most recent publication (0 = the initial value).
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+
+    /// The current snapshot. The read lock is held only for the `Arc`
+    /// clone; the returned handle stays valid (and unchanged) across later
+    /// publications.
+    pub fn load(&self) -> Arc<T> {
+        Arc::clone(&self.value.read().expect("epoch cell lock"))
+    }
+
+    /// The current `(epoch, snapshot)` pair, read consistently: publication
+    /// bumps the epoch while holding the write lock, so the pair can never
+    /// mix one publication's epoch with another's value.
+    pub fn load_with_epoch(&self) -> (u64, Arc<T>) {
+        let guard = self.value.read().expect("epoch cell lock");
+        (self.epoch.load(Ordering::Acquire), Arc::clone(&guard))
+    }
+
+    /// Atomically swaps in `value` as the next snapshot and bumps the epoch;
+    /// returns the new epoch. Readers that already hold the previous `Arc`
+    /// keep reading the previous (coherent) snapshot.
+    pub fn publish(&self, value: T) -> u64 {
+        let mut guard = self.value.write().expect("epoch cell lock");
+        *guard = Arc::new(value);
+        self.epoch.fetch_add(1, Ordering::AcqRel) + 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicBool;
+
+    #[test]
+    fn publish_bumps_epoch_and_swaps_value() {
+        let cell = EpochCell::new(vec![0u32; 4]);
+        assert_eq!(cell.epoch(), 0);
+        assert_eq!(*cell.load(), vec![0; 4]);
+        let held = cell.load();
+        assert_eq!(cell.publish(vec![1, 2, 3, 4]), 1);
+        assert_eq!(cell.epoch(), 1);
+        assert_eq!(*cell.load(), vec![1, 2, 3, 4]);
+        // A reader that loaded before the swap keeps its coherent snapshot.
+        assert_eq!(*held, vec![0; 4]);
+        let (epoch, value) = cell.load_with_epoch();
+        assert_eq!(epoch, 1);
+        assert_eq!(*value, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn concurrent_readers_observe_monotone_epochs_and_consistent_pairs() {
+        // The publisher stores the epoch inside the value as well, so readers
+        // can detect a torn (epoch, value) pair or an epoch going backwards.
+        let cell = Arc::new(EpochCell::new(0u64));
+        let stop = Arc::new(AtomicBool::new(false));
+        let mut readers = Vec::new();
+        for _ in 0..4 {
+            let cell = Arc::clone(&cell);
+            let stop = Arc::clone(&stop);
+            readers.push(std::thread::spawn(move || {
+                let mut last = 0u64;
+                while !stop.load(Ordering::Acquire) {
+                    let (epoch, value) = cell.load_with_epoch();
+                    assert_eq!(epoch, *value, "epoch/value pair torn");
+                    assert!(epoch >= last, "epoch went backwards");
+                    last = epoch;
+                }
+                last
+            }));
+        }
+        for next in 1..=1000u64 {
+            assert_eq!(cell.publish(next), next);
+        }
+        stop.store(true, Ordering::Release);
+        for reader in readers {
+            assert!(reader.join().expect("reader panicked") <= 1000);
+        }
+        assert_eq!(cell.epoch(), 1000);
+    }
+}

@@ -20,6 +20,10 @@
 //!   threads, balls' requests are messages on the shards' channels and accepts
 //!   flow back over a result channel. A faithful "message passing" realisation of
 //!   the model, used to cross-validate the shared-memory path.
+//! * [`epoch`] — [`EpochCell`]: epoch-published load snapshots, the read-side
+//!   primitive of the concurrent streaming router (many reader threads clone
+//!   the current stale snapshot, one boundary thread swaps in the next and
+//!   bumps a monotone epoch).
 //! * [`speedup`] — wall-clock measurements of one allocation under varying rayon
 //!   thread counts (pool-warm: each pool's first run is a discarded warm-up).
 
@@ -28,10 +32,12 @@
 
 pub mod actor;
 pub mod atomic_bins;
+pub mod epoch;
 pub mod executor;
 pub mod speedup;
 
 pub use actor::run_actor_threshold;
 pub use atomic_bins::AtomicBins;
+pub use epoch::EpochCell;
 pub use executor::{run_concurrent_heavy, run_concurrent_threshold, ConcurrentOutcome};
 pub use speedup::{measure_speedup, SpeedupPoint};

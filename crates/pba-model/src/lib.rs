@@ -38,7 +38,10 @@
 //! * [`router`] — the unified service-shaped [`Router`] interface
 //!   (`route(key) → Placement`, handle-based `release(Ticket)`, typed
 //!   [`RouteError`], pluggable [`RouterObserver`] hooks) shared by the
-//!   streaming engine and, via [`OneShotRouter`], every one-shot allocator.
+//!   streaming engine and, via [`OneShotRouter`], every one-shot allocator;
+//!   plus its shared-handle counterpart [`ConcurrentRouter`] (`&self`
+//!   methods, many caller threads per router) and the thread-safe
+//!   [`SharedTicketLedger`] behind it.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -60,7 +63,7 @@ pub use outcome::{AllocationOutcome, Allocator};
 pub use protocol::{Protocol, RoundCtx};
 pub use rng::SplitMix64;
 pub use router::{
-    BatchEvent, OneShotRouter, Placement, ReleaseEvent, ReweightEvent, RouteError, Router,
-    RouterObserver, RouterStats, Ticket, TicketLedger,
+    BatchEvent, ConcurrentRouter, OneShotRouter, Placement, ReleaseEvent, ReweightEvent,
+    RouteError, Router, RouterObserver, RouterStats, SharedTicketLedger, Ticket, TicketLedger,
 };
 pub use weights::{AliasTable, BinWeights, ResolvedWeights, WeightTier};

@@ -21,17 +21,26 @@
 //!   `on_reweight`, `on_release`) so metrics become sinks wired into the drain
 //!   loop instead of ad-hoc polling.
 //! * [`TicketLedger`] — the shared resident-ball table (ball id ↔ bin with
-//!   per-bin occupancy lists) used by every `Router` implementation.
+//!   per-bin occupancy lists) used by every `Router` implementation, and its
+//!   thread-safe sibling [`SharedTicketLedger`] (the same ledger logic behind
+//!   per-bin-shard locks, issue/redeem callable from many threads at once).
 //! * [`OneShotRouter`] — the adapter that lifts any one-shot [`Allocator`]
 //!   into the `Router` interface by precomputing its allocation and handing
 //!   out the placements one `route` call at a time.
+//! * [`ConcurrentRouter`] — the `&self` counterpart of [`Router`]: the same
+//!   route/release/loads/stats vocabulary with **shared-handle** receivers,
+//!   so one router instance can serve many caller threads at once. The
+//!   streaming implementation (`pba_stream::ConcurrentRouter`, a cloneable
+//!   `Arc`-backed handle) implements it natively.
 //!
-//! The streaming implementation lives in the `pba-stream` crate
-//! (`StreamAllocator` implements `Router` natively); this module holds the
-//! engine-independent vocabulary.
+//! The streaming implementations live in the `pba-stream` crate
+//! (`StreamAllocator` implements `Router` natively, `ConcurrentRouter` the
+//! trait of the same name); this module holds the engine-independent
+//! vocabulary.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 
 use crate::outcome::Allocator;
 use crate::weights::ResolvedWeights;
@@ -155,6 +164,36 @@ pub trait Router {
     fn stats(&self) -> RouterStats;
 }
 
+/// The shared-handle counterpart of [`Router`]: the same vocabulary —
+/// `route(key)` → [`Placement`], `release(Ticket)`, `loads()`, `stats()` —
+/// but every method takes `&self`, so **one router instance serves many
+/// caller threads concurrently** (the paper's balls acting in parallel as
+/// separate agents). Implementations are expected to be cloneable handles
+/// over shared state; the trait itself stays object-safe so a server loop
+/// can hold an `Arc<dyn ConcurrentRouter>`.
+///
+/// Semantics differ from the single-threaded trait only in what
+/// concurrency makes unobservable: with one caller thread an implementation
+/// should behave exactly like its `Router` twin (the streaming engine's is
+/// bit-identical — property-tested), while with `k` callers placements of a
+/// batch may interleave with the boundary, which is precisely the
+/// stale-information regime the batched model analyses. Conservation and
+/// ticket validity hold for every interleaving.
+pub trait ConcurrentRouter: Send + Sync {
+    /// Routes one key from any thread: places a ball and returns its
+    /// [`Placement`].
+    fn route(&self, key: u64) -> Result<Placement, RouteError>;
+
+    /// Releases a previously issued ticket from any thread.
+    fn release(&self, ticket: Ticket) -> Result<(), RouteError>;
+
+    /// Current per-bin loads.
+    fn loads(&self) -> Vec<u32>;
+
+    /// Aggregate routing statistics.
+    fn stats(&self) -> RouterStats;
+}
+
 /// One batch boundary: the load snapshot just advanced after `batch_len`
 /// placements. Fired by streaming engines after every drained batch.
 #[derive(Debug, Clone, Copy)]
@@ -213,20 +252,85 @@ pub trait RouterObserver {
     fn on_release(&mut self, _event: &ReleaseEvent) {}
 }
 
+/// The ledger logic shared by [`TicketLedger`] and [`SharedTicketLedger`]:
+/// resident ball ids of a contiguous bin range `[start, start + len)` with a
+/// per-bin occupancy list and an id → position index. O(1) insert and release
+/// (swap-remove). Bin arguments are **global** bin indices; the inner table
+/// stores them relative to `start` so a sharded ledger pays no memory for
+/// bins other shards own.
+#[derive(Debug, Default)]
+struct LedgerInner {
+    /// First (global) bin this table covers.
+    start: usize,
+    /// Resident ball ids per bin, indexed by `bin - start` (unordered;
+    /// swap-removed on release).
+    by_bin: Vec<Vec<u64>>,
+    /// Ball id → (global bin, index into `by_bin[bin - start]`).
+    position: HashMap<u64, (u32, u32)>,
+}
+
+impl LedgerInner {
+    fn new(start: usize, len: usize) -> Self {
+        Self {
+            start,
+            by_bin: vec![Vec::new(); len],
+            position: HashMap::new(),
+        }
+    }
+
+    fn issue(&mut self, id: u64, bin: usize) {
+        let list = &mut self.by_bin[bin - self.start];
+        let slot = list.len() as u32;
+        list.push(id);
+        let previous = self.position.insert(id, (bin as u32, slot));
+        debug_assert!(previous.is_none(), "ball id {id} issued twice");
+    }
+
+    /// Removes the placement `(id, bin)` if resident; returns whether it was.
+    fn redeem(&mut self, id: u64, bin: usize) -> bool {
+        match self.position.get(&id) {
+            Some(&(recorded, slot)) if recorded as usize == bin => {
+                self.position.remove(&id);
+                let list = &mut self.by_bin[bin - self.start];
+                list.swap_remove(slot as usize);
+                // The swap moved the former tail into `slot`; re-point it.
+                if let Some(&moved) = list.get(slot as usize) {
+                    self.position.insert(moved, (recorded, slot));
+                }
+                true
+            }
+            _ => false,
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.position.len()
+    }
+
+    fn count_in(&self, bin: usize) -> usize {
+        self.by_bin[bin - self.start].len()
+    }
+
+    fn resident_in(&self, bin: usize) -> Option<u64> {
+        self.by_bin[bin - self.start].last().copied()
+    }
+}
+
 /// The resident-ball table behind handle-based routing: ball id → bin with a
 /// per-bin occupancy list, O(1) insert and release (swap-remove), and per-bin
 /// sampling hooks for churn drivers (release the most recent resident of a
 /// chosen bin). Every ledger carries a process-unique **realm** id stamped
 /// into the tickets it issues, so a ticket from one router can never redeem
 /// against another even when ball ids and bins collide.
+///
+/// This is the single-threaded ledger (`&mut self` operations, matching the
+/// [`Router`] trait). [`SharedTicketLedger`] offers the same semantics for
+/// many concurrent callers.
 #[derive(Debug)]
 pub struct TicketLedger {
     /// This ledger's process-unique realm id.
     realm: u64,
-    /// Resident ball ids per bin (unordered; swap-removed on release).
-    by_bin: Vec<Vec<u64>>,
-    /// Ball id → (bin, index into `by_bin[bin]`).
-    position: HashMap<u64, (u32, u32)>,
+    inner: LedgerInner,
 }
 
 impl TicketLedger {
@@ -234,18 +338,14 @@ impl TicketLedger {
     pub fn new(n: usize) -> Self {
         Self {
             realm: NEXT_REALM.fetch_add(1, Ordering::Relaxed),
-            by_bin: vec![Vec::new(); n],
-            position: HashMap::new(),
+            inner: LedgerInner::new(0, n),
         }
     }
 
     /// Records a placement and returns its ticket (stamped with this
     /// ledger's realm).
     pub fn issue(&mut self, id: u64, bin: usize) -> Ticket {
-        let slot = self.by_bin[bin].len() as u32;
-        self.by_bin[bin].push(id);
-        let previous = self.position.insert(id, (bin as u32, slot));
-        debug_assert!(previous.is_none(), "ball id {id} issued twice");
+        self.inner.issue(id, bin);
         Ticket {
             id,
             bin: bin as u32,
@@ -256,37 +356,26 @@ impl TicketLedger {
     /// Validates and removes a ticket, returning the bin it resided in. The
     /// realm, ball id and bin must all match a resident placement.
     pub fn redeem(&mut self, ticket: Ticket) -> Result<usize, RouteError> {
-        if ticket.realm != self.realm {
-            return Err(RouteError::UnknownTicket { ticket });
-        }
-        match self.position.get(&ticket.id()) {
-            Some(&(bin, slot)) if bin as usize == ticket.bin() => {
-                self.position.remove(&ticket.id());
-                let list = &mut self.by_bin[bin as usize];
-                list.swap_remove(slot as usize);
-                // The swap moved the former tail into `slot`; re-point it.
-                if let Some(&moved) = list.get(slot as usize) {
-                    self.position.insert(moved, (bin, slot));
-                }
-                Ok(bin as usize)
-            }
-            _ => Err(RouteError::UnknownTicket { ticket }),
+        if ticket.realm == self.realm && self.inner.redeem(ticket.id(), ticket.bin()) {
+            Ok(ticket.bin())
+        } else {
+            Err(RouteError::UnknownTicket { ticket })
         }
     }
 
     /// Number of resident (unreleased) tickets.
     pub fn len(&self) -> usize {
-        self.position.len()
+        self.inner.len()
     }
 
     /// True when no tickets are resident.
     pub fn is_empty(&self) -> bool {
-        self.position.is_empty()
+        self.inner.len() == 0
     }
 
     /// Resident tickets in `bin`.
     pub fn count_in(&self, bin: usize) -> usize {
-        self.by_bin[bin].len()
+        self.inner.count_in(bin)
     }
 
     /// A resident ticket of `bin`, if any — the handle churn drivers release
@@ -296,11 +385,123 @@ impl TicketLedger {
     /// list via swap-remove, which reorders it. Balls are exchangeable for
     /// every load-level property, so churn semantics only need *a* resident.
     pub fn resident_in(&self, bin: usize) -> Option<Ticket> {
-        self.by_bin[bin].last().map(|&id| Ticket {
+        self.inner.resident_in(bin).map(|id| Ticket {
             id,
             bin: bin as u32,
             realm: self.realm,
         })
+    }
+}
+
+/// The thread-safe resident-ball table of a [`ConcurrentRouter`]: the same
+/// ledger logic as [`TicketLedger`], sharded into contiguous bin ranges with
+/// one mutex per shard so issues and redeems against different bin shards
+/// proceed in parallel. A ticket names its bin, so every operation locks
+/// exactly one shard (the bin's owner — the same `⌊bin·S/n⌋` partition the
+/// streaming engine's `ShardedBins` uses); there is no cross-shard
+/// coordination and therefore no lock-ordering hazard. All shards stamp the
+/// ledger's single realm, so foreign-ticket rejection works exactly as in
+/// the single-threaded ledger.
+#[derive(Debug)]
+pub struct SharedTicketLedger {
+    /// This ledger's process-unique realm id (shared by every shard).
+    realm: u64,
+    /// Number of (global) bins.
+    bins: usize,
+    /// Per-shard ledgers over contiguous bin ranges.
+    shards: Vec<Mutex<LedgerInner>>,
+}
+
+impl SharedTicketLedger {
+    /// An empty ledger over `n` bins in `shards` contiguous bin shards
+    /// (clamped to `[1, n]`), with a fresh realm.
+    pub fn new(n: usize, shards: usize) -> Self {
+        let shards = shards.clamp(1, n.max(1));
+        Self {
+            realm: NEXT_REALM.fetch_add(1, Ordering::Relaxed),
+            bins: n,
+            shards: (0..shards)
+                .map(|s| {
+                    let start = (s * n).div_ceil(shards);
+                    let end = ((s + 1) * n).div_ceil(shards);
+                    Mutex::new(LedgerInner::new(start, end - start))
+                })
+                .collect(),
+        }
+    }
+
+    /// The shard owning `bin`: `⌊bin·S/n⌋`.
+    fn shard_of(&self, bin: usize) -> &Mutex<LedgerInner> {
+        &self.shards[bin * self.shards.len() / self.bins]
+    }
+
+    /// Records a placement and returns its ticket. Locks only the bin's
+    /// shard.
+    pub fn issue(&self, id: u64, bin: usize) -> Ticket {
+        self.shard_of(bin)
+            .lock()
+            .expect("ledger shard")
+            .issue(id, bin);
+        Ticket {
+            id,
+            bin: bin as u32,
+            realm: self.realm,
+        }
+    }
+
+    /// Validates and removes a ticket, returning the bin it resided in.
+    /// Realm, ball id and bin must all match a resident placement; the check
+    /// and removal are atomic under the bin shard's lock, so concurrent
+    /// double releases of the same ticket resolve to exactly one success.
+    pub fn redeem(&self, ticket: Ticket) -> Result<usize, RouteError> {
+        let bin = ticket.bin();
+        if ticket.realm == self.realm
+            && bin < self.bins
+            && self
+                .shard_of(bin)
+                .lock()
+                .expect("ledger shard")
+                .redeem(ticket.id(), bin)
+        {
+            Ok(bin)
+        } else {
+            Err(RouteError::UnknownTicket { ticket })
+        }
+    }
+
+    /// Number of resident (unreleased) tickets across all shards.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("ledger shard").len())
+            .sum()
+    }
+
+    /// True when no tickets are resident.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Resident tickets in `bin`.
+    pub fn count_in(&self, bin: usize) -> usize {
+        self.shard_of(bin)
+            .lock()
+            .expect("ledger shard")
+            .count_in(bin)
+    }
+
+    /// A resident ticket of `bin`, if any (see [`TicketLedger::resident_in`]
+    /// for the determinism caveat).
+    pub fn resident_in(&self, bin: usize) -> Option<Ticket> {
+        self.shard_of(bin)
+            .lock()
+            .expect("ledger shard")
+            .resident_in(bin)
+            .map(|id| Ticket {
+                id,
+                bin: bin as u32,
+                realm: self.realm,
+            })
     }
 }
 
@@ -520,6 +721,137 @@ mod tests {
         assert_eq!(b.len(), 1, "foreign redeem must not remove anything");
         assert!(b.redeem(from_b).is_ok());
         assert!(a.redeem(from_a).is_ok());
+    }
+
+    #[test]
+    fn shared_ledger_matches_single_threaded_semantics() {
+        let shared = SharedTicketLedger::new(8, 3);
+        let t1 = shared.issue(10, 2);
+        let t2 = shared.issue(11, 2);
+        let t3 = shared.issue(12, 7);
+        assert_eq!(shared.len(), 3);
+        assert_eq!(shared.count_in(2), 2);
+        assert_eq!(shared.resident_in(2), Some(t2));
+        assert_eq!(shared.resident_in(3), None);
+        // Redeeming the older ticket exercises the swap-remove repointing.
+        assert_eq!(shared.redeem(t1), Ok(2));
+        assert_eq!(shared.resident_in(2), Some(t2));
+        assert_eq!(
+            shared.redeem(t1),
+            Err(RouteError::UnknownTicket { ticket: t1 }),
+            "double release"
+        );
+        // Forged (realm-0) and out-of-range tickets are rejected.
+        assert!(shared.redeem(Ticket::new(11, 2)).is_err());
+        assert!(matches!(
+            shared.redeem(Ticket {
+                id: 99,
+                bin: 800,
+                realm: shared.realm
+            }),
+            Err(RouteError::UnknownTicket { .. })
+        ));
+        assert_eq!(shared.redeem(t2), Ok(2));
+        assert_eq!(shared.redeem(t3), Ok(7));
+        assert!(shared.is_empty());
+    }
+
+    #[test]
+    fn shared_ledger_rejects_foreign_tickets() {
+        let a = SharedTicketLedger::new(4, 2);
+        let b = SharedTicketLedger::new(4, 2);
+        let from_a = a.issue(0, 1);
+        let from_b = b.issue(0, 1);
+        assert_ne!(from_a, from_b, "realms differ");
+        assert!(b.redeem(from_a).is_err());
+        assert_eq!(b.len(), 1);
+        assert!(b.redeem(from_b).is_ok());
+        assert!(a.redeem(from_a).is_ok());
+    }
+
+    #[test]
+    fn shared_ledger_survives_concurrent_issue_release_churn() {
+        use std::sync::Arc;
+        let ledger = Arc::new(SharedTicketLedger::new(16, 4));
+        let mut handles = Vec::new();
+        for t in 0..4u64 {
+            let ledger = Arc::clone(&ledger);
+            handles.push(std::thread::spawn(move || {
+                let mut kept = Vec::new();
+                for i in 0..500u64 {
+                    let id = t * 1_000_000 + i;
+                    let ticket = ledger.issue(id, ((id * 7) % 16) as usize);
+                    if i % 3 == 0 {
+                        kept.push(ticket);
+                    } else {
+                        ledger.redeem(ticket).expect("own fresh ticket");
+                    }
+                }
+                kept
+            }));
+        }
+        let kept: Vec<Ticket> = handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("churn thread"))
+            .collect();
+        assert_eq!(ledger.len(), kept.len());
+        let per_bin: usize = (0..16).map(|b| ledger.count_in(b)).sum();
+        assert_eq!(per_bin, kept.len());
+        for ticket in kept {
+            ledger.redeem(ticket).expect("kept ticket resident");
+            assert!(ledger.redeem(ticket).is_err(), "double release");
+        }
+        assert!(ledger.is_empty());
+    }
+
+    #[test]
+    fn concurrent_router_trait_is_object_safe() {
+        // A minimal shared-handle router over an atomic counter: enough to
+        // prove the trait's object-safety and `&self` calling convention.
+        use std::sync::atomic::{AtomicU64, Ordering};
+        struct RoundRobin {
+            n: usize,
+            next: AtomicU64,
+            ledger: SharedTicketLedger,
+        }
+        impl ConcurrentRouter for RoundRobin {
+            fn route(&self, _key: u64) -> Result<Placement, RouteError> {
+                let id = self.next.fetch_add(1, Ordering::Relaxed);
+                let bin = (id % self.n as u64) as usize;
+                Ok(Placement {
+                    ticket: self.ledger.issue(id, bin),
+                    bin,
+                })
+            }
+            fn release(&self, ticket: Ticket) -> Result<(), RouteError> {
+                self.ledger.redeem(ticket).map(|_| ())
+            }
+            fn loads(&self) -> Vec<u32> {
+                (0..self.n)
+                    .map(|b| self.ledger.count_in(b) as u32)
+                    .collect()
+            }
+            fn stats(&self) -> RouterStats {
+                RouterStats {
+                    routed: self.next.load(Ordering::Relaxed),
+                    released: 0,
+                    resident: self.ledger.len() as u64,
+                    bins: self.n,
+                    batches: 0,
+                    gap: 0.0,
+                }
+            }
+        }
+        let router: std::sync::Arc<dyn ConcurrentRouter> = std::sync::Arc::new(RoundRobin {
+            n: 2,
+            next: AtomicU64::new(0),
+            ledger: SharedTicketLedger::new(2, 1),
+        });
+        let placement = router.route(7).unwrap();
+        assert_eq!(placement.bin, placement.ticket.bin());
+        assert_eq!(router.loads(), vec![1, 0]);
+        router.release(placement.ticket).unwrap();
+        assert_eq!(router.stats().resident, 0);
     }
 
     #[test]

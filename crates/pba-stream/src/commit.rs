@@ -1,0 +1,147 @@
+//! The **commit** stage of the streaming pipeline: turning one batch of
+//! pending balls into bin placements.
+//!
+//! A commit is two steps, both shared verbatim by the single-threaded
+//! [`StreamAllocator`](crate::StreamAllocator) drain and the multi-threaded
+//! [`ConcurrentRouter`](crate::ConcurrentRouter) drain (which is how the two
+//! engines stay bit-identical):
+//!
+//! 1. **choose** — every ball picks its bin as a pure function of
+//!    `(stale snapshot, key)`. Mutually independent, so the step runs
+//!    data-parallel over balls (`collect_into_vec` into a reused scratch
+//!    vector) once a batch is large enough to amortise pool dispatch.
+//! 2. **apply** — the chosen placements are committed to the
+//!    [`ShardedBins`] (lock-free atomic increments). Large batches group
+//!    placements by shard and fan out, folding per-shard stats once per
+//!    (shard, batch); small batches apply inline.
+
+use rayon::prelude::*;
+
+use crate::ingress::PendingBall;
+use crate::policy::{choose_bin, ChoiceCtx, Policy};
+use crate::shard::ShardedBins;
+
+/// Minimum balls per worker in the parallel choose step. The per-ball work
+/// (key hash + policy) is ~50–150 ns; dispatching a chunk to the persistent
+/// rayon-shim pool costs a boxed job plus a channel send (~1 µs), so a worker
+/// needs a few hundred balls to amortise the dispatch. (Before the pool this
+/// cutoff was 2048: a fresh scoped thread per worker cost ~30 µs.)
+pub(crate) const CHOOSE_MIN_BALLS_PER_WORKER: usize = 512;
+
+/// Batch size below which the sharded parallel apply is skipped: applying a
+/// placement is one atomic increment, so small batches are faster applied
+/// inline than grouped by shard and fanned out (the by-shard grouping pass,
+/// not dispatch, is the overhead that needs amortising).
+pub(crate) const PARALLEL_APPLY_MIN_BATCH: usize = 4096;
+
+/// Step 1 — choose: fills `chosen` with the bin of every ball of `batch`,
+/// in batch order. A pure function of `(ctx, keys)`, so any execution order
+/// produces the same vector; the parallel path fills the scratch in place via
+/// `collect_into_vec` (no per-worker part vectors, no per-batch allocation
+/// once the capacity is warm), the sequential path extends it in place.
+pub(crate) fn choose_batch(
+    policy: Policy,
+    ctx: &ChoiceCtx<'_>,
+    batch: &[PendingBall],
+    parallel: bool,
+    chosen: &mut Vec<u32>,
+) {
+    chosen.clear();
+    let d = policy.choices();
+    if parallel {
+        batch
+            .par_iter()
+            .with_min_len(CHOOSE_MIN_BALLS_PER_WORKER)
+            .map_init(
+                || Vec::with_capacity(2 * d),
+                |candidates, ball| choose_bin(policy, ctx, ball.key, candidates),
+            )
+            .collect_into_vec(chosen)
+    } else {
+        let mut candidates = Vec::with_capacity(2 * d);
+        chosen.extend(
+            batch
+                .iter()
+                .map(|ball| choose_bin(policy, ctx, ball.key, &mut candidates)),
+        );
+    }
+}
+
+/// Step 2 — apply: commits `chosen` to the bins. For large batches, group
+/// placements by shard and let each shard apply its own in parallel
+/// (per-shard stats folded once under the shard lock). Below the cutoff the
+/// per-shard work is a few microseconds of atomic increments — thread +
+/// grouping overhead dominates — so apply directly. Both paths produce
+/// identical loads and identical shard stats. `by_shard` is caller-owned
+/// scratch (one group per shard, reused across batches); `shard_ids` the
+/// caller's `0..shards` slice for `par_iter`.
+pub(crate) fn apply_batch(
+    bins: &ShardedBins,
+    chosen: &[u32],
+    parallel: bool,
+    by_shard: &mut [Vec<u32>],
+    shard_ids: &[usize],
+) {
+    if parallel && chosen.len() >= PARALLEL_APPLY_MIN_BATCH {
+        for group in by_shard.iter_mut() {
+            group.clear();
+        }
+        for &bin in chosen {
+            by_shard[bins.shard_of(bin as usize)].push(bin);
+        }
+        let by_shard = &*by_shard;
+        shard_ids.par_iter().with_min_len(1).for_each(|&s| {
+            let mut peak = 0u32;
+            for &bin in &by_shard[s] {
+                peak = peak.max(bins.place_unrecorded(bin as usize));
+            }
+            bins.record_batch(s, by_shard[s].len() as u64, peak);
+        });
+    } else {
+        for &bin in chosen {
+            bins.place(bin as usize);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_and_sequential_choose_agree() {
+        let snapshot: Vec<u32> = (0..64u32).map(|i| (i * 5) % 11).collect();
+        let ctx = ChoiceCtx {
+            snapshot: &snapshot,
+            weights: None,
+            batch_threshold: 0,
+            capacity_thresholds: &[],
+            seed: 3,
+            bins: 64,
+        };
+        let batch: Vec<PendingBall> = (0..2048u64)
+            .map(|id| PendingBall { id, key: id * 17 })
+            .collect();
+        let mut seq = Vec::new();
+        let mut par = Vec::new();
+        choose_batch(Policy::TwoChoice, &ctx, &batch, false, &mut seq);
+        choose_batch(Policy::TwoChoice, &ctx, &batch, true, &mut par);
+        assert_eq!(seq, par);
+        assert_eq!(seq.len(), batch.len());
+    }
+
+    #[test]
+    fn parallel_and_sequential_apply_agree_on_loads_and_stats() {
+        let chosen: Vec<u32> = (0..(PARALLEL_APPLY_MIN_BATCH as u32))
+            .map(|i| (i * 13) % 32)
+            .collect();
+        let a = ShardedBins::new(32, 4);
+        let b = ShardedBins::new(32, 4);
+        let mut by_shard = vec![Vec::new(); 4];
+        let shard_ids: Vec<usize> = (0..4).collect();
+        apply_batch(&a, &chosen, true, &mut by_shard, &shard_ids);
+        apply_batch(&b, &chosen, false, &mut by_shard, &shard_ids);
+        assert_eq!(a.snapshot(), b.snapshot());
+        assert_eq!(a.all_shard_stats(), b.all_shard_stats());
+    }
+}

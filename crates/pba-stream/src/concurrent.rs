@@ -1,0 +1,962 @@
+//! The **concurrent serving core**: a shared-handle router over the streaming
+//! pipeline, with `route(key)` callable from many threads at once.
+//!
+//! The paper's balls act *in parallel as separate agents*; the batched model
+//! (Los & Sauerwald 2022) is what makes that implementable: every ball of a
+//! batch decides from the **stale snapshot of the previous batch boundary**,
+//! so in-flight placements never need to see each other. A concurrent router
+//! therefore needs almost no synchronisation on its hot path:
+//!
+//! ```text
+//!   caller threads                 ┌───────────────────────────────┐
+//!   route(key) ──► read stale ────►│ choose_bin  (pure fn of       │
+//!   route(key) ──► snapshot   ────►│   stale snapshot + key)       │
+//!   route(key) ──► (EpochCell)────►│                               │
+//!                                  └──────────────┬────────────────┘
+//!                                                 ▼
+//!                                   commit: AtomicBins increment
+//!                                   ticket: SharedTicketLedger
+//!                                                 ▼
+//!                              every `batch_size` commits, ONE thread
+//!                              takes the boundary lock: fresh loads →
+//!                              gap/observers → EpochCell::publish
+//!                              (epoch += 1) — the next stale snapshot
+//! ```
+//!
+//! * **Ingress** — [`ConcurrentRouter::route`] places synchronously (the
+//!   caller learns its bin and gets a [`Ticket`]); [`ConcurrentRouter::push`]
+//!   is the fire-and-forget path: balls are stamped with a monotone arrival
+//!   id and parked on sharded MPMC lanes (the crate-private ingress stage),
+//!   then sequenced (sorted by arrival id) and batch-drained by whichever
+//!   thread calls [`ConcurrentRouter::drain_ready`].
+//! * **Snapshot** — the stale load vector is epoch-published through
+//!   [`pba_concurrent::EpochCell`]: readers clone an `Arc` (a read-lock held
+//!   for one pointer copy), the boundary thread swaps in the next snapshot
+//!   and bumps a monotone epoch. Epoch == batch boundaries completed.
+//! * **Commit** — placements are lock-free atomic increments on
+//!   [`pba_concurrent::AtomicBins`] (via [`ShardedBins`]); tickets are issued
+//!   and released through the bin-sharded
+//!   [`pba_model::router::SharedTicketLedger`].
+//!
+//! ## Determinism contract
+//!
+//! With **one caller thread** the pipeline is **bit-identical** to
+//! [`StreamAllocator`](crate::StreamAllocator): `route` matches `route`,
+//! `push`/`drain_ready`/`flush` match their buffered twins — same loads, same
+//! gap trajectory, same shard stats, same batch count, for every policy
+//! (property-tested in `tests/concurrent_properties.rs`). Candidate bins are
+//! a pure hash of `(seed, key)` and pushed balls are re-sequenced by arrival
+//! id, so each shard's placements are reproducible from the arrival sequence
+//! alone.
+//!
+//! With **k caller threads**, placements of a batch race the boundary: a
+//! ball may commit while another thread publishes the next snapshot, and the
+//! published loads may include early commits of the following batch. That is
+//! *additional staleness of at most the in-flight balls* — exactly the
+//! regime the batched model prices (experiment E10) — so the load-level
+//! guarantees survive while bit-level reproducibility intentionally does
+//! not. What holds for **every** interleaving: conservation
+//! (`placed − departed == Σ loads`), ticket-ledger consistency (no lost or
+//! duplicated tickets, double releases rejected), epoch monotonicity, and
+//! one boundary per `batch_size` routed balls.
+//!
+//! Weights are fixed at construction (`StreamConfig::weights`); runtime
+//! reweighting of a shared-handle router is future work — construct a new
+//! router and swap handles instead.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock, RwLock};
+
+use pba_concurrent::EpochCell;
+use pba_model::router::{
+    BatchEvent, ConcurrentRouter as ConcurrentRouterApi, Placement, ReleaseEvent, RouteError,
+    RouterObserver, RouterStats, SharedTicketLedger, Ticket,
+};
+use pba_model::weights::{normalized_loads, ResolvedWeights};
+use pba_stats::OnlineStats;
+
+use crate::commit;
+use crate::engine::StreamConfig;
+use crate::ingress::{PendingBall, ShardedIngress};
+use crate::observer::GapTrajectoryObserver;
+use crate::policy::{choose_bin, ChoiceCtx, Policy};
+use crate::shard::{ShardStats, ShardedBins};
+use crate::snapshot::{self, StreamSnapshot};
+
+thread_local! {
+    /// Per-thread candidate scratch of [`ConcurrentRouter::route`]: the
+    /// single-threaded engine reuses a member buffer, which a shared `&self`
+    /// handle cannot, so each caller thread keeps its own (no per-request
+    /// allocation on the hot path).
+    static ROUTE_CANDIDATES: std::cell::RefCell<Vec<u32>> =
+        const { std::cell::RefCell::new(Vec::new()) };
+}
+
+/// True for the policies that price a per-batch threshold (and therefore
+/// need the lazily computed [`RouteThresholds`]).
+fn uses_thresholds(policy: Policy) -> bool {
+    matches!(
+        policy,
+        Policy::Threshold { .. } | Policy::CapacityThreshold { .. }
+    )
+}
+
+/// The thresholds of one routed batch, priced lazily by the **first** route
+/// call of the batch (so the resident count they see includes every release
+/// up to that call — the same moment the single-threaded engine prices them)
+/// and shared by the rest of the batch through the `OnceLock`.
+#[derive(Debug)]
+struct RouteThresholds {
+    /// Flat batch threshold (`Policy::Threshold`, and the uniform-weights
+    /// fallback of `Policy::CapacityThreshold`).
+    flat: u32,
+    /// Per-bin capacity thresholds (non-uniform `CapacityThreshold` only).
+    capacity: Vec<u32>,
+}
+
+/// Boundary-side bookkeeping, serialised under one mutex: boundaries are
+/// rare (once per `batch_size` placements), so the lock is cold.
+struct BoundaryBook {
+    /// Batch boundaries completed (== the published epoch).
+    batches: u64,
+    /// The default observer: per-batch gap trajectory + streaming stats.
+    gap: GapTrajectoryObserver,
+    /// External observer sinks, notified after the default observer.
+    observers: Vec<Arc<Mutex<dyn RouterObserver + Send>>>,
+}
+
+impl std::fmt::Debug for BoundaryBook {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BoundaryBook")
+            .field("batches", &self.batches)
+            .field("observers", &self.observers.len())
+            .finish()
+    }
+}
+
+/// Drain-side state (the push path), serialised under one mutex so exactly
+/// one thread sequences and drains at a time while routes proceed.
+#[derive(Debug, Default)]
+struct DrainSide {
+    /// Sequenced arrivals not yet drained (the tail below one batch).
+    buffer: Vec<PendingBall>,
+    /// Scratch: chosen bin per ball of the batch being drained (reused).
+    chosen: Vec<u32>,
+    /// Scratch: placements grouped by shard for the parallel apply (reused).
+    by_shard: Vec<Vec<u32>>,
+    /// Scratch: per-bin capacity thresholds of the batch being drained.
+    capacity: Vec<u32>,
+}
+
+/// Shared state behind every [`ConcurrentRouter`] handle.
+#[derive(Debug)]
+struct Core {
+    config: StreamConfig,
+    /// Non-uniform weights resolved once at construction; `None` keeps every
+    /// hot path on the exact unweighted code (the strict no-op invariant).
+    resolved: Option<ResolvedWeights>,
+    /// Lock-free load counters + per-shard stats.
+    bins: ShardedBins,
+    /// The epoch-published stale snapshot every route decides from.
+    published: EpochCell<Vec<u32>>,
+    /// The open routed batch's lazily priced thresholds; swapped for a fresh
+    /// (unpriced) cell at every routed-batch close. Only threshold policies
+    /// ever touch it.
+    route_thresholds: RwLock<Arc<OnceLock<RouteThresholds>>>,
+    /// Balls routed since the last routed-batch boundary.
+    open_routed: AtomicU64,
+    /// Next ball id (route and push share the arrival sequence).
+    next_ball: AtomicU64,
+    arrived: AtomicU64,
+    placed: AtomicU64,
+    departed: AtomicU64,
+    routed: AtomicU64,
+    released: AtomicU64,
+    /// MPMC arrival lanes of the push path.
+    ingress: ShardedIngress,
+    drain: Mutex<DrainSide>,
+    boundary: Mutex<BoundaryBook>,
+    /// Fast-path guard: skip the boundary lock on releases when no external
+    /// observer is registered.
+    has_observers: AtomicBool,
+    /// Resident-ball table (bin-sharded, thread-safe).
+    ledger: SharedTicketLedger,
+    /// The shard indices `0..shards`, kept as a slice for the parallel apply.
+    shard_ids: Vec<usize>,
+    /// Dedicated drain pool when [`StreamConfig::num_threads`] is positive.
+    pool: Option<rayon::ThreadPool>,
+}
+
+/// A cloneable, `Arc`-backed handle to one concurrent streaming router.
+/// Every method takes `&self`; clone the handle into as many caller threads
+/// as you like — they all route against the same bins, ledger and snapshot.
+/// See the [module docs](self) for the pipeline and the determinism
+/// contract.
+///
+/// ```
+/// use pba_stream::{ConcurrentRouter, Policy, StreamConfig};
+///
+/// let router = ConcurrentRouter::new(
+///     StreamConfig::new(16).policy(Policy::TwoChoice).batch_size(32).seed(7),
+/// );
+/// let handles: Vec<_> = (0..4)
+///     .map(|t| {
+///         let router = router.clone();
+///         std::thread::spawn(move || {
+///             (0..100u64)
+///                 .map(|i| router.route(t * 1_000 + i).expect("infallible").ticket)
+///                 .collect::<Vec<_>>()
+///         })
+///     })
+///     .collect();
+/// let tickets: Vec<_> = handles.into_iter().flat_map(|h| h.join().unwrap()).collect();
+/// assert_eq!(router.resident(), 400);
+/// for ticket in tickets {
+///     router.release(ticket).expect("each ticket releases once");
+/// }
+/// assert_eq!(router.resident(), 0);
+/// assert!(router.conserves_balls());
+/// ```
+#[derive(Debug, Clone)]
+pub struct ConcurrentRouter {
+    core: Arc<Core>,
+}
+
+impl ConcurrentRouter {
+    /// Creates an empty concurrent router over `config.bins` bins.
+    ///
+    /// The full [`StreamConfig`] vocabulary applies — policy, batch size,
+    /// shards (which also shard the ingress lanes and the ticket ledger),
+    /// seed, weights, `parallel`/`num_threads` for the drain path.
+    pub fn new(config: StreamConfig) -> Self {
+        assert!(config.bins > 0, "a stream needs at least one bin");
+        let config = StreamConfig {
+            batch_size: config.batch_size.max(1),
+            ..config
+        };
+        if let Some(prescribed) = config.weights.prescribed_bins() {
+            assert_eq!(
+                prescribed, config.bins,
+                "weights describe {prescribed} bins but the stream has {}",
+                config.bins
+            );
+        }
+        let resolved = config.weights.resolve(config.bins);
+        let bins = ShardedBins::new(config.bins, config.shards);
+        let shard_count = bins.shard_count();
+        Self {
+            core: Arc::new(Core {
+                resolved,
+                published: EpochCell::new(vec![0; config.bins]),
+                route_thresholds: RwLock::new(Arc::new(OnceLock::new())),
+                open_routed: AtomicU64::new(0),
+                next_ball: AtomicU64::new(0),
+                arrived: AtomicU64::new(0),
+                placed: AtomicU64::new(0),
+                departed: AtomicU64::new(0),
+                routed: AtomicU64::new(0),
+                released: AtomicU64::new(0),
+                ingress: ShardedIngress::new(shard_count),
+                drain: Mutex::new(DrainSide {
+                    by_shard: vec![Vec::new(); shard_count],
+                    ..DrainSide::default()
+                }),
+                boundary: Mutex::new(BoundaryBook {
+                    batches: 0,
+                    gap: GapTrajectoryObserver::new(config.trajectory_cap),
+                    observers: Vec::new(),
+                }),
+                has_observers: AtomicBool::new(false),
+                ledger: SharedTicketLedger::new(config.bins, shard_count),
+                shard_ids: (0..shard_count).collect(),
+                pool: (config.num_threads > 0).then(|| {
+                    rayon::ThreadPoolBuilder::new()
+                        .num_threads(config.num_threads)
+                        .build()
+                        .expect("stream drain pool")
+                }),
+                bins,
+                config,
+            }),
+        }
+    }
+
+    /// The configuration this router runs with.
+    pub fn config(&self) -> &StreamConfig {
+        &self.core.config
+    }
+
+    /// Routes one key from any thread: chooses a bin against the current
+    /// epoch snapshot, commits the placement (atomic increment), issues a
+    /// [`Ticket`], and — if this ball completes a batch — advances the
+    /// boundary and publishes the next snapshot.
+    ///
+    /// Routing is infallible (the `Result` is the shared router surface);
+    /// the error arm is never taken.
+    pub fn route(&self, key: u64) -> Result<Placement, RouteError> {
+        let core = &*self.core;
+        let policy = core.config.policy;
+        // Threshold policies price the open batch once, at its first route
+        // (lazily, so the priced resident count matches the single-threaded
+        // engine's batch-open moment exactly in the 1-caller case).
+        let priced;
+        let (flat, capacity): (u32, &[u32]) = if uses_thresholds(policy) {
+            priced = core.priced_route_thresholds();
+            let thresholds = priced.get().expect("priced above");
+            (thresholds.flat, &thresholds.capacity)
+        } else {
+            (0, &[])
+        };
+        let stale = core.published.load();
+        let ctx = ChoiceCtx {
+            snapshot: &stale,
+            weights: core.resolved.as_ref(),
+            batch_threshold: flat,
+            capacity_thresholds: capacity,
+            seed: core.config.seed,
+            bins: core.config.bins,
+        };
+        let bin = ROUTE_CANDIDATES
+            .with(|scratch| choose_bin(policy, &ctx, key, &mut scratch.borrow_mut()))
+            as usize;
+        core.bins.place(bin);
+        let id = core.next_ball.fetch_add(1, Ordering::AcqRel);
+        core.arrived.fetch_add(1, Ordering::AcqRel);
+        core.placed.fetch_add(1, Ordering::AcqRel);
+        core.routed.fetch_add(1, Ordering::AcqRel);
+        let ticket = core.ledger.issue(id, bin);
+        let open = core.open_routed.fetch_add(1, Ordering::AcqRel) + 1;
+        if open >= core.config.batch_size as u64 {
+            core.close_full_routed_batches();
+        }
+        Ok(Placement { ticket, bin })
+    }
+
+    /// Releases a routed ball from any thread: validates the ticket against
+    /// the shared ledger (double releases and foreign tickets fail with
+    /// [`RouteError::UnknownTicket`]), departs its bin, and notifies
+    /// observers. Like every load change, the departure reaches the policies
+    /// at the next batch boundary.
+    pub fn release(&self, ticket: Ticket) -> Result<(), RouteError> {
+        let core = &*self.core;
+        let bin = core.ledger.redeem(ticket)?;
+        if !core.bins.depart(bin) {
+            // Defensive: a redeemed ticket names a resident ball, so its bin
+            // cannot be empty unless ledger and bins diverged (a bug, not a
+            // caller error). Fail the release rather than corrupt loads.
+            return Err(RouteError::UnknownTicket { ticket });
+        }
+        core.departed.fetch_add(1, Ordering::AcqRel);
+        core.released.fetch_add(1, Ordering::AcqRel);
+        if core.has_observers.load(Ordering::Acquire) {
+            let event = ReleaseEvent {
+                ticket,
+                load_after: core.bins.load(bin),
+                resident: core.resident_now(),
+            };
+            let book = core.boundary.lock().expect("boundary lock");
+            for observer in &book.observers {
+                observer.lock().expect("observer lock").on_release(&event);
+            }
+        }
+        Ok(())
+    }
+
+    /// Buffers one arriving ball (fire and forget) on the sharded MPMC
+    /// ingress; returns its arrival id. Nothing is allocated until some
+    /// thread calls [`ConcurrentRouter::drain_ready`] (or
+    /// [`ConcurrentRouter::flush`]).
+    pub fn push(&self, key: u64) -> u64 {
+        let core = &*self.core;
+        let id = core.next_ball.fetch_add(1, Ordering::AcqRel);
+        core.arrived.fetch_add(1, Ordering::AcqRel);
+        core.ingress.enqueue(PendingBall { id, key });
+        id
+    }
+
+    /// Sequences every queued pushed ball and drains every *full* batch;
+    /// returns the number of batches drained. Balls beyond the last full
+    /// batch stay buffered. Any thread may call this; one drain runs at a
+    /// time (serialised by the drain lock) while routes keep flowing.
+    pub fn drain_ready(&self) -> usize {
+        self.core.drain_buffered(false)
+    }
+
+    /// Closes a partially filled routed batch (so its boundary is recorded)
+    /// and drains everything buffered, including a final partial batch;
+    /// returns the number of batch boundaries produced. Exact when callers
+    /// are quiescent (the natural shutdown/checkpoint moment); concurrent
+    /// routes simply land in the next batch.
+    pub fn flush(&self) -> usize {
+        let closed = self.core.close_partial_routed_batch() as usize;
+        closed + self.core.drain_buffered(true)
+    }
+
+    /// Registers an external observer, notified (after the built-in gap
+    /// observer) on every batch boundary and release. The caller keeps its
+    /// own `Arc` handle to read the sink back.
+    pub fn add_observer(&self, observer: Arc<Mutex<dyn RouterObserver + Send>>) {
+        let core = &*self.core;
+        core.boundary
+            .lock()
+            .expect("boundary lock")
+            .observers
+            .push(observer);
+        core.has_observers.store(true, Ordering::Release);
+    }
+
+    /// Fresh per-bin loads.
+    pub fn loads(&self) -> Vec<u32> {
+        self.core.bins.snapshot()
+    }
+
+    /// Fresh load of one bin (no allocation).
+    pub fn load(&self, bin: usize) -> u32 {
+        self.core.bins.load(bin)
+    }
+
+    /// Balls currently resident (`placed − departed`).
+    pub fn resident(&self) -> u64 {
+        self.core.bins.total()
+    }
+
+    /// Balls buffered on the ingress (or sequenced but below one batch) and
+    /// not yet drained.
+    pub fn pending(&self) -> u64 {
+        let core = &*self.core;
+        core.ingress.queued() + core.drain.lock().expect("drain lock").buffer.len() as u64
+    }
+
+    /// Batch boundaries completed so far (== the snapshot epoch).
+    pub fn batches(&self) -> u64 {
+        self.core.boundary.lock().expect("boundary lock").batches
+    }
+
+    /// The epoch of the currently published stale snapshot: 0 at birth,
+    /// +1 per batch boundary, strictly monotone. Concurrent observers can
+    /// use it to tell which boundary a snapshot belongs to.
+    pub fn snapshot_epoch(&self) -> u64 {
+        self.core.published.epoch()
+    }
+
+    /// The stale snapshot routes currently decide from (the published
+    /// epoch's loads; cheap — one `Arc` clone).
+    pub fn stale_loads(&self) -> Arc<Vec<u32>> {
+        self.core.published.load()
+    }
+
+    /// The resolved non-uniform weights, or `None` when the router runs the
+    /// uniform (unweighted) configuration.
+    pub fn weights(&self) -> Option<&ResolvedWeights> {
+        self.core.resolved.as_ref()
+    }
+
+    /// Fresh normalized loads `load_i / w_i` (the raw loads as `f64` for a
+    /// uniform router).
+    pub fn normalized_loads(&self) -> Vec<f64> {
+        let loads = self.core.bins.snapshot();
+        match &self.core.resolved {
+            None => loads.iter().map(|&l| l as f64).collect(),
+            Some(weights) => normalized_loads(&loads, weights),
+        }
+    }
+
+    /// Largest fresh normalized load `max_i(load_i / w_i)` (raw max load
+    /// when uniform).
+    pub fn max_normalized_load(&self) -> f64 {
+        self.normalized_loads().into_iter().fold(0.0f64, f64::max)
+    }
+
+    /// The gap after recent batch boundaries, in order (cloned out of the
+    /// boundary book; the most recent [`StreamConfig::trajectory_cap`]
+    /// entries at least).
+    pub fn gap_trajectory(&self) -> Vec<f64> {
+        self.core
+            .boundary
+            .lock()
+            .expect("boundary lock")
+            .gap
+            .trajectory()
+            .to_vec()
+    }
+
+    /// Streaming statistics over the per-batch gaps (copied out).
+    pub fn gap_stats(&self) -> OnlineStats {
+        *self
+            .core
+            .boundary
+            .lock()
+            .expect("boundary lock")
+            .gap
+            .stats()
+    }
+
+    /// Resident tickets (balls placed via [`ConcurrentRouter::route`] and
+    /// not yet released). Anonymous pushed balls are not counted.
+    pub fn resident_tickets(&self) -> usize {
+        self.core.ledger.len()
+    }
+
+    /// Resident tickets in `bin`.
+    pub fn tickets_in(&self, bin: usize) -> usize {
+        self.core.ledger.count_in(bin)
+    }
+
+    /// A resident ticket of `bin`, if any (see
+    /// [`pba_model::router::TicketLedger::resident_in`] for the determinism
+    /// caveat).
+    pub fn ticket_in(&self, bin: usize) -> Option<Ticket> {
+        self.core.ledger.resident_in(bin)
+    }
+
+    /// Per-shard bookkeeping.
+    pub fn shard_stats(&self) -> Vec<ShardStats> {
+        self.core.bins.all_shard_stats()
+    }
+
+    /// A full point-in-time snapshot. Counters are read individually (no
+    /// stop-the-world), so under concurrent traffic the fields are each
+    /// correct but may straddle in-flight operations; at quiescence the
+    /// snapshot is exact.
+    pub fn snapshot(&self) -> StreamSnapshot {
+        let core = &*self.core;
+        StreamSnapshot::assemble(
+            core.bins.snapshot(),
+            (*core.published.load()).clone(),
+            core.arrived.load(Ordering::Acquire),
+            core.placed.load(Ordering::Acquire),
+            core.departed.load(Ordering::Acquire),
+            self.pending(),
+            self.batches(),
+            core.resolved.as_ref(),
+        )
+    }
+
+    /// The conservation invariant: `placed − departed == Σ loads` and
+    /// `arrived == placed + pending`. Exact at quiescence (no route/release
+    /// in flight); under concurrent traffic the reads may straddle an
+    /// in-flight ball.
+    pub fn conserves_balls(&self) -> bool {
+        let core = &*self.core;
+        let placed = core.placed.load(Ordering::Acquire);
+        let departed = core.departed.load(Ordering::Acquire);
+        let arrived = core.arrived.load(Ordering::Acquire);
+        // Saturate: two separate atomic reads, so under in-flight traffic
+        // `departed` can be observed ahead of the earlier-read `placed`.
+        placed.saturating_sub(departed) == core.bins.total() && arrived == placed + self.pending()
+    }
+
+    /// Aggregate routing statistics.
+    pub fn stats(&self) -> RouterStats {
+        let core = &*self.core;
+        let loads = core.bins.snapshot();
+        RouterStats {
+            routed: core.routed.load(Ordering::Acquire),
+            released: core.released.load(Ordering::Acquire),
+            resident: loads.iter().map(|&l| l as u64).sum(),
+            bins: core.config.bins,
+            batches: self.batches(),
+            gap: snapshot::gap_of_loads(&loads, core.resolved.as_ref()),
+        }
+    }
+}
+
+impl ConcurrentRouterApi for ConcurrentRouter {
+    fn route(&self, key: u64) -> Result<Placement, RouteError> {
+        ConcurrentRouter::route(self, key)
+    }
+
+    fn release(&self, ticket: Ticket) -> Result<(), RouteError> {
+        ConcurrentRouter::release(self, ticket)
+    }
+
+    fn loads(&self) -> Vec<u32> {
+        ConcurrentRouter::loads(self)
+    }
+
+    fn stats(&self) -> RouterStats {
+        ConcurrentRouter::stats(self)
+    }
+}
+
+impl Core {
+    /// `placed − departed` from two separate atomic reads, saturating:
+    /// under concurrent traffic `departed` can be observed ahead of the
+    /// earlier-read `placed` (a release racing the reads), and the counter
+    /// pair must degrade to a near value, not wrap. Exact at quiescence.
+    fn resident_now(&self) -> u64 {
+        self.placed
+            .load(Ordering::Acquire)
+            .saturating_sub(self.departed.load(Ordering::Acquire))
+    }
+
+    /// Returns the open routed batch's threshold cell, priced (the first
+    /// caller computes; everyone else reuses). The projected batch length is
+    /// the full `batch_size` — a router cannot know how many requests the
+    /// batch will eventually have.
+    fn priced_route_thresholds(&self) -> Arc<OnceLock<RouteThresholds>> {
+        let cell = Arc::clone(&self.route_thresholds.read().expect("threshold lock"));
+        cell.get_or_init(|| {
+            let resident = self.bins.total();
+            let projected = self.config.batch_size as u64;
+            let mut capacity = Vec::new();
+            snapshot::fill_capacity_thresholds_into(
+                self.config.policy,
+                self.resolved.as_ref(),
+                resident,
+                self.config.bins,
+                projected,
+                &mut capacity,
+            );
+            RouteThresholds {
+                flat: snapshot::batch_threshold(
+                    self.config.policy,
+                    resident,
+                    self.config.bins,
+                    projected,
+                ),
+                capacity,
+            }
+        });
+        cell
+    }
+
+    /// Swaps in a fresh (unpriced) threshold cell for the next routed batch.
+    fn reset_route_thresholds(&self) {
+        if uses_thresholds(self.config.policy) {
+            *self.route_thresholds.write().expect("threshold lock") = Arc::new(OnceLock::new());
+        }
+    }
+
+    /// Closes as many *full* routed batches as have accumulated. Called by
+    /// the ball whose commit filled a batch; the boundary lock serialises
+    /// racing closers and the loop absorbs a backlog (several batches' worth
+    /// of commits can pile up before the first closer gets the lock).
+    fn close_full_routed_batches(&self) {
+        let batch = self.config.batch_size as u64;
+        let mut book = self.boundary.lock().expect("boundary lock");
+        while self.open_routed.load(Ordering::Acquire) >= batch {
+            self.open_routed.fetch_sub(batch, Ordering::AcqRel);
+            self.advance_boundary(&mut book, batch as usize);
+            self.reset_route_thresholds();
+        }
+    }
+
+    /// Closes the open routed batch even if partial (flush semantics).
+    /// Returns `true` when a boundary was produced.
+    fn close_partial_routed_batch(&self) -> bool {
+        let batch = self.config.batch_size as u64;
+        let mut book = self.boundary.lock().expect("boundary lock");
+        // Full batches first: a racing closer may not have reached the lock.
+        while self.open_routed.load(Ordering::Acquire) >= batch {
+            self.open_routed.fetch_sub(batch, Ordering::AcqRel);
+            self.advance_boundary(&mut book, batch as usize);
+            self.reset_route_thresholds();
+        }
+        let open = self.open_routed.load(Ordering::Acquire);
+        if open == 0 {
+            return false;
+        }
+        self.open_routed.fetch_sub(open, Ordering::AcqRel);
+        self.advance_boundary(&mut book, open as usize);
+        self.reset_route_thresholds();
+        true
+    }
+
+    /// The batch boundary: reads the fresh loads, records the gap, fires
+    /// `on_batch` through the observer chain, and publishes the loads as the
+    /// next epoch's stale snapshot. Caller holds the boundary lock.
+    fn advance_boundary(&self, book: &mut BoundaryBook, batch_len: usize) {
+        book.batches += 1;
+        let loads = self.bins.snapshot();
+        let gap = snapshot::gap_of_loads(&loads, self.resolved.as_ref());
+        let event = BatchEvent {
+            batch_index: book.batches,
+            batch_len,
+            loads: &loads,
+            gap,
+            resident: self.resident_now(),
+        };
+        book.gap.on_batch(&event);
+        for observer in &book.observers {
+            observer.lock().expect("observer lock").on_batch(&event);
+        }
+        let epoch = self.published.publish(loads);
+        debug_assert_eq!(epoch, book.batches, "epoch tracks batch boundaries");
+    }
+
+    /// Sequences queued pushed balls and drains them in `batch_size`
+    /// windows; the undrained tail stays in the (sorted) buffer.
+    fn drain_buffered(&self, include_partial: bool) -> usize {
+        let mut side = self.drain.lock().expect("drain lock");
+        self.ingress.collect_into(&mut side.buffer);
+        let batch_size = self.config.batch_size;
+        let DrainSide {
+            buffer,
+            chosen,
+            by_shard,
+            capacity,
+        } = &mut *side;
+        let mut drained = 0;
+        let mut start = 0;
+        while buffer.len() - start >= batch_size {
+            self.drain_batch(
+                &buffer[start..start + batch_size],
+                chosen,
+                by_shard,
+                capacity,
+            );
+            start += batch_size;
+            drained += 1;
+        }
+        if include_partial && start < buffer.len() {
+            self.drain_batch(&buffer[start..], chosen, by_shard, capacity);
+            start = buffer.len();
+            drained += 1;
+        }
+        buffer.drain(..start);
+        drained
+    }
+
+    /// Allocates one pushed batch against the published snapshot, commits
+    /// it, and advances the boundary. Runs on the dedicated pool when
+    /// [`StreamConfig::num_threads`] is set.
+    fn drain_batch(
+        &self,
+        batch: &[PendingBall],
+        chosen: &mut Vec<u32>,
+        by_shard: &mut [Vec<u32>],
+        capacity: &mut Vec<u32>,
+    ) {
+        if batch.is_empty() {
+            return;
+        }
+        match &self.pool {
+            Some(pool) => {
+                pool.install(|| self.drain_batch_inner(batch, chosen, by_shard, capacity))
+            }
+            None => self.drain_batch_inner(batch, chosen, by_shard, capacity),
+        }
+    }
+
+    fn drain_batch_inner(
+        &self,
+        batch: &[PendingBall],
+        chosen: &mut Vec<u32>,
+        by_shard: &mut [Vec<u32>],
+        capacity: &mut Vec<u32>,
+    ) {
+        let n = self.config.bins;
+        let policy = self.config.policy;
+        let resident = self.bins.total();
+        let threshold = snapshot::batch_threshold(policy, resident, n, batch.len() as u64);
+        snapshot::fill_capacity_thresholds_into(
+            policy,
+            self.resolved.as_ref(),
+            resident,
+            n,
+            batch.len() as u64,
+            capacity,
+        );
+        let stale = self.published.load();
+        let ctx = ChoiceCtx {
+            snapshot: &stale,
+            weights: self.resolved.as_ref(),
+            batch_threshold: threshold,
+            capacity_thresholds: capacity,
+            seed: self.config.seed,
+            bins: n,
+        };
+        commit::choose_batch(policy, &ctx, batch, self.config.parallel, chosen);
+        commit::apply_batch(
+            &self.bins,
+            chosen,
+            self.config.parallel,
+            by_shard,
+            &self.shard_ids,
+        );
+        self.placed.fetch_add(batch.len() as u64, Ordering::AcqRel);
+        let mut book = self.boundary.lock().expect("boundary lock");
+        self.advance_boundary(&mut book, batch.len());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pba_model::rng::SplitMix64;
+    use pba_model::weights::BinWeights;
+
+    fn keys(count: u64, seed: u64) -> Vec<u64> {
+        let mut rng = SplitMix64::new(seed);
+        (0..count).map(|_| rng.next_u64()).collect()
+    }
+
+    #[test]
+    fn single_caller_route_is_bit_identical_to_stream_allocator() {
+        use crate::engine::StreamAllocator;
+        let weights = BinWeights::power_of_two_tiers(&[(8, 2), (16, 1), (40, 0)]);
+        for policy in [
+            Policy::OneChoice,
+            Policy::TwoChoice,
+            Policy::DChoice(3),
+            Policy::Threshold { d: 2, slack: 1 },
+            Policy::WeightedTwoChoice,
+            Policy::CapacityThreshold { d: 2, slack: 2 },
+        ] {
+            let cfg = StreamConfig::new(64)
+                .policy(policy)
+                .batch_size(128)
+                .seed(31)
+                .weights(weights.clone());
+            let concurrent = ConcurrentRouter::new(cfg.clone());
+            let mut reference = StreamAllocator::new(cfg);
+            for key in keys(128 * 10 + 17, 5) {
+                let a = concurrent.route(key).unwrap();
+                let b = reference.route(key).unwrap();
+                assert_eq!(a.bin, b.bin, "policy {}", policy.name());
+            }
+            assert_eq!(concurrent.loads(), reference.loads());
+            assert_eq!(concurrent.gap_trajectory(), reference.gap_trajectory());
+            assert_eq!(concurrent.shard_stats(), reference.shard_stats());
+            assert_eq!(concurrent.batches(), reference.snapshot().batches);
+            assert_eq!(concurrent.flush(), reference.flush());
+            assert_eq!(concurrent.loads(), reference.loads());
+            assert_eq!(concurrent.gap_trajectory(), reference.gap_trajectory());
+            assert!(concurrent.conserves_balls());
+        }
+    }
+
+    #[test]
+    fn single_caller_push_drain_is_bit_identical_to_stream_allocator() {
+        use crate::engine::StreamAllocator;
+        let cfg = StreamConfig::new(32).batch_size(64).seed(9).shards(4);
+        let concurrent = ConcurrentRouter::new(cfg.clone());
+        let mut reference = StreamAllocator::new(cfg);
+        for key in keys(1000, 3) {
+            concurrent.push(key);
+            reference.push(key);
+        }
+        assert_eq!(concurrent.pending(), 1000);
+        assert_eq!(concurrent.drain_ready(), reference.drain_ready());
+        assert_eq!(concurrent.loads(), reference.loads());
+        assert_eq!(concurrent.pending(), reference.pending() as u64);
+        assert_eq!(concurrent.flush(), reference.flush());
+        assert_eq!(concurrent.loads(), reference.loads());
+        assert_eq!(concurrent.gap_trajectory(), reference.gap_trajectory());
+        assert_eq!(concurrent.shard_stats(), reference.shard_stats());
+        assert!(concurrent.conserves_balls());
+    }
+
+    #[test]
+    fn concurrent_callers_conserve_and_release_cleanly() {
+        let router = ConcurrentRouter::new(StreamConfig::new(64).batch_size(256).seed(1));
+        let mut handles = Vec::new();
+        for t in 0..4u64 {
+            let router = router.clone();
+            handles.push(std::thread::spawn(move || {
+                let mut kept = Vec::new();
+                let mut rng = SplitMix64::new(t + 100);
+                for i in 0..2_000u64 {
+                    let placement = router.route(rng.next_u64()).unwrap();
+                    if i % 4 == 0 {
+                        kept.push(placement.ticket);
+                    } else {
+                        router.release(placement.ticket).unwrap();
+                    }
+                }
+                kept
+            }));
+        }
+        let kept: Vec<Ticket> = handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("caller thread"))
+            .collect();
+        assert!(router.conserves_balls());
+        assert_eq!(router.resident(), kept.len() as u64);
+        assert_eq!(router.resident_tickets(), kept.len());
+        let stats = router.stats();
+        assert_eq!(stats.routed, 8_000);
+        assert_eq!(stats.released, 8_000 - kept.len() as u64);
+        for ticket in kept {
+            router.release(ticket).unwrap();
+            assert!(router.release(ticket).is_err(), "double release rejected");
+        }
+        assert_eq!(router.resident(), 0);
+        assert_eq!(router.loads(), vec![0; 64]);
+        assert!(router.conserves_balls());
+    }
+
+    #[test]
+    fn boundaries_fire_once_per_batch_under_concurrency() {
+        let router = ConcurrentRouter::new(StreamConfig::new(16).batch_size(100).seed(4));
+        let mut handles = Vec::new();
+        for t in 0..4u64 {
+            let router = router.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..1_000u64 {
+                    router.route(t * 10_000 + i).unwrap();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        // 4000 routed balls in batches of 100 → exactly 40 boundaries once
+        // quiescent, and the epoch tracks them.
+        assert_eq!(router.batches(), 40);
+        assert_eq!(router.snapshot_epoch(), 40);
+        assert_eq!(router.gap_trajectory().len(), 40);
+        assert_eq!(*router.stale_loads(), router.loads(), "at a boundary");
+    }
+
+    #[test]
+    fn observers_hear_batches_and_releases() {
+        use pba_model::router::RouterObserver;
+        #[derive(Default)]
+        struct Counter {
+            batches: u64,
+            balls: u64,
+            releases: u64,
+        }
+        impl RouterObserver for Counter {
+            fn on_batch(&mut self, event: &BatchEvent<'_>) {
+                self.batches += 1;
+                self.balls += event.batch_len as u64;
+            }
+            fn on_release(&mut self, _event: &ReleaseEvent) {
+                self.releases += 1;
+            }
+        }
+        let router = ConcurrentRouter::new(StreamConfig::new(8).batch_size(4).seed(9));
+        let counter = Arc::new(Mutex::new(Counter::default()));
+        router.add_observer(counter.clone());
+        let mut tickets = Vec::new();
+        for key in 0..20u64 {
+            tickets.push(router.route(key).unwrap().ticket);
+        }
+        router.release(tickets[0]).unwrap();
+        router.release(tickets[1]).unwrap();
+        let seen = counter.lock().unwrap();
+        assert_eq!(seen.batches, 5);
+        assert_eq!(seen.balls, 20);
+        assert_eq!(seen.releases, 2);
+    }
+
+    #[test]
+    fn handle_clones_share_one_router() {
+        let a = ConcurrentRouter::new(StreamConfig::new(8).batch_size(8).seed(2));
+        let b = a.clone();
+        let ticket = a.route(7).unwrap().ticket;
+        assert_eq!(b.resident(), 1);
+        b.release(ticket).unwrap();
+        assert_eq!(a.resident(), 0);
+        assert_eq!(a.stats().routed, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "weights describe")]
+    fn mismatched_weight_count_panics() {
+        ConcurrentRouter::new(StreamConfig::new(8).weights(BinWeights::explicit(vec![1.0, 2.0])));
+    }
+}

@@ -48,26 +48,19 @@ use pba_model::router::{
     BatchEvent, Placement, ReleaseEvent, ReweightEvent, RouteError, Router, RouterObserver,
     RouterStats, Ticket, TicketLedger,
 };
-use pba_model::weights::{normalized_loads, weighted_gap, BinWeights, ResolvedWeights};
-use pba_stats::{quantiles_of, LoadMetrics, OnlineStats};
-use rayon::prelude::*;
+use pba_model::weights::{normalized_loads, BinWeights, ResolvedWeights};
+use pba_stats::{LoadMetrics, OnlineStats};
 
+// Re-exported here because the snapshot type was historically defined in this
+// module; `pba_stream::engine::StreamSnapshot` keeps resolving.
+pub use crate::snapshot::StreamSnapshot;
+
+use crate::commit;
+use crate::ingress::PendingBall;
 use crate::observer::GapTrajectoryObserver;
 use crate::policy::{choose_bin, ChoiceCtx, Policy};
 use crate::shard::{ShardStats, ShardedBins};
-
-/// Minimum balls per worker in the parallel choose step. The per-ball work
-/// (key hash + policy) is ~50–150 ns; dispatching a chunk to the persistent
-/// rayon-shim pool costs a boxed job plus a channel send (~1 µs), so a worker
-/// needs a few hundred balls to amortise the dispatch. (Before the pool this
-/// cutoff was 2048: a fresh scoped thread per worker cost ~30 µs.)
-const CHOOSE_MIN_BALLS_PER_WORKER: usize = 512;
-
-/// Batch size below which the sharded parallel apply is skipped: applying a
-/// placement is one atomic increment, so small batches are faster applied
-/// inline than grouped by shard and fanned out (the by-shard grouping pass,
-/// not dispatch, is the overhead that needs amortising).
-const PARALLEL_APPLY_MIN_BATCH: usize = 4096;
+use crate::snapshot;
 
 /// Configuration of a [`StreamAllocator`].
 #[derive(Debug, Clone, PartialEq)]
@@ -171,42 +164,6 @@ impl StreamConfig {
         self.weights = weights;
         self
     }
-}
-
-/// A ball waiting in the arrival buffer.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-struct PendingBall {
-    /// Globally unique, monotonically increasing ball id.
-    id: u64,
-    /// Router key; candidate bins are a pure hash of `(seed, key)`.
-    key: u64,
-}
-
-/// A point-in-time view of the stream state.
-#[derive(Debug, Clone)]
-pub struct StreamSnapshot {
-    /// Current (fresh) per-bin loads.
-    pub loads: Vec<u32>,
-    /// The stale snapshot the *next* batch will decide from.
-    pub stale_loads: Vec<u32>,
-    /// Balls pushed so far.
-    pub arrived: u64,
-    /// Balls placed into bins so far.
-    pub placed: u64,
-    /// Balls departed so far.
-    pub departed: u64,
-    /// Balls buffered but not yet drained.
-    pub pending: u64,
-    /// Batches drained so far.
-    pub batches: u64,
-    /// Current gap of the fresh loads: `max − mean` for uniform weights, the
-    /// weighted gap `max_i(load_i/w_i) − (Σ load)/W` otherwise.
-    pub gap: f64,
-    /// Load quantiles `[p50, p90, p99, max]` of the fresh loads.
-    pub load_quantiles: [f64; 4],
-    /// Largest normalized load `max_i(load_i / w_i)` — equal to the raw max
-    /// load for uniform weights.
-    pub max_normalized_load: f64,
 }
 
 /// External observers, shared handles so callers keep access to their sinks
@@ -366,8 +323,8 @@ impl StreamAllocator {
             stream.config.bins
         );
         for (bin, &load) in loads.iter().enumerate() {
-            for _ in 0..load {
-                stream.bins.place_unrecorded(bin);
+            if load > 0 {
+                stream.bins.place_many_unrecorded(bin, load);
             }
         }
         // Fold the seeded balls into the shard bookkeeping so stats stay
@@ -438,26 +395,6 @@ impl StreamAllocator {
         drained
     }
 
-    /// Removes one resident ball from `bin` (a departure / connection close).
-    /// Returns `false` when the bin is empty. Departures take effect on
-    /// policies at the next batch boundary, like every other load change.
-    ///
-    /// Deprecated: raw-bin departures cannot say *which* ball leaves, cannot
-    /// be validated, and cannot express churn policies over resident balls.
-    /// Route balls with [`StreamAllocator::route`] and retire them with
-    /// [`StreamAllocator::release`] instead. Kept as a shim for anonymous
-    /// (`push`-placed) balls; never mix it with ticketed routing on the same
-    /// bins, or release validation may observe bins drained from under the
-    /// ledger.
-    #[deprecated(since = "0.1.0", note = "use route()/release(Ticket) instead")]
-    pub fn depart(&mut self, bin: usize) -> bool {
-        let ok = self.bins.depart(bin);
-        if ok {
-            self.departed += 1;
-        }
-        ok
-    }
-
     /// Routes one ball **synchronously**: places it against the current stale
     /// snapshot, issues a [`Ticket`], and advances the snapshot once
     /// `batch_size` balls have been routed since the last boundary. For the
@@ -516,8 +453,9 @@ impl StreamAllocator {
     pub fn release(&mut self, ticket: Ticket) -> Result<(), RouteError> {
         let bin = self.tickets.redeem(ticket)?;
         if !self.bins.depart(bin) {
-            // Only reachable when deprecated raw-bin departures drained the
-            // bin from under the ledger; the ticket is dead either way.
+            // Defensive: a redeemed ticket names a resident ball, so its bin
+            // cannot be empty unless the ledger and the bins diverged (a bug,
+            // not a caller error). Fail the release rather than corrupt loads.
             return Err(RouteError::UnknownTicket { ticket });
         }
         self.departed += 1;
@@ -638,15 +576,10 @@ impl StreamAllocator {
         self.fill_capacity_thresholds_into(batch.len() as u64, &mut thresholds);
         self.capacity_scratch = thresholds;
 
-        // Step 1 — choose: a pure function of (stale snapshot, key), so this
-        // is safe to run in any order and in parallel. `chosen_scratch` is
-        // reused across batches by both paths: the parallel path fills it in
-        // place via `collect_into_vec` (no per-worker part vectors, no
-        // per-batch allocation once the capacity is warm), the sequential
-        // path extends it in place.
+        // Steps 1 and 2 — choose, then apply: the shared commit stage (see
+        // `crate::commit`), identical for the sequential and parallel paths
+        // and shared with the concurrent engine.
         let mut chosen = std::mem::take(&mut self.chosen_scratch);
-        chosen.clear();
-        let policy = self.config.policy;
         let ctx = ChoiceCtx {
             snapshot: &self.stale,
             weights: self.resolved.as_ref(),
@@ -655,52 +588,20 @@ impl StreamAllocator {
             seed: self.config.seed,
             bins: n,
         };
-        let d = policy.choices();
-        if self.config.parallel {
-            batch
-                .par_iter()
-                .with_min_len(CHOOSE_MIN_BALLS_PER_WORKER)
-                .map_init(
-                    || Vec::with_capacity(2 * d),
-                    |candidates, ball| choose_bin(policy, &ctx, ball.key, candidates),
-                )
-                .collect_into_vec(&mut chosen)
-        } else {
-            let mut candidates = Vec::with_capacity(2 * d);
-            chosen.extend(
-                batch
-                    .iter()
-                    .map(|ball| choose_bin(policy, &ctx, ball.key, &mut candidates)),
-            );
-        }
-
-        // Step 2 — apply: for large batches, group placements by shard and
-        // let each shard apply its own in parallel (per-shard stats folded
-        // once under the shard lock). Below the cutoff the per-shard work is
-        // a few microseconds of atomic increments — thread + grouping
-        // overhead dominates — so apply directly. Both paths produce
-        // identical loads and identical shard stats.
-        if self.config.parallel && chosen.len() >= PARALLEL_APPLY_MIN_BATCH {
-            for group in &mut self.by_shard {
-                group.clear();
-            }
-            for &bin in &chosen {
-                self.by_shard[self.bins.shard_of(bin as usize)].push(bin);
-            }
-            let bins = &self.bins;
-            let by_shard = &self.by_shard;
-            self.shard_ids.par_iter().with_min_len(1).for_each(|&s| {
-                let mut peak = 0u32;
-                for &bin in &by_shard[s] {
-                    peak = peak.max(bins.place_unrecorded(bin as usize));
-                }
-                bins.record_batch(s, by_shard[s].len() as u64, peak);
-            });
-        } else {
-            for &bin in &chosen {
-                self.bins.place(bin as usize);
-            }
-        }
+        commit::choose_batch(
+            self.config.policy,
+            &ctx,
+            batch,
+            self.config.parallel,
+            &mut chosen,
+        );
+        commit::apply_batch(
+            &self.bins,
+            &chosen,
+            self.config.parallel,
+            &mut self.by_shard,
+            &self.shard_ids,
+        );
         self.chosen_scratch = chosen;
 
         self.placed += batch.len() as u64;
@@ -728,48 +629,38 @@ impl StreamAllocator {
         self.observers.notify_batch(&event);
     }
 
-    /// The batch threshold of the paper-style [`Policy::Threshold`] rule:
-    /// `⌈(resident + batch)/n⌉ + slack`. Also the flat fallback threshold of
-    /// [`Policy::CapacityThreshold`] under uniform weights, where every bin's
-    /// capacity share collapses to the plain mean.
+    /// The batch threshold of the paper-style [`Policy::Threshold`] rule over
+    /// the current resident population (see [`snapshot::batch_threshold`]).
     fn batch_threshold(&self, batch_len: u64) -> u32 {
-        match self.config.policy {
-            Policy::Threshold { slack, .. } | Policy::CapacityThreshold { slack, .. } => {
-                let resident = self.bins.total();
-                let mean = (resident + batch_len).div_ceil(self.config.bins as u64);
-                mean.min(u32::MAX as u64) as u32 + slack
-            }
-            _ => 0,
-        }
+        snapshot::batch_threshold(
+            self.config.policy,
+            self.bins.total(),
+            self.config.bins,
+            batch_len,
+        )
     }
 
-    /// Fills `out` with the per-bin thresholds
-    /// `⌈(resident + batch)·w_i/W⌉ + slack` of [`Policy::CapacityThreshold`];
-    /// leaves it empty (flat-threshold fallback) for every other
-    /// configuration so no per-batch `O(n)` work is added to them. The drain
-    /// path and the route path keep separate buffers, so an interleaved
-    /// `drain_ready` cannot clobber an open routed batch's thresholds.
+    /// Per-bin capacity thresholds of [`Policy::CapacityThreshold`] over the
+    /// current resident population (see
+    /// [`snapshot::fill_capacity_thresholds_into`]). The drain path and the
+    /// route path keep separate buffers, so an interleaved `drain_ready`
+    /// cannot clobber an open routed batch's thresholds.
     fn fill_capacity_thresholds_into(&self, batch_len: u64, out: &mut Vec<u32>) {
-        out.clear();
-        if let (Policy::CapacityThreshold { slack, .. }, Some(weights)) =
-            (self.config.policy, self.resolved.as_ref())
-        {
-            let post = (self.bins.total() + batch_len) as f64;
-            out.extend((0..self.config.bins).map(|i| {
-                let fair = (post * weights.share(i)).ceil();
-                (fair as u64).min(u32::MAX as u64) as u32 + slack
-            }));
-        }
+        snapshot::fill_capacity_thresholds_into(
+            self.config.policy,
+            self.resolved.as_ref(),
+            self.bins.total(),
+            self.config.bins,
+            batch_len,
+            out,
+        );
     }
 
     /// The gap of a load vector under this stream's weights: classic
     /// `max − mean` when uniform, weighted `max_i(load_i/w_i) − (Σ load)/W`
     /// otherwise.
     fn gap_of_loads(&self, loads: &[u32]) -> f64 {
-        match &self.resolved {
-            None => gap_of(loads, loads.iter().map(|&l| l as u64).sum()),
-            Some(weights) => weighted_gap(loads, weights),
-        }
+        snapshot::gap_of_loads(loads, self.resolved.as_ref())
     }
 
     /// Fresh per-bin loads.
@@ -860,28 +751,16 @@ impl StreamAllocator {
 
     /// A full point-in-time snapshot.
     pub fn snapshot(&self) -> StreamSnapshot {
-        let loads = self.bins.snapshot();
-        let gap = self.gap_of_loads(&loads);
-        let as_f64: Vec<f64> = loads.iter().map(|&l| l as f64).collect();
-        let qs = quantiles_of(&as_f64, &[0.5, 0.9, 0.99, 1.0]);
-        let max_normalized_load = match &self.resolved {
-            None => qs[3],
-            Some(weights) => normalized_loads(&loads, weights)
-                .into_iter()
-                .fold(0.0f64, f64::max),
-        };
-        StreamSnapshot {
-            stale_loads: self.stale.clone(),
-            arrived: self.arrived,
-            placed: self.placed,
-            departed: self.departed,
-            pending: self.pending.len() as u64,
-            batches: self.batches,
-            gap,
-            load_quantiles: [qs[0], qs[1], qs[2], qs[3]],
-            max_normalized_load,
-            loads,
-        }
+        StreamSnapshot::assemble(
+            self.bins.snapshot(),
+            self.stale.clone(),
+            self.arrived,
+            self.placed,
+            self.departed,
+            self.pending.len() as u64,
+            self.batches,
+            self.resolved.as_ref(),
+        )
     }
 
     /// The conservation invariant every streaming run must satisfy:
@@ -916,15 +795,6 @@ impl Router for StreamAllocator {
             gap: self.gap_of_loads(&loads),
         }
     }
-}
-
-/// `max − mean` of a load vector (`0` for an empty stream).
-fn gap_of(loads: &[u32], total: u64) -> f64 {
-    if loads.is_empty() {
-        return 0.0;
-    }
-    let max = loads.iter().copied().max().unwrap_or(0) as f64;
-    max - total as f64 / loads.len() as f64
 }
 
 #[cfg(test)]
@@ -997,7 +867,7 @@ mod tests {
         // record_batch fold, and the 4-thread pool makes the choose step
         // split across workers (8192 / CHOOSE_MIN_BALLS_PER_WORKER = 4).
         const BATCH: usize = 8192;
-        const { assert!(BATCH >= PARALLEL_APPLY_MIN_BATCH) };
+        const { assert!(BATCH >= commit::PARALLEL_APPLY_MIN_BATCH) };
         let cfg = StreamConfig::new(64)
             .policy(Policy::TwoChoice)
             .batch_size(BATCH)
@@ -1063,23 +933,25 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)] // the raw-bin shim must keep working until removal
-    fn departures_keep_conservation_and_reduce_load() {
+    fn ticketed_departures_keep_conservation_and_reduce_load() {
+        // Departures go through route()/release(Ticket) — the raw-bin
+        // depart() shim is gone. Mixed traffic: anonymous pushed balls plus
+        // ticketed routed balls; releases retire only the ticketed ones.
         let mut s = StreamAllocator::new(StreamConfig::new(16).batch_size(16).seed(3));
         push_uniform(&mut s, 160, 2);
         s.drain_ready();
         assert_eq!(s.resident(), 160);
-        let before = s.loads();
-        let bin = before.iter().position(|&l| l > 0).unwrap();
-        assert!(s.depart(bin));
-        assert_eq!(s.resident(), 159);
+        let placement = s.route(0xfeed).unwrap();
+        assert_eq!(s.resident(), 161);
+        let load_before = s.load(placement.bin);
+        s.release(placement.ticket).unwrap();
+        assert_eq!(s.resident(), 160);
+        assert_eq!(s.load(placement.bin), load_before - 1);
         assert!(s.conserves_balls());
-        // Departing from an empty bin fails and changes nothing.
-        let empty = s.loads().iter().position(|&l| l == 0);
-        if let Some(empty) = empty {
-            assert!(!s.depart(empty));
-            assert_eq!(s.resident(), 159);
-        }
+        // A ticket can only be released once; anonymous balls stay resident.
+        assert!(s.release(placement.ticket).is_err());
+        assert_eq!(s.resident(), 160);
+        assert_eq!(s.resident_tickets(), 0);
     }
 
     #[test]

@@ -1,0 +1,152 @@
+//! The **ingress** stage of the streaming pipeline: arriving balls, stamped
+//! with a monotone arrival id, waiting to be allocated.
+//!
+//! Two ingress shapes exist:
+//!
+//! * The single-threaded [`StreamAllocator`](crate::StreamAllocator) buffers
+//!   [`PendingBall`]s in a plain `Vec` — arrival order is call order, and the
+//!   drain slices the buffer into batches with zero copies.
+//! * The multi-threaded [`ConcurrentRouter`](crate::ConcurrentRouter) accepts
+//!   `push`es from many producer threads at once through a
+//!   [`ShardedIngress`]: a set of MPMC lanes (crossbeam channels) chosen by
+//!   arrival id, so producers do not contend on one queue head. Because a
+//!   slow producer can publish its ball *after* a later-stamped ball from a
+//!   faster thread, a drain first collects every queued ball and then
+//!   **sequences** them — sorts by arrival id — before batching. With one
+//!   producer thread the sequence equals call order exactly, which is what
+//!   makes the concurrent push path bit-identical to the buffered engine in
+//!   the single-caller case; with many producers the ids (and therefore
+//!   batch compositions) are exactly as reproducible as the arrival
+//!   interleaving itself.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+
+/// A ball waiting in an arrival buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct PendingBall {
+    /// Globally unique, monotonically increasing ball id (the arrival
+    /// sequence number).
+    pub id: u64,
+    /// Router key; candidate bins are a pure hash of `(seed, key)`.
+    pub key: u64,
+}
+
+/// Sharded MPMC arrival lanes for the concurrent engine (see the module
+/// docs). All operations take `&self`; `enqueue` may run from any number of
+/// producer threads while a drainer collects.
+pub(crate) struct ShardedIngress {
+    /// The lanes. Both channel halves are kept so the ingress never
+    /// disconnects; a ball's lane is `id % lanes`, a pure function of the
+    /// arrival id so lane assignment is reproducible.
+    lanes: Vec<(Sender<PendingBall>, Receiver<PendingBall>)>,
+    /// Balls enqueued and not yet collected by a drain.
+    queued: AtomicU64,
+}
+
+impl std::fmt::Debug for ShardedIngress {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedIngress")
+            .field("lanes", &self.lanes.len())
+            .field("queued", &self.queued())
+            .finish()
+    }
+}
+
+impl ShardedIngress {
+    /// An empty ingress with `lanes` MPMC lanes (clamped to at least 1).
+    pub fn new(lanes: usize) -> Self {
+        Self {
+            lanes: (0..lanes.max(1)).map(|_| unbounded()).collect(),
+            queued: AtomicU64::new(0),
+        }
+    }
+
+    /// Enqueues one stamped ball on its lane.
+    pub fn enqueue(&self, ball: PendingBall) {
+        self.queued.fetch_add(1, Ordering::AcqRel);
+        let lane = (ball.id % self.lanes.len() as u64) as usize;
+        self.lanes[lane]
+            .0
+            .send(ball)
+            .expect("ingress lane holds both halves");
+    }
+
+    /// Balls enqueued and not yet collected.
+    pub fn queued(&self) -> u64 {
+        self.queued.load(Ordering::Acquire)
+    }
+
+    /// Collects every currently queued ball into `out` and sequences the
+    /// whole buffer by arrival id; returns how many balls were collected.
+    /// `out` may carry an (already sorted) leftover tail from a previous
+    /// drain — the sort re-merges it with the new arrivals.
+    pub fn collect_into(&self, out: &mut Vec<PendingBall>) -> usize {
+        let mut collected = 0usize;
+        for (_, receiver) in &self.lanes {
+            while let Ok(ball) = receiver.try_recv() {
+                out.push(ball);
+                collected += 1;
+            }
+        }
+        self.queued.fetch_sub(collected as u64, Ordering::AcqRel);
+        out.sort_unstable_by_key(|ball| ball.id);
+        collected
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn collect_sequences_by_arrival_id_across_lanes() {
+        let ingress = ShardedIngress::new(3);
+        // Enqueue out of order (as racing producers would publish).
+        for id in [4u64, 0, 2, 5, 1, 3] {
+            ingress.enqueue(PendingBall { id, key: id * 10 });
+        }
+        assert_eq!(ingress.queued(), 6);
+        let mut out = Vec::new();
+        assert_eq!(ingress.collect_into(&mut out), 6);
+        assert_eq!(ingress.queued(), 0);
+        let ids: Vec<u64> = out.iter().map(|b| b.id).collect();
+        assert_eq!(ids, vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn leftover_tail_is_remerged() {
+        let ingress = ShardedIngress::new(2);
+        ingress.enqueue(PendingBall { id: 7, key: 7 });
+        let mut out = vec![PendingBall { id: 3, key: 3 }, PendingBall { id: 9, key: 9 }];
+        ingress.collect_into(&mut out);
+        let ids: Vec<u64> = out.iter().map(|b| b.id).collect();
+        assert_eq!(ids, vec![3, 7, 9]);
+    }
+
+    #[test]
+    fn concurrent_producers_never_lose_balls() {
+        use std::sync::Arc;
+        let ingress = Arc::new(ShardedIngress::new(4));
+        let next = Arc::new(AtomicU64::new(0));
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let ingress = Arc::clone(&ingress);
+            let next = Arc::clone(&next);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..1000 {
+                    let id = next.fetch_add(1, Ordering::Relaxed);
+                    ingress.enqueue(PendingBall { id, key: id });
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let mut out = Vec::new();
+        assert_eq!(ingress.collect_into(&mut out), 4000);
+        let ids: Vec<u64> = out.iter().map(|b| b.id).collect();
+        assert_eq!(ids, (0..4000).collect::<Vec<u64>>(), "sequenced, no loss");
+    }
+}

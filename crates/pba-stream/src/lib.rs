@@ -19,7 +19,19 @@
 //!   allocates the batch against the **stale** snapshot and then advances the
 //!   snapshot. Because every placement decision is a pure function of
 //!   `(stale snapshot, ball key)`, the sharded parallel drain is bit-identical
-//!   to the sequential one.
+//!   to the sequential one. The engine is the facade of a staged pipeline:
+//!   the ingress stage (arrival buffering/sequencing), the [`snapshot`] stage
+//!   (stale loads, thresholds, gap measure) and the commit stage
+//!   (choose + apply) are separate modules shared with the concurrent core.
+//! * [`concurrent`] — [`ConcurrentRouter`]: the **concurrent serving core** —
+//!   a cloneable, `Arc`-backed shared handle whose `route(key)` is callable
+//!   from many caller threads at once. Reads go to an epoch-published stale
+//!   snapshot ([`pba_concurrent::EpochCell`]), commits are lock-free atomic
+//!   increments, tickets flow through the bin-sharded
+//!   [`pba_model::router::SharedTicketLedger`], and pushes ride sharded MPMC
+//!   ingress lanes. With one caller it is bit-identical to
+//!   [`StreamAllocator`]; with `k` callers, conservation, ticket consistency
+//!   and epoch monotonicity hold for every interleaving.
 //! * [`shard`] — [`ShardedBins`]: bins partitioned into contiguous shards;
 //!   lock-free atomic load counters (from [`pba_concurrent`]) plus per-shard
 //!   mutex-guarded bookkeeping, drained in parallel via rayon.
@@ -74,18 +86,24 @@
 #![warn(missing_docs)]
 
 pub mod arrival;
+mod commit;
+pub mod concurrent;
 pub mod engine;
+mod ingress;
 pub mod observer;
 pub mod policy;
 pub mod scenario;
 pub mod shard;
+pub mod snapshot;
 
 pub use arrival::{ArrivalProcess, ArrivalSampler, UNIQUE_KEYS};
-pub use engine::{StreamAllocator, StreamConfig, StreamSnapshot};
+pub use concurrent::ConcurrentRouter;
+pub use engine::{StreamAllocator, StreamConfig};
 pub use observer::{GapTrajectoryObserver, ReweightLog, ReweightRecord};
 pub use policy::{candidate_bins, choose_bin, ChoiceCtx, Policy};
 pub use scenario::{run_scenario, run_scenario_on, ChurnMode, ScenarioConfig, ScenarioReport};
 pub use shard::{ShardStats, ShardedBins};
+pub use snapshot::StreamSnapshot;
 
 // Re-exported so weighted stream configurations need only this crate.
 pub use pba_model::router::{Placement, RouteError, Router, RouterObserver, RouterStats, Ticket};

@@ -87,6 +87,14 @@ impl ShardedBins {
         self.bins.add(bin)
     }
 
+    /// Places `count` balls into `bin` with **one** atomic increment (no
+    /// shard stats; fold via [`ShardedBins::record_batch`]); returns the new
+    /// load. Used when whole per-bin populations are committed at once, e.g.
+    /// seeding resident loads.
+    pub fn place_many_unrecorded(&self, bin: usize, count: u32) -> u32 {
+        self.bins.add_many(bin, count)
+    }
+
     /// Folds one batch's worth of per-shard bookkeeping under the shard lock.
     pub fn record_batch(&self, shard: usize, accepted: u64, peak_load: u32) {
         let mut stats = self.stats[shard].lock().expect("shard lock");
@@ -172,6 +180,18 @@ mod tests {
         assert!(!sb.depart(1), "empty bin");
         // Peak load is sticky even after departures.
         assert_eq!(sb.shard_stats(0).peak_load, 2);
+    }
+
+    #[test]
+    fn batched_unrecorded_place_equals_repeated_singles() {
+        let a = ShardedBins::new(4, 2);
+        let b = ShardedBins::new(4, 2);
+        assert_eq!(a.place_many_unrecorded(1, 5), 5);
+        for _ in 0..5 {
+            b.place_unrecorded(1);
+        }
+        assert_eq!(a.snapshot(), b.snapshot());
+        assert_eq!(a.place_many_unrecorded(1, 2), 7);
     }
 
     #[test]

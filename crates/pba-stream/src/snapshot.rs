@@ -1,0 +1,192 @@
+//! The **snapshot** stage of the streaming pipeline: the stale load vector a
+//! batch decides from, the thresholds priced against it, and the gap measure
+//! recorded when the snapshot advances.
+//!
+//! Everything here is a pure function of `(policy, weights, resident loads,
+//! batch length)` — no engine state — so the single-threaded
+//! [`StreamAllocator`](crate::StreamAllocator) and the multi-threaded
+//! [`ConcurrentRouter`](crate::ConcurrentRouter) share one implementation and
+//! stay bit-identical wherever both are defined.
+
+use pba_model::weights::{normalized_loads, weighted_gap, ResolvedWeights};
+use pba_stats::quantiles_of;
+
+use crate::policy::Policy;
+
+/// A point-in-time view of the stream state.
+#[derive(Debug, Clone)]
+pub struct StreamSnapshot {
+    /// Current (fresh) per-bin loads.
+    pub loads: Vec<u32>,
+    /// The stale snapshot the *next* batch will decide from.
+    pub stale_loads: Vec<u32>,
+    /// Balls pushed so far.
+    pub arrived: u64,
+    /// Balls placed into bins so far.
+    pub placed: u64,
+    /// Balls departed so far.
+    pub departed: u64,
+    /// Balls buffered but not yet drained.
+    pub pending: u64,
+    /// Batches drained so far.
+    pub batches: u64,
+    /// Current gap of the fresh loads: `max − mean` for uniform weights, the
+    /// weighted gap `max_i(load_i/w_i) − (Σ load)/W` otherwise.
+    pub gap: f64,
+    /// Load quantiles `[p50, p90, p99, max]` of the fresh loads.
+    pub load_quantiles: [f64; 4],
+    /// Largest normalized load `max_i(load_i / w_i)` — equal to the raw max
+    /// load for uniform weights.
+    pub max_normalized_load: f64,
+}
+
+impl StreamSnapshot {
+    /// Assembles a snapshot from the raw counters and a fresh load vector,
+    /// computing the derived gap/quantile/normalized-load fields — the one
+    /// place those derivations live, shared by both engines.
+    #[allow(clippy::too_many_arguments)] // a constructor of raw counters
+    pub(crate) fn assemble(
+        loads: Vec<u32>,
+        stale_loads: Vec<u32>,
+        arrived: u64,
+        placed: u64,
+        departed: u64,
+        pending: u64,
+        batches: u64,
+        weights: Option<&ResolvedWeights>,
+    ) -> Self {
+        let gap = gap_of_loads(&loads, weights);
+        let as_f64: Vec<f64> = loads.iter().map(|&l| l as f64).collect();
+        let qs = quantiles_of(&as_f64, &[0.5, 0.9, 0.99, 1.0]);
+        let max_normalized_load = match weights {
+            None => qs[3],
+            Some(weights) => normalized_loads(&loads, weights)
+                .into_iter()
+                .fold(0.0f64, f64::max),
+        };
+        Self {
+            loads,
+            stale_loads,
+            arrived,
+            placed,
+            departed,
+            pending,
+            batches,
+            gap,
+            load_quantiles: [qs[0], qs[1], qs[2], qs[3]],
+            max_normalized_load,
+        }
+    }
+}
+
+/// `max − mean` of a load vector (`0` for an empty stream).
+pub(crate) fn gap_of(loads: &[u32], total: u64) -> f64 {
+    if loads.is_empty() {
+        return 0.0;
+    }
+    let max = loads.iter().copied().max().unwrap_or(0) as f64;
+    max - total as f64 / loads.len() as f64
+}
+
+/// The gap of a load vector under the stream's weights: classic `max − mean`
+/// when uniform, weighted `max_i(load_i/w_i) − (Σ load)/W` otherwise.
+pub(crate) fn gap_of_loads(loads: &[u32], weights: Option<&ResolvedWeights>) -> f64 {
+    match weights {
+        None => gap_of(loads, loads.iter().map(|&l| l as u64).sum()),
+        Some(weights) => weighted_gap(loads, weights),
+    }
+}
+
+/// The batch threshold of the paper-style [`Policy::Threshold`] rule:
+/// `⌈(resident + batch)/n⌉ + slack`. Also the flat fallback threshold of
+/// [`Policy::CapacityThreshold`] under uniform weights, where every bin's
+/// capacity share collapses to the plain mean. `0` for non-threshold
+/// policies (never consulted).
+pub(crate) fn batch_threshold(policy: Policy, resident: u64, bins: usize, batch_len: u64) -> u32 {
+    match policy {
+        Policy::Threshold { slack, .. } | Policy::CapacityThreshold { slack, .. } => {
+            let mean = (resident + batch_len).div_ceil(bins as u64);
+            mean.min(u32::MAX as u64) as u32 + slack
+        }
+        _ => 0,
+    }
+}
+
+/// Fills `out` with the per-bin thresholds
+/// `⌈(resident + batch)·w_i/W⌉ + slack` of [`Policy::CapacityThreshold`];
+/// leaves it empty (flat-threshold fallback) for every other configuration so
+/// no per-batch `O(n)` work is added to them.
+pub(crate) fn fill_capacity_thresholds_into(
+    policy: Policy,
+    weights: Option<&ResolvedWeights>,
+    resident: u64,
+    bins: usize,
+    batch_len: u64,
+    out: &mut Vec<u32>,
+) {
+    out.clear();
+    if let (Policy::CapacityThreshold { slack, .. }, Some(weights)) = (policy, weights) {
+        let post = (resident + batch_len) as f64;
+        out.extend((0..bins).map(|i| {
+            let fair = (post * weights.share(i)).ceil();
+            (fair as u64).min(u32::MAX as u64) as u32 + slack
+        }));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gap_of_handles_empty_and_weighted_paths() {
+        assert_eq!(gap_of(&[], 0), 0.0);
+        assert_eq!(gap_of(&[4, 0], 4), 2.0);
+        assert_eq!(gap_of_loads(&[4, 0], None), 2.0);
+    }
+
+    #[test]
+    fn batch_threshold_only_prices_threshold_policies() {
+        assert_eq!(batch_threshold(Policy::TwoChoice, 100, 4, 4), 0);
+        // ⌈(100 + 4)/4⌉ + 2 = 28.
+        assert_eq!(
+            batch_threshold(Policy::Threshold { d: 2, slack: 2 }, 100, 4, 4),
+            28
+        );
+        assert_eq!(
+            batch_threshold(Policy::CapacityThreshold { d: 2, slack: 1 }, 0, 4, 8),
+            3
+        );
+    }
+
+    #[test]
+    fn capacity_thresholds_follow_weight_shares() {
+        use pba_model::weights::BinWeights;
+        let weights = BinWeights::explicit(vec![2.0, 1.0, 1.0])
+            .resolve(3)
+            .unwrap();
+        let mut out = Vec::new();
+        fill_capacity_thresholds_into(
+            Policy::CapacityThreshold { d: 2, slack: 1 },
+            Some(&weights),
+            0,
+            3,
+            8,
+            &mut out,
+        );
+        // Shares 1/2, 1/4, 1/4 of 8 balls → ⌈4⌉+1, ⌈2⌉+1, ⌈2⌉+1.
+        assert_eq!(out, vec![5, 3, 3]);
+        // Every other configuration leaves the vector empty.
+        fill_capacity_thresholds_into(Policy::TwoChoice, Some(&weights), 0, 3, 8, &mut out);
+        assert!(out.is_empty());
+        fill_capacity_thresholds_into(
+            Policy::CapacityThreshold { d: 2, slack: 1 },
+            None,
+            0,
+            3,
+            8,
+            &mut out,
+        );
+        assert!(out.is_empty(), "uniform weights use the flat threshold");
+    }
+}

@@ -1,13 +1,17 @@
-//! The reproduction experiments E1–E15 (see DESIGN.md for the full index).
+//! The reproduction experiments E1–E16 (see DESIGN.md for the full index).
 //! E1–E9 validate the SPAA'19 paper; E10–E12 measure the streaming engine of
 //! `pba-stream` in the batched/stale-information model (Los–Sauerwald 2022),
 //! with E12 exercising both load- and capacity-proportional churn through the
 //! handle-based router surface; E13 measures weighted multi-backend routing
 //! over heterogeneous capacity tiers (streaming policies plus the weighted
-//! asymmetric algorithm); E14 measures **runtime reweighting** — a capacity
-//! change applied to a running stream at a batch boundary; E15 measures the
-//! **execution layer** — drain throughput vs worker count and the dispatch
-//! cost of the persistent pool (warm) vs a cold spawn.
+//! asymmetric algorithm), including the weighted Θ(b/W) staleness fit; E14
+//! measures **runtime reweighting** — a capacity change applied to a running
+//! stream at a batch boundary; E15 measures the **execution layer** — drain
+//! throughput vs worker count and the dispatch cost of the persistent pool
+//! (warm) vs a cold spawn; E16 measures the **concurrent serving core** —
+//! route throughput vs caller threads through one shared
+//! `ConcurrentRouter` handle, with conservation and 1-caller bit-identity
+//! checked in-table.
 //!
 //! The paper is a theory paper without numbered tables/figures, so each
 //! experiment here plays the role of a table: it validates one theorem, claim or
@@ -858,33 +862,48 @@ pub fn e12_stream_churn(quick: bool) -> Table {
 /// *raw* loads, overloading small backends in proportion to the skew; the
 /// weighted two-choice and capacity-threshold policies balance the
 /// **normalized** load `load_i / w_i` and must keep the max normalized load
-/// near the capacity-fair level `m/W` regardless of the tier mix. The last
+/// near the capacity-fair level `m/W` regardless of the tier mix. The asym
 /// column cross-checks the one-shot side: the weighted asymmetric superbin
 /// algorithm's normalized excess stays `O(1)` on the same tier mix.
+///
+/// The batch-sweep rows (4:2:1 mix, `b/n ∈ {4, 8, 16}`) carry the
+/// **weighted Los–Sauerwald check**: the weighted analogue of E10's Θ(b/n)
+/// law says the weighted gap (max normalized load − fair `m/W`) grows like
+/// `Θ(b/W)` once staleness dominates. The fit column fits
+/// `norm gap ∝ (b/W)^α` over those rows via
+/// [`pba_stats::power_law_exponent`] and reports pass/fail for `α ≈ 1`,
+/// mirroring E10's verdict.
 pub fn e13_weighted_routing(quick: bool) -> Table {
     let (n, ratio, n_seeds): (usize, u64, u64) = if quick { (128, 64, 2) } else { (512, 256, 5) };
     let m = n as u64 * ratio;
     // Tier mixes over a fixed n (multiples of 16), from identical bins to an
-    // 8:4:2:1 capacity pyramid.
-    let mixes: Vec<(&str, Vec<(usize, u32)>)> = {
-        let mut mixes = vec![
-            ("uniform", vec![(n, 0)]),
-            ("2:1", vec![(n / 4, 1), (3 * n / 4, 0)]),
-            ("4:2:1", vec![(n / 8, 2), (n / 4, 1), (5 * n / 8, 0)]),
-        ];
-        if !quick {
-            mixes.push((
-                "8:4:2:1",
-                vec![(n / 16, 3), (n / 8, 2), (n / 4, 1), (9 * n / 16, 0)],
-            ));
-        }
-        mixes
-    };
+    // 8:4:2:1 capacity pyramid — all at batch = n — plus the batch sweep on
+    // the 4:2:1 mix that powers the Θ(b/W) fit (three staleness-dominated
+    // points in quick and full mode alike).
+    /// One E13 arm: (tier label, tier layout, batch factor b/n).
+    type Arm = (&'static str, Vec<(usize, u32)>, usize);
+    let tiers_421: Vec<(usize, u32)> = vec![(n / 8, 2), (n / 4, 1), (5 * n / 8, 0)];
+    let mut arms: Vec<Arm> = vec![
+        ("uniform", vec![(n, 0)], 1),
+        ("2:1", vec![(n / 4, 1), (3 * n / 4, 0)], 1),
+        ("4:2:1", tiers_421.clone(), 1),
+    ];
+    if !quick {
+        arms.push((
+            "8:4:2:1",
+            vec![(n / 16, 3), (n / 8, 2), (n / 4, 1), (9 * n / 16, 0)],
+            1,
+        ));
+    }
+    for factor in [4usize, 8, 16] {
+        arms.push(("4:2:1", tiers_421.clone(), factor));
+    }
     let mut table = Table::with_alignments(
         "E13: weighted multi-backend routing — max normalized load vs capacity skew",
         &[
             ("n", Align::Right),
             ("tiers", Align::Left),
+            ("batch b", Align::Right),
             ("W/n", Align::Right),
             ("fair m/W", Align::Right),
             ("oblivious two-choice", Align::Right),
@@ -892,9 +911,22 @@ pub fn e13_weighted_routing(quick: bool) -> Table {
             ("capacity-threshold", Align::Right),
             ("weighted/oblivious", Align::Right),
             ("asym norm excess", Align::Right),
+            ("norm gap/(b/W)", Align::Right),
+            ("Θ(b/W) fit", Align::Left),
         ],
     );
-    for (label, tiers) in mixes {
+    struct ArmResult {
+        label: &'static str,
+        factor: usize,
+        total_weight: f64,
+        fair: f64,
+        oblivious: f64,
+        weighted: f64,
+        capacity: f64,
+        asym_excess: Option<f64>,
+    }
+    let mut results: Vec<ArmResult> = Vec::new();
+    for (label, tiers, factor) in arms {
         let weights = BinWeights::power_of_two_tiers(&tiers);
         let total_weight: f64 = weights.to_vec(n).iter().sum();
         let fair = m as f64 / total_weight;
@@ -908,33 +940,88 @@ pub fn e13_weighted_routing(quick: bool) -> Table {
                 let mut stream = StreamAllocator::new(
                     StreamConfig::new(n)
                         .policy(policy)
-                        .batch_size(n)
+                        .batch_size(n * factor)
                         .seed(seed)
                         .weights(weights.clone()),
                 );
-                let mut keys = pba_model::rng::SplitMix64::for_stream(seed, 0xe13, 0);
+                // Substream 0 for the historical batch = n rows (bit-stable
+                // across report regenerations); the sweep rows get their own.
+                let substream = if factor == 1 { 0 } else { factor as u64 };
+                let mut keys = pba_model::rng::SplitMix64::for_stream(seed, 0xe13, substream);
                 for _ in 0..m {
                     stream.push(keys.next_u64());
                 }
                 stream.flush();
                 agg.record(key, stream.max_normalized_load());
             }
-            let asym = WeightedAsymmetricAllocator::from_weights(&weights, n);
-            let (out, _) = asym.allocate_traced(m, seed);
-            debug_assert!(out.is_complete(m));
-            agg.record("asym_excess", asym.normalized_excess(&out, m));
+            if factor == 1 {
+                let asym = WeightedAsymmetricAllocator::from_weights(&weights, n);
+                let (out, _) = asym.allocate_traced(m, seed);
+                debug_assert!(out.is_complete(m));
+                agg.record("asym_excess", asym.normalized_excess(&out, m));
+            }
         }
-        let (oblivious, weighted) = (agg.mean("oblivious"), agg.mean("weighted"));
+        results.push(ArmResult {
+            label,
+            factor,
+            total_weight,
+            fair,
+            oblivious: agg.mean("oblivious"),
+            weighted: agg.mean("weighted"),
+            capacity: agg.mean("capacity"),
+            asym_excess: (factor == 1).then(|| agg.mean("asym_excess")),
+        });
+    }
+    // Weighted Los–Sauerwald Θ(b/W) check over the staleness-dominated batch
+    // sweep (b/n ≥ 4): fit the weighted two-choice normalized gap
+    // (max normalized load − fair) against b/W.
+    let sweep: Vec<(f64, f64)> = results
+        .iter()
+        .filter(|arm| arm.factor >= 4)
+        .map(|arm| {
+            (
+                (n * arm.factor) as f64 / arm.total_weight,
+                arm.weighted - arm.fair,
+            )
+        })
+        .collect();
+    let xs: Vec<f64> = sweep.iter().map(|&(x, _)| x).collect();
+    let ys: Vec<f64> = sweep.iter().map(|&(_, y)| y).collect();
+    let fit_cell = match power_law_exponent(&xs, &ys) {
+        Some((alpha, r2)) => {
+            let verdict = if (0.5..=1.5).contains(&alpha) {
+                "ok"
+            } else {
+                "FAIL"
+            };
+            format!("α={alpha:.2} (R²={r2:.2}) {verdict}")
+        }
+        None => "n/a".to_string(),
+    };
+    for arm in results {
+        let b_over_w = (n * arm.factor) as f64 / arm.total_weight;
+        // The verdict only annotates the rows that participated in the fit.
+        let fit = if arm.factor >= 4 {
+            fit_cell.as_str()
+        } else {
+            ""
+        };
         table.push_row([
             Cell::from(n),
-            Cell::from(label),
-            Cell::from(total_weight / n as f64),
-            Cell::from(fair),
-            Cell::from(oblivious),
-            Cell::from(weighted),
-            Cell::from(agg.mean("capacity")),
-            Cell::from(weighted / oblivious),
-            Cell::from(agg.mean("asym_excess")),
+            Cell::from(arm.label),
+            Cell::from(n * arm.factor),
+            Cell::from(arm.total_weight / n as f64),
+            Cell::from(arm.fair),
+            Cell::from(arm.oblivious),
+            Cell::from(arm.weighted),
+            Cell::from(arm.capacity),
+            Cell::from(arm.weighted / arm.oblivious),
+            match arm.asym_excess {
+                Some(excess) => Cell::from(excess),
+                None => Cell::from(""),
+            },
+            Cell::from((arm.weighted - arm.fair) / b_over_w),
+            Cell::from(fit),
         ]);
     }
     table
@@ -1142,7 +1229,99 @@ pub fn e15_execution_layer(quick: bool) -> Table {
     table
 }
 
-/// Runs every experiment and returns all tables in order (E1 … E15).
+/// E16 — the concurrent serving core: route throughput vs caller threads,
+/// all routing through **one shared `ConcurrentRouter` handle** (the
+/// transport-less server loop of the ROADMAP's serving layer). Wall-clock
+/// scales with callers only on multi-core hardware — on a 1-core container
+/// the threads serialise and the throughput column is noise — so the
+/// structural columns carry the reproduction: conservation at shutdown, one
+/// batch boundary per `batch_size` routed balls (epoch == batches), and the
+/// 1-caller run being **bit-identical** to the single-threaded `&mut`
+/// engine's `route()` path.
+pub fn e16_concurrent_routing(quick: bool) -> Table {
+    use pba_stream::ConcurrentRouter;
+    use std::time::Instant;
+
+    let (n, ratio): (usize, u64) = if quick { (256, 64) } else { (1024, 256) };
+    let batch = n;
+    let m = n as u64 * ratio;
+    let callers_list: &[u64] = if quick { &[1, 2, 4] } else { &[1, 2, 4, 8] };
+    let seed = 7u64;
+    let mut table = Table::with_alignments(
+        "E16: concurrent serving core — route throughput vs caller threads (one shared handle)",
+        &[
+            ("callers", Align::Right),
+            ("routed", Align::Right),
+            ("wall ms", Align::Right),
+            ("Mroutes/s", Align::Right),
+            ("speedup vs 1", Align::Right),
+            ("batches", Align::Right),
+            ("final gap", Align::Right),
+            ("conserved", Align::Left),
+            ("≡ &mut route()", Align::Left),
+        ],
+    );
+
+    // The 1-caller reference: the classic `&mut self` engine routing the
+    // same key sequence — the concurrent pipeline must reproduce it bit for
+    // bit when there is no concurrency.
+    let reference_loads = {
+        let mut stream = StreamAllocator::new(StreamConfig::new(n).batch_size(batch).seed(seed));
+        let mut keys = pba_model::rng::SplitMix64::for_stream(seed, 0xe16, 0);
+        for _ in 0..m {
+            stream.route(keys.next_u64()).expect("infallible");
+        }
+        stream.loads()
+    };
+
+    let mut baseline = None;
+    for &callers in callers_list {
+        let per_caller = m / callers;
+        let router = ConcurrentRouter::new(StreamConfig::new(n).batch_size(batch).seed(seed));
+        let start = Instant::now();
+        std::thread::scope(|scope| {
+            for t in 0..callers {
+                let router = router.clone();
+                scope.spawn(move || {
+                    let mut keys = pba_model::rng::SplitMix64::for_stream(seed, 0xe16, t);
+                    for _ in 0..per_caller {
+                        router.route(keys.next_u64()).expect("infallible");
+                    }
+                });
+            }
+        });
+        let seconds = start.elapsed().as_secs_f64();
+        let base = *baseline.get_or_insert(seconds);
+        let stats = router.stats();
+        let identity = if callers == 1 {
+            if router.loads() == reference_loads {
+                "yes"
+            } else {
+                "NO"
+            }
+        } else {
+            ""
+        };
+        table.push_row([
+            Cell::from(callers),
+            Cell::from(stats.routed),
+            Cell::from(seconds * 1e3),
+            Cell::from(stats.routed as f64 / seconds / 1e6),
+            Cell::from(base / seconds),
+            Cell::from(stats.batches),
+            Cell::from(stats.gap),
+            Cell::from(if router.conserves_balls() {
+                "yes"
+            } else {
+                "NO"
+            }),
+            Cell::from(identity),
+        ]);
+    }
+    table
+}
+
+/// Runs every experiment and returns all tables in order (E1 … E16).
 pub fn all_experiments(quick: bool) -> Vec<Table> {
     let mut tables = vec![
         e1_heavy_load_and_rounds(quick),
@@ -1161,6 +1340,7 @@ pub fn all_experiments(quick: bool) -> Vec<Table> {
     tables.push(e13_weighted_routing(quick));
     tables.push(e14_runtime_reweighting(quick));
     tables.push(e15_execution_layer(quick));
+    tables.push(e16_concurrent_routing(quick));
     tables
 }
 
@@ -1262,10 +1442,10 @@ mod tests {
     #[test]
     fn e13_quick_weighted_beats_oblivious_under_skew() {
         let t = e13_weighted_routing(true);
-        assert_eq!(t.n_rows(), 3);
+        assert_eq!(t.n_rows(), 6, "3 tier mixes + 3 batch-sweep rows");
         for row in t.rows() {
             let tiers = &row[1].0;
-            let ratio: f64 = row[7].0.parse().unwrap();
+            let ratio: f64 = row[8].0.parse().unwrap();
             if tiers == "uniform" {
                 // The strict no-op: identical engines, ratio exactly 1.
                 assert!((ratio - 1.0).abs() < 1e-9, "uniform ratio {ratio}");
@@ -1275,11 +1455,36 @@ mod tests {
                     "weighted two-choice should beat oblivious on {tiers}: ratio {ratio}"
                 );
             }
-            let asym_excess: f64 = row[8].0.parse().unwrap();
-            assert!(
-                asym_excess.abs() <= 16.0,
-                "asymmetric normalized excess {asym_excess} too large on {tiers}"
-            );
+            let asym_cell = &row[9].0;
+            if asym_cell.is_empty() {
+                // Batch-sweep rows skip the (batch-independent) one-shot arm.
+                let batch: usize = row[2].0.parse().unwrap();
+                assert!(batch > 128, "only b > n rows may skip the asym column");
+            } else {
+                let asym_excess: f64 = asym_cell.parse().unwrap();
+                assert!(
+                    asym_excess.abs() <= 16.0,
+                    "asymmetric normalized excess {asym_excess} too large on {tiers}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn e13_quick_theta_b_over_w_fit_passes() {
+        let t = e13_weighted_routing(true);
+        // The weighted Los–Sauerwald verdict appears exactly on the
+        // staleness-dominated batch-sweep rows (b/n ≥ 4 — a genuine 3-point
+        // fit) and must pass there; the batch = n rows carry no verdict.
+        let verdicts: Vec<&str> = t
+            .rows()
+            .iter()
+            .map(|row| row[11].0.as_str())
+            .filter(|fit| !fit.is_empty())
+            .collect();
+        assert_eq!(verdicts.len(), 3, "fit should annotate the b/n ≥ 4 rows");
+        for fit in verdicts {
+            assert!(fit.ends_with("ok"), "weighted Θ(b/W) fit failed: {fit}");
         }
     }
 
@@ -1359,6 +1564,28 @@ mod tests {
             warm <= cold * 4.0,
             "warm dispatch {warm}µs should not dwarf cold start {cold}µs"
         );
+    }
+
+    #[test]
+    fn e16_quick_conserves_and_matches_the_mut_engine_at_one_caller() {
+        let t = e16_concurrent_routing(true);
+        assert_eq!(t.n_rows(), 3, "callers 1, 2, 4");
+        for row in t.rows() {
+            let callers: u64 = row[0].0.parse().unwrap();
+            let routed: u64 = row[1].0.parse().unwrap();
+            let batches: u64 = row[5].0.parse().unwrap();
+            // Every caller count routes the full workload, conserves balls
+            // and fires exactly one boundary per batch_size routed balls.
+            assert_eq!(routed, 256 * 64);
+            assert_eq!(batches, routed / 256, "one boundary per batch");
+            assert_eq!(row[7].0, "yes", "conservation at {callers} callers");
+            let throughput: f64 = row[3].0.parse().unwrap();
+            assert!(throughput > 0.0);
+        }
+        // The 1-caller run is bit-identical to the &mut engine; the check
+        // only applies (and must pass) on the first row.
+        assert_eq!(t.rows()[0][8].0, "yes", "1-caller bit-identity");
+        assert!(t.rows()[1][8].0.is_empty());
     }
 
     #[test]

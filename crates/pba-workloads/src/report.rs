@@ -46,7 +46,10 @@ fn commentary(title: &str) -> &'static str {
          max normalized load near the capacity-fair level m/W at every tier mix; the \
          weighted/oblivious ratio is exactly 1.00 on the uniform row (the strict no-op invariant) \
          and drops as skew grows. The weighted asymmetric algorithm keeps its O(1) normalized \
-         excess on the same mixes — the constant-round guarantee survives heterogeneity."
+         excess on the same mixes — the constant-round guarantee survives heterogeneity. The \
+         batch-sweep rows check the weighted analogue of E10's staleness law: the weighted gap \
+         (max normalized load − m/W) grows like Θ(b/W), and the fitted exponent of \
+         norm gap ∝ (b/W)^α over the b/n ≥ 4 rows must be compatible with α = 1."
     }
         "E1" => {
         "Paper prediction (Theorems 1/6): maximal load m/n + O(1) — the excess column must stay a \
@@ -125,6 +128,18 @@ fn commentary(title: &str) -> &'static str {
          tests/execution_properties.rs enforces per policy). Throughput scales with threads on \
          multi-core hardware and is flat on a single-core host."
     }
+        "E16" => {
+        "The concurrent serving core: many caller threads route through ONE shared \
+         ConcurrentRouter handle — reads hit an epoch-published stale snapshot, commits are \
+         lock-free atomic increments, tickets flow through a bin-sharded ledger, and one thread \
+         per batch advances the boundary. This is the paper's \"balls as parallel agents\" \
+         regime made executable: the batched model guarantees survive any interleaving, so the \
+         conserved column must read yes at every caller count, batches must equal routed/b \
+         (one boundary per batch), and the 1-caller run must be bit-identical to the \
+         single-threaded &mut engine (the \"≡ &mut route()\" column). Wall-clock scales with \
+         callers only on multi-core hardware; on a 1-core container the threads serialise and \
+         the throughput/speedup columns are noise — read the structural columns instead."
+    }
         _ => "",
     }
 }
@@ -188,12 +203,14 @@ mod tests {
         assert!(commentary("E1: heavy").contains("Theorems 1/6"));
         // Regression: an id that merely *starts with* a known id must not
         // inherit its commentary ("E14" used to fall into the bare "E1"
-        // prefix; a hypothetical "E16"/"E141" must stay empty until someone
+        // prefix; a hypothetical "E17"/"E141" must stay empty until someone
         // writes its text).
         assert_ne!(commentary("E14: x"), commentary("E1: x"));
         assert_ne!(commentary("E15: x"), commentary("E1: x"));
-        assert!(commentary("E16: future").is_empty());
+        assert_ne!(commentary("E16: x"), commentary("E1: x"));
+        assert!(commentary("E17: future").is_empty());
         assert!(commentary("E141: typo").is_empty());
+        assert!(commentary("E161: typo").is_empty());
         assert!(commentary("E4ab: typo").is_empty());
         // The token parser handles title shapes beyond "Exx:".
         assert_eq!(experiment_token("E9b — dashes"), "E9b");
@@ -204,7 +221,7 @@ mod tests {
     fn every_known_experiment_has_commentary() {
         for prefix in [
             "E1", "E2", "E3", "E4a", "E4b", "E5", "E6", "E7", "E8a", "E8b", "E9a", "E9b", "E10",
-            "E11", "E12", "E13", "E14", "E15",
+            "E11", "E12", "E13", "E14", "E15", "E16",
         ] {
             assert!(
                 !commentary(&format!("{prefix}: x")).is_empty(),

@@ -1,0 +1,158 @@
+//! The concurrent serving core, end to end: **many client threads, one
+//! shared router handle** — the transport-less heart of a request/response
+//! server.
+//!
+//! N client threads each clone one `ConcurrentRouter` handle and run a
+//! connection loop against it: `route(key)` picks a backend for the request
+//! (two-choice over the epoch-published stale snapshot — the batched model's
+//! parallel-agents regime), the client holds the returned `Ticket` for the
+//! connection's lifetime, and `release(ticket)` closes it. Every client
+//! keeps a bounded window of open connections, so the run exercises
+//! concurrent route/release churn, boundary publication and ticket
+//! validation all at once.
+//!
+//! At shutdown the example verifies what must hold for *every* thread
+//! interleaving: conservation (`placed − departed == Σ loads`), ticket-ledger
+//! consistency (open connections == resident tickets; double releases
+//! rejected), and one batch boundary per `batch_size` routed balls.
+//!
+//! Run with: `cargo run --release --example concurrent_server`
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parallel_balanced_allocations::model::SplitMix64;
+use parallel_balanced_allocations::prelude::*;
+use parallel_balanced_allocations::stream::Policy;
+
+/// One simulated client: routes `requests` keyed requests through the shared
+/// handle, keeping at most `window` connections open (oldest closes first).
+/// Returns the tickets still open at disconnect plus how many it released.
+fn client(
+    router: ConcurrentRouter,
+    id: u64,
+    requests: u64,
+    window: usize,
+    released: Arc<AtomicU64>,
+) -> Vec<Ticket> {
+    let mut keys = SplitMix64::for_stream(42, 0xc11e47, id);
+    let mut open = std::collections::VecDeque::with_capacity(window);
+    for _ in 0..requests {
+        let placement = router
+            .route(keys.next_u64())
+            .expect("routing is infallible");
+        open.push_back(placement.ticket);
+        if open.len() > window {
+            let oldest = open.pop_front().expect("window is non-empty");
+            router
+                .release(oldest)
+                .expect("open connections release once");
+            released.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+    open.into_iter().collect()
+}
+
+fn main() {
+    let n = 64usize; // backends
+    let clients = 8u64; // concurrent caller threads (acceptance: ≥ 4)
+    let requests = 20_000u64; // per client
+    let window = 256usize; // open connections per client
+    let batch = 512usize;
+
+    let router = ConcurrentRouter::new(
+        StreamConfig::new(n)
+            .policy(Policy::TwoChoice)
+            .batch_size(batch)
+            .shards(8)
+            .seed(42),
+    );
+    println!("== concurrent_server ==");
+    println!(
+        "{n} backends, {clients} client threads x {requests} requests, \
+         connection window {window}, batch {batch}"
+    );
+
+    // --- serve: all clients share one handle ------------------------------
+    let released = Arc::new(AtomicU64::new(0));
+    let start = std::time::Instant::now();
+    let still_open: Vec<Ticket> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|id| {
+                let router = router.clone();
+                let released = Arc::clone(&released);
+                scope.spawn(move || client(router, id, requests, window, released))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("client thread"))
+            .collect()
+    });
+    let elapsed = start.elapsed().as_secs_f64();
+
+    let total = clients * requests;
+    let stats = router.stats();
+    println!(
+        "served {} requests in {:.2}s ({:.2} Mreq/s wall; 1-core containers \
+         serialise the threads, so treat throughput as a smoke number)",
+        stats.routed,
+        elapsed,
+        total as f64 / elapsed / 1e6
+    );
+    println!(
+        "boundaries: {} batches published (epoch {}), final gap {:.2}",
+        router.batches(),
+        router.snapshot_epoch(),
+        stats.gap
+    );
+
+    // --- shutdown checks ---------------------------------------------------
+    assert_eq!(stats.routed, total, "every request was routed");
+    assert_eq!(
+        stats.released,
+        released.load(Ordering::Relaxed),
+        "every in-loop close was a validated release"
+    );
+    assert!(router.conserves_balls(), "conservation at shutdown");
+    assert_eq!(
+        router.resident_tickets() as u64,
+        total - stats.released,
+        "open connections == resident tickets"
+    );
+    assert_eq!(
+        still_open.len() as u64,
+        total - stats.released,
+        "clients hold exactly the open tickets"
+    );
+    // One boundary per batch_size routed balls (total is a multiple here).
+    assert_eq!(router.batches(), total / batch as u64, "boundary cadence");
+
+    let loads = router.loads();
+    let resident: u64 = loads.iter().map(|&l| l as u64).sum();
+    println!(
+        "resident connections: {} across {} backends (max backend load {})",
+        resident,
+        n,
+        loads.iter().max().unwrap()
+    );
+
+    // Drain the remaining connections; a second release of the same ticket
+    // must be rejected, and the fleet must return to empty.
+    let mut double_rejected = 0u64;
+    for &ticket in &still_open {
+        router.release(ticket).expect("open ticket releases");
+        if router.release(ticket).is_err() {
+            double_rejected += 1;
+        }
+    }
+    assert_eq!(double_rejected, still_open.len() as u64);
+    assert_eq!(router.resident(), 0, "all connections closed");
+    assert!(router.conserves_balls());
+    println!(
+        "shutdown: drained {} open connections, {} double releases rejected, \
+         fleet empty — conservation holds",
+        still_open.len(),
+        double_rejected
+    );
+}

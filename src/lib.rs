@@ -20,9 +20,9 @@
 //! | [`baselines`] | `pba-baselines` | single-choice, sequential `Greedy[d]`, always-go-left, batched two-choice |
 //! | [`lowerbound`] | `pba-lowerbound` | the Section 4 apparatus: rejection census, class decomposition, degree simulation, round predictions |
 //! | [`concurrent`] | `pba-concurrent` | shared-memory execution: atomic bins, rayon executor, crossbeam actor executor, speed-up harness |
-//! | [`stream`] | `pba-stream` | the online, sharded, batched streaming allocation engine (two-choice on stale loads, weighted two-choice and capacity-aware thresholds for heterogeneous backends, arrival processes, ticket-based churn scenarios, runtime reweighting) — a native [`Router`](model::Router) |
+//! | [`stream`] | `pba-stream` | the online, sharded, batched streaming allocation engine (two-choice on stale loads, weighted two-choice and capacity-aware thresholds for heterogeneous backends, arrival processes, ticket-based churn scenarios, runtime reweighting) — a native [`Router`](model::Router) — plus the **concurrent serving core** ([`ConcurrentRouter`](stream::ConcurrentRouter): a cloneable shared handle routing from many threads at once over epoch-published snapshots) |
 //! | [`stats`] | `pba-stats` | tails, histograms, load metrics, fits, tables, multi-seed aggregation |
-//! | [`workloads`] | `pba-workloads` | experiment configurations and the E1–E15 experiment definitions |
+//! | [`workloads`] | `pba-workloads` | experiment configurations and the E1–E16 experiment definitions |
 //!
 //! ## Quick start
 //!
@@ -66,8 +66,8 @@ pub mod prelude {
     };
     pub use pba_stats::{LoadMetrics, Table};
     pub use pba_stream::{
-        ArrivalProcess, Policy as StreamPolicy, StreamAllocator, StreamConfig, ThreadPool,
-        ThreadPoolBuilder,
+        ArrivalProcess, ConcurrentRouter, Policy as StreamPolicy, StreamAllocator, StreamConfig,
+        ThreadPool, ThreadPoolBuilder,
     };
 }
 

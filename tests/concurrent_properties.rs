@@ -1,0 +1,323 @@
+//! The concurrency contract of the `ConcurrentRouter` serving core:
+//!
+//! 1. **1-thread bit-identity** — with a single caller thread the concurrent
+//!    pipeline is bit-identical to the classic `StreamAllocator`, for all six
+//!    policies under uniform *and* tiered weights, on both the `route()` path
+//!    and the `push`/`drain_ready`/`flush` path (loads, gap trajectory, shard
+//!    stats and batch counts all agree) — including with releases
+//!    interleaved, and under any `PBA_THREADS` worker count (drain
+//!    parallelism only partitions index ranges).
+//! 2. **k-thread conservation** — under concurrent route/release churn from
+//!    many caller threads, no ball is lost or duplicated: conservation holds
+//!    at quiescence, open tickets equal routed − released, every live ticket
+//!    releases exactly once and double releases are rejected.
+//! 3. **Snapshot-epoch monotonicity** — epochs observed by concurrent
+//!    readers never go backwards, equal the batch-boundary count at
+//!    quiescence, and fire once per `batch_size` routed balls.
+//! 4. **Gap trajectory bounds** — the measured online gap stays within the
+//!    batched-model envelope (staleness of at most the in-flight balls, so
+//!    O((k·b)/n + log n) for two-choice at k callers).
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use parallel_balanced_allocations::model::rng::SplitMix64;
+use parallel_balanced_allocations::model::weights::BinWeights;
+use parallel_balanced_allocations::prelude::*;
+use parallel_balanced_allocations::stream::Policy;
+
+const POLICIES: [Policy; 6] = [
+    Policy::OneChoice,
+    Policy::TwoChoice,
+    Policy::DChoice(3),
+    Policy::Threshold { d: 2, slack: 1 },
+    Policy::WeightedTwoChoice,
+    Policy::CapacityThreshold { d: 2, slack: 2 },
+];
+
+/// A 4:2:1 tier mix over `n` bins (n must be a multiple of 8).
+fn tier_mix(n: usize) -> BinWeights {
+    BinWeights::power_of_two_tiers(&[(n / 8, 2), (n / 4, 1), (5 * n / 8, 0)])
+}
+
+fn keys(count: u64, seed: u64) -> Vec<u64> {
+    let mut rng = SplitMix64::for_stream(seed, 0xc0c0, 0);
+    (0..count).map(|_| rng.next_u64()).collect()
+}
+
+/// 1-thread bit-identity, route path: all 6 policies × uniform/tiered
+/// weights, with releases interleaved (every 5th routed ball retires an
+/// earlier one, so threshold repricing sees departures too).
+#[test]
+fn one_thread_route_bit_identity_all_policies_and_weights() {
+    let n = 64usize;
+    for policy in POLICIES {
+        for weights in [BinWeights::Uniform, tier_mix(n)] {
+            let cfg = StreamConfig::new(n)
+                .policy(policy)
+                .batch_size(96)
+                .seed(17)
+                .weights(weights.clone());
+            let concurrent = ConcurrentRouter::new(cfg.clone());
+            let mut classic = StreamAllocator::new(cfg);
+            let mut held_c = Vec::new();
+            let mut held_s = Vec::new();
+            for (i, key) in keys(96 * 12 + 31, 7).into_iter().enumerate() {
+                let a = concurrent.route(key).expect("infallible");
+                let b = classic.route(key).expect("infallible");
+                assert_eq!(
+                    a.bin,
+                    b.bin,
+                    "policy {} weights {} ball {i}",
+                    policy.name(),
+                    weights.name()
+                );
+                held_c.push(a.ticket);
+                held_s.push(b.ticket);
+                if i % 5 == 4 {
+                    let at = i / 2;
+                    concurrent.release(held_c[at]).expect("live ticket");
+                    classic.release(held_s[at]).expect("live ticket");
+                }
+            }
+            assert_eq!(concurrent.loads(), classic.loads(), "{}", policy.name());
+            assert_eq!(concurrent.gap_trajectory(), classic.gap_trajectory());
+            assert_eq!(concurrent.shard_stats(), classic.shard_stats());
+            assert_eq!(concurrent.batches(), classic.snapshot().batches);
+            assert_eq!(concurrent.flush(), classic.flush());
+            assert_eq!(concurrent.gap_trajectory(), classic.gap_trajectory());
+            assert!(concurrent.conserves_balls() && classic.conserves_balls());
+        }
+    }
+}
+
+/// 1-thread bit-identity, push path: `push` + `drain_ready` + `flush`
+/// through the MPMC ingress matches the buffered engine, with route traffic
+/// interleaved between drains (mixed-surface usage).
+#[test]
+fn one_thread_push_drain_bit_identity_with_interleaved_routes() {
+    let n = 48usize;
+    for policy in POLICIES {
+        let cfg = StreamConfig::new(n)
+            .policy(policy)
+            .batch_size(64)
+            .seed(23)
+            .shards(4)
+            .weights(tier_mix(n));
+        let concurrent = ConcurrentRouter::new(cfg.clone());
+        let mut classic = StreamAllocator::new(cfg);
+        let mut rng = SplitMix64::for_stream(1, 0xab, 0);
+        for wave in 0..6u64 {
+            for _ in 0..150 {
+                let key = rng.next_u64();
+                concurrent.push(key);
+                classic.push(key);
+            }
+            assert_eq!(concurrent.drain_ready(), classic.drain_ready());
+            // Interleaved handle traffic (an open routed batch must not
+            // disturb the push-path boundaries).
+            for _ in 0..=(wave % 3) {
+                let key = rng.next_u64();
+                assert_eq!(
+                    concurrent.route(key).unwrap().bin,
+                    classic.route(key).unwrap().bin
+                );
+            }
+            assert_eq!(concurrent.loads(), classic.loads(), "wave {wave}");
+        }
+        assert_eq!(concurrent.flush(), classic.flush());
+        assert_eq!(concurrent.loads(), classic.loads(), "{}", policy.name());
+        assert_eq!(concurrent.gap_trajectory(), classic.gap_trajectory());
+        assert_eq!(concurrent.shard_stats(), classic.shard_stats());
+        assert_eq!(concurrent.pending(), 0);
+        assert!(concurrent.conserves_balls());
+    }
+}
+
+/// k-thread conservation and ticket-ledger consistency under concurrent
+/// route/release churn: no lost or duplicated tickets for any interleaving.
+#[test]
+fn k_thread_churn_conserves_and_keeps_ledger_consistent() {
+    let n = 64usize;
+    let callers = 8u64;
+    let per_caller = 3_000u64;
+    for weights in [BinWeights::Uniform, tier_mix(n)] {
+        let router = ConcurrentRouter::new(
+            StreamConfig::new(n)
+                .policy(Policy::TwoChoice)
+                .batch_size(128)
+                .seed(3)
+                .weights(weights),
+        );
+        let kept: Vec<Ticket> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..callers)
+                .map(|t| {
+                    let router = router.clone();
+                    scope.spawn(move || {
+                        let mut rng = SplitMix64::for_stream(t, 0xc4a7, 1);
+                        let mut kept = Vec::new();
+                        for i in 0..per_caller {
+                            let placement = router.route(rng.next_u64()).unwrap();
+                            if i % 3 == 0 {
+                                kept.push(placement.ticket);
+                            } else {
+                                router.release(placement.ticket).expect("fresh ticket");
+                            }
+                        }
+                        kept
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("caller thread"))
+                .collect()
+        });
+        // Quiescent: every counter must reconcile exactly.
+        assert!(router.conserves_balls());
+        let stats = router.stats();
+        assert_eq!(stats.routed, callers * per_caller);
+        assert_eq!(stats.released, callers * per_caller - kept.len() as u64);
+        assert_eq!(router.resident(), kept.len() as u64);
+        assert_eq!(router.resident_tickets(), kept.len());
+        let per_bin: usize = (0..n).map(|b| router.tickets_in(b)).sum();
+        assert_eq!(per_bin, kept.len(), "ledger shards agree with total");
+        for ticket in kept {
+            router.release(ticket).expect("kept tickets release once");
+            assert!(router.release(ticket).is_err(), "double release rejected");
+        }
+        assert_eq!(router.loads(), vec![0; n]);
+        assert!(router.conserves_balls());
+    }
+}
+
+/// Snapshot epochs observed by concurrent readers are monotone, and at
+/// quiescence equal the boundary count (one per `batch_size` routed balls).
+#[test]
+fn snapshot_epochs_are_monotone_under_concurrent_routing() {
+    let n = 32usize;
+    let batch = 64usize;
+    let callers = 4u64;
+    let per_caller = 4_000u64;
+    let router = ConcurrentRouter::new(StreamConfig::new(n).batch_size(batch).seed(11));
+    let stop = Arc::new(AtomicBool::new(false));
+    let watcher = {
+        let router = router.clone();
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let mut last = 0u64;
+            let mut observed = 0u64;
+            while !stop.load(Ordering::Acquire) {
+                let epoch = router.snapshot_epoch();
+                assert!(epoch >= last, "epoch went backwards: {last} -> {epoch}");
+                last = epoch;
+                observed += 1;
+                // The published snapshot itself must be coherent: it is an
+                // Arc to an immutable boundary vector, so its total can
+                // never exceed what has been placed so far.
+                let stale: u64 = router.stale_loads().iter().map(|&l| l as u64).sum();
+                assert!(stale <= router.stats().routed);
+            }
+            (last, observed)
+        })
+    };
+    std::thread::scope(|scope| {
+        for t in 0..callers {
+            let router = router.clone();
+            scope.spawn(move || {
+                for i in 0..per_caller {
+                    router.route(t * 1_000_000 + i).unwrap();
+                }
+            });
+        }
+    });
+    stop.store(true, Ordering::Release);
+    let (last_seen, observed) = watcher.join().expect("watcher");
+    assert!(observed > 0);
+    let expected = callers * per_caller / batch as u64;
+    assert_eq!(router.batches(), expected);
+    assert_eq!(router.snapshot_epoch(), expected);
+    assert!(last_seen <= expected);
+    assert_eq!(router.gap_trajectory().len() as u64, expected);
+}
+
+/// The measured gap trajectory stays inside the batched-model envelope at
+/// k callers: staleness is at most the batch plus in-flight balls, so the
+/// two-choice gap is O((k·b)/n + log n) — asserted with a generous constant
+/// (the point is "bounded, not growing with total arrivals").
+#[test]
+fn gap_trajectory_bounds_hold_under_concurrency() {
+    let n = 64usize;
+    let batch = 128usize;
+    let callers = 4u64;
+    let per_caller = 16_000u64;
+    let router = ConcurrentRouter::new(StreamConfig::new(n).batch_size(batch).seed(29));
+    std::thread::scope(|scope| {
+        for t in 0..callers {
+            let router = router.clone();
+            scope.spawn(move || {
+                let mut rng = SplitMix64::for_stream(t, 0x9a9, 2);
+                for _ in 0..per_caller {
+                    router.route(rng.next_u64()).unwrap();
+                }
+            });
+        }
+    });
+    let envelope = 4.0 * (callers as usize * batch) as f64 / n as f64 + 4.0 * (n as f64).log2();
+    let trajectory = router.gap_trajectory();
+    assert!(!trajectory.is_empty());
+    let worst = trajectory.iter().copied().fold(0.0f64, f64::max);
+    assert!(
+        worst <= envelope,
+        "gap {worst:.1} escaped the staleness envelope {envelope:.1}"
+    );
+    // Bounded over time: the tail of the run is no worse than the envelope
+    // either (no drift with total arrivals).
+    let final_gap = *trajectory.last().unwrap();
+    assert!(final_gap <= envelope);
+    assert!(router.conserves_balls());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Randomised 1-thread bit-identity: arbitrary bins/batch/seed and mixed
+    /// route + push/drain traffic agree with the classic engine exactly.
+    #[test]
+    fn one_thread_mixed_traffic_matches_classic(
+        n_exp in 3u32..7,
+        batch in 1usize..120,
+        waves in 1usize..5,
+        per_wave in 1u64..250,
+        routes_per_wave in 0u64..40,
+        seed in 0u64..1_000,
+    ) {
+        let n = 1usize << n_exp;
+        let cfg = StreamConfig::new(n).batch_size(batch).seed(seed);
+        let concurrent = ConcurrentRouter::new(cfg.clone());
+        let mut classic = StreamAllocator::new(cfg);
+        let mut rng = SplitMix64::for_stream(seed, 0x777, 3);
+        for _ in 0..waves {
+            for _ in 0..per_wave {
+                let key = rng.next_u64();
+                concurrent.push(key);
+                classic.push(key);
+            }
+            prop_assert_eq!(concurrent.drain_ready(), classic.drain_ready());
+            for _ in 0..routes_per_wave {
+                let key = rng.next_u64();
+                let a = concurrent.route(key).unwrap();
+                let b = classic.route(key).unwrap();
+                prop_assert_eq!(a.bin, b.bin);
+            }
+            prop_assert_eq!(concurrent.loads(), classic.loads());
+        }
+        prop_assert_eq!(concurrent.flush(), classic.flush());
+        prop_assert_eq!(concurrent.loads(), classic.loads());
+        prop_assert_eq!(concurrent.gap_trajectory(), classic.gap_trajectory());
+        prop_assert_eq!(concurrent.batches(), classic.snapshot().batches);
+        prop_assert!(concurrent.conserves_balls());
+    }
+}

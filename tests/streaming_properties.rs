@@ -1,6 +1,7 @@
 //! Property tests for the streaming engine (`pba-stream`):
 //!
-//! 1. **Conservation** — across arbitrary push/drain/depart cycles,
+//! 1. **Conservation** — across arbitrary push/drain/release cycles (churn
+//!    retires residents through ticketed `route`/`release`),
 //!    `arrived == placed + pending` and `placed − departed == Σ loads`.
 //! 2. **Drain-path equivalence** — the sequential and the sharded parallel
 //!    drain produce bit-identical loads and gap trajectories for every policy
@@ -49,28 +50,36 @@ proptest! {
         let mut stream = StreamAllocator::new(
             StreamConfig::new(n).batch_size(batch).seed(seed),
         );
-        let mut depart_rng = SplitMix64::for_stream(seed, 0xdead, 1);
+        let mut churn_rng = SplitMix64::for_stream(seed, 0xdead, 1);
+        let mut routed: u64 = 0;
+        let mut departed: u64 = 0;
         for cycle in 0..cycles {
             push_keys(&mut stream, pushes, seed ^ cycle as u64);
             stream.drain_ready();
             prop_assert!(stream.conserves_balls(), "after drain in cycle {}", cycle);
-            // Retire a few residents through the deprecated raw-bin shim —
-            // pushed balls are anonymous (no tickets), and the shim must keep
-            // conserving until it is removed.
-            #[allow(deprecated)]
+            // Retire residents through ticketed churn: route a few balls
+            // (the only ones that carry handles — pushed balls stay
+            // anonymous) and release a ticket sampled from a random bin.
             for _ in 0..(pushes / 4) {
-                let bin = depart_rng.gen_index(n);
-                stream.depart(bin); // may fail on empty bins — still conserved
+                stream.route(churn_rng.next_u64()).unwrap();
+                routed += 1;
+                let bin = churn_rng.gen_index(n);
+                if let Some(ticket) = stream.ticket_in(bin) {
+                    stream.release(ticket).unwrap();
+                    departed += 1;
+                }
             }
-            prop_assert!(stream.conserves_balls(), "after departures in cycle {}", cycle);
+            prop_assert!(stream.conserves_balls(), "after churn in cycle {}", cycle);
         }
         stream.flush();
         prop_assert!(stream.conserves_balls());
         prop_assert_eq!(stream.pending(), 0);
-        let placed: u64 = cycles as u64 * pushes;
+        let placed: u64 = cycles as u64 * pushes + routed;
         let snapshot = stream.snapshot();
         prop_assert_eq!(snapshot.arrived, placed);
         prop_assert_eq!(snapshot.placed, placed);
+        prop_assert_eq!(snapshot.departed, departed);
+        prop_assert_eq!(stream.resident_tickets() as u64, routed - departed);
         prop_assert_eq!(
             snapshot.loads.iter().map(|&l| l as u64).sum::<u64>(),
             placed - snapshot.departed
