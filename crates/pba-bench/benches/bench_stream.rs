@@ -2,8 +2,9 @@
 //! sequential vs sharded drain paths, the policy cost on the hot path, the
 //! weighted (alias-table) choice path vs the unweighted one, the drain on
 //! dedicated worker pools of different sizes (the `num_threads` knob over the
-//! persistent pool of the rayon shim), and concurrent routing through one
-//! shared `ConcurrentRouter` handle at 1/2/4 caller threads.
+//! persistent pool of the rayon shim), concurrent routing through one
+//! shared `ConcurrentRouter` handle at 1/2/4 caller threads, and the cost of
+//! the metrics registry on the route hot path (instrumented vs bare).
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use pba_stream::{BinWeights, ConcurrentRouter, Policy, StreamAllocator, StreamConfig};
 
@@ -154,6 +155,37 @@ fn bench_stream(c: &mut Criterion) {
                 });
             },
         );
+    }
+    // The price of observability: the same 1-caller routed workload with the
+    // metrics registry installed (every route is +3 relaxed counter
+    // increments and a CounterVec slot) vs the bare router, whose `None`
+    // metrics slot is the disabled fast path — zero metric instructions.
+    // The two arms must also produce identical placements (metrics are
+    // write-only); the property tests enforce that, this arm prices it.
+    for (name, instrumented) in [
+        ("route_instrumented_vs_bare/bare", false),
+        ("route_instrumented_vs_bare/instrumented", true),
+    ] {
+        group.bench_function(name, move |b| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed = seed.wrapping_add(1);
+                let config = StreamConfig::new(n).batch_size(n).seed(seed).shards(8);
+                let router = if instrumented {
+                    ConcurrentRouter::with_metrics(
+                        config,
+                        std::sync::Arc::new(pba_obs::MetricsRegistry::new()),
+                    )
+                } else {
+                    ConcurrentRouter::new(config)
+                };
+                let mut keys = pba_model::rng::SplitMix64::new(seed);
+                for _ in 0..m_route {
+                    std::hint::black_box(router.route(keys.next_u64()).expect("infallible"));
+                }
+                std::hint::black_box(router.stats().gap)
+            });
+        });
     }
     group.finish();
 }

@@ -1,0 +1,102 @@
+//! Writes the committed benchmark snapshot `BENCH_e17.json`: the E17
+//! observability/serving table plus the structural columns of E15 (execution
+//! layer) and E16 (concurrent serving core), so the serving-layer numbers the
+//! repo ships are regenerable with one command.
+//!
+//! Usage:
+//!   cargo run --release -p pba-bench --bin bench_snapshot            # print to stdout
+//!   cargo run --release -p pba-bench --bin bench_snapshot -- --write # rewrite BENCH_e17.json
+//!   cargo run --release -p pba-bench --bin bench_snapshot -- --full  # paper-scale sweeps
+//!
+//! Timing columns (wall ms, req/s, Mroutes/s, speedups, latency quantiles)
+//! are machine-dependent — on a 1-core container the caller threads
+//! serialise, so treat them as smoke numbers and lean on the structural
+//! columns (conservation, batch cadence, drops, bit-identity), which must
+//! reproduce exactly. The snapshot says so in its own `caveat` field.
+
+use pba_stats::Table;
+
+/// Escapes a string for a JSON string literal (the workspace has no JSON
+/// dependency by design; the subset we emit is plain ASCII tables).
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders one table as a JSON object: title, columns, rows (cells as the
+/// strings the text renderer prints, so diffs of the committed snapshot read
+/// like the tables themselves).
+fn table_json(table: &Table, indent: &str) -> String {
+    let columns: Vec<String> = table
+        .column_names()
+        .iter()
+        .map(|c| format!("\"{}\"", json_escape(c)))
+        .collect();
+    let mut rows = Vec::new();
+    for row in table.rows() {
+        let cells: Vec<String> = row
+            .iter()
+            .map(|cell| format!("\"{}\"", json_escape(&cell.0)))
+            .collect();
+        rows.push(format!("{indent}    [{}]", cells.join(", ")));
+    }
+    format!(
+        "{{\n{indent}  \"title\": \"{}\",\n{indent}  \"columns\": [{}],\n{indent}  \"rows\": [\n{}\n{indent}  ]\n{indent}}}",
+        json_escape(table.title()),
+        columns.join(", "),
+        rows.join(",\n")
+    )
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let write = args.iter().any(|a| a == "--write");
+    let full = args.iter().any(|a| a == "--full");
+    let quick = !full;
+
+    let e15 = pba_workloads::experiments::e15_execution_layer(quick);
+    let e16 = pba_workloads::experiments::e16_concurrent_routing(quick);
+    let e17 = pba_workloads::experiments::e17_socket_serving(quick);
+
+    let mut out = String::from("{\n");
+    out.push_str(
+        "  \"generated_by\": \"cargo run --release -p pba-bench --bin bench_snapshot -- --write\",\n",
+    );
+    out.push_str(&format!(
+        "  \"mode\": \"{}\",\n",
+        if full { "full" } else { "quick" }
+    ));
+    out.push_str(
+        "  \"caveat\": \"Timing columns are machine-dependent; on a 1-core container caller \
+         threads serialise, so wall/req-per-s/speedup/latency numbers are smoke values. The \
+         structural columns (conserved, batches, drops, bit-identity) must reproduce exactly.\",\n",
+    );
+    out.push_str("  \"experiments\": {\n");
+    for (i, (id, table)) in [("E15", &e15), ("E16", &e16), ("E17", &e17)]
+        .iter()
+        .enumerate()
+    {
+        out.push_str(&format!("    \"{id}\": {}", table_json(table, "    ")));
+        out.push_str(if i < 2 { ",\n" } else { "\n" });
+    }
+    out.push_str("  }\n}\n");
+
+    if write {
+        let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("../..")
+            .join("BENCH_e17.json");
+        std::fs::write(&path, &out).expect("write BENCH_e17.json at the workspace root");
+        eprintln!("wrote {}", path.display());
+    } else {
+        print!("{out}");
+    }
+}

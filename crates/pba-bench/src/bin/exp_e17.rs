@@ -1,0 +1,7 @@
+//! E17 — observability under load: route/release through the TCP front-end,
+//! latency quantiles from the server's own histogram, drops from the
+//! no-silent-drops counter ledger.
+fn main() {
+    let opts = pba_bench::ExpOptions::from_env();
+    opts.print_all(&[pba_workloads::experiments::e17_socket_serving(!opts.full)]);
+}

@@ -8,7 +8,7 @@
 //!   `bench_stream`).
 //!   They time the allocators on fixed instances so regressions in the hot paths
 //!   are caught by `cargo bench`.
-//! * `src/bin/` — the table-regenerating binaries: `exp_e1` … `exp_e16` print one
+//! * `src/bin/` — the table-regenerating binaries: `exp_e1` … `exp_e17` print one
 //!   experiment's tables, and `gen_tables` prints (or writes) the whole
 //!   EXPERIMENTS.md body. Pass `--full` for the paper-scale parameter sweeps
 //!   (the default is the quick configuration used by the test-suite).

@@ -63,7 +63,8 @@ pub use outcome::{AllocationOutcome, Allocator};
 pub use protocol::{Protocol, RoundCtx};
 pub use rng::SplitMix64;
 pub use router::{
-    BatchEvent, ConcurrentRouter, OneShotRouter, Placement, ReleaseEvent, ReweightEvent,
-    RouteError, Router, RouterObserver, RouterStats, SharedTicketLedger, Ticket, TicketLedger,
+    BatchEvent, ConcurrentRouter, OneShotRouter, Placement, RegistryObserver, ReleaseEvent,
+    ReweightEvent, RouteError, Router, RouterObserver, RouterStats, SharedTicketLedger, Ticket,
+    TicketLedger,
 };
 pub use weights::{AliasTable, BinWeights, ResolvedWeights, WeightTier};

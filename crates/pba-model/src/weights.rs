@@ -249,18 +249,25 @@ impl ResolvedWeights {
     /// slots fall back to uniform draws — still deterministic in the RNG stream,
     /// guaranteed to terminate, and only reachable when the weighted
     /// distribution over the remaining bins is near-degenerate anyway.
-    pub fn sample_distinct(&self, rng: &mut SplitMix64, k: usize, out: &mut Vec<u32>) {
+    ///
+    /// Returns the number of **uniform-fallback draws** taken (0 on the normal
+    /// path) so callers can surface the degradation in a metrics counter — the
+    /// no-silent-drops rule: a fallback that changes the sampling distribution
+    /// must be observable.
+    pub fn sample_distinct(&self, rng: &mut SplitMix64, k: usize, out: &mut Vec<u32>) -> u32 {
         let n = self.len();
         if k >= n {
             out.extend(0..n as u32);
-            return;
+            return 0;
         }
         let start = out.len();
         let mut rejections = 0u32;
+        let mut fallback_draws = 0u32;
         while out.len() - start < k {
             let candidate = if rejections < MAX_CONSECUTIVE_REJECTIONS {
                 self.alias.sample(rng)
             } else {
+                fallback_draws += 1;
                 rng.gen_index(n) as u32
             };
             if out[start..].contains(&candidate) {
@@ -270,6 +277,7 @@ impl ResolvedWeights {
                 rejections = 0;
             }
         }
+        fallback_draws
     }
 }
 
@@ -507,12 +515,32 @@ mod tests {
             .resolve(3)
             .unwrap();
         let mut rng = SplitMix64::new(2);
+        let mut total_fallbacks = 0u64;
         for _ in 0..1_000 {
             let mut out = Vec::new();
-            r.sample_distinct(&mut rng, 2, &mut out);
+            total_fallbacks += r.sample_distinct(&mut rng, 2, &mut out) as u64;
             assert_eq!(out.len(), 2);
             assert_ne!(out[0], out[1]);
         }
+        assert!(
+            total_fallbacks > 0,
+            "pathological skew must engage (and report) the uniform fallback"
+        );
+    }
+
+    #[test]
+    fn sample_distinct_reports_zero_fallbacks_on_the_normal_path() {
+        let r = BinWeights::explicit(vec![1.0, 2.0, 3.0, 4.0])
+            .resolve(4)
+            .unwrap();
+        let mut rng = SplitMix64::new(9);
+        for _ in 0..200 {
+            let mut out = Vec::new();
+            assert_eq!(r.sample_distinct(&mut rng, 2, &mut out), 0);
+        }
+        // The k >= n clamp path is also fallback-free.
+        let mut all = Vec::new();
+        assert_eq!(r.sample_distinct(&mut rng, 10, &mut all), 0);
     }
 
     #[test]

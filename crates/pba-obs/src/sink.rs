@@ -1,0 +1,298 @@
+//! Pluggable consumers of [`MetricsSnapshot`]s.
+//!
+//! A sink is anything that accepts a snapshot: the stderr log, a JSON-lines
+//! file, an in-memory buffer for tests. [`SinkHub`] owns a registry plus a
+//! set of sinks and drives them — on demand via [`SinkHub::flush_now`] or on
+//! a wall-clock period via [`SinkHub::start_periodic`]. Sinks run on the
+//! flusher's thread, never on a routing thread; a sink that errors is
+//! counted (`obs.sink_errors` — the no-silent-drops rule applies to the
+//! observability layer itself) and skipped, not retried in a loop.
+
+use std::fs::File;
+use std::io::{self, BufWriter, Write as _};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::registry::{MetricsRegistry, MetricsSnapshot};
+
+/// A consumer of metric snapshots.
+pub trait MetricSink: Send {
+    /// Accepts one snapshot. Called from the flushing thread.
+    fn emit(&mut self, snapshot: &MetricsSnapshot) -> io::Result<()>;
+
+    /// Flushes any buffered output. Default: nothing buffered.
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+/// Writes each snapshot as an aligned text block to stderr.
+#[derive(Debug, Default)]
+pub struct StderrSink;
+
+impl MetricSink for StderrSink {
+    fn emit(&mut self, snapshot: &MetricsSnapshot) -> io::Result<()> {
+        eprint!("{}", snapshot.render_text());
+        Ok(())
+    }
+}
+
+/// Appends each snapshot as one JSON object per line to a file.
+#[derive(Debug)]
+pub struct JsonLinesSink {
+    writer: BufWriter<File>,
+}
+
+impl JsonLinesSink {
+    /// Creates (truncating) the output file.
+    pub fn create(path: impl AsRef<Path>) -> io::Result<Self> {
+        Ok(Self {
+            writer: BufWriter::new(File::create(path)?),
+        })
+    }
+}
+
+impl MetricSink for JsonLinesSink {
+    fn emit(&mut self, snapshot: &MetricsSnapshot) -> io::Result<()> {
+        writeln!(self.writer, "{}", snapshot.render_json())
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.writer.flush()
+    }
+}
+
+/// Buffers snapshots in memory — the test sink. Cloning shares the buffer,
+/// so tests keep one clone and hand the other to the hub.
+#[derive(Debug, Clone, Default)]
+pub struct MemorySink {
+    snapshots: Arc<Mutex<Vec<MetricsSnapshot>>>,
+}
+
+impl MemorySink {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// All snapshots emitted so far.
+    pub fn snapshots(&self) -> Vec<MetricsSnapshot> {
+        self.snapshots
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone()
+    }
+
+    /// The most recent snapshot, if any.
+    pub fn last(&self) -> Option<MetricsSnapshot> {
+        self.snapshots
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .last()
+            .cloned()
+    }
+}
+
+impl MetricSink for MemorySink {
+    fn emit(&mut self, snapshot: &MetricsSnapshot) -> io::Result<()> {
+        self.snapshots
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(snapshot.clone());
+        Ok(())
+    }
+}
+
+/// A registry plus its sinks: snapshot on demand or on a period.
+///
+/// Dropping the hub stops the periodic flusher (if started) and performs one
+/// final flush, so short-lived programs never lose their last snapshot.
+pub struct SinkHub {
+    registry: Arc<MetricsRegistry>,
+    sinks: Arc<Mutex<Vec<Box<dyn MetricSink>>>>,
+    stop: Arc<AtomicBool>,
+    flusher: Option<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for SinkHub {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SinkHub")
+            .field("periodic", &self.flusher.is_some())
+            .finish_non_exhaustive()
+    }
+}
+
+impl SinkHub {
+    /// A hub over `registry` with no sinks yet.
+    pub fn new(registry: Arc<MetricsRegistry>) -> Self {
+        Self {
+            registry,
+            sinks: Arc::new(Mutex::new(Vec::new())),
+            stop: Arc::new(AtomicBool::new(false)),
+            flusher: None,
+        }
+    }
+
+    /// The registry this hub snapshots.
+    pub fn registry(&self) -> &Arc<MetricsRegistry> {
+        &self.registry
+    }
+
+    /// Adds a sink (builder-style).
+    pub fn with_sink(self, sink: impl MetricSink + 'static) -> Self {
+        self.add_sink(sink);
+        self
+    }
+
+    /// Adds a sink.
+    pub fn add_sink(&self, sink: impl MetricSink + 'static) {
+        self.sinks
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(Box::new(sink));
+    }
+
+    /// Snapshots the registry and pushes it through every sink immediately.
+    pub fn flush_now(&self) {
+        Self::flush_into(&self.registry, &self.sinks);
+    }
+
+    fn flush_into(registry: &Arc<MetricsRegistry>, sinks: &Arc<Mutex<Vec<Box<dyn MetricSink>>>>) {
+        let snapshot = registry.snapshot();
+        let errors = registry.counter("obs.sink_errors");
+        let mut guard = sinks.lock().unwrap_or_else(|e| e.into_inner());
+        for sink in guard.iter_mut() {
+            if sink.emit(&snapshot).and_then(|()| sink.flush()).is_err() {
+                errors.inc();
+            }
+        }
+    }
+
+    /// Starts a background thread flushing every `period`. Call once; a
+    /// second call is a no-op. The thread stops when the hub is dropped.
+    pub fn start_periodic(&mut self, period: Duration) {
+        if self.flusher.is_some() {
+            return;
+        }
+        let registry = Arc::clone(&self.registry);
+        let sinks = Arc::clone(&self.sinks);
+        let stop = Arc::clone(&self.stop);
+        self.flusher = Some(std::thread::spawn(move || {
+            // Sleep in short slices so drop-time shutdown is prompt even for
+            // long periods.
+            let slice = period.min(Duration::from_millis(50));
+            let mut elapsed = Duration::ZERO;
+            while !stop.load(Ordering::Relaxed) {
+                std::thread::sleep(slice);
+                elapsed += slice;
+                if elapsed >= period {
+                    elapsed = Duration::ZERO;
+                    Self::flush_into(&registry, &sinks);
+                }
+            }
+        }));
+    }
+}
+
+impl Drop for SinkHub {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(handle) = self.flusher.take() {
+            let _ = handle.join();
+        }
+        self.flush_now();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memory_sink_captures_snapshots_in_order() {
+        let registry = Arc::new(MetricsRegistry::new());
+        let sink = MemorySink::new();
+        let hub = SinkHub::new(Arc::clone(&registry)).with_sink(sink.clone());
+        registry.counter("a").inc();
+        hub.flush_now();
+        registry.counter("a").inc();
+        hub.flush_now();
+        let snaps = sink.snapshots();
+        assert_eq!(snaps.len(), 2);
+        assert_eq!(snaps[0].counter("a"), 1);
+        assert_eq!(snaps[1].counter("a"), 2);
+        assert_eq!(sink.last().unwrap().counter("a"), 2);
+    }
+
+    #[test]
+    fn drop_performs_a_final_flush() {
+        let registry = Arc::new(MetricsRegistry::new());
+        let sink = MemorySink::new();
+        {
+            let _hub = SinkHub::new(Arc::clone(&registry)).with_sink(sink.clone());
+            registry.counter("x").add(7);
+        }
+        assert_eq!(sink.last().unwrap().counter("x"), 7);
+    }
+
+    #[test]
+    fn periodic_flusher_emits_and_stops() {
+        let registry = Arc::new(MetricsRegistry::new());
+        let sink = MemorySink::new();
+        let mut hub = SinkHub::new(Arc::clone(&registry)).with_sink(sink.clone());
+        registry.counter("tick").inc();
+        hub.start_periodic(Duration::from_millis(10));
+        hub.start_periodic(Duration::from_millis(10)); // second call is a no-op
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while sink.snapshots().is_empty() && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert!(!sink.snapshots().is_empty(), "periodic flush never fired");
+        drop(hub);
+        assert!(sink.last().unwrap().counter("tick") >= 1);
+    }
+
+    #[test]
+    fn json_lines_sink_writes_one_object_per_line() {
+        let dir = std::env::temp_dir().join("pba_obs_sink_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("metrics.jsonl");
+        let registry = Arc::new(MetricsRegistry::new());
+        registry.counter("j").add(3);
+        registry.histogram("lat").record(42);
+        {
+            let hub = SinkHub::new(Arc::clone(&registry))
+                .with_sink(JsonLinesSink::create(&path).unwrap());
+            hub.flush_now();
+            registry.counter("j").inc();
+            hub.flush_now();
+        }
+        let text = std::fs::read_to_string(&path).unwrap();
+        // flush_now twice + final drop flush = 3 lines.
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].contains("\"j\":3"));
+        assert!(lines[1].contains("\"j\":4"));
+        assert!(lines[0].starts_with('{') && lines[0].ends_with('}'));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn failing_sink_increments_the_error_counter() {
+        struct FailSink;
+        impl MetricSink for FailSink {
+            fn emit(&mut self, _: &MetricsSnapshot) -> io::Result<()> {
+                Err(io::Error::other("boom"))
+            }
+        }
+        let registry = Arc::new(MetricsRegistry::new());
+        let hub = SinkHub::new(Arc::clone(&registry)).with_sink(FailSink);
+        hub.flush_now();
+        assert_eq!(registry.counter("obs.sink_errors").get(), 1);
+        drop(hub); // drop flush fails again
+        assert_eq!(registry.counter("obs.sink_errors").get(), 2);
+    }
+}

@@ -130,6 +130,11 @@ impl Table {
         &self.rows
     }
 
+    /// The column names, in order (for serializers that re-emit tables).
+    pub fn column_names(&self) -> Vec<&str> {
+        self.columns.iter().map(|(c, _)| c.as_str()).collect()
+    }
+
     /// Renders an aligned plain-text table.
     pub fn render_text(&self) -> String {
         let mut widths: Vec<usize> = self.columns.iter().map(|(c, _)| c.len()).collect();

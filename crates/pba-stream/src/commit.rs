@@ -118,6 +118,7 @@ mod tests {
             capacity_thresholds: &[],
             seed: 3,
             bins: 64,
+            counters: None,
         };
         let batch: Vec<PendingBall> = (0..2048u64)
             .map(|id| PendingBall { id, key: id * 17 })

@@ -78,6 +78,7 @@ use pba_stats::OnlineStats;
 use crate::commit;
 use crate::engine::StreamConfig;
 use crate::ingress::{PendingBall, ShardedIngress};
+use crate::metrics::StreamMetrics;
 use crate::observer::GapTrajectoryObserver;
 use crate::policy::{choose_bin, ChoiceCtx, Policy};
 use crate::shard::{ShardStats, ShardedBins};
@@ -185,6 +186,32 @@ struct Core {
     shard_ids: Vec<usize>,
     /// Dedicated drain pool when [`StreamConfig::num_threads`] is positive.
     pool: Option<rayon::ThreadPool>,
+    /// Resolved metric handles ([`ConcurrentRouter::with_metrics`]); `None`
+    /// is the disabled fast path — zero metric instructions anywhere.
+    metrics: Option<StreamMetrics>,
+}
+
+impl Core {
+    /// Visits every observer, skipping (and counting, when metrics are
+    /// installed) observers whose lock was poisoned by a panic in an earlier
+    /// hook: a skipped observer is a dropped event, and `observer.errors`
+    /// makes the drop visible.
+    fn each_observer(
+        &self,
+        observers: &[Arc<Mutex<dyn RouterObserver + Send>>],
+        mut visit: impl FnMut(&mut (dyn RouterObserver + Send)),
+    ) {
+        for obs in observers {
+            match obs.lock() {
+                Ok(mut guard) => visit(&mut *guard),
+                Err(_) => {
+                    if let Some(metrics) = &self.metrics {
+                        metrics.observer_errors.inc();
+                    }
+                }
+            }
+        }
+    }
 }
 
 /// A cloneable, `Arc`-backed handle to one concurrent streaming router.
@@ -229,6 +256,21 @@ impl ConcurrentRouter {
     /// shards (which also shard the ingress lanes and the ticket ledger),
     /// seed, weights, `parallel`/`num_threads` for the drain path.
     pub fn new(config: StreamConfig) -> Self {
+        Self::build(config, None)
+    }
+
+    /// Like [`ConcurrentRouter::new`], but with every streaming metric
+    /// resolved against `registry`. Metrics are **write-only** for the
+    /// router — no allocation decision reads one — so an instrumented router
+    /// produces bit-identical placements to a bare one (and the 1-caller
+    /// determinism contract against [`StreamAllocator`](crate::engine::StreamAllocator)
+    /// is untouched). See [`crate::metrics`] for the counter inventory.
+    pub fn with_metrics(config: StreamConfig, registry: Arc<pba_obs::MetricsRegistry>) -> Self {
+        let bins = config.bins;
+        Self::build(config, Some(StreamMetrics::resolve(registry, bins)))
+    }
+
+    fn build(config: StreamConfig, metrics: Option<StreamMetrics>) -> Self {
         assert!(config.bins > 0, "a stream needs at least one bin");
         let config = StreamConfig {
             batch_size: config.batch_size.max(1),
@@ -277,8 +319,16 @@ impl ConcurrentRouter {
                 }),
                 bins,
                 config,
+                metrics,
             }),
         }
+    }
+
+    /// The resolved metric handles, when the router was built via
+    /// [`ConcurrentRouter::with_metrics`] (their registry is
+    /// `metrics().unwrap().registry`).
+    pub fn metrics(&self) -> Option<&StreamMetrics> {
+        self.core.metrics.as_ref()
     }
 
     /// The configuration this router runs with.
@@ -315,6 +365,7 @@ impl ConcurrentRouter {
             capacity_thresholds: capacity,
             seed: core.config.seed,
             bins: core.config.bins,
+            counters: core.metrics.as_ref().map(|m| &m.policy),
         };
         let bin = ROUTE_CANDIDATES
             .with(|scratch| choose_bin(policy, &ctx, key, &mut scratch.borrow_mut()))
@@ -324,6 +375,11 @@ impl ConcurrentRouter {
         core.arrived.fetch_add(1, Ordering::AcqRel);
         core.placed.fetch_add(1, Ordering::AcqRel);
         core.routed.fetch_add(1, Ordering::AcqRel);
+        if let Some(metrics) = &core.metrics {
+            metrics.routed.inc();
+            metrics.placed.inc();
+            metrics.bin_commits.inc(bin);
+        }
         let ticket = core.ledger.issue(id, bin);
         let open = core.open_routed.fetch_add(1, Ordering::AcqRel) + 1;
         if open >= core.config.batch_size as u64 {
@@ -339,15 +395,29 @@ impl ConcurrentRouter {
     /// at the next batch boundary.
     pub fn release(&self, ticket: Ticket) -> Result<(), RouteError> {
         let core = &*self.core;
-        let bin = core.ledger.redeem(ticket)?;
+        let bin = match core.ledger.redeem(ticket) {
+            Ok(bin) => bin,
+            Err(err) => {
+                if let Some(metrics) = &core.metrics {
+                    metrics.rejected_unknown_ticket.inc();
+                }
+                return Err(err);
+            }
+        };
         if !core.bins.depart(bin) {
             // Defensive: a redeemed ticket names a resident ball, so its bin
             // cannot be empty unless ledger and bins diverged (a bug, not a
             // caller error). Fail the release rather than corrupt loads.
+            if let Some(metrics) = &core.metrics {
+                metrics.rejected_unknown_ticket.inc();
+            }
             return Err(RouteError::UnknownTicket { ticket });
         }
         core.departed.fetch_add(1, Ordering::AcqRel);
         core.released.fetch_add(1, Ordering::AcqRel);
+        if let Some(metrics) = &core.metrics {
+            metrics.released.inc();
+        }
         if core.has_observers.load(Ordering::Acquire) {
             let event = ReleaseEvent {
                 ticket,
@@ -355,9 +425,7 @@ impl ConcurrentRouter {
                 resident: core.resident_now(),
             };
             let book = core.boundary.lock().expect("boundary lock");
-            for observer in &book.observers {
-                observer.lock().expect("observer lock").on_release(&event);
-            }
+            core.each_observer(&book.observers, |observer| observer.on_release(&event));
         }
         Ok(())
     }
@@ -678,8 +746,11 @@ impl Core {
             resident: self.resident_now(),
         };
         book.gap.on_batch(&event);
-        for observer in &book.observers {
-            observer.lock().expect("observer lock").on_batch(&event);
+        self.each_observer(&book.observers, |observer| observer.on_batch(&event));
+        if let Some(metrics) = &self.metrics {
+            metrics.batches.inc();
+            metrics.gap.set(gap);
+            metrics.resident.set(event.resident as f64);
         }
         let epoch = self.published.publish(loads);
         debug_assert_eq!(epoch, book.batches, "epoch tracks batch boundaries");
@@ -689,7 +760,12 @@ impl Core {
     /// windows; the undrained tail stays in the (sorted) buffer.
     fn drain_buffered(&self, include_partial: bool) -> usize {
         let mut side = self.drain.lock().expect("drain lock");
-        self.ingress.collect_into(&mut side.buffer);
+        let (_, late) = self.ingress.collect_into(&mut side.buffer);
+        if late > 0 {
+            if let Some(metrics) = &self.metrics {
+                metrics.ingress_late.add(late);
+            }
+        }
         let batch_size = self.config.batch_size;
         let DrainSide {
             buffer,
@@ -766,6 +842,7 @@ impl Core {
             capacity_thresholds: capacity,
             seed: self.config.seed,
             bins: n,
+            counters: self.metrics.as_ref().map(|m| &m.policy),
         };
         commit::choose_batch(policy, &ctx, batch, self.config.parallel, chosen);
         commit::apply_batch(
@@ -776,6 +853,12 @@ impl Core {
             &self.shard_ids,
         );
         self.placed.fetch_add(batch.len() as u64, Ordering::AcqRel);
+        if let Some(metrics) = &self.metrics {
+            metrics.placed.add(batch.len() as u64);
+            for &bin in chosen.iter() {
+                metrics.bin_commits.inc(bin as usize);
+            }
+        }
         let mut book = self.boundary.lock().expect("boundary lock");
         self.advance_boundary(&mut book, batch.len());
     }

@@ -57,6 +57,7 @@ pub use crate::snapshot::StreamSnapshot;
 
 use crate::commit;
 use crate::ingress::PendingBall;
+use crate::metrics::StreamMetrics;
 use crate::observer::GapTrajectoryObserver;
 use crate::policy::{choose_bin, ChoiceCtx, Policy};
 use crate::shard::{ShardStats, ShardedBins};
@@ -173,22 +174,37 @@ impl StreamConfig {
 struct Observers(Vec<Arc<Mutex<dyn RouterObserver + Send>>>);
 
 impl Observers {
-    fn notify_batch(&self, event: &BatchEvent<'_>) {
+    /// Visits every observer, skipping (and counting, when metrics are
+    /// installed) observers whose lock was poisoned by a panic in an earlier
+    /// hook — a skipped observer is a dropped event, and the no-silent-drops
+    /// rule says dropped events must be visible in `observer.errors`.
+    fn each(
+        &self,
+        errors: Option<&pba_obs::Counter>,
+        mut visit: impl FnMut(&mut (dyn RouterObserver + Send)),
+    ) {
         for obs in &self.0 {
-            obs.lock().expect("observer lock").on_batch(event);
+            match obs.lock() {
+                Ok(mut guard) => visit(&mut *guard),
+                Err(_) => {
+                    if let Some(errors) = errors {
+                        errors.inc();
+                    }
+                }
+            }
         }
     }
 
-    fn notify_reweight(&self, event: &ReweightEvent<'_>) {
-        for obs in &self.0 {
-            obs.lock().expect("observer lock").on_reweight(event);
-        }
+    fn notify_batch(&self, event: &BatchEvent<'_>, errors: Option<&pba_obs::Counter>) {
+        self.each(errors, |obs| obs.on_batch(event));
     }
 
-    fn notify_release(&self, event: &ReleaseEvent) {
-        for obs in &self.0 {
-            obs.lock().expect("observer lock").on_release(event);
-        }
+    fn notify_reweight(&self, event: &ReweightEvent<'_>, errors: Option<&pba_obs::Counter>) {
+        self.each(errors, |obs| obs.on_reweight(event));
+    }
+
+    fn notify_release(&self, event: &ReleaseEvent, errors: Option<&pba_obs::Counter>) {
+        self.each(errors, |obs| obs.on_release(event));
     }
 }
 
@@ -252,6 +268,9 @@ pub struct StreamAllocator {
     /// [`StreamConfig::num_threads`] is positive; `None` drains on the
     /// ambient (installed or global) pool.
     pool: Option<rayon::ThreadPool>,
+    /// Resolved metric handles ([`StreamAllocator::install_metrics`]);
+    /// `None` is the disabled fast path — zero metric instructions anywhere.
+    metrics: Option<StreamMetrics>,
 }
 
 impl StreamAllocator {
@@ -302,8 +321,22 @@ impl StreamAllocator {
                     .build()
                     .expect("stream drain pool")
             }),
+            metrics: None,
             config,
         }
+    }
+
+    /// Installs a metrics registry: resolves every handle the engine records
+    /// into (see [`StreamMetrics`]) so the hot path pays one relaxed atomic
+    /// per event and zero registry locks. Metrics are write-only — placements
+    /// and RNG streams are bit-identical with and without a registry.
+    pub fn install_metrics(&mut self, registry: Arc<pba_obs::MetricsRegistry>) {
+        self.metrics = Some(StreamMetrics::resolve(registry, self.config.bins));
+    }
+
+    /// The installed metric handles, if any.
+    pub fn metrics(&self) -> Option<&StreamMetrics> {
+        self.metrics.as_ref()
     }
 
     /// Creates a stream whose bins already hold `loads` **anonymous** resident
@@ -424,6 +457,7 @@ impl StreamAllocator {
                 capacity_thresholds: &self.route_capacity,
                 seed: self.config.seed,
                 bins: self.config.bins,
+                counters: self.metrics.as_ref().map(|m| &m.policy),
             };
             choose_bin(self.config.policy, &ctx, key, &mut candidates)
         };
@@ -435,6 +469,11 @@ impl StreamAllocator {
         self.placed += 1;
         self.routed += 1;
         self.open_batch += 1;
+        if let Some(metrics) = &self.metrics {
+            metrics.routed.inc();
+            metrics.placed.inc();
+            metrics.bin_commits.inc(bin as usize);
+        }
         let ticket = self.tickets.issue(id, bin as usize);
         if self.open_batch >= self.config.batch_size {
             self.close_open_batch();
@@ -451,15 +490,29 @@ impl StreamAllocator {
     /// load change, the departure reaches the policies at the next batch
     /// boundary.
     pub fn release(&mut self, ticket: Ticket) -> Result<(), RouteError> {
-        let bin = self.tickets.redeem(ticket)?;
+        let bin = match self.tickets.redeem(ticket) {
+            Ok(bin) => bin,
+            Err(err) => {
+                if let Some(metrics) = &self.metrics {
+                    metrics.rejected_unknown_ticket.inc();
+                }
+                return Err(err);
+            }
+        };
         if !self.bins.depart(bin) {
             // Defensive: a redeemed ticket names a resident ball, so its bin
             // cannot be empty unless the ledger and the bins diverged (a bug,
             // not a caller error). Fail the release rather than corrupt loads.
+            if let Some(metrics) = &self.metrics {
+                metrics.rejected_unknown_ticket.inc();
+            }
             return Err(RouteError::UnknownTicket { ticket });
         }
         self.departed += 1;
         self.released += 1;
+        if let Some(metrics) = &self.metrics {
+            metrics.released.inc();
+        }
         let event = ReleaseEvent {
             ticket,
             load_after: self.bins.load(bin),
@@ -469,7 +522,8 @@ impl StreamAllocator {
             resident: self.placed - self.departed,
         };
         self.gap.on_release(&event);
-        self.observers.notify_release(&event);
+        self.observers
+            .notify_release(&event, self.metrics.as_ref().map(|m| &m.observer_errors));
         Ok(())
     }
 
@@ -519,7 +573,8 @@ impl StreamAllocator {
             resident: self.placed - self.departed,
         };
         self.gap.on_reweight(&event);
-        self.observers.notify_reweight(&event);
+        self.observers
+            .notify_reweight(&event, self.metrics.as_ref().map(|m| &m.observer_errors));
     }
 
     /// Closes the open routed batch (if any): advances the snapshot, records
@@ -587,6 +642,7 @@ impl StreamAllocator {
             capacity_thresholds: &self.capacity_scratch,
             seed: self.config.seed,
             bins: n,
+            counters: self.metrics.as_ref().map(|m| &m.policy),
         };
         commit::choose_batch(
             self.config.policy,
@@ -602,6 +658,12 @@ impl StreamAllocator {
             &mut self.by_shard,
             &self.shard_ids,
         );
+        if let Some(metrics) = &self.metrics {
+            metrics.placed.add(chosen.len() as u64);
+            for &bin in &chosen {
+                metrics.bin_commits.inc(bin as usize);
+            }
+        }
         self.chosen_scratch = chosen;
 
         self.placed += batch.len() as u64;
@@ -625,8 +687,14 @@ impl StreamAllocator {
             gap,
             resident: self.placed - self.departed,
         };
+        if let Some(metrics) = &self.metrics {
+            metrics.batches.inc();
+            metrics.gap.set(gap);
+            metrics.resident.set(event.resident as f64);
+        }
         self.gap.on_batch(&event);
-        self.observers.notify_batch(&event);
+        self.observers
+            .notify_batch(&event, self.metrics.as_ref().map(|m| &m.observer_errors));
     }
 
     /// The batch threshold of the paper-style [`Policy::Threshold`] rule over

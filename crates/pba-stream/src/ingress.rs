@@ -43,6 +43,11 @@ pub(crate) struct ShardedIngress {
     lanes: Vec<(Sender<PendingBall>, Receiver<PendingBall>)>,
     /// Balls enqueued and not yet collected by a drain.
     queued: AtomicU64,
+    /// One past the largest arrival id any drain has collected — the
+    /// re-sequencing watermark. A ball collected *below* it surfaced after a
+    /// later-stamped ball had already been seen (a slow producer published
+    /// late), i.e. the sequencer had to stall/re-merge for it.
+    high_water: AtomicU64,
 }
 
 impl std::fmt::Debug for ShardedIngress {
@@ -60,6 +65,7 @@ impl ShardedIngress {
         Self {
             lanes: (0..lanes.max(1)).map(|_| unbounded()).collect(),
             queued: AtomicU64::new(0),
+            high_water: AtomicU64::new(0),
         }
     }
 
@@ -79,20 +85,36 @@ impl ShardedIngress {
     }
 
     /// Collects every currently queued ball into `out` and sequences the
-    /// whole buffer by arrival id; returns how many balls were collected.
-    /// `out` may carry an (already sorted) leftover tail from a previous
-    /// drain — the sort re-merges it with the new arrivals.
-    pub fn collect_into(&self, out: &mut Vec<PendingBall>) -> usize {
+    /// whole buffer by arrival id; returns `(collected, late)` — how many
+    /// balls were collected, and how many of them were **late arrivals**:
+    /// balls below the watermark of a previous collection, i.e. published by
+    /// a slow producer after a later-stamped ball had already been drained
+    /// past (the re-sequencing stalls the no-silent-drops rule makes
+    /// countable). `out` may carry an (already sorted) leftover tail from a
+    /// previous drain — the sort re-merges it with the new arrivals.
+    ///
+    /// Callers hold the drain lock, so collections are serial; the watermark
+    /// uses plain atomic load/store rather than a CAS loop.
+    pub fn collect_into(&self, out: &mut Vec<PendingBall>) -> (usize, u64) {
         let mut collected = 0usize;
+        let mut late = 0u64;
+        let watermark = self.high_water.load(Ordering::Acquire);
+        let mut max_seen = watermark;
         for (_, receiver) in &self.lanes {
             while let Ok(ball) = receiver.try_recv() {
+                if ball.id < watermark {
+                    late += 1;
+                } else if ball.id >= max_seen {
+                    max_seen = ball.id + 1;
+                }
                 out.push(ball);
                 collected += 1;
             }
         }
+        self.high_water.store(max_seen, Ordering::Release);
         self.queued.fetch_sub(collected as u64, Ordering::AcqRel);
         out.sort_unstable_by_key(|ball| ball.id);
-        collected
+        (collected, late)
     }
 }
 
@@ -109,10 +131,28 @@ mod tests {
         }
         assert_eq!(ingress.queued(), 6);
         let mut out = Vec::new();
-        assert_eq!(ingress.collect_into(&mut out), 6);
+        assert_eq!(ingress.collect_into(&mut out), (6, 0));
         assert_eq!(ingress.queued(), 0);
         let ids: Vec<u64> = out.iter().map(|b| b.id).collect();
         assert_eq!(ids, vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn late_arrivals_are_counted_against_the_watermark() {
+        let ingress = ShardedIngress::new(2);
+        ingress.enqueue(PendingBall { id: 5, key: 5 });
+        let mut out = Vec::new();
+        // First collection sets the watermark past id 5; nothing is late yet
+        // (out-of-order *within* one collection is resolved by the sort).
+        assert_eq!(ingress.collect_into(&mut out), (1, 0));
+        // Ids 2 and 3 surface after id 5 was already collected: both late.
+        ingress.enqueue(PendingBall { id: 2, key: 2 });
+        ingress.enqueue(PendingBall { id: 3, key: 3 });
+        ingress.enqueue(PendingBall { id: 8, key: 8 });
+        assert_eq!(ingress.collect_into(&mut out), (3, 2));
+        // The watermark advanced past 8; a fresh on-time ball is not late.
+        ingress.enqueue(PendingBall { id: 9, key: 9 });
+        assert_eq!(ingress.collect_into(&mut out), (1, 0));
     }
 
     #[test]
@@ -145,7 +185,7 @@ mod tests {
             h.join().unwrap();
         }
         let mut out = Vec::new();
-        assert_eq!(ingress.collect_into(&mut out), 4000);
+        assert_eq!(ingress.collect_into(&mut out).0, 4000);
         let ids: Vec<u64> = out.iter().map(|b| b.id).collect();
         assert_eq!(ids, (0..4000).collect::<Vec<u64>>(), "sequenced, no loss");
     }

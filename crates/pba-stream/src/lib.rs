@@ -90,18 +90,22 @@ mod commit;
 pub mod concurrent;
 pub mod engine;
 mod ingress;
+pub mod metrics;
 pub mod observer;
 pub mod policy;
 pub mod scenario;
+pub mod server;
 pub mod shard;
 pub mod snapshot;
 
 pub use arrival::{ArrivalProcess, ArrivalSampler, UNIQUE_KEYS};
 pub use concurrent::ConcurrentRouter;
 pub use engine::{StreamAllocator, StreamConfig};
+pub use metrics::{PolicyCounters, StreamMetrics};
 pub use observer::{GapTrajectoryObserver, ReweightLog, ReweightRecord};
 pub use policy::{candidate_bins, choose_bin, ChoiceCtx, Policy};
 pub use scenario::{run_scenario, run_scenario_on, ChurnMode, ScenarioConfig, ScenarioReport};
+pub use server::{LineClient, ServerConfig, SocketServer};
 pub use shard::{ShardStats, ShardedBins};
 pub use snapshot::StreamSnapshot;
 

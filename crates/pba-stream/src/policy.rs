@@ -31,6 +31,8 @@
 use pba_model::rng::SplitMix64;
 use pba_model::weights::ResolvedWeights;
 
+use crate::metrics::PolicyCounters;
+
 /// Stream used to derive candidate bins from `(seed, key)`.
 const CANDIDATE_STREAM: u64 = 0x5742_a11c;
 
@@ -158,6 +160,10 @@ pub struct ChoiceCtx<'a> {
     pub seed: u64,
     /// Number of bins `n`.
     pub bins: usize,
+    /// Fallback counters (`None` = uninstrumented — zero metric
+    /// instructions). Write-only: nothing here feeds back into the choice,
+    /// so instrumented and bare runs place identically.
+    pub counters: Option<&'a PolicyCounters>,
 }
 
 impl ChoiceCtx<'_> {
@@ -193,6 +199,9 @@ pub fn choose_bin(policy: Policy, ctx: &ChoiceCtx<'_>, key: u64, candidates: &mu
                     return c;
                 }
             }
+            if let Some(counters) = ctx.counters {
+                counters.threshold_fallback.inc();
+            }
             least_loaded(ctx.snapshot, candidates)
         }
         Policy::WeightedTwoChoice => least_normalized(ctx, candidates),
@@ -203,6 +212,9 @@ pub fn choose_bin(policy: Policy, ctx: &ChoiceCtx<'_>, key: u64, candidates: &mu
             // Overflow retry: every first-attempt candidate is at or above
             // its capacity share, so draw one fresh set from the same stream
             // (still a pure function of (seed, key)) before giving up.
+            if let Some(counters) = ctx.counters {
+                counters.overflow_retry.inc();
+            }
             let retry_start = candidates.len();
             sample_candidates(policy, ctx, &mut rng, d, candidates);
             if let Some(c) = first_below_capacity(ctx, &candidates[retry_start..]) {
@@ -210,6 +222,9 @@ pub fn choose_bin(policy: Policy, ctx: &ChoiceCtx<'_>, key: u64, candidates: &mu
             }
             // Both sets overflowed: concede and take the least normalized
             // load among everything seen.
+            if let Some(counters) = ctx.counters {
+                counters.overflow_fallback.inc();
+            }
             least_normalized(ctx, candidates)
         }
     }
@@ -227,7 +242,14 @@ fn sample_candidates(
 ) {
     match ctx.weights {
         Some(weights) if policy.is_weight_aware() => {
-            weights.sample_distinct(rng, d.max(1).min(ctx.bins.max(1)), out);
+            let fallback_draws = weights.sample_distinct(rng, d.max(1).min(ctx.bins.max(1)), out);
+            if fallback_draws > 0 {
+                if let Some(counters) = ctx.counters {
+                    counters
+                        .weighted_uniform_fallback
+                        .add(fallback_draws as u64);
+                }
+            }
         }
         _ => rng.sample_distinct(ctx.bins, d.max(1).min(ctx.bins.max(1)), out),
     }
@@ -370,6 +392,7 @@ mod tests {
             capacity_thresholds: &[],
             seed: 9,
             bins: snapshot.len(),
+            counters: None,
         }
     }
 
@@ -413,6 +436,7 @@ mod tests {
             capacity_thresholds: &[],
             seed: 1,
             bins: 3,
+            counters: None,
         };
         assert_eq!(least_normalized(&ctx, &[0, 1]), 0);
         assert_eq!(least_normalized(&ctx, &[1, 0]), 0);
@@ -445,6 +469,7 @@ mod tests {
             capacity_thresholds: &caps,
             seed: 77,
             bins: 8,
+            counters: None,
         };
         let policy = Policy::CapacityThreshold { d: 2, slack: 0 };
         let mut scratch = Vec::new();
@@ -476,6 +501,7 @@ mod tests {
             capacity_thresholds: &caps,
             seed: 5,
             bins: 2,
+            counters: None,
         };
         let mut scratch = Vec::new();
         for key in 0..50u64 {

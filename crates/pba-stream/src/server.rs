@@ -1,0 +1,563 @@
+//! A minimal TCP front-end over a shared [`ConcurrentRouter`] — the
+//! "serving" face of the streaming pipeline, and the harness experiment E17
+//! measures through.
+//!
+//! The server speaks a line protocol (one request per `\n`-terminated line,
+//! one reply line per request):
+//!
+//! | request | reply | meaning |
+//! |---|---|---|
+//! | `ROUTE <key>` | `OK <bin> <id>` | route one ball; the ticket is parked server-side under `<id>` |
+//! | `RELEASE <id>` | `OK <bin>` or `ERR unknown-ticket` | redeem a parked ticket |
+//! | `FLUSH` | `OK <boundaries>` | close the open batch (boundaries produced by this flush) |
+//! | `STATS` | `OK routed <r> released <d> resident <n> batches <b>` | aggregate counters |
+//! | anything else | `ERR bad-request` | counted, never silently dropped |
+//!
+//! Tickets are opaque to the wire: clients hold only the arrival id, and the
+//! server parks the real [`Ticket`] in an id-sharded map. A `RELEASE` for an
+//! id the server does not hold (never issued, already released, or a forgery)
+//! is an `ERR unknown-ticket` — and increments `server.unknown_ticket`, per
+//! the no-silent-drops rule.
+//!
+//! ## Threading and shutdown
+//!
+//! One acceptor thread polls a non-blocking listener; each connection gets a
+//! handler thread reading lines with a short read timeout. Both loops watch a
+//! shared shutdown flag, so [`SocketServer::shutdown`] (or `Drop`) stops the
+//! server promptly without help from the clients.
+//!
+//! ## Metrics
+//!
+//! When the router was built with
+//! [`ConcurrentRouter::with_metrics`], the server resolves its own handles
+//! against the same registry: `server.connections`, `server.requests`,
+//! `server.bad_request`, `server.unknown_ticket`, and the
+//! `server.route_latency_ns` histogram. Route latency is recorded into a
+//! per-connection [`LocalHistogram`] (plain integer arithmetic on the request
+//! path) and merged into the shared histogram every `MERGE_EVERY` (4096)
+//! requests and at connection close.
+
+use std::collections::HashMap;
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use pba_obs::{Counter, HistogramHandle, LocalHistogram};
+
+use crate::concurrent::ConcurrentRouter;
+use pba_model::router::Ticket;
+
+/// Requests between merges of a connection's local latency histogram into
+/// the shared `server.route_latency_ns` histogram.
+const MERGE_EVERY: u64 = 4096;
+
+/// Configuration for [`SocketServer::start`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; the default `127.0.0.1:0` picks a free loopback port
+    /// (read it back via [`SocketServer::local_addr`]).
+    pub addr: String,
+    /// Read timeout of connection handlers — the latency with which an idle
+    /// connection notices a shutdown. Also the acceptor's poll interval.
+    pub poll_interval: Duration,
+    /// Shards of the parked-ticket map (contention control; clamped ≥ 1).
+    pub ticket_shards: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".to_string(),
+            poll_interval: Duration::from_millis(25),
+            ticket_shards: 16,
+        }
+    }
+}
+
+/// Server-side metric handles (resolved iff the router carries a registry).
+#[derive(Debug, Clone)]
+struct ServerMetrics {
+    connections: Counter,
+    requests: Counter,
+    bad_request: Counter,
+    unknown_ticket: Counter,
+    route_latency: HistogramHandle,
+}
+
+impl ServerMetrics {
+    fn resolve(registry: &pba_obs::MetricsRegistry) -> Self {
+        Self {
+            connections: registry.counter("server.connections"),
+            requests: registry.counter("server.requests"),
+            bad_request: registry.counter("server.bad_request"),
+            unknown_ticket: registry.counter("server.unknown_ticket"),
+            route_latency: registry.histogram("server.route_latency_ns"),
+        }
+    }
+}
+
+/// Shared state every connection handler works against.
+struct Shared {
+    router: ConcurrentRouter,
+    /// Parked tickets, sharded by `id % shards`. Clients speak ids; only the
+    /// server holds real tickets.
+    tickets: Vec<Mutex<HashMap<u64, Ticket>>>,
+    metrics: Option<ServerMetrics>,
+    shutdown: AtomicBool,
+}
+
+impl Shared {
+    fn park(&self, ticket: Ticket) {
+        let shard = (ticket.id() as usize) % self.tickets.len();
+        self.tickets[shard]
+            .lock()
+            .expect("ticket shard lock")
+            .insert(ticket.id(), ticket);
+    }
+
+    fn unpark(&self, id: u64) -> Option<Ticket> {
+        let shard = (id as usize) % self.tickets.len();
+        self.tickets[shard]
+            .lock()
+            .expect("ticket shard lock")
+            .remove(&id)
+    }
+}
+
+/// A running TCP front-end over one [`ConcurrentRouter`] (see the
+/// [module docs](self) for the protocol).
+///
+/// ```no_run
+/// use pba_stream::{ConcurrentRouter, LineClient, Policy, ServerConfig, SocketServer, StreamConfig};
+///
+/// let router = ConcurrentRouter::new(
+///     StreamConfig::new(64).policy(Policy::TwoChoice).batch_size(128).seed(7),
+/// );
+/// let server = SocketServer::start(router, ServerConfig::default()).unwrap();
+/// let mut client = LineClient::connect(server.local_addr()).unwrap();
+/// let (bin, id) = client.route(42).unwrap();
+/// assert!(bin < 64);
+/// assert_eq!(client.release(id).unwrap(), Some(bin));
+/// server.shutdown();
+/// ```
+pub struct SocketServer {
+    shared: Arc<Shared>,
+    local_addr: SocketAddr,
+    acceptor: Option<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for SocketServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SocketServer")
+            .field("local_addr", &self.local_addr)
+            .finish()
+    }
+}
+
+impl SocketServer {
+    /// Binds `config.addr` and starts the acceptor thread. The server drives
+    /// `router` (a cheap handle clone; the caller keeps its own for direct
+    /// inspection) until [`SocketServer::shutdown`] or drop.
+    pub fn start(router: ConcurrentRouter, config: ServerConfig) -> io::Result<Self> {
+        let listener = TcpListener::bind(&config.addr)?;
+        listener.set_nonblocking(true)?;
+        let local_addr = listener.local_addr()?;
+        let metrics = router
+            .metrics()
+            .map(|m| ServerMetrics::resolve(&m.registry));
+        let shared = Arc::new(Shared {
+            router,
+            tickets: (0..config.ticket_shards.max(1))
+                .map(|_| Mutex::new(HashMap::new()))
+                .collect(),
+            metrics,
+            shutdown: AtomicBool::new(false),
+        });
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            let poll = config.poll_interval;
+            std::thread::spawn(move || accept_loop(listener, shared, poll))
+        };
+        Ok(Self {
+            shared,
+            local_addr,
+            acceptor: Some(acceptor),
+        })
+    }
+
+    /// The bound address (the resolved port when `addr` asked for `:0`).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// The router this server drives.
+    pub fn router(&self) -> &ConcurrentRouter {
+        &self.shared.router
+    }
+
+    /// Stops accepting, unblocks every handler at its next read timeout, and
+    /// joins the acceptor. Idempotent; also runs on drop.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        if let Some(handle) = self.acceptor.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for SocketServer {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// Polls the non-blocking listener, spawning one handler thread per
+/// connection, until shutdown. Handler threads are joined by the acceptor so
+/// shutdown leaves no detached worker behind.
+fn accept_loop(listener: TcpListener, shared: Arc<Shared>, poll: Duration) {
+    let mut handlers: Vec<JoinHandle<()>> = Vec::new();
+    while !shared.shutdown.load(Ordering::Acquire) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let shared = Arc::clone(&shared);
+                handlers.push(std::thread::spawn(move || {
+                    handle_connection(stream, shared, poll)
+                }));
+            }
+            Err(err) if err.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(poll);
+            }
+            Err(_) => break,
+        }
+        handlers.retain(|h| !h.is_finished());
+    }
+    for handle in handlers {
+        let _ = handle.join();
+    }
+}
+
+/// Serves one connection: reads `\n`-terminated request lines (tolerating
+/// read timeouts, which double as shutdown checks) and writes one reply line
+/// each. The connection's local latency histogram merges into the shared one
+/// every [`MERGE_EVERY`] requests and once at close.
+fn handle_connection(stream: TcpStream, shared: Arc<Shared>, poll: Duration) {
+    if stream.set_read_timeout(Some(poll)).is_err() {
+        return;
+    }
+    // Replies are tiny; without nodelay Nagle + delayed ACK turns every
+    // request/response round trip into a multi-millisecond stall.
+    let _ = stream.set_nodelay(true);
+    if let Some(metrics) = &shared.metrics {
+        metrics.connections.inc();
+    }
+    let mut writer = match stream.try_clone() {
+        Ok(clone) => clone,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    let mut local_latency = LocalHistogram::new();
+    let mut since_merge = 0u64;
+    loop {
+        line.clear();
+        // A read timeout mid-line leaves the partial line buffered in
+        // `line`; looping `read_line` on the same buffer resumes it.
+        let n = loop {
+            match reader.read_line(&mut line) {
+                Ok(n) => break n,
+                Err(err)
+                    if matches!(
+                        err.kind(),
+                        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    if shared.shutdown.load(Ordering::Acquire) {
+                        merge_latency(&shared, &mut local_latency);
+                        return;
+                    }
+                }
+                Err(_) => {
+                    merge_latency(&shared, &mut local_latency);
+                    return;
+                }
+            }
+        };
+        if n == 0 {
+            break; // EOF: client closed.
+        }
+        let reply = respond(&shared, line.trim_end(), &mut local_latency);
+        since_merge += 1;
+        if since_merge >= MERGE_EVERY {
+            merge_latency(&shared, &mut local_latency);
+            since_merge = 0;
+        }
+        if writer.write_all(reply.as_bytes()).is_err() || writer.write_all(b"\n").is_err() {
+            break;
+        }
+    }
+    merge_latency(&shared, &mut local_latency);
+}
+
+fn merge_latency(shared: &Shared, local: &mut LocalHistogram) {
+    if let Some(metrics) = &shared.metrics {
+        metrics.route_latency.merge_local(local);
+    }
+}
+
+/// Executes one request line and renders the reply (without the newline).
+fn respond(shared: &Shared, line: &str, latency: &mut LocalHistogram) -> String {
+    if let Some(metrics) = &shared.metrics {
+        metrics.requests.inc();
+    }
+    let mut parts = line.split_ascii_whitespace();
+    match (parts.next(), parts.next(), parts.next()) {
+        (Some("ROUTE"), Some(key), None) => match key.parse::<u64>() {
+            Ok(key) => {
+                let start = Instant::now();
+                let placement = shared.router.route(key).expect("routing is infallible");
+                latency.record(start.elapsed().as_nanos() as u64);
+                let reply = format!("OK {} {}", placement.bin, placement.ticket.id());
+                shared.park(placement.ticket);
+                reply
+            }
+            Err(_) => bad_request(shared),
+        },
+        (Some("RELEASE"), Some(id), None) => match id.parse::<u64>() {
+            Ok(id) => match shared.unpark(id) {
+                Some(ticket) => {
+                    let bin = ticket.bin();
+                    match shared.router.release(ticket) {
+                        Ok(()) => format!("OK {bin}"),
+                        // The router's own `route.rejected_unknown_ticket`
+                        // has already counted this.
+                        Err(_) => unknown_ticket(shared),
+                    }
+                }
+                // Never issued (or already released): the router never saw
+                // it, so the server-side counter is its only trace.
+                None => unknown_ticket(shared),
+            },
+            Err(_) => bad_request(shared),
+        },
+        (Some("FLUSH"), None, None) => format!("OK {}", shared.router.flush()),
+        (Some("STATS"), None, None) => {
+            let stats = shared.router.stats();
+            format!(
+                "OK routed {} released {} resident {} batches {}",
+                stats.routed, stats.released, stats.resident, stats.batches
+            )
+        }
+        _ => bad_request(shared),
+    }
+}
+
+fn bad_request(shared: &Shared) -> String {
+    if let Some(metrics) = &shared.metrics {
+        metrics.bad_request.inc();
+    }
+    "ERR bad-request".to_string()
+}
+
+fn unknown_ticket(shared: &Shared) -> String {
+    if let Some(metrics) = &shared.metrics {
+        metrics.unknown_ticket.inc();
+    }
+    "ERR unknown-ticket".to_string()
+}
+
+/// A blocking line-protocol client for [`SocketServer`] — the test/benchmark
+/// counterpart of the server (E17's load generators are `LineClient`s).
+#[derive(Debug)]
+pub struct LineClient {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl LineClient {
+    /// Connects to a running server.
+    pub fn connect(addr: impl std::net::ToSocketAddrs) -> io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let writer = stream.try_clone()?;
+        Ok(Self {
+            reader: BufReader::new(stream),
+            writer,
+        })
+    }
+
+    /// Sends one raw request line and returns the raw reply line (trimmed).
+    pub fn request(&mut self, line: &str) -> io::Result<String> {
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        let mut reply = String::new();
+        let n = self.reader.read_line(&mut reply)?;
+        if n == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ));
+        }
+        Ok(reply.trim_end().to_string())
+    }
+
+    /// `ROUTE key` → `(bin, id)`.
+    pub fn route(&mut self, key: u64) -> io::Result<(usize, u64)> {
+        let reply = self.request(&format!("ROUTE {key}"))?;
+        let mut parts = reply.split_ascii_whitespace();
+        match (parts.next(), parts.next(), parts.next()) {
+            (Some("OK"), Some(bin), Some(id)) => match (bin.parse(), id.parse()) {
+                (Ok(bin), Ok(id)) => Ok((bin, id)),
+                _ => Err(protocol_error(&reply)),
+            },
+            _ => Err(protocol_error(&reply)),
+        }
+    }
+
+    /// `RELEASE id` → `Some(bin)` on success, `None` for an unknown ticket.
+    pub fn release(&mut self, id: u64) -> io::Result<Option<usize>> {
+        let reply = self.request(&format!("RELEASE {id}"))?;
+        if reply == "ERR unknown-ticket" {
+            return Ok(None);
+        }
+        let mut parts = reply.split_ascii_whitespace();
+        match (parts.next(), parts.next()) {
+            (Some("OK"), Some(bin)) => bin.parse().map(Some).map_err(|_| protocol_error(&reply)),
+            _ => Err(protocol_error(&reply)),
+        }
+    }
+
+    /// `FLUSH` → batch boundaries produced.
+    pub fn flush(&mut self) -> io::Result<usize> {
+        let reply = self.request("FLUSH")?;
+        match reply.strip_prefix("OK ") {
+            Some(rest) => rest.parse().map_err(|_| protocol_error(&reply)),
+            None => Err(protocol_error(&reply)),
+        }
+    }
+}
+
+fn protocol_error(reply: &str) -> io::Error {
+    io::Error::new(
+        io::ErrorKind::InvalidData,
+        format!("unexpected reply: {reply:?}"),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::StreamConfig;
+    use crate::policy::Policy;
+
+    fn instrumented_server(bins: usize, batch: usize) -> SocketServer {
+        let registry = Arc::new(pba_obs::MetricsRegistry::new());
+        let router = ConcurrentRouter::with_metrics(
+            StreamConfig::new(bins)
+                .policy(Policy::TwoChoice)
+                .batch_size(batch)
+                .seed(11),
+            registry,
+        );
+        SocketServer::start(router, ServerConfig::default()).expect("bind loopback")
+    }
+
+    #[test]
+    fn route_release_round_trip_over_tcp() {
+        let server = instrumented_server(32, 16);
+        let mut client = LineClient::connect(server.local_addr()).unwrap();
+        let mut ids = Vec::new();
+        for key in 0..48u64 {
+            let (bin, id) = client.route(key).unwrap();
+            assert!(bin < 32);
+            ids.push(id);
+        }
+        assert_eq!(server.router().resident(), 48);
+        for id in ids {
+            assert!(client.release(id).unwrap().is_some());
+        }
+        assert_eq!(server.router().resident(), 0);
+        assert!(server.router().conserves_balls());
+        let registry = Arc::clone(&server.router().metrics().unwrap().registry);
+        server.shutdown();
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("route.routed"), 48);
+        assert_eq!(snap.counter("route.released"), 48);
+        assert_eq!(snap.counter("server.requests"), 96);
+        assert_eq!(snap.counter("server.connections"), 1);
+        // 48 routes crossed the 16-batch boundary three times.
+        assert_eq!(snap.counter("router.stream_batches"), 3);
+        let latency = snap.histogram("server.route_latency_ns").expect("recorded");
+        assert_eq!(latency.count, 48);
+    }
+
+    #[test]
+    fn unknown_tickets_and_bad_requests_are_counted_not_dropped() {
+        let server = instrumented_server(8, 8);
+        let mut client = LineClient::connect(server.local_addr()).unwrap();
+        assert_eq!(client.release(99_999).unwrap(), None);
+        assert_eq!(client.request("NONSENSE line").unwrap(), "ERR bad-request");
+        assert_eq!(
+            client.request("ROUTE notanumber").unwrap(),
+            "ERR bad-request"
+        );
+        let (bin, id) = client.route(7).unwrap();
+        assert!(client.release(id).unwrap().is_some());
+        // Double release: the server no longer holds the ticket.
+        assert_eq!(client.release(id).unwrap(), None);
+        let _ = bin;
+        let registry = Arc::clone(&server.router().metrics().unwrap().registry);
+        server.shutdown();
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("server.unknown_ticket"), 2);
+        assert_eq!(snap.counter("server.bad_request"), 2);
+    }
+
+    #[test]
+    fn concurrent_clients_share_one_router() {
+        let server = instrumented_server(64, 32);
+        let addr = server.local_addr();
+        let mut threads = Vec::new();
+        for t in 0..4u64 {
+            threads.push(std::thread::spawn(move || {
+                let mut client = LineClient::connect(addr).unwrap();
+                let mut ids = Vec::new();
+                for i in 0..100 {
+                    ids.push(client.route(t * 1_000 + i).unwrap().1);
+                }
+                for id in ids {
+                    assert!(client.release(id).unwrap().is_some());
+                }
+            }));
+        }
+        for thread in threads {
+            thread.join().unwrap();
+        }
+        let mut client = LineClient::connect(addr).unwrap();
+        let stats = client.request("STATS").unwrap();
+        assert!(
+            stats.starts_with("OK routed 400 released 400 resident 0"),
+            "{stats}"
+        );
+        assert!(server.router().conserves_balls());
+        server.shutdown();
+    }
+
+    #[test]
+    fn flush_closes_the_open_partial_batch() {
+        let server = instrumented_server(16, 64);
+        let mut client = LineClient::connect(server.local_addr()).unwrap();
+        for key in 0..10u64 {
+            client.route(key).unwrap();
+        }
+        assert_eq!(client.flush().unwrap(), 1);
+        assert_eq!(server.router().batches(), 1);
+        server.shutdown();
+    }
+}

@@ -140,6 +140,21 @@ fn commentary(title: &str) -> &'static str {
          callers only on multi-core hardware; on a 1-core container the threads serialise and \
          the throughput/speedup columns are noise — read the structural columns instead."
     }
+        "E17" => {
+        "The observability layer under serving load: loopback clients drive the metrics-\
+         instrumented concurrent router through the TCP line-protocol front-end, and the latency \
+         quantiles are read back from the server's own log-bucketed `server.route_latency_ns` \
+         histogram (≤ 12.5 % relative quantile error; per-connection local histograms merged at \
+         close). The drops column sums every rejection/fallback counter of the no-silent-drops \
+         ledger (unknown tickets, bad requests, policy fallbacks, ingress re-sequencing stalls, \
+         observer errors) and must read 0 for this well-behaved workload — the zeros are \
+         evidence, since metrics-consistency tests force each of those paths and assert its \
+         counter fires. Conservation must hold at every caller count, and installing the \
+         registry must not perturb placements (the 1-caller run stays bit-identical to the \
+         uninstrumented engine; property-tested). On a 1-core container the caller threads \
+         serialise, so req/s is a smoke number — the latency quantiles and structural columns \
+         carry the reproduction."
+    }
         _ => "",
     }
 }
@@ -203,14 +218,17 @@ mod tests {
         assert!(commentary("E1: heavy").contains("Theorems 1/6"));
         // Regression: an id that merely *starts with* a known id must not
         // inherit its commentary ("E14" used to fall into the bare "E1"
-        // prefix; a hypothetical "E17"/"E141" must stay empty until someone
+        // prefix; a hypothetical "E171"/"E141" must stay empty until someone
         // writes its text).
         assert_ne!(commentary("E14: x"), commentary("E1: x"));
         assert_ne!(commentary("E15: x"), commentary("E1: x"));
         assert_ne!(commentary("E16: x"), commentary("E1: x"));
-        assert!(commentary("E17: future").is_empty());
+        assert_ne!(commentary("E17: x"), commentary("E1: x"));
+        assert!(commentary("E17: obs").contains("no-silent-drops"));
         assert!(commentary("E141: typo").is_empty());
         assert!(commentary("E161: typo").is_empty());
+        assert!(commentary("E171: typo").is_empty());
+        assert!(commentary("E18: future").is_empty());
         assert!(commentary("E4ab: typo").is_empty());
         // The token parser handles title shapes beyond "Exx:".
         assert_eq!(experiment_token("E9b — dashes"), "E9b");
@@ -221,7 +239,7 @@ mod tests {
     fn every_known_experiment_has_commentary() {
         for prefix in [
             "E1", "E2", "E3", "E4a", "E4b", "E5", "E6", "E7", "E8a", "E8b", "E9a", "E9b", "E10",
-            "E11", "E12", "E13", "E14", "E15", "E16",
+            "E11", "E12", "E13", "E14", "E15", "E16", "E17",
         ] {
             assert!(
                 !commentary(&format!("{prefix}: x")).is_empty(),

@@ -22,7 +22,8 @@
 //! | [`concurrent`] | `pba-concurrent` | shared-memory execution: atomic bins, rayon executor, crossbeam actor executor, speed-up harness |
 //! | [`stream`] | `pba-stream` | the online, sharded, batched streaming allocation engine (two-choice on stale loads, weighted two-choice and capacity-aware thresholds for heterogeneous backends, arrival processes, ticket-based churn scenarios, runtime reweighting) — a native [`Router`](model::Router) — plus the **concurrent serving core** ([`ConcurrentRouter`](stream::ConcurrentRouter): a cloneable shared handle routing from many threads at once over epoch-published snapshots) |
 //! | [`stats`] | `pba-stats` | tails, histograms, load metrics, fits, tables, multi-seed aggregation |
-//! | [`workloads`] | `pba-workloads` | experiment configurations and the E1–E16 experiment definitions |
+//! | [`obs`] | `pba-obs` | the observability substrate: [`MetricsRegistry`](obs::MetricsRegistry) (counters, gauges, log-bucketed latency histograms), pluggable [`MetricSink`](obs::MetricSink)s, the "no silent drops" counter inventory |
+//! | [`workloads`] | `pba-workloads` | experiment configurations and the E1–E17 experiment definitions |
 //!
 //! ## Quick start
 //!
@@ -49,6 +50,7 @@ pub use pba_baselines as baselines;
 pub use pba_concurrent as concurrent;
 pub use pba_lowerbound as lowerbound;
 pub use pba_model as model;
+pub use pba_obs as obs;
 pub use pba_stats as stats;
 pub use pba_stream as stream;
 pub use pba_workloads as workloads;
@@ -64,10 +66,11 @@ pub mod prelude {
         AllocationOutcome, Allocator, BinWeights, EngineConfig, OneShotRouter, Placement,
         RouteError, Router, RouterObserver, RouterStats, Ticket,
     };
+    pub use pba_obs::{MetricsRegistry, MetricsSnapshot, SinkHub};
     pub use pba_stats::{LoadMetrics, Table};
     pub use pba_stream::{
-        ArrivalProcess, ConcurrentRouter, Policy as StreamPolicy, StreamAllocator, StreamConfig,
-        ThreadPool, ThreadPoolBuilder,
+        ArrivalProcess, ConcurrentRouter, LineClient, Policy as StreamPolicy, ServerConfig,
+        SocketServer, StreamAllocator, StreamConfig, ThreadPool, ThreadPoolBuilder,
     };
 }
 
