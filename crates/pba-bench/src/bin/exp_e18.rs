@@ -1,0 +1,8 @@
+//! E18 — replay determinism and fault injection: a recorded churn trace
+//! replayed clean and under every scripted fault class of `pba-replay`,
+//! each fault firing its named `fault.*` counter while conservation and
+//! ledger invariants hold.
+fn main() {
+    let opts = pba_bench::ExpOptions::from_env();
+    opts.print_all(&[pba_workloads::experiments::e18_replay_faults(!opts.full)]);
+}

@@ -1,0 +1,144 @@
+//! Golden replay snapshots: regenerate (`--bless`) or verify the committed
+//! files under `tests/golden/`.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run -p pba-bench --bin replay_golden            # diff mode (CI): exit 1 on drift
+//! cargo run -p pba-bench --bin replay_golden -- --bless # rewrite tests/golden/
+//! ```
+//!
+//! For every committed trace the binary replays the full
+//! **schedule-deterministic** matrix — `stream` (drain threads 0 and 4) and
+//! `concurrent1` across all six policies under uniform weights, a weighted
+//! `stream` row, and one `oneshot` row — and renders each outcome as one
+//! stable [`pba_replay::golden_line`] (FNV-1a hashes of placements, loads
+//! and gap trajectories plus the scalar counters). Any placement drift — a
+//! policy tweak, an RNG reordering, a batching change — shows up as the
+//! exact line that moved. Under `--bless` the traces themselves are also
+//! rewritten from their canonical constructors, keeping `mini.trace`
+//! byte-identical to `Trace::mini().encode()`.
+
+use std::fs;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use pba_model::weights::BinWeights;
+use pba_replay::{diff_golden, golden_line, replay::replay, ReplayConfig, Trace};
+use pba_stream::Policy;
+
+fn golden_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../tests/golden")
+}
+
+fn policies() -> [Policy; 6] {
+    [
+        Policy::OneChoice,
+        Policy::TwoChoice,
+        Policy::DChoice(3),
+        Policy::Threshold { d: 2, slack: 1 },
+        Policy::WeightedTwoChoice,
+        Policy::CapacityThreshold { d: 2, slack: 2 },
+    ]
+}
+
+/// The traces the golden files pin, from their canonical constructors.
+fn traces() -> Vec<Trace> {
+    vec![Trace::mini(), Trace::mini_reweighted()]
+}
+
+/// Renders the full deterministic matrix for one trace.
+fn snapshot(trace: &Trace) -> String {
+    let mut lines = Vec::new();
+    for policy in policies() {
+        for threads in [0usize, 4] {
+            let config = ReplayConfig::stream(policy).num_threads(threads);
+            let outcome = replay(trace, &config).expect("stream replay");
+            lines.push(golden_line(
+                &outcome,
+                &policy.name(),
+                &config.weights.name(),
+                threads,
+            ));
+        }
+        // The 1-caller concurrent twin only replays non-reweighting traces.
+        let config = ReplayConfig::concurrent(policy, 1);
+        if let Ok(outcome) = replay(trace, &config) {
+            lines.push(golden_line(
+                &outcome,
+                &policy.name(),
+                &config.weights.name(),
+                0,
+            ));
+        }
+    }
+    // One weighted stream row: half the bins at double weight.
+    let tiers = BinWeights::power_of_two_tiers(&[(trace.bins / 2, 1), (trace.bins / 2, 0)]);
+    let config = ReplayConfig::stream(Policy::WeightedTwoChoice).weights(tiers);
+    let outcome = replay(trace, &config).expect("weighted stream replay");
+    lines.push(golden_line(
+        &outcome,
+        &Policy::WeightedTwoChoice.name(),
+        &config.weights.name(),
+        0,
+    ));
+    // One precomputed one-shot row (keys ignored by the adapter's contract).
+    if let Ok(outcome) = replay(trace, &ReplayConfig::one_shot()) {
+        lines.push(golden_line(&outcome, "heavy", "uniform", 0));
+    }
+    let mut out = lines.join("\n");
+    out.push('\n');
+    out
+}
+
+fn main() -> ExitCode {
+    let bless = std::env::args().any(|a| a == "--bless");
+    let dir = golden_dir();
+    let mut drift = false;
+    for trace in traces() {
+        let trace_path = dir.join(format!("{}.trace", trace.name));
+        let snap_path = dir.join(format!("{}.snap", trace.name));
+        let fresh_trace = trace.encode();
+        let fresh_snap = snapshot(&trace);
+        if bless {
+            fs::create_dir_all(&dir).expect("create tests/golden");
+            fs::write(&trace_path, &fresh_trace).expect("write trace");
+            fs::write(&snap_path, &fresh_snap).expect("write snapshot");
+            println!(
+                "blessed {} ({} lines)",
+                snap_path.display(),
+                fresh_snap.lines().count()
+            );
+            continue;
+        }
+        let committed_trace = fs::read_to_string(&trace_path)
+            .unwrap_or_else(|e| panic!("missing {} — run --bless ({e})", trace_path.display()));
+        if committed_trace != fresh_trace {
+            eprintln!(
+                "trace drift in {}: the committed bytes differ from {}'s canonical constructor",
+                trace_path.display(),
+                trace.name
+            );
+            drift = true;
+        }
+        let committed_snap = fs::read_to_string(&snap_path)
+            .unwrap_or_else(|e| panic!("missing {} — run --bless ({e})", snap_path.display()));
+        match diff_golden(&trace.name, &committed_snap, &fresh_snap) {
+            None => println!(
+                "ok {} ({} lines)",
+                snap_path.display(),
+                fresh_snap.lines().count()
+            ),
+            Some(report) => {
+                eprintln!("{report}");
+                drift = true;
+            }
+        }
+    }
+    if drift {
+        eprintln!("golden files drifted — rerun with --bless if the change is intended");
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

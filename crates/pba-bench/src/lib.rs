@@ -8,10 +8,12 @@
 //!   `bench_stream`).
 //!   They time the allocators on fixed instances so regressions in the hot paths
 //!   are caught by `cargo bench`.
-//! * `src/bin/` — the table-regenerating binaries: `exp_e1` … `exp_e17` print one
+//! * `src/bin/` — the table-regenerating binaries: `exp_e1` … `exp_e18` print one
 //!   experiment's tables, and `gen_tables` prints (or writes) the whole
 //!   EXPERIMENTS.md body. Pass `--full` for the paper-scale parameter sweeps
 //!   (the default is the quick configuration used by the test-suite).
+//!   `replay_golden` verifies the committed golden replay snapshots under
+//!   `tests/golden/` (and regenerates them with `--bless`).
 //!
 //! The library part only hosts small shared helpers for the binaries.
 

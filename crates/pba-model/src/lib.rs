@@ -61,10 +61,10 @@ pub use ids::{BallId, BinId};
 pub use metrics::{MessageTotals, RoundRecord};
 pub use outcome::{AllocationOutcome, Allocator};
 pub use protocol::{Protocol, RoundCtx};
-pub use rng::SplitMix64;
+pub use rng::{SeedSeq, SplitMix64};
 pub use router::{
     BatchEvent, ConcurrentRouter, OneShotRouter, Placement, RegistryObserver, ReleaseEvent,
-    ReweightEvent, RouteError, Router, RouterObserver, RouterStats, SharedTicketLedger, Ticket,
-    TicketLedger,
+    ReweightEvent, RouteError, RouteEvent, Router, RouterObserver, RouterStats, SharedTicketLedger,
+    Ticket, TicketLedger,
 };
 pub use weights::{AliasTable, BinWeights, ResolvedWeights, WeightTier};

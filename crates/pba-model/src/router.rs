@@ -235,13 +235,32 @@ pub struct ReleaseEvent {
     pub resident: u64,
 }
 
+/// One routed arrival: a key was placed synchronously and a ticket issued.
+/// This is the per-arrival tap trace recorders hang off — `on_batch` samples
+/// only boundaries, but a request trace needs every `(key, ticket)` pair in
+/// arrival order to be replayable.
+#[derive(Debug, Clone, Copy)]
+pub struct RouteEvent {
+    /// The router key the caller presented.
+    pub key: u64,
+    /// The issued ticket (its id is the arrival id; its bin the placement).
+    pub ticket: Ticket,
+    /// Balls resident after the placement.
+    pub resident: u64,
+}
+
 /// Pluggable metrics sink for router lifecycles. All hooks default to no-ops,
 /// so an observer implements only what it cares about. Streaming engines call
-/// `on_batch` once per drained batch (the natural sampling boundary of the
-/// batched model — within a batch loads are stale anyway), `on_reweight` when
-/// a [`set_weights`](crate::weights::BinWeights) change takes effect, and
+/// `on_route` per routed (ticketed) arrival, `on_batch` once per drained
+/// batch (the natural sampling boundary of the batched model — within a batch
+/// loads are stale anyway), `on_reweight` when a
+/// [`set_weights`](crate::weights::BinWeights) change takes effect, and
 /// `on_release` per departure.
 pub trait RouterObserver {
+    /// A key was routed and its ticket issued (fires before any batch
+    /// boundary the arrival completes).
+    fn on_route(&mut self, _event: &RouteEvent) {}
+
     /// A batch finished and the load snapshot advanced.
     fn on_batch(&mut self, _event: &BatchEvent<'_>) {}
 

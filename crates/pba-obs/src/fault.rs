@@ -1,0 +1,81 @@
+//! Fault-injection counters: the named evidence trail of the replay harness.
+//!
+//! The workspace's "no silent drops" rule extends to *injected* failures:
+//! when a fault plan crashes a bin, delays a release or reorders arrivals,
+//! the harness must be able to point at a named counter that fired — an
+//! injected fault that leaves no metric trace is indistinguishable from a
+//! fault that silently corrupted state. [`FaultCounters`] bundles one counter
+//! per fault class, resolved against the same [`MetricsRegistry`] the engine
+//! records into, so a single [`MetricsSnapshot`](crate::MetricsSnapshot)
+//! shows engine-side effects (`route.rejected_unknown_ticket`,
+//! `ingress.late_arrivals`, `observer.errors`) next to the harness-side
+//! injection counts (`fault.*`).
+//!
+//! | Counter | Incremented when |
+//! |---|---|
+//! | `fault.bin_crash_releases` | a bin crash force-released one ticket |
+//! | `fault.delayed_releases` | a scripted release was postponed past its due point |
+//! | `fault.duplicated_releases` | a release was replayed a second time (and rejected) |
+//! | `fault.reordered_arrivals` | an arrival was delivered out of stamped order |
+//! | `fault.dropped_releases` | a scripted release was skipped entirely (its ball stays resident) |
+//! | `fault.poisoned_observers` | an observer was poisoned by an injected panic |
+//! | `fault.backpressure_dropped` | a bounded observer queue shed one event |
+
+use std::sync::Arc;
+
+use crate::registry::{Counter, MetricsRegistry};
+
+/// One counter per injected fault class (see the [module docs](self) for the
+/// name → meaning table). Handles are cheap clones; resolve once per plan.
+#[derive(Debug, Clone)]
+pub struct FaultCounters {
+    /// `fault.bin_crash_releases` — tickets force-released by bin crashes.
+    pub bin_crash_releases: Counter,
+    /// `fault.delayed_releases` — releases postponed past their due point.
+    pub delayed_releases: Counter,
+    /// `fault.duplicated_releases` — releases replayed (and rejected) twice.
+    pub duplicated_releases: Counter,
+    /// `fault.reordered_arrivals` — arrivals delivered out of stamped order.
+    pub reordered_arrivals: Counter,
+    /// `fault.dropped_releases` — scripted releases skipped entirely.
+    pub dropped_releases: Counter,
+    /// `fault.poisoned_observers` — observers poisoned by injected panics.
+    pub poisoned_observers: Counter,
+    /// `fault.backpressure_dropped` — events shed by bounded observer queues.
+    pub backpressure_dropped: Counter,
+}
+
+impl FaultCounters {
+    /// Resolves (interning on first use) every fault counter in `registry`.
+    pub fn resolve(registry: &Arc<MetricsRegistry>) -> Self {
+        Self {
+            bin_crash_releases: registry.counter("fault.bin_crash_releases"),
+            delayed_releases: registry.counter("fault.delayed_releases"),
+            duplicated_releases: registry.counter("fault.duplicated_releases"),
+            reordered_arrivals: registry.counter("fault.reordered_arrivals"),
+            dropped_releases: registry.counter("fault.dropped_releases"),
+            poisoned_observers: registry.counter("fault.poisoned_observers"),
+            backpressure_dropped: registry.counter("fault.backpressure_dropped"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fault_counters_resolve_and_share_the_registry() {
+        let registry = Arc::new(MetricsRegistry::new());
+        let counters = FaultCounters::resolve(&registry);
+        counters.bin_crash_releases.inc();
+        counters.reordered_arrivals.add(3);
+        let again = FaultCounters::resolve(&registry);
+        again.bin_crash_releases.inc();
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("fault.bin_crash_releases"), 2);
+        assert_eq!(snap.counter("fault.reordered_arrivals"), 3);
+        assert_eq!(snap.counter("fault.delayed_releases"), 0);
+        assert_eq!(snap.sum_counters("fault."), 5);
+    }
+}

@@ -49,10 +49,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod fault;
 pub mod histogram;
 pub mod registry;
 pub mod sink;
 
+pub use fault::FaultCounters;
 pub use histogram::{Histogram, HistogramSummary, LocalHistogram};
 pub use registry::{Counter, CounterVec, Gauge, HistogramHandle, MetricsRegistry, MetricsSnapshot};
 pub use sink::{JsonLinesSink, MemorySink, MetricSink, SinkHub, StderrSink};

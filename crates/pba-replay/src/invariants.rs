@@ -1,0 +1,127 @@
+//! Invariant checks the fault harness runs after every injected fault.
+//!
+//! A fault plan's promise is not "nothing changed" — faults *do* move loads
+//! and placements — but "nothing broke silently": conservation
+//! (`placed − departed == Σ loads`), ledger consistency (the resident-ticket
+//! table agrees with itself bin by bin and with the routed/released
+//! counters), and — for the concurrent engine — epoch monotonicity (the
+//! published snapshot epoch equals the boundary count). Every check returns
+//! `Err(description)` instead of panicking so a fault report can carry the
+//! violation into an experiment table.
+
+use pba_stream::{ConcurrentRouter, Router, StreamAllocator};
+
+/// Checks the streaming engine's invariants. `all_routed` asserts the
+/// stricter ledger↔counter identity that holds when every ball entered via
+/// `route` (no anonymous pushes).
+pub fn check_stream(stream: &StreamAllocator, all_routed: bool) -> Result<(), String> {
+    if !stream.conserves_balls() {
+        return Err("conservation violated: placed − departed != Σ loads".into());
+    }
+    let per_bin: usize = (0..stream.config().bins)
+        .map(|b| stream.tickets_in(b))
+        .sum();
+    if per_bin != stream.resident_tickets() {
+        return Err(format!(
+            "ledger inconsistent: per-bin ticket counts sum to {per_bin}, \
+             ledger holds {}",
+            stream.resident_tickets()
+        ));
+    }
+    let stats = Router::stats(stream);
+    if all_routed && stream.resident_tickets() as u64 != stats.routed - stats.released {
+        return Err(format!(
+            "ledger out of step with counters: {} resident tickets vs \
+             routed {} − released {}",
+            stream.resident_tickets(),
+            stats.routed,
+            stats.released
+        ));
+    }
+    for bin in 0..stream.config().bins {
+        if (stream.tickets_in(bin) as u32) > stream.load(bin) {
+            return Err(format!(
+                "bin {bin} holds {} tickets but only load {}",
+                stream.tickets_in(bin),
+                stream.load(bin)
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Checks the concurrent router's invariants (call at quiescence — no
+/// route/release in flight).
+pub fn check_concurrent(router: &ConcurrentRouter, all_routed: bool) -> Result<(), String> {
+    if !router.conserves_balls() {
+        return Err("conservation violated: placed − departed != Σ loads".into());
+    }
+    if router.snapshot_epoch() != router.batches() {
+        return Err(format!(
+            "epoch {} diverged from boundary count {}",
+            router.snapshot_epoch(),
+            router.batches()
+        ));
+    }
+    let per_bin: usize = (0..router.config().bins)
+        .map(|b| router.tickets_in(b))
+        .sum();
+    if per_bin != router.resident_tickets() {
+        return Err(format!(
+            "ledger inconsistent: per-bin ticket counts sum to {per_bin}, \
+             ledger holds {}",
+            router.resident_tickets()
+        ));
+    }
+    let stats = router.stats();
+    if all_routed && router.resident_tickets() as u64 != stats.routed - stats.released {
+        return Err(format!(
+            "ledger out of step with counters: {} resident tickets vs \
+             routed {} − released {}",
+            router.resident_tickets(),
+            stats.routed,
+            stats.released
+        ));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use pba_stream::{Policy, StreamConfig};
+
+    use super::*;
+
+    #[test]
+    fn clean_engines_pass_every_check() {
+        let mut stream = StreamAllocator::new(
+            StreamConfig::new(8)
+                .policy(Policy::TwoChoice)
+                .batch_size(4)
+                .seed(1),
+        );
+        let mut tickets = Vec::new();
+        for key in 0..20u64 {
+            tickets.push(stream.route(key).unwrap().ticket);
+        }
+        stream.release(tickets[3]).unwrap();
+        check_stream(&stream, true).expect("clean stream");
+
+        let router = ConcurrentRouter::new(StreamConfig::new(8).batch_size(4).seed(1));
+        let t = router.route(9).unwrap().ticket;
+        router.release(t).unwrap();
+        router.flush();
+        check_concurrent(&router, true).expect("clean router");
+    }
+
+    #[test]
+    fn anonymous_pushes_relax_only_the_counter_identity() {
+        let mut stream = StreamAllocator::new(StreamConfig::new(8).batch_size(4).seed(2));
+        for key in 0..8u64 {
+            stream.push(key);
+        }
+        stream.flush();
+        stream.route(42).unwrap();
+        check_stream(&stream, false).expect("mixed traffic, relaxed");
+    }
+}

@@ -1,0 +1,154 @@
+//! [`TraceRecorder`]: a [`RouterObserver`] that taps a live engine and turns
+//! what it hears into a replayable [`Trace`].
+//!
+//! The recorder hangs off the observer seam every engine already exposes
+//! (`add_observer`): `on_route` appends one arrival per routed ball,
+//! `on_release` back-patches that ball's scripted release point to "after
+//! the most recently routed arrival" (capturing the interleaving at arrival
+//! granularity), and `on_reweight` appends a reweight event. Recording is
+//! **passive** — observers are write-only for the engine, so an attached
+//! recorder cannot perturb placements, and the recorded trace replays the
+//! exact workload the engine just served.
+
+use std::collections::HashMap;
+
+use pba_model::router::{ReleaseEvent, ReweightEvent, RouteEvent, RouterObserver};
+
+use crate::trace::{Trace, TraceEvent};
+
+/// Records routed arrivals, releases and reweights into a [`Trace`]. Attach
+/// via `add_observer(Arc<Mutex<…>>)`, drive the workload, then call
+/// [`TraceRecorder::into_trace`] (or [`TraceRecorder::to_trace`] through the
+/// shared handle).
+#[derive(Debug, Default)]
+pub struct TraceRecorder {
+    events: Vec<TraceEvent>,
+    /// Engine ball id → index of its arrival event in `events`.
+    by_ball: HashMap<u64, usize>,
+    /// Arrival id (trace-local, sequential) of the most recent `on_route`.
+    last_arrival: Option<u64>,
+    arrivals: u64,
+}
+
+impl TraceRecorder {
+    /// An empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Arrivals recorded so far.
+    pub fn arrivals(&self) -> u64 {
+        self.arrivals
+    }
+
+    /// Assembles the recorded events into a [`Trace`], consuming the
+    /// recorder. The engine shape (`bins`, `batch_size`, `seed`) is the
+    /// caller's to supply — the observer hooks do not carry it.
+    pub fn into_trace(self, name: &str, bins: usize, batch_size: usize, seed: u64) -> Trace {
+        Trace {
+            name: name.into(),
+            bins,
+            batch_size,
+            seed,
+            events: self.events,
+        }
+    }
+
+    /// Like [`TraceRecorder::into_trace`], but cloning the events out — the
+    /// form to use through an `Arc<Mutex<TraceRecorder>>` handle.
+    pub fn to_trace(&self, name: &str, bins: usize, batch_size: usize, seed: u64) -> Trace {
+        Trace {
+            name: name.into(),
+            bins,
+            batch_size,
+            seed,
+            events: self.events.clone(),
+        }
+    }
+}
+
+impl RouterObserver for TraceRecorder {
+    fn on_route(&mut self, event: &RouteEvent) {
+        let arrival = self.arrivals;
+        self.by_ball.insert(event.ticket.id(), self.events.len());
+        self.events.push(TraceEvent::Arrival {
+            key: event.key,
+            release_after: None,
+        });
+        self.last_arrival = Some(arrival);
+        self.arrivals += 1;
+    }
+
+    fn on_release(&mut self, event: &ReleaseEvent) {
+        // Back-patch the released ball's arrival: "release once the most
+        // recently routed arrival is in". Releases of balls the recorder
+        // never saw routed (attached mid-stream, anonymous pushes) are
+        // ignored — the trace can only script what it witnessed arriving.
+        let Some(&index) = self.by_ball.get(&event.ticket.id()) else {
+            return;
+        };
+        if let TraceEvent::Arrival { release_after, .. } = &mut self.events[index] {
+            // `last_arrival` is Some: the ball was seen arriving first.
+            *release_after = self.last_arrival;
+        }
+    }
+
+    fn on_reweight(&mut self, event: &ReweightEvent<'_>) {
+        let weights = event
+            .weights
+            .map(|resolved| resolved.weights().to_vec())
+            .unwrap_or_default();
+        self.events.push(TraceEvent::Reweight { weights });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::{Arc, Mutex};
+
+    use pba_stream::{BinWeights, Policy, StreamAllocator, StreamConfig};
+
+    use super::*;
+
+    #[test]
+    fn recorder_captures_arrivals_releases_and_reweights_in_order() {
+        let recorder = Arc::new(Mutex::new(TraceRecorder::new()));
+        let mut stream = StreamAllocator::new(
+            StreamConfig::new(8)
+                .policy(Policy::TwoChoice)
+                .batch_size(4)
+                .seed(3),
+        );
+        stream.add_observer(recorder.clone());
+        let mut tickets = Vec::new();
+        for key in 0..10u64 {
+            tickets.push(stream.route(key).unwrap().ticket);
+        }
+        stream.release(tickets[2]).unwrap();
+        stream.route(99).unwrap();
+        stream.set_weights(BinWeights::explicit(vec![
+            2.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0,
+        ]));
+        stream.flush();
+
+        let trace = recorder.lock().unwrap().to_trace("t", 8, 4, 3);
+        assert_eq!(trace.arrivals(), 11);
+        assert!(trace.has_reweights());
+        // Ball 2 released after arrival 9 (the latest routed at that point).
+        assert_eq!(
+            trace.events[2],
+            TraceEvent::Arrival {
+                key: 2,
+                release_after: Some(9)
+            }
+        );
+        // The reweight applied at the flush boundary, after all 11 arrivals.
+        assert!(matches!(
+            trace.events.last(),
+            Some(TraceEvent::Reweight { weights }) if weights.len() == 8
+        ));
+        // The recorded trace round-trips through the codec.
+        let decoded = Trace::decode(&trace.encode()).expect("decode");
+        assert_eq!(decoded, trace);
+    }
+}

@@ -1,0 +1,496 @@
+//! The replay driver: push any [`Trace`] through any engine × policy ×
+//! weights × thread count, producing a stable [`ReplayOutcome`].
+//!
+//! Replay is route-by-route: the `i`-th arrival of the trace is the `i`-th
+//! `route(key)` call, and a ball scripted `r=<j>` is released immediately
+//! after arrival `j` routes. Because every engine stamps sequential ball
+//! ids, the replayed ids equal the trace's arrival ids, and the
+//! single-caller determinism contract of the workspace carries over:
+//! replaying the same trace on [`StreamAllocator`] and a 1-caller
+//! [`ConcurrentRouter`] yields bit-identical placements, loads, gap
+//! trajectories and batch counts — the regression anchor
+//! `tests/replay_properties.rs` and the golden files pin.
+//!
+//! With `Concurrent { callers: k > 1 }` the arrival sequence is dealt
+//! round-robin across `k` caller threads (each routing its share in trace
+//! order, releasing its own scripted balls); placements then depend on the
+//! interleaving, but conservation, ledger consistency and epoch monotonicity
+//! must hold for every schedule — the invariants [`crate::invariants`]
+//! checks. `OneShot` replays the arrival **count** through a precomputed
+//! [`OneShotRouter`] (keys are ignored there by contract — the documented
+//! deviation of the adapter), exercising the same release schedule.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+use pba_algorithms::HeavyAllocator;
+use pba_model::router::{OneShotRouter, Router, Ticket};
+use pba_model::weights::BinWeights;
+use pba_obs::MetricsRegistry;
+use pba_stream::{ConcurrentRouter, Policy, StreamAllocator, StreamConfig};
+
+use crate::trace::{Trace, TraceEvent};
+
+/// Which engine a replay drives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReplayEngine {
+    /// The single-threaded [`StreamAllocator`], via its `route` surface.
+    Stream,
+    /// The shared-handle [`ConcurrentRouter`] with `callers` caller threads
+    /// (`1` is the bit-identical twin of [`ReplayEngine::Stream`]).
+    Concurrent {
+        /// Caller threads routing the trace concurrently.
+        callers: usize,
+    },
+    /// A precomputed [`OneShotRouter`] over [`HeavyAllocator`] (keys are
+    /// ignored by the adapter's contract; the arrival count and release
+    /// schedule still replay).
+    OneShot,
+}
+
+impl ReplayEngine {
+    /// Short label used in golden-snapshot lines.
+    pub fn label(&self) -> String {
+        match self {
+            Self::Stream => "stream".into(),
+            Self::Concurrent { callers } => format!("concurrent{callers}"),
+            Self::OneShot => "oneshot".into(),
+        }
+    }
+}
+
+/// One replay configuration: engine × policy × weights × drain threads.
+#[derive(Debug, Clone)]
+pub struct ReplayConfig {
+    /// The engine to drive.
+    pub engine: ReplayEngine,
+    /// Placement policy (ignored by [`ReplayEngine::OneShot`]).
+    pub policy: Policy,
+    /// Bin weights (must prescribe the trace's bin count when non-uniform;
+    /// ignored by [`ReplayEngine::OneShot`]).
+    pub weights: BinWeights,
+    /// Drain worker threads (`0` = ambient pool / `PBA_THREADS`); placements
+    /// are bit-identical for every value — the knob the golden matrix varies
+    /// to prove it.
+    pub num_threads: usize,
+}
+
+impl ReplayConfig {
+    /// A stream replay with the given policy, uniform weights, ambient pool.
+    pub fn stream(policy: Policy) -> Self {
+        Self {
+            engine: ReplayEngine::Stream,
+            policy,
+            weights: BinWeights::Uniform,
+            num_threads: 0,
+        }
+    }
+
+    /// A `callers`-thread concurrent replay with the given policy.
+    pub fn concurrent(policy: Policy, callers: usize) -> Self {
+        Self {
+            engine: ReplayEngine::Concurrent { callers },
+            ..Self::stream(policy)
+        }
+    }
+
+    /// A one-shot replay (policy/weights ignored by the adapter).
+    pub fn one_shot() -> Self {
+        Self {
+            engine: ReplayEngine::OneShot,
+            ..Self::stream(Policy::TwoChoice)
+        }
+    }
+
+    /// Sets the weights (builder style).
+    pub fn weights(mut self, weights: BinWeights) -> Self {
+        self.weights = weights;
+        self
+    }
+
+    /// Sets the drain worker count (builder style).
+    pub fn num_threads(mut self, threads: usize) -> Self {
+        self.num_threads = threads;
+        self
+    }
+}
+
+/// Replay failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReplayError {
+    /// The trace reweights mid-stream, which only [`ReplayEngine::Stream`]
+    /// supports (concurrent and one-shot engines fix weights at
+    /// construction).
+    UnsupportedReweight {
+        /// The engine that cannot replay the trace.
+        engine: String,
+    },
+    /// `callers` was zero.
+    NoCallers,
+}
+
+impl fmt::Display for ReplayError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::UnsupportedReweight { engine } => {
+                write!(f, "engine {engine} cannot replay a reweighting trace")
+            }
+            Self::NoCallers => write!(f, "concurrent replay needs at least one caller"),
+        }
+    }
+}
+
+impl std::error::Error for ReplayError {}
+
+/// The stable outcome of one replay: everything the golden snapshot hashes
+/// or prints.
+#[derive(Debug, Clone)]
+pub struct ReplayOutcome {
+    /// Engine label (see [`ReplayEngine::label`]).
+    pub engine: String,
+    /// Bin chosen per arrival id. Deterministic for `Stream`,
+    /// `Concurrent {{ callers: 1 }}` and `OneShot`; schedule-dependent for
+    /// k > 1 callers (still recorded — each run's own evidence).
+    pub placements: Vec<u32>,
+    /// Final per-bin loads.
+    pub loads: Vec<u32>,
+    /// Per-batch gap trajectory.
+    pub gap_trajectory: Vec<f64>,
+    /// Batch boundaries produced.
+    pub batches: u64,
+    /// Gap after the final boundary.
+    pub final_gap: f64,
+    /// Balls resident at the end.
+    pub resident: u64,
+    /// Balls routed.
+    pub routed: u64,
+    /// Tickets released.
+    pub released: u64,
+    /// Sum of every no-silent-drops counter the engine fired (0 on a clean
+    /// replay; `OneShot` carries no registry and always reports 0).
+    pub drops: u64,
+    /// Whether the engine's conservation invariant held at the end.
+    pub conserved: bool,
+}
+
+/// Scripted releases of a trace, grouped by release point: entry `j` lists
+/// the arrival ids to release right after arrival `j` routes.
+fn release_schedule(trace: &Trace) -> HashMap<u64, Vec<u64>> {
+    let mut due: HashMap<u64, Vec<u64>> = HashMap::new();
+    let mut id = 0u64;
+    for event in &trace.events {
+        if let TraceEvent::Arrival { release_after, .. } = event {
+            if let Some(after) = release_after {
+                due.entry(*after).or_default().push(id);
+            }
+            id += 1;
+        }
+    }
+    due
+}
+
+/// The no-silent-drops sum of one registry snapshot: every rejection,
+/// fallback and skipped-event counter the engines fire.
+fn drops_of(registry: &MetricsRegistry) -> u64 {
+    let snap = registry.snapshot();
+    snap.counter("route.rejected_unknown_ticket")
+        + snap.counter("ingress.late_arrivals")
+        + snap.counter("observer.errors")
+        + snap.sum_counters("policy.")
+}
+
+/// Replays `trace` under `config`. See the [module docs](self) for the
+/// schedule semantics per engine.
+pub fn replay(trace: &Trace, config: &ReplayConfig) -> Result<ReplayOutcome, ReplayError> {
+    match config.engine {
+        ReplayEngine::Stream => replay_stream(trace, config),
+        ReplayEngine::Concurrent { callers } => replay_concurrent(trace, config, callers),
+        ReplayEngine::OneShot => replay_one_shot(trace),
+    }
+}
+
+fn stream_config(trace: &Trace, config: &ReplayConfig) -> StreamConfig {
+    StreamConfig::new(trace.bins)
+        .policy(config.policy)
+        .batch_size(trace.batch_size)
+        .seed(trace.seed)
+        .num_threads(config.num_threads)
+        .weights(config.weights.clone())
+}
+
+fn replay_stream(trace: &Trace, config: &ReplayConfig) -> Result<ReplayOutcome, ReplayError> {
+    let registry = Arc::new(MetricsRegistry::new());
+    let mut stream = StreamAllocator::new(stream_config(trace, config));
+    stream.install_metrics(registry.clone());
+    let due = release_schedule(trace);
+    let arrivals = trace.arrivals() as usize;
+    let mut placements = Vec::with_capacity(arrivals);
+    let mut tickets: Vec<Option<Ticket>> = Vec::with_capacity(arrivals);
+    let mut id = 0u64;
+    for event in &trace.events {
+        match event {
+            TraceEvent::Arrival { key, .. } => {
+                let placement = stream.route(*key).expect("streaming route is infallible");
+                placements.push(placement.bin as u32);
+                tickets.push(Some(placement.ticket));
+                if let Some(ready) = due.get(&id) {
+                    for &ball in ready {
+                        let ticket = tickets[ball as usize]
+                            .take()
+                            .expect("trace schedules each release once");
+                        stream.release(ticket).expect("scripted ticket is resident");
+                    }
+                }
+                id += 1;
+            }
+            TraceEvent::Reweight { weights } => {
+                stream.set_weights(Trace::weights_of(weights));
+            }
+        }
+    }
+    stream.flush();
+    let stats = Router::stats(&stream);
+    Ok(ReplayOutcome {
+        engine: ReplayEngine::Stream.label(),
+        placements,
+        loads: stream.loads(),
+        gap_trajectory: stream.gap_trajectory().to_vec(),
+        batches: stats.batches,
+        final_gap: stats.gap,
+        resident: stats.resident,
+        routed: stats.routed,
+        released: stats.released,
+        drops: drops_of(&registry),
+        conserved: stream.conserves_balls()
+            && stream.resident_tickets() as u64 == stats.routed - stats.released,
+    })
+}
+
+fn replay_concurrent(
+    trace: &Trace,
+    config: &ReplayConfig,
+    callers: usize,
+) -> Result<ReplayOutcome, ReplayError> {
+    if callers == 0 {
+        return Err(ReplayError::NoCallers);
+    }
+    if trace.has_reweights() {
+        return Err(ReplayError::UnsupportedReweight {
+            engine: ReplayEngine::Concurrent { callers }.label(),
+        });
+    }
+    let registry = Arc::new(MetricsRegistry::new());
+    let router = ConcurrentRouter::with_metrics(stream_config(trace, config), registry.clone());
+    let due = release_schedule(trace);
+    let keys: Vec<u64> = trace
+        .events
+        .iter()
+        .filter_map(|e| match e {
+            TraceEvent::Arrival { key, .. } => Some(*key),
+            TraceEvent::Reweight { .. } => None,
+        })
+        .collect();
+    let arrivals = keys.len();
+    // Deal arrivals round-robin: caller `t` routes ids `t, t+k, t+2k, …` in
+    // trace order and releases its *own* scripted balls once its routing
+    // cursor passes their release point. With one caller this is exactly the
+    // stream schedule — route arrival j, then release everything due at j.
+    let mut workers = Vec::new();
+    for t in 0..callers {
+        let router = router.clone();
+        let own: Vec<(u64, u64)> = (t..arrivals)
+            .step_by(callers)
+            .map(|id| (id as u64, keys[id]))
+            .collect();
+        // This caller's scripted releases, keyed by the *own-arrival* after
+        // which they fire: a release due at trace point j fires once the
+        // caller has routed its last own arrival ≤ j (every caller would
+        // otherwise need cross-thread progress tracking).
+        let mut own_due: HashMap<u64, Vec<u64>> = HashMap::new();
+        for (&(own_id, _), next) in own.iter().zip(own.iter().skip(1).map(Some).chain([None])) {
+            let upper = match next {
+                Some(&(next_id, _)) => next_id, // points in [own_id, next_id)
+                None => arrivals as u64,        // tail: everything remaining
+            };
+            for point in own_id..upper {
+                if let Some(ready) = due.get(&point) {
+                    let mine: Vec<u64> = ready
+                        .iter()
+                        .copied()
+                        .filter(|ball| (*ball as usize) % callers == t)
+                        .collect();
+                    if !mine.is_empty() {
+                        own_due.entry(own_id).or_default().extend(mine);
+                    }
+                }
+            }
+        }
+        workers.push(std::thread::spawn(move || {
+            let mut placed: Vec<(u64, u32)> = Vec::with_capacity(own.len());
+            let mut tickets: HashMap<u64, Ticket> = HashMap::new();
+            for &(id, key) in &own {
+                let placement = router.route(key).expect("concurrent route is infallible");
+                placed.push((id, placement.bin as u32));
+                tickets.insert(id, placement.ticket);
+                if let Some(ready) = own_due.get(&id) {
+                    for ball in ready {
+                        let ticket = tickets.remove(ball).expect("own ball routed earlier");
+                        router.release(ticket).expect("scripted ticket is resident");
+                    }
+                }
+            }
+            placed
+        }));
+    }
+    let mut placements = vec![0u32; arrivals];
+    for worker in workers {
+        for (id, bin) in worker.join().expect("caller thread") {
+            placements[id as usize] = bin;
+        }
+    }
+    router.flush();
+    let stats = router.stats();
+    Ok(ReplayOutcome {
+        engine: ReplayEngine::Concurrent { callers }.label(),
+        placements,
+        loads: router.loads(),
+        gap_trajectory: router.gap_trajectory(),
+        batches: stats.batches,
+        final_gap: stats.gap,
+        resident: stats.resident,
+        routed: stats.routed,
+        released: stats.released,
+        drops: drops_of(&registry),
+        conserved: router.conserves_balls()
+            && router.snapshot_epoch() == stats.batches
+            && router.resident_tickets() as u64 == stats.routed - stats.released,
+    })
+}
+
+fn replay_one_shot(trace: &Trace) -> Result<ReplayOutcome, ReplayError> {
+    if trace.has_reweights() {
+        return Err(ReplayError::UnsupportedReweight {
+            engine: ReplayEngine::OneShot.label(),
+        });
+    }
+    let arrivals = trace.arrivals();
+    let mut router =
+        OneShotRouter::new(HeavyAllocator::default(), arrivals, trace.bins, trace.seed);
+    let due = release_schedule(trace);
+    let mut placements = Vec::with_capacity(arrivals as usize);
+    let mut tickets: Vec<Option<Ticket>> = Vec::with_capacity(arrivals as usize);
+    let mut id = 0u64;
+    for event in &trace.events {
+        let TraceEvent::Arrival { key, .. } = event else {
+            continue;
+        };
+        let placement = router.route(*key).expect("router sized to the trace");
+        placements.push(placement.bin as u32);
+        tickets.push(Some(placement.ticket));
+        if let Some(ready) = due.get(&id) {
+            for &ball in ready {
+                let ticket = tickets[ball as usize]
+                    .take()
+                    .expect("trace schedules each release once");
+                router.release(ticket).expect("scripted ticket is resident");
+            }
+        }
+        id += 1;
+    }
+    let stats = router.stats();
+    Ok(ReplayOutcome {
+        engine: ReplayEngine::OneShot.label(),
+        placements,
+        loads: router.loads(),
+        gap_trajectory: vec![stats.gap],
+        batches: stats.batches,
+        final_gap: stats.gap,
+        resident: stats.resident,
+        routed: stats.routed,
+        released: stats.released,
+        drops: 0,
+        conserved: stats.resident == stats.routed - stats.released,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stream_and_one_caller_concurrent_replays_are_bit_identical() {
+        let trace = Trace::mini();
+        for policy in [Policy::TwoChoice, Policy::Threshold { d: 2, slack: 1 }] {
+            let stream = replay(&trace, &ReplayConfig::stream(policy)).unwrap();
+            let concurrent = replay(&trace, &ReplayConfig::concurrent(policy, 1)).unwrap();
+            assert_eq!(stream.placements, concurrent.placements);
+            assert_eq!(stream.loads, concurrent.loads);
+            assert_eq!(stream.gap_trajectory, concurrent.gap_trajectory);
+            assert_eq!(stream.batches, concurrent.batches);
+            assert_eq!(stream.drops, 0);
+            assert!(stream.conserved && concurrent.conserved);
+        }
+    }
+
+    #[test]
+    fn multi_caller_replay_conserves_for_every_schedule() {
+        let trace = Trace::mini();
+        let outcome = replay(&trace, &ReplayConfig::concurrent(Policy::TwoChoice, 4)).unwrap();
+        assert!(outcome.conserved);
+        assert_eq!(outcome.routed, trace.arrivals());
+        assert_eq!(
+            outcome.released,
+            trace
+                .events
+                .iter()
+                .filter(|e| matches!(
+                    e,
+                    TraceEvent::Arrival {
+                        release_after: Some(_),
+                        ..
+                    }
+                ))
+                .count() as u64
+        );
+    }
+
+    #[test]
+    fn reweighting_traces_replay_on_stream_only() {
+        let trace = Trace::mini_reweighted();
+        assert!(replay(&trace, &ReplayConfig::stream(Policy::TwoChoice)).is_ok());
+        assert!(matches!(
+            replay(&trace, &ReplayConfig::concurrent(Policy::TwoChoice, 1)),
+            Err(ReplayError::UnsupportedReweight { .. })
+        ));
+        assert!(matches!(
+            replay(&trace, &ReplayConfig::one_shot()),
+            Err(ReplayError::UnsupportedReweight { .. })
+        ));
+    }
+
+    #[test]
+    fn one_shot_replay_is_deterministic_and_conserves() {
+        let trace = Trace::mini();
+        let a = replay(&trace, &ReplayConfig::one_shot()).unwrap();
+        let b = replay(&trace, &ReplayConfig::one_shot()).unwrap();
+        assert_eq!(a.placements, b.placements);
+        assert_eq!(a.loads, b.loads);
+        assert!(a.conserved);
+        assert_eq!(a.routed, 48);
+    }
+
+    #[test]
+    fn num_threads_does_not_change_stream_replay() {
+        let trace = Trace::mini();
+        let ambient = replay(&trace, &ReplayConfig::stream(Policy::TwoChoice)).unwrap();
+        let dedicated = replay(
+            &trace,
+            &ReplayConfig::stream(Policy::TwoChoice).num_threads(4),
+        )
+        .unwrap();
+        assert_eq!(ambient.placements, dedicated.placements);
+        assert_eq!(ambient.loads, dedicated.loads);
+        assert_eq!(ambient.gap_trajectory, dedicated.gap_trajectory);
+    }
+}

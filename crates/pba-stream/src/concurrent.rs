@@ -70,7 +70,7 @@ use std::sync::{Arc, Mutex, OnceLock, RwLock};
 use pba_concurrent::EpochCell;
 use pba_model::router::{
     BatchEvent, ConcurrentRouter as ConcurrentRouterApi, Placement, ReleaseEvent, RouteError,
-    RouterObserver, RouterStats, SharedTicketLedger, Ticket,
+    RouteEvent, RouterObserver, RouterStats, SharedTicketLedger, Ticket,
 };
 use pba_model::weights::{normalized_loads, ResolvedWeights};
 use pba_stats::OnlineStats;
@@ -211,6 +211,24 @@ impl Core {
                 }
             }
         }
+    }
+}
+
+/// An arrival stamped into the sequence but **not yet delivered** to the
+/// ingress lanes — the handle [`ConcurrentRouter::stamp_delayed`] returns and
+/// [`ConcurrentRouter::deliver_delayed`] consumes. Fault plans use the pair
+/// to script out-of-order arrival delivery: hold a stamped ball across a
+/// drain and its eventual delivery is a *late arrival* the ingress counts
+/// (`ingress.late_arrivals`) instead of silently reordering.
+#[derive(Debug)]
+pub struct DelayedArrival {
+    ball: PendingBall,
+}
+
+impl DelayedArrival {
+    /// The arrival id this ball was stamped with.
+    pub fn id(&self) -> u64 {
+        self.ball.id
     }
 }
 
@@ -381,11 +399,68 @@ impl ConcurrentRouter {
             metrics.bin_commits.inc(bin);
         }
         let ticket = core.ledger.issue(id, bin);
+        if core.has_observers.load(Ordering::Acquire) {
+            // The per-arrival tap: fired before this ball can close a batch,
+            // so a recorder sees the arrival strictly before its boundary
+            // event (matching the single-threaded engine's ordering in the
+            // 1-caller case).
+            let event = RouteEvent {
+                key,
+                ticket,
+                resident: core.resident_now(),
+            };
+            let book = core.boundary.lock().expect("boundary lock");
+            core.each_observer(&book.observers, |observer| observer.on_route(&event));
+        }
         let open = core.open_routed.fetch_add(1, Ordering::AcqRel) + 1;
         if open >= core.config.batch_size as u64 {
             core.close_full_routed_batches();
         }
         Ok(Placement { ticket, bin })
+    }
+
+    /// Simulates a **bin crash** from any thread: force-releases every
+    /// *ticketed* resident ball of `bin` through the normal release path
+    /// (ledger redeem → depart → [`ReleaseEvent`]), returning how many
+    /// tickets were evicted. A crash is a burst of departures, not a silent
+    /// loss: ledger and load vector stay consistent, so conservation keeps
+    /// holding. Anonymous pushed balls hold no tickets and survive. Racing
+    /// routes may land new balls on the crashed bin after the sweep — the
+    /// returned count is exact only at quiescence.
+    pub fn crash_bin(&self, bin: usize) -> u64 {
+        let mut evicted = 0;
+        while let Some(ticket) = self.core.ledger.resident_in(bin) {
+            if self.release(ticket).is_ok() {
+                evicted += 1;
+            }
+        }
+        evicted
+    }
+
+    /// Stamps one arriving ball with its arrival id **without delivering
+    /// it** — the fault-injection half of [`ConcurrentRouter::push`]. The
+    /// ball occupies its slot in the arrival sequence immediately (later
+    /// pushes get later ids), but it only reaches the ingress lanes when the
+    /// returned [`DelayedArrival`] is handed to
+    /// [`ConcurrentRouter::deliver_delayed`]. Delivering after a drain has
+    /// already sequenced past its id makes it a **late arrival**: the next
+    /// drain counts it in `ingress.late_arrivals` and sequences it at the
+    /// drain tail (documented reordering, not a silent drop).
+    pub fn stamp_delayed(&self, key: u64) -> DelayedArrival {
+        let core = &*self.core;
+        let id = core.next_ball.fetch_add(1, Ordering::AcqRel);
+        core.arrived.fetch_add(1, Ordering::AcqRel);
+        DelayedArrival {
+            ball: PendingBall { id, key },
+        }
+    }
+
+    /// Delivers a ball previously stamped by
+    /// [`ConcurrentRouter::stamp_delayed`]; returns its arrival id.
+    pub fn deliver_delayed(&self, delayed: DelayedArrival) -> u64 {
+        let id = delayed.ball.id;
+        self.core.ingress.enqueue(delayed.ball);
+        id
     }
 
     /// Releases a routed ball from any thread: validates the ticket against

@@ -45,8 +45,8 @@ use std::fmt;
 use std::sync::{Arc, Mutex};
 
 use pba_model::router::{
-    BatchEvent, Placement, ReleaseEvent, ReweightEvent, RouteError, Router, RouterObserver,
-    RouterStats, Ticket, TicketLedger,
+    BatchEvent, Placement, ReleaseEvent, ReweightEvent, RouteError, RouteEvent, Router,
+    RouterObserver, RouterStats, Ticket, TicketLedger,
 };
 use pba_model::weights::{normalized_loads, BinWeights, ResolvedWeights};
 use pba_stats::{LoadMetrics, OnlineStats};
@@ -197,6 +197,10 @@ impl Observers {
 
     fn notify_batch(&self, event: &BatchEvent<'_>, errors: Option<&pba_obs::Counter>) {
         self.each(errors, |obs| obs.on_batch(event));
+    }
+
+    fn notify_route(&self, event: &RouteEvent, errors: Option<&pba_obs::Counter>) {
+        self.each(errors, |obs| obs.on_route(event));
     }
 
     fn notify_reweight(&self, event: &ReweightEvent<'_>, errors: Option<&pba_obs::Counter>) {
@@ -475,6 +479,18 @@ impl StreamAllocator {
             metrics.bin_commits.inc(bin as usize);
         }
         let ticket = self.tickets.issue(id, bin as usize);
+        if !self.observers.0.is_empty() {
+            // The per-arrival tap trace recorders hang off. Fires before the
+            // boundary this arrival may complete, so a recorder sees the
+            // arrival strictly before its batch event.
+            let event = RouteEvent {
+                key,
+                ticket,
+                resident: self.placed - self.departed,
+            };
+            self.observers
+                .notify_route(&event, self.metrics.as_ref().map(|m| &m.observer_errors));
+        }
         if self.open_batch >= self.config.batch_size {
             self.close_open_batch();
         }
@@ -482,6 +498,24 @@ impl StreamAllocator {
             ticket,
             bin: bin as usize,
         })
+    }
+
+    /// Simulates a **bin crash**: force-releases every *ticketed* resident
+    /// ball of `bin` through the normal release path (ledger redeem → depart
+    /// → [`ReleaseEvent`]), returning how many tickets were evicted. After a
+    /// crash the ledger and the load vector stay consistent — a crash is a
+    /// burst of departures, not a silent loss — so conservation and ledger
+    /// invariants must keep holding. Anonymous `push`-placed balls hold no
+    /// tickets and therefore survive (the engine has no handle to evict
+    /// them); fault harnesses route their traffic to make crashes total.
+    pub fn crash_bin(&mut self, bin: usize) -> u64 {
+        let mut evicted = 0;
+        while let Some(ticket) = self.tickets.resident_in(bin) {
+            self.release(ticket)
+                .expect("ledger-resident ticket must release");
+            evicted += 1;
+        }
+        evicted
     }
 
     /// Releases a routed ball: validates the ticket against the resident

@@ -99,7 +99,7 @@ pub mod shard;
 pub mod snapshot;
 
 pub use arrival::{ArrivalProcess, ArrivalSampler, UNIQUE_KEYS};
-pub use concurrent::ConcurrentRouter;
+pub use concurrent::{ConcurrentRouter, DelayedArrival};
 pub use engine::{StreamAllocator, StreamConfig};
 pub use metrics::{PolicyCounters, StreamMetrics};
 pub use observer::{GapTrajectoryObserver, ReweightLog, ReweightRecord};
@@ -110,7 +110,10 @@ pub use shard::{ShardStats, ShardedBins};
 pub use snapshot::StreamSnapshot;
 
 // Re-exported so weighted stream configurations need only this crate.
-pub use pba_model::router::{Placement, RouteError, Router, RouterObserver, RouterStats, Ticket};
+pub use pba_model::router::{
+    BatchEvent, Placement, ReleaseEvent, ReweightEvent, RouteError, RouteEvent, Router,
+    RouterObserver, RouterStats, Ticket,
+};
 pub use pba_model::weights::{BinWeights, ResolvedWeights};
 
 // Re-exported so callers can build/install drain pools without naming the

@@ -292,6 +292,16 @@ fn handle_connection(stream: TcpStream, shared: Arc<Shared>, poll: Duration) {
         if n == 0 {
             break; // EOF: client closed.
         }
+        if !line.ends_with('\n') {
+            // EOF mid-line (`read_line` only returns a newline-less line at
+            // EOF): the request is truncated — the client may have died
+            // halfway through writing it — so executing it would act on a
+            // half-command. Drop it, visibly.
+            if let Some(metrics) = &shared.metrics {
+                metrics.bad_request.inc();
+            }
+            break;
+        }
         let reply = respond(&shared, line.trim_end(), &mut local_latency);
         since_merge += 1;
         if since_merge >= MERGE_EVERY {
@@ -546,6 +556,86 @@ mod tests {
             "{stats}"
         );
         assert!(server.router().conserves_balls());
+        server.shutdown();
+    }
+
+    #[test]
+    fn empty_and_oversized_request_lines_get_bad_request_not_a_hangup() {
+        let server = instrumented_server(8, 8);
+        let mut client = LineClient::connect(server.local_addr()).unwrap();
+        // An empty line is a request like any other: one reply, counted.
+        assert_eq!(client.request("").unwrap(), "ERR bad-request");
+        // A key that overflows u64 must not panic the parser.
+        assert_eq!(
+            client.request("ROUTE 99999999999999999999999").unwrap(),
+            "ERR bad-request"
+        );
+        // Whitespace-only and trailing-garbage lines too.
+        assert_eq!(client.request("   ").unwrap(), "ERR bad-request");
+        assert_eq!(client.request("ROUTE 1 2").unwrap(), "ERR bad-request");
+        // The connection is still healthy afterwards.
+        let (_bin, id) = client.route(5).unwrap();
+        assert!(client.release(id).unwrap().is_some());
+        let registry = Arc::clone(&server.router().metrics().unwrap().registry);
+        server.shutdown();
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("server.bad_request"), 4);
+        assert_eq!(snap.counter("route.routed"), 1);
+    }
+
+    #[test]
+    fn mid_line_disconnect_leaves_the_server_serving() {
+        let server = instrumented_server(8, 8);
+        let addr = server.local_addr();
+        {
+            // A raw client that dies halfway through a request line: the
+            // unterminated tail is a truncated request (the client may have
+            // meant "ROUTE 1234"), so the handler must drop it — counted,
+            // not executed — and close its side.
+            let mut raw = TcpStream::connect(addr).unwrap();
+            raw.write_all(b"ROUTE 123").unwrap(); // no newline
+            raw.flush().unwrap();
+        } // dropped: mid-line disconnect
+          // A fresh client on the same server still gets served.
+        let mut client = LineClient::connect(addr).unwrap();
+        let (_bin, id) = client.route(9).unwrap();
+        assert!(client.release(id).unwrap().is_some());
+        // The half-request was never executed: exactly one ball routed, and
+        // the truncated line left its trace in the bad-request counter.
+        assert_eq!(server.router().stats().routed, 1);
+        assert!(server.router().conserves_balls());
+        let registry = Arc::clone(&server.router().metrics().unwrap().registry);
+        server.shutdown();
+        assert_eq!(registry.snapshot().counter("server.bad_request"), 1);
+    }
+
+    #[test]
+    fn pipelined_requests_get_one_reply_each_in_order() {
+        let server = instrumented_server(16, 8);
+        let addr = server.local_addr();
+        // Write a whole pipeline of requests before reading any reply —
+        // the handler must answer them one line each, in order.
+        let mut raw = TcpStream::connect(addr).unwrap();
+        raw.set_nodelay(true).unwrap();
+        raw.write_all(b"ROUTE 1\nROUTE 2\nNONSENSE\nSTATS\nFLUSH\n")
+            .unwrap();
+        let mut reader = BufReader::new(raw.try_clone().unwrap());
+        let mut replies = Vec::new();
+        for _ in 0..5 {
+            let mut line = String::new();
+            assert!(reader.read_line(&mut line).unwrap() > 0, "server hung up");
+            replies.push(line.trim_end().to_string());
+        }
+        assert!(replies[0].starts_with("OK "), "{}", replies[0]);
+        assert!(replies[1].starts_with("OK "), "{}", replies[1]);
+        assert_eq!(replies[2], "ERR bad-request");
+        assert!(
+            replies[3].starts_with("OK routed 2 released 0 resident 2"),
+            "{}",
+            replies[3]
+        );
+        assert_eq!(replies[4], "OK 1", "flush closes the 2-ball open batch");
+        assert_eq!(server.router().stats().routed, 2);
         server.shutdown();
     }
 

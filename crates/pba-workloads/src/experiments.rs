@@ -1,4 +1,4 @@
-//! The reproduction experiments E1–E17 (see DESIGN.md for the full index).
+//! The reproduction experiments E1–E18 (see DESIGN.md for the full index).
 //! E1–E9 validate the SPAA'19 paper; E10–E12 measure the streaming engine of
 //! `pba-stream` in the batched/stale-information model (Los–Sauerwald 2022),
 //! with E12 exercising both load- and capacity-proportional churn through the
@@ -14,7 +14,10 @@
 //! checked in-table; E17 measures the **observability layer** under serving
 //! load — loopback clients over the TCP line-protocol front-end, with route
 //! latency quantiles from the server's own histogram and the
-//! no-silent-drops counter ledger summed in-table.
+//! no-silent-drops counter ledger summed in-table; E18 measures the **replay
+//! and fault-injection harness** — a recorded trace replayed clean and under
+//! every scripted fault class of `pba-replay`, each fault firing its named
+//! counter while conservation and ledger invariants hold.
 //!
 //! The paper is a theory paper without numbered tables/figures, so each
 //! experiment here plays the role of a table: it validates one theorem, claim or
@@ -1432,7 +1435,128 @@ pub fn e17_socket_serving(quick: bool) -> Table {
     table
 }
 
-/// Runs every experiment and returns all tables in order (E1 … E17).
+/// E18 — replay determinism and fault tolerance: a recorded churn trace is
+/// replayed on the streaming engine, then replayed again under every scripted
+/// fault class of `pba-replay`'s [`FaultPlan`](pba_replay::FaultPlan) (bin
+/// crash mid-batch, delayed release, duplicated release, reversed arrival
+/// window, observer poisoning, observer backpressure) plus ingress-level
+/// out-of-order delivery on the concurrent push path. Every fault row must
+/// show its named `fault.*` counter > 0 ("fired"), invariants "ok"
+/// (conservation + ledger consistency checked right after each injection),
+/// and conserved "yes" at the end — faults move the gap, never the
+/// accounting. The clean row anchors Δgap; the duplicated-release and
+/// poisoned-observer rows also drive the engine's own no-silent-drops
+/// counters (`route.rejected_unknown_ticket`, `observer.errors`), surfaced
+/// in the drops column.
+pub fn e18_replay_faults(quick: bool) -> Table {
+    use pba_replay::{
+        churn_trace, inject_ingress_reorder, replay::replay, Fault, FaultPlan, ReplayConfig,
+    };
+
+    let (bins, ticks, rate): (usize, u64, usize) = if quick { (16, 20, 8) } else { (64, 80, 16) };
+    let policy = Policy::TwoChoice;
+    let trace = churn_trace(
+        StreamConfig::new(bins).batch_size(bins).seed(18),
+        ticks,
+        rate,
+        0.4,
+        ticks / 4,
+    );
+    let m = trace.arrivals();
+    // Scripted-release balls, for the faults that target a release.
+    let scripted = trace.scripted_releases();
+    assert!(
+        scripted.len() >= 2,
+        "the churn trace must script releases for E18's fault targets"
+    );
+
+    let clean = replay(&trace, &ReplayConfig::stream(policy)).expect("clean replay");
+    let mut table = Table::with_alignments(
+        "E18: replay determinism and fault injection — every fault class fires its counter and keeps the invariants",
+        &[
+            ("fault", Align::Left),
+            ("counter", Align::Left),
+            ("fired", Align::Right),
+            ("final gap", Align::Right),
+            ("Δgap vs clean", Align::Right),
+            ("resident", Align::Right),
+            ("drops", Align::Right),
+            ("conserved", Align::Left),
+            ("invariants", Align::Left),
+        ],
+    );
+    table.push_row([
+        Cell::from("none (clean replay)"),
+        Cell::from("—"),
+        Cell::from(0u64),
+        Cell::from(clean.final_gap),
+        Cell::from(0.0),
+        Cell::from(clean.resident),
+        Cell::from(clean.drops),
+        Cell::from(if clean.conserved { "yes" } else { "NO" }),
+        Cell::from("ok"),
+    ]);
+
+    let faults = [
+        Fault::CrashBin {
+            after_arrival: m / 2,
+            bin: 1,
+        },
+        Fault::DelayRelease {
+            arrival: scripted[0],
+            until: m.saturating_sub(2),
+        },
+        Fault::DuplicateRelease {
+            arrival: scripted[1],
+        },
+        Fault::ReorderWindow {
+            start: m / 3,
+            len: bins,
+        },
+        Fault::PoisonObserver {
+            after_arrival: m / 2,
+        },
+        Fault::Backpressure { capacity: 8 },
+    ];
+    for fault in faults {
+        let run = FaultPlan::single(fault).run(&trace, policy);
+        let fired = run.checks.iter().map(|c| c.fired).max().unwrap_or(0);
+        let violation = run
+            .checks
+            .iter()
+            .find_map(|c| c.invariant_error.clone())
+            .unwrap_or_else(|| "ok".into());
+        table.push_row([
+            Cell::from(fault.name()),
+            Cell::from(fault.counter()),
+            Cell::from(fired),
+            Cell::from(run.outcome.final_gap),
+            Cell::from(run.outcome.final_gap - clean.final_gap),
+            Cell::from(run.outcome.resident),
+            Cell::from(run.outcome.drops),
+            Cell::from(if run.outcome.conserved { "yes" } else { "NO" }),
+            Cell::from(violation),
+        ]);
+    }
+
+    // Ingress-level reordering needs the concurrent push path (stamp a ball
+    // early, deliver it after a drain sequenced past it).
+    let (check, late) = inject_ingress_reorder(&trace, policy, 8);
+    table.push_row([
+        Cell::from("reordered-ingress"),
+        Cell::from(check.counter.clone()),
+        Cell::from(check.fired),
+        Cell::from("—"),
+        Cell::from("—"),
+        Cell::from("—"),
+        Cell::from(late),
+        Cell::from("yes"),
+        Cell::from(check.invariant_error.clone().unwrap_or_else(|| "ok".into())),
+    ]);
+    table
+}
+
+/// Runs every experiment and returns all tables in order (E1 … E18).
 pub fn all_experiments(quick: bool) -> Vec<Table> {
     let mut tables = vec![
         e1_heavy_load_and_rounds(quick),
@@ -1453,6 +1577,7 @@ pub fn all_experiments(quick: bool) -> Vec<Table> {
     tables.push(e15_execution_layer(quick));
     tables.push(e16_concurrent_routing(quick));
     tables.push(e17_socket_serving(quick));
+    tables.push(e18_replay_faults(quick));
     tables
 }
 
@@ -1716,6 +1841,27 @@ mod tests {
             let drops: u64 = row[9].0.parse().unwrap();
             assert_eq!(drops, 0, "a clean workload drops nothing");
             assert_eq!(row[10].0, "yes", "conservation at {callers} callers");
+        }
+    }
+
+    #[test]
+    fn e18_quick_every_fault_row_fires_and_holds_invariants() {
+        let t = e18_replay_faults(true);
+        // clean + 6 fault classes + ingress reorder.
+        assert_eq!(t.n_rows(), 8);
+        assert_eq!(t.n_cols(), 9);
+        assert_eq!(t.rows()[0][0].0, "none (clean replay)");
+        assert_eq!(t.rows()[0][6].0, "0", "a clean replay drops nothing");
+        for row in t.rows().iter().skip(1) {
+            let fired: u64 = row[2].0.parse().unwrap();
+            assert!(fired > 0, "fault {} must fire its counter", row[0].0);
+            assert!(
+                row[1].0.starts_with("fault."),
+                "named counter: {}",
+                row[1].0
+            );
+            assert_eq!(row[7].0, "yes", "conservation under fault {}", row[0].0);
+            assert_eq!(row[8].0, "ok", "invariants under fault {}", row[0].0);
         }
     }
 

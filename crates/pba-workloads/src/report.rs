@@ -155,6 +155,20 @@ fn commentary(title: &str) -> &'static str {
          serialise, so req/s is a smoke number — the latency quantiles and structural columns \
          carry the reproduction."
     }
+        "E18" => {
+        "The replay and fault-injection harness: a recorded churn trace (the pba-replay text \
+         codec, byte-stable under encode∘decode) replays deterministically on the streaming \
+         engine — the clean row is bit-reproducible and is the same fingerprint the committed \
+         golden files pin across engines and thread counts. Each fault row injects one scripted \
+         failure class (bin crash mid-batch, delayed release, duplicated release, reversed \
+         arrival window, observer poisoning, observer backpressure, ingress-level out-of-order \
+         delivery) and must show three things at once: the fault's named `fault.*` counter \
+         fired (no silent faults), the conservation and ledger invariants held right after the \
+         injection (faults move the gap, never the accounting), and — where the engine itself \
+         rejects something — the engine's own no-silent-drops counter fired too (a duplicated \
+         release lands in `route.rejected_unknown_ticket`, a poisoned observer in \
+         `observer.errors`, a late ingress delivery in `ingress.late_arrivals`)."
+    }
         _ => "",
     }
 }
@@ -228,7 +242,10 @@ mod tests {
         assert!(commentary("E141: typo").is_empty());
         assert!(commentary("E161: typo").is_empty());
         assert!(commentary("E171: typo").is_empty());
-        assert!(commentary("E18: future").is_empty());
+        assert_ne!(commentary("E18: x"), commentary("E1: x"));
+        assert!(commentary("E18: replay").contains("fault"));
+        assert!(commentary("E181: typo").is_empty());
+        assert!(commentary("E19: future").is_empty());
         assert!(commentary("E4ab: typo").is_empty());
         // The token parser handles title shapes beyond "Exx:".
         assert_eq!(experiment_token("E9b — dashes"), "E9b");
@@ -239,7 +256,7 @@ mod tests {
     fn every_known_experiment_has_commentary() {
         for prefix in [
             "E1", "E2", "E3", "E4a", "E4b", "E5", "E6", "E7", "E8a", "E8b", "E9a", "E9b", "E10",
-            "E11", "E12", "E13", "E14", "E15", "E16", "E17",
+            "E11", "E12", "E13", "E14", "E15", "E16", "E17", "E18",
         ] {
             assert!(
                 !commentary(&format!("{prefix}: x")).is_empty(),

@@ -23,7 +23,8 @@
 //! | [`stream`] | `pba-stream` | the online, sharded, batched streaming allocation engine (two-choice on stale loads, weighted two-choice and capacity-aware thresholds for heterogeneous backends, arrival processes, ticket-based churn scenarios, runtime reweighting) — a native [`Router`](model::Router) — plus the **concurrent serving core** ([`ConcurrentRouter`](stream::ConcurrentRouter): a cloneable shared handle routing from many threads at once over epoch-published snapshots) |
 //! | [`stats`] | `pba-stats` | tails, histograms, load metrics, fits, tables, multi-seed aggregation |
 //! | [`obs`] | `pba-obs` | the observability substrate: [`MetricsRegistry`](obs::MetricsRegistry) (counters, gauges, log-bucketed latency histograms), pluggable [`MetricSink`](obs::MetricSink)s, the "no silent drops" counter inventory |
-//! | [`workloads`] | `pba-workloads` | experiment configurations and the E1–E17 experiment definitions |
+//! | [`replay`] | `pba-replay` | deterministic trace replay: the versioned trace codec ([`Trace`](replay::Trace)), [`TraceRecorder`](replay::TraceRecorder), the [`replay()`](replay::replay::replay) driver (any engine × all policies), golden-snapshot hashing, and the scripted fault-injection harness ([`FaultPlan`](replay::FaultPlan)) with post-fault invariant checks |
+//! | [`workloads`] | `pba-workloads` | experiment configurations and the E1–E18 experiment definitions |
 //!
 //! ## Quick start
 //!
@@ -51,6 +52,7 @@ pub use pba_concurrent as concurrent;
 pub use pba_lowerbound as lowerbound;
 pub use pba_model as model;
 pub use pba_obs as obs;
+pub use pba_replay as replay;
 pub use pba_stats as stats;
 pub use pba_stream as stream;
 pub use pba_workloads as workloads;
@@ -67,6 +69,9 @@ pub mod prelude {
         RouteError, Router, RouterObserver, RouterStats, Ticket,
     };
     pub use pba_obs::{MetricsRegistry, MetricsSnapshot, SinkHub};
+    pub use pba_replay::{
+        replay::replay, Fault, FaultPlan, ReplayConfig, ReplayEngine, Trace, TraceRecorder,
+    };
     pub use pba_stats::{LoadMetrics, Table};
     pub use pba_stream::{
         ArrivalProcess, ConcurrentRouter, LineClient, Policy as StreamPolicy, ServerConfig,
