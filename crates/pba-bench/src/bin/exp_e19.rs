@@ -1,0 +1,9 @@
+//! E19 — elastic cluster membership: the canonical autoscaling shapes
+//! (ramp-up, flash crowd, rolling restart, scale-to-zero) run as scripted
+//! `ScaleScenario`s against a live stream, with migration volume,
+//! availability and the final gap compared against a never-scaled
+//! cluster's two-choice envelope.
+fn main() {
+    let opts = pba_bench::ExpOptions::from_env();
+    opts.print_all(&[pba_workloads::experiments::e19_autoscale(!opts.full)]);
+}

@@ -1,4 +1,4 @@
-//! Regenerates every experiment table (E1–E17) and prints the EXPERIMENTS.md body.
+//! Regenerates every experiment table (E1–E19) and prints the EXPERIMENTS.md body.
 //!
 //! Usage:
 //!   cargo run -p pba-bench --release --bin gen_tables            # quick sweeps, text tables

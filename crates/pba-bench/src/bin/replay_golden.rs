@@ -44,7 +44,11 @@ fn policies() -> [Policy; 6] {
 
 /// The traces the golden files pin, from their canonical constructors.
 fn traces() -> Vec<Trace> {
-    vec![Trace::mini(), Trace::mini_reweighted()]
+    vec![
+        Trace::mini(),
+        Trace::mini_reweighted(),
+        Trace::mini_membership(),
+    ]
 }
 
 /// Renders the full deterministic matrix for one trace.

@@ -63,8 +63,8 @@ pub use outcome::{AllocationOutcome, Allocator};
 pub use protocol::{Protocol, RoundCtx};
 pub use rng::{SeedSeq, SplitMix64};
 pub use router::{
-    BatchEvent, ConcurrentRouter, OneShotRouter, Placement, RegistryObserver, ReleaseEvent,
-    ReweightEvent, RouteError, RouteEvent, Router, RouterObserver, RouterStats, SharedTicketLedger,
-    Ticket, TicketLedger,
+    BatchEvent, ConcurrentRouter, MembershipChange, OneShotRouter, Placement, RegistryObserver,
+    ReleaseEvent, ReweightEvent, RouteError, RouteEvent, Router, RouterObserver, RouterStats,
+    SharedTicketLedger, Ticket, TicketLedger,
 };
 pub use weights::{AliasTable, BinWeights, ResolvedWeights, WeightTier};

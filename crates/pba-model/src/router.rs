@@ -249,6 +249,26 @@ pub struct RouteEvent {
     pub resident: u64,
 }
 
+/// A membership change taking effect at a batch boundary: bins were
+/// commissioned, started draining, or retired. Fired only when at least one
+/// staged event was accepted (a fully rejected plan fires counters, not
+/// observers).
+#[derive(Debug, Clone, Copy)]
+pub struct MembershipChange<'a> {
+    /// Batches completed before the change took effect.
+    pub batch_index: u64,
+    /// Newly commissioned slots, as `(slot, weight)`.
+    pub added: &'a [(u32, f64)],
+    /// Slots that moved to draining (out of the sampling set).
+    pub drained: &'a [u32],
+    /// Slots retired (empty, reusable).
+    pub removed: &'a [u32],
+    /// The post-change active set (sorted slot indices).
+    pub active: &'a [u32],
+    /// Balls resident at the boundary.
+    pub resident: u64,
+}
+
 /// Pluggable metrics sink for router lifecycles. All hooks default to no-ops,
 /// so an observer implements only what it cares about. Streaming engines call
 /// `on_route` per routed (ticketed) arrival, `on_batch` once per drained
@@ -266,6 +286,10 @@ pub trait RouterObserver {
 
     /// New bin weights took effect at a batch boundary.
     fn on_reweight(&mut self, _event: &ReweightEvent<'_>) {}
+
+    /// A membership change (add / drain / remove) took effect at a batch
+    /// boundary.
+    fn on_membership(&mut self, _event: &MembershipChange<'_>) {}
 
     /// A resident ball departed through [`Router::release`].
     fn on_release(&mut self, _event: &ReleaseEvent) {}
@@ -411,6 +435,12 @@ pub struct TicketLedger {
     /// This ledger's process-unique realm id.
     realm: u64,
     inner: LedgerInner,
+    /// Balls moved by [`migrate`](Self::migrate): ball id → current bin.
+    /// Lets a ticket issued *before* the migration still redeem (the ball is
+    /// the same resident, it just lives elsewhere now). Entries are dropped
+    /// on redemption; a never-migrating ledger keeps this empty and pays one
+    /// `is_empty` check per redeem.
+    moved: HashMap<u64, u32>,
 }
 
 impl TicketLedger {
@@ -419,6 +449,7 @@ impl TicketLedger {
         Self {
             realm: NEXT_REALM.fetch_add(1, Ordering::Relaxed),
             inner: LedgerInner::new(0, n),
+            moved: HashMap::new(),
         }
     }
 
@@ -433,14 +464,42 @@ impl TicketLedger {
         }
     }
 
-    /// Validates and removes a ticket, returning the bin it resided in. The
-    /// realm, ball id and bin must all match a resident placement.
-    pub fn redeem(&mut self, ticket: Ticket) -> Result<usize, RouteError> {
-        if ticket.realm == self.realm && self.inner.redeem(ticket.id(), ticket.bin()) {
-            Ok(ticket.bin())
-        } else {
-            Err(RouteError::UnknownTicket { ticket })
+    /// Moves resident ball `id` from bin `from` to bin `to` without retiring
+    /// its ticket: any outstanding ticket for the ball keeps redeeming (the
+    /// ledger remembers the ball's current bin). Returns `false` when
+    /// `(id, from)` names no resident ball. Used by drain migration — the
+    /// ball's placement changes, its identity and handle do not.
+    pub fn migrate(&mut self, id: u64, from: usize, to: usize) -> bool {
+        if !self.inner.redeem(id, from) {
+            return false;
         }
+        self.inner.issue(id, to);
+        self.moved.insert(id, to as u32);
+        true
+    }
+
+    /// Validates and removes a ticket, returning the bin the ball resided in
+    /// (which can differ from `ticket.bin()` if the ball was migrated). The
+    /// realm and ball id must match a resident placement; the bin must match
+    /// the ball's current bin or its migration record.
+    pub fn redeem(&mut self, ticket: Ticket) -> Result<usize, RouteError> {
+        if ticket.realm == self.realm {
+            if self.inner.redeem(ticket.id(), ticket.bin()) {
+                if !self.moved.is_empty() {
+                    self.moved.remove(&ticket.id());
+                }
+                return Ok(ticket.bin());
+            }
+            // The ball may have been migrated since this ticket was issued;
+            // its record names the current bin.
+            if let Some(&bin) = self.moved.get(&ticket.id()) {
+                if self.inner.redeem(ticket.id(), bin as usize) {
+                    self.moved.remove(&ticket.id());
+                    return Ok(bin as usize);
+                }
+            }
+        }
+        Err(RouteError::UnknownTicket { ticket })
     }
 
     /// Number of resident (unreleased) tickets.
@@ -490,6 +549,16 @@ pub struct SharedTicketLedger {
     bins: usize,
     /// Per-shard ledgers over contiguous bin ranges.
     shards: Vec<Mutex<LedgerInner>>,
+    /// Balls moved by [`migrate`](Self::migrate): ball id → current bin, so
+    /// tickets issued before a migration still redeem. Lock order: shard
+    /// locks may be held while taking `moved` (migration records its move
+    /// atomically with the shard transfer); `moved` is **never** held while
+    /// taking a shard lock — redeem's fallback reads the record, releases,
+    /// then locks the target shard — so the two lock families cannot cycle.
+    moved: Mutex<HashMap<u64, u32>>,
+    /// Fast-path guard: `true` once any migration happened. Never-migrating
+    /// ledgers skip the `moved` bookkeeping entirely.
+    has_moved: std::sync::atomic::AtomicBool,
 }
 
 impl SharedTicketLedger {
@@ -507,12 +576,65 @@ impl SharedTicketLedger {
                     Mutex::new(LedgerInner::new(start, end - start))
                 })
                 .collect(),
+            moved: Mutex::new(HashMap::new()),
+            has_moved: std::sync::atomic::AtomicBool::new(false),
         }
     }
 
-    /// The shard owning `bin`: `⌊bin·S/n⌋`.
+    /// The index of the shard owning `bin`: `⌊bin·S/n⌋`.
+    fn shard_index(&self, bin: usize) -> usize {
+        bin * self.shards.len() / self.bins
+    }
+
+    /// The shard owning `bin`.
     fn shard_of(&self, bin: usize) -> &Mutex<LedgerInner> {
-        &self.shards[bin * self.shards.len() / self.bins]
+        &self.shards[self.shard_index(bin)]
+    }
+
+    /// Moves resident ball `id` from bin `from` to bin `to` without retiring
+    /// its ticket: outstanding tickets keep redeeming against the ball's
+    /// current bin. Both shard locks are taken in index order (one lock when
+    /// the bins share a shard) and the migration record is written while
+    /// they are held, so a concurrent redeem either sees the ball in its old
+    /// bin or finds the completed record — never a gap. Returns `false` when
+    /// `(id, from)` names no resident ball.
+    pub fn migrate(&self, id: u64, from: usize, to: usize) -> bool {
+        if from >= self.bins || to >= self.bins {
+            return false;
+        }
+        let a = self.shard_index(from);
+        let b = self.shard_index(to);
+        if a == b {
+            let mut shard = self.shards[a].lock().expect("ledger shard");
+            if !shard.redeem(id, from) {
+                return false;
+            }
+            shard.issue(id, to);
+            self.moved
+                .lock()
+                .expect("ledger moved")
+                .insert(id, to as u32);
+        } else {
+            let (lo, hi) = (a.min(b), a.max(b));
+            let mut guard_lo = self.shards[lo].lock().expect("ledger shard");
+            let mut guard_hi = self.shards[hi].lock().expect("ledger shard");
+            let (from_shard, to_shard) = if a < b {
+                (&mut *guard_lo, &mut *guard_hi)
+            } else {
+                (&mut *guard_hi, &mut *guard_lo)
+            };
+            if !from_shard.redeem(id, from) {
+                return false;
+            }
+            to_shard.issue(id, to);
+            self.moved
+                .lock()
+                .expect("ledger moved")
+                .insert(id, to as u32);
+        }
+        self.has_moved
+            .store(true, std::sync::atomic::Ordering::Release);
+        true
     }
 
     /// Records a placement and returns its ticket. Locks only the bin's
@@ -529,23 +651,66 @@ impl SharedTicketLedger {
         }
     }
 
-    /// Validates and removes a ticket, returning the bin it resided in.
-    /// Realm, ball id and bin must all match a resident placement; the check
-    /// and removal are atomic under the bin shard's lock, so concurrent
-    /// double releases of the same ticket resolve to exactly one success.
+    /// Validates and removes a ticket, returning the bin the ball resided in
+    /// (which can differ from `ticket.bin()` if the ball was migrated).
+    /// Realm and ball id must match a resident placement; the check and
+    /// removal are atomic under the bin shard's lock, so concurrent double
+    /// releases of the same ticket resolve to exactly one success.
     pub fn redeem(&self, ticket: Ticket) -> Result<usize, RouteError> {
         let bin = ticket.bin();
-        if ticket.realm == self.realm
-            && bin < self.bins
-            && self
-                .shard_of(bin)
-                .lock()
-                .expect("ledger shard")
-                .redeem(ticket.id(), bin)
+        if ticket.realm != self.realm || bin >= self.bins {
+            return Err(RouteError::UnknownTicket { ticket });
+        }
+        if self
+            .shard_of(bin)
+            .lock()
+            .expect("ledger shard")
+            .redeem(ticket.id(), bin)
         {
-            Ok(bin)
-        } else {
-            Err(RouteError::UnknownTicket { ticket })
+            if self.has_moved.load(std::sync::atomic::Ordering::Acquire) {
+                self.moved
+                    .lock()
+                    .expect("ledger moved")
+                    .remove(&ticket.id());
+            }
+            return Ok(bin);
+        }
+        if !self.has_moved.load(std::sync::atomic::Ordering::Acquire) {
+            return Err(RouteError::UnknownTicket { ticket });
+        }
+        // Migration fallback: the record names the ball's current bin. Read
+        // it, release, then lock that shard (never hold `moved` across a
+        // shard lock). A re-migration can race between the read and the
+        // redeem; retry until the record stops changing.
+        let mut last = None;
+        loop {
+            let current = self
+                .moved
+                .lock()
+                .expect("ledger moved")
+                .get(&ticket.id())
+                .copied();
+            let Some(cur) = current else {
+                return Err(RouteError::UnknownTicket { ticket });
+            };
+            if last == Some(cur) {
+                return Err(RouteError::UnknownTicket { ticket });
+            }
+            let cur_bin = cur as usize;
+            if cur_bin < self.bins
+                && self
+                    .shard_of(cur_bin)
+                    .lock()
+                    .expect("ledger shard")
+                    .redeem(ticket.id(), cur_bin)
+            {
+                self.moved
+                    .lock()
+                    .expect("ledger moved")
+                    .remove(&ticket.id());
+                return Ok(cur_bin);
+            }
+            last = Some(cur);
         }
     }
 
@@ -882,6 +1047,111 @@ mod tests {
             assert!(ledger.redeem(ticket).is_err(), "double release");
         }
         assert!(ledger.is_empty());
+    }
+
+    #[test]
+    fn ledger_migration_keeps_old_tickets_redeemable() {
+        let mut ledger = TicketLedger::new(4);
+        let ticket = ledger.issue(7, 1);
+        assert!(ledger.migrate(7, 1, 3));
+        assert_eq!(ledger.count_in(1), 0);
+        assert_eq!(ledger.count_in(3), 1);
+        // The pre-migration ticket redeems and reports the *current* bin.
+        assert_eq!(ledger.redeem(ticket), Ok(3));
+        assert!(ledger.is_empty());
+        // Double release after migration is still rejected.
+        assert!(ledger.redeem(ticket).is_err());
+        // Migrating a non-resident ball fails cleanly.
+        assert!(!ledger.migrate(7, 3, 0));
+    }
+
+    #[test]
+    fn ledger_migration_chain_follows_to_the_latest_bin() {
+        let mut ledger = TicketLedger::new(8);
+        let ticket = ledger.issue(1, 0);
+        assert!(ledger.migrate(1, 0, 4));
+        assert!(ledger.migrate(1, 4, 6));
+        assert_eq!(ledger.redeem(ticket), Ok(6));
+        assert!(ledger.is_empty());
+    }
+
+    #[test]
+    fn shared_ledger_migration_keeps_old_tickets_redeemable() {
+        // 8 bins in 3 shards: migrate within a shard and across shards.
+        let ledger = SharedTicketLedger::new(8, 3);
+        let same_shard = ledger.issue(1, 0);
+        let cross_shard = ledger.issue(2, 1);
+        assert!(ledger.migrate(1, 0, 1), "within shard 0");
+        assert!(ledger.migrate(2, 1, 7), "shard 0 → shard 2");
+        assert_eq!(ledger.count_in(0), 0);
+        assert_eq!(ledger.count_in(1), 1);
+        assert_eq!(ledger.count_in(7), 1);
+        assert_eq!(ledger.redeem(same_shard), Ok(1));
+        assert_eq!(ledger.redeem(cross_shard), Ok(7));
+        assert!(ledger.is_empty());
+        assert!(ledger.redeem(cross_shard).is_err(), "double release");
+        assert!(!ledger.migrate(9, 0, 1), "unknown ball");
+        assert!(!ledger.migrate(1, 0, 800), "out of range");
+    }
+
+    #[test]
+    fn shared_ledger_fresh_ticket_after_migration_clears_the_record() {
+        let ledger = SharedTicketLedger::new(4, 2);
+        let old = ledger.issue(5, 0);
+        assert!(ledger.migrate(5, 0, 3));
+        // A fresh handle at the current bin (what `resident_in` hands churn
+        // drivers) redeems via the fast path…
+        let fresh = ledger.resident_in(3).expect("migrated ball resident");
+        assert_eq!(fresh.bin(), 3);
+        assert_eq!(ledger.redeem(fresh), Ok(3));
+        // …and the stale pre-migration handle is now a double release.
+        assert!(ledger.redeem(old).is_err());
+        assert!(ledger.is_empty());
+    }
+
+    #[test]
+    fn shared_ledger_migration_races_with_redeem() {
+        use std::sync::Arc;
+        // One thread migrates balls 0..N round-robin across bins while
+        // another releases them via their original tickets; every ball must
+        // be released exactly once whatever the interleaving.
+        let ledger = Arc::new(SharedTicketLedger::new(8, 4));
+        let tickets: Vec<Ticket> = (0..400u64).map(|id| ledger.issue(id, 0)).collect();
+        let migrator = {
+            let ledger = Arc::clone(&ledger);
+            std::thread::spawn(move || {
+                for id in 0..400u64 {
+                    if ledger.migrate(id, 0, (1 + id % 7) as usize) {
+                        ledger.migrate(id, (1 + id % 7) as usize, (7 - id % 7) as usize);
+                    }
+                }
+            })
+        };
+        let mut released = 0u64;
+        for ticket in tickets {
+            if ledger.redeem(ticket).is_ok() {
+                released += 1;
+            }
+        }
+        migrator.join().expect("migrator thread");
+        // Some redeems may observe the ball mid-flight and fail spuriously is
+        // NOT allowed: every ball was resident somewhere the whole time.
+        assert_eq!(released, 400, "every original ticket must redeem");
+        assert!(ledger.is_empty());
+    }
+
+    #[test]
+    fn membership_change_observer_hook_defaults_to_noop() {
+        struct Silent;
+        impl RouterObserver for Silent {}
+        Silent.on_membership(&MembershipChange {
+            batch_index: 3,
+            added: &[(4, 2.0)],
+            drained: &[0],
+            removed: &[],
+            active: &[1, 2, 3, 4],
+            resident: 10,
+        });
     }
 
     #[test]

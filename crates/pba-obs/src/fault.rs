@@ -20,6 +20,8 @@
 //! | `fault.dropped_releases` | a scripted release was skipped entirely (its ball stays resident) |
 //! | `fault.poisoned_observers` | an observer was poisoned by an injected panic |
 //! | `fault.backpressure_dropped` | a bounded observer queue shed one event |
+//! | `fault.bins_added` | a bin was commissioned mid-trace by an injected scale-up |
+//! | `fault.bins_drained` | a bin was put into draining mid-trace by an injected scale-down |
 
 use std::sync::Arc;
 
@@ -43,6 +45,10 @@ pub struct FaultCounters {
     pub poisoned_observers: Counter,
     /// `fault.backpressure_dropped` — events shed by bounded observer queues.
     pub backpressure_dropped: Counter,
+    /// `fault.bins_added` — bins commissioned mid-trace by injected scale-ups.
+    pub bins_added: Counter,
+    /// `fault.bins_drained` — bins drained mid-trace by injected scale-downs.
+    pub bins_drained: Counter,
 }
 
 impl FaultCounters {
@@ -56,6 +62,8 @@ impl FaultCounters {
             dropped_releases: registry.counter("fault.dropped_releases"),
             poisoned_observers: registry.counter("fault.poisoned_observers"),
             backpressure_dropped: registry.counter("fault.backpressure_dropped"),
+            bins_added: registry.counter("fault.bins_added"),
+            bins_drained: registry.counter("fault.bins_drained"),
         }
     }
 }

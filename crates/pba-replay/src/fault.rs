@@ -12,6 +12,8 @@
 //! | [`Fault::ReorderWindow`] | deliver a window of arrivals in reverse order | `fault.reordered_arrivals` |
 //! | [`Fault::PoisonObserver`] | poison an observer's lock mid-run | `fault.poisoned_observers` |
 //! | [`Fault::Backpressure`] | bound an observer's queue so it sheds events | `fault.backpressure_dropped` |
+//! | [`Fault::AddBinMidTrace`] | stage an unscripted bin commission mid-trace | `fault.bins_added` |
+//! | [`Fault::DrainBinMidTrace`] | stage an unscripted bin drain mid-trace | `fault.bins_drained` |
 //!
 //! After each injection the harness runs the [`crate::invariants`] checks —
 //! conservation, ledger consistency, counter identities — and records the
@@ -31,7 +33,7 @@ use std::sync::{Arc, Mutex};
 
 use pba_model::router::{RouteEvent, RouterObserver, Ticket};
 use pba_obs::{FaultCounters, MetricsRegistry};
-use pba_stream::{ConcurrentRouter, Policy, Router, StreamAllocator, StreamConfig};
+use pba_stream::{ConcurrentRouter, MembershipPlan, Policy, Router, StreamAllocator, StreamConfig};
 
 use crate::invariants;
 use crate::replay::{ReplayEngine, ReplayOutcome};
@@ -84,6 +86,26 @@ pub enum Fault {
         /// Queue bound.
         capacity: usize,
     },
+    /// Stage an **unscripted** bin commission after arrival `after_arrival`
+    /// — a scale-up the trace never recorded. The harness sizes the engine's
+    /// reserve so the add cannot be rejected for lack of a retired slot; the
+    /// engine applies it at its next batch boundary.
+    AddBinMidTrace {
+        /// Injection point.
+        after_arrival: u64,
+        /// Capacity weight of the commissioned bin.
+        weight: f64,
+    },
+    /// Stage an **unscripted** drain of `bin` after arrival `after_arrival`
+    /// — a scale-down the trace never recorded. The bin leaves the sampling
+    /// set at the next boundary but keeps its residents (conservation must
+    /// hold through and after the shrink).
+    DrainBinMidTrace {
+        /// Injection point.
+        after_arrival: u64,
+        /// The bin to drain.
+        bin: u32,
+    },
 }
 
 impl Fault {
@@ -96,6 +118,8 @@ impl Fault {
             Self::ReorderWindow { .. } => "reordered-arrivals",
             Self::PoisonObserver { .. } => "poisoned-observer",
             Self::Backpressure { .. } => "backpressure",
+            Self::AddBinMidTrace { .. } => "bin-added-mid-trace",
+            Self::DrainBinMidTrace { .. } => "bin-drained-mid-trace",
         }
     }
 
@@ -108,6 +132,8 @@ impl Fault {
             Self::ReorderWindow { .. } => "fault.reordered_arrivals",
             Self::PoisonObserver { .. } => "fault.poisoned_observers",
             Self::Backpressure { .. } => "fault.backpressure_dropped",
+            Self::AddBinMidTrace { .. } => "fault.bins_added",
+            Self::DrainBinMidTrace { .. } => "fault.bins_drained",
         }
     }
 }
@@ -196,11 +222,19 @@ impl FaultPlan {
     pub fn run(&self, trace: &Trace, policy: Policy) -> FaultRun {
         let registry = Arc::new(MetricsRegistry::new());
         let fault_counters = FaultCounters::resolve(&registry);
+        // Size the reserve so neither the trace's own `m add` lines nor the
+        // injected scale-ups can be rejected for lack of a retired slot.
+        let injected_adds = self
+            .faults
+            .iter()
+            .filter(|f| matches!(f, Fault::AddBinMidTrace { .. }))
+            .count();
         let mut stream = StreamAllocator::new(
             StreamConfig::new(trace.bins)
                 .policy(policy)
                 .batch_size(trace.batch_size)
-                .seed(trace.seed),
+                .seed(trace.seed)
+                .reserve_bins(trace.needed_reserve() + injected_adds),
         );
         stream.install_metrics(registry.clone());
 
@@ -210,6 +244,8 @@ impl FaultPlan {
         let mut delays: HashMap<u64, u64> = HashMap::new();
         let mut duplicates: HashSet<u64> = HashSet::new();
         let mut reorder_at: HashMap<u64, usize> = HashMap::new();
+        let mut add_bin_at: HashMap<u64, Vec<f64>> = HashMap::new();
+        let mut drain_bin_at: HashMap<u64, Vec<u32>> = HashMap::new();
         let mut queue_capacity: Option<usize> = None;
         for fault in &self.faults {
             match *fault {
@@ -229,6 +265,15 @@ impl FaultPlan {
                     poison_at.insert(after_arrival);
                 }
                 Fault::Backpressure { capacity } => queue_capacity = Some(capacity),
+                Fault::AddBinMidTrace {
+                    after_arrival,
+                    weight,
+                } => {
+                    add_bin_at.entry(after_arrival).or_default().push(weight);
+                }
+                Fault::DrainBinMidTrace { after_arrival, bin } => {
+                    drain_bin_at.entry(after_arrival).or_default().push(bin);
+                }
             }
         }
 
@@ -247,12 +292,14 @@ impl FaultPlan {
             .iter()
             .filter_map(|e| match e {
                 TraceEvent::Arrival { key, .. } => Some(*key),
-                TraceEvent::Reweight { .. } => None,
+                TraceEvent::Reweight { .. } | TraceEvent::Membership { .. } => None,
             })
             .collect();
         let m = arrivals.len() as u64;
-        // Reweight events, keyed by the arrival id they precede.
+        // Reweight and scripted membership events, keyed by the arrival id
+        // they precede.
         let mut reweight_before: HashMap<u64, Vec<&[f64]>> = HashMap::new();
+        let mut membership_before: HashMap<u64, MembershipPlan> = HashMap::new();
         {
             let mut id = 0u64;
             for event in &trace.events {
@@ -260,6 +307,12 @@ impl FaultPlan {
                     TraceEvent::Arrival { .. } => id += 1,
                     TraceEvent::Reweight { weights } => {
                         reweight_before.entry(id).or_default().push(weights);
+                    }
+                    TraceEvent::Membership { event } => {
+                        membership_before
+                            .entry(id)
+                            .or_default()
+                            .extend(MembershipPlan::new().push(*event));
                     }
                 }
             }
@@ -303,6 +356,9 @@ impl FaultPlan {
                              id: u64| {
             for weights in reweight_before.remove(&id).unwrap_or_default() {
                 stream.set_weights(Trace::weights_of(weights));
+            }
+            if let Some(plan) = membership_before.remove(&id) {
+                stream.stage_membership(plan);
             }
             let placement = stream
                 .route(arrivals[id as usize])
@@ -392,6 +448,26 @@ impl FaultPlan {
                     bin,
                 };
                 let fired = fault_counters.bin_crash_releases.get();
+                checks.push(check(&stream, &fault, fired));
+            }
+            for weight in add_bin_at.remove(&id).unwrap_or_default() {
+                stream.stage_membership(MembershipPlan::new().add(weight));
+                fault_counters.bins_added.inc();
+                let fault = Fault::AddBinMidTrace {
+                    after_arrival: id,
+                    weight,
+                };
+                let fired = fault_counters.bins_added.get();
+                checks.push(check(&stream, &fault, fired));
+            }
+            for bin in drain_bin_at.remove(&id).unwrap_or_default() {
+                stream.stage_membership(MembershipPlan::new().drain(bin));
+                fault_counters.bins_drained.inc();
+                let fault = Fault::DrainBinMidTrace {
+                    after_arrival: id,
+                    bin,
+                };
+                let fired = fault_counters.bins_drained.get();
                 checks.push(check(&stream, &fault, fired));
             }
             if poison_at.remove(&id) {
@@ -559,6 +635,65 @@ mod tests {
         assert_eq!(check.counter, "fault.bin_crash_releases");
         // After a crash at the very end, bin 0 holds no tickets.
         assert!(run.outcome.conserved);
+    }
+
+    #[test]
+    fn membership_faults_fire_their_counters_and_keep_invariants() {
+        let trace = Trace::mini();
+        let plan = FaultPlan {
+            faults: vec![
+                Fault::AddBinMidTrace {
+                    after_arrival: 12,
+                    weight: 2.0,
+                },
+                Fault::DrainBinMidTrace {
+                    after_arrival: 28,
+                    bin: 3,
+                },
+            ],
+        };
+        let run = plan.run(&trace, Policy::TwoChoice);
+        assert!(run.all_passed(), "{:?}", run.checks);
+        assert!(run.outcome.conserved);
+        // The scale-up grew the slot capacity past the recorded bin count…
+        assert_eq!(run.outcome.loads.len(), trace.bins + 1);
+        let snap = run.registry.snapshot();
+        assert_eq!(snap.counter("fault.bins_added"), 1);
+        assert_eq!(snap.counter("fault.bins_drained"), 1);
+        // …and the engine's own membership counters account for both events
+        // (no silent drops: staged changes either apply or are rejected
+        // visibly — here both are legal and apply).
+        assert_eq!(snap.counter("membership.adds"), 1);
+        assert_eq!(snap.counter("membership.drains"), 1);
+        assert_eq!(snap.counter("membership.rejected_adds"), 0);
+        assert_eq!(snap.counter("membership.rejected_drains"), 0);
+    }
+
+    #[test]
+    fn membership_faults_compose_with_a_scripted_membership_trace() {
+        // Injected scale events on top of a v2 trace that already drains,
+        // removes and re-adds: the reserve sizing must cover both sources.
+        let trace = Trace::mini_membership();
+        let plan = FaultPlan {
+            faults: vec![
+                Fault::AddBinMidTrace {
+                    after_arrival: 40,
+                    weight: 1.5,
+                },
+                Fault::DrainBinMidTrace {
+                    after_arrival: 50,
+                    bin: 1,
+                },
+            ],
+        };
+        let run = plan.run(&trace, Policy::TwoChoice);
+        assert!(run.all_passed(), "{:?}", run.checks);
+        assert!(run.outcome.conserved);
+        let snap = run.registry.snapshot();
+        assert_eq!(snap.counter("membership.adds"), 3); // 2 scripted + 1 injected
+        assert_eq!(snap.counter("membership.drains"), 2); // 1 scripted + 1 injected
+        assert_eq!(snap.counter("membership.removes"), 1);
+        assert_eq!(snap.counter("membership.rejected_adds"), 0);
     }
 
     #[test]

@@ -18,9 +18,10 @@ pub fn check_stream(stream: &StreamAllocator, all_routed: bool) -> Result<(), St
     if !stream.conserves_balls() {
         return Err("conservation violated: placed − departed != Σ loads".into());
     }
-    let per_bin: usize = (0..stream.config().bins)
-        .map(|b| stream.tickets_in(b))
-        .sum();
+    // Sum over the full slot capacity, not just the initial bin count: an
+    // elastic engine may hold residents in added or draining slots past
+    // `config().bins`.
+    let per_bin: usize = (0..stream.capacity()).map(|b| stream.tickets_in(b)).sum();
     if per_bin != stream.resident_tickets() {
         return Err(format!(
             "ledger inconsistent: per-bin ticket counts sum to {per_bin}, \
@@ -38,7 +39,7 @@ pub fn check_stream(stream: &StreamAllocator, all_routed: bool) -> Result<(), St
             stats.released
         ));
     }
-    for bin in 0..stream.config().bins {
+    for bin in 0..stream.capacity() {
         if (stream.tickets_in(bin) as u32) > stream.load(bin) {
             return Err(format!(
                 "bin {bin} holds {} tickets but only load {}",
@@ -63,9 +64,9 @@ pub fn check_concurrent(router: &ConcurrentRouter, all_routed: bool) -> Result<(
             router.batches()
         ));
     }
-    let per_bin: usize = (0..router.config().bins)
-        .map(|b| router.tickets_in(b))
-        .sum();
+    // Capacity-wide for the same reason as [`check_stream`]: elastic routers
+    // can hold residents beyond the initial bin count.
+    let per_bin: usize = (0..router.capacity()).map(|b| router.tickets_in(b)).sum();
     if per_bin != router.resident_tickets() {
         return Err(format!(
             "ledger inconsistent: per-bin ticket counts sum to {per_bin}, \

@@ -38,4 +38,4 @@ pub use golden::{diff_golden, fnv1a64, golden_line, hash_f64s, hash_u32s};
 pub use invariants::{check_concurrent, check_stream};
 pub use record::TraceRecorder;
 pub use replay::{ReplayConfig, ReplayEngine, ReplayError, ReplayOutcome};
-pub use trace::{Trace, TraceError, TraceEvent, TRACE_HEADER};
+pub use trace::{Trace, TraceError, TraceEvent, TRACE_HEADER, TRACE_HEADER_V2};

@@ -19,6 +19,16 @@
 //! checks. `OneShot` replays the arrival **count** through a precomputed
 //! [`OneShotRouter`] (keys are ignored there by contract — the documented
 //! deviation of the adapter), exercising the same release schedule.
+//!
+//! v2 traces (membership events) replay on `Stream` and `Concurrent
+//! {{ callers: 1 }}` — each `m` line stages the change exactly where the
+//! trace interleaves it, the engine applies it at its next batch boundary,
+//! and the 1-caller bit-identity contract extends through scale events. With
+//! k > 1 callers there is no deterministic staging point relative to the
+//! dealt arrivals, and the one-shot adapter has no boundaries at all, so
+//! both refuse with [`ReplayError::UnsupportedMembership`]. The engines are
+//! sized with [`Trace::needed_reserve`] reserve slots so every scripted
+//! `m add` finds a retired slot to commission.
 
 use std::collections::HashMap;
 use std::fmt;
@@ -28,7 +38,7 @@ use pba_algorithms::HeavyAllocator;
 use pba_model::router::{OneShotRouter, Router, Ticket};
 use pba_model::weights::BinWeights;
 use pba_obs::MetricsRegistry;
-use pba_stream::{ConcurrentRouter, Policy, StreamAllocator, StreamConfig};
+use pba_stream::{ConcurrentRouter, MembershipPlan, Policy, StreamAllocator, StreamConfig};
 
 use crate::trace::{Trace, TraceEvent};
 
@@ -126,6 +136,15 @@ pub enum ReplayError {
         /// The engine that cannot replay the trace.
         engine: String,
     },
+    /// The trace stages membership changes, which replay deterministically
+    /// only on [`ReplayEngine::Stream`] and a 1-caller
+    /// [`ReplayEngine::Concurrent`] (a k-caller schedule has no well-defined
+    /// staging point relative to the dealt arrivals, and the one-shot
+    /// adapter has no batch boundaries to apply at).
+    UnsupportedMembership {
+        /// The engine that cannot replay the trace.
+        engine: String,
+    },
     /// `callers` was zero.
     NoCallers,
 }
@@ -135,6 +154,9 @@ impl fmt::Display for ReplayError {
         match self {
             Self::UnsupportedReweight { engine } => {
                 write!(f, "engine {engine} cannot replay a reweighting trace")
+            }
+            Self::UnsupportedMembership { engine } => {
+                write!(f, "engine {engine} cannot replay a membership trace")
             }
             Self::NoCallers => write!(f, "concurrent replay needs at least one caller"),
         }
@@ -217,6 +239,7 @@ fn stream_config(trace: &Trace, config: &ReplayConfig) -> StreamConfig {
         .seed(trace.seed)
         .num_threads(config.num_threads)
         .weights(config.weights.clone())
+        .reserve_bins(trace.needed_reserve())
 }
 
 fn replay_stream(trace: &Trace, config: &ReplayConfig) -> Result<ReplayOutcome, ReplayError> {
@@ -246,6 +269,9 @@ fn replay_stream(trace: &Trace, config: &ReplayConfig) -> Result<ReplayOutcome, 
             }
             TraceEvent::Reweight { weights } => {
                 stream.set_weights(Trace::weights_of(weights));
+            }
+            TraceEvent::Membership { event } => {
+                stream.stage_membership(MembershipPlan::new().push(*event));
             }
         }
     }
@@ -280,15 +306,69 @@ fn replay_concurrent(
             engine: ReplayEngine::Concurrent { callers }.label(),
         });
     }
+    if trace.has_membership() && callers != 1 {
+        return Err(ReplayError::UnsupportedMembership {
+            engine: ReplayEngine::Concurrent { callers }.label(),
+        });
+    }
     let registry = Arc::new(MetricsRegistry::new());
     let router = ConcurrentRouter::with_metrics(stream_config(trace, config), registry.clone());
     let due = release_schedule(trace);
+    if callers == 1 {
+        // One caller is the bit-identical twin of the stream engine: replay
+        // event-ordered on this thread, staging membership changes exactly
+        // where the trace interleaves them (the engine applies them at its
+        // next batch boundary, as the stream twin does).
+        let arrivals = trace.arrivals() as usize;
+        let mut placements = Vec::with_capacity(arrivals);
+        let mut tickets: Vec<Option<Ticket>> = Vec::with_capacity(arrivals);
+        let mut id = 0u64;
+        for event in &trace.events {
+            match event {
+                TraceEvent::Arrival { key, .. } => {
+                    let placement = router.route(*key).expect("concurrent route is infallible");
+                    placements.push(placement.bin as u32);
+                    tickets.push(Some(placement.ticket));
+                    if let Some(ready) = due.get(&id) {
+                        for &ball in ready {
+                            let ticket = tickets[ball as usize]
+                                .take()
+                                .expect("trace schedules each release once");
+                            router.release(ticket).expect("scripted ticket is resident");
+                        }
+                    }
+                    id += 1;
+                }
+                TraceEvent::Reweight { .. } => unreachable!("rejected above"),
+                TraceEvent::Membership { event } => {
+                    router.stage_membership(MembershipPlan::new().push(*event));
+                }
+            }
+        }
+        router.flush();
+        let stats = router.stats();
+        return Ok(ReplayOutcome {
+            engine: ReplayEngine::Concurrent { callers }.label(),
+            placements,
+            loads: router.loads(),
+            gap_trajectory: router.gap_trajectory(),
+            batches: stats.batches,
+            final_gap: stats.gap,
+            resident: stats.resident,
+            routed: stats.routed,
+            released: stats.released,
+            drops: drops_of(&registry),
+            conserved: router.conserves_balls()
+                && router.snapshot_epoch() == stats.batches
+                && router.resident_tickets() as u64 == stats.routed - stats.released,
+        });
+    }
     let keys: Vec<u64> = trace
         .events
         .iter()
         .filter_map(|e| match e {
             TraceEvent::Arrival { key, .. } => Some(*key),
-            TraceEvent::Reweight { .. } => None,
+            TraceEvent::Reweight { .. } | TraceEvent::Membership { .. } => None,
         })
         .collect();
     let arrivals = keys.len();
@@ -371,6 +451,11 @@ fn replay_concurrent(
 fn replay_one_shot(trace: &Trace) -> Result<ReplayOutcome, ReplayError> {
     if trace.has_reweights() {
         return Err(ReplayError::UnsupportedReweight {
+            engine: ReplayEngine::OneShot.label(),
+        });
+    }
+    if trace.has_membership() {
+        return Err(ReplayError::UnsupportedMembership {
             engine: ReplayEngine::OneShot.label(),
         });
     }
@@ -466,6 +551,45 @@ mod tests {
         assert!(matches!(
             replay(&trace, &ReplayConfig::one_shot()),
             Err(ReplayError::UnsupportedReweight { .. })
+        ));
+    }
+
+    #[test]
+    fn membership_traces_replay_bit_identically_on_stream_and_one_caller() {
+        let trace = Trace::mini_membership();
+        for policy in [Policy::TwoChoice, Policy::Threshold { d: 2, slack: 1 }] {
+            let stream = replay(&trace, &ReplayConfig::stream(policy)).unwrap();
+            let concurrent = replay(&trace, &ReplayConfig::concurrent(policy, 1)).unwrap();
+            assert_eq!(stream.placements, concurrent.placements);
+            assert_eq!(stream.loads, concurrent.loads);
+            assert_eq!(stream.gap_trajectory, concurrent.gap_trajectory);
+            assert_eq!(stream.batches, concurrent.batches);
+            // `drops` folds in the *visible* policy fallbacks (the threshold
+            // rule legitimately falls back under drain pressure); bit-identity
+            // makes the twins agree on those too. Plain two-choice has no
+            // fallback path, so there the sum must be exactly zero.
+            assert_eq!(stream.drops, concurrent.drops);
+            if policy == Policy::TwoChoice {
+                assert_eq!(stream.drops, 0, "membership replay must not drop silently");
+            }
+            assert!(stream.conserved && concurrent.conserved);
+            // The drained-then-removed slot 5 ends the trace recommissioned
+            // (the first re-add reuses it), and the second add grew the
+            // cluster past the recorded bin count.
+            assert_eq!(stream.loads.len(), trace.bins + trace.needed_reserve());
+        }
+    }
+
+    #[test]
+    fn membership_traces_refuse_engines_without_a_staging_point() {
+        let trace = Trace::mini_membership();
+        assert!(matches!(
+            replay(&trace, &ReplayConfig::concurrent(Policy::TwoChoice, 4)),
+            Err(ReplayError::UnsupportedMembership { .. })
+        ));
+        assert!(matches!(
+            replay(&trace, &ReplayConfig::one_shot()),
+            Err(ReplayError::UnsupportedMembership { .. })
         ));
     }
 

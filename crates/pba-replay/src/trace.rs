@@ -11,13 +11,14 @@
 //! routed"), so a trace captures the interleaving of arrivals and departures
 //! at arrival granularity without recording wall-clock time.
 //!
-//! ## Codec (`pba-trace v1`)
+//! ## Codec (`pba-trace v1` / `pba-trace v2`)
 //!
 //! Line-oriented UTF-8, one event per line:
 //!
 //! | line | meaning |
 //! |---|---|
 //! | `pba-trace v1` | header (exact, first line) |
+//! | `pba-trace v2` | header of a trace carrying membership events |
 //! | `name <s>` | trace name (single token) |
 //! | `bins <n>` | bin count the trace was recorded against |
 //! | `batch <b>` | batch size |
@@ -26,7 +27,17 @@
 //! | `a <id> <key> r=<j>` | …released after arrival `j` has been routed |
 //! | `w uniform` | reweight to uniform at this point in the sequence |
 //! | `w <w0> <w1> …` | reweight to explicit per-bin weights |
+//! | `m add <w>` | **v2**: commission a bin of weight `w` at this point |
+//! | `m drain <j>` | **v2**: start draining bin slot `j` |
+//! | `m rm <j>` | **v2**: retire (remove) drained bin slot `j` |
 //! | `end <count>` | trailer: total arrivals (integrity check) |
+//!
+//! Versioning is **content-driven**: [`Trace::encode`] emits the `v2` header
+//! exactly when the trace contains at least one membership event, and the
+//! `v1` header otherwise — so every pre-elastic trace still encodes
+//! byte-identically to the v1 codec, and committed v1 goldens cannot drift.
+//! [`Trace::decode`] accepts both headers but rejects `m` lines under a `v1`
+//! header (an unknown record there, exactly as the v1 decoder always did).
 //!
 //! Weights are emitted with Rust's shortest-round-trip `f64` formatting, so
 //! `encode(decode(s)) == s` **byte for byte** for any trace this module
@@ -36,9 +47,13 @@ use std::fmt;
 
 use pba_model::rng::SplitMix64;
 use pba_model::weights::BinWeights;
+use pba_stream::MembershipEvent;
 
-/// The codec header every v1 trace starts with.
+/// The codec header every v1 (membership-free) trace starts with.
 pub const TRACE_HEADER: &str = "pba-trace v1";
+
+/// The codec header of a v2 trace (one carrying membership events).
+pub const TRACE_HEADER_V2: &str = "pba-trace v2";
 
 /// One event of a [`Trace`], in sequence order.
 #[derive(Debug, Clone, PartialEq)]
@@ -58,6 +73,14 @@ pub enum TraceEvent {
     Reweight {
         /// The new per-bin weights (empty = uniform).
         weights: Vec<f64>,
+    },
+    /// Stage one membership change (add / drain / remove) at this point of
+    /// the arrival sequence; the engine applies it at its next batch
+    /// boundary, exactly as a live `stage_membership` call would. Presence
+    /// of any membership event makes the trace a v2 trace.
+    Membership {
+        /// The staged lifecycle change.
+        event: MembershipEvent,
     },
 }
 
@@ -144,6 +167,37 @@ impl Trace {
             .any(|e| matches!(e, TraceEvent::Reweight { .. }))
     }
 
+    /// True when the trace contains at least one membership event — making
+    /// it a v2 trace, replayable only on engines that expose
+    /// `stage_membership` (the stream engine and the 1-caller concurrent
+    /// twin; a k-caller replay has no deterministic staging point and the
+    /// one-shot adapter has no boundaries at all).
+    pub fn has_membership(&self) -> bool {
+        self.events
+            .iter()
+            .any(|e| matches!(e, TraceEvent::Membership { .. }))
+    }
+
+    /// Reserve slots an engine must pre-allocate to admit every `m add` of
+    /// the trace: adds first reuse slots freed by earlier removes (the
+    /// lowest-retired-slot reuse rule of `pba_membership`), and only the
+    /// adds that find no freed slot need fresh reserve capacity.
+    pub fn needed_reserve(&self) -> usize {
+        let mut freed = 0usize;
+        let mut reserve = 0usize;
+        for event in &self.events {
+            if let TraceEvent::Membership { event } = event {
+                match event {
+                    MembershipEvent::Remove { .. } => freed += 1,
+                    MembershipEvent::Add { .. } if freed > 0 => freed -= 1,
+                    MembershipEvent::Add { .. } => reserve += 1,
+                    MembershipEvent::Drain { .. } => {}
+                }
+            }
+        }
+        reserve
+    }
+
     /// Arrival ids that carry a scripted release (`r=<j>`), in id order —
     /// the valid targets for release-directed faults
     /// ([`crate::fault::Fault::DelayRelease`] /
@@ -206,11 +260,70 @@ impl Trace {
         trace
     }
 
-    /// Encodes the trace in the v1 text codec. Decoding the result with
-    /// [`Trace::decode`] and re-encoding reproduces the bytes exactly.
+    /// The committed **membership golden trace**: a full drain → remove →
+    /// re-add → scale-up cycle over 16 bins in batches of 8, with mini-style
+    /// scripted releases. Bin 5 is drained before any arrival routes (so its
+    /// occupancy stays zero and the later remove is deterministically
+    /// legal), retired a third of the way in, recommissioned at two thirds
+    /// (slot reuse), and a second add at the same point grows past the
+    /// original bin count (exercising reserve sizing:
+    /// [`Trace::needed_reserve`] is 1). Like [`Trace::mini`], it is a pure
+    /// function of nothing so the committed golden bytes can be asserted
+    /// against a fresh encoding.
+    pub fn mini_membership() -> Self {
+        let mut rng = SplitMix64::for_stream(7, 0x3ca1e, 0);
+        let total = 64u64;
+        let mut events: Vec<TraceEvent> = (0..total)
+            .map(|id| TraceEvent::Arrival {
+                key: rng.next_u64(),
+                release_after: (id % 6 == 0).then(|| (id + 9).min(total - 1)),
+            })
+            .collect();
+        // Back-to-front so arrival indices stay valid across inserts.
+        events.insert(
+            48,
+            TraceEvent::Membership {
+                event: MembershipEvent::Add { weight: 2.0 },
+            },
+        );
+        events.insert(
+            48,
+            TraceEvent::Membership {
+                event: MembershipEvent::Add { weight: 1.0 },
+            },
+        );
+        events.insert(
+            24,
+            TraceEvent::Membership {
+                event: MembershipEvent::Remove { bin: 5 },
+            },
+        );
+        events.insert(
+            0,
+            TraceEvent::Membership {
+                event: MembershipEvent::Drain { bin: 5 },
+            },
+        );
+        Self {
+            name: "mini-membership".into(),
+            bins: 16,
+            batch_size: 8,
+            seed: 7,
+            events,
+        }
+    }
+
+    /// Encodes the trace in the versioned text codec (`v2` iff the trace
+    /// carries membership events, `v1` otherwise — see the
+    /// [module docs](self)). Decoding the result with [`Trace::decode`] and
+    /// re-encoding reproduces the bytes exactly.
     pub fn encode(&self) -> String {
         let mut out = String::new();
-        out.push_str(TRACE_HEADER);
+        out.push_str(if self.has_membership() {
+            TRACE_HEADER_V2
+        } else {
+            TRACE_HEADER
+        });
         out.push('\n');
         out.push_str(&format!("name {}\n", self.name));
         out.push_str(&format!("bins {}\n", self.bins));
@@ -239,20 +352,34 @@ impl Trace {
                         out.push('\n');
                     }
                 }
+                TraceEvent::Membership { event } => match event {
+                    MembershipEvent::Add { weight } => {
+                        out.push_str(&format!("m add {weight}\n"));
+                    }
+                    MembershipEvent::Drain { bin } => {
+                        out.push_str(&format!("m drain {bin}\n"));
+                    }
+                    MembershipEvent::Remove { bin } => {
+                        out.push_str(&format!("m rm {bin}\n"));
+                    }
+                },
             }
         }
         out.push_str(&format!("end {arrivals}\n"));
         out
     }
 
-    /// Decodes a v1 text trace, validating the header, sequential arrival
-    /// ids, release bounds and the `end` trailer.
+    /// Decodes a v1 or v2 text trace, validating the header, sequential
+    /// arrival ids, release bounds and the `end` trailer. `m` lines are
+    /// legal only under the v2 header.
     pub fn decode(text: &str) -> Result<Self, TraceError> {
         let mut lines = text.lines().enumerate();
         let (_, header) = lines.next().ok_or(TraceError::BadHeader)?;
-        if header != TRACE_HEADER {
-            return Err(TraceError::BadHeader);
-        }
+        let v2 = match header {
+            TRACE_HEADER => false,
+            TRACE_HEADER_V2 => true,
+            _ => return Err(TraceError::BadHeader),
+        };
         let mut preamble = |field: &str| -> Result<String, TraceError> {
             let (_, line) = lines
                 .next()
@@ -333,6 +460,42 @@ impl Trace {
                         }
                         events.push(TraceEvent::Reweight { weights });
                     }
+                }
+                Some("m") => {
+                    if !v2 {
+                        return Err(bad("membership record in a v1 trace"));
+                    }
+                    let event = match parts.next() {
+                        Some("add") => {
+                            let weight: f64 = parts
+                                .next()
+                                .and_then(|t| t.parse().ok())
+                                .ok_or_else(|| bad("add weight missing or not a number"))?;
+                            if !(weight.is_finite() && weight > 0.0) {
+                                return Err(bad("add weight must be finite and positive"));
+                            }
+                            MembershipEvent::Add { weight }
+                        }
+                        Some("drain") => {
+                            let bin: u32 = parts
+                                .next()
+                                .and_then(|t| t.parse().ok())
+                                .ok_or_else(|| bad("drain bin missing or not a number"))?;
+                            MembershipEvent::Drain { bin }
+                        }
+                        Some("rm") => {
+                            let bin: u32 = parts
+                                .next()
+                                .and_then(|t| t.parse().ok())
+                                .ok_or_else(|| bad("rm bin missing or not a number"))?;
+                            MembershipEvent::Remove { bin }
+                        }
+                        _ => return Err(bad("expected `m add|drain|rm …`")),
+                    };
+                    if parts.next().is_some() {
+                        return Err(bad("trailing tokens on membership line"));
+                    }
+                    events.push(TraceEvent::Membership { event });
                 }
                 Some("end") => {
                     let count: u64 = parts
@@ -419,6 +582,65 @@ mod tests {
         let decoded = Trace::decode(&encoded).expect("decode");
         assert_eq!(decoded, trace);
         assert_eq!(decoded.encode(), encoded);
+    }
+
+    #[test]
+    fn membership_trace_round_trips_under_the_v2_header() {
+        let trace = Trace::mini_membership();
+        assert!(trace.has_membership());
+        assert!(!trace.has_reweights());
+        assert_eq!(trace.arrivals(), 64);
+        // remove frees slot 5, the first add reuses it, the second add needs
+        // one fresh reserve slot.
+        assert_eq!(trace.needed_reserve(), 1);
+        let encoded = trace.encode();
+        assert!(encoded.starts_with(TRACE_HEADER_V2));
+        let decoded = Trace::decode(&encoded).expect("decode");
+        assert_eq!(decoded, trace);
+        assert_eq!(decoded.encode(), encoded, "encode∘decode must be identity");
+    }
+
+    #[test]
+    fn membership_free_traces_keep_the_v1_header() {
+        // v2 is content-driven: the pre-elastic traces must keep encoding
+        // byte-identically under the v1 header.
+        assert!(Trace::mini().encode().starts_with("pba-trace v1\n"));
+        assert!(Trace::mini_reweighted()
+            .encode()
+            .starts_with("pba-trace v1\n"));
+        assert_eq!(Trace::mini().needed_reserve(), 0);
+    }
+
+    #[test]
+    fn decode_rejects_malformed_membership_lines() {
+        let prefix = "pba-trace v2\nname t\nbins 4\nbatch 2\nseed 0\n";
+        for bad_line in [
+            "m add 0\n",
+            "m add -1\n",
+            "m add nan\n",
+            "m add\n",
+            "m drain x\n",
+            "m rm\n",
+            "m retire 3\n",
+            "m drain 1 2\n",
+        ] {
+            let text = format!("{prefix}{bad_line}a 0 5\nend 1\n");
+            assert!(
+                matches!(Trace::decode(&text), Err(TraceError::BadLine { .. })),
+                "expected rejection of {bad_line:?}"
+            );
+        }
+        // `m` under a v1 header is a malformed trace, not a silent downgrade.
+        let v1_with_m = "pba-trace v1\nname t\nbins 4\nbatch 2\nseed 0\nm drain 1\na 0 5\nend 1\n";
+        assert!(matches!(
+            Trace::decode(v1_with_m),
+            Err(TraceError::BadLine { .. })
+        ));
+        // A v2 header is legal for a membership-free trace; it simply
+        // re-encodes as v1.
+        let v2_plain = "pba-trace v2\nname t\nbins 4\nbatch 2\nseed 0\na 0 5\nend 1\n";
+        let decoded = Trace::decode(v2_plain).expect("v2 header without m lines decodes");
+        assert!(decoded.encode().starts_with("pba-trace v1\n"));
     }
 
     #[test]

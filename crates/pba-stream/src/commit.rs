@@ -118,6 +118,8 @@ mod tests {
             capacity_thresholds: &[],
             seed: 3,
             bins: 64,
+            active: None,
+            active_weights: None,
             counters: None,
         };
         let batch: Vec<PendingBall> = (0..2048u64)

@@ -60,19 +60,37 @@
 //! duplicated tickets, double releases rejected), epoch monotonicity, and
 //! one boundary per `batch_size` routed balls.
 //!
-//! Weights are fixed at construction (`StreamConfig::weights`); runtime
-//! reweighting of a shared-handle router is future work — construct a new
-//! router and swap handles instead.
+//! ## Elastic membership and reweighting
+//!
+//! Topology is **epoch-published** like the stale snapshot: a
+//! [`MembershipPlan`] staged through any handle
+//! ([`ConcurrentRouter::stage_membership`]) — or weights staged through
+//! [`ConcurrentRouter::set_weights`], the shared-handle reweighting this
+//! router once lacked — is applied at the next batch boundary under the
+//! boundary lock, then the new active set and weight resolves are published
+//! through a second [`pba_concurrent::EpochCell`]. Routes read the topology
+//! with one `Arc` clone; a router that never stages anything skips even that
+//! (an `AtomicBool` fast path) and runs the exact fixed-membership code.
+//!
+//! A route can race a drain: choose against topology epoch `e`, commit after
+//! `e + 1` drained its bin. The commit is then **undone** (the placement is
+//! departed, counted under `membership.rejected_routes_to_draining` — never
+//! silent) and the route retries against the fresh topology; with one caller
+//! the race cannot occur, preserving the determinism contract. Draining bins
+//! keep their residents and tickets until released or force-migrated
+//! ([`ConcurrentRouter::migrate_drained`]); a `Remove` retires a slot only
+//! at zero occupancy (ledger + loads).
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock, RwLock};
 
 use pba_concurrent::EpochCell;
+use pba_membership::{BinState, Membership, MembershipPlan};
 use pba_model::router::{
-    BatchEvent, ConcurrentRouter as ConcurrentRouterApi, Placement, ReleaseEvent, RouteError,
-    RouteEvent, RouterObserver, RouterStats, SharedTicketLedger, Ticket,
+    BatchEvent, ConcurrentRouter as ConcurrentRouterApi, MembershipChange, Placement, ReleaseEvent,
+    ReweightEvent, RouteError, RouteEvent, RouterObserver, RouterStats, SharedTicketLedger, Ticket,
 };
-use pba_model::weights::{normalized_loads, ResolvedWeights};
+use pba_model::weights::{normalized_loads, BinWeights, ResolvedWeights};
 use pba_stats::OnlineStats;
 
 use crate::commit;
@@ -149,6 +167,66 @@ struct DrainSide {
     capacity: Vec<u32>,
 }
 
+/// The epoch-published view of the elastic topology: everything a route
+/// needs to sample, price and commit against the current active set, bundled
+/// into one immutable value so a reader sees a *consistent* topology with a
+/// single `Arc` clone (never an active set from one epoch priced by the
+/// resolve of another).
+#[derive(Debug)]
+struct Topology {
+    /// Sorted active slots — the sampling domain.
+    active: Vec<u32>,
+    /// Per-slot lifecycle states (capacity-length) for the post-commit
+    /// draining recheck.
+    states: Vec<BinState>,
+    /// The resolve restricted to the active slots; `None` when the survivors
+    /// are uniform (the exact unweighted code paths).
+    active_resolved: Option<ResolvedWeights>,
+    /// Capacity-wide effective resolve for slot-indexed load comparisons,
+    /// `Some` iff `active_resolved` is — the same canonicalisation the
+    /// single-threaded engine applies, so uniform survivors run the strict
+    /// unweighted paths of a compacted fixed router.
+    resolved: Option<ResolvedWeights>,
+}
+
+impl Topology {
+    /// Derives the published view from the authoritative lifecycle table.
+    fn of(table: &Membership) -> Self {
+        let active = table.active().to_vec();
+        let slot_weights = table.slot_weights();
+        let surviving: Vec<f64> = active
+            .iter()
+            .map(|&bin| slot_weights[bin as usize])
+            .collect();
+        let active_resolved = BinWeights::explicit(surviving).resolve(active.len());
+        let resolved = active_resolved.as_ref().map(|_| {
+            BinWeights::explicit(slot_weights.to_vec())
+                .resolve(slot_weights.len())
+                .expect("non-uniform active weights imply non-uniform slot weights")
+        });
+        Self {
+            active,
+            states: table.states().to_vec(),
+            active_resolved,
+            resolved,
+        }
+    }
+}
+
+/// Staged-but-unapplied elastic state, serialised under one mutex. Staging
+/// is rare (a scale event, not a request), so the lock is cold; routes read
+/// the applied state through the epoch-published [`Topology`] instead.
+#[derive(Debug)]
+struct MembershipSide {
+    /// The authoritative lifecycle table (the applied state).
+    table: Membership,
+    /// Membership events staged since the last boundary.
+    pending: MembershipPlan,
+    /// Weights staged via [`ConcurrentRouter::set_weights`] since the last
+    /// boundary, applied after any staged membership events.
+    pending_weights: Option<BinWeights>,
+}
+
 /// Shared state behind every [`ConcurrentRouter`] handle.
 #[derive(Debug)]
 struct Core {
@@ -182,6 +260,17 @@ struct Core {
     has_observers: AtomicBool,
     /// Resident-ball table (bin-sharded, thread-safe).
     ledger: SharedTicketLedger,
+    /// Authoritative lifecycle table + staged membership/weight changes.
+    membership: Mutex<MembershipSide>,
+    /// The epoch-published topology elastic routes decide from.
+    topology: EpochCell<Topology>,
+    /// Fast-path guard: `false` until membership or weights are first staged
+    /// (or from birth when `reserve_bins > 0`); a fixed router's routes never
+    /// touch the topology cell.
+    has_membership: AtomicBool,
+    /// Something is staged and unapplied — checked at batch open, where the
+    /// single-threaded engine applies its staged changes.
+    has_pending_membership: AtomicBool,
     /// The shard indices `0..shards`, kept as a slice for the parallel apply.
     shard_ids: Vec<usize>,
     /// Dedicated drain pool when [`StreamConfig::num_threads`] is positive.
@@ -284,8 +373,8 @@ impl ConcurrentRouter {
     /// determinism contract against [`StreamAllocator`](crate::engine::StreamAllocator)
     /// is untouched). See [`crate::metrics`] for the counter inventory.
     pub fn with_metrics(config: StreamConfig, registry: Arc<pba_obs::MetricsRegistry>) -> Self {
-        let bins = config.bins;
-        Self::build(config, Some(StreamMetrics::resolve(registry, bins)))
+        let capacity = config.bins + config.reserve_bins;
+        Self::build(config, Some(StreamMetrics::resolve(registry, capacity)))
     }
 
     fn build(config: StreamConfig, metrics: Option<StreamMetrics>) -> Self {
@@ -302,12 +391,19 @@ impl ConcurrentRouter {
             );
         }
         let resolved = config.weights.resolve(config.bins);
-        let bins = ShardedBins::new(config.bins, config.shards);
+        let capacity = config.bins + config.reserve_bins;
+        let slot_weights: Vec<f64> = match &resolved {
+            Some(resolved) => (0..config.bins).map(|i| resolved.weight(i)).collect(),
+            None => vec![1.0; config.bins],
+        };
+        let table = Membership::new(config.bins, capacity, &slot_weights);
+        let topology = Topology::of(&table);
+        let bins = ShardedBins::new(capacity, config.shards);
         let shard_count = bins.shard_count();
         Self {
             core: Arc::new(Core {
                 resolved,
-                published: EpochCell::new(vec![0; config.bins]),
+                published: EpochCell::new(vec![0; capacity]),
                 route_thresholds: RwLock::new(Arc::new(OnceLock::new())),
                 open_routed: AtomicU64::new(0),
                 next_ball: AtomicU64::new(0),
@@ -327,7 +423,18 @@ impl ConcurrentRouter {
                     observers: Vec::new(),
                 }),
                 has_observers: AtomicBool::new(false),
-                ledger: SharedTicketLedger::new(config.bins, shard_count),
+                ledger: SharedTicketLedger::new(capacity, shard_count),
+                membership: Mutex::new(MembershipSide {
+                    table,
+                    pending: MembershipPlan::new(),
+                    pending_weights: None,
+                }),
+                topology: EpochCell::new(topology),
+                // A reserve makes the router elastic from birth: the retired
+                // tail must be invisible to sampling, which only the
+                // topology-aware paths guarantee.
+                has_membership: AtomicBool::new(config.reserve_bins > 0),
+                has_pending_membership: AtomicBool::new(false),
                 shard_ids: (0..shard_count).collect(),
                 pool: (config.num_threads > 0).then(|| {
                     rayon::ThreadPoolBuilder::new()
@@ -364,31 +471,61 @@ impl ConcurrentRouter {
     pub fn route(&self, key: u64) -> Result<Placement, RouteError> {
         let core = &*self.core;
         let policy = core.config.policy;
-        // Threshold policies price the open batch once, at its first route
-        // (lazily, so the priced resident count matches the single-threaded
-        // engine's batch-open moment exactly in the 1-caller case).
-        let priced;
-        let (flat, capacity): (u32, &[u32]) = if uses_thresholds(policy) {
-            priced = core.priced_route_thresholds();
-            let thresholds = priced.get().expect("priced above");
-            (thresholds.flat, &thresholds.capacity)
-        } else {
-            (0, &[])
+        core.apply_staged_at_batch_open();
+        let bin = loop {
+            let topology = core.topology_if_elastic();
+            // Threshold policies price the open batch once, at its first
+            // route (lazily, so the priced resident count matches the
+            // single-threaded engine's batch-open moment exactly in the
+            // 1-caller case).
+            let priced;
+            let (flat, capacity): (u32, &[u32]) = if uses_thresholds(policy) {
+                priced = core.priced_route_thresholds();
+                let thresholds = priced.get().expect("priced above");
+                (thresholds.flat, &thresholds.capacity)
+            } else {
+                (0, &[])
+            };
+            let stale = core.published.load();
+            let (weights, active, active_weights) = match &topology {
+                Some(t) => (
+                    t.resolved.as_ref(),
+                    Some(&t.active[..]),
+                    t.active_resolved.as_ref(),
+                ),
+                None => (core.resolved.as_ref(), None, None),
+            };
+            let ctx = ChoiceCtx {
+                snapshot: &stale,
+                weights,
+                batch_threshold: flat,
+                capacity_thresholds: capacity,
+                seed: core.config.seed,
+                bins: core.capacity(),
+                active,
+                active_weights,
+                counters: core.metrics.as_ref().map(|m| &m.policy),
+            };
+            let bin = ROUTE_CANDIDATES
+                .with(|scratch| choose_bin(policy, &ctx, key, &mut scratch.borrow_mut()))
+                as usize;
+            core.bins.place(bin);
+            if topology.is_none() {
+                break bin;
+            }
+            // Re-read the topology *after* the commit: a scale event may have
+            // drained this bin between choose and place. The undone placement
+            // is counted (`membership.rejected_routes_to_draining`) and the
+            // route retries against the fresh topology; with one caller the
+            // race cannot occur.
+            if core.topology.load().states[bin] == BinState::Active {
+                break bin;
+            }
+            assert!(core.bins.depart(bin), "undo of a placement just made");
+            if let Some(metrics) = &core.metrics {
+                metrics.membership.rejected_routes_to_draining.inc();
+            }
         };
-        let stale = core.published.load();
-        let ctx = ChoiceCtx {
-            snapshot: &stale,
-            weights: core.resolved.as_ref(),
-            batch_threshold: flat,
-            capacity_thresholds: capacity,
-            seed: core.config.seed,
-            bins: core.config.bins,
-            counters: core.metrics.as_ref().map(|m| &m.policy),
-        };
-        let bin = ROUTE_CANDIDATES
-            .with(|scratch| choose_bin(policy, &ctx, key, &mut scratch.borrow_mut()))
-            as usize;
-        core.bins.place(bin);
         let id = core.next_ball.fetch_add(1, Ordering::AcqRel);
         core.arrived.fetch_add(1, Ordering::AcqRel);
         core.placed.fetch_add(1, Ordering::AcqRel);
@@ -548,6 +685,148 @@ impl ConcurrentRouter {
         core.has_observers.store(true, Ordering::Release);
     }
 
+    /// Stages a membership plan from any thread, applied (in staging order,
+    /// before any staged weights) at the **next batch boundary**: the
+    /// in-flight batch finishes on the old topology, then the lifecycle
+    /// table transitions, `membership.*` counters account for every accepted
+    /// and rejected event, [`RouterObserver::on_membership`] fires, and the
+    /// new active set is epoch-published. With one caller this matches
+    /// [`StreamAllocator::stage_membership`](crate::StreamAllocator::stage_membership)
+    /// bit for bit; an identity plan (or an empty one) is a strict no-op.
+    pub fn stage_membership(&self, plan: MembershipPlan) {
+        let core = &*self.core;
+        let mut side = core.membership.lock().expect("membership lock");
+        side.pending.extend(plan);
+        core.has_membership.store(true, Ordering::Release);
+        core.has_pending_membership.store(true, Ordering::Release);
+    }
+
+    /// Stages new bin weights from any thread — the shared-handle
+    /// reweighting this router's earlier revisions lacked — applied at the
+    /// next batch boundary after any staged membership events. Non-uniform
+    /// weights must describe one weight per **capacity slot**
+    /// (`bins + reserve_bins`; retired slots carry placeholders the next
+    /// `Add` overwrites); uniform weights return the router to the strict
+    /// unweighted path. Fires [`RouterObserver::on_reweight`] with the
+    /// resolve restricted to the surviving bins.
+    pub fn set_weights(&self, weights: BinWeights) {
+        let core = &*self.core;
+        if let Some(prescribed) = weights.prescribed_bins() {
+            let slots = core.capacity();
+            assert_eq!(
+                prescribed, slots,
+                "weights describe {prescribed} bins but the router has {slots} slots"
+            );
+        }
+        let mut side = core.membership.lock().expect("membership lock");
+        side.pending_weights = Some(weights);
+        core.has_membership.store(true, Ordering::Release);
+        core.has_pending_membership.store(true, Ordering::Release);
+    }
+
+    /// Force-migrates every **ticketed** resident of every draining bin
+    /// through the live policy (same candidate sampling over the active
+    /// set, thresholds priced with the migration volume as the batch).
+    /// Loads move (place + depart per ball) but `placed`/`departed` totals
+    /// do not — a migration is a move, not an arrival — so conservation is
+    /// untouched; outstanding tickets keep redeeming against the ball's new
+    /// bin. A resident released concurrently mid-migration is simply
+    /// skipped. Returns the number of migrations, also counted under
+    /// `membership.migrations`.
+    pub fn migrate_drained(&self) -> u64 {
+        let core = &*self.core;
+        let Some(topology) = core.topology_if_elastic() else {
+            return 0;
+        };
+        let draining: Vec<u32> = topology
+            .states
+            .iter()
+            .enumerate()
+            .filter(|&(_, &state)| state == BinState::Draining)
+            .map(|(bin, _)| bin as u32)
+            .collect();
+        let volume: u64 = draining
+            .iter()
+            .map(|&bin| core.ledger.count_in(bin as usize) as u64)
+            .sum();
+        if volume == 0 {
+            return 0;
+        }
+        let policy = core.config.policy;
+        let resident = core.active_resident(&topology);
+        let flat = snapshot::batch_threshold(policy, resident, topology.active.len(), volume);
+        let mut capacity_thresholds = Vec::new();
+        snapshot::fill_active_capacity_thresholds_into(
+            policy,
+            topology.active_resolved.as_ref(),
+            &topology.active,
+            resident,
+            core.capacity(),
+            volume,
+            &mut capacity_thresholds,
+        );
+        let stale = core.published.load();
+        let mut migrated = 0u64;
+        ROUTE_CANDIDATES.with(|scratch| {
+            let mut candidates = scratch.borrow_mut();
+            for &bin in &draining {
+                while let Some(ticket) = core.ledger.resident_in(bin as usize) {
+                    let ctx = ChoiceCtx {
+                        snapshot: &stale,
+                        weights: topology.resolved.as_ref(),
+                        batch_threshold: flat,
+                        capacity_thresholds: &capacity_thresholds,
+                        seed: core.config.seed,
+                        bins: core.capacity(),
+                        active: Some(&topology.active),
+                        active_weights: topology.active_resolved.as_ref(),
+                        counters: core.metrics.as_ref().map(|m| &m.policy),
+                    };
+                    let target = choose_bin(policy, &ctx, ticket.id(), &mut candidates) as usize;
+                    core.bins.place(target);
+                    if core.ledger.migrate(ticket.id(), bin as usize, target) {
+                        assert!(
+                            core.bins.depart(bin as usize),
+                            "a migrated resident held a load unit"
+                        );
+                        migrated += 1;
+                        if let Some(metrics) = &core.metrics {
+                            metrics.membership.migrations.inc();
+                            metrics.bin_commits.inc(target);
+                        }
+                    } else {
+                        // The resident raced a concurrent release; undo the
+                        // speculative placement.
+                        core.bins.depart(target);
+                    }
+                }
+            }
+        });
+        migrated
+    }
+
+    /// Total slot capacity (`bins + reserve_bins` — the length of every
+    /// per-bin vector this router exposes).
+    pub fn capacity(&self) -> usize {
+        self.core.capacity()
+    }
+
+    /// The sorted active bins of an elastic router; `None` while the router
+    /// is fixed (no reserve, nothing ever staged), where every configured
+    /// bin is implicitly active.
+    pub fn active_bins(&self) -> Option<Vec<u32>> {
+        self.core
+            .topology_if_elastic()
+            .map(|topology| topology.active.clone())
+    }
+
+    /// Per-slot lifecycle states of an elastic router (`None` while fixed).
+    pub fn bin_states(&self) -> Option<Vec<BinState>> {
+        self.core
+            .topology_if_elastic()
+            .map(|topology| topology.states.clone())
+    }
+
     /// Fresh per-bin loads.
     pub fn loads(&self) -> Vec<u32> {
         self.core.bins.snapshot()
@@ -598,7 +877,12 @@ impl ConcurrentRouter {
     /// uniform router).
     pub fn normalized_loads(&self) -> Vec<f64> {
         let loads = self.core.bins.snapshot();
-        match &self.core.resolved {
+        let topology = self.core.topology_if_elastic();
+        let weights = match &topology {
+            Some(topology) => topology.resolved.as_ref(),
+            None => self.core.resolved.as_ref(),
+        };
+        match weights {
             None => loads.iter().map(|&l| l as f64).collect(),
             Some(weights) => normalized_loads(&loads, weights),
         }
@@ -663,6 +947,7 @@ impl ConcurrentRouter {
     /// snapshot is exact.
     pub fn snapshot(&self) -> StreamSnapshot {
         let core = &*self.core;
+        let topology = core.topology_if_elastic();
         StreamSnapshot::assemble(
             core.bins.snapshot(),
             (*core.published.load()).clone(),
@@ -671,7 +956,14 @@ impl ConcurrentRouter {
             core.departed.load(Ordering::Acquire),
             self.pending(),
             self.batches(),
-            core.resolved.as_ref(),
+            match &topology {
+                Some(topology) => topology.resolved.as_ref(),
+                None => core.resolved.as_ref(),
+            },
+            topology.as_ref().map(|topology| &topology.active[..]),
+            topology
+                .as_ref()
+                .and_then(|topology| topology.active_resolved.as_ref()),
         )
     }
 
@@ -693,13 +985,31 @@ impl ConcurrentRouter {
     pub fn stats(&self) -> RouterStats {
         let core = &*self.core;
         let loads = core.bins.snapshot();
+        let (bins, gap) = match core.topology_if_elastic() {
+            Some(topology) => {
+                let mut scratch = Vec::new();
+                (
+                    topology.active.len(),
+                    snapshot::gap_of_active_loads(
+                        &loads,
+                        &topology.active,
+                        topology.active_resolved.as_ref(),
+                        &mut scratch,
+                    ),
+                )
+            }
+            None => (
+                core.config.bins,
+                snapshot::gap_of_loads(&loads, core.resolved.as_ref()),
+            ),
+        };
         RouterStats {
             routed: core.routed.load(Ordering::Acquire),
             released: core.released.load(Ordering::Acquire),
             resident: loads.iter().map(|&l| l as u64).sum(),
-            bins: core.config.bins,
+            bins,
             batches: self.batches(),
-            gap: snapshot::gap_of_loads(&loads, core.resolved.as_ref()),
+            gap,
         }
     }
 }
@@ -723,6 +1033,112 @@ impl ConcurrentRouterApi for ConcurrentRouter {
 }
 
 impl Core {
+    /// Total slot capacity (`bins + reserve_bins`); the length of every
+    /// per-bin array. Slots above the active count exist but are never
+    /// sampled.
+    fn capacity(&self) -> usize {
+        self.config.bins + self.config.reserve_bins
+    }
+
+    /// The published topology, or `None` for a fixed-membership router (the
+    /// fast path: one relaxed-ish atomic read, no `Arc` traffic).
+    fn topology_if_elastic(&self) -> Option<Arc<Topology>> {
+        self.has_membership
+            .load(Ordering::Acquire)
+            .then(|| self.topology.load())
+    }
+
+    /// Applies staged membership/weight changes if this call sits at a batch
+    /// open (`open_routed == 0`) — the same moment the single-threaded
+    /// engine applies its staged changes, so 1-caller runs stay
+    /// bit-identical. Cheap when nothing is staged (one atomic read).
+    fn apply_staged_at_batch_open(&self) {
+        if !self.has_pending_membership.load(Ordering::Acquire)
+            || self.open_routed.load(Ordering::Acquire) != 0
+        {
+            return;
+        }
+        let mut book = self.boundary.lock().expect("boundary lock");
+        if self.open_routed.load(Ordering::Acquire) == 0 {
+            self.apply_staged_changes(&mut book);
+        }
+    }
+
+    /// Applies everything staged — membership events first, then weights —
+    /// and epoch-publishes the resulting topology. Fires `on_membership` /
+    /// `on_reweight` through the observer chain and counts every accepted
+    /// and rejected lifecycle event. Caller holds the boundary lock, so the
+    /// new topology becomes visible to routes before any later boundary.
+    fn apply_staged_changes(&self, book: &mut BoundaryBook) {
+        let mut side = self.membership.lock().expect("membership lock");
+        self.has_pending_membership.store(false, Ordering::Release);
+        let plan = std::mem::take(&mut side.pending);
+        let staged_weights = side.pending_weights.take();
+        let outcome = if plan.is_empty() {
+            None
+        } else {
+            let bins = &self.bins;
+            let ledger = &self.ledger;
+            let outcome = side.table.apply(&plan, |bin| {
+                bins.load(bin as usize) > 0 || ledger.count_in(bin as usize) > 0
+            });
+            if let Some(metrics) = &self.metrics {
+                let counters = &metrics.membership;
+                counters.adds.add(outcome.added.len() as u64);
+                counters.drains.add(outcome.drained.len() as u64);
+                counters.removes.add(outcome.removed.len() as u64);
+                counters.rejected_adds.add(outcome.rejected_adds);
+                counters.rejected_drains.add(outcome.rejected_drains);
+                counters.rejected_removes.add(outcome.rejected_removes);
+            }
+            Some(outcome)
+        };
+        let reweighted = if let Some(weights) = staged_weights {
+            let capacity = self.capacity();
+            let values: Vec<f64> = match weights.resolve(capacity) {
+                Some(resolved) => (0..capacity).map(|i| resolved.weight(i)).collect(),
+                None => vec![1.0; capacity],
+            };
+            side.table.set_slot_weights(&values);
+            true
+        } else {
+            false
+        };
+        let changed = outcome.as_ref().is_some_and(|o| o.changed());
+        if !changed && !reweighted {
+            return;
+        }
+        let topology = Topology::of(&side.table);
+        if changed {
+            let outcome = outcome.as_ref().expect("changed implies an applied plan");
+            let event = MembershipChange {
+                batch_index: book.batches,
+                added: &outcome.added,
+                drained: &outcome.drained,
+                removed: &outcome.removed,
+                active: &topology.active,
+                resident: self.resident_now(),
+            };
+            book.gap.on_membership(&event);
+            self.each_observer(&book.observers, |observer| observer.on_membership(&event));
+        }
+        if reweighted {
+            let loads = self.bins.snapshot();
+            let event = ReweightEvent {
+                batch_index: book.batches,
+                loads: &loads,
+                weights: topology.active_resolved.as_ref(),
+                resident: self.resident_now(),
+            };
+            book.gap.on_reweight(&event);
+            self.each_observer(&book.observers, |observer| observer.on_reweight(&event));
+        }
+        self.topology.publish(topology);
+        // The open batch (if any) was priced under the old topology; the
+        // next batch must re-price over the surviving weight mass.
+        self.reset_route_thresholds();
+    }
+
     /// `placed − departed` from two separate atomic reads, saturating:
     /// under concurrent traffic `departed` can be observed ahead of the
     /// earlier-read `placed` (a release racing the reads), and the counter
@@ -740,28 +1156,63 @@ impl Core {
     fn priced_route_thresholds(&self) -> Arc<OnceLock<RouteThresholds>> {
         let cell = Arc::clone(&self.route_thresholds.read().expect("threshold lock"));
         cell.get_or_init(|| {
-            let resident = self.bins.total();
             let projected = self.config.batch_size as u64;
             let mut capacity = Vec::new();
-            snapshot::fill_capacity_thresholds_into(
-                self.config.policy,
-                self.resolved.as_ref(),
-                resident,
-                self.config.bins,
-                projected,
-                &mut capacity,
-            );
-            RouteThresholds {
-                flat: snapshot::batch_threshold(
-                    self.config.policy,
-                    resident,
-                    self.config.bins,
-                    projected,
-                ),
-                capacity,
-            }
+            let flat = match self.topology_if_elastic() {
+                Some(topology) => {
+                    // Re-price over the surviving weight mass: resident counts
+                    // active bins only (draining residents are leaving), the
+                    // fair share splits over the active slots.
+                    let resident = self.active_resident(&topology);
+                    snapshot::fill_active_capacity_thresholds_into(
+                        self.config.policy,
+                        topology.active_resolved.as_ref(),
+                        &topology.active,
+                        resident,
+                        self.capacity(),
+                        projected,
+                        &mut capacity,
+                    );
+                    snapshot::batch_threshold(
+                        self.config.policy,
+                        resident,
+                        topology.active.len(),
+                        projected,
+                    )
+                }
+                None => {
+                    let resident = self.bins.total();
+                    snapshot::fill_capacity_thresholds_into(
+                        self.config.policy,
+                        self.resolved.as_ref(),
+                        resident,
+                        self.config.bins,
+                        projected,
+                        &mut capacity,
+                    );
+                    snapshot::batch_threshold(
+                        self.config.policy,
+                        resident,
+                        self.config.bins,
+                        projected,
+                    )
+                }
+            };
+            RouteThresholds { flat, capacity }
         });
         cell
+    }
+
+    /// Fresh resident total over the **active** bins only — the count
+    /// thresholds are priced with under elastic membership (matches a
+    /// compacted fixed engine's `bins.total()` for the suffix-equivalence
+    /// property).
+    fn active_resident(&self, topology: &Topology) -> u64 {
+        topology
+            .active
+            .iter()
+            .map(|&bin| self.bins.load(bin as usize) as u64)
+            .sum()
     }
 
     /// Swaps in a fresh (unpriced) threshold cell for the next routed batch.
@@ -803,6 +1254,11 @@ impl Core {
         self.open_routed.fetch_sub(open, Ordering::AcqRel);
         self.advance_boundary(&mut book, open as usize);
         self.reset_route_thresholds();
+        // This *is* a batch boundary: staged scale events must not survive
+        // past it (mirrors the single-threaded `close_open_batch`).
+        if self.has_pending_membership.load(Ordering::Acquire) {
+            self.apply_staged_changes(&mut book);
+        }
         true
     }
 
@@ -812,7 +1268,18 @@ impl Core {
     fn advance_boundary(&self, book: &mut BoundaryBook, batch_len: usize) {
         book.batches += 1;
         let loads = self.bins.snapshot();
-        let gap = snapshot::gap_of_loads(&loads, self.resolved.as_ref());
+        let gap = match self.topology_if_elastic() {
+            Some(topology) => {
+                let mut scratch = Vec::new();
+                snapshot::gap_of_active_loads(
+                    &loads,
+                    &topology.active,
+                    topology.active_resolved.as_ref(),
+                    &mut scratch,
+                )
+            }
+            None => snapshot::gap_of_loads(&loads, self.resolved.as_ref()),
+        };
         let event = BatchEvent {
             batch_index: book.batches,
             batch_len,
@@ -897,26 +1364,62 @@ impl Core {
         by_shard: &mut [Vec<u32>],
         capacity: &mut Vec<u32>,
     ) {
-        let n = self.config.bins;
         let policy = self.config.policy;
-        let resident = self.bins.total();
-        let threshold = snapshot::batch_threshold(policy, resident, n, batch.len() as u64);
-        snapshot::fill_capacity_thresholds_into(
-            policy,
-            self.resolved.as_ref(),
-            resident,
-            n,
-            batch.len() as u64,
-            capacity,
-        );
+        // Staged scale events apply at batch open here too (mirroring the
+        // single-threaded drain path), but only when no routed batch is
+        // open — a mid-batch route stream keeps its topology to the close.
+        self.apply_staged_at_batch_open();
+        let topology = self.topology_if_elastic();
+        let threshold = match &topology {
+            Some(topology) => {
+                let resident = self.active_resident(topology);
+                snapshot::fill_active_capacity_thresholds_into(
+                    policy,
+                    topology.active_resolved.as_ref(),
+                    &topology.active,
+                    resident,
+                    self.capacity(),
+                    batch.len() as u64,
+                    capacity,
+                );
+                snapshot::batch_threshold(
+                    policy,
+                    resident,
+                    topology.active.len(),
+                    batch.len() as u64,
+                )
+            }
+            None => {
+                let resident = self.bins.total();
+                snapshot::fill_capacity_thresholds_into(
+                    policy,
+                    self.resolved.as_ref(),
+                    resident,
+                    self.config.bins,
+                    batch.len() as u64,
+                    capacity,
+                );
+                snapshot::batch_threshold(policy, resident, self.config.bins, batch.len() as u64)
+            }
+        };
         let stale = self.published.load();
+        let (weights, active, active_weights) = match &topology {
+            Some(t) => (
+                t.resolved.as_ref(),
+                Some(&t.active[..]),
+                t.active_resolved.as_ref(),
+            ),
+            None => (self.resolved.as_ref(), None, None),
+        };
         let ctx = ChoiceCtx {
             snapshot: &stale,
-            weights: self.resolved.as_ref(),
+            weights,
             batch_threshold: threshold,
             capacity_thresholds: capacity,
             seed: self.config.seed,
-            bins: n,
+            bins: self.capacity(),
+            active,
+            active_weights,
             counters: self.metrics.as_ref().map(|m| &m.policy),
         };
         commit::choose_batch(policy, &ctx, batch, self.config.parallel, chosen);

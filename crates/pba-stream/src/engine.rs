@@ -40,13 +40,31 @@
 //! every subsequent drain is bit-identical to a fresh engine constructed with
 //! the new weights over the same resident loads (see
 //! [`StreamAllocator::with_resident_loads`]).
+//!
+//! ## Elastic membership
+//!
+//! Bins have a lifecycle (see the `pba-membership` crate): a
+//! [`MembershipPlan`] staged through [`StreamAllocator::stage_membership`] is
+//! applied at the **next batch boundary** — exactly like staged weights, and
+//! strictly before them — after which policies sample only the *active* bins,
+//! thresholds and the gap re-price over the surviving weight mass, and
+//! draining bins stop receiving placements while their residents (and
+//! tickets) stay valid. [`StreamAllocator::migrate_drained`] force-migrates
+//! ticketed residents off draining bins through the live policy, and a
+//! `Remove` retires a slot only at zero occupancy. The engine's arrays are
+//! sized once, to `bins + reserve_bins` **capacity slots**; scaling out
+//! re-commissions the lowest retired slot, so no array ever reallocates. An
+//! engine that never stages a plan (and reserves no slots) runs the exact
+//! fixed-membership code paths, and staging an identity (empty) plan is a
+//! strict no-op — bit-identical loads, RNG streams and gap trajectories.
 
 use std::fmt;
 use std::sync::{Arc, Mutex};
 
+use pba_membership::{Membership, MembershipPlan};
 use pba_model::router::{
-    BatchEvent, Placement, ReleaseEvent, ReweightEvent, RouteError, RouteEvent, Router,
-    RouterObserver, RouterStats, Ticket, TicketLedger,
+    BatchEvent, MembershipChange, Placement, ReleaseEvent, ReweightEvent, RouteError, RouteEvent,
+    Router, RouterObserver, RouterStats, Ticket, TicketLedger,
 };
 use pba_model::weights::{normalized_loads, BinWeights, ResolvedWeights};
 use pba_stats::{LoadMetrics, OnlineStats};
@@ -104,6 +122,12 @@ pub struct StreamConfig {
     /// uniform weights — including explicit constant vectors — are a strict
     /// no-op relative to the unweighted engine (see [`BinWeights::resolve`]).
     pub weights: BinWeights,
+    /// Pre-reserved **retired** bin slots for elastic membership: the engine
+    /// is sized to `bins + reserve_bins` capacity slots, of which the first
+    /// `bins` start active and the rest wait for an `Add`. `0` (the default)
+    /// keeps the engine on the exact fixed-membership code paths until a
+    /// plan is staged (scale-out is then limited to slots freed by removes).
+    pub reserve_bins: usize,
 }
 
 impl StreamConfig {
@@ -119,6 +143,7 @@ impl StreamConfig {
             trajectory_cap: 1 << 16,
             num_threads: 0,
             weights: BinWeights::Uniform,
+            reserve_bins: 0,
         }
     }
 
@@ -163,6 +188,13 @@ impl StreamConfig {
     /// prescribe exactly `bins` bins.
     pub fn weights(mut self, weights: BinWeights) -> Self {
         self.weights = weights;
+        self
+    }
+
+    /// Reserves extra retired bin slots for elastic scale-out (builder
+    /// style). See [`StreamConfig::reserve_bins`].
+    pub fn reserve_bins(mut self, reserve: usize) -> Self {
+        self.reserve_bins = reserve;
         self
     }
 }
@@ -210,12 +242,33 @@ impl Observers {
     fn notify_release(&self, event: &ReleaseEvent, errors: Option<&pba_obs::Counter>) {
         self.each(errors, |obs| obs.on_release(event));
     }
+
+    fn notify_membership(&self, event: &MembershipChange<'_>, errors: Option<&pba_obs::Counter>) {
+        self.each(errors, |obs| obs.on_membership(event));
+    }
 }
 
 impl fmt::Debug for Observers {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "Observers({})", self.0.len())
     }
+}
+
+/// Elastic-membership state of a [`StreamAllocator`]: the lifecycle table
+/// plus the weight resolves it keeps cached between boundaries.
+#[derive(Debug)]
+struct MembershipState {
+    /// The per-slot lifecycle table (active set, states, slot weights).
+    table: Membership,
+    /// Plans staged since the last boundary, applied (in staging order) when
+    /// the next batch opens.
+    pending: MembershipPlan,
+    /// The weight resolve **restricted to the active slots** — what sampling
+    /// and pricing use; `None` when the surviving weights are uniform, which
+    /// keeps the engine on the exact unweighted paths a compacted fresh
+    /// engine over the active bins would run (the suffix-equivalence
+    /// invariant).
+    active_resolved: Option<ResolvedWeights>,
 }
 
 /// Online, sharded, batched streaming allocator.
@@ -275,6 +328,15 @@ pub struct StreamAllocator {
     /// Resolved metric handles ([`StreamAllocator::install_metrics`]);
     /// `None` is the disabled fast path — zero metric instructions anywhere.
     metrics: Option<StreamMetrics>,
+    /// Elastic-membership state. `None` — the lifetime default of an engine
+    /// with no reserve slots and no staged plan — keeps every hot path on
+    /// the exact fixed-membership code; created eagerly when
+    /// [`StreamConfig::reserve_bins`] is positive, lazily on the first
+    /// [`StreamAllocator::stage_membership`] otherwise. When present,
+    /// `resolved` holds the **capacity-wide** resolve used for candidate
+    /// comparisons (`None` when the surviving weights are uniform), while
+    /// `MembershipState::active_resolved` drives sampling and pricing.
+    membership: Option<MembershipState>,
 }
 
 impl StreamAllocator {
@@ -293,11 +355,24 @@ impl StreamAllocator {
             );
         }
         let resolved = config.weights.resolve(config.bins);
-        let bins = ShardedBins::new(config.bins, config.shards);
+        let capacity = config.bins + config.reserve_bins;
+        // Reserve slots make membership real from birth: the retired tail
+        // must be invisible to sampling, so the membership table (with its
+        // identity active set over the first `bins` slots) exists eagerly.
+        let membership = (config.reserve_bins > 0).then(|| MembershipState {
+            table: Membership::new(
+                config.bins,
+                capacity,
+                &Self::slot_weight_values(resolved.as_ref(), config.bins),
+            ),
+            pending: MembershipPlan::new(),
+            active_resolved: resolved.clone(),
+        });
+        let bins = ShardedBins::new(capacity, config.shards);
         let shard_count = bins.shard_count();
-        Self {
+        let mut stream = Self {
             bins,
-            stale: vec![0; config.bins],
+            stale: vec![0; capacity],
             pending: Vec::with_capacity(config.batch_size),
             next_ball: 0,
             arrived: 0,
@@ -306,7 +381,7 @@ impl StreamAllocator {
             batches: 0,
             gap: GapTrajectoryObserver::new(config.trajectory_cap),
             observers: Observers::default(),
-            tickets: TicketLedger::new(config.bins),
+            tickets: TicketLedger::new(capacity),
             routed: 0,
             released: 0,
             open_batch: 0,
@@ -326,7 +401,24 @@ impl StreamAllocator {
                     .expect("stream drain pool")
             }),
             metrics: None,
+            membership,
             config,
+        };
+        if stream.membership.is_some() {
+            // Canonicalize `resolved` to the capacity-wide form membership
+            // comparisons index by slot id (retired tails included).
+            stream.refresh_membership_weights();
+        }
+        stream
+    }
+
+    /// Per-slot weight values of the first `bins` slots: the raw resolved
+    /// weights, or `1.0` placeholders for a uniform configuration (weights
+    /// are scale-free, so any constant is the same configuration).
+    fn slot_weight_values(resolved: Option<&ResolvedWeights>, bins: usize) -> Vec<f64> {
+        match resolved {
+            Some(resolved) => (0..bins).map(|i| resolved.weight(i)).collect(),
+            None => vec![1.0; bins],
         }
     }
 
@@ -335,7 +427,7 @@ impl StreamAllocator {
     /// per event and zero registry locks. Metrics are write-only — placements
     /// and RNG streams are bit-identical with and without a registry.
     pub fn install_metrics(&mut self, registry: Arc<pba_obs::MetricsRegistry>) {
-        self.metrics = Some(StreamMetrics::resolve(registry, self.config.bins));
+        self.metrics = Some(StreamMetrics::resolve(registry, self.capacity()));
     }
 
     /// The installed metric handles, if any.
@@ -354,10 +446,10 @@ impl StreamAllocator {
         let mut stream = Self::new(config);
         assert_eq!(
             loads.len(),
-            stream.config.bins,
-            "resident loads describe {} bins but the stream has {}",
+            stream.capacity(),
+            "resident loads describe {} bins but the stream has {} slots",
             loads.len(),
-            stream.config.bins
+            stream.capacity()
         );
         for (bin, &load) in loads.iter().enumerate() {
             if load > 0 {
@@ -443,10 +535,10 @@ impl StreamAllocator {
     /// [`Router`] surface); the error arm is never taken.
     pub fn route(&mut self, key: u64) -> Result<Placement, RouteError> {
         if self.open_batch == 0 {
-            // A routed batch opens here: apply staged weights and compute the
-            // batch thresholds, projecting a full batch (a router cannot know
-            // how many requests the batch will eventually have).
-            self.apply_pending_weights();
+            // A routed batch opens here: apply staged membership and weights
+            // and compute the batch thresholds, projecting a full batch (a
+            // router cannot know how many requests the batch will have).
+            self.apply_staged_changes();
             self.route_threshold = self.batch_threshold(self.config.batch_size as u64);
             let mut thresholds = std::mem::take(&mut self.route_capacity);
             self.fill_capacity_thresholds_into(self.config.batch_size as u64, &mut thresholds);
@@ -460,7 +552,12 @@ impl StreamAllocator {
                 batch_threshold: self.route_threshold,
                 capacity_thresholds: &self.route_capacity,
                 seed: self.config.seed,
-                bins: self.config.bins,
+                bins: self.capacity(),
+                active: self.membership.as_ref().map(|s| s.table.active()),
+                active_weights: self
+                    .membership
+                    .as_ref()
+                    .and_then(|s| s.active_resolved.as_ref()),
                 counters: self.metrics.as_ref().map(|m| &m.policy),
             };
             choose_bin(self.config.policy, &ctx, key, &mut candidates)
@@ -567,17 +664,61 @@ impl StreamAllocator {
     /// [`RouterObserver::on_reweight`] fires. From that boundary on, drains
     /// are bit-identical to a fresh engine constructed with the new weights
     /// over the same resident loads. Non-uniform weights must describe
-    /// exactly `bins` bins; uniform weights (any constant) return the engine
-    /// to the strict unweighted path.
+    /// exactly `bins` bins — or, once the engine is membership-aware, one
+    /// weight per **capacity slot** (retired slots carry placeholders the
+    /// next `Add` overwrites); uniform weights (any constant) return the
+    /// engine to the strict unweighted path.
     pub fn set_weights(&mut self, weights: BinWeights) {
         if let Some(prescribed) = weights.prescribed_bins() {
-            assert_eq!(
-                prescribed, self.config.bins,
-                "weights describe {prescribed} bins but the stream has {}",
+            let slots = if self.membership.is_some() {
+                self.capacity()
+            } else {
                 self.config.bins
+            };
+            assert_eq!(
+                prescribed, slots,
+                "weights describe {prescribed} bins but the stream has {slots}",
             );
         }
         self.pending_weights = Some(weights);
+    }
+
+    /// Stages a [`MembershipPlan`], applied at the **next batch boundary**
+    /// and strictly *before* any staged weights: the in-flight batch finishes
+    /// under the old topology, then the active set, alias tables, capacity
+    /// thresholds and gap measure are rebuilt over the surviving bins and
+    /// [`RouterObserver::on_membership`] fires (only when something actually
+    /// changed; every rejected event is counted under
+    /// `membership.rejected_*`). Staging twice before a boundary
+    /// concatenates the plans in order. An empty plan is a strict no-op.
+    pub fn stage_membership(&mut self, plan: MembershipPlan) {
+        self.ensure_membership();
+        self.membership
+            .as_mut()
+            .expect("membership exists after ensure")
+            .pending
+            .extend(plan);
+    }
+
+    /// Creates the membership state lazily (identity active set over the
+    /// configured bins, zero reserve) the first time an engine without
+    /// reserve slots stages a plan. A strict no-op for placements: an
+    /// identity active set samples and prices exactly like the
+    /// fixed-membership paths.
+    fn ensure_membership(&mut self) {
+        if self.membership.is_some() {
+            return;
+        }
+        self.membership = Some(MembershipState {
+            table: Membership::new(
+                self.config.bins,
+                self.capacity(),
+                &Self::slot_weight_values(self.resolved.as_ref(), self.config.bins),
+            ),
+            pending: MembershipPlan::new(),
+            // Identity active set: the restricted resolve IS the full one.
+            active_resolved: self.resolved.clone(),
+        });
     }
 
     /// Registers an external observer, notified (after the built-in gap
@@ -587,6 +728,88 @@ impl StreamAllocator {
         self.observers.0.push(observer);
     }
 
+    /// Applies everything staged for the next boundary: membership first
+    /// (the topology the new weights will describe), then weights. Called at
+    /// batch starts — i.e. the boundary after which the changes govern
+    /// placements — and a no-op when nothing is staged.
+    fn apply_staged_changes(&mut self) {
+        self.apply_pending_membership();
+        self.apply_pending_weights();
+    }
+
+    /// Applies membership plans staged by
+    /// [`StreamAllocator::stage_membership`]: runs the lifecycle state
+    /// machine with the ledger/loads occupancy predicate, bumps the
+    /// `membership.*` counters (accepted *and* rejected — nothing is
+    /// silent), rebuilds the cached weight resolves, and fires
+    /// [`RouterObserver::on_membership`] when the topology changed.
+    fn apply_pending_membership(&mut self) {
+        let Some(state) = &mut self.membership else {
+            return;
+        };
+        if state.pending.is_empty() {
+            return;
+        }
+        let plan = std::mem::take(&mut state.pending);
+        let bins = &self.bins;
+        let tickets = &self.tickets;
+        let outcome = state.table.apply(&plan, |bin| {
+            bins.load(bin as usize) > 0 || tickets.count_in(bin as usize) > 0
+        });
+        if let Some(metrics) = &self.metrics {
+            let counters = &metrics.membership;
+            counters.adds.add(outcome.added.len() as u64);
+            counters.drains.add(outcome.drained.len() as u64);
+            counters.removes.add(outcome.removed.len() as u64);
+            counters.rejected_adds.add(outcome.rejected_adds);
+            counters.rejected_drains.add(outcome.rejected_drains);
+            counters.rejected_removes.add(outcome.rejected_removes);
+        }
+        if !outcome.changed() {
+            return;
+        }
+        self.refresh_membership_weights();
+        let state = self.membership.as_ref().expect("membership just applied");
+        let event = MembershipChange {
+            batch_index: self.batches,
+            added: &outcome.added,
+            drained: &outcome.drained,
+            removed: &outcome.removed,
+            active: state.table.active(),
+            resident: self.placed - self.departed,
+        };
+        self.gap.on_membership(&event);
+        self.observers
+            .notify_membership(&event, self.metrics.as_ref().map(|m| &m.observer_errors));
+    }
+
+    /// Rebuilds the cached weight resolves after a membership or weight
+    /// change: the active-restricted resolve (sampling + pricing) and the
+    /// capacity-wide resolve (candidate comparisons, indexed by slot id).
+    /// When the surviving weights are uniform **both** are `None`, putting
+    /// the engine on the exact unweighted paths of a compacted fresh engine
+    /// over the active bins.
+    fn refresh_membership_weights(&mut self) {
+        let Some(state) = &mut self.membership else {
+            return;
+        };
+        let surviving: Vec<f64> = state
+            .table
+            .active()
+            .iter()
+            .map(|&bin| state.table.slot_weights()[bin as usize])
+            .collect();
+        state.active_resolved = BinWeights::explicit(surviving).resolve(state.table.active_count());
+        self.resolved = if state.active_resolved.is_some() {
+            // Non-uniform survivors imply a non-uniform slot vector, so the
+            // capacity-wide resolve always exists here.
+            BinWeights::explicit(state.table.slot_weights().to_vec())
+                .resolve(state.table.capacity())
+        } else {
+            None
+        };
+    }
+
     /// Applies weights staged by [`StreamAllocator::set_weights`]. Called at
     /// batch starts — i.e. the boundary after which the new weights govern
     /// placements — and a no-op when nothing is staged.
@@ -594,8 +817,22 @@ impl StreamAllocator {
         let Some(weights) = self.pending_weights.take() else {
             return;
         };
-        self.resolved = weights.resolve(self.config.bins);
-        self.config.weights = weights;
+        match &mut self.membership {
+            Some(state) => {
+                let capacity = state.table.capacity();
+                let values = match weights.resolve(capacity) {
+                    Some(resolved) => (0..capacity).map(|i| resolved.weight(i)).collect(),
+                    None => vec![1.0; capacity],
+                };
+                state.table.set_slot_weights(&values);
+                self.config.weights = weights;
+                self.refresh_membership_weights();
+            }
+            None => {
+                self.resolved = weights.resolve(self.config.bins);
+                self.config.weights = weights;
+            }
+        }
         // Report the *current* loads (an O(n) snapshot — reweights are rare):
         // the stale snapshot omits departures since the last boundary, which
         // would make the event's loads and resident fields inconsistent.
@@ -603,7 +840,12 @@ impl StreamAllocator {
         let event = ReweightEvent {
             batch_index: self.batches,
             loads: &loads,
-            weights: self.resolved.as_ref(),
+            // Membership engines report the resolve that governs placement
+            // and gap: the one restricted to the surviving bins.
+            weights: match &self.membership {
+                Some(state) => state.active_resolved.as_ref(),
+                None => self.resolved.as_ref(),
+            },
             resident: self.placed - self.departed,
         };
         self.gap.on_reweight(&event);
@@ -625,7 +867,7 @@ impl StreamAllocator {
         self.open_batch = 0;
         self.batches += 1;
         self.advance_boundary(batch_len);
-        self.apply_pending_weights();
+        self.apply_staged_changes();
         true
     }
 
@@ -657,9 +899,8 @@ impl StreamAllocator {
         // thresholds; the staged change instead waits for the boundary that
         // closes it (`close_open_batch`).
         if self.open_batch == 0 {
-            self.apply_pending_weights();
+            self.apply_staged_changes();
         }
-        let n = self.config.bins;
         let threshold = self.batch_threshold(batch.len() as u64);
         let mut thresholds = std::mem::take(&mut self.capacity_scratch);
         self.fill_capacity_thresholds_into(batch.len() as u64, &mut thresholds);
@@ -675,7 +916,12 @@ impl StreamAllocator {
             batch_threshold: threshold,
             capacity_thresholds: &self.capacity_scratch,
             seed: self.config.seed,
-            bins: n,
+            bins: self.capacity(),
+            active: self.membership.as_ref().map(|s| s.table.active()),
+            active_weights: self
+                .membership
+                .as_ref()
+                .and_then(|s| s.active_resolved.as_ref()),
             counters: self.metrics.as_ref().map(|m| &m.policy),
         };
         commit::choose_batch(
@@ -731,15 +977,32 @@ impl StreamAllocator {
             .notify_batch(&event, self.metrics.as_ref().map(|m| &m.observer_errors));
     }
 
+    /// Balls resident in **active** bins (the population thresholds re-price
+    /// over): the full resident count for a fixed-membership engine, the
+    /// active-bin loads only once bins drain — balls stranded on draining
+    /// bins are leaving, and counting them would inflate the fair share of
+    /// the survivors.
+    fn active_resident(&self) -> u64 {
+        match &self.membership {
+            Some(state) => state
+                .table
+                .active()
+                .iter()
+                .map(|&bin| self.bins.load(bin as usize) as u64)
+                .sum(),
+            None => self.bins.total(),
+        }
+    }
+
     /// The batch threshold of the paper-style [`Policy::Threshold`] rule over
-    /// the current resident population (see [`snapshot::batch_threshold`]).
+    /// the current resident population (see [`snapshot::batch_threshold`]) —
+    /// the **active** population and bin count once membership is elastic.
     fn batch_threshold(&self, batch_len: u64) -> u32 {
-        snapshot::batch_threshold(
-            self.config.policy,
-            self.bins.total(),
-            self.config.bins,
-            batch_len,
-        )
+        let (resident, bins) = match &self.membership {
+            Some(state) => (self.active_resident(), state.table.active_count()),
+            None => (self.bins.total(), self.config.bins),
+        };
+        snapshot::batch_threshold(self.config.policy, resident, bins, batch_len)
     }
 
     /// Per-bin capacity thresholds of [`Policy::CapacityThreshold`] over the
@@ -748,21 +1011,44 @@ impl StreamAllocator {
     /// route path keep separate buffers, so an interleaved `drain_ready`
     /// cannot clobber an open routed batch's thresholds.
     fn fill_capacity_thresholds_into(&self, batch_len: u64, out: &mut Vec<u32>) {
-        snapshot::fill_capacity_thresholds_into(
-            self.config.policy,
-            self.resolved.as_ref(),
-            self.bins.total(),
-            self.config.bins,
-            batch_len,
-            out,
-        );
+        match &self.membership {
+            Some(state) => snapshot::fill_active_capacity_thresholds_into(
+                self.config.policy,
+                state.active_resolved.as_ref(),
+                state.table.active(),
+                self.active_resident(),
+                self.capacity(),
+                batch_len,
+                out,
+            ),
+            None => snapshot::fill_capacity_thresholds_into(
+                self.config.policy,
+                self.resolved.as_ref(),
+                self.bins.total(),
+                self.config.bins,
+                batch_len,
+                out,
+            ),
+        }
     }
 
     /// The gap of a load vector under this stream's weights: classic
     /// `max − mean` when uniform, weighted `max_i(load_i/w_i) − (Σ load)/W`
-    /// otherwise.
+    /// otherwise. Membership engines measure the **active** bins only —
+    /// draining and retired slots hold balls no placement decision can see.
     fn gap_of_loads(&self, loads: &[u32]) -> f64 {
-        snapshot::gap_of_loads(loads, self.resolved.as_ref())
+        match &self.membership {
+            Some(state) => {
+                let mut scratch = Vec::with_capacity(state.table.active_count());
+                snapshot::gap_of_active_loads(
+                    loads,
+                    state.table.active(),
+                    state.active_resolved.as_ref(),
+                    &mut scratch,
+                )
+            }
+            None => snapshot::gap_of_loads(loads, self.resolved.as_ref()),
+        }
     }
 
     /// Fresh per-bin loads.
@@ -785,6 +1071,87 @@ impl StreamAllocator {
     /// uniform (unweighted) configuration.
     pub fn weights(&self) -> Option<&ResolvedWeights> {
         self.resolved.as_ref()
+    }
+
+    /// Total bin slots the engine is sized to: `bins + reserve_bins`. Every
+    /// per-bin array (loads, stale snapshot, ledger, thresholds) has this
+    /// length for the engine's whole lifetime; elasticity never reallocates.
+    pub fn capacity(&self) -> usize {
+        self.config.bins + self.config.reserve_bins
+    }
+
+    /// The membership lifecycle table, once this engine is membership-aware
+    /// (`None` for a fixed-membership engine that never staged a plan and
+    /// reserves no slots).
+    pub fn membership(&self) -> Option<&Membership> {
+        self.membership.as_ref().map(|state| &state.table)
+    }
+
+    /// Force-migrates every **ticketed** resident off the draining bins,
+    /// re-routing each through the live policy against the current stale
+    /// snapshot (keyed by its ball id — the original routing key is not
+    /// retained) with thresholds priced for the migration volume. Old ticket
+    /// handles stay redeemable: the ledger follows the ball to its new bin.
+    /// Anonymous `push`-placed balls hold no handle and stay put (they keep
+    /// blocking a `Remove` until the bin empties otherwise). Loads move
+    /// (place + depart per ball) but `placed`/`departed` totals do not — a
+    /// migration is a move, not an arrival — so conservation is untouched.
+    /// Returns the number of migrations, also counted under
+    /// `membership.migrations`.
+    pub fn migrate_drained(&mut self) -> u64 {
+        let Some(state) = &self.membership else {
+            return 0;
+        };
+        let draining = state.table.draining();
+        if draining.is_empty() {
+            return 0;
+        }
+        let volume: u64 = draining
+            .iter()
+            .map(|&bin| self.tickets.count_in(bin as usize) as u64)
+            .sum();
+        if volume == 0 {
+            return 0;
+        }
+        let threshold = self.batch_threshold(volume);
+        let mut thresholds = std::mem::take(&mut self.capacity_scratch);
+        self.fill_capacity_thresholds_into(volume, &mut thresholds);
+        let mut candidates = std::mem::take(&mut self.route_candidates);
+        let mut migrated = 0u64;
+        for bin in draining {
+            while let Some(ticket) = self.tickets.resident_in(bin as usize) {
+                let state = self.membership.as_ref().expect("membership checked above");
+                let ctx = ChoiceCtx {
+                    snapshot: &self.stale,
+                    weights: self.resolved.as_ref(),
+                    batch_threshold: threshold,
+                    capacity_thresholds: &thresholds,
+                    seed: self.config.seed,
+                    bins: self.capacity(),
+                    active: Some(state.table.active()),
+                    active_weights: state.active_resolved.as_ref(),
+                    counters: self.metrics.as_ref().map(|m| &m.policy),
+                };
+                let target = choose_bin(self.config.policy, &ctx, ticket.id(), &mut candidates);
+                self.bins.place(target as usize);
+                assert!(
+                    self.bins.depart(bin as usize),
+                    "draining bin with a resident ticket must hold load"
+                );
+                let moved = self
+                    .tickets
+                    .migrate(ticket.id(), bin as usize, target as usize);
+                debug_assert!(moved, "a ledger-resident ticket must migrate");
+                migrated += 1;
+                if let Some(metrics) = &self.metrics {
+                    metrics.membership.migrations.inc();
+                    metrics.bin_commits.inc(target as usize);
+                }
+            }
+        }
+        self.route_candidates = candidates;
+        self.capacity_scratch = thresholds;
+        migrated
     }
 
     /// Fresh normalized loads `load_i / w_i` (the raw loads as `f64` for a
@@ -862,6 +1229,10 @@ impl StreamAllocator {
             self.pending.len() as u64,
             self.batches,
             self.resolved.as_ref(),
+            self.membership.as_ref().map(|s| s.table.active()),
+            self.membership
+                .as_ref()
+                .and_then(|s| s.active_resolved.as_ref()),
         )
     }
 
@@ -892,7 +1263,10 @@ impl Router for StreamAllocator {
             routed: self.routed,
             released: self.released,
             resident: self.bins.total(),
-            bins: self.config.bins,
+            bins: match &self.membership {
+                Some(state) => state.table.active_count(),
+                None => self.config.bins,
+            },
             batches: self.batches,
             gap: self.gap_of_loads(&loads),
         }

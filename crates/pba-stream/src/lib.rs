@@ -50,6 +50,10 @@
 //! * [`scenario`] — [`run_scenario`]: ticks of arrivals + optional churn
 //!   (ticket releases, load- or capacity-proportional) driving a
 //!   [`StreamAllocator`], reporting online gap trajectories.
+//! * [`autoscale`] — [`ScaleScenario`] / [`run_scale_scenario`]: the elastic
+//!   counterpart — scripted scale events (ramp-up, flash crowd, rolling
+//!   restart, scale-to-zero) staged against a live stream, with migration
+//!   volume, availability and active-fraction measured per run (E19).
 //!
 //! Drain parallelism is explicit: [`StreamConfig::num_threads`] gives an
 //! engine its own worker pool (`0` = the ambient/global pool, sized by
@@ -63,6 +67,13 @@
 //! returns a [`Ticket`]; [`StreamAllocator::release`] retires it with
 //! validation. `StreamAllocator::set_weights` re-weights a **running** stream
 //! at the next batch boundary.
+//!
+//! Both engines are **elastic**: a [`MembershipPlan`] staged through
+//! `stage_membership` commissions, drains or retires bins at the next batch
+//! boundary (see the `pba_membership` crate for the lifecycle). Draining
+//! bins leave the sampling set but keep their residents until released or
+//! force-migrated via `migrate_drained`; `StreamConfig::reserve_bins`
+//! pre-allocates retired slots for scale-up without reallocation.
 //!
 //! ## Quick start
 //!
@@ -86,6 +97,7 @@
 #![warn(missing_docs)]
 
 pub mod arrival;
+pub mod autoscale;
 mod commit;
 pub mod concurrent;
 pub mod engine;
@@ -99,9 +111,12 @@ pub mod shard;
 pub mod snapshot;
 
 pub use arrival::{ArrivalProcess, ArrivalSampler, UNIQUE_KEYS};
+pub use autoscale::{
+    run_scale_scenario, run_scale_scenario_on, ScaleAction, ScaleEvent, ScaleReport, ScaleScenario,
+};
 pub use concurrent::{ConcurrentRouter, DelayedArrival};
 pub use engine::{StreamAllocator, StreamConfig};
-pub use metrics::{PolicyCounters, StreamMetrics};
+pub use metrics::{MembershipCounters, PolicyCounters, StreamMetrics};
 pub use observer::{GapTrajectoryObserver, ReweightLog, ReweightRecord};
 pub use policy::{candidate_bins, choose_bin, ChoiceCtx, Policy};
 pub use scenario::{run_scenario, run_scenario_on, ChurnMode, ScenarioConfig, ScenarioReport};
@@ -111,10 +126,15 @@ pub use snapshot::StreamSnapshot;
 
 // Re-exported so weighted stream configurations need only this crate.
 pub use pba_model::router::{
-    BatchEvent, Placement, ReleaseEvent, ReweightEvent, RouteError, RouteEvent, Router,
-    RouterObserver, RouterStats, Ticket,
+    BatchEvent, MembershipChange, Placement, ReleaseEvent, ReweightEvent, RouteError, RouteEvent,
+    Router, RouterObserver, RouterStats, Ticket,
 };
 pub use pba_model::weights::{BinWeights, ResolvedWeights};
+
+// Re-exported so elastic stream configurations need only this crate: stage a
+// `MembershipPlan` on either engine, inspect `BinState`s through the
+// topology accessors.
+pub use pba_membership::{ApplyOutcome, BinState, MembershipEvent, MembershipPlan};
 
 // Re-exported so callers can build/install drain pools without naming the
 // vendored shim: `StreamConfig::num_threads` covers the dedicated-pool case,

@@ -22,6 +22,10 @@
 //! | `policy.weighted_uniform_fallback` | weighted `sample_distinct` degraded to uniform draws |
 //! | `ingress.late_arrivals` | a ball surfaced at a boundary after a later-id ball had already been drained (re-sequencing stall) |
 //! | `observer.errors` | an external observer's lock was poisoned; its hooks were skipped |
+//! | `membership.rejected_adds` | `Add` staged with no retired slot left (or a bad weight) |
+//! | `membership.rejected_drains` | `Drain` of a non-active bin, or of the last active bin |
+//! | `membership.rejected_removes` | `Remove` of a non-draining or still-occupied bin |
+//! | `membership.rejected_routes_to_draining` | a concurrent route landed on a bin drained between snapshot and commit; the placement was undone and retried |
 //!
 //! Metrics are **write-only** for the engines: no allocation decision ever
 //! reads one, so installing metrics cannot perturb RNG streams or placements
@@ -59,6 +63,45 @@ impl PolicyCounters {
     }
 }
 
+/// Counters for the elastic-membership verbs (see the `membership` façade
+/// module): every accepted lifecycle transition, every migration, and every
+/// rejection — no membership outcome is silent.
+#[derive(Debug, Clone, Default)]
+pub struct MembershipCounters {
+    /// Bins commissioned (`Add` accepted).
+    pub adds: Counter,
+    /// Bins moved to draining (`Drain` accepted).
+    pub drains: Counter,
+    /// Bins retired (`Remove` accepted).
+    pub removes: Counter,
+    /// Ticketed residents force-migrated off draining bins.
+    pub migrations: Counter,
+    /// `Add` events rejected (capacity exhausted or bad weight).
+    pub rejected_adds: Counter,
+    /// `Drain` events rejected (not active, or last active bin).
+    pub rejected_drains: Counter,
+    /// `Remove` events rejected (not draining, or still occupied).
+    pub rejected_removes: Counter,
+    /// Concurrent routes undone because their bin drained mid-flight.
+    pub rejected_routes_to_draining: Counter,
+}
+
+impl MembershipCounters {
+    /// Resolves the `membership.*` handles against `registry`.
+    pub fn resolve(registry: &MetricsRegistry) -> Self {
+        Self {
+            adds: registry.counter("membership.adds"),
+            drains: registry.counter("membership.drains"),
+            removes: registry.counter("membership.removes"),
+            migrations: registry.counter("membership.migrations"),
+            rejected_adds: registry.counter("membership.rejected_adds"),
+            rejected_drains: registry.counter("membership.rejected_drains"),
+            rejected_removes: registry.counter("membership.rejected_removes"),
+            rejected_routes_to_draining: registry.counter("membership.rejected_routes_to_draining"),
+        }
+    }
+}
+
 /// Every handle a streaming engine records into, resolved once. Cloning is
 /// cheap (each handle is an `Arc`), so the concurrent router's shared core
 /// and each drained batch can carry the same bundle.
@@ -89,6 +132,8 @@ pub struct StreamMetrics {
     pub observer_errors: Counter,
     /// The policy-level fallback counters.
     pub policy: PolicyCounters,
+    /// The elastic-membership lifecycle counters.
+    pub membership: MembershipCounters,
 }
 
 impl StreamMetrics {
@@ -107,6 +152,7 @@ impl StreamMetrics {
             ingress_late: registry.counter("ingress.late_arrivals"),
             observer_errors: registry.counter("observer.errors"),
             policy: PolicyCounters::resolve(&registry),
+            membership: MembershipCounters::resolve(&registry),
             registry,
         }
     }

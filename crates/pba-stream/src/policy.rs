@@ -158,8 +158,22 @@ pub struct ChoiceCtx<'a> {
     pub capacity_thresholds: &'a [u32],
     /// Master seed (candidates are a pure hash of `(seed, key)`).
     pub seed: u64,
-    /// Number of bins `n`.
+    /// Number of bins `n` (the snapshot length — the engine's slot
+    /// capacity when membership is in play).
     pub bins: usize,
+    /// Elastic membership: the sorted **active** slots policies may sample,
+    /// or `None` when every slot of `[0, bins)` serves (the fixed-`n` fast
+    /// path — no indirection, no extra RNG cost). Candidates are drawn over
+    /// `active.len()` and mapped through this list, so a membership whose
+    /// active set is `0..n` consumes the identical RNG stream as `None`,
+    /// and one with gaps consumes exactly the stream of a compacted
+    /// fresh engine over the surviving bins.
+    pub active: Option<&'a [u32]>,
+    /// Resolved weights **restricted to the active slots** (index space of
+    /// `active`, used only for sampling), or `None` when the surviving
+    /// weights are uniform. [`ChoiceCtx::weights`] stays in global slot
+    /// space for load comparisons and capacity thresholds.
+    pub active_weights: Option<&'a ResolvedWeights>,
     /// Fallback counters (`None` = uninstrumented — zero metric
     /// instructions). Write-only: nothing here feeds back into the choice,
     /// so instrumented and bare runs place identically.
@@ -240,6 +254,33 @@ fn sample_candidates(
     d: usize,
     out: &mut Vec<u32>,
 ) {
+    if let Some(active) = ctx.active {
+        // Elastic membership: draw over the active domain, then map the
+        // drawn positions to global slot indices. The RNG consumption is
+        // exactly that of a fixed engine over `active.len()` bins, so an
+        // identity active set is a strict no-op and a gapped one matches the
+        // compacted fresh engine bit for bit.
+        let n = active.len();
+        let start = out.len();
+        match ctx.active_weights {
+            Some(weights) if policy.is_weight_aware() => {
+                debug_assert_eq!(weights.len(), n);
+                let fallback_draws = weights.sample_distinct(rng, d.max(1).min(n.max(1)), out);
+                if fallback_draws > 0 {
+                    if let Some(counters) = ctx.counters {
+                        counters
+                            .weighted_uniform_fallback
+                            .add(fallback_draws as u64);
+                    }
+                }
+            }
+            _ => rng.sample_distinct(n, d.max(1).min(n.max(1)), out),
+        }
+        for slot in &mut out[start..] {
+            *slot = active[*slot as usize];
+        }
+        return;
+    }
     match ctx.weights {
         Some(weights) if policy.is_weight_aware() => {
             let fallback_draws = weights.sample_distinct(rng, d.max(1).min(ctx.bins.max(1)), out);
@@ -392,6 +433,8 @@ mod tests {
             capacity_thresholds: &[],
             seed: 9,
             bins: snapshot.len(),
+            active: None,
+            active_weights: None,
             counters: None,
         }
     }
@@ -436,6 +479,8 @@ mod tests {
             capacity_thresholds: &[],
             seed: 1,
             bins: 3,
+            active: None,
+            active_weights: None,
             counters: None,
         };
         assert_eq!(least_normalized(&ctx, &[0, 1]), 0);
@@ -469,6 +514,8 @@ mod tests {
             capacity_thresholds: &caps,
             seed: 77,
             bins: 8,
+            active: None,
+            active_weights: None,
             counters: None,
         };
         let policy = Policy::CapacityThreshold { d: 2, slack: 0 };
@@ -501,6 +548,8 @@ mod tests {
             capacity_thresholds: &caps,
             seed: 5,
             bins: 2,
+            active: None,
+            active_weights: None,
             counters: None,
         };
         let mut scratch = Vec::new();
@@ -512,6 +561,115 @@ mod tests {
                 &mut scratch,
             );
             assert_eq!(chosen, 0, "key {key}");
+        }
+    }
+
+    #[test]
+    fn identity_active_set_is_a_strict_noop() {
+        // active = 0..n must consume the same RNG stream and choose the same
+        // bins as active = None, for every policy shape.
+        let snapshot: Vec<u32> = (0..32u32).map(|i| (i * 5) % 11).collect();
+        let identity: Vec<u32> = (0..32u32).collect();
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        for policy in [
+            Policy::OneChoice,
+            Policy::TwoChoice,
+            Policy::DChoice(4),
+            Policy::Threshold { d: 3, slack: 0 },
+            Policy::WeightedTwoChoice,
+            Policy::CapacityThreshold { d: 2, slack: 0 },
+        ] {
+            let bare = uniform_ctx(&snapshot, 4);
+            let mapped = ChoiceCtx {
+                active: Some(&identity),
+                ..bare
+            };
+            for key in 0..300u64 {
+                assert_eq!(
+                    choose_bin(policy, &bare, key, &mut a),
+                    choose_bin(policy, &mapped, key, &mut b),
+                    "policy {} key {key}",
+                    policy.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn gapped_active_set_matches_a_compacted_domain() {
+        // A membership engine sampling over the active list must choose the
+        // same *backends* a fresh engine over the surviving bins chooses
+        // (positions map through the sorted active list).
+        let full_snapshot = vec![3u32, 99, 5, 99, 7, 2, 99, 4];
+        let active = vec![0u32, 2, 4, 5, 7]; // bins 1, 3, 6 drained
+        let compact_snapshot: Vec<u32> =
+            active.iter().map(|&b| full_snapshot[b as usize]).collect();
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        for policy in [Policy::TwoChoice, Policy::DChoice(3), Policy::OneChoice] {
+            let elastic = ChoiceCtx {
+                snapshot: &full_snapshot,
+                active: Some(&active),
+                ..uniform_ctx(&full_snapshot, 0)
+            };
+            let compact = uniform_ctx(&compact_snapshot, 0);
+            for key in 0..300u64 {
+                let chosen = choose_bin(policy, &elastic, key, &mut a);
+                let compacted = choose_bin(policy, &compact, key, &mut b);
+                assert_eq!(
+                    chosen,
+                    active[compacted as usize],
+                    "policy {} key {key}",
+                    policy.name()
+                );
+                assert!(active.contains(&chosen), "never samples a drained bin");
+            }
+        }
+    }
+
+    #[test]
+    fn weighted_active_sampling_uses_the_restricted_alias_table() {
+        use pba_model::weights::BinWeights;
+        // Capacity 6, bins 1 and 3 drained; the surviving weights are skewed
+        // so the weighted path exercises the restricted alias table.
+        let active = vec![0u32, 2, 4, 5];
+        let full = vec![4.0, 9.0, 1.0, 9.0, 1.0, 2.0];
+        let restricted: Vec<f64> = active.iter().map(|&b| full[b as usize]).collect();
+        let active_resolved = BinWeights::explicit(restricted.clone()).resolve(4).unwrap();
+        let full_resolved = BinWeights::explicit(full).resolve(6).unwrap();
+        let compact_resolved = BinWeights::explicit(restricted).resolve(4).unwrap();
+        let full_snapshot = vec![8u32, 99, 2, 99, 2, 4];
+        let compact_snapshot: Vec<u32> =
+            active.iter().map(|&b| full_snapshot[b as usize]).collect();
+        let elastic = ChoiceCtx {
+            snapshot: &full_snapshot,
+            weights: Some(&full_resolved),
+            batch_threshold: 0,
+            capacity_thresholds: &[],
+            seed: 13,
+            bins: 6,
+            active: Some(&active),
+            active_weights: Some(&active_resolved),
+            counters: None,
+        };
+        let compact = ChoiceCtx {
+            snapshot: &compact_snapshot,
+            weights: Some(&compact_resolved),
+            batch_threshold: 0,
+            capacity_thresholds: &[],
+            seed: 13,
+            bins: 4,
+            active: None,
+            active_weights: None,
+            counters: None,
+        };
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        for key in 0..300u64 {
+            let chosen = choose_bin(Policy::WeightedTwoChoice, &elastic, key, &mut a);
+            let compacted = choose_bin(Policy::WeightedTwoChoice, &compact, key, &mut b);
+            assert_eq!(chosen, active[compacted as usize], "key {key}");
         }
     }
 

@@ -11,7 +11,18 @@
 //! | `RELEASE <id>` | `OK <bin>` or `ERR unknown-ticket` | redeem a parked ticket |
 //! | `FLUSH` | `OK <boundaries>` | close the open batch (boundaries produced by this flush) |
 //! | `STATS` | `OK routed <r> released <d> resident <n> batches <b>` | aggregate counters |
+//! | `ADD <weight>` | `OK staged` | stage commissioning one bin (takes effect at the next batch boundary) |
+//! | `DRAIN <bin>` | `OK staged` | stage draining `<bin>` out of the sampling set |
+//! | `REMOVE <bin>` | `OK staged` | stage retiring a drained, empty `<bin>` |
+//! | `MIGRATE` | `OK <count>` | force-migrate ticketed residents off draining bins |
 //! | anything else | `ERR bad-request` | counted, never silently dropped |
+//!
+//! The membership verbs stage a [`pba_membership::MembershipPlan`] on the
+//! shared router; like every scale event it applies at the next batch
+//! boundary, and illegal transitions (draining the last bin, removing an
+//! occupied one) are *rejected there*, visible in the
+//! `membership.rejected_*` counters — `OK staged` acknowledges staging, not
+//! acceptance.
 //!
 //! Tickets are opaque to the wire: clients hold only the arrival id, and the
 //! server parks the real [`Ticket`] in an id-sharded map. A `RELEASE` for an
@@ -48,6 +59,7 @@ use std::time::{Duration, Instant};
 use pba_obs::{Counter, HistogramHandle, LocalHistogram};
 
 use crate::concurrent::ConcurrentRouter;
+use pba_membership::MembershipPlan;
 use pba_model::router::Ticket;
 
 /// Requests between merges of a connection's local latency histogram into
@@ -356,6 +368,34 @@ fn respond(shared: &Shared, line: &str, latency: &mut LocalHistogram) -> String 
             },
             Err(_) => bad_request(shared),
         },
+        (Some("ADD"), Some(weight), None) => match weight.parse::<f64>() {
+            Ok(weight) if weight.is_finite() && weight > 0.0 => {
+                shared
+                    .router
+                    .stage_membership(MembershipPlan::new().add(weight));
+                "OK staged".to_string()
+            }
+            _ => bad_request(shared),
+        },
+        (Some("DRAIN"), Some(bin), None) => match bin.parse::<u32>() {
+            Ok(bin) => {
+                shared
+                    .router
+                    .stage_membership(MembershipPlan::new().drain(bin));
+                "OK staged".to_string()
+            }
+            Err(_) => bad_request(shared),
+        },
+        (Some("REMOVE"), Some(bin), None) => match bin.parse::<u32>() {
+            Ok(bin) => {
+                shared
+                    .router
+                    .stage_membership(MembershipPlan::new().remove(bin));
+                "OK staged".to_string()
+            }
+            Err(_) => bad_request(shared),
+        },
+        (Some("MIGRATE"), None, None) => format!("OK {}", shared.router.migrate_drained()),
         (Some("FLUSH"), None, None) => format!("OK {}", shared.router.flush()),
         (Some("STATS"), None, None) => {
             let stats = shared.router.stats();
@@ -449,6 +489,39 @@ impl LineClient {
         match reply.strip_prefix("OK ") {
             Some(rest) => rest.parse().map_err(|_| protocol_error(&reply)),
             None => Err(protocol_error(&reply)),
+        }
+    }
+
+    /// `ADD weight` — stage commissioning one bin.
+    pub fn stage_add(&mut self, weight: f64) -> io::Result<()> {
+        self.expect_staged(&format!("ADD {weight}"))
+    }
+
+    /// `DRAIN bin` — stage draining a bin out of the sampling set.
+    pub fn stage_drain(&mut self, bin: u32) -> io::Result<()> {
+        self.expect_staged(&format!("DRAIN {bin}"))
+    }
+
+    /// `REMOVE bin` — stage retiring a drained, empty bin.
+    pub fn stage_remove(&mut self, bin: u32) -> io::Result<()> {
+        self.expect_staged(&format!("REMOVE {bin}"))
+    }
+
+    /// `MIGRATE` → residents force-migrated off draining bins.
+    pub fn migrate(&mut self) -> io::Result<u64> {
+        let reply = self.request("MIGRATE")?;
+        match reply.strip_prefix("OK ") {
+            Some(rest) => rest.parse().map_err(|_| protocol_error(&reply)),
+            None => Err(protocol_error(&reply)),
+        }
+    }
+
+    fn expect_staged(&mut self, line: &str) -> io::Result<()> {
+        let reply = self.request(line)?;
+        if reply == "OK staged" {
+            Ok(())
+        } else {
+            Err(protocol_error(&reply))
         }
     }
 }
@@ -637,6 +710,64 @@ mod tests {
         assert_eq!(replies[4], "OK 1", "flush closes the 2-ball open batch");
         assert_eq!(server.router().stats().routed, 2);
         server.shutdown();
+    }
+
+    #[test]
+    fn membership_verbs_drive_a_scale_cycle_over_the_wire() {
+        use pba_membership::BinState;
+        let registry = Arc::new(pba_obs::MetricsRegistry::new());
+        let router = ConcurrentRouter::with_metrics(
+            StreamConfig::new(8)
+                .policy(Policy::TwoChoice)
+                .batch_size(8)
+                .seed(11)
+                .reserve_bins(1),
+            registry,
+        );
+        let server = SocketServer::start(router, ServerConfig::default()).expect("bind loopback");
+        let mut client = LineClient::connect(server.local_addr()).unwrap();
+        let mut ids = Vec::new();
+        for key in 0..32u64 {
+            ids.push(client.route(key).unwrap());
+        }
+        // Drain bin 3 and commission a replacement; the plan applies at the
+        // boundary the next full batch produces.
+        client.stage_drain(3).unwrap();
+        client.stage_add(1.0).unwrap();
+        for key in 100..108u64 {
+            client.route(key).unwrap();
+        }
+        client.flush().unwrap();
+        let states = server.router().bin_states().expect("elastic now");
+        assert_eq!(states[3], BinState::Draining);
+        assert_eq!(states[8], BinState::Active, "commissioned reserve slot");
+        // Routes no longer land on the draining bin; migration empties it.
+        let migrated = client.migrate().unwrap();
+        assert_eq!(server.router().tickets_in(3), 0);
+        assert_eq!(server.router().load(3), 0);
+        // Now empty, the remove is legal at the next boundary.
+        client.stage_remove(3).unwrap();
+        for key in 200..208u64 {
+            client.route(key).unwrap();
+        }
+        client.flush().unwrap();
+        assert_eq!(server.router().bin_states().unwrap()[3], BinState::Retired);
+        // Every parked ticket still redeems, migrated or not.
+        for (_, id) in ids {
+            assert!(client.release(id).unwrap().is_some());
+        }
+        assert!(server.router().conserves_balls());
+        // Bad membership requests are counted, not executed.
+        assert_eq!(client.request("ADD -1").unwrap(), "ERR bad-request");
+        assert_eq!(client.request("DRAIN x").unwrap(), "ERR bad-request");
+        let registry = Arc::clone(&server.router().metrics().unwrap().registry);
+        server.shutdown();
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("membership.drains"), 1);
+        assert_eq!(snap.counter("membership.adds"), 1);
+        assert_eq!(snap.counter("membership.removes"), 1);
+        assert_eq!(snap.counter("membership.migrations"), migrated);
+        assert_eq!(snap.counter("server.bad_request"), 2);
     }
 
     #[test]

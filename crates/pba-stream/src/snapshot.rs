@@ -44,6 +44,11 @@ impl StreamSnapshot {
     /// Assembles a snapshot from the raw counters and a fresh load vector,
     /// computing the derived gap/quantile/normalized-load fields — the one
     /// place those derivations live, shared by both engines.
+    /// `weights` prices the derived stats for a fixed-membership engine;
+    /// when `active` is present (elastic membership), the derived stats are
+    /// computed over the **active** bins only — draining and retired slots
+    /// hold balls that no placement decision can see — priced by
+    /// `active_weights`, the resolve restricted to the surviving slots.
     #[allow(clippy::too_many_arguments)] // a constructor of raw counters
     pub(crate) fn assemble(
         loads: Vec<u32>,
@@ -54,13 +59,22 @@ impl StreamSnapshot {
         pending: u64,
         batches: u64,
         weights: Option<&ResolvedWeights>,
+        active: Option<&[u32]>,
+        active_weights: Option<&ResolvedWeights>,
     ) -> Self {
-        let gap = gap_of_loads(&loads, weights);
-        let as_f64: Vec<f64> = loads.iter().map(|&l| l as f64).collect();
+        let (served, priced): (Vec<u32>, Option<&ResolvedWeights>) = match active {
+            Some(active) => (
+                active.iter().map(|&b| loads[b as usize]).collect(),
+                active_weights,
+            ),
+            None => (loads.clone(), weights),
+        };
+        let gap = gap_of_loads(&served, priced);
+        let as_f64: Vec<f64> = served.iter().map(|&l| l as f64).collect();
         let qs = quantiles_of(&as_f64, &[0.5, 0.9, 0.99, 1.0]);
-        let max_normalized_load = match weights {
+        let max_normalized_load = match priced {
             None => qs[3],
-            Some(weights) => normalized_loads(&loads, weights)
+            Some(priced) => normalized_loads(&served, priced)
                 .into_iter()
                 .fold(0.0f64, f64::max),
         };
@@ -134,6 +148,49 @@ pub(crate) fn fill_capacity_thresholds_into(
     }
 }
 
+/// The gap of the **active** bins of a membership-aware load vector:
+/// gathers the active loads into `scratch` and prices them exactly like a
+/// fixed engine over the surviving bins would (`weights` is the resolve
+/// restricted to the active slots, `None` when they are uniform) — the
+/// identity behind the post-drain suffix-equivalence property.
+pub(crate) fn gap_of_active_loads(
+    loads: &[u32],
+    active: &[u32],
+    weights: Option<&ResolvedWeights>,
+    scratch: &mut Vec<u32>,
+) -> f64 {
+    scratch.clear();
+    scratch.extend(active.iter().map(|&b| loads[b as usize]));
+    gap_of_loads(scratch, weights)
+}
+
+/// Membership-aware sibling of [`fill_capacity_thresholds_into`]: per-bin
+/// capacity thresholds `⌈(active_resident + batch)·w_i/W_active⌉ + slack`
+/// scattered into a **capacity-length** vector (`out[b]` for active slot
+/// `b`; entries of non-active slots are `0` and never consulted, since
+/// policies only sample active candidates). `resident` must already be the
+/// active-bin total, so the re-pricing happens over the surviving weight
+/// mass only.
+pub(crate) fn fill_active_capacity_thresholds_into(
+    policy: Policy,
+    active_weights: Option<&ResolvedWeights>,
+    active: &[u32],
+    resident: u64,
+    capacity: usize,
+    batch_len: u64,
+    out: &mut Vec<u32>,
+) {
+    out.clear();
+    if let (Policy::CapacityThreshold { slack, .. }, Some(weights)) = (policy, active_weights) {
+        let post = (resident + batch_len) as f64;
+        out.resize(capacity, 0);
+        for (i, &bin) in active.iter().enumerate() {
+            let fair = (post * weights.share(i)).ceil();
+            out[bin as usize] = (fair as u64).min(u32::MAX as u64) as u32 + slack;
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -188,5 +245,48 @@ mod tests {
             &mut out,
         );
         assert!(out.is_empty(), "uniform weights use the flat threshold");
+    }
+
+    #[test]
+    fn active_gap_matches_a_compacted_load_vector() {
+        let loads = vec![4u32, 99, 2, 99, 6];
+        let active = vec![0u32, 2, 4];
+        let mut scratch = Vec::new();
+        let gap = gap_of_active_loads(&loads, &active, None, &mut scratch);
+        assert_eq!(scratch, vec![4, 2, 6]);
+        assert_eq!(gap, gap_of_loads(&[4, 2, 6], None));
+    }
+
+    #[test]
+    fn active_capacity_thresholds_scatter_into_slot_space() {
+        use pba_model::weights::BinWeights;
+        // Capacity 5, active slots {0, 3, 4} with surviving weights 2:1:1.
+        let active = vec![0u32, 3, 4];
+        let weights = BinWeights::explicit(vec![2.0, 1.0, 1.0])
+            .resolve(3)
+            .unwrap();
+        let mut out = Vec::new();
+        fill_active_capacity_thresholds_into(
+            Policy::CapacityThreshold { d: 2, slack: 1 },
+            Some(&weights),
+            &active,
+            0,
+            5,
+            8,
+            &mut out,
+        );
+        // Same shares as the compacted test: ⌈4⌉+1, ⌈2⌉+1, ⌈2⌉+1, scattered.
+        assert_eq!(out, vec![5, 0, 0, 3, 3]);
+        // Uniform survivors leave the vector empty (flat threshold path).
+        fill_active_capacity_thresholds_into(
+            Policy::CapacityThreshold { d: 2, slack: 1 },
+            None,
+            &active,
+            0,
+            5,
+            8,
+            &mut out,
+        );
+        assert!(out.is_empty());
     }
 }

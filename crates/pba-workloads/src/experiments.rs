@@ -1,4 +1,4 @@
-//! The reproduction experiments E1–E18 (see DESIGN.md for the full index).
+//! The reproduction experiments E1–E19 (see DESIGN.md for the full index).
 //! E1–E9 validate the SPAA'19 paper; E10–E12 measure the streaming engine of
 //! `pba-stream` in the batched/stale-information model (Los–Sauerwald 2022),
 //! with E12 exercising both load- and capacity-proportional churn through the
@@ -17,7 +17,11 @@
 //! no-silent-drops counter ledger summed in-table; E18 measures the **replay
 //! and fault-injection harness** — a recorded trace replayed clean and under
 //! every scripted fault class of `pba-replay`, each fault firing its named
-//! counter while conservation and ledger invariants hold.
+//! counter while conservation and ledger invariants hold; E19 measures
+//! **elastic membership** — the canonical autoscaling shapes (ramp-up, flash
+//! crowd, rolling restart, scale-to-zero) run as scripted `ScaleScenario`s
+//! against a live stream, with migration volume, availability and the final
+//! gap compared against a never-scaled cluster's two-choice envelope.
 //!
 //! The paper is a theory paper without numbered tables/figures, so each
 //! experiment here plays the role of a table: it validates one theorem, claim or
@@ -1556,7 +1560,105 @@ pub fn e18_replay_faults(quick: bool) -> Table {
     table
 }
 
-/// Runs every experiment and returns all tables in order (E1 … E18).
+/// E19: elastic cluster membership under the canonical autoscaling shapes.
+///
+/// Each row runs one [`pba_stream::ScaleScenario`] — a scripted schedule of
+/// `Add`/`Drain`/`Remove` events staged against a live stream — under the
+/// same arrival/churn process as a **never-scaled baseline** of the same
+/// initial size. The acceptance bar is the paper-side envelope: scaling may
+/// perturb the gap transiently, but the final gap must stay within the
+/// two-choice envelope of the static cluster
+/// (`baseline max gap + b/n + log₂ n`), every scripted event must apply
+/// (`unapplied = 0`), routing availability must stay 1.0 (staging never
+/// pauses the data path), migrations are counted one ticket at a time, and
+/// conservation must hold at the end of every run.
+pub fn e19_autoscale(quick: bool) -> Table {
+    use pba_stream::{run_scale_scenario, ScaleScenario};
+
+    let (bins, ticks, rate): (usize, u64, usize) = if quick { (16, 64, 8) } else { (64, 240, 32) };
+    let arrivals = ArrivalProcess::Uniform {
+        keys: u64::MAX,
+        rate,
+    };
+    let churn = 0.25;
+    let warmup = ticks / 6;
+    let config = StreamConfig::new(bins)
+        .policy(Policy::TwoChoice)
+        .batch_size(bins)
+        .seed(19);
+
+    let scenarios: Vec<ScaleScenario> = if quick {
+        vec![
+            ScaleScenario::steady("static-baseline", ticks, arrivals.clone()),
+            ScaleScenario::ramp_up(ticks, arrivals.clone(), 4, 8, 4),
+            ScaleScenario::flash_crowd(ticks, arrivals.clone(), bins, 4, 12, 12),
+            ScaleScenario::rolling_restart(ticks, arrivals.clone(), 4, 8, 6),
+            ScaleScenario::scale_to_zero_and_back(ticks, arrivals.clone(), bins, bins / 2, 10, 20),
+        ]
+    } else {
+        vec![
+            ScaleScenario::steady("static-baseline", ticks, arrivals.clone()),
+            ScaleScenario::ramp_up(ticks, arrivals.clone(), 16, 24, 4),
+            ScaleScenario::flash_crowd(ticks, arrivals.clone(), bins, 16, 40, 60),
+            ScaleScenario::rolling_restart(ticks, arrivals.clone(), 8, 24, 8),
+            ScaleScenario::scale_to_zero_and_back(ticks, arrivals.clone(), bins, bins / 2, 40, 80),
+        ]
+    };
+
+    // The never-scaled cluster sets the envelope every elastic run must
+    // re-enter: its worst transient gap plus the batched-model slack
+    // O(b/n + log n) with unit constants.
+    let baseline = run_scale_scenario(
+        &scenarios[0].clone().with_churn(churn, warmup),
+        config.clone(),
+    );
+    let envelope = baseline.max_gap + config.batch_size as f64 / bins as f64 + (bins as f64).log2();
+
+    let mut table = Table::with_alignments(
+        "E19: elastic membership — autoscaling scenarios vs a never-scaled cluster (TwoChoice, \
+         final gap must re-enter the static envelope)",
+        &[
+            ("scenario", Align::Left),
+            ("events", Align::Right),
+            ("staged", Align::Right),
+            ("unapplied", Align::Right),
+            ("migrated", Align::Right),
+            ("arrived", Align::Right),
+            ("availability", Align::Right),
+            ("min active", Align::Right),
+            ("final gap", Align::Right),
+            ("max gap", Align::Right),
+            ("within envelope", Align::Left),
+            ("conserved", Align::Left),
+        ],
+    );
+    for scenario in &scenarios {
+        let scenario = scenario.clone().with_churn(churn, warmup);
+        let report = run_scale_scenario(&scenario, config.clone());
+        let within = report.final_gap <= envelope;
+        table.push_row([
+            Cell::from(report.name.as_str()),
+            Cell::from(scenario.events.len()),
+            Cell::from(report.events_staged),
+            Cell::from(report.events_unapplied),
+            Cell::from(report.migrated),
+            Cell::from(report.arrived),
+            Cell::from(report.availability),
+            Cell::from(report.min_active_fraction),
+            Cell::from(report.final_gap),
+            Cell::from(report.max_gap),
+            Cell::from(if within { "yes" } else { "NO" }),
+            Cell::from(if report.stream.conserves_balls() {
+                "yes"
+            } else {
+                "NO"
+            }),
+        ]);
+    }
+    table
+}
+
+/// Runs every experiment and returns all tables in order (E1 … E19).
 pub fn all_experiments(quick: bool) -> Vec<Table> {
     let mut tables = vec![
         e1_heavy_load_and_rounds(quick),
@@ -1578,6 +1680,7 @@ pub fn all_experiments(quick: bool) -> Vec<Table> {
     tables.push(e16_concurrent_routing(quick));
     tables.push(e17_socket_serving(quick));
     tables.push(e18_replay_faults(quick));
+    tables.push(e19_autoscale(quick));
     tables
 }
 
@@ -1863,6 +1966,38 @@ mod tests {
             assert_eq!(row[7].0, "yes", "conservation under fault {}", row[0].0);
             assert_eq!(row[8].0, "ok", "invariants under fault {}", row[0].0);
         }
+    }
+
+    #[test]
+    fn e19_quick_every_scenario_applies_and_reenters_the_envelope() {
+        let t = e19_autoscale(true);
+        // static baseline + ramp-up + flash crowd + rolling restart + scale-to-zero.
+        assert_eq!(t.n_rows(), 5);
+        assert_eq!(t.n_cols(), 12);
+        let mut saw_migration = false;
+        for row in t.rows() {
+            let unapplied: u64 = row[3].0.parse().unwrap();
+            assert_eq!(
+                unapplied, 0,
+                "{}: every scripted event must apply",
+                row[0].0
+            );
+            let availability: f64 = row[6].0.parse().unwrap();
+            assert!(
+                (availability - 1.0).abs() < 1e-9,
+                "{}: staging must never pause routing",
+                row[0].0
+            );
+            assert_eq!(row[10].0, "yes", "{}: final gap outside envelope", row[0].0);
+            assert_eq!(row[11].0, "yes", "{}: conservation", row[0].0);
+            saw_migration |= row[4].0.parse::<u64>().unwrap() > 0;
+        }
+        assert!(
+            saw_migration,
+            "drain/remove scenarios must force-migrate at least one resident"
+        );
+        assert_eq!(t.rows()[0][0].0, "static-baseline");
+        assert_eq!(t.rows()[0][4].0, "0", "the baseline never migrates");
     }
 
     #[test]

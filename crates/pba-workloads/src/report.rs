@@ -169,6 +169,21 @@ fn commentary(title: &str) -> &'static str {
          release lands in `route.rejected_unknown_ticket`, a poisoned observer in \
          `observer.errors`, a late ingress delivery in `ingress.late_arrivals`)."
     }
+        "E19" => {
+        "Elastic cluster membership: each row runs one scripted autoscaling shape (ramp-up, \
+         flash crowd, rolling restart, scale-to-zero-and-back) against a live stream — \
+         `Add`/`Drain`/`Remove` events staged through the `&self` handle and applied only at \
+         batch boundaries, with draining bins leaving the sampling set while their residents \
+         are migrated through the ticket ledger. The paper-side claim is the batched-model \
+         envelope: membership churn may move the gap transiently (the max-gap column shows the \
+         spike), but once the topology settles, two-choice on stale loads re-converges — the \
+         final gap must re-enter the never-scaled cluster's envelope (baseline max gap + b/n + \
+         log₂ n, the Los–Sauerwald slack with unit constants). Structurally, every scripted \
+         event must apply (unapplied = 0; the driver defers events until legal rather than \
+         letting the engine reject them), availability must read 1.0 (staging never pauses the \
+         data path), every force-migration is counted by name in `membership.migrations`, and \
+         conservation must survive every topology change."
+    }
         _ => "",
     }
 }
@@ -245,7 +260,10 @@ mod tests {
         assert_ne!(commentary("E18: x"), commentary("E1: x"));
         assert!(commentary("E18: replay").contains("fault"));
         assert!(commentary("E181: typo").is_empty());
-        assert!(commentary("E19: future").is_empty());
+        assert_ne!(commentary("E19: x"), commentary("E1: x"));
+        assert!(commentary("E19: elastic").contains("membership"));
+        assert!(commentary("E191: typo").is_empty());
+        assert!(commentary("E20: future").is_empty());
         assert!(commentary("E4ab: typo").is_empty());
         // The token parser handles title shapes beyond "Exx:".
         assert_eq!(experiment_token("E9b — dashes"), "E9b");
@@ -256,7 +274,7 @@ mod tests {
     fn every_known_experiment_has_commentary() {
         for prefix in [
             "E1", "E2", "E3", "E4a", "E4b", "E5", "E6", "E7", "E8a", "E8b", "E9a", "E9b", "E10",
-            "E11", "E12", "E13", "E14", "E15", "E16", "E17", "E18",
+            "E11", "E12", "E13", "E14", "E15", "E16", "E17", "E18", "E19",
         ] {
             assert!(
                 !commentary(&format!("{prefix}: x")).is_empty(),

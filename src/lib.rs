@@ -20,11 +20,12 @@
 //! | [`baselines`] | `pba-baselines` | single-choice, sequential `Greedy[d]`, always-go-left, batched two-choice |
 //! | [`lowerbound`] | `pba-lowerbound` | the Section 4 apparatus: rejection census, class decomposition, degree simulation, round predictions |
 //! | [`concurrent`] | `pba-concurrent` | shared-memory execution: atomic bins, rayon executor, crossbeam actor executor, speed-up harness |
+//! | [`membership`] | `pba-membership` | elastic bin lifecycle: [`Membership`](membership::Membership) state machine (active/draining/retired slots), [`MembershipPlan`](membership::MembershipPlan)s staged via `&self` handles and applied at batch boundaries |
 //! | [`stream`] | `pba-stream` | the online, sharded, batched streaming allocation engine (two-choice on stale loads, weighted two-choice and capacity-aware thresholds for heterogeneous backends, arrival processes, ticket-based churn scenarios, runtime reweighting) — a native [`Router`](model::Router) — plus the **concurrent serving core** ([`ConcurrentRouter`](stream::ConcurrentRouter): a cloneable shared handle routing from many threads at once over epoch-published snapshots) |
 //! | [`stats`] | `pba-stats` | tails, histograms, load metrics, fits, tables, multi-seed aggregation |
 //! | [`obs`] | `pba-obs` | the observability substrate: [`MetricsRegistry`](obs::MetricsRegistry) (counters, gauges, log-bucketed latency histograms), pluggable [`MetricSink`](obs::MetricSink)s, the "no silent drops" counter inventory |
 //! | [`replay`] | `pba-replay` | deterministic trace replay: the versioned trace codec ([`Trace`](replay::Trace)), [`TraceRecorder`](replay::TraceRecorder), the [`replay()`](replay::replay::replay) driver (any engine × all policies), golden-snapshot hashing, and the scripted fault-injection harness ([`FaultPlan`](replay::FaultPlan)) with post-fault invariant checks |
-//! | [`workloads`] | `pba-workloads` | experiment configurations and the E1–E18 experiment definitions |
+//! | [`workloads`] | `pba-workloads` | experiment configurations and the E1–E19 experiment definitions |
 //!
 //! ## Quick start
 //!
@@ -50,6 +51,7 @@ pub use pba_algorithms as algorithms;
 pub use pba_baselines as baselines;
 pub use pba_concurrent as concurrent;
 pub use pba_lowerbound as lowerbound;
+pub use pba_membership as membership;
 pub use pba_model as model;
 pub use pba_obs as obs;
 pub use pba_replay as replay;
@@ -64,6 +66,7 @@ pub mod prelude {
         NaiveThresholdAllocator, TrivialAllocator, WeightedAsymmetricAllocator,
     };
     pub use pba_baselines::{GreedyDAllocator, SingleChoiceAllocator};
+    pub use pba_membership::{BinState, Membership, MembershipEvent, MembershipPlan};
     pub use pba_model::{
         AllocationOutcome, Allocator, BinWeights, EngineConfig, OneShotRouter, Placement,
         RouteError, Router, RouterObserver, RouterStats, Ticket,

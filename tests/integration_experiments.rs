@@ -1,5 +1,5 @@
 //! Smoke tests for the experiment harness (quick mode): every experiment
-//! E1–E18 produces non-empty tables with the expected shape, and the Markdown
+//! E1–E19 produces non-empty tables with the expected shape, and the Markdown
 //! report embeds all of them. These are the same entry points the `pba-bench`
 //! binaries and EXPERIMENTS.md use.
 
@@ -10,8 +10,8 @@ use parallel_balanced_allocations::workloads::report::render_experiments_markdow
 fn all_quick_experiments_produce_tables() {
     let tables = experiments::all_experiments(true);
     // E1, E2, E3, E4(2), E5, E6, E7, E8(2), E9(2), E10, E11, E12, E13, E14,
-    // E15, E16, E17, E18 = 21.
-    assert_eq!(tables.len(), 21);
+    // E15, E16, E17, E18, E19 = 22.
+    assert_eq!(tables.len(), 22);
     for table in &tables {
         assert!(table.n_rows() > 0, "table '{}' is empty", table.title());
         assert!(table.n_cols() >= 3, "table '{}' too narrow", table.title());
@@ -24,7 +24,7 @@ fn markdown_report_covers_every_experiment() {
     let md = render_experiments_markdown(&tables);
     for prefix in [
         "E1", "E2", "E3", "E4a", "E4b", "E5", "E6", "E7", "E8a", "E8b", "E9a", "E9b", "E10", "E11",
-        "E12", "E13", "E14", "E15", "E16", "E17", "E18",
+        "E12", "E13", "E14", "E15", "E16", "E17", "E18", "E19",
     ] {
         assert!(
             md.contains(&format!("### {prefix}")),

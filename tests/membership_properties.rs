@@ -1,0 +1,388 @@
+//! Property tests for **elastic cluster membership** (the `pba-membership`
+//! lifecycle wired through both streaming engines):
+//!
+//! 1. **Strict no-op** — staging an empty membership plan (which still turns
+//!    the elastic machinery on: identity active set, topology reads on the
+//!    hot path) perturbs nothing: bit-identical placements, loads, gap
+//!    trajectories and batch counts versus an untouched twin, for every
+//!    policy and weight configuration, on both engines.
+//! 2. **Post-drain suffix equivalence** — after a `Drain` takes effect, the
+//!    engine's subsequent drains are bit-identical (through the
+//!    order-preserving bijection of the sorted active set) to a *fresh*
+//!    engine built over only the surviving bins via `with_resident_loads` —
+//!    the membership sibling of the PR 3 reweight suffix-equivalence.
+//! 3. **1-caller engine equivalence** — `ConcurrentRouter` matches
+//!    `StreamAllocator` bit for bit through scale events.
+//! 4. **Lifecycle accounting** — a drain → migrate → remove → re-add cycle
+//!    conserves balls, loses no tickets, and every accepted/rejected event
+//!    and migration shows up in the `membership.*` counters.
+
+use std::sync::Arc;
+
+use parallel_balanced_allocations::membership::BinState;
+use parallel_balanced_allocations::model::rng::SplitMix64;
+use parallel_balanced_allocations::obs::MetricsRegistry;
+use parallel_balanced_allocations::stream::{
+    BinWeights, ConcurrentRouter, MembershipPlan, Policy, StreamAllocator, StreamConfig,
+};
+
+fn keys(count: u64, seed: u64) -> Vec<u64> {
+    let mut rng = SplitMix64::for_stream(seed, 0x3117, 0);
+    (0..count).map(|_| rng.next_u64()).collect()
+}
+
+const POLICIES: [Policy; 6] = [
+    Policy::OneChoice,
+    Policy::TwoChoice,
+    Policy::DChoice(3),
+    Policy::Threshold { d: 2, slack: 1 },
+    Policy::WeightedTwoChoice,
+    Policy::CapacityThreshold { d: 2, slack: 2 },
+];
+
+fn weight_variants() -> Vec<(&'static str, BinWeights)> {
+    vec![
+        ("uniform", BinWeights::Uniform),
+        (
+            "tiers",
+            BinWeights::power_of_two_tiers(&[(4, 2), (8, 1), (20, 0)]),
+        ),
+    ]
+}
+
+#[test]
+fn empty_plan_is_a_strict_noop_on_the_stream_allocator() {
+    for policy in POLICIES {
+        for (label, weights) in weight_variants() {
+            let cfg = StreamConfig::new(32)
+                .policy(policy)
+                .batch_size(16)
+                .seed(11)
+                .weights(weights);
+            let mut elastic = StreamAllocator::new(cfg.clone());
+            let mut fixed = StreamAllocator::new(cfg);
+            for key in keys(100, 1) {
+                assert_eq!(
+                    elastic.route(key).unwrap().bin,
+                    fixed.route(key).unwrap().bin
+                );
+            }
+            // Turn the membership machinery on with an identity (empty) plan
+            // mid-batch: nothing may change, down to the RNG stream.
+            elastic.stage_membership(MembershipPlan::new());
+            for key in keys(200, 2) {
+                assert_eq!(
+                    elastic.route(key).unwrap().bin,
+                    fixed.route(key).unwrap().bin,
+                    "policy {} weights {label}",
+                    policy.name()
+                );
+            }
+            for key in keys(150, 3) {
+                elastic.push(key);
+                fixed.push(key);
+            }
+            elastic.flush();
+            fixed.flush();
+            assert_eq!(elastic.loads(), fixed.loads());
+            assert_eq!(elastic.gap_trajectory(), fixed.gap_trajectory());
+            assert_eq!(elastic.snapshot().batches, fixed.snapshot().batches);
+            assert!(elastic.membership().is_some(), "machinery is on");
+            assert!(elastic.conserves_balls());
+        }
+    }
+}
+
+#[test]
+fn empty_plan_is_a_strict_noop_on_the_concurrent_router() {
+    for policy in POLICIES {
+        for (label, weights) in weight_variants() {
+            let cfg = StreamConfig::new(32)
+                .policy(policy)
+                .batch_size(16)
+                .seed(13)
+                .weights(weights);
+            let elastic = ConcurrentRouter::new(cfg.clone());
+            let mut fixed = StreamAllocator::new(cfg);
+            for key in keys(100, 4) {
+                assert_eq!(
+                    elastic.route(key).unwrap().bin,
+                    fixed.route(key).unwrap().bin
+                );
+            }
+            elastic.stage_membership(MembershipPlan::new());
+            for key in keys(200, 5) {
+                assert_eq!(
+                    elastic.route(key).unwrap().bin,
+                    fixed.route(key).unwrap().bin,
+                    "policy {} weights {label}",
+                    policy.name()
+                );
+            }
+            elastic.flush();
+            fixed.flush();
+            assert_eq!(elastic.loads(), fixed.loads());
+            assert_eq!(elastic.gap_trajectory(), fixed.gap_trajectory());
+            assert!(elastic.conserves_balls());
+        }
+    }
+}
+
+/// After a drain takes effect, every subsequent batch must be bit-identical
+/// to a fresh engine built over only the surviving bins (seeded with their
+/// loads via `with_resident_loads`), mapped through the sorted active set.
+#[test]
+fn post_drain_suffix_is_bit_identical_to_a_compacted_fresh_engine() {
+    let drained_bin = 5u32;
+    for policy in POLICIES {
+        for (label, weights) in weight_variants() {
+            let bins = 32usize;
+            let cfg = StreamConfig::new(bins)
+                .policy(policy)
+                .batch_size(16)
+                .seed(17)
+                .weights(weights.clone());
+            let mut elastic = StreamAllocator::new(cfg.clone());
+            // Grow organically to a boundary (exact multiple of the batch).
+            for key in keys(320, 6) {
+                elastic.push(key);
+            }
+            assert_eq!(elastic.drain_ready(), 20);
+            elastic.stage_membership(MembershipPlan::new().drain(drained_bin));
+            // Force the staged drain to apply (one full batch).
+            for key in keys(16, 7) {
+                elastic.push(key);
+            }
+            assert_eq!(elastic.drain_ready(), 1);
+            let membership = elastic.membership().expect("elastic now");
+            assert_eq!(membership.state(drained_bin as usize), BinState::Draining);
+            let active: Vec<u32> = membership.active().to_vec();
+            assert_eq!(active.len(), bins - 1);
+
+            // The compacted twin: surviving bins only, surviving weights,
+            // seeded with the surviving loads (order-preserving bijection
+            // through the sorted active set).
+            let elastic_loads = elastic.loads();
+            let surviving_loads: Vec<u32> = active
+                .iter()
+                .map(|&bin| elastic_loads[bin as usize])
+                .collect();
+            let resolved = cfg.weights.resolve(bins);
+            let surviving_weights = match &resolved {
+                None => BinWeights::Uniform,
+                Some(resolved) => BinWeights::explicit(
+                    active
+                        .iter()
+                        .map(|&bin| resolved.weight(bin as usize))
+                        .collect(),
+                ),
+            };
+            let compact_cfg = StreamConfig::new(bins - 1)
+                .policy(policy)
+                .batch_size(16)
+                .seed(17)
+                .weights(surviving_weights);
+            let mut compact = StreamAllocator::with_resident_loads(compact_cfg, &surviving_loads);
+
+            // Identical suffix: same keys, gathered loads must match the
+            // compacted engine's loads batch for batch.
+            let before = elastic.gap_trajectory().len();
+            for key in keys(480, 8) {
+                elastic.push(key);
+                compact.push(key);
+            }
+            assert_eq!(elastic.drain_ready(), compact.drain_ready());
+            let elastic_loads = elastic.loads();
+            let gathered: Vec<u32> = active
+                .iter()
+                .map(|&bin| elastic_loads[bin as usize])
+                .collect();
+            assert_eq!(
+                gathered,
+                compact.loads(),
+                "policy {} weights {label}",
+                policy.name()
+            );
+            assert_eq!(
+                elastic.gap_trajectory()[before..],
+                compact.gap_trajectory()[..],
+                "policy {} weights {label}",
+                policy.name()
+            );
+            assert!(elastic.conserves_balls());
+        }
+    }
+}
+
+#[test]
+fn concurrent_single_caller_matches_stream_allocator_through_scale_events() {
+    for policy in [
+        Policy::TwoChoice,
+        Policy::WeightedTwoChoice,
+        Policy::CapacityThreshold { d: 2, slack: 2 },
+    ] {
+        let cfg = StreamConfig::new(16)
+            .policy(policy)
+            .batch_size(32)
+            .seed(23)
+            .reserve_bins(4);
+        let concurrent = ConcurrentRouter::new(cfg.clone());
+        let mut reference = StreamAllocator::new(cfg);
+        for key in keys(96, 9) {
+            assert_eq!(
+                concurrent.route(key).unwrap().bin,
+                reference.route(key).unwrap().bin
+            );
+        }
+        // Same scale script on both: drain 3, commission a new bin.
+        let plan = || MembershipPlan::new().drain(3).add(1.5);
+        concurrent.stage_membership(plan());
+        reference.stage_membership(plan());
+        for key in keys(160, 10) {
+            assert_eq!(
+                concurrent.route(key).unwrap().bin,
+                reference.route(key).unwrap().bin,
+                "policy {}",
+                policy.name()
+            );
+        }
+        assert_eq!(concurrent.loads(), reference.loads());
+        assert_eq!(concurrent.gap_trajectory(), reference.gap_trajectory());
+        assert_eq!(
+            concurrent.active_bins().expect("elastic"),
+            reference.membership().expect("elastic").active()
+        );
+        assert_eq!(concurrent.stats().bins, 16, "15 survivors + 1 commissioned");
+        assert!(concurrent.conserves_balls());
+        assert!(reference.conserves_balls());
+    }
+}
+
+/// The full lifecycle on the single-threaded engine, with every transition
+/// accounted: drain → forced migration → remove at zero occupancy → re-add,
+/// plus rejected events (remove-while-occupied, drain-of-drained).
+#[test]
+fn drain_migrate_remove_add_cycle_conserves_and_accounts() {
+    let registry = Arc::new(MetricsRegistry::new());
+    let cfg = StreamConfig::new(8).batch_size(8).seed(29);
+    let mut stream = StreamAllocator::new(cfg);
+    stream.install_metrics(Arc::clone(&registry));
+    let mut tickets = Vec::new();
+    for key in keys(64, 11) {
+        tickets.push(stream.route(key).unwrap());
+    }
+    let victim = 2u32;
+    let victim_tickets = stream.tickets_in(victim as usize);
+    assert!(victim_tickets > 0, "the victim bin should hold residents");
+
+    // Drain, plus an illegal remove (still occupied) in the same plan.
+    stream.stage_membership(MembershipPlan::new().drain(victim).remove(victim));
+    for key in keys(8, 12) {
+        stream.route(key).unwrap();
+    }
+    let membership = stream.membership().expect("elastic");
+    assert_eq!(membership.state(victim as usize), BinState::Draining);
+
+    // Forced migration routes every ticketed resident through the live
+    // policy; loads move, totals do not.
+    let before = stream.resident();
+    let migrated = stream.migrate_drained();
+    assert_eq!(migrated, victim_tickets as u64);
+    assert_eq!(stream.resident(), before, "migration moves, never drops");
+    assert_eq!(stream.load(victim as usize), 0);
+    assert_eq!(stream.tickets_in(victim as usize), 0);
+    assert!(stream.conserves_balls());
+
+    // Now the remove is legal; a second drain of the same bin is not.
+    stream.stage_membership(MembershipPlan::new().remove(victim).drain(victim));
+    for key in keys(8, 13) {
+        stream.route(key).unwrap();
+    }
+    assert_eq!(
+        stream.membership().unwrap().state(victim as usize),
+        BinState::Retired
+    );
+
+    // Re-commission: the lowest retired slot (the one just removed).
+    stream.stage_membership(MembershipPlan::new().add(1.0));
+    for key in keys(8, 14) {
+        stream.route(key).unwrap();
+    }
+    assert_eq!(
+        stream.membership().unwrap().state(victim as usize),
+        BinState::Active
+    );
+
+    // Every ticket still redeems — including migrated ones.
+    for ticket in tickets {
+        stream.release(ticket.ticket).unwrap();
+    }
+    assert!(stream.conserves_balls());
+
+    let snap = registry.snapshot();
+    assert_eq!(snap.counter("membership.adds"), 1);
+    assert_eq!(snap.counter("membership.drains"), 1);
+    assert_eq!(snap.counter("membership.removes"), 1);
+    assert_eq!(snap.counter("membership.migrations"), victim_tickets as u64);
+    assert_eq!(snap.counter("membership.rejected_removes"), 1);
+    assert_eq!(snap.counter("membership.rejected_drains"), 1);
+}
+
+/// The same lifecycle on the shared-handle router while caller threads keep
+/// routing: conservation and ticket consistency hold for every interleaving,
+/// and undone routes (the drain race) are counted, never silent.
+#[test]
+fn concurrent_scale_cycle_under_contention_conserves() {
+    let registry = Arc::new(MetricsRegistry::new());
+    let cfg = StreamConfig::new(16)
+        .batch_size(64)
+        .seed(31)
+        .reserve_bins(2);
+    let router = ConcurrentRouter::with_metrics(cfg, Arc::clone(&registry));
+    let mut workers = Vec::new();
+    for t in 0..4u64 {
+        let router = router.clone();
+        workers.push(std::thread::spawn(move || {
+            let mut rng = SplitMix64::new(t + 41);
+            let mut kept = Vec::new();
+            for i in 0..3_000u64 {
+                let placement = router.route(rng.next_u64()).unwrap();
+                if i % 3 == 0 {
+                    kept.push(placement.ticket);
+                } else {
+                    router.release(placement.ticket).unwrap();
+                }
+            }
+            kept
+        }));
+    }
+    // Scale events race the traffic: drain two bins, migrate, re-add.
+    router.stage_membership(MembershipPlan::new().drain(0).drain(7));
+    while router.bin_states().expect("elastic")[0] != BinState::Draining {
+        std::thread::yield_now();
+    }
+    router.migrate_drained();
+    router.stage_membership(MembershipPlan::new().add(1.0));
+    let kept: Vec<_> = workers
+        .into_iter()
+        .flat_map(|w| w.join().expect("worker"))
+        .collect();
+    router.flush();
+    // Draining bins took no *new* placements after the drain applied and a
+    // migration sweep at quiescence leaves them empty.
+    router.migrate_drained();
+    assert_eq!(router.tickets_in(7), 0);
+    assert!(router.conserves_balls());
+    assert_eq!(router.resident(), kept.len() as u64);
+    assert_eq!(router.resident_tickets(), kept.len());
+    for ticket in kept {
+        router.release(ticket).unwrap();
+    }
+    assert_eq!(router.resident(), 0);
+    assert!(router.conserves_balls());
+    let snap = registry.snapshot();
+    assert_eq!(snap.counter("membership.drains"), 2);
+    assert_eq!(snap.counter("membership.adds"), 1);
+    assert_eq!(snap.counter("route.routed"), 12_000);
+    assert_eq!(snap.counter("route.released"), 12_000);
+}

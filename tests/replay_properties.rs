@@ -52,6 +52,37 @@ fn committed_trace_matches_its_canonical_constructor() {
         committed("mini-reweighted.trace"),
         Trace::mini_reweighted().encode()
     );
+    assert_eq!(
+        committed("mini-membership.trace"),
+        Trace::mini_membership().encode()
+    );
+}
+
+#[test]
+fn committed_membership_golden_matches_a_fresh_replay() {
+    // The drain/remove/re-add cycle of the v2 golden replays bit-identically
+    // on the stream engine (threads 0 and 4) and the 1-caller concurrent
+    // twin; the committed snapshot pins all three rows per policy.
+    let trace = Trace::decode(&committed("mini-membership.trace")).expect("v2 trace decodes");
+    assert!(trace.has_membership());
+    let snap = committed("mini-membership.snap");
+    for policy in [Policy::TwoChoice, Policy::Threshold { d: 2, slack: 1 }] {
+        for threads in [0usize, 4] {
+            let config = ReplayConfig::stream(policy).num_threads(threads);
+            let outcome = replay(&trace, &config).expect("stream replay");
+            let line = golden_line(&outcome, &policy.name(), "uniform", threads);
+            assert!(
+                snap.lines().any(|l| l == line),
+                "membership golden lacks the line just produced:\n  {line}"
+            );
+        }
+        let outcome = replay(&trace, &ReplayConfig::concurrent(policy, 1)).expect("concurrent1");
+        let line = golden_line(&outcome, &policy.name(), "uniform", 0);
+        assert!(
+            snap.lines().any(|l| l == line),
+            "membership golden lacks the concurrent1 line:\n  {line}"
+        );
+    }
 }
 
 #[test]
