@@ -1,19 +1,28 @@
-//! Writes the committed benchmark snapshot `BENCH_e17.json`: the E17
-//! observability/serving table plus the structural columns of E15 (execution
-//! layer) and E16 (concurrent serving core), so the serving-layer numbers the
-//! repo ships are regenerable with one command.
+//! Writes the committed benchmark snapshots: `BENCH_e17.json` (the E17
+//! observability/serving table plus the structural columns of E15 and E16)
+//! and `BENCH_route.json` (the route-hot-path perf trajectory: `route` vs
+//! grouped `route_many` ns/op at 1/2/4 callers, plus the
+//! `route_instrumented_vs_bare` overhead guard), so the serving-layer
+//! numbers the repo ships are regenerable with one command.
 //!
 //! Usage:
 //!   cargo run --release -p pba-bench --bin bench_snapshot            # print to stdout
-//!   cargo run --release -p pba-bench --bin bench_snapshot -- --write # rewrite BENCH_e17.json
+//!   cargo run --release -p pba-bench --bin bench_snapshot -- --write # rewrite BENCH_*.json
+//!   cargo run --release -p pba-bench --bin bench_snapshot -- --check # fail on structural drift
 //!   cargo run --release -p pba-bench --bin bench_snapshot -- --full  # paper-scale sweeps
 //!
-//! Timing columns (wall ms, req/s, Mroutes/s, speedups, latency quantiles)
-//! are machine-dependent — on a 1-core container the caller threads
-//! serialise, so treat them as smoke numbers and lean on the structural
-//! columns (conservation, batch cadence, drops, bit-identity), which must
-//! reproduce exactly. The snapshot says so in its own `caveat` field.
+//! Timing columns (wall ms, req/s, ns/op, speedups, latency quantiles) are
+//! machine-dependent — on a 1-core container the caller threads serialise,
+//! so treat them as smoke numbers and lean on the structural columns
+//! (conservation, batch cadence, drops, bit-identity), which must reproduce
+//! exactly. The snapshots say so in their own `caveat` fields. `--check`
+//! encodes that split: it recomputes only the **structural fingerprint** of
+//! the route tables (workload shape + invariant columns, no timings) and
+//! fails if it drifted from the committed `BENCH_route.json`.
 
+use std::process::ExitCode;
+
+use pba_bench::route_bench;
 use pba_stats::Table;
 
 /// Escapes a string for a JSON string literal (the workspace has no JSON
@@ -57,16 +66,13 @@ fn table_json(table: &Table, indent: &str) -> String {
     )
 }
 
-fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let write = args.iter().any(|a| a == "--write");
-    let full = args.iter().any(|a| a == "--full");
-    let quick = !full;
+const CAVEAT: &str = "Timing columns are machine-dependent; on a 1-core container caller \
+     threads serialise, so wall/req-per-s/ns-per-op/speedup/latency numbers are smoke values. \
+     The structural columns (conserved, batches, drops, bit-identity) must reproduce exactly.";
 
-    let e15 = pba_workloads::experiments::e15_execution_layer(quick);
-    let e16 = pba_workloads::experiments::e16_concurrent_routing(quick);
-    let e17 = pba_workloads::experiments::e17_socket_serving(quick);
-
+/// Renders a whole snapshot file: header fields, optional structural
+/// fingerprint, and the experiment tables.
+fn snapshot_json(full: bool, structural: Option<&str>, experiments: &[(&str, &Table)]) -> String {
     let mut out = String::from("{\n");
     out.push_str(
         "  \"generated_by\": \"cargo run --release -p pba-bench --bin bench_snapshot -- --write\",\n",
@@ -75,28 +81,103 @@ fn main() {
         "  \"mode\": \"{}\",\n",
         if full { "full" } else { "quick" }
     ));
-    out.push_str(
-        "  \"caveat\": \"Timing columns are machine-dependent; on a 1-core container caller \
-         threads serialise, so wall/req-per-s/speedup/latency numbers are smoke values. The \
-         structural columns (conserved, batches, drops, bit-identity) must reproduce exactly.\",\n",
-    );
+    out.push_str(&format!("  \"caveat\": \"{}\",\n", json_escape(CAVEAT)));
+    if let Some(fingerprint) = structural {
+        out.push_str(&format!(
+            "  \"structural\": \"{}\",\n",
+            json_escape(fingerprint)
+        ));
+    }
     out.push_str("  \"experiments\": {\n");
-    for (i, (id, table)) in [("E15", &e15), ("E16", &e16), ("E17", &e17)]
-        .iter()
-        .enumerate()
-    {
+    for (i, (id, table)) in experiments.iter().enumerate() {
         out.push_str(&format!("    \"{id}\": {}", table_json(table, "    ")));
-        out.push_str(if i < 2 { ",\n" } else { "\n" });
+        out.push_str(if i + 1 < experiments.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
     }
     out.push_str("  }\n}\n");
+    out
+}
+
+fn workspace_path(name: &str) -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join(name)
+}
+
+/// Extracts the `"structural"` field of a committed snapshot (the
+/// fingerprint contains no quotes, so the literal ends at the next `"`).
+fn committed_fingerprint(json: &str) -> Option<&str> {
+    let start = json.find("\"structural\": \"")? + "\"structural\": \"".len();
+    let end = json[start..].find('"')? + start;
+    Some(&json[start..end])
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let write = args.iter().any(|a| a == "--write");
+    let check = args.iter().any(|a| a == "--check");
+    let full = args.iter().any(|a| a == "--full");
+    let quick = !full;
+
+    let route = route_bench::route_hot_path(quick);
+    let guard = route_bench::route_metrics_guard(quick);
+    let fingerprint = route_bench::structural_fingerprint(&[&route, &guard]);
+
+    if check {
+        // Structural drift only: workload shape and invariant columns must
+        // match the committed BENCH_route.json; timings are free to move.
+        let path = workspace_path("BENCH_route.json");
+        let committed = match std::fs::read_to_string(&path) {
+            Ok(committed) => committed,
+            Err(e) => {
+                eprintln!("missing {} — run --write ({e})", path.display());
+                return ExitCode::FAILURE;
+            }
+        };
+        let Some(committed_fp) = committed_fingerprint(&committed) else {
+            eprintln!("{} has no structural field — run --write", path.display());
+            return ExitCode::FAILURE;
+        };
+        return if committed_fp == fingerprint {
+            println!("ok {} (structural fingerprint matches)", path.display());
+            ExitCode::SUCCESS
+        } else {
+            eprintln!(
+                "structural drift in {}:\n  committed: {committed_fp}\n  fresh:     {fingerprint}\n\
+                 rerun with --write if the change is intended",
+                path.display()
+            );
+            ExitCode::FAILURE
+        };
+    }
+
+    let e15 = pba_workloads::experiments::e15_execution_layer(quick);
+    let e16 = pba_workloads::experiments::e16_concurrent_routing(quick);
+    let e17 = pba_workloads::experiments::e17_socket_serving(quick);
+
+    let serving = snapshot_json(full, None, &[("E15", &e15), ("E16", &e16), ("E17", &e17)]);
+    let route_json = snapshot_json(
+        full,
+        Some(&fingerprint),
+        &[("ROUTE", &route), ("GUARD", &guard)],
+    );
 
     if write {
-        let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
-            .join("../..")
-            .join("BENCH_e17.json");
-        std::fs::write(&path, &out).expect("write BENCH_e17.json at the workspace root");
-        eprintln!("wrote {}", path.display());
+        for (name, body) in [
+            ("BENCH_e17.json", &serving),
+            ("BENCH_route.json", &route_json),
+        ] {
+            let path = workspace_path(name);
+            std::fs::write(&path, body)
+                .unwrap_or_else(|e| panic!("write {} at the workspace root: {e}", name));
+            eprintln!("wrote {}", path.display());
+        }
     } else {
-        print!("{out}");
+        print!("{serving}");
+        print!("{route_json}");
     }
+    ExitCode::SUCCESS
 }

@@ -15,10 +15,14 @@
 //!   `replay_golden` verifies the committed golden replay snapshots under
 //!   `tests/golden/` (and regenerates them with `--bless`).
 //!
-//! The library part only hosts small shared helpers for the binaries.
+//! The library part hosts small shared helpers for the binaries plus the
+//! [`route_bench`] table builders behind the committed `BENCH_route.json`
+//! route-perf trajectory.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod route_bench;
 
 use pba_stats::Table;
 

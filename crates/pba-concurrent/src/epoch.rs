@@ -14,6 +14,8 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
 
+use crate::padded::CachePadded;
+
 /// A snapshot cell with monotone epoch publication.
 ///
 /// Readers call [`EpochCell::load`] (a read-lock held only for one `Arc`
@@ -23,9 +25,13 @@ use std::sync::{Arc, RwLock};
 /// [`EpochCell::load_with_epoch`] always returns a consistent
 /// `(epoch, value)` pair and epochs observed by any reader are
 /// non-decreasing.
+///
+/// The epoch word is [`CachePadded`]: readers poll it on every route while
+/// the boundary thread's publish writes it, and without padding it would
+/// share a line with the `RwLock` state the readers also touch.
 #[derive(Debug)]
 pub struct EpochCell<T> {
-    epoch: AtomicU64,
+    epoch: CachePadded<AtomicU64>,
     value: RwLock<Arc<T>>,
 }
 
@@ -33,7 +39,7 @@ impl<T> EpochCell<T> {
     /// A cell holding `initial` at epoch 0.
     pub fn new(initial: T) -> Self {
         Self {
-            epoch: AtomicU64::new(0),
+            epoch: CachePadded::new(AtomicU64::new(0)),
             value: RwLock::new(Arc::new(initial)),
         }
     }

@@ -24,6 +24,9 @@
 //!   primitive of the concurrent streaming router (many reader threads clone
 //!   the current stale snapshot, one boundary thread swaps in the next and
 //!   bumps a monotone epoch).
+//! * [`padded`] — [`CachePadded`]: a `#[repr(align(64))]` wrapper giving hot
+//!   atomics (per-bin counters, the epoch word) their own cache line, so
+//!   writes by one thread stop invalidating their neighbours' lines.
 //! * [`speedup`] — wall-clock measurements of one allocation under varying rayon
 //!   thread counts (pool-warm: each pool's first run is a discarded warm-up).
 
@@ -34,10 +37,12 @@ pub mod actor;
 pub mod atomic_bins;
 pub mod epoch;
 pub mod executor;
+pub mod padded;
 pub mod speedup;
 
 pub use actor::run_actor_threshold;
 pub use atomic_bins::AtomicBins;
 pub use epoch::EpochCell;
 pub use executor::{run_concurrent_heavy, run_concurrent_threshold, ConcurrentOutcome};
+pub use padded::CachePadded;
 pub use speedup::{measure_speedup, SpeedupPoint};

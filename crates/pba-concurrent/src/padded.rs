@@ -1,0 +1,93 @@
+//! Cache-line padding for hot atomics.
+//!
+//! The route hot path keeps several words that are written by different
+//! threads at high rates: per-bin load counters ([`crate::AtomicBins`]) and
+//! the epoch word of [`crate::EpochCell`]. Without padding, unrelated words
+//! share a 64-byte cache line and every write by one thread invalidates the
+//! line for all the others — *false sharing*, the classic silent tax on
+//! shared-memory counters. [`CachePadded`] aligns (and therefore sizes) its
+//! payload to a cache line so each padded word owns its line outright.
+//!
+//! 64 bytes is the line size on x86-64 and on most AArch64 parts; on the few
+//! machines with bigger lines the padding merely halves the benefit, it never
+//! breaks correctness.
+
+use std::ops::{Deref, DerefMut};
+
+/// Aligns `T` to a 64-byte cache line so the padded value never shares a
+/// line with a neighbour. `Deref`s to `T`, so call sites are unchanged —
+/// only the layout differs.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+#[repr(align(64))]
+pub struct CachePadded<T> {
+    value: T,
+}
+
+impl<T> CachePadded<T> {
+    /// Wraps `value` in its own cache line.
+    pub const fn new(value: T) -> Self {
+        Self { value }
+    }
+
+    /// Unwraps the padded value.
+    pub fn into_inner(self) -> T {
+        self.value
+    }
+}
+
+impl<T> Deref for CachePadded<T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        &self.value
+    }
+}
+
+impl<T> DerefMut for CachePadded<T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.value
+    }
+}
+
+impl<T> From<T> for CachePadded<T> {
+    fn from(value: T) -> Self {
+        Self::new(value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+
+    #[test]
+    fn padded_atomics_are_line_sized_and_line_aligned() {
+        assert_eq!(std::mem::align_of::<CachePadded<AtomicU32>>(), 64);
+        assert_eq!(std::mem::size_of::<CachePadded<AtomicU32>>(), 64);
+        assert_eq!(std::mem::align_of::<CachePadded<AtomicU64>>(), 64);
+        assert_eq!(std::mem::size_of::<CachePadded<AtomicU64>>(), 64);
+    }
+
+    #[test]
+    fn adjacent_padded_slots_live_on_distinct_lines() {
+        let slots: Vec<CachePadded<AtomicU64>> = (0..8)
+            .map(|_| CachePadded::new(AtomicU64::new(0)))
+            .collect();
+        for pair in slots.windows(2) {
+            let a = &*pair[0] as *const AtomicU64 as usize;
+            let b = &*pair[1] as *const AtomicU64 as usize;
+            assert_eq!(a % 64, 0, "slot not line-aligned");
+            assert!(b - a >= 64, "neighbouring slots share a cache line");
+        }
+    }
+
+    #[test]
+    fn deref_and_into_inner_round_trip() {
+        let padded = CachePadded::new(AtomicU32::new(7));
+        padded.fetch_add(1, Ordering::Relaxed);
+        assert_eq!(padded.load(Ordering::Relaxed), 8);
+        assert_eq!(padded.into_inner().into_inner(), 8);
+        let from: CachePadded<u64> = 9u64.into();
+        assert_eq!(*from, 9);
+    }
+}

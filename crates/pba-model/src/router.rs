@@ -154,6 +154,20 @@ pub trait Router {
     /// Routes one key: places a ball and returns its [`Placement`].
     fn route(&mut self, key: u64) -> Result<Placement, RouteError>;
 
+    /// Routes a group of keys, returning one [`Placement`] per key in key
+    /// order. Observably equivalent to calling [`Router::route`] once per
+    /// key — engines with a native batched path (the streaming allocators)
+    /// amortize per-route overhead (snapshot reads, threshold pricing,
+    /// ledger locking) across the group while staying **bit-identical** to
+    /// the loop, splitting groups that straddle a batch boundary so
+    /// thresholds re-price exactly where the one-at-a-time path would.
+    ///
+    /// On error the group stops at the failing key: placements already
+    /// committed stay committed (same as the loop the default impl runs).
+    fn route_many(&mut self, keys: &[u64]) -> Result<Vec<Placement>, RouteError> {
+        keys.iter().map(|&key| self.route(key)).collect()
+    }
+
     /// Releases a previously issued ticket (the ball departs its bin).
     fn release(&mut self, ticket: Ticket) -> Result<(), RouteError>;
 
@@ -183,6 +197,22 @@ pub trait ConcurrentRouter: Send + Sync {
     /// Routes one key from any thread: places a ball and returns its
     /// [`Placement`].
     fn route(&self, key: u64) -> Result<Placement, RouteError>;
+
+    /// Routes a group of keys from any thread, returning one [`Placement`]
+    /// per key in key order. Observably equivalent to calling
+    /// [`ConcurrentRouter::route`] once per key by the same caller; native
+    /// implementations amortize the per-route epoch read, threshold fetch
+    /// and ledger shard pass across the group (one each per sub-group
+    /// instead of per key), splitting groups at batch boundaries so a
+    /// single caller stays bit-identical to the one-at-a-time path. With
+    /// `k` callers the group's placements may interleave with other
+    /// callers' exactly as individual routes would.
+    ///
+    /// On error the group stops at the failing key: placements already
+    /// committed stay committed (same as the loop the default impl runs).
+    fn route_many(&self, keys: &[u64]) -> Result<Vec<Placement>, RouteError> {
+        keys.iter().map(|&key| self.route(key)).collect()
+    }
 
     /// Releases a previously issued ticket from any thread.
     fn release(&self, ticket: Ticket) -> Result<(), RouteError>;
@@ -651,6 +681,41 @@ impl SharedTicketLedger {
         }
     }
 
+    /// Records a group of placements — ball ids `base..base + bins.len()`,
+    /// one entry of `bins` per ball — and returns their tickets in input
+    /// order. The grouped form of [`SharedTicketLedger::issue`]: the group
+    /// is visited shard by shard, so every *touched* shard is locked once
+    /// per group instead of once per ball. Within a shard the balls are
+    /// issued in input (id) order, and a bin lives wholly in one shard, so
+    /// each bin's occupancy list ends up exactly as the one-at-a-time loop
+    /// would leave it.
+    pub fn issue_many(&self, base: u64, bins: &[u32]) -> Vec<Ticket> {
+        let mut order: Vec<u32> = (0..bins.len() as u32).collect();
+        order.sort_by_key(|&i| self.shard_index(bins[i as usize] as usize));
+        let mut at = 0;
+        while at < order.len() {
+            let shard = self.shard_index(bins[order[at] as usize] as usize);
+            let mut guard = self.shards[shard].lock().expect("ledger shard");
+            while at < order.len() {
+                let idx = order[at] as usize;
+                let bin = bins[idx] as usize;
+                if self.shard_index(bin) != shard {
+                    break;
+                }
+                guard.issue(base + idx as u64, bin);
+                at += 1;
+            }
+        }
+        bins.iter()
+            .enumerate()
+            .map(|(offset, &bin)| Ticket {
+                id: base + offset as u64,
+                bin,
+                realm: self.realm,
+            })
+            .collect()
+    }
+
     /// Validates and removes a ticket, returning the bin the ball resided in
     /// (which can differ from `ticket.bin()` if the ball was migrated).
     /// Realm and ball id must match a resident placement; the check and
@@ -1002,6 +1067,43 @@ mod tests {
     }
 
     #[test]
+    fn shared_ledger_issue_many_matches_a_loop_of_issues() {
+        // Two ledgers built back to back share the bin/shard geometry; one
+        // takes the grouped path, the other the loop. Tickets, per-bin
+        // counts and resident_in answers must agree (ids are what matter —
+        // realms necessarily differ).
+        let grouped = SharedTicketLedger::new(8, 3);
+        let looped = SharedTicketLedger::new(8, 3);
+        let bins: Vec<u32> = vec![7, 0, 2, 2, 5, 0, 7, 3];
+        let tickets = grouped.issue_many(100, &bins);
+        let one_by_one: Vec<Ticket> = bins
+            .iter()
+            .enumerate()
+            .map(|(i, &b)| looped.issue(100 + i as u64, b as usize))
+            .collect();
+        assert_eq!(tickets.len(), bins.len());
+        for (t, l) in tickets.iter().zip(&one_by_one) {
+            assert_eq!((t.id(), t.bin()), (l.id(), l.bin()));
+        }
+        assert_eq!(grouped.len(), looped.len());
+        for bin in 0..8 {
+            assert_eq!(grouped.count_in(bin), looped.count_in(bin));
+            assert_eq!(
+                grouped.resident_in(bin).map(|t| t.id()),
+                looped.resident_in(bin).map(|t| t.id()),
+                "occupancy-list order must match the loop"
+            );
+        }
+        // Every grouped ticket redeems exactly once.
+        for ticket in tickets {
+            assert_eq!(grouped.redeem(ticket), Ok(ticket.bin()));
+            assert!(grouped.redeem(ticket).is_err());
+        }
+        assert!(grouped.is_empty());
+        assert!(grouped.issue_many(0, &[]).is_empty());
+    }
+
+    #[test]
     fn shared_ledger_rejects_foreign_tickets() {
         let a = SharedTicketLedger::new(4, 2);
         let b = SharedTicketLedger::new(4, 2);
@@ -1250,6 +1352,29 @@ mod tests {
         assert_eq!(stats.released, 16);
         assert_eq!(stats.resident, 0);
         assert_eq!(stats.gap, 0.0);
+    }
+
+    #[test]
+    fn default_route_many_loops_route_and_short_circuits() {
+        // Two identical one-shot routers: the default `route_many` must
+        // equal the explicit loop, and exhaustion mid-group must surface the
+        // same error the loop hits (placements before it stay committed).
+        let mut grouped = OneShotRouter::new(Staircase, 10, 4, 0);
+        let mut looped = OneShotRouter::new(Staircase, 10, 4, 0);
+        let keys: Vec<u64> = (0..8).collect();
+        let many = grouped.route_many(&keys).expect("within capacity");
+        let one: Vec<Placement> = keys.iter().map(|&k| looped.route(k).unwrap()).collect();
+        assert_eq!(many.len(), one.len());
+        for (m, o) in many.iter().zip(&one) {
+            assert_eq!(m.bin, o.bin);
+            assert_eq!(m.ticket.id(), o.ticket.id());
+        }
+        assert_eq!(grouped.loads(), looped.loads());
+        // 2 placements remain; a group of 3 fails but commits the first 2.
+        let err = grouped.route_many(&[8, 9, 10]).unwrap_err();
+        assert_eq!(err, RouteError::Exhausted { capacity: 10 });
+        assert_eq!(grouped.stats().routed, 10);
+        assert!(grouped.route_many(&[]).expect("empty group").is_empty());
     }
 
     #[test]

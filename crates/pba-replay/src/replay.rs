@@ -11,6 +11,19 @@
 //! trajectories and batch counts — the regression anchor
 //! `tests/replay_properties.rs` and the golden files pin.
 //!
+//! With [`ReplayConfig::route_group`] ≥ 1 the deterministic engines
+//! (`Stream` and `Concurrent {{ callers: 1 }}`) replay through the batched
+//! `route_many` surface instead: consecutive arrivals are buffered into
+//! groups of up to `route_group` keys and routed in one call. Groups are cut
+//! early at every point where route-by-route replay would interleave a
+//! side effect — an arrival whose id carries scripted releases ends its
+//! group (so the releases fire at exactly the same point in the call
+//! sequence), and any `Reweight`/`Membership` event flushes the buffer
+//! before staging. Because `route_many` is bit-identical to a loop of
+//! `route` calls, grouped replay pins the *same* golden lines as
+//! route-by-route replay — the property the `mini-batched` golden trace
+//! exists to hold.
+//!
 //! With `Concurrent { callers: k > 1 }` the arrival sequence is dealt
 //! round-robin across `k` caller threads (each routing its share in trace
 //! order, releasing its own scripted balls); placements then depend on the
@@ -84,6 +97,14 @@ pub struct ReplayConfig {
     /// are bit-identical for every value — the knob the golden matrix varies
     /// to prove it.
     pub num_threads: usize,
+    /// Arrival grouping for the deterministic engines: `0` (the default)
+    /// replays route-by-route through `route(key)`; `n ≥ 1` buffers up to
+    /// `n` consecutive arrivals and routes each group through `route_many`,
+    /// cutting groups early at scripted-release points and non-arrival
+    /// events (see the [module docs](self)). Outcomes are bit-identical for
+    /// every value — the knob the `mini-batched` golden varies to prove it.
+    /// Ignored by k-caller and one-shot replays.
+    pub route_group: usize,
 }
 
 impl ReplayConfig {
@@ -94,6 +115,7 @@ impl ReplayConfig {
             policy,
             weights: BinWeights::Uniform,
             num_threads: 0,
+            route_group: 0,
         }
     }
 
@@ -122,6 +144,13 @@ impl ReplayConfig {
     /// Sets the drain worker count (builder style).
     pub fn num_threads(mut self, threads: usize) -> Self {
         self.num_threads = threads;
+        self
+    }
+
+    /// Sets the arrival group size for `route_many` replay (builder style);
+    /// `0` restores the route-by-route path.
+    pub fn route_group(mut self, group: usize) -> Self {
+        self.route_group = group;
         self
     }
 }
@@ -250,13 +279,40 @@ fn replay_stream(trace: &Trace, config: &ReplayConfig) -> Result<ReplayOutcome, 
     let arrivals = trace.arrivals() as usize;
     let mut placements = Vec::with_capacity(arrivals);
     let mut tickets: Vec<Option<Ticket>> = Vec::with_capacity(arrivals);
+    let group = config.route_group;
+    let mut buffered: Vec<u64> = Vec::with_capacity(group);
+    // Routes the buffered arrival group through `route_many` (grouped replay
+    // only; with `route_group == 0` the buffer is never filled).
+    macro_rules! flush_group {
+        () => {
+            if !buffered.is_empty() {
+                for placement in stream
+                    .route_many(&buffered)
+                    .expect("streaming route is infallible")
+                {
+                    placements.push(placement.bin as u32);
+                    tickets.push(Some(placement.ticket));
+                }
+                buffered.clear();
+            }
+        };
+    }
     let mut id = 0u64;
     for event in &trace.events {
         match event {
             TraceEvent::Arrival { key, .. } => {
-                let placement = stream.route(*key).expect("streaming route is infallible");
-                placements.push(placement.bin as u32);
-                tickets.push(Some(placement.ticket));
+                if group == 0 {
+                    let placement = stream.route(*key).expect("streaming route is infallible");
+                    placements.push(placement.bin as u32);
+                    tickets.push(Some(placement.ticket));
+                } else {
+                    buffered.push(*key);
+                    // An arrival with scripted releases ends its group so the
+                    // releases fire at the same point as route-by-route.
+                    if due.contains_key(&id) || buffered.len() >= group {
+                        flush_group!();
+                    }
+                }
                 if let Some(ready) = due.get(&id) {
                     for &ball in ready {
                         let ticket = tickets[ball as usize]
@@ -268,13 +324,16 @@ fn replay_stream(trace: &Trace, config: &ReplayConfig) -> Result<ReplayOutcome, 
                 id += 1;
             }
             TraceEvent::Reweight { weights } => {
+                flush_group!();
                 stream.set_weights(Trace::weights_of(weights));
             }
             TraceEvent::Membership { event } => {
+                flush_group!();
                 stream.stage_membership(MembershipPlan::new().push(*event));
             }
         }
     }
+    flush_group!();
     stream.flush();
     let stats = Router::stats(&stream);
     Ok(ReplayOutcome {
@@ -322,13 +381,38 @@ fn replay_concurrent(
         let arrivals = trace.arrivals() as usize;
         let mut placements = Vec::with_capacity(arrivals);
         let mut tickets: Vec<Option<Ticket>> = Vec::with_capacity(arrivals);
+        let group = config.route_group;
+        let mut buffered: Vec<u64> = Vec::with_capacity(group);
+        // Grouped replay: same cut points as the stream twin (see
+        // `replay_stream`), routed through the lock-amortized `route_many`.
+        macro_rules! flush_group {
+            () => {
+                if !buffered.is_empty() {
+                    for placement in router
+                        .route_many(&buffered)
+                        .expect("concurrent route is infallible")
+                    {
+                        placements.push(placement.bin as u32);
+                        tickets.push(Some(placement.ticket));
+                    }
+                    buffered.clear();
+                }
+            };
+        }
         let mut id = 0u64;
         for event in &trace.events {
             match event {
                 TraceEvent::Arrival { key, .. } => {
-                    let placement = router.route(*key).expect("concurrent route is infallible");
-                    placements.push(placement.bin as u32);
-                    tickets.push(Some(placement.ticket));
+                    if group == 0 {
+                        let placement = router.route(*key).expect("concurrent route is infallible");
+                        placements.push(placement.bin as u32);
+                        tickets.push(Some(placement.ticket));
+                    } else {
+                        buffered.push(*key);
+                        if due.contains_key(&id) || buffered.len() >= group {
+                            flush_group!();
+                        }
+                    }
                     if let Some(ready) = due.get(&id) {
                         for &ball in ready {
                             let ticket = tickets[ball as usize]
@@ -341,10 +425,12 @@ fn replay_concurrent(
                 }
                 TraceEvent::Reweight { .. } => unreachable!("rejected above"),
                 TraceEvent::Membership { event } => {
+                    flush_group!();
                     router.stage_membership(MembershipPlan::new().push(*event));
                 }
             }
         }
+        flush_group!();
         router.flush();
         let stats = router.stats();
         return Ok(ReplayOutcome {
@@ -515,6 +601,50 @@ mod tests {
             assert_eq!(stream.batches, concurrent.batches);
             assert_eq!(stream.drops, 0);
             assert!(stream.conserved && concurrent.conserved);
+        }
+    }
+
+    #[test]
+    fn grouped_replay_is_bit_identical_to_route_by_route() {
+        // Every group size — aligned, misaligned, bigger than a batch — must
+        // reproduce the route-by-route outcome exactly, on both deterministic
+        // engines, including across membership staging points.
+        for trace in [
+            Trace::mini(),
+            Trace::mini_batched(),
+            Trace::mini_membership(),
+        ] {
+            for policy in [
+                Policy::TwoChoice,
+                Policy::CapacityThreshold { d: 2, slack: 2 },
+            ] {
+                let stream_loop = replay(&trace, &ReplayConfig::stream(policy)).unwrap();
+                let conc_loop = replay(&trace, &ReplayConfig::concurrent(policy, 1)).unwrap();
+                for group in [1usize, 3, 7, 64] {
+                    let stream_grouped =
+                        replay(&trace, &ReplayConfig::stream(policy).route_group(group)).unwrap();
+                    let conc_grouped = replay(
+                        &trace,
+                        &ReplayConfig::concurrent(policy, 1).route_group(group),
+                    )
+                    .unwrap();
+                    for (grouped, looped) in
+                        [(&stream_grouped, &stream_loop), (&conc_grouped, &conc_loop)]
+                    {
+                        assert_eq!(
+                            grouped.placements, looped.placements,
+                            "placements diverged: {} {} group={group}",
+                            trace.name, grouped.engine
+                        );
+                        assert_eq!(grouped.loads, looped.loads);
+                        assert_eq!(grouped.gap_trajectory, looped.gap_trajectory);
+                        assert_eq!(grouped.batches, looped.batches);
+                        assert_eq!(grouped.released, looped.released);
+                        assert_eq!(grouped.drops, looped.drops);
+                        assert!(grouped.conserved);
+                    }
+                }
+            }
         }
     }
 

@@ -240,6 +240,34 @@ impl Trace {
         }
     }
 
+    /// The committed **batched-replay golden trace**: 96 arrivals over 16
+    /// bins in batches of 8, every 7th ball released 11 arrivals later. The
+    /// shape is chosen for `route_many` replay: blessed with
+    /// `route_group = 7`, the groups land misaligned against both the batch
+    /// size and the release cadence, so the grouped path exercises
+    /// batch-boundary splits *and* early cuts at scripted-release points
+    /// while still pinning the exact lines route-by-route replay produces.
+    /// Like [`Trace::mini`], a pure function of nothing so the committed
+    /// `tests/golden/mini-batched.trace` bytes can be asserted against a
+    /// fresh encoding.
+    pub fn mini_batched() -> Self {
+        let mut rng = SplitMix64::for_stream(11, 0xba7c4, 0);
+        let total = 96u64;
+        let events = (0..total)
+            .map(|id| TraceEvent::Arrival {
+                key: rng.next_u64(),
+                release_after: (id % 7 == 0).then(|| (id + 11).min(total - 1)),
+            })
+            .collect();
+        Self {
+            name: "mini-batched".into(),
+            bins: 16,
+            batch_size: 8,
+            seed: 11,
+            events,
+        }
+    }
+
     /// A reweighting variant of [`Trace::mini`]: same shape plus a switch to
     /// 2:1 tiers a third of the way in and back to uniform two thirds in.
     /// Stream-engine only (see [`Trace::has_reweights`]).

@@ -134,23 +134,44 @@ struct RouteThresholds {
 }
 
 /// Boundary-side bookkeeping, serialised under one mutex: boundaries are
-/// rare (once per `batch_size` placements), so the lock is cold.
+/// rare (once per `batch_size` placements), so the lock is cold. External
+/// observer sinks live in the separate [`ObserverChain`] mutex — fan-out to
+/// arbitrary user code must never run inside this lock's critical section,
+/// which routes touching the boundary (closers, staged-change appliers)
+/// wait on.
+#[derive(Debug)]
 struct BoundaryBook {
     /// Batch boundaries completed (== the published epoch).
     batches: u64,
     /// The default observer: per-batch gap trajectory + streaming stats.
     gap: GapTrajectoryObserver,
-    /// External observer sinks, notified after the default observer.
-    observers: Vec<Arc<Mutex<dyn RouterObserver + Send>>>,
 }
 
-impl std::fmt::Debug for BoundaryBook {
+/// The external observer sinks, behind their own mutex so the per-route and
+/// per-release taps (and the deferred boundary fan-out) serialise on this
+/// lock alone — never on the boundary lock. Lock order: the boundary lock
+/// may be held while taking this one (boundary → observers); the reverse
+/// never happens.
+struct ObserverChain(Vec<Arc<Mutex<dyn RouterObserver + Send>>>);
+
+impl std::fmt::Debug for ObserverChain {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("BoundaryBook")
-            .field("batches", &self.batches)
-            .field("observers", &self.observers.len())
+        f.debug_struct("ObserverChain")
+            .field("observers", &self.0.len())
             .finish()
     }
+}
+
+/// One boundary's `on_batch` payload, captured under the boundary lock and
+/// fired through the observer chain **after** it is released — the
+/// contention surgery that keeps slow observers from stalling routes that
+/// need the boundary.
+struct DeferredBatchEvent {
+    batch_index: u64,
+    batch_len: usize,
+    loads: Vec<u32>,
+    gap: f64,
+    resident: u64,
 }
 
 /// Drain-side state (the push path), serialised under one mutex so exactly
@@ -255,8 +276,10 @@ struct Core {
     ingress: ShardedIngress,
     drain: Mutex<DrainSide>,
     boundary: Mutex<BoundaryBook>,
-    /// Fast-path guard: skip the boundary lock on releases when no external
-    /// observer is registered.
+    /// External observer sinks (see [`ObserverChain`] for the lock order).
+    observers: Mutex<ObserverChain>,
+    /// Fast-path guard: skip the observer lock on routes/releases when no
+    /// external observer is registered.
     has_observers: AtomicBool,
     /// Resident-ball table (bin-sharded, thread-safe).
     ledger: SharedTicketLedger,
@@ -420,8 +443,8 @@ impl ConcurrentRouter {
                 boundary: Mutex::new(BoundaryBook {
                     batches: 0,
                     gap: GapTrajectoryObserver::new(config.trajectory_cap),
-                    observers: Vec::new(),
                 }),
+                observers: Mutex::new(ObserverChain(Vec::new())),
                 has_observers: AtomicBool::new(false),
                 ledger: SharedTicketLedger::new(capacity, shard_count),
                 membership: Mutex::new(MembershipSide {
@@ -470,14 +493,78 @@ impl ConcurrentRouter {
     /// the error arm is never taken.
     pub fn route(&self, key: u64) -> Result<Placement, RouteError> {
         let core = &*self.core;
-        let policy = core.config.policy;
         core.apply_staged_at_batch_open();
-        let bin = loop {
-            let topology = core.topology_if_elastic();
-            // Threshold policies price the open batch once, at its first
-            // route (lazily, so the priced resident count matches the
-            // single-threaded engine's batch-open moment exactly in the
+        let bin = core.choose_and_place(key);
+        let id = core.next_ball.fetch_add(1, Ordering::AcqRel);
+        core.arrived.fetch_add(1, Ordering::AcqRel);
+        core.placed.fetch_add(1, Ordering::AcqRel);
+        core.routed.fetch_add(1, Ordering::AcqRel);
+        if let Some(metrics) = &core.metrics {
+            metrics.routed.inc();
+            metrics.placed.inc();
+            metrics.bin_commits.inc(bin);
+        }
+        let ticket = core.ledger.issue(id, bin);
+        if core.has_observers.load(Ordering::Acquire) {
+            // The per-arrival tap: fired before this ball can close a batch,
+            // so a recorder sees the arrival strictly before its boundary
+            // event (matching the single-threaded engine's ordering in the
             // 1-caller case).
+            let event = RouteEvent {
+                key,
+                ticket,
+                resident: core.resident_now(),
+            };
+            let chain = core.observers.lock().expect("observer chain");
+            core.each_observer(&chain.0, |observer| observer.on_route(&event));
+        }
+        let open = core.open_routed.fetch_add(1, Ordering::AcqRel) + 1;
+        if open >= core.config.batch_size as u64 {
+            core.close_full_routed_batches();
+        }
+        Ok(Placement { ticket, bin })
+    }
+
+    /// Routes a group of keys from any thread — the amortized hot path. The
+    /// group is processed in sub-groups capped at the open batch's remaining
+    /// room, and each sub-group pays the per-route overhead **once**: one
+    /// topology read, one thresholds fetch (priced lazily like the first
+    /// route of a batch), one epoch-cell read, one grouped load commit
+    /// ([`ShardedBins::place_group`] — fixed-membership routers only; an
+    /// elastic router re-checks each bin's lifecycle state per ball exactly
+    /// like [`ConcurrentRouter::route`]), one ledger pass per touched shard
+    /// ([`SharedTicketLedger::issue_many`]), and whole-group counter adds.
+    ///
+    /// With one caller this is bit-identical to looping
+    /// [`ConcurrentRouter::route`] (property-tested across every policy ×
+    /// weights × thread count); with `k` callers the group's placements
+    /// interleave with other callers' exactly as individual routes would,
+    /// and every boundary still closes after `batch_size` routed balls.
+    pub fn route_many(&self, keys: &[u64]) -> Result<Vec<Placement>, RouteError> {
+        // A singleton group amortizes nothing: delegate to `route` so the
+        // batched surface costs one `Vec` over the one-at-a-time path.
+        if let [key] = keys {
+            return self.route(*key).map(|placement| vec![placement]);
+        }
+        let core = &*self.core;
+        let policy = core.config.policy;
+        let mut placements = Vec::with_capacity(keys.len());
+        let mut rest = keys;
+        while !rest.is_empty() {
+            core.apply_staged_at_batch_open();
+            // Cap the sub-group at the open batch's remaining room so the
+            // boundary lands exactly where the one-at-a-time loop would put
+            // it. Racing callers can push `open_routed` past the cap between
+            // the read and our commit — the same overshoot racing individual
+            // routes produce; `max(1)` guarantees progress.
+            let open = core.open_routed.load(Ordering::Acquire);
+            let room = (core.config.batch_size as u64).saturating_sub(open).max(1) as usize;
+            let take = rest.len().min(room);
+            let (group, tail) = rest.split_at(take);
+            rest = tail;
+
+            // Read once per sub-group what `route` reads once per key.
+            let topology = core.topology_if_elastic();
             let priced;
             let (flat, capacity): (u32, &[u32]) = if uses_thresholds(policy) {
                 priced = core.priced_route_thresholds();
@@ -506,54 +593,72 @@ impl ConcurrentRouter {
                 active_weights,
                 counters: core.metrics.as_ref().map(|m| &m.policy),
             };
-            let bin = ROUTE_CANDIDATES
-                .with(|scratch| choose_bin(policy, &ctx, key, &mut scratch.borrow_mut()))
-                as usize;
-            core.bins.place(bin);
-            if topology.is_none() {
-                break bin;
+            let mut chosen: Vec<u32> = Vec::with_capacity(take);
+            ROUTE_CANDIDATES.with(|scratch| {
+                let mut scratch = scratch.borrow_mut();
+                for &key in group {
+                    chosen.push(choose_bin(policy, &ctx, key, &mut scratch));
+                }
+            });
+            match &topology {
+                // Fixed membership: per-bin grouped deltas, one atomic
+                // increment per distinct bin, one stats lock per shard.
+                None => core.bins.place_group(&chosen),
+                // Elastic: each placement needs the post-commit draining
+                // recheck (and possibly an undo + re-route), so commits stay
+                // per ball — the choose above still amortized the reads.
+                Some(_) => {
+                    for (slot, &key) in chosen.iter_mut().zip(group) {
+                        let bin = *slot as usize;
+                        core.bins.place(bin);
+                        if core.topology.load().states[bin] == BinState::Active {
+                            continue;
+                        }
+                        assert!(core.bins.depart(bin), "undo of a placement just made");
+                        if let Some(metrics) = &core.metrics {
+                            metrics.membership.rejected_routes_to_draining.inc();
+                        }
+                        *slot = core.choose_and_place(key) as u32;
+                    }
+                }
             }
-            // Re-read the topology *after* the commit: a scale event may have
-            // drained this bin between choose and place. The undone placement
-            // is counted (`membership.rejected_routes_to_draining`) and the
-            // route retries against the fresh topology; with one caller the
-            // race cannot occur.
-            if core.topology.load().states[bin] == BinState::Active {
-                break bin;
-            }
-            assert!(core.bins.depart(bin), "undo of a placement just made");
+            let base = core.next_ball.fetch_add(take as u64, Ordering::AcqRel);
+            core.arrived.fetch_add(take as u64, Ordering::AcqRel);
+            core.placed.fetch_add(take as u64, Ordering::AcqRel);
+            core.routed.fetch_add(take as u64, Ordering::AcqRel);
             if let Some(metrics) = &core.metrics {
-                metrics.membership.rejected_routes_to_draining.inc();
+                metrics.routed.add(take as u64);
+                metrics.placed.add(take as u64);
+                for &bin in chosen.iter() {
+                    metrics.bin_commits.inc(bin as usize);
+                }
             }
-        };
-        let id = core.next_ball.fetch_add(1, Ordering::AcqRel);
-        core.arrived.fetch_add(1, Ordering::AcqRel);
-        core.placed.fetch_add(1, Ordering::AcqRel);
-        core.routed.fetch_add(1, Ordering::AcqRel);
-        if let Some(metrics) = &core.metrics {
-            metrics.routed.inc();
-            metrics.placed.inc();
-            metrics.bin_commits.inc(bin);
-        }
-        let ticket = core.ledger.issue(id, bin);
-        if core.has_observers.load(Ordering::Acquire) {
-            // The per-arrival tap: fired before this ball can close a batch,
-            // so a recorder sees the arrival strictly before its boundary
-            // event (matching the single-threaded engine's ordering in the
-            // 1-caller case).
-            let event = RouteEvent {
-                key,
+            let tickets = core.ledger.issue_many(base, &chosen);
+            if core.has_observers.load(Ordering::Acquire) {
+                // Per-arrival taps fire in arrival order, before this group
+                // can close its batch, with the same resident counts the
+                // loop would report (exact with one caller).
+                let resident_base = core.resident_now().saturating_sub(take as u64);
+                let chain = core.observers.lock().expect("observer chain");
+                for (offset, (&key, &ticket)) in group.iter().zip(tickets.iter()).enumerate() {
+                    let event = RouteEvent {
+                        key,
+                        ticket,
+                        resident: resident_base + offset as u64 + 1,
+                    };
+                    core.each_observer(&chain.0, |observer| observer.on_route(&event));
+                }
+            }
+            placements.extend(tickets.into_iter().map(|ticket| Placement {
                 ticket,
-                resident: core.resident_now(),
-            };
-            let book = core.boundary.lock().expect("boundary lock");
-            core.each_observer(&book.observers, |observer| observer.on_route(&event));
+                bin: ticket.bin(),
+            }));
+            let open = core.open_routed.fetch_add(take as u64, Ordering::AcqRel) + take as u64;
+            if open >= core.config.batch_size as u64 {
+                core.close_full_routed_batches();
+            }
         }
-        let open = core.open_routed.fetch_add(1, Ordering::AcqRel) + 1;
-        if open >= core.config.batch_size as u64 {
-            core.close_full_routed_batches();
-        }
-        Ok(Placement { ticket, bin })
+        Ok(placements)
     }
 
     /// Simulates a **bin crash** from any thread: force-releases every
@@ -636,8 +741,8 @@ impl ConcurrentRouter {
                 load_after: core.bins.load(bin),
                 resident: core.resident_now(),
             };
-            let book = core.boundary.lock().expect("boundary lock");
-            core.each_observer(&book.observers, |observer| observer.on_release(&event));
+            let chain = core.observers.lock().expect("observer chain");
+            core.each_observer(&chain.0, |observer| observer.on_release(&event));
         }
         Ok(())
     }
@@ -677,10 +782,10 @@ impl ConcurrentRouter {
     /// own `Arc` handle to read the sink back.
     pub fn add_observer(&self, observer: Arc<Mutex<dyn RouterObserver + Send>>) {
         let core = &*self.core;
-        core.boundary
+        core.observers
             .lock()
-            .expect("boundary lock")
-            .observers
+            .expect("observer chain")
+            .0
             .push(observer);
         core.has_observers.store(true, Ordering::Release);
     }
@@ -873,6 +978,18 @@ impl ConcurrentRouter {
         self.core.resolved.as_ref()
     }
 
+    /// The effective weight of one slot: the elastic topology's resolved
+    /// weight when membership is live (commissioned slots included),
+    /// otherwise the configured weight (1.0 when uniform).
+    pub fn slot_weight(&self, bin: usize) -> f64 {
+        let topology = self.core.topology_if_elastic();
+        let weights = match &topology {
+            Some(topology) => topology.resolved.as_ref(),
+            None => self.core.resolved.as_ref(),
+        };
+        weights.map_or(1.0, |weights| weights.weight(bin))
+    }
+
     /// Fresh normalized loads `load_i / w_i` (the raw loads as `f64` for a
     /// uniform router).
     pub fn normalized_loads(&self) -> Vec<f64> {
@@ -1019,6 +1136,10 @@ impl ConcurrentRouterApi for ConcurrentRouter {
         ConcurrentRouter::route(self, key)
     }
 
+    fn route_many(&self, keys: &[u64]) -> Result<Vec<Placement>, RouteError> {
+        ConcurrentRouter::route_many(self, keys)
+    }
+
     fn release(&self, ticket: Ticket) -> Result<(), RouteError> {
         ConcurrentRouter::release(self, ticket)
     }
@@ -1061,6 +1182,69 @@ impl Core {
         let mut book = self.boundary.lock().expect("boundary lock");
         if self.open_routed.load(Ordering::Acquire) == 0 {
             self.apply_staged_changes(&mut book);
+        }
+    }
+
+    /// The bin-selection core of one route: choose against the published
+    /// epoch snapshot, commit the placement, and (elastic routers only)
+    /// re-check the bin's lifecycle state after the commit, undoing and
+    /// retrying against the fresh topology if a scale event drained it
+    /// between choose and place. Returns the bin the ball landed in.
+    fn choose_and_place(&self, key: u64) -> usize {
+        let policy = self.config.policy;
+        loop {
+            let topology = self.topology_if_elastic();
+            // Threshold policies price the open batch once, at its first
+            // route (lazily, so the priced resident count matches the
+            // single-threaded engine's batch-open moment exactly in the
+            // 1-caller case).
+            let priced;
+            let (flat, capacity): (u32, &[u32]) = if uses_thresholds(policy) {
+                priced = self.priced_route_thresholds();
+                let thresholds = priced.get().expect("priced above");
+                (thresholds.flat, &thresholds.capacity)
+            } else {
+                (0, &[])
+            };
+            let stale = self.published.load();
+            let (weights, active, active_weights) = match &topology {
+                Some(t) => (
+                    t.resolved.as_ref(),
+                    Some(&t.active[..]),
+                    t.active_resolved.as_ref(),
+                ),
+                None => (self.resolved.as_ref(), None, None),
+            };
+            let ctx = ChoiceCtx {
+                snapshot: &stale,
+                weights,
+                batch_threshold: flat,
+                capacity_thresholds: capacity,
+                seed: self.config.seed,
+                bins: self.capacity(),
+                active,
+                active_weights,
+                counters: self.metrics.as_ref().map(|m| &m.policy),
+            };
+            let bin = ROUTE_CANDIDATES
+                .with(|scratch| choose_bin(policy, &ctx, key, &mut scratch.borrow_mut()))
+                as usize;
+            self.bins.place(bin);
+            if topology.is_none() {
+                return bin;
+            }
+            // Re-read the topology *after* the commit: a scale event may have
+            // drained this bin between choose and place. The undone placement
+            // is counted (`membership.rejected_routes_to_draining`) and the
+            // route retries against the fresh topology; with one caller the
+            // race cannot occur.
+            if self.topology.load().states[bin] == BinState::Active {
+                return bin;
+            }
+            assert!(self.bins.depart(bin), "undo of a placement just made");
+            if let Some(metrics) = &self.metrics {
+                metrics.membership.rejected_routes_to_draining.inc();
+            }
         }
     }
 
@@ -1120,7 +1304,8 @@ impl Core {
                 resident: self.resident_now(),
             };
             book.gap.on_membership(&event);
-            self.each_observer(&book.observers, |observer| observer.on_membership(&event));
+            let chain = self.observers.lock().expect("observer chain");
+            self.each_observer(&chain.0, |observer| observer.on_membership(&event));
         }
         if reweighted {
             let loads = self.bins.snapshot();
@@ -1131,7 +1316,8 @@ impl Core {
                 resident: self.resident_now(),
             };
             book.gap.on_reweight(&event);
-            self.each_observer(&book.observers, |observer| observer.on_reweight(&event));
+            let chain = self.observers.lock().expect("observer chain");
+            self.each_observer(&chain.0, |observer| observer.on_reweight(&event));
         }
         self.topology.publish(topology);
         // The open batch (if any) was priced under the old topology; the
@@ -1228,44 +1414,57 @@ impl Core {
     /// of commits can pile up before the first closer gets the lock).
     fn close_full_routed_batches(&self) {
         let batch = self.config.batch_size as u64;
+        let mut deferred = Vec::new();
         let mut book = self.boundary.lock().expect("boundary lock");
         while self.open_routed.load(Ordering::Acquire) >= batch {
             self.open_routed.fetch_sub(batch, Ordering::AcqRel);
-            self.advance_boundary(&mut book, batch as usize);
+            self.advance_boundary(&mut book, batch as usize, &mut deferred);
             self.reset_route_thresholds();
         }
+        self.fire_deferred_after(book, deferred);
     }
 
     /// Closes the open routed batch even if partial (flush semantics).
     /// Returns `true` when a boundary was produced.
     fn close_partial_routed_batch(&self) -> bool {
         let batch = self.config.batch_size as u64;
+        let mut deferred = Vec::new();
         let mut book = self.boundary.lock().expect("boundary lock");
         // Full batches first: a racing closer may not have reached the lock.
         while self.open_routed.load(Ordering::Acquire) >= batch {
             self.open_routed.fetch_sub(batch, Ordering::AcqRel);
-            self.advance_boundary(&mut book, batch as usize);
+            self.advance_boundary(&mut book, batch as usize, &mut deferred);
             self.reset_route_thresholds();
         }
         let open = self.open_routed.load(Ordering::Acquire);
         if open == 0 {
+            self.fire_deferred_after(book, deferred);
             return false;
         }
         self.open_routed.fetch_sub(open, Ordering::AcqRel);
-        self.advance_boundary(&mut book, open as usize);
+        self.advance_boundary(&mut book, open as usize, &mut deferred);
         self.reset_route_thresholds();
         // This *is* a batch boundary: staged scale events must not survive
         // past it (mirrors the single-threaded `close_open_batch`).
         if self.has_pending_membership.load(Ordering::Acquire) {
             self.apply_staged_changes(&mut book);
         }
+        self.fire_deferred_after(book, deferred);
         true
     }
 
-    /// The batch boundary: reads the fresh loads, records the gap, fires
-    /// `on_batch` through the observer chain, and publishes the loads as the
-    /// next epoch's stale snapshot. Caller holds the boundary lock.
-    fn advance_boundary(&self, book: &mut BoundaryBook, batch_len: usize) {
+    /// The batch boundary: reads the fresh loads, records the gap, captures
+    /// the `on_batch` payload for the **deferred** external fan-out, and
+    /// publishes the loads as the next epoch's stale snapshot. Caller holds
+    /// the boundary lock; external observers are notified only after it is
+    /// released (see [`Core::fire_deferred_after`]) so user code never runs
+    /// inside the boundary's critical section.
+    fn advance_boundary(
+        &self,
+        book: &mut BoundaryBook,
+        batch_len: usize,
+        deferred: &mut Vec<DeferredBatchEvent>,
+    ) {
         book.batches += 1;
         let loads = self.bins.snapshot();
         let gap = match self.topology_if_elastic() {
@@ -1288,7 +1487,15 @@ impl Core {
             resident: self.resident_now(),
         };
         book.gap.on_batch(&event);
-        self.each_observer(&book.observers, |observer| observer.on_batch(&event));
+        if self.has_observers.load(Ordering::Acquire) {
+            deferred.push(DeferredBatchEvent {
+                batch_index: event.batch_index,
+                batch_len,
+                loads: loads.clone(),
+                gap,
+                resident: event.resident,
+            });
+        }
         if let Some(metrics) = &self.metrics {
             metrics.batches.inc();
             metrics.gap.set(gap);
@@ -1296,6 +1503,33 @@ impl Core {
         }
         let epoch = self.published.publish(loads);
         debug_assert_eq!(epoch, book.batches, "epoch tracks batch boundaries");
+    }
+
+    /// Releases the boundary lock and fires the captured `on_batch` events
+    /// through the observer chain. The chain lock is acquired **before** the
+    /// boundary lock is dropped (boundary → observers is the sanctioned
+    /// order), so batch events reach external observers in boundary order
+    /// even when several closers race.
+    fn fire_deferred_after(
+        &self,
+        book: std::sync::MutexGuard<'_, BoundaryBook>,
+        deferred: Vec<DeferredBatchEvent>,
+    ) {
+        if deferred.is_empty() {
+            return;
+        }
+        let chain = self.observers.lock().expect("observer chain");
+        drop(book);
+        for d in &deferred {
+            let event = BatchEvent {
+                batch_index: d.batch_index,
+                batch_len: d.batch_len,
+                loads: &d.loads,
+                gap: d.gap,
+                resident: d.resident,
+            };
+            self.each_observer(&chain.0, |observer| observer.on_batch(&event));
+        }
     }
 
     /// Sequences queued pushed balls and drains them in `batch_size`
@@ -1437,8 +1671,10 @@ impl Core {
                 metrics.bin_commits.inc(bin as usize);
             }
         }
+        let mut deferred = Vec::new();
         let mut book = self.boundary.lock().expect("boundary lock");
-        self.advance_boundary(&mut book, batch.len());
+        self.advance_boundary(&mut book, batch.len(), &mut deferred);
+        self.fire_deferred_after(book, deferred);
     }
 }
 

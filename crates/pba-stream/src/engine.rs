@@ -597,6 +597,111 @@ impl StreamAllocator {
         })
     }
 
+    /// Routes a group of keys, bit-identical to calling
+    /// [`StreamAllocator::route`] once per key but with the per-route
+    /// overhead amortized: the group is split at batch boundaries (so staged
+    /// changes apply and thresholds re-price exactly where the loop would),
+    /// and within each sub-group the pricing context is built once, the
+    /// chosen bins are committed as per-bin grouped deltas
+    /// ([`ShardedBins::place_group`] — one atomic increment per distinct
+    /// bin), and the counters advance by whole-group adds.
+    ///
+    /// Streaming routing is infallible; the `Result` is the shared
+    /// [`Router`] surface.
+    pub fn route_many(&mut self, keys: &[u64]) -> Result<Vec<Placement>, RouteError> {
+        // A singleton group amortizes nothing: delegate to `route` so the
+        // batched surface costs one `Vec` over the one-at-a-time path.
+        if let [key] = keys {
+            return self.route(*key).map(|placement| vec![placement]);
+        }
+        let mut placements = Vec::with_capacity(keys.len());
+        let mut rest = keys;
+        while !rest.is_empty() {
+            if self.open_batch == 0 {
+                // Same batch-open sequence as `route`.
+                self.apply_staged_changes();
+                self.route_threshold = self.batch_threshold(self.config.batch_size as u64);
+                let mut thresholds = std::mem::take(&mut self.route_capacity);
+                self.fill_capacity_thresholds_into(self.config.batch_size as u64, &mut thresholds);
+                self.route_capacity = thresholds;
+            }
+            // Never cross the boundary inside a sub-group: the remainder of
+            // the open batch caps the group, so the boundary (and any staged
+            // re-pricing) lands exactly where the one-at-a-time loop puts it.
+            let take = rest.len().min(self.config.batch_size - self.open_batch);
+            let (group, tail) = rest.split_at(take);
+            rest = tail;
+
+            // Choose every bin of the sub-group against the batch's fixed
+            // pricing — `ChoiceCtx` is constant within a batch, so one build
+            // serves the whole sub-group.
+            let mut candidates = std::mem::take(&mut self.route_candidates);
+            let mut chosen = std::mem::take(&mut self.chosen_scratch);
+            chosen.clear();
+            {
+                let ctx = ChoiceCtx {
+                    snapshot: &self.stale,
+                    weights: self.resolved.as_ref(),
+                    batch_threshold: self.route_threshold,
+                    capacity_thresholds: &self.route_capacity,
+                    seed: self.config.seed,
+                    bins: self.capacity(),
+                    active: self.membership.as_ref().map(|s| s.table.active()),
+                    active_weights: self
+                        .membership
+                        .as_ref()
+                        .and_then(|s| s.active_resolved.as_ref()),
+                    counters: self.metrics.as_ref().map(|m| &m.policy),
+                };
+                for &key in group {
+                    chosen.push(choose_bin(self.config.policy, &ctx, key, &mut candidates));
+                }
+            }
+            self.route_candidates = candidates;
+
+            // Commit: grouped per-bin load deltas, whole-group counter adds.
+            self.bins.place_group(&chosen);
+            let base = self.next_ball;
+            self.next_ball += take as u64;
+            self.arrived += take as u64;
+            self.placed += take as u64;
+            self.routed += take as u64;
+            self.open_batch += take;
+            if let Some(metrics) = &self.metrics {
+                metrics.routed.add(take as u64);
+                metrics.placed.add(take as u64);
+                for &bin in chosen.iter() {
+                    metrics.bin_commits.inc(bin as usize);
+                }
+            }
+            let notify = !self.observers.0.is_empty();
+            let resident_base = self.placed - self.departed - take as u64;
+            for (offset, (&key, &bin)) in group.iter().zip(chosen.iter()).enumerate() {
+                let ticket = self.tickets.issue(base + offset as u64, bin as usize);
+                if notify {
+                    // Per-arrival taps fire in arrival order with the same
+                    // resident counts the loop would report.
+                    let event = RouteEvent {
+                        key,
+                        ticket,
+                        resident: resident_base + offset as u64 + 1,
+                    };
+                    self.observers
+                        .notify_route(&event, self.metrics.as_ref().map(|m| &m.observer_errors));
+                }
+                placements.push(Placement {
+                    ticket,
+                    bin: bin as usize,
+                });
+            }
+            self.chosen_scratch = chosen;
+            if self.open_batch >= self.config.batch_size {
+                self.close_open_batch();
+            }
+        }
+        Ok(placements)
+    }
+
     /// Simulates a **bin crash**: force-releases every *ticketed* resident
     /// ball of `bin` through the normal release path (ledger redeem → depart
     /// → [`ReleaseEvent`]), returning how many tickets were evicted. After a
@@ -1247,6 +1352,10 @@ impl StreamAllocator {
 impl Router for StreamAllocator {
     fn route(&mut self, key: u64) -> Result<Placement, RouteError> {
         StreamAllocator::route(self, key)
+    }
+
+    fn route_many(&mut self, keys: &[u64]) -> Result<Vec<Placement>, RouteError> {
+        StreamAllocator::route_many(self, keys)
     }
 
     fn release(&mut self, ticket: Ticket) -> Result<(), RouteError> {

@@ -11,7 +11,7 @@
 //! | `RELEASE <id>` | `OK <bin>` or `ERR unknown-ticket` | redeem a parked ticket |
 //! | `FLUSH` | `OK <boundaries>` | close the open batch (boundaries produced by this flush) |
 //! | `STATS` | `OK routed <r> released <d> resident <n> batches <b>` | aggregate counters |
-//! | `ADD <weight>` | `OK staged` | stage commissioning one bin (takes effect at the next batch boundary) |
+//! | `ADD <weight> [tier]` | `OK staged` | stage commissioning one bin of weight `weight·2^tier` (tier defaults to 0, max [`MAX_ADD_TIER`]) |
 //! | `DRAIN <bin>` | `OK staged` | stage draining `<bin>` out of the sampling set |
 //! | `REMOVE <bin>` | `OK staged` | stage retiring a drained, empty `<bin>` |
 //! | `MIGRATE` | `OK <count>` | force-migrate ticketed residents off draining bins |
@@ -29,6 +29,19 @@
 //! id the server does not hold (never issued, already released, or a forgery)
 //! is an `ERR unknown-ticket` — and increments `server.unknown_ticket`, per
 //! the no-silent-drops rule.
+//!
+//! ## Pipelining
+//!
+//! A client may write many request lines before reading replies; the server
+//! answers one line per request, in order. Consecutive *already-buffered*
+//! `ROUTE` lines are executed as one group through
+//! [`ConcurrentRouter::route_many`] — the amortized hot path — so a
+//! pipelining load generator pays the per-route overhead once per group
+//! instead of once per line. Grouping never reorders replies and never waits
+//! for more input (only lines already sitting in the read buffer join a
+//! group, which also bounds the group size by the buffer capacity), and a
+//! non-`ROUTE` or malformed line simply ends the group and is answered in
+//! place.
 //!
 //! ## Threading and shutdown
 //!
@@ -65,6 +78,13 @@ use pba_model::router::Ticket;
 /// Requests between merges of a connection's local latency histogram into
 /// the shared `server.route_latency_ns` histogram.
 const MERGE_EVERY: u64 = 4096;
+
+/// Largest accepted `tier` of the `ADD <weight> [tier]` verb. A tier is a
+/// power-of-two capacity-class exponent (the wire analogue of
+/// [`pba_model::weights::BinWeights::power_of_two_tiers`]); `2^32` already
+/// dwarfs any realistic heterogeneity, and capping here keeps the staged
+/// weight `weight·2^tier` comfortably finite.
+pub const MAX_ADD_TIER: u32 = 32;
 
 /// Configuration for [`SocketServer::start`].
 #[derive(Debug, Clone)]
@@ -277,6 +297,8 @@ fn handle_connection(stream: TcpStream, shared: Arc<Shared>, poll: Duration) {
     let mut line = String::new();
     let mut local_latency = LocalHistogram::new();
     let mut since_merge = 0u64;
+    let mut route_keys: Vec<u64> = Vec::new();
+    let mut reply_buf = String::new();
     loop {
         line.clear();
         // A read timeout mid-line leaves the partial line buffered in
@@ -314,17 +336,72 @@ fn handle_connection(stream: TcpStream, shared: Arc<Shared>, poll: Duration) {
             }
             break;
         }
-        let reply = respond(&shared, line.trim_end(), &mut local_latency);
-        since_merge += 1;
+        reply_buf.clear();
+        if let Some(key) = parse_route(line.trim_end()) {
+            // Gather the pipelined `ROUTE` group: every complete line already
+            // sitting in the read buffer joins (no extra I/O, no waiting);
+            // the first non-ROUTE line ends the group and is answered after
+            // it, in order.
+            route_keys.clear();
+            route_keys.push(key);
+            let mut tail: Option<String> = None;
+            while reader.buffer().contains(&b'\n') {
+                line.clear();
+                if reader.read_line(&mut line).is_err() {
+                    break; // buffered data: cannot happen, but fail safe
+                }
+                match parse_route(line.trim_end()) {
+                    Some(key) => route_keys.push(key),
+                    None => {
+                        tail = Some(line.trim_end().to_string());
+                        break;
+                    }
+                }
+            }
+            if let Some(metrics) = &shared.metrics {
+                metrics.requests.add(route_keys.len() as u64);
+            }
+            let start = Instant::now();
+            let placements = shared
+                .router
+                .route_many(&route_keys)
+                .expect("routing is infallible");
+            let per_route = start.elapsed().as_nanos() as u64 / route_keys.len().max(1) as u64;
+            for placement in placements {
+                local_latency.record(per_route);
+                reply_buf.push_str(&format!("OK {} {}\n", placement.bin, placement.ticket.id()));
+                shared.park(placement.ticket);
+            }
+            since_merge += route_keys.len() as u64;
+            if let Some(tail_line) = tail {
+                reply_buf.push_str(&respond(&shared, &tail_line, &mut local_latency));
+                reply_buf.push('\n');
+                since_merge += 1;
+            }
+        } else {
+            reply_buf.push_str(&respond(&shared, line.trim_end(), &mut local_latency));
+            reply_buf.push('\n');
+            since_merge += 1;
+        }
         if since_merge >= MERGE_EVERY {
             merge_latency(&shared, &mut local_latency);
             since_merge = 0;
         }
-        if writer.write_all(reply.as_bytes()).is_err() || writer.write_all(b"\n").is_err() {
+        if writer.write_all(reply_buf.as_bytes()).is_err() {
             break;
         }
     }
     merge_latency(&shared, &mut local_latency);
+}
+
+/// `ROUTE <key>` with a valid key, or `None` (anything else goes through
+/// [`respond`] one line at a time).
+fn parse_route(line: &str) -> Option<u64> {
+    let mut parts = line.split_ascii_whitespace();
+    match (parts.next(), parts.next(), parts.next()) {
+        (Some("ROUTE"), Some(key), None) => key.parse().ok(),
+        _ => None,
+    }
 }
 
 fn merge_latency(shared: &Shared, local: &mut LocalHistogram) {
@@ -368,15 +445,27 @@ fn respond(shared: &Shared, line: &str, latency: &mut LocalHistogram) -> String 
             },
             Err(_) => bad_request(shared),
         },
-        (Some("ADD"), Some(weight), None) => match weight.parse::<f64>() {
-            Ok(weight) if weight.is_finite() && weight > 0.0 => {
-                shared
-                    .router
-                    .stage_membership(MembershipPlan::new().add(weight));
-                "OK staged".to_string()
+        (Some("ADD"), Some(weight), tier) => {
+            // `ADD <weight> [tier]`: the optional tier is a power-of-two
+            // capacity-class exponent; the staged bin gets weight
+            // `weight·2^tier`. Every field validates strictly — a garbage
+            // weight, a non-integer tier, a tier above `MAX_ADD_TIER`, or
+            // trailing tokens are a bad request, counted and refused.
+            let tier = match tier {
+                None => Some(0u32),
+                Some(t) => t.parse::<u32>().ok().filter(|&t| t <= MAX_ADD_TIER),
+            };
+            match (weight.parse::<f64>(), tier, parts.next()) {
+                (Ok(weight), Some(tier), None) if weight.is_finite() && weight > 0.0 => {
+                    let staged = weight * (1u64 << tier) as f64;
+                    shared
+                        .router
+                        .stage_membership(MembershipPlan::new().add(staged));
+                    "OK staged".to_string()
+                }
+                _ => bad_request(shared),
             }
-            _ => bad_request(shared),
-        },
+        }
         (Some("DRAIN"), Some(bin), None) => match bin.parse::<u32>() {
             Ok(bin) => {
                 shared
@@ -495,6 +584,12 @@ impl LineClient {
     /// `ADD weight` — stage commissioning one bin.
     pub fn stage_add(&mut self, weight: f64) -> io::Result<()> {
         self.expect_staged(&format!("ADD {weight}"))
+    }
+
+    /// `ADD weight tier` — stage commissioning one bin of weight
+    /// `weight·2^tier` (a power-of-two capacity class; see [`MAX_ADD_TIER`]).
+    pub fn stage_add_tiered(&mut self, weight: f64, tier: u32) -> io::Result<()> {
+        self.expect_staged(&format!("ADD {weight} {tier}"))
     }
 
     /// `DRAIN bin` — stage draining a bin out of the sampling set.
@@ -768,6 +863,97 @@ mod tests {
         assert_eq!(snap.counter("membership.removes"), 1);
         assert_eq!(snap.counter("membership.migrations"), migrated);
         assert_eq!(snap.counter("server.bad_request"), 2);
+    }
+
+    #[test]
+    fn pipelined_routes_batch_through_route_many_and_stay_ordered() {
+        // A whole pipeline of ROUTE lines written before reading any reply
+        // executes as one `route_many` group; replies come back one per
+        // line, in order, with distinct ids, and the router sees every ball.
+        let server = instrumented_server(32, 16);
+        let addr = server.local_addr();
+        let mut raw = TcpStream::connect(addr).unwrap();
+        raw.set_nodelay(true).unwrap();
+        let mut request = String::new();
+        for key in 0..40u64 {
+            request.push_str(&format!("ROUTE {key}\n"));
+        }
+        request.push_str("STATS\n");
+        raw.write_all(request.as_bytes()).unwrap();
+        let mut reader = BufReader::new(raw.try_clone().unwrap());
+        let mut ids = std::collections::HashSet::new();
+        for i in 0..40 {
+            let mut line = String::new();
+            assert!(reader.read_line(&mut line).unwrap() > 0, "server hung up");
+            let mut parts = line.split_ascii_whitespace();
+            assert_eq!(parts.next(), Some("OK"), "reply {i}: {line}");
+            let bin: usize = parts.next().unwrap().parse().unwrap();
+            assert!(bin < 32);
+            assert!(ids.insert(parts.next().unwrap().parse::<u64>().unwrap()));
+        }
+        let mut stats = String::new();
+        assert!(reader.read_line(&mut stats).unwrap() > 0);
+        assert!(
+            stats.starts_with("OK routed 40 released 0 resident 40"),
+            "{stats}"
+        );
+        // Full 16-ball batches closed exactly as a one-at-a-time client
+        // would close them: ⌊40/16⌋ = 2 boundaries.
+        assert_eq!(server.router().batches(), 2);
+        let registry = Arc::clone(&server.router().metrics().unwrap().registry);
+        server.shutdown();
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("route.routed"), 40);
+        // Every grouped route is still one request and one latency sample.
+        assert_eq!(snap.counter("server.requests"), 41);
+        let latency = snap.histogram("server.route_latency_ns").expect("recorded");
+        assert_eq!(latency.count, 40);
+    }
+
+    #[test]
+    fn add_verb_accepts_a_tier_and_rejects_garbage() {
+        let registry = Arc::new(pba_obs::MetricsRegistry::new());
+        let router = ConcurrentRouter::with_metrics(
+            StreamConfig::new(8)
+                .policy(Policy::TwoChoice)
+                .batch_size(8)
+                .seed(11)
+                .reserve_bins(1),
+            registry,
+        );
+        let server = SocketServer::start(router, ServerConfig::default()).expect("bind loopback");
+        let mut client = LineClient::connect(server.local_addr()).unwrap();
+        // Tiered add: weight 1.5 in capacity class 2^3 stages weight 12.
+        client.stage_add_tiered(1.5, 3).unwrap();
+        for key in 0..4u64 {
+            client.route(key).unwrap();
+        }
+        client.flush().unwrap();
+        assert_eq!(
+            server.router().slot_weight(8),
+            12.0,
+            "staged weight is weight·2^tier"
+        );
+        // Tier validation: non-integer, negative, oversized, and trailing
+        // garbage are all bad requests — counted, never staged.
+        for garbage in [
+            "ADD 1.0 x",
+            "ADD 1.0 -2",
+            "ADD 1.0 33",
+            "ADD 1.0 2 extra",
+            "ADD nope 2",
+        ] {
+            assert_eq!(
+                client.request(garbage).unwrap(),
+                "ERR bad-request",
+                "{garbage}"
+            );
+        }
+        let registry = Arc::clone(&server.router().metrics().unwrap().registry);
+        server.shutdown();
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("server.bad_request"), 5);
+        assert_eq!(snap.counter("membership.adds"), 1);
     }
 
     #[test]

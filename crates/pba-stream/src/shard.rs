@@ -95,6 +95,45 @@ impl ShardedBins {
         self.bins.add_many(bin, count)
     }
 
+    /// Places a group of balls — one entry of `bins` per ball — committing
+    /// **one** atomic increment per distinct bin and taking each touched
+    /// shard's stats lock once. Equivalent to calling [`ShardedBins::place`]
+    /// once per entry: loads only grow, so the sequential loop's running
+    /// peak equals the final load of each touched bin, which is exactly
+    /// what the grouped commit records.
+    pub fn place_group(&self, bins: &[u32]) {
+        if bins.is_empty() {
+            return;
+        }
+        let mut sorted = bins.to_vec();
+        sorted.sort_unstable();
+        let mut shard = usize::MAX;
+        let mut accepted = 0u64;
+        let mut peak = 0u32;
+        let mut i = 0;
+        while i < sorted.len() {
+            let bin = sorted[i] as usize;
+            let mut run = 1usize;
+            while i + run < sorted.len() && sorted[i + run] as usize == bin {
+                run += 1;
+            }
+            let owner = self.shard_of(bin);
+            if owner != shard {
+                if shard != usize::MAX {
+                    self.record_batch(shard, accepted, peak);
+                }
+                shard = owner;
+                accepted = 0;
+                peak = 0;
+            }
+            let new_load = self.bins.add_many(bin, run as u32);
+            accepted += run as u64;
+            peak = peak.max(new_load);
+            i += run;
+        }
+        self.record_batch(shard, accepted, peak);
+    }
+
     /// Folds one batch's worth of per-shard bookkeeping under the shard lock.
     pub fn record_batch(&self, shard: usize, accepted: u64, peak_load: u32) {
         let mut stats = self.stats[shard].lock().expect("shard lock");
@@ -214,6 +253,28 @@ mod tests {
         }
         assert_eq!(a.snapshot(), b.snapshot());
         assert_eq!(a.all_shard_stats(), b.all_shard_stats());
+    }
+
+    #[test]
+    fn place_group_equals_a_loop_of_places() {
+        let grouped = ShardedBins::new(8, 3);
+        let looped = ShardedBins::new(8, 3);
+        // Seed uneven resident loads so peaks differ per shard.
+        for sb in [&grouped, &looped] {
+            for bin in [0usize, 0, 6, 6, 6, 3] {
+                sb.place(bin);
+            }
+        }
+        let group: Vec<u32> = vec![7, 0, 2, 2, 6, 0, 7, 3, 6, 6];
+        grouped.place_group(&group);
+        for &bin in &group {
+            looped.place(bin as usize);
+        }
+        assert_eq!(grouped.snapshot(), looped.snapshot());
+        assert_eq!(grouped.all_shard_stats(), looped.all_shard_stats());
+        // An empty group is a no-op.
+        grouped.place_group(&[]);
+        assert_eq!(grouped.all_shard_stats(), looped.all_shard_stats());
     }
 
     #[test]

@@ -125,8 +125,10 @@ fn commentary(title: &str) -> &'static str {
          magnitude cheaper — which is why the parallel cutoffs could drop. The \"identical \
          loads\" column must read yes on every row: worker counts only partition index ranges, \
          so results are bit-identical for any parallelism (the invariant \
-         tests/execution_properties.rs enforces per policy). Throughput scales with threads on \
-         multi-core hardware and is flat on a single-core host."
+         tests/execution_properties.rs enforces per policy). Throughput scales with threads \
+         only on multi-core hardware; on a 1-core container the workers serialise and the \
+         throughput/speedup columns are smoke numbers — speedup < 1 at 4 threads there is \
+         scheduling overhead, not a regression — so read the structural columns instead."
     }
         "E16" => {
         "The concurrent serving core: many caller threads route through ONE shared \

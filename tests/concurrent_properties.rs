@@ -6,11 +6,15 @@
 //!    and the `push`/`drain_ready`/`flush` path (loads, gap trajectory, shard
 //!    stats and batch counts all agree) — including with releases
 //!    interleaved, and under any `PBA_THREADS` worker count (drain
-//!    parallelism only partitions index ranges).
+//!    parallelism only partitions index ranges). The batched `route_many`
+//!    surface joins the same contract: a grouped call is bit-identical to a
+//!    loop of `route` calls on *both* engines, for every group size.
 //! 2. **k-thread conservation** — under concurrent route/release churn from
-//!    many caller threads, no ball is lost or duplicated: conservation holds
-//!    at quiescence, open tickets equal routed − released, every live ticket
-//!    releases exactly once and double releases are rejected.
+//!    many caller threads (one-at-a-time *and* grouped `route_many` calls,
+//!    with membership staging interleaved), no ball is lost or duplicated:
+//!    conservation holds at quiescence, open tickets equal routed −
+//!    released, every live ticket releases exactly once, double releases are
+//!    rejected, and boundaries fire once per `batch_size` routed balls.
 //! 3. **Snapshot-epoch monotonicity** — epochs observed by concurrent
 //!    readers never go backwards, equal the batch-boundary count at
 //!    quiescence, and fire once per `batch_size` routed balls.
@@ -92,6 +96,95 @@ fn one_thread_route_bit_identity_all_policies_and_weights() {
             assert_eq!(concurrent.flush(), classic.flush());
             assert_eq!(concurrent.gap_trajectory(), classic.gap_trajectory());
             assert!(concurrent.conserves_balls() && classic.conserves_balls());
+        }
+    }
+}
+
+/// Batched bit-identity: `route_many` groups of every shape — singletons,
+/// misaligned odd sizes, bigger than a whole batch — match a loop of
+/// `route` calls ball for ball on both engines, for all 6 policies ×
+/// uniform/tiered weights × drain threads {1, 4}, with releases interleaved
+/// between groups. Placements, ticket ids, loads, gap trajectories, shard
+/// stats and batch counts must all agree exactly.
+#[test]
+fn route_many_is_bit_identical_to_looped_route_on_both_engines() {
+    let n = 64usize;
+    let sizes = [1usize, 3, 8, 17, 33, 2];
+    for policy in POLICIES {
+        for weights in [BinWeights::Uniform, tier_mix(n)] {
+            for threads in [1usize, 4] {
+                let cfg = StreamConfig::new(n)
+                    .policy(policy)
+                    .batch_size(32)
+                    .seed(41)
+                    .num_threads(threads)
+                    .weights(weights.clone());
+                let mut looped = StreamAllocator::new(cfg.clone());
+                let mut grouped = StreamAllocator::new(cfg.clone());
+                let concurrent = ConcurrentRouter::new(cfg);
+                let keys = keys(32 * 10 + 13, 19);
+                let mut held_l = Vec::new();
+                let mut held_g = Vec::new();
+                let mut held_c = Vec::new();
+                let mut cursor = 0usize;
+                let mut wave = 0usize;
+                while cursor < keys.len() {
+                    let take = sizes[wave % sizes.len()].min(keys.len() - cursor);
+                    let group = &keys[cursor..cursor + take];
+                    for &key in group {
+                        held_l.push(looped.route(key).expect("infallible"));
+                    }
+                    let g = grouped.route_many(group).expect("infallible");
+                    let c = concurrent.route_many(group).expect("infallible");
+                    assert_eq!(g.len(), take);
+                    assert_eq!(c.len(), take);
+                    for i in 0..take {
+                        let l = &held_l[cursor + i];
+                        assert_eq!(
+                            g[i].bin,
+                            l.bin,
+                            "stream group diverged: {} {} threads={threads} ball {}",
+                            policy.name(),
+                            weights.name(),
+                            cursor + i
+                        );
+                        assert_eq!(
+                            c[i].bin,
+                            l.bin,
+                            "concurrent group diverged: {} {} threads={threads} ball {}",
+                            policy.name(),
+                            weights.name(),
+                            cursor + i
+                        );
+                        assert_eq!(g[i].ticket.id(), l.ticket.id());
+                        assert_eq!(c[i].ticket.id(), l.ticket.id());
+                    }
+                    held_g.extend(g);
+                    held_c.extend(c);
+                    // Retire an earlier ball every few groups so the grouped
+                    // engines see departures between calls too.
+                    if wave % 4 == 3 {
+                        let at = cursor / 2;
+                        looped.release(held_l[at].ticket).expect("live ticket");
+                        grouped.release(held_g[at].ticket).expect("live ticket");
+                        concurrent.release(held_c[at].ticket).expect("live ticket");
+                    }
+                    cursor += take;
+                    wave += 1;
+                }
+                assert_eq!(grouped.loads(), looped.loads(), "{}", policy.name());
+                assert_eq!(concurrent.loads(), looped.loads(), "{}", policy.name());
+                assert_eq!(grouped.gap_trajectory(), looped.gap_trajectory());
+                assert_eq!(concurrent.gap_trajectory(), looped.gap_trajectory());
+                assert_eq!(grouped.shard_stats(), looped.shard_stats());
+                assert_eq!(concurrent.shard_stats(), looped.shard_stats());
+                assert_eq!(concurrent.batches(), looped.snapshot().batches);
+                let flushed = looped.flush();
+                assert_eq!(grouped.flush(), flushed);
+                assert_eq!(concurrent.flush(), flushed);
+                assert!(concurrent.conserves_balls());
+                assert!(grouped.conserves_balls() && looped.conserves_balls());
+            }
         }
     }
 }
@@ -324,5 +417,87 @@ proptest! {
         prop_assert_eq!(concurrent.gap_trajectory(), classic.gap_trajectory());
         prop_assert_eq!(concurrent.batches(), classic.snapshot().batches);
         prop_assert!(concurrent.conserves_balls());
+    }
+
+    /// k callers interleave grouped `route_many` calls, releases and
+    /// membership staging under arbitrary shapes; for every schedule the
+    /// ledger reconciles exactly at quiescence and boundaries fire once per
+    /// `batch_size` routed balls (membership staging never adds or swallows
+    /// a boundary).
+    #[test]
+    fn k_caller_route_many_churn_conserves_and_fires_boundaries(
+        callers in 2u64..5,
+        waves in 4usize..10,
+        group_max in 1usize..48,
+        batch in 8usize..96,
+        seed in 0u64..1_000,
+    ) {
+        let n = 32usize;
+        let router = ConcurrentRouter::new(
+            StreamConfig::new(n)
+                .policy(Policy::TwoChoice)
+                .batch_size(batch)
+                .seed(seed)
+                .reserve_bins(4),
+        );
+        let seeds = SeedSeq::new(seed, 0xface);
+        let kept: Vec<Ticket> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..callers)
+                .map(|t| {
+                    let router = router.clone();
+                    let seeds = &seeds;
+                    scope.spawn(move || {
+                        let mut rng = seeds.rng(t);
+                        let mut kept = Vec::new();
+                        for wave in 0..waves {
+                            let size = (rng.next_u64() as usize % group_max) + 1;
+                            let group: Vec<u64> =
+                                (0..size).map(|_| rng.next_u64()).collect();
+                            let placements =
+                                router.route_many(&group).expect("infallible");
+                            assert_eq!(placements.len(), size);
+                            for (i, placement) in placements.into_iter().enumerate() {
+                                if (wave + i) % 3 == 0 {
+                                    kept.push(placement.ticket);
+                                } else {
+                                    router.release(placement.ticket).expect("fresh ticket");
+                                }
+                            }
+                            // Interleave membership churn: drains stay inside
+                            // the low half of the slots so active bins never
+                            // run out; adds beyond the reserve are rejected
+                            // (and counted) at the boundary, not dropped.
+                            if wave % 3 == t as usize % 3 {
+                                let plan = if wave % 2 == 0 {
+                                    MembershipPlan::new()
+                                        .drain((rng.next_u64() % (n as u64 / 2)) as u32)
+                                } else {
+                                    MembershipPlan::new().add(1.0)
+                                };
+                                router.stage_membership(plan);
+                            }
+                        }
+                        kept
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("caller thread"))
+                .collect()
+        });
+        // Quiescent, pre-flush: one boundary per `batch_size` routed balls.
+        let stats = router.stats();
+        prop_assert_eq!(stats.batches, stats.routed / batch as u64);
+        prop_assert!(router.conserves_balls());
+        prop_assert_eq!(router.resident_tickets() as u64, stats.routed - stats.released);
+        prop_assert_eq!(router.resident_tickets(), kept.len());
+        let per_bin: usize = (0..router.capacity()).map(|b| router.tickets_in(b)).sum();
+        prop_assert_eq!(per_bin, kept.len(), "ledger shards agree with total");
+        for ticket in kept {
+            router.release(ticket).expect("kept tickets release once");
+            prop_assert!(router.release(ticket).is_err(), "double release rejected");
+        }
+        prop_assert!(router.conserves_balls());
     }
 }

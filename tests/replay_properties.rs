@@ -49,6 +49,10 @@ fn codec_round_trips_byte_identically() {
 fn committed_trace_matches_its_canonical_constructor() {
     assert_eq!(committed("mini.trace"), Trace::mini().encode());
     assert_eq!(
+        committed("mini-batched.trace"),
+        Trace::mini_batched().encode()
+    );
+    assert_eq!(
         committed("mini-reweighted.trace"),
         Trace::mini_reweighted().encode()
     );
@@ -56,6 +60,38 @@ fn committed_trace_matches_its_canonical_constructor() {
         committed("mini-membership.trace"),
         Trace::mini_membership().encode()
     );
+}
+
+#[test]
+fn committed_batched_golden_matches_a_grouped_replay() {
+    // The `mini-batched` golden is blessed through `route_many` with
+    // `route_group = 7`; re-rendering rows through the grouped surface must
+    // hit the committed lines exactly, and the route-by-route path must hit
+    // the *same* lines — the bit-identity contract of the batched surface.
+    let trace = Trace::decode(&committed("mini-batched.trace")).expect("v1 trace decodes");
+    let snap = committed("mini-batched.snap");
+    for policy in [Policy::TwoChoice, Policy::DChoice(3)] {
+        for threads in [0usize, 4] {
+            for group in [0usize, 7] {
+                let config = ReplayConfig::stream(policy)
+                    .num_threads(threads)
+                    .route_group(group);
+                let outcome = replay(&trace, &config).expect("stream replay");
+                let line = golden_line(&outcome, &policy.name(), "uniform", threads);
+                assert!(
+                    snap.lines().any(|l| l == line),
+                    "batched golden lacks the line just produced (group={group}):\n  {line}"
+                );
+            }
+        }
+        let outcome = replay(&trace, &ReplayConfig::concurrent(policy, 1).route_group(7))
+            .expect("concurrent1 grouped replay");
+        let line = golden_line(&outcome, &policy.name(), "uniform", 0);
+        assert!(
+            snap.lines().any(|l| l == line),
+            "batched golden lacks the concurrent1 line:\n  {line}"
+        );
+    }
 }
 
 #[test]

@@ -4,21 +4,24 @@
 //! the same names (`prelude::*`, `par_iter`, `par_chunks_mut`, `zip`,
 //! `filter_map`, `for_each`, `collect`, `collect_into_vec`,
 //! `ThreadPoolBuilder`) with a real data-parallel implementation on top of a
-//! **persistent worker pool** (the `pool` module): inputs are cut into one
-//! contiguous chunk per worker, chunk jobs are injected into a lazily-started
-//! global pool of long-lived threads (or the pool installed by
+//! **persistent work-stealing pool** (the `pool` module): inputs are cut into
+//! several contiguous chunks per worker (so an idle thread can steal queued
+//! chunks from a busy sibling's deque), chunk jobs are injected into a
+//! lazily-started global pool of long-lived threads (or the pool installed by
 //! [`ThreadPool::install`]), and results are assembled in input order, so
 //! every operation is deterministic and produces exactly what the sequential
-//! execution would — for any worker count.
+//! execution would — for any worker count. Stealing redistributes which
+//! thread *executes* a chunk, never where its results land: each chunk owns a
+//! pre-carved window of the output.
 //!
 //! The worker count comes from, in order: the innermost installed
 //! [`ThreadPool`], the `PBA_THREADS` environment variable, the machine's
 //! available parallelism. `PBA_THREADS` exists so CI can force the parallel
 //! code paths on single-core containers.
 //!
-//! Differences from real rayon: chunking is static (one contiguous piece per
-//! worker, no work stealing), and only the combinators this workspace needs
-//! are provided.
+//! Differences from real rayon: splitting is eager (a fixed fan-out chosen up
+//! front rather than adaptive join-based splitting), and only the combinators
+//! this workspace needs are provided.
 
 #![deny(unsafe_code)]
 
@@ -28,12 +31,18 @@ mod pool;
 
 pub use pool::{ThreadPool, ThreadPoolBuildError, ThreadPoolBuilder};
 
-/// Below this many items per prospective worker, run sequentially. Dispatching
-/// a chunk to the persistent pool costs a boxed job plus a channel send (on
-/// the order of a microsecond) — far below the ~30 µs a per-call thread spawn
-/// used to cost — so the cutoff sits where per-item work of ~100 ns amortises
-/// the dispatch, not the spawn.
+/// Below this many items per chunk, stop splitting. Dispatching a chunk to
+/// the persistent pool costs a boxed job plus a deque push and a token send
+/// (on the order of a microsecond) — far below the ~30 µs a per-call thread
+/// spawn used to cost — so the cutoff sits where per-item work of ~100 ns
+/// amortises the dispatch, not the spawn.
 const MIN_ITEMS_PER_WORKER: usize = 256;
+
+/// Chunks per worker thread when the input is large enough: oversplitting
+/// gives the work-stealing pool slack to rebalance when chunk costs are
+/// uneven (a thread whose chunks finish early steals queued chunks from a
+/// busy sibling instead of idling at the batch barrier).
+const CHUNKS_PER_WORKER: usize = 4;
 
 /// Number of worker threads parallel operations from the current thread would
 /// use (innermost installed pool, else `PBA_THREADS`, else core count).
@@ -45,13 +54,22 @@ fn worker_count(items: usize) -> usize {
     worker_count_min(items, MIN_ITEMS_PER_WORKER)
 }
 
-/// Chunk count for `items` under a `min_len` cutoff. Inside a pool task this
-/// is always 1: nested parallel operations run inline on their worker.
+/// Chunk count for `items` under a `min_len` per-chunk cutoff: up to
+/// [`CHUNKS_PER_WORKER`] chunks per thread, never so many that a chunk drops
+/// below `min_len` items. Inside a pool task this is always 1: nested
+/// parallel operations run inline on their worker. A 1-thread pool also gets
+/// 1 (splitting without a second thread is pure overhead).
 fn worker_count_min(items: usize, min_len: usize) -> usize {
     if pool::in_worker() {
         return 1;
     }
-    current_num_threads().min(items / min_len.max(1)).max(1)
+    let threads = current_num_threads();
+    if threads <= 1 {
+        return 1;
+    }
+    (threads * CHUNKS_PER_WORKER)
+        .min(items / min_len.max(1))
+        .max(1)
 }
 
 /// Parallel shared-reference iterator over a slice (the result of `par_iter`).
@@ -659,6 +677,32 @@ mod tests {
             assert_eq!(got, expected, "threads = {threads}");
             drop(pool);
         }
+    }
+
+    #[test]
+    fn uneven_chunks_rebalance_by_stealing() {
+        // One slow chunk must not serialize the batch: the slow worker's
+        // remaining queued chunks get stolen by idle threads (or by the
+        // caller's help loop) while it sleeps. 16 single-item chunks over
+        // 3 worker deques leave the sleeper holding 4 queued chunks that
+        // only theft can finish within the sleep window.
+        let pool = four();
+        let before = pool.steal_count();
+        let xs: Vec<u64> = (0..16).collect();
+        let total = std::sync::atomic::AtomicU64::new(0);
+        pool.install(|| {
+            xs.par_iter().with_min_len(1).for_each(|&x| {
+                if x == 1 {
+                    std::thread::sleep(std::time::Duration::from_millis(25));
+                }
+                total.fetch_add(x + 1, std::sync::atomic::Ordering::Relaxed);
+            })
+        });
+        assert_eq!(total.into_inner(), 16 * 17 / 2);
+        assert!(
+            pool.steal_count() > before,
+            "no chunk was stolen off the sleeping worker's deque"
+        );
     }
 
     #[test]

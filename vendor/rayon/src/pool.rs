@@ -1,12 +1,22 @@
-//! The persistent worker pool behind every parallel operation of this shim.
+//! The persistent work-stealing pool behind every parallel operation of this
+//! shim.
 //!
-//! Workers are long-lived OS threads parked on a [`crossbeam::channel`]
-//! receiver (the shim channel is MPMC: every worker clones the same receiver
-//! and competes for tasks). A parallel operation cuts its input into one
-//! contiguous chunk per prospective worker, boxes one job per chunk, injects
-//! all but the first into the pool, and runs the first on the calling thread —
-//! so an operation with `w` chunks uses the caller plus `w − 1` workers, and
-//! dispatch costs a channel send instead of an OS thread spawn.
+//! Workers are long-lived OS threads, each owning a deque of tasks. A
+//! parallel operation cuts its input into several contiguous chunks per
+//! prospective worker (oversplitting, so uneven chunk costs can rebalance),
+//! boxes one job per chunk, round-robins all but the first across the worker
+//! deques, and runs the first on the calling thread. Workers pop their own
+//! deque from the front and, when it runs dry, **steal** from siblings' backs;
+//! the caller joins in, stealing queued tasks instead of idling while it waits
+//! for its batch. Wake-ups travel over a [`crossbeam::channel`] of unit
+//! tokens — exactly one token per injected task, so a parked worker wakes only
+//! when a task exists and every injected task is covered by some wake-up.
+//! Dispatch costs a deque push plus a token send instead of an OS thread
+//! spawn.
+//!
+//! Stealing moves *execution* between threads, never *results*: a chunk job
+//! writes into its own pre-carved output window (or part vector), so which
+//! thread runs it cannot affect what any operation returns.
 //!
 //! ## Lifetime erasure
 //!
@@ -33,8 +43,10 @@
 
 use std::any::Any;
 use std::cell::{Cell, RefCell};
+use std::collections::VecDeque;
 use std::num::NonZeroUsize;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 
 use crossbeam::channel;
@@ -132,11 +144,76 @@ impl Latch {
     }
 }
 
-/// Shared state of one pool: the task injector plus the worker handles.
+/// The task store of one pool: per-worker deques plus the steal counter.
+/// Shared by the workers, the submitting callers, and [`PoolCore`].
+struct Injector {
+    /// One deque per worker thread (empty vec for a 1-thread pool). Owners
+    /// pop the front; everyone else steals from the back, so an owner and a
+    /// thief racing on a near-empty deque contend on the lock, not on the
+    /// same task twice.
+    deques: Vec<Mutex<VecDeque<Task>>>,
+    /// Round-robin cursor for task placement.
+    next: AtomicUsize,
+    /// Tasks executed by a thread that does not own the deque they were
+    /// queued on (including caller help-loop executions). Diagnostic only.
+    steals: AtomicU64,
+}
+
+impl Injector {
+    fn new(workers: usize) -> Self {
+        Self {
+            deques: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
+            next: AtomicUsize::new(0),
+            steals: AtomicU64::new(0),
+        }
+    }
+
+    /// Queues one task on the next deque in round-robin order.
+    fn push(&self, task: Task) {
+        let i = self.next.fetch_add(1, Ordering::Relaxed) % self.deques.len();
+        self.deques[i]
+            .lock()
+            .expect("pool deque lock")
+            .push_back(task);
+    }
+
+    /// Takes one queued task: the owner's own deque first (front), then one
+    /// full sweep over the other deques (back = stealing). `own` is `None`
+    /// for threads without a deque (submitting callers helping out). Returns
+    /// `None` only after a sweep in which every other deque was observed
+    /// empty.
+    fn take(&self, own: Option<usize>) -> Option<Task> {
+        if let Some(w) = own {
+            if let Some(task) = self.deques[w].lock().expect("pool deque lock").pop_front() {
+                return Some(task);
+            }
+        }
+        let n = self.deques.len();
+        let start = own.map_or(0, |w| w + 1);
+        for i in 0..n {
+            let d = (start + i) % n;
+            if own == Some(d) {
+                continue;
+            }
+            if let Some(task) = self.deques[d].lock().expect("pool deque lock").pop_back() {
+                self.steals.fetch_add(1, Ordering::Relaxed);
+                return Some(task);
+            }
+        }
+        None
+    }
+}
+
+/// Shared state of one pool: the wake-token channel, the task injector, and
+/// the worker handles.
 pub(crate) struct PoolCore {
-    /// Task injector; `None` once the pool has been shut down. Workers exit
-    /// when the sender is dropped *and* the queue is drained.
-    tx: Mutex<Option<channel::Sender<Task>>>,
+    /// Wake-token sender; `None` once the pool has been shut down. Exactly
+    /// one token is sent per injected task (after the task is visible in its
+    /// deque), so a worker waking on a token either finds work or learns a
+    /// sibling already claimed it. Workers exit when the sender is dropped.
+    tx: Mutex<Option<channel::Sender<()>>>,
+    /// The per-worker task deques.
+    injector: Arc<Injector>,
     /// Worker join handles, reaped by [`ThreadPool::drop`].
     handles: Mutex<Vec<std::thread::JoinHandle<()>>>,
     /// The configured thread count (caller + workers).
@@ -148,17 +225,30 @@ impl PoolCore {
     /// remaining lane; a 1-thread pool runs everything inline and spawns
     /// nothing).
     fn start(threads: usize) -> Self {
-        let (tx, rx) = channel::unbounded::<Task>();
-        let handles: Vec<_> = (1..threads)
-            .map(|i| {
+        let workers = threads.saturating_sub(1);
+        let injector = Arc::new(Injector::new(workers));
+        let (tx, rx) = channel::unbounded::<()>();
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
                 let rx = rx.clone();
+                let injector = Arc::clone(&injector);
                 std::thread::Builder::new()
-                    .name(format!("pba-pool-worker-{i}"))
+                    .name(format!("pba-pool-worker-{w}"))
                     .spawn(move || {
                         IN_WORKER.with(|flag| flag.set(true));
                         // Tasks catch their own panics, so this loop only ends
-                        // on disconnect (pool shutdown).
-                        while let Ok(task) = rx.recv() {
+                        // on disconnect (pool shutdown). Each wake-up drains:
+                        // own deque first, then steals, until a full sweep
+                        // finds nothing.
+                        while rx.recv().is_ok() {
+                            while let Some(task) = injector.take(Some(w)) {
+                                task();
+                            }
+                        }
+                        // Shutdown sweep: no submission can be in flight
+                        // (`run_jobs` never returns before its batch drains),
+                        // but leave nothing behind regardless.
+                        while let Some(task) = injector.take(Some(w)) {
                             task();
                         }
                     })
@@ -167,6 +257,7 @@ impl PoolCore {
             .collect();
         Self {
             tx: Mutex::new(Some(tx)),
+            injector,
             handles: Mutex::new(handles),
             threads,
         }
@@ -194,9 +285,12 @@ fn current_core() -> Arc<PoolCore> {
 }
 
 /// Runs a batch of chunk jobs to completion: the first job on the calling
-/// thread, the rest on pool workers. Blocks until every job has finished;
-/// re-raises the first panic. Falls back to fully inline execution for
-/// single-job batches and when called from inside a pool task.
+/// thread, the rest queued on the pool's worker deques. After its own job the
+/// caller does not idle — it steals queued tasks (its own batch's or any
+/// other's) until the deques run dry, then blocks on the batch latch. Blocks
+/// until every job has finished; re-raises the first panic. Falls back to
+/// fully inline execution for single-job batches and when called from inside
+/// a pool task.
 pub(crate) fn run_jobs(mut jobs: Vec<Job<'_>>) {
     if jobs.len() <= 1 || in_worker() {
         for job in jobs {
@@ -207,6 +301,7 @@ pub(crate) fn run_jobs(mut jobs: Vec<Job<'_>>) {
     let caller_job = jobs.remove(0);
     let core = current_core();
     let latch = Arc::new(Latch::new(jobs.len()));
+    let injector = Arc::clone(&core.injector);
     {
         let tx = core.tx.lock().expect("pool injector lock");
         for job in jobs {
@@ -223,15 +318,17 @@ pub(crate) fn run_jobs(mut jobs: Vec<Job<'_>>) {
                 latch.complete(panic);
             });
             match tx.as_ref() {
-                // A worker picks the task up; `send` only fails if every
-                // worker already exited (pool shut down mid-use), in which
-                // case the task comes back in the error and runs inline.
-                Some(tx) => {
-                    if let Err(channel::SendError(task)) = tx.send(task) {
-                        task();
-                    }
+                Some(tx) if !injector.deques.is_empty() => {
+                    // Task first, token second: a worker woken by the token
+                    // is guaranteed to see the task (or see that a sibling
+                    // took it). A failed send means the workers are gone
+                    // (pool shut down mid-use) — the help loop below will
+                    // execute the queued task on this thread.
+                    injector.push(task);
+                    let _ = tx.send(());
                 }
-                None => task(),
+                // No workers to hand the task to: run it inline.
+                _ => task(),
             }
         }
     }
@@ -247,6 +344,11 @@ pub(crate) fn run_jobs(mut jobs: Vec<Job<'_>>) {
 
     let guard = WaitGuard(&latch);
     caller_job();
+    // Help instead of idling: steal queued tasks until a full sweep finds
+    // nothing, then wait out the stragglers other threads are running.
+    while let Some(task) = injector.take(None) {
+        task();
+    }
     drop(guard);
     if let Some(payload) = latch.take_panic() {
         resume_unwind(payload);
@@ -326,6 +428,14 @@ impl ThreadPool {
     /// The configured thread count.
     pub fn current_num_threads(&self) -> usize {
         self.core.threads
+    }
+
+    /// Number of tasks this pool executed on a thread other than the one
+    /// whose deque they were queued on (worker-to-worker steals plus caller
+    /// help-loop executions). A diagnostic for load-balance tests and
+    /// benchmarks; not part of the real rayon API.
+    pub fn steal_count(&self) -> u64 {
+        self.core.injector.steals.load(Ordering::Relaxed)
     }
 }
 
