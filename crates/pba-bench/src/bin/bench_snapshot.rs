@@ -1,9 +1,12 @@
 //! Writes the committed benchmark snapshots: `BENCH_e17.json` (the E17
-//! observability/serving table plus the structural columns of E15 and E16)
-//! and `BENCH_route.json` (the route-hot-path perf trajectory: `route` vs
+//! observability/serving table plus the structural columns of E15 and E16),
+//! `BENCH_route.json` (the route-hot-path perf trajectory: `route` vs
 //! grouped `route_many` ns/op at 1/2/4 callers, plus the
-//! `route_instrumented_vs_bare` overhead guard), so the serving-layer
-//! numbers the repo ships are regenerable with one command.
+//! `route_instrumented_vs_bare` overhead guard) and `BENCH_serve.json`
+//! (the serving-path trajectory: zero-alloc codec ns/line, reactor req/s by
+//! connection count, `release` vs grouped `release_many` ns/op, and the
+//! old-vs-new front-end guard), so the serving-layer numbers the repo ships
+//! are regenerable with one command.
 //!
 //! Usage:
 //!   cargo run --release -p pba-bench --bin bench_snapshot            # print to stdout
@@ -16,13 +19,14 @@
 //! so treat them as smoke numbers and lean on the structural columns
 //! (conservation, batch cadence, drops, bit-identity), which must reproduce
 //! exactly. The snapshots say so in their own `caveat` fields. `--check`
-//! encodes that split: it recomputes only the **structural fingerprint** of
-//! the route tables (workload shape + invariant columns, no timings) and
-//! fails if it drifted from the committed `BENCH_route.json`.
+//! encodes that split: it recomputes only the **structural fingerprints** of
+//! the route and serve tables (workload shape + invariant columns, no
+//! timings) and fails if either drifted from the committed
+//! `BENCH_route.json` / `BENCH_serve.json`.
 
 use std::process::ExitCode;
 
-use pba_bench::route_bench;
+use pba_bench::{route_bench, serve_bench};
 use pba_stats::Table;
 
 /// Escapes a string for a JSON string literal (the workspace has no JSON
@@ -126,30 +130,49 @@ fn main() -> ExitCode {
     let guard = route_bench::route_metrics_guard(quick);
     let fingerprint = route_bench::structural_fingerprint(&[&route, &guard]);
 
+    let codec = serve_bench::codec_cost(quick);
+    let serve = serve_bench::serve_throughput(quick);
+    let release = serve_bench::release_hot_path(quick);
+    let serve_guard = serve_bench::server_guard(quick);
+    let serve_fingerprint =
+        serve_bench::structural_fingerprint(&[&codec, &serve, &release, &serve_guard]);
+
     if check {
         // Structural drift only: workload shape and invariant columns must
-        // match the committed BENCH_route.json; timings are free to move.
-        let path = workspace_path("BENCH_route.json");
-        let committed = match std::fs::read_to_string(&path) {
-            Ok(committed) => committed,
-            Err(e) => {
-                eprintln!("missing {} — run --write ({e})", path.display());
-                return ExitCode::FAILURE;
+        // match the committed snapshots; timings are free to move.
+        let mut ok = true;
+        for (name, fresh) in [
+            ("BENCH_route.json", fingerprint.as_str()),
+            ("BENCH_serve.json", serve_fingerprint.as_str()),
+        ] {
+            let path = workspace_path(name);
+            let committed = match std::fs::read_to_string(&path) {
+                Ok(committed) => committed,
+                Err(e) => {
+                    eprintln!("missing {} — run --write ({e})", path.display());
+                    ok = false;
+                    continue;
+                }
+            };
+            let Some(committed_fp) = committed_fingerprint(&committed) else {
+                eprintln!("{} has no structural field — run --write", path.display());
+                ok = false;
+                continue;
+            };
+            if committed_fp == fresh {
+                println!("ok {} (structural fingerprint matches)", path.display());
+            } else {
+                eprintln!(
+                    "structural drift in {}:\n  committed: {committed_fp}\n  fresh:     {fresh}\n\
+                     rerun with --write if the change is intended",
+                    path.display()
+                );
+                ok = false;
             }
-        };
-        let Some(committed_fp) = committed_fingerprint(&committed) else {
-            eprintln!("{} has no structural field — run --write", path.display());
-            return ExitCode::FAILURE;
-        };
-        return if committed_fp == fingerprint {
-            println!("ok {} (structural fingerprint matches)", path.display());
+        }
+        return if ok {
             ExitCode::SUCCESS
         } else {
-            eprintln!(
-                "structural drift in {}:\n  committed: {committed_fp}\n  fresh:     {fingerprint}\n\
-                 rerun with --write if the change is intended",
-                path.display()
-            );
             ExitCode::FAILURE
         };
     }
@@ -164,11 +187,22 @@ fn main() -> ExitCode {
         Some(&fingerprint),
         &[("ROUTE", &route), ("GUARD", &guard)],
     );
+    let serve_json = snapshot_json(
+        full,
+        Some(&serve_fingerprint),
+        &[
+            ("CODEC", &codec),
+            ("SERVE", &serve),
+            ("RELEASE", &release),
+            ("GUARD", &serve_guard),
+        ],
+    );
 
     if write {
         for (name, body) in [
             ("BENCH_e17.json", &serving),
             ("BENCH_route.json", &route_json),
+            ("BENCH_serve.json", &serve_json),
         ] {
             let path = workspace_path(name);
             std::fs::write(&path, body)
@@ -178,6 +212,7 @@ fn main() -> ExitCode {
     } else {
         print!("{serving}");
         print!("{route_json}");
+        print!("{serve_json}");
     }
     ExitCode::SUCCESS
 }

@@ -23,12 +23,18 @@
 //! `Trace::mini().encode()`.
 
 use std::fs;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::sync::{Arc, Mutex};
 
+use pba_model::rng::SplitMix64;
+use pba_model::router::RouterObserver;
 use pba_model::weights::BinWeights;
-use pba_replay::{diff_golden, golden_line, replay::replay, ReplayConfig, Trace};
-use pba_stream::Policy;
+use pba_net::{ReactorConfig, ReactorServer};
+use pba_replay::{diff_golden, golden_line, replay::replay, ReplayConfig, Trace, TraceRecorder};
+use pba_stream::{ConcurrentRouter, Policy, StreamConfig};
 
 fn golden_dir() -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../tests/golden")
@@ -52,7 +58,81 @@ fn traces() -> Vec<Trace> {
         Trace::mini_batched(),
         Trace::mini_reweighted(),
         Trace::mini_membership(),
+        mini_serving_trace(),
     ]
+}
+
+/// The serving-path golden: a [`TraceRecorder`] taps a live
+/// [`ReactorServer`] while one client drives a deterministic **pipelined**
+/// socket session — four windows of 16 `ROUTE`s (a contiguous run the
+/// reactor hands to `route_many`), each followed by a pipelined `RELEASE`
+/// run of that window's odd-offset tickets (a contiguous run for
+/// `release_many`). The client drains every window's replies before the
+/// next window, so TCP chunking cannot move a release across a window and
+/// the recorded event order is exactly the request order. In diff mode the
+/// session is re-run live: drift in the committed trace bytes means the
+/// serving path reordered or re-placed something.
+fn mini_serving_trace() -> Trace {
+    let (bins, batch, seed) = (16usize, 8usize, 11u64);
+    let recorder = Arc::new(Mutex::new(TraceRecorder::new()));
+    let router = ConcurrentRouter::new(StreamConfig::new(bins).batch_size(batch).seed(seed));
+    router.add_observer(Arc::clone(&recorder) as Arc<Mutex<dyn RouterObserver + Send>>);
+    let server = ReactorServer::start(
+        router,
+        ReactorConfig {
+            reactors: 1,
+            ..ReactorConfig::default()
+        },
+    )
+    .expect("bind loopback");
+    let raw = TcpStream::connect(server.local_addr()).expect("connect");
+    raw.set_nodelay(true).expect("nodelay");
+    let mut writer = raw.try_clone().expect("clone stream");
+    let mut reader = BufReader::new(raw);
+    let mut rng = SplitMix64::for_stream(seed, 0x5e12, 0);
+    let mut line = String::new();
+    for _window in 0..4 {
+        let mut request = String::new();
+        for _ in 0..16 {
+            use std::fmt::Write as _;
+            let _ = writeln!(request, "ROUTE {}", rng.next_u64());
+        }
+        writer.write_all(request.as_bytes()).expect("write routes");
+        let mut ids = Vec::with_capacity(16);
+        for _ in 0..16 {
+            line.clear();
+            assert_ne!(reader.read_line(&mut line).expect("route reply"), 0);
+            let id: u64 = line
+                .trim_end()
+                .rsplit(' ')
+                .next()
+                .and_then(|id| id.parse().ok())
+                .expect("OK <bin> <id>");
+            ids.push(id);
+        }
+        let mut request = String::new();
+        for id in ids.iter().skip(1).step_by(2) {
+            use std::fmt::Write as _;
+            let _ = writeln!(request, "RELEASE {id}");
+        }
+        writer
+            .write_all(request.as_bytes())
+            .expect("write releases");
+        for _ in 0..8 {
+            line.clear();
+            assert_ne!(reader.read_line(&mut line).expect("release reply"), 0);
+            assert!(line.starts_with("OK "), "release replies OK");
+        }
+    }
+    drop(writer);
+    drop(reader);
+    server.shutdown();
+    let trace = recorder
+        .lock()
+        .expect("recorder")
+        .to_trace("mini-serving", bins, batch, seed);
+    assert_eq!(trace.arrivals(), 64, "the session routed 64 balls");
+    trace
 }
 
 /// Renders the full deterministic matrix for one trace.

@@ -16,13 +16,14 @@
 //!   `tests/golden/` (and regenerates them with `--bless`).
 //!
 //! The library part hosts small shared helpers for the binaries plus the
-//! [`route_bench`] table builders behind the committed `BENCH_route.json`
-//! route-perf trajectory.
+//! [`route_bench`] and [`serve_bench`] table builders behind the committed
+//! `BENCH_route.json` / `BENCH_serve.json` perf trajectories.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod route_bench;
+pub mod serve_bench;
 
 use pba_stats::Table;
 

@@ -171,6 +171,19 @@ pub trait Router {
     /// Releases a previously issued ticket (the ball departs its bin).
     fn release(&mut self, ticket: Ticket) -> Result<(), RouteError>;
 
+    /// Releases a group of tickets — the departure-side twin of
+    /// [`Router::route_many`]. Observably equivalent to calling
+    /// [`Router::release`] once per ticket in order: engines with a native
+    /// batched path amortize per-release overhead (ledger passes, counter
+    /// bumps) across the group while staying **bit-identical** to the loop.
+    ///
+    /// On error the group stops at the failing ticket: releases already
+    /// committed stay committed (same as the loop the default impl runs),
+    /// and the error names the ticket that failed.
+    fn release_many(&mut self, tickets: &[Ticket]) -> Result<(), RouteError> {
+        tickets.iter().try_for_each(|&ticket| self.release(ticket))
+    }
+
     /// Current per-bin loads.
     fn loads(&self) -> Vec<u32>;
 
@@ -216,6 +229,24 @@ pub trait ConcurrentRouter: Send + Sync {
 
     /// Releases a previously issued ticket from any thread.
     fn release(&self, ticket: Ticket) -> Result<(), RouteError>;
+
+    /// Releases a group of tickets from any thread — the departure-side twin
+    /// of [`ConcurrentRouter::route_many`]. Observably equivalent to calling
+    /// [`ConcurrentRouter::release`] once per ticket by the same caller;
+    /// native implementations amortize the per-release ledger shard lock
+    /// (one pass per touched shard via `SharedTicketLedger::redeem_many`),
+    /// the per-bin load decrement (one grouped decrement per distinct bin)
+    /// and the counter bumps (whole-group adds) while a single caller stays
+    /// bit-identical to the one-at-a-time path. With `k` callers the group's
+    /// departures may interleave with other callers' exactly as individual
+    /// releases would.
+    ///
+    /// On error the group stops at the failing ticket: releases already
+    /// committed stay committed (same as the loop the default impl runs),
+    /// and the error names the ticket that failed.
+    fn release_many(&self, tickets: &[Ticket]) -> Result<(), RouteError> {
+        tickets.iter().try_for_each(|&ticket| self.release(ticket))
+    }
 
     /// Current per-bin loads.
     fn loads(&self) -> Vec<u32>;
@@ -422,6 +453,14 @@ impl LedgerInner {
 
     /// Removes the placement `(id, bin)` if resident; returns whether it was.
     fn redeem(&mut self, id: u64, bin: usize) -> bool {
+        self.redeem_slot(id, bin).is_some()
+    }
+
+    /// [`redeem`](Self::redeem) that reports the occupancy slot the ball
+    /// vacated — exactly what [`unredeem`](Self::unredeem) needs to undo the
+    /// removal bit for bit. The grouped ledger path commits with this and
+    /// rolls back on a mid-group failure.
+    fn redeem_slot(&mut self, id: u64, bin: usize) -> Option<u32> {
         match self.position.get(&id) {
             Some(&(recorded, slot)) if recorded as usize == bin => {
                 self.position.remove(&id);
@@ -431,10 +470,32 @@ impl LedgerInner {
                 if let Some(&moved) = list.get(slot as usize) {
                     self.position.insert(moved, (recorded, slot));
                 }
-                true
+                Some(slot)
             }
-            _ => false,
+            _ => None,
         }
+    }
+
+    /// Exact inverse of a successful [`redeem_slot`](Self::redeem_slot):
+    /// restores the ball to its original occupancy slot and moves the
+    /// swapped-in tail back to the end, so `by_bin` order and `position`
+    /// entries come back bit-identical. Inverses must be applied in reverse
+    /// redeem order (each undoes the most recent removal).
+    fn unredeem(&mut self, id: u64, bin: usize, slot: u32) {
+        let list = &mut self.by_bin[bin - self.start];
+        let at = slot as usize;
+        if at < list.len() {
+            // The removal swapped the then-tail into `slot`; send it back.
+            let tail = list[at];
+            list.push(tail);
+            list[at] = id;
+            self.position
+                .insert(tail, (bin as u32, list.len() as u32 - 1));
+        } else {
+            debug_assert_eq!(at, list.len(), "slot beyond the restored tail");
+            list.push(id);
+        }
+        self.position.insert(id, (bin as u32, slot));
     }
 
     fn len(&self) -> usize {
@@ -777,6 +838,84 @@ impl SharedTicketLedger {
             }
             last = Some(cur);
         }
+    }
+
+    /// Validates and removes a group of tickets **atomically**, returning
+    /// each ball's bin in input order — the grouped form of
+    /// [`SharedTicketLedger::redeem`]. Every *touched* shard is locked once
+    /// per group instead of once per ticket; under those locks the group is
+    /// committed in input order in a **single pass** (no separate validate
+    /// walk, no duplicate pre-scan — each ticket costs exactly the hash-map
+    /// work the one-at-a-time loop pays), so each bin's occupancy list ends
+    /// up exactly as the loop would leave it.
+    ///
+    /// Returns `None` — committing **nothing** — whenever the grouped fast
+    /// path cannot reproduce the loop's semantics exactly: a migration
+    /// record is live (redeem then needs the `moved` fallback) or some
+    /// ticket fails to redeem (forged, out of range, double-released, or an
+    /// in-group duplicate). A mid-group failure rolls the already-removed
+    /// prefix back via exact inverses applied in reverse order, restoring
+    /// occupancy lists and position entries bit for bit before the locks
+    /// drop. Callers fall back to looping [`SharedTicketLedger::redeem`],
+    /// which yields the loop's stop-at-first-error behaviour by
+    /// construction.
+    ///
+    /// Lock discipline: the touched shard locks are taken in ascending shard
+    /// order — the same order [`SharedTicketLedger::migrate`] uses for its
+    /// pair — and `moved` is never taken while they are held, so the
+    /// existing lock-order invariants carry over unchanged.
+    pub fn redeem_many(&self, tickets: &[Ticket]) -> Option<Vec<u32>> {
+        if tickets.is_empty() {
+            return Some(Vec::new());
+        }
+        if self.has_moved.load(std::sync::atomic::Ordering::Acquire) {
+            return None;
+        }
+        for ticket in tickets {
+            if ticket.realm != self.realm || ticket.bin() >= self.bins {
+                return None;
+            }
+        }
+        // Touched-shard set as a stack bitmask (shard counts are small —
+        // 8/16 in practice; a >64-way ledger falls back to the loop), read
+        // out in ascending shard order — the `migrate` lock order.
+        if self.shards.len() > u64::BITS as usize {
+            return None;
+        }
+        let mut touched_mask = 0u64;
+        for ticket in tickets {
+            touched_mask |= 1u64 << self.shard_index(ticket.bin());
+        }
+        let mut slot_of = [usize::MAX; u64::BITS as usize];
+        let mut guards = Vec::with_capacity(touched_mask.count_ones() as usize);
+        let mut rest = touched_mask;
+        while rest != 0 {
+            let shard = rest.trailing_zeros() as usize;
+            rest &= rest - 1;
+            slot_of[shard] = guards.len();
+            guards.push(self.shards[shard].lock().expect("ledger shard"));
+        }
+        // Commit in input order, recording each vacated slot. Any failure
+        // (forged, double-released, an in-group duplicate, or a racing
+        // `migrate` that beat us to the shard locks) unwinds the prefix with
+        // exact inverses — reverse order, so every `unredeem` undoes the
+        // most recent removal — leaving the ledger untouched.
+        let mut removed: Vec<u32> = Vec::with_capacity(tickets.len());
+        for ticket in tickets {
+            let bin = ticket.bin();
+            let guard = &mut guards[slot_of[self.shard_index(bin)]];
+            match guard.redeem_slot(ticket.id(), bin) {
+                Some(slot) => removed.push(slot),
+                None => {
+                    for (ticket, &slot) in tickets.iter().zip(removed.iter()).rev() {
+                        let bin = ticket.bin();
+                        guards[slot_of[self.shard_index(bin)]].unredeem(ticket.id(), bin, slot);
+                    }
+                    return None;
+                }
+            }
+        }
+        Some(tickets.iter().map(|t| t.bin() as u32).collect())
     }
 
     /// Number of resident (unreleased) tickets across all shards.

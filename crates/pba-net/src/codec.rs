@@ -1,0 +1,250 @@
+//! Zero-allocation line-protocol codec.
+//!
+//! The wire format is exactly the one `pba_stream::server` speaks (see its
+//! module docs for the verb table); what changes here is the *machinery*:
+//! requests are parsed straight from the byte slice of a complete line
+//! sitting in a reusable per-connection read buffer, and replies are
+//! rendered with a small itoa-style integer writer into a reusable reply
+//! buffer. In steady state neither direction allocates: no `String`, no
+//! `format!`, no per-request `Vec` — the counting-allocator test
+//! (`tests/zero_alloc_codec.rs`) pins that down.
+//!
+//! Divergence from the `&str` path is confined to inputs the old path could
+//! not even represent: a line that is not valid UTF-8 parses as
+//! [`Request::Bad`] (`ERR bad-request`) where `BufRead::read_line` would
+//! have errored and hung up the connection. On every `&str`-representable
+//! line — valid or malformed — the two parsers agree, property-tested in
+//! `tests/serving_properties.rs`.
+
+use pba_stream::MAX_ADD_TIER;
+pub use pba_stream::MAX_LINE_LEN;
+
+/// One parsed request line. Malformed lines — unknown verbs, garbage
+/// numbers, trailing tokens, out-of-range tiers — uniformly parse as
+/// [`Request::Bad`]: the reply is `ERR bad-request`, counted, never a
+/// hangup.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Request {
+    /// `ROUTE <key>` — route one ball.
+    Route {
+        /// The routing key.
+        key: u64,
+    },
+    /// `RELEASE <id>` — redeem the parked ticket of arrival `id`.
+    Release {
+        /// The arrival id the server parked the ticket under.
+        id: u64,
+    },
+    /// `FLUSH` — close the open batch.
+    Flush,
+    /// `STATS` — aggregate counters.
+    Stats,
+    /// `ADD <weight> [tier]` — stage commissioning one bin; `weight` is the
+    /// already-staged `weight·2^tier` (tier validated against
+    /// [`MAX_ADD_TIER`] during parsing).
+    Add {
+        /// The staged weight (`weight·2^tier`).
+        weight: f64,
+    },
+    /// `DRAIN <bin>` — stage draining a bin.
+    Drain {
+        /// The bin to drain.
+        bin: u32,
+    },
+    /// `REMOVE <bin>` — stage retiring a drained, empty bin.
+    Remove {
+        /// The bin to retire.
+        bin: u32,
+    },
+    /// `MIGRATE` — force-migrate residents off draining bins.
+    Migrate,
+    /// Anything else.
+    Bad,
+}
+
+/// Parses one complete request line (newline already stripped) from raw
+/// bytes. Mirrors the blocking server's `&str` parsing token for token —
+/// same whitespace splitting, same strict field validation — without
+/// allocating.
+pub fn parse_request(line: &[u8]) -> Request {
+    // The protocol is ASCII; `from_utf8` is a validation pass, not a copy.
+    // Invalid UTF-8 cannot be a well-formed request, so it is a bad request
+    // (the old `read_line` path could only hang up on such input).
+    let Ok(line) = std::str::from_utf8(line) else {
+        return Request::Bad;
+    };
+    let mut parts = line.split_ascii_whitespace();
+    match (parts.next(), parts.next(), parts.next()) {
+        (Some("ROUTE"), Some(key), None) => match key.parse() {
+            Ok(key) => Request::Route { key },
+            Err(_) => Request::Bad,
+        },
+        (Some("RELEASE"), Some(id), None) => match id.parse() {
+            Ok(id) => Request::Release { id },
+            Err(_) => Request::Bad,
+        },
+        (Some("ADD"), Some(weight), tier) => {
+            // `ADD <weight> [tier]`: every field validates strictly — a
+            // garbage weight, a non-integer tier, a tier above
+            // `MAX_ADD_TIER`, or trailing tokens are a bad request.
+            let tier = match tier {
+                None => Some(0u32),
+                Some(t) => t.parse::<u32>().ok().filter(|&t| t <= MAX_ADD_TIER),
+            };
+            match (weight.parse::<f64>(), tier, parts.next()) {
+                (Ok(weight), Some(tier), None) if weight.is_finite() && weight > 0.0 => {
+                    Request::Add {
+                        weight: weight * (1u64 << tier) as f64,
+                    }
+                }
+                _ => Request::Bad,
+            }
+        }
+        (Some("DRAIN"), Some(bin), None) => match bin.parse() {
+            Ok(bin) => Request::Drain { bin },
+            Err(_) => Request::Bad,
+        },
+        (Some("REMOVE"), Some(bin), None) => match bin.parse() {
+            Ok(bin) => Request::Remove { bin },
+            Err(_) => Request::Bad,
+        },
+        (Some("MIGRATE"), None, None) => Request::Migrate,
+        (Some("FLUSH"), None, None) => Request::Flush,
+        (Some("STATS"), None, None) => Request::Stats,
+        _ => Request::Bad,
+    }
+}
+
+/// Appends the decimal digits of `value` — an itoa-style writer: a stack
+/// scratch of at most 20 digits, one `extend_from_slice`, no heap traffic
+/// beyond the buffer the caller reuses.
+pub fn push_u64(buf: &mut Vec<u8>, value: u64) {
+    let mut digits = [0u8; 20];
+    let mut at = digits.len();
+    let mut rest = value;
+    loop {
+        at -= 1;
+        digits[at] = b'0' + (rest % 10) as u8;
+        rest /= 10;
+        if rest == 0 {
+            break;
+        }
+    }
+    buf.extend_from_slice(&digits[at..]);
+}
+
+/// `OK <bin> <id>\n` — the `ROUTE` reply.
+pub fn write_ok_route(buf: &mut Vec<u8>, bin: usize, id: u64) {
+    buf.extend_from_slice(b"OK ");
+    push_u64(buf, bin as u64);
+    buf.push(b' ');
+    push_u64(buf, id);
+    buf.push(b'\n');
+}
+
+/// `OK <bin>\n` — the `RELEASE` reply.
+pub fn write_ok_bin(buf: &mut Vec<u8>, bin: usize) {
+    buf.extend_from_slice(b"OK ");
+    push_u64(buf, bin as u64);
+    buf.push(b'\n');
+}
+
+/// `OK <count>\n` — the `FLUSH` / `MIGRATE` reply.
+pub fn write_ok_count(buf: &mut Vec<u8>, count: u64) {
+    buf.extend_from_slice(b"OK ");
+    push_u64(buf, count);
+    buf.push(b'\n');
+}
+
+/// `OK staged\n` — the membership-staging acknowledgement.
+pub fn write_ok_staged(buf: &mut Vec<u8>) {
+    buf.extend_from_slice(b"OK staged\n");
+}
+
+/// `OK routed <r> released <d> resident <n> batches <b>\n` — the `STATS`
+/// reply.
+pub fn write_stats(buf: &mut Vec<u8>, routed: u64, released: u64, resident: u64, batches: u64) {
+    buf.extend_from_slice(b"OK routed ");
+    push_u64(buf, routed);
+    buf.extend_from_slice(b" released ");
+    push_u64(buf, released);
+    buf.extend_from_slice(b" resident ");
+    push_u64(buf, resident);
+    buf.extend_from_slice(b" batches ");
+    push_u64(buf, batches);
+    buf.push(b'\n');
+}
+
+/// `ERR bad-request\n`.
+pub fn write_err_bad_request(buf: &mut Vec<u8>) {
+    buf.extend_from_slice(b"ERR bad-request\n");
+}
+
+/// `ERR unknown-ticket\n`.
+pub fn write_err_unknown_ticket(buf: &mut Vec<u8>) {
+    buf.extend_from_slice(b"ERR unknown-ticket\n");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_matches_the_verb_table() {
+        assert_eq!(parse_request(b"ROUTE 42"), Request::Route { key: 42 });
+        assert_eq!(parse_request(b"RELEASE 7"), Request::Release { id: 7 });
+        assert_eq!(parse_request(b"FLUSH"), Request::Flush);
+        assert_eq!(parse_request(b"STATS"), Request::Stats);
+        assert_eq!(parse_request(b"ADD 1.5"), Request::Add { weight: 1.5 });
+        assert_eq!(parse_request(b"ADD 1.5 3"), Request::Add { weight: 12.0 });
+        assert_eq!(parse_request(b"DRAIN 3"), Request::Drain { bin: 3 });
+        assert_eq!(parse_request(b"REMOVE 3"), Request::Remove { bin: 3 });
+        assert_eq!(parse_request(b"MIGRATE"), Request::Migrate);
+        // Leading/trailing whitespace splits exactly like the `&str` path.
+        assert_eq!(parse_request(b"  ROUTE  42  "), Request::Route { key: 42 });
+    }
+
+    #[test]
+    fn malformed_lines_parse_as_bad() {
+        for line in [
+            &b""[..],
+            b"   ",
+            b"NONSENSE line",
+            b"ROUTE",
+            b"ROUTE x",
+            b"ROUTE 1 2",
+            b"ROUTE 99999999999999999999999",
+            b"RELEASE nope",
+            b"ADD -1",
+            b"ADD nope 2",
+            b"ADD 1.0 x",
+            b"ADD 1.0 33",
+            b"ADD 1.0 2 extra",
+            b"ADD inf",
+            b"DRAIN x",
+            b"FLUSH now",
+            b"STATS 1",
+            b"MIGRATE 1",
+            b"route 1",
+            b"\xff\xfe",
+        ] {
+            assert_eq!(parse_request(line), Request::Bad, "{:?}", line);
+        }
+    }
+
+    #[test]
+    fn integer_writer_matches_format() {
+        let mut buf = Vec::new();
+        for value in [0u64, 1, 9, 10, 99, 12_345, u64::MAX] {
+            buf.clear();
+            push_u64(&mut buf, value);
+            assert_eq!(buf, format!("{value}").into_bytes());
+        }
+        buf.clear();
+        write_ok_route(&mut buf, 31, 907);
+        assert_eq!(buf, b"OK 31 907\n");
+        buf.clear();
+        write_stats(&mut buf, 4, 3, 1, 2);
+        assert_eq!(&buf, b"OK routed 4 released 3 resident 1 batches 2\n");
+    }
+}

@@ -1,0 +1,55 @@
+//! # pba-net
+//!
+//! The **event-driven serving path**: a reactor TCP front-end over
+//! [`pba_stream::ConcurrentRouter`], replacing thread-per-connection
+//! blocking I/O with a small fixed pool of reactor threads driving
+//! nonblocking sockets through readiness polling.
+//!
+//! * [`reactor`] — [`ReactorServer`]: the front-end itself. Same wire
+//!   protocol, same metric names, and bit-identical router effects as
+//!   `pba_stream::SocketServer` (a [`pba_stream::LineClient`] works against
+//!   either), but contiguous pipelined `ROUTE` runs execute through
+//!   `route_many` and contiguous `RELEASE` runs through the new
+//!   `release_many` — the departure-side twin of the batched arrival path.
+//! * [`poller`] — the [`Poller`] trait with two implementations: raw
+//!   level-triggered `epoll` via `extern "C"` bindings on Linux
+//!   ([`EpollPoller`]) and a portable nonblocking poll loop
+//!   ([`FallbackPoller`]) so tests pass anywhere.
+//! * [`codec`] — the zero-allocation line-protocol codec: requests parse
+//!   from byte slices in reusable per-connection buffers, replies render
+//!   through itoa-style integer writers into a reusable reply buffer. No
+//!   `String`, no `format!` in steady state.
+//!
+//! This crate exists (rather than a `pba_stream::net` module) because
+//! `pba-stream` forbids `unsafe`, and the epoll bindings need exactly one
+//! well-fenced unsafe block per syscall. All unsafe in this crate lives in
+//! [`poller`].
+//!
+//! ## Quick start
+//!
+//! ```no_run
+//! use pba_net::{ReactorConfig, ReactorServer};
+//! use pba_stream::{ConcurrentRouter, LineClient, Policy, StreamConfig};
+//!
+//! let router = ConcurrentRouter::new(
+//!     StreamConfig::new(64).policy(Policy::TwoChoice).batch_size(128).seed(7),
+//! );
+//! let server = ReactorServer::start(router, ReactorConfig::default()).unwrap();
+//! let mut client = LineClient::connect(server.local_addr()).unwrap();
+//! let (bin, id) = client.route(42).unwrap();
+//! assert_eq!(client.release(id).unwrap(), Some(bin));
+//! server.shutdown();
+//! ```
+
+#![warn(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
+
+pub mod codec;
+pub mod poller;
+pub mod reactor;
+
+pub use codec::{parse_request, Request, MAX_LINE_LEN};
+#[cfg(target_os = "linux")]
+pub use poller::EpollPoller;
+pub use poller::{new_poller, FallbackPoller, Poller};
+pub use reactor::{ReactorConfig, ReactorServer};

@@ -1,0 +1,1068 @@
+//! The event-driven reactor front-end: a small fixed pool of reactor
+//! threads, each owning a set of nonblocking connections, driven by
+//! readiness polling through the [`Poller`] trait.
+//!
+//! This is the serving face of [`pba_stream::ConcurrentRouter`], speaking
+//! exactly the line protocol of the blocking `pba_stream::server` (same verb
+//! table, same replies, same metric names) with a different execution model:
+//!
+//! * **thread-per-connection → reactor pool.** `ReactorConfig::reactors`
+//!   threads serve every connection; the acceptor hands each new socket to a
+//!   reactor round-robin via a per-reactor inbox. A thousand idle
+//!   connections cost a thousand parked epoll registrations, not a thousand
+//!   stacks.
+//! * **blocking reads → readiness polling.** Each reactor parks in
+//!   [`Poller::poll`] (raw `epoll` on Linux, a portable nonblocking poll
+//!   loop elsewhere — see [`crate::poller`]) and only touches sockets with
+//!   bytes waiting.
+//! * **`String`/`format!` codec → zero-allocation codec.** Requests parse
+//!   straight from the byte slices of complete lines in a reusable
+//!   per-connection read buffer ([`crate::codec::parse_request`]); replies
+//!   render through itoa-style writers into a reusable reply buffer. The
+//!   steady-state request path performs **no heap allocation per request**:
+//!   the only allocations are O(1) per *batch* (the `Vec<Placement>` a
+//!   `route_many` group returns) and amortized buffer growth, both of which
+//!   vanish per-request as pipelines deepen. `tests/zero_alloc_codec.rs`
+//!   pins the codec itself to literally zero.
+//! * **per-line routing → batched runs.** Contiguous already-buffered
+//!   `ROUTE` lines execute as one [`route_many`] group (as the blocking
+//!   server already did) and — new here — contiguous `RELEASE` lines execute
+//!   as one [`release_many`] group, paying one ledger-shard lock per touched
+//!   shard and grouped atomic decrements instead of per-ticket overhead.
+//!   Grouping never reorders replies: one reply line per request, in order.
+//!
+//! [`route_many`]: pba_stream::ConcurrentRouter::route_many
+//! [`release_many`]: pba_stream::ConcurrentRouter::release_many
+//!
+//! ## Oversized and truncated lines
+//!
+//! A request line longer than [`MAX_LINE_LEN`] bytes is answered with
+//! `ERR bad-request` (counted under `server.bad_request`), its bytes are
+//! discarded up to the next newline, and the connection keeps serving — a
+//! hostile unterminated "line" can never balloon the read buffer. A line
+//! truncated by the peer closing mid-write is dropped and counted, exactly
+//! like the blocking server.
+//!
+//! ## Metrics
+//!
+//! With an instrumented router the reactor resolves the same handles the
+//! blocking server resolves — `server.connections`, `server.requests`,
+//! `server.bad_request`, `server.unknown_ticket`, the
+//! `server.route_latency_ns` histogram — so E17 and dashboards work
+//! unchanged, plus per-reactor `server.reactor{i}.requests` /
+//! `server.reactor{i}.route_latency_ns` for spotting imbalance across the
+//! pool. Route latency is recorded in a per-connection
+//! [`LocalHistogram`] and fanned out every `MERGE_EVERY` requests:
+//! copy-merged into the shared aggregate, drain-merged into the reactor's
+//! own histogram.
+
+use std::collections::HashMap;
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use pba_membership::MembershipPlan;
+use pba_model::router::{RouteError, Ticket};
+use pba_obs::{Counter, HistogramHandle, LocalHistogram, MetricsRegistry};
+use pba_stream::{ConcurrentRouter, MAX_LINE_LEN};
+
+use crate::codec::{
+    parse_request, write_err_bad_request, write_err_unknown_ticket, write_ok_bin, write_ok_count,
+    write_ok_route, write_ok_staged, write_stats, Request,
+};
+use crate::poller::{new_poller, Poller};
+
+/// Requests between fan-outs of a connection's local latency histogram into
+/// the shared and per-reactor histograms (same cadence as the blocking
+/// server).
+const MERGE_EVERY: u64 = 4096;
+
+/// Bytes read per `read` call into a reactor's reusable scratch buffer.
+const READ_CHUNK: usize = 8192;
+
+/// Configuration for [`ReactorServer::start`].
+#[derive(Debug, Clone)]
+pub struct ReactorConfig {
+    /// Bind address; the default `127.0.0.1:0` picks a free loopback port
+    /// (read it back via [`ReactorServer::local_addr`]).
+    pub addr: String,
+    /// Reactor threads serving all connections (clamped ≥ 1). Two saturate
+    /// the router on small machines; scale with core count for fan-in
+    /// benchmarks.
+    pub reactors: usize,
+    /// Upper bound on one readiness poll — the latency with which an idle
+    /// reactor notices shutdown or a newly accepted connection. Also the
+    /// acceptor's poll interval. Connections with buffered bytes never wait
+    /// on it (level-triggered polling reports them immediately).
+    pub poll_interval: Duration,
+    /// Shards of the parked-ticket map (contention control; clamped ≥ 1).
+    pub ticket_shards: usize,
+    /// Forces the portable [`FallbackPoller`](crate::poller::FallbackPoller)
+    /// even where epoll is available — tests use this to exercise both
+    /// implementations on one machine.
+    pub force_fallback_poller: bool,
+}
+
+impl Default for ReactorConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".to_string(),
+            reactors: 2,
+            poll_interval: Duration::from_millis(1),
+            ticket_shards: 16,
+            force_fallback_poller: false,
+        }
+    }
+}
+
+/// Server-wide metric handles (resolved iff the router carries a registry);
+/// the names are shared with the blocking server so both front-ends feed the
+/// same dashboards.
+#[derive(Debug, Clone)]
+struct NetMetrics {
+    connections: Counter,
+    requests: Counter,
+    bad_request: Counter,
+    unknown_ticket: Counter,
+    route_latency: HistogramHandle,
+}
+
+impl NetMetrics {
+    fn resolve(registry: &MetricsRegistry) -> Self {
+        Self {
+            connections: registry.counter("server.connections"),
+            requests: registry.counter("server.requests"),
+            bad_request: registry.counter("server.bad_request"),
+            unknown_ticket: registry.counter("server.unknown_ticket"),
+            route_latency: registry.histogram("server.route_latency_ns"),
+        }
+    }
+}
+
+/// Per-reactor metric handles: `server.reactor{i}.*`.
+#[derive(Debug, Clone)]
+struct ReactorMetrics {
+    requests: Counter,
+    route_latency: HistogramHandle,
+}
+
+impl ReactorMetrics {
+    fn resolve(registry: &MetricsRegistry, index: usize) -> Self {
+        Self {
+            requests: registry.counter(&format!("server.reactor{index}.requests")),
+            route_latency: registry.histogram(&format!("server.reactor{index}.route_latency_ns")),
+        }
+    }
+}
+
+/// Shared state every reactor works against.
+struct NetShared {
+    router: ConcurrentRouter,
+    /// Parked tickets, sharded by `id % shards`. Clients speak ids; only the
+    /// server holds real tickets.
+    tickets: Vec<Mutex<HashMap<u64, Ticket>>>,
+    /// One inbox per reactor: the acceptor pushes new sockets, the owning
+    /// reactor drains them at its next tick.
+    inboxes: Vec<Mutex<Vec<TcpStream>>>,
+    metrics: Option<NetMetrics>,
+    shutdown: AtomicBool,
+}
+
+impl NetShared {
+    fn park(&self, ticket: Ticket) {
+        let shard = (ticket.id() as usize) % self.tickets.len();
+        self.tickets[shard]
+            .lock()
+            .expect("ticket shard lock")
+            .insert(ticket.id(), ticket);
+    }
+
+    fn unpark(&self, id: u64) -> Option<Ticket> {
+        let shard = (id as usize) % self.tickets.len();
+        self.tickets[shard]
+            .lock()
+            .expect("ticket shard lock")
+            .remove(&id)
+    }
+}
+
+/// A running reactor TCP front-end over one [`ConcurrentRouter`] (see the
+/// [module docs](self) for how it differs from
+/// [`pba_stream::SocketServer`]). The wire protocol is identical, so
+/// [`pba_stream::LineClient`] works against either.
+///
+/// ```no_run
+/// use pba_net::{ReactorConfig, ReactorServer};
+/// use pba_stream::{ConcurrentRouter, LineClient, Policy, StreamConfig};
+///
+/// let router = ConcurrentRouter::new(
+///     StreamConfig::new(64).policy(Policy::TwoChoice).batch_size(128).seed(7),
+/// );
+/// let server = ReactorServer::start(router, ReactorConfig::default()).unwrap();
+/// let mut client = LineClient::connect(server.local_addr()).unwrap();
+/// let (bin, id) = client.route(42).unwrap();
+/// assert!(bin < 64);
+/// assert_eq!(client.release(id).unwrap(), Some(bin));
+/// server.shutdown();
+/// ```
+pub struct ReactorServer {
+    shared: Arc<NetShared>,
+    local_addr: SocketAddr,
+    acceptor: Option<JoinHandle<()>>,
+    reactors: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for ReactorServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ReactorServer")
+            .field("local_addr", &self.local_addr)
+            .field("reactors", &self.reactors.len())
+            .finish()
+    }
+}
+
+impl ReactorServer {
+    /// Binds `config.addr`, starts the acceptor and the reactor pool. The
+    /// server drives `router` (a cheap handle clone; the caller keeps its
+    /// own for direct inspection) until [`ReactorServer::shutdown`] or drop.
+    pub fn start(router: ConcurrentRouter, config: ReactorConfig) -> io::Result<Self> {
+        let listener = TcpListener::bind(&config.addr)?;
+        listener.set_nonblocking(true)?;
+        let local_addr = listener.local_addr()?;
+        let reactors = config.reactors.max(1);
+        let metrics = router.metrics().map(|m| NetMetrics::resolve(&m.registry));
+        let registry = router.metrics().map(|m| Arc::clone(&m.registry));
+        let shared = Arc::new(NetShared {
+            router,
+            tickets: (0..config.ticket_shards.max(1))
+                .map(|_| Mutex::new(HashMap::new()))
+                .collect(),
+            inboxes: (0..reactors).map(|_| Mutex::new(Vec::new())).collect(),
+            metrics,
+            shutdown: AtomicBool::new(false),
+        });
+        let mut reactor_handles = Vec::with_capacity(reactors);
+        for index in 0..reactors {
+            let shared = Arc::clone(&shared);
+            let poller = new_poller(config.force_fallback_poller)?;
+            let reactor_metrics = registry.as_ref().map(|r| ReactorMetrics::resolve(r, index));
+            let poll_interval = config.poll_interval;
+            reactor_handles.push(std::thread::spawn(move || {
+                Reactor::new(index, shared, poller, reactor_metrics, poll_interval).run()
+            }));
+        }
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            let poll = config.poll_interval;
+            std::thread::spawn(move || accept_loop(listener, shared, poll))
+        };
+        Ok(Self {
+            shared,
+            local_addr,
+            acceptor: Some(acceptor),
+            reactors: reactor_handles,
+        })
+    }
+
+    /// The bound address (the resolved port when `addr` asked for `:0`).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// The router this server drives.
+    pub fn router(&self) -> &ConcurrentRouter {
+        &self.shared.router
+    }
+
+    /// Stops accepting, wakes every reactor at its next poll timeout, and
+    /// joins the whole pool. Idempotent; also runs on drop.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        if let Some(handle) = self.acceptor.take() {
+            let _ = handle.join();
+        }
+        for handle in self.reactors.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for ReactorServer {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// Polls the non-blocking listener and deals each connection to a reactor
+/// inbox round-robin, until shutdown.
+fn accept_loop(listener: TcpListener, shared: Arc<NetShared>, poll: Duration) {
+    let mut next = 0usize;
+    while !shared.shutdown.load(Ordering::Acquire) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                // Replies are tiny; without nodelay Nagle + delayed ACK turns
+                // every round trip into a multi-millisecond stall.
+                let _ = stream.set_nodelay(true);
+                if stream.set_nonblocking(true).is_err() {
+                    continue;
+                }
+                shared.inboxes[next]
+                    .lock()
+                    .expect("reactor inbox")
+                    .push(stream);
+                next = (next + 1) % shared.inboxes.len();
+            }
+            Err(err) if err.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(poll);
+            }
+            Err(_) => break,
+        }
+    }
+}
+
+/// One connection owned by a reactor.
+struct Conn {
+    stream: TcpStream,
+    /// Unconsumed request bytes; complete lines are parsed and drained in
+    /// place, so in steady state this holds at most one partial line.
+    read_buf: Vec<u8>,
+    /// Rendered-but-unsent reply bytes (`write_at` marks the sent prefix);
+    /// retried every tick until drained.
+    write_buf: Vec<u8>,
+    write_at: usize,
+    /// An oversized line was answered; bytes are being dropped until the
+    /// next newline.
+    discarding: bool,
+    local_latency: LocalHistogram,
+    since_merge: u64,
+}
+
+impl Conn {
+    fn new(stream: TcpStream) -> Self {
+        Self {
+            stream,
+            read_buf: Vec::new(),
+            write_buf: Vec::new(),
+            write_at: 0,
+            discarding: false,
+            local_latency: LocalHistogram::new(),
+            since_merge: 0,
+        }
+    }
+}
+
+/// One reactor thread: a poller, a slab of connections, and the reusable
+/// scratch buffers that keep the request path allocation-free.
+struct Reactor {
+    index: usize,
+    shared: Arc<NetShared>,
+    poller: Box<dyn Poller>,
+    metrics: Option<ReactorMetrics>,
+    poll_interval: Duration,
+    /// Slab: token == slot index; `None` slots are on the free list.
+    conns: Vec<Option<Conn>>,
+    free: Vec<usize>,
+    ready: Vec<usize>,
+    scratch: Vec<u8>,
+    requests: Vec<Request>,
+    route_keys: Vec<u64>,
+    unparked: Vec<Option<Ticket>>,
+    release_run: Vec<Ticket>,
+}
+
+impl Reactor {
+    fn new(
+        index: usize,
+        shared: Arc<NetShared>,
+        poller: Box<dyn Poller>,
+        metrics: Option<ReactorMetrics>,
+        poll_interval: Duration,
+    ) -> Self {
+        Self {
+            index,
+            shared,
+            poller,
+            metrics,
+            poll_interval,
+            conns: Vec::new(),
+            free: Vec::new(),
+            ready: Vec::new(),
+            scratch: vec![0u8; READ_CHUNK],
+            requests: Vec::new(),
+            route_keys: Vec::new(),
+            unparked: Vec::new(),
+            release_run: Vec::new(),
+        }
+    }
+
+    fn run(mut self) {
+        while !self.shared.shutdown.load(Ordering::Acquire) {
+            self.adopt_new_connections();
+            let mut ready = std::mem::take(&mut self.ready);
+            if self.poller.poll(&mut ready, self.poll_interval).is_err() {
+                // A broken poller leaves only the portable behaviour:
+                // treat everything as ready so no connection starves.
+                ready.clear();
+                ready.extend(
+                    self.conns
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, c)| c.is_some())
+                        .map(|(i, _)| i),
+                );
+            }
+            for &slot in &ready {
+                self.handle_readable(slot);
+            }
+            self.ready = ready;
+            self.retry_pending_writes();
+        }
+        // Shutdown: fan out whatever latency samples are still local.
+        for slot in 0..self.conns.len() {
+            if let Some(mut conn) = self.conns[slot].take() {
+                self.merge_latency(&mut conn);
+            }
+        }
+    }
+
+    fn adopt_new_connections(&mut self) {
+        let incoming = std::mem::take(
+            &mut *self.shared.inboxes[self.index]
+                .lock()
+                .expect("reactor inbox"),
+        );
+        for stream in incoming {
+            let slot = self.free.pop().unwrap_or_else(|| {
+                self.conns.push(None);
+                self.conns.len() - 1
+            });
+            if self.poller.register(&stream, slot).is_err() {
+                self.free.push(slot);
+                continue;
+            }
+            if let Some(metrics) = &self.shared.metrics {
+                metrics.connections.inc();
+            }
+            self.conns[slot] = Some(Conn::new(stream));
+        }
+    }
+
+    /// Reads everything currently buffered on `slot`'s socket, executes the
+    /// complete lines, and writes replies. Closes the connection on EOF or
+    /// I/O error.
+    fn handle_readable(&mut self, slot: usize) {
+        let Some(mut conn) = self.conns.get_mut(slot).and_then(Option::take) else {
+            return; // spurious token (fallback poller, or already closed)
+        };
+        let mut close = false;
+        let mut truncated = false;
+        loop {
+            match (&conn.stream).read(&mut self.scratch) {
+                Ok(0) => {
+                    close = true;
+                    // EOF with a partial line buffered: the request is
+                    // truncated — the client may have died halfway through
+                    // writing it — so drop it, visibly.
+                    truncated = !conn.read_buf.is_empty() && !conn.discarding;
+                    break;
+                }
+                Ok(n) => {
+                    conn.read_buf.extend_from_slice(&self.scratch[..n]);
+                    self.process_lines(&mut conn);
+                    if n < READ_CHUNK {
+                        break;
+                    }
+                }
+                Err(err) if err.kind() == io::ErrorKind::WouldBlock => break,
+                Err(err) if err.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    close = true;
+                    break;
+                }
+            }
+        }
+        if truncated {
+            if let Some(metrics) = &self.shared.metrics {
+                metrics.bad_request.inc();
+            }
+        }
+        if flush_writes(&mut conn).is_err() {
+            close = true;
+        }
+        if close {
+            let _ = self.poller.deregister(&conn.stream, slot);
+            self.merge_latency(&mut conn);
+            self.free.push(slot);
+            // conn drops here, closing the socket.
+        } else {
+            self.conns[slot] = Some(conn);
+        }
+    }
+
+    /// Parses every complete line in `conn.read_buf` into the reusable
+    /// request vector (handling the oversized-line discard mode), then
+    /// executes them with run batching.
+    fn process_lines(&mut self, conn: &mut Conn) {
+        self.requests.clear();
+        let buf = &mut conn.read_buf;
+        let mut start = 0usize;
+        loop {
+            if conn.discarding {
+                match buf[start..].iter().position(|&b| b == b'\n') {
+                    Some(nl) => {
+                        start += nl + 1;
+                        conn.discarding = false;
+                    }
+                    None => {
+                        start = buf.len();
+                        break;
+                    }
+                }
+                continue;
+            }
+            match buf[start..].iter().position(|&b| b == b'\n') {
+                Some(nl) => {
+                    let line = &buf[start..start + nl];
+                    if line.len() > MAX_LINE_LEN {
+                        self.requests.push(Request::Bad);
+                    } else {
+                        self.requests.push(parse_request(line));
+                    }
+                    start += nl + 1;
+                }
+                None => {
+                    if buf.len() - start > MAX_LINE_LEN {
+                        // An unterminated line already over the cap: answer
+                        // now, drop bytes until its newline finally shows up.
+                        self.requests.push(Request::Bad);
+                        conn.discarding = true;
+                        start = buf.len();
+                    }
+                    break;
+                }
+            }
+        }
+        buf.drain(..start);
+        if !self.requests.is_empty() {
+            self.execute(conn);
+        }
+    }
+
+    /// Executes the parsed requests in order, batching contiguous `ROUTE`
+    /// runs through `route_many` and contiguous `RELEASE` runs through
+    /// `release_many`. One reply line per request, in request order.
+    fn execute(&mut self, conn: &mut Conn) {
+        let requests = std::mem::take(&mut self.requests);
+        let mut i = 0;
+        while i < requests.len() {
+            match requests[i] {
+                Request::Route { .. } => {
+                    let mut end = i + 1;
+                    while end < requests.len() && matches!(requests[end], Request::Route { .. }) {
+                        end += 1;
+                    }
+                    self.route_keys.clear();
+                    for request in &requests[i..end] {
+                        if let Request::Route { key } = request {
+                            self.route_keys.push(*key);
+                        }
+                    }
+                    self.count_requests(self.route_keys.len() as u64);
+                    let start = Instant::now();
+                    let placements = self
+                        .shared
+                        .router
+                        .route_many(&self.route_keys)
+                        .expect("routing is infallible");
+                    let per_route =
+                        start.elapsed().as_nanos() as u64 / self.route_keys.len().max(1) as u64;
+                    for placement in placements {
+                        conn.local_latency.record(per_route);
+                        write_ok_route(&mut conn.write_buf, placement.bin, placement.ticket.id());
+                        self.shared.park(placement.ticket);
+                    }
+                    conn.since_merge += (end - i) as u64;
+                    i = end;
+                }
+                Request::Release { .. } => {
+                    let mut end = i + 1;
+                    while end < requests.len() && matches!(requests[end], Request::Release { .. }) {
+                        end += 1;
+                    }
+                    self.unparked.clear();
+                    for request in &requests[i..end] {
+                        if let Request::Release { id } = request {
+                            self.unparked.push(self.shared.unpark(*id));
+                        }
+                    }
+                    self.count_requests((end - i) as u64);
+                    let unparked = std::mem::take(&mut self.unparked);
+                    let mut j = 0;
+                    while j < unparked.len() {
+                        match unparked[j] {
+                            None => {
+                                // Never issued (or already released): the
+                                // router never saw it, so the server-side
+                                // counter is its only trace.
+                                self.count_unknown_ticket();
+                                write_err_unknown_ticket(&mut conn.write_buf);
+                                j += 1;
+                            }
+                            Some(_) => {
+                                self.release_run.clear();
+                                while j < unparked.len() {
+                                    match unparked[j] {
+                                        Some(ticket) => {
+                                            self.release_run.push(ticket);
+                                            j += 1;
+                                        }
+                                        None => break,
+                                    }
+                                }
+                                let run = std::mem::take(&mut self.release_run);
+                                self.release_batch(&run, conn);
+                                self.release_run = run;
+                            }
+                        }
+                    }
+                    self.unparked = unparked;
+                    conn.since_merge += (end - i) as u64;
+                    i = end;
+                }
+                other => {
+                    self.count_requests(1);
+                    self.execute_single(other, conn);
+                    conn.since_merge += 1;
+                    i += 1;
+                }
+            }
+        }
+        self.requests = requests;
+        if conn.since_merge >= MERGE_EVERY {
+            self.merge_latency(conn);
+            conn.since_merge = 0;
+        }
+    }
+
+    /// Releases one maximal run of parked tickets through `release_many`,
+    /// preserving the looped semantics exactly: `release_many` stops at the
+    /// first failing ticket with everything before it committed, so on error
+    /// the prefix gets its `OK` replies, the failing ticket gets
+    /// `ERR unknown-ticket`, and the remainder retries as a smaller group.
+    fn release_batch(&mut self, run: &[Ticket], conn: &mut Conn) {
+        let mut rest = run;
+        while !rest.is_empty() {
+            match self.shared.router.release_many(rest) {
+                Ok(()) => {
+                    for ticket in rest {
+                        write_ok_bin(&mut conn.write_buf, ticket.bin());
+                    }
+                    return;
+                }
+                Err(RouteError::UnknownTicket { ticket }) => {
+                    // The router's own `route.rejected_unknown_ticket` has
+                    // already counted this.
+                    let failed = rest.iter().position(|t| t.id() == ticket.id()).unwrap_or(0);
+                    for ticket in &rest[..failed] {
+                        write_ok_bin(&mut conn.write_buf, ticket.bin());
+                    }
+                    self.count_unknown_ticket();
+                    write_err_unknown_ticket(&mut conn.write_buf);
+                    rest = &rest[failed + 1..];
+                }
+                Err(RouteError::Exhausted { .. }) => {
+                    // Releases cannot exhaust capacity; fail the remainder
+                    // visibly rather than loop forever.
+                    for _ in rest {
+                        self.count_unknown_ticket();
+                        write_err_unknown_ticket(&mut conn.write_buf);
+                    }
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Executes one non-batchable request, mirroring the blocking server's
+    /// `respond` verb for verb.
+    fn execute_single(&mut self, request: Request, conn: &mut Conn) {
+        let router = &self.shared.router;
+        match request {
+            Request::Route { .. } | Request::Release { .. } => {
+                unreachable!("batched by execute()")
+            }
+            Request::Flush => write_ok_count(&mut conn.write_buf, router.flush() as u64),
+            Request::Stats => {
+                let stats = router.stats();
+                write_stats(
+                    &mut conn.write_buf,
+                    stats.routed,
+                    stats.released,
+                    stats.resident,
+                    stats.batches,
+                );
+            }
+            Request::Add { weight } => {
+                router.stage_membership(MembershipPlan::new().add(weight));
+                write_ok_staged(&mut conn.write_buf);
+            }
+            Request::Drain { bin } => {
+                router.stage_membership(MembershipPlan::new().drain(bin));
+                write_ok_staged(&mut conn.write_buf);
+            }
+            Request::Remove { bin } => {
+                router.stage_membership(MembershipPlan::new().remove(bin));
+                write_ok_staged(&mut conn.write_buf);
+            }
+            Request::Migrate => write_ok_count(&mut conn.write_buf, router.migrate_drained()),
+            Request::Bad => {
+                if let Some(metrics) = &self.shared.metrics {
+                    metrics.bad_request.inc();
+                }
+                write_err_bad_request(&mut conn.write_buf);
+            }
+        }
+    }
+
+    fn count_requests(&self, n: u64) {
+        if let Some(metrics) = &self.shared.metrics {
+            metrics.requests.add(n);
+        }
+        if let Some(metrics) = &self.metrics {
+            metrics.requests.add(n);
+        }
+    }
+
+    fn count_unknown_ticket(&self) {
+        if let Some(metrics) = &self.shared.metrics {
+            metrics.unknown_ticket.inc();
+        }
+    }
+
+    /// Fans the connection's local latency histogram out: copy-merge into
+    /// the shared `server.route_latency_ns` aggregate, drain-merge into this
+    /// reactor's own histogram. Every sample lands in both exactly once.
+    fn merge_latency(&self, conn: &mut Conn) {
+        if let Some(metrics) = &self.shared.metrics {
+            metrics.route_latency.merge_local_copy(&conn.local_latency);
+        }
+        if let Some(metrics) = &self.metrics {
+            metrics.route_latency.merge_local(&mut conn.local_latency);
+        } else if self.shared.metrics.is_some() {
+            // No per-reactor sink: still reset so the copy-merge above
+            // cannot double-count on the next merge.
+            conn.local_latency = LocalHistogram::new();
+        }
+    }
+
+    fn retry_pending_writes(&mut self) {
+        for slot in 0..self.conns.len() {
+            let pending = self.conns[slot]
+                .as_ref()
+                .is_some_and(|c| c.write_at < c.write_buf.len());
+            if !pending {
+                continue;
+            }
+            let mut conn = self.conns[slot].take().expect("checked above");
+            if flush_writes(&mut conn).is_err() {
+                let _ = self.poller.deregister(&conn.stream, slot);
+                self.merge_latency(&mut conn);
+                self.free.push(slot);
+            } else {
+                self.conns[slot] = Some(conn);
+            }
+        }
+    }
+}
+
+/// Writes as much pending reply data as the socket accepts right now.
+/// `Ok(())` means "done or would block" (retry next tick); `Err` means the
+/// connection is dead.
+fn flush_writes(conn: &mut Conn) -> io::Result<()> {
+    while conn.write_at < conn.write_buf.len() {
+        match (&conn.stream).write(&conn.write_buf[conn.write_at..]) {
+            Ok(0) => return Err(io::ErrorKind::WriteZero.into()),
+            Ok(n) => conn.write_at += n,
+            Err(err) if err.kind() == io::ErrorKind::WouldBlock => return Ok(()),
+            Err(err) if err.kind() == io::ErrorKind::Interrupted => continue,
+            Err(err) => return Err(err),
+        }
+    }
+    conn.write_buf.clear();
+    conn.write_at = 0;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pba_stream::{LineClient, Policy, StreamConfig};
+    use std::io::{BufRead, BufReader};
+
+    fn instrumented_server(bins: usize, batch: usize, config: ReactorConfig) -> ReactorServer {
+        let registry = Arc::new(MetricsRegistry::new());
+        let router = ConcurrentRouter::with_metrics(
+            StreamConfig::new(bins)
+                .policy(Policy::TwoChoice)
+                .batch_size(batch)
+                .seed(11),
+            registry,
+        );
+        ReactorServer::start(router, config).expect("bind loopback")
+    }
+
+    #[test]
+    fn route_release_round_trip_over_tcp() {
+        let server = instrumented_server(32, 16, ReactorConfig::default());
+        let mut client = LineClient::connect(server.local_addr()).unwrap();
+        let mut ids = Vec::new();
+        for key in 0..48u64 {
+            let (bin, id) = client.route(key).unwrap();
+            assert!(bin < 32);
+            ids.push(id);
+        }
+        assert_eq!(server.router().resident(), 48);
+        for id in ids {
+            assert!(client.release(id).unwrap().is_some());
+        }
+        assert_eq!(server.router().resident(), 0);
+        assert!(server.router().conserves_balls());
+        let registry = Arc::clone(&server.router().metrics().unwrap().registry);
+        server.shutdown();
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("route.routed"), 48);
+        assert_eq!(snap.counter("route.released"), 48);
+        assert_eq!(snap.counter("server.requests"), 96);
+        assert_eq!(snap.counter("server.connections"), 1);
+        assert_eq!(snap.counter("router.stream_batches"), 3);
+        let latency = snap.histogram("server.route_latency_ns").expect("recorded");
+        assert_eq!(latency.count, 48);
+        // The per-reactor breakdown sums to the aggregate.
+        let per_reactor: u64 = (0..2)
+            .map(|i| snap.counter(&format!("server.reactor{i}.requests")))
+            .sum();
+        assert_eq!(per_reactor, 96);
+    }
+
+    #[test]
+    fn round_trip_on_the_fallback_poller() {
+        let server = instrumented_server(
+            16,
+            8,
+            ReactorConfig {
+                force_fallback_poller: true,
+                ..ReactorConfig::default()
+            },
+        );
+        let mut client = LineClient::connect(server.local_addr()).unwrap();
+        let mut ids = Vec::new();
+        for key in 0..24u64 {
+            ids.push(client.route(key).unwrap().1);
+        }
+        for id in ids {
+            assert!(client.release(id).unwrap().is_some());
+        }
+        assert!(server.router().conserves_balls());
+        assert_eq!(server.router().resident(), 0);
+        server.shutdown();
+    }
+
+    #[test]
+    fn pipelined_requests_get_one_reply_each_in_order() {
+        let server = instrumented_server(16, 8, ReactorConfig::default());
+        let addr = server.local_addr();
+        let mut raw = TcpStream::connect(addr).unwrap();
+        raw.set_nodelay(true).unwrap();
+        raw.write_all(b"ROUTE 1\nROUTE 2\nNONSENSE\nSTATS\nFLUSH\n")
+            .unwrap();
+        let mut reader = BufReader::new(raw.try_clone().unwrap());
+        let mut replies = Vec::new();
+        for _ in 0..5 {
+            let mut line = String::new();
+            assert!(reader.read_line(&mut line).unwrap() > 0, "server hung up");
+            replies.push(line.trim_end().to_string());
+        }
+        assert!(replies[0].starts_with("OK "), "{}", replies[0]);
+        assert!(replies[1].starts_with("OK "), "{}", replies[1]);
+        assert_eq!(replies[2], "ERR bad-request");
+        assert!(
+            replies[3].starts_with("OK routed 2 released 0 resident 2"),
+            "{}",
+            replies[3]
+        );
+        assert_eq!(replies[4], "OK 1", "flush closes the 2-ball open batch");
+        assert_eq!(server.router().stats().routed, 2);
+        server.shutdown();
+    }
+
+    #[test]
+    fn pipelined_releases_batch_and_stay_ordered() {
+        // ROUTE a pipeline, then RELEASE the whole set in one pipeline with
+        // a bogus id spliced into the middle: replies must come back one per
+        // line, in order, with exactly one ERR at the splice point.
+        let server = instrumented_server(32, 16, ReactorConfig::default());
+        let addr = server.local_addr();
+        let mut client = LineClient::connect(addr).unwrap();
+        let mut ids = Vec::new();
+        for key in 0..40u64 {
+            ids.push(client.route(key).unwrap().1);
+        }
+        drop(client);
+        let mut raw = TcpStream::connect(addr).unwrap();
+        raw.set_nodelay(true).unwrap();
+        let mut request = String::new();
+        for (i, id) in ids.iter().enumerate() {
+            if i == 20 {
+                request.push_str("RELEASE 999999999\n");
+            }
+            request.push_str(&format!("RELEASE {id}\n"));
+        }
+        raw.write_all(request.as_bytes()).unwrap();
+        let mut reader = BufReader::new(raw.try_clone().unwrap());
+        for i in 0..41 {
+            let mut line = String::new();
+            assert!(reader.read_line(&mut line).unwrap() > 0, "server hung up");
+            if i == 20 {
+                assert_eq!(line.trim_end(), "ERR unknown-ticket");
+            } else {
+                assert!(line.starts_with("OK "), "reply {i}: {line}");
+            }
+        }
+        assert_eq!(server.router().resident(), 0);
+        assert!(server.router().conserves_balls());
+        let registry = Arc::clone(&server.router().metrics().unwrap().registry);
+        server.shutdown();
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("route.released"), 40);
+        assert_eq!(snap.counter("server.unknown_ticket"), 1);
+    }
+
+    #[test]
+    fn oversized_lines_get_bad_request_not_a_hangup() {
+        let server = instrumented_server(8, 8, ReactorConfig::default());
+        let addr = server.local_addr();
+        let mut raw = TcpStream::connect(addr).unwrap();
+        raw.set_nodelay(true).unwrap();
+        // One oversized "line" (no newline until far past the cap), then a
+        // legitimate request on the same connection.
+        let oversized = vec![b'x'; MAX_LINE_LEN * 3];
+        raw.write_all(&oversized).unwrap();
+        raw.write_all(b"\nROUTE 5\n").unwrap();
+        let mut reader = BufReader::new(raw.try_clone().unwrap());
+        let mut line = String::new();
+        assert!(reader.read_line(&mut line).unwrap() > 0, "server hung up");
+        assert_eq!(line.trim_end(), "ERR bad-request");
+        line.clear();
+        assert!(reader.read_line(&mut line).unwrap() > 0, "server hung up");
+        assert!(line.starts_with("OK "), "{line}");
+        assert_eq!(server.router().stats().routed, 1);
+        let registry = Arc::clone(&server.router().metrics().unwrap().registry);
+        server.shutdown();
+        assert_eq!(registry.snapshot().counter("server.bad_request"), 1);
+    }
+
+    #[test]
+    fn mid_line_disconnect_leaves_the_server_serving() {
+        let server = instrumented_server(8, 8, ReactorConfig::default());
+        let addr = server.local_addr();
+        {
+            let mut raw = TcpStream::connect(addr).unwrap();
+            raw.write_all(b"ROUTE 123").unwrap(); // no newline
+            raw.flush().unwrap();
+        } // dropped: mid-line disconnect
+        let mut client = LineClient::connect(addr).unwrap();
+        let (_bin, id) = client.route(9).unwrap();
+        assert!(client.release(id).unwrap().is_some());
+        assert_eq!(server.router().stats().routed, 1);
+        assert!(server.router().conserves_balls());
+        let registry = Arc::clone(&server.router().metrics().unwrap().registry);
+        server.shutdown();
+        assert_eq!(registry.snapshot().counter("server.bad_request"), 1);
+    }
+
+    #[test]
+    fn concurrent_clients_share_one_router() {
+        let server = instrumented_server(64, 32, ReactorConfig::default());
+        let addr = server.local_addr();
+        let mut threads = Vec::new();
+        for t in 0..4u64 {
+            threads.push(std::thread::spawn(move || {
+                let mut client = LineClient::connect(addr).unwrap();
+                let mut ids = Vec::new();
+                for i in 0..100 {
+                    ids.push(client.route(t * 1_000 + i).unwrap().1);
+                }
+                for id in ids {
+                    assert!(client.release(id).unwrap().is_some());
+                }
+            }));
+        }
+        for thread in threads {
+            thread.join().unwrap();
+        }
+        let mut client = LineClient::connect(addr).unwrap();
+        let stats = client.request("STATS").unwrap();
+        assert!(
+            stats.starts_with("OK routed 400 released 400 resident 0"),
+            "{stats}"
+        );
+        assert!(server.router().conserves_balls());
+        server.shutdown();
+    }
+
+    #[test]
+    fn membership_verbs_drive_a_scale_cycle_over_the_wire() {
+        use pba_membership::BinState;
+        let registry = Arc::new(MetricsRegistry::new());
+        let router = ConcurrentRouter::with_metrics(
+            StreamConfig::new(8)
+                .policy(Policy::TwoChoice)
+                .batch_size(8)
+                .seed(11)
+                .reserve_bins(1),
+            registry,
+        );
+        let server = ReactorServer::start(router, ReactorConfig::default()).expect("bind");
+        let mut client = LineClient::connect(server.local_addr()).unwrap();
+        let mut ids = Vec::new();
+        for key in 0..32u64 {
+            ids.push(client.route(key).unwrap());
+        }
+        client.stage_drain(3).unwrap();
+        client.stage_add(1.0).unwrap();
+        for key in 100..108u64 {
+            client.route(key).unwrap();
+        }
+        client.flush().unwrap();
+        let states = server.router().bin_states().expect("elastic now");
+        assert_eq!(states[3], BinState::Draining);
+        assert_eq!(states[8], BinState::Active, "commissioned reserve slot");
+        let migrated = client.migrate().unwrap();
+        assert_eq!(server.router().tickets_in(3), 0);
+        client.stage_remove(3).unwrap();
+        for key in 200..208u64 {
+            client.route(key).unwrap();
+        }
+        client.flush().unwrap();
+        assert_eq!(server.router().bin_states().unwrap()[3], BinState::Retired);
+        // Every parked ticket still redeems, migrated or not.
+        for (_, id) in ids {
+            assert!(client.release(id).unwrap().is_some());
+        }
+        assert!(server.router().conserves_balls());
+        let registry = Arc::clone(&server.router().metrics().unwrap().registry);
+        server.shutdown();
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("membership.drains"), 1);
+        assert_eq!(snap.counter("membership.adds"), 1);
+        assert_eq!(snap.counter("membership.removes"), 1);
+        assert_eq!(snap.counter("membership.migrations"), migrated);
+    }
+}

@@ -102,6 +102,24 @@ impl Histogram {
         *local = LocalHistogram::new();
     }
 
+    /// Merges a thread-local histogram in **without resetting it** — the
+    /// fan-out form of [`Histogram::merge_local`], for locals that feed more
+    /// than one shared histogram (a reactor thread's latency local merges
+    /// into both its per-reactor histogram and the server-wide aggregate;
+    /// copy-merge into all but the last target, drain-merge into the last).
+    pub fn merge_local_copy(&self, local: &LocalHistogram) {
+        if local.count == 0 {
+            return;
+        }
+        for (i, &c) in local.buckets.iter().enumerate() {
+            if c > 0 {
+                self.buckets[i].fetch_add(c, Ordering::Relaxed);
+            }
+        }
+        self.count.fetch_add(local.count, Ordering::Relaxed);
+        self.sum.fetch_add(local.sum, Ordering::Relaxed);
+    }
+
     /// Total observations recorded.
     pub fn count(&self) -> u64 {
         self.count.load(Ordering::Relaxed)

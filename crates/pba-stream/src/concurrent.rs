@@ -747,6 +747,83 @@ impl ConcurrentRouter {
         Ok(())
     }
 
+    /// Releases a group of routed balls from any thread — the amortized
+    /// departure path, the release-side twin of
+    /// [`ConcurrentRouter::route_many`]. The group pays the per-release
+    /// overhead **once**: one ledger pass per touched shard
+    /// ([`SharedTicketLedger::redeem_many`] — a single commit pass under the
+    /// shard locks with exact rollback, so the group redeems atomically),
+    /// one grouped load
+    /// decrement per distinct bin ([`ShardedBins::release_group`]), and
+    /// whole-group counter adds.
+    ///
+    /// With one caller this is bit-identical to looping
+    /// [`ConcurrentRouter::release`] (property-tested): per-release
+    /// [`ReleaseEvent`]s still fire in ticket order with the same running
+    /// `load_after`/`resident` values the loop would report. Any ticket the
+    /// grouped redeem cannot take (forged, double-released, an in-group
+    /// duplicate, or a live migration record) sends the **whole** group —
+    /// nothing committed yet — down the one-at-a-time loop, which supplies
+    /// the documented stop-at-first-error behaviour exactly.
+    pub fn release_many(&self, tickets: &[Ticket]) -> Result<(), RouteError> {
+        // A singleton group amortizes nothing: delegate to `release`.
+        if let [ticket] = tickets {
+            return self.release(*ticket);
+        }
+        let core = &*self.core;
+        let Some(chosen) = core.ledger.redeem_many(tickets) else {
+            // Cold path (bad ticket or migration in flight): the grouped
+            // redeem committed nothing, so the loop reproduces the
+            // one-at-a-time semantics — including which ticket errors and
+            // which releases stay committed — exactly.
+            return tickets.iter().try_for_each(|&ticket| self.release(ticket));
+        };
+        let taken = core.bins.release_group(&chosen);
+        core.departed.fetch_add(taken, Ordering::AcqRel);
+        core.released.fetch_add(taken, Ordering::AcqRel);
+        if let Some(metrics) = &core.metrics {
+            metrics.released.add(taken);
+        }
+        if taken < tickets.len() as u64 {
+            // Defensive: every redeemed ticket named a resident ball, so no
+            // bin can underflow unless ledger and bins diverged (a bug, not
+            // a caller error — same stance as the one-at-a-time path).
+            if let Some(metrics) = &core.metrics {
+                metrics
+                    .rejected_unknown_ticket
+                    .add(tickets.len() as u64 - taken);
+            }
+            return Err(RouteError::UnknownTicket {
+                ticket: tickets[taken as usize],
+            });
+        }
+        if core.has_observers.load(Ordering::Acquire) {
+            // Per-departure taps fire in ticket order with the running
+            // counts the loop would report (exact with one caller): ticket
+            // `i`'s `load_after` is the bin's final load plus the departures
+            // of the same bin still "ahead" of it in the group, and
+            // `resident` counts down to the post-group total.
+            let resident_final = core.resident_now();
+            let mut ahead: std::collections::HashMap<u32, u32> = std::collections::HashMap::new();
+            let mut load_after: Vec<u32> = vec![0; tickets.len()];
+            for (offset, &bin) in chosen.iter().enumerate().rev() {
+                let later = ahead.entry(bin).or_insert(0);
+                load_after[offset] = core.bins.load(bin as usize) + *later;
+                *later += 1;
+            }
+            let chain = core.observers.lock().expect("observer chain");
+            for (offset, &ticket) in tickets.iter().enumerate() {
+                let event = ReleaseEvent {
+                    ticket,
+                    load_after: load_after[offset],
+                    resident: resident_final + (tickets.len() - 1 - offset) as u64,
+                };
+                core.each_observer(&chain.0, |observer| observer.on_release(&event));
+            }
+        }
+        Ok(())
+    }
+
     /// Buffers one arriving ball (fire and forget) on the sharded MPMC
     /// ingress; returns its arrival id. Nothing is allocated until some
     /// thread calls [`ConcurrentRouter::drain_ready`] (or
@@ -1142,6 +1219,10 @@ impl ConcurrentRouterApi for ConcurrentRouter {
 
     fn release(&self, ticket: Ticket) -> Result<(), RouteError> {
         ConcurrentRouter::release(self, ticket)
+    }
+
+    fn release_many(&self, tickets: &[Ticket]) -> Result<(), RouteError> {
+        ConcurrentRouter::release_many(self, tickets)
     }
 
     fn loads(&self) -> Vec<u32> {

@@ -120,7 +120,7 @@ pub use metrics::{MembershipCounters, PolicyCounters, StreamMetrics};
 pub use observer::{GapTrajectoryObserver, ReweightLog, ReweightRecord};
 pub use policy::{candidate_bins, choose_bin, ChoiceCtx, Policy};
 pub use scenario::{run_scenario, run_scenario_on, ChurnMode, ScenarioConfig, ScenarioReport};
-pub use server::{LineClient, ServerConfig, SocketServer};
+pub use server::{LineClient, ServerConfig, SocketServer, MAX_ADD_TIER, MAX_LINE_LEN};
 pub use shard::{ShardStats, ShardedBins};
 pub use snapshot::StreamSnapshot;
 

@@ -86,6 +86,15 @@ const MERGE_EVERY: u64 = 4096;
 /// weight `weight·2^tier` comfortably finite.
 pub const MAX_ADD_TIER: u32 = 32;
 
+/// Longest accepted request line in bytes (newline excluded). The longest
+/// legitimate request (`ADD <f64> <tier>`) fits in well under 64 bytes; the
+/// cap exists so a hostile client writing an endless unterminated "line"
+/// cannot balloon the server's read buffer. An oversized line is answered
+/// with `ERR bad-request` (counted under `server.bad_request`), its bytes
+/// are discarded up to the next newline, and the connection keeps serving.
+/// Shared by both front-ends (this blocking server and `pba-net`'s reactor).
+pub const MAX_LINE_LEN: usize = 1024;
+
 /// Configuration for [`SocketServer::start`].
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
@@ -299,7 +308,7 @@ fn handle_connection(stream: TcpStream, shared: Arc<Shared>, poll: Duration) {
     let mut since_merge = 0u64;
     let mut route_keys: Vec<u64> = Vec::new();
     let mut reply_buf = String::new();
-    loop {
+    'serve: loop {
         line.clear();
         // A read timeout mid-line leaves the partial line buffered in
         // `line`; looping `read_line` on the same buffer resumes it.
@@ -315,6 +324,17 @@ fn handle_connection(stream: TcpStream, shared: Arc<Shared>, poll: Duration) {
                     if shared.shutdown.load(Ordering::Acquire) {
                         merge_latency(&shared, &mut local_latency);
                         return;
+                    }
+                    if line.len() > MAX_LINE_LEN {
+                        // An unterminated "line" already past the cap: a
+                        // hostile or broken client must not balloon the
+                        // buffer. Answer now, then drop bytes until its
+                        // newline finally shows up.
+                        if oversized_line(&shared, &mut reader, &mut writer, &mut line).is_err() {
+                            merge_latency(&shared, &mut local_latency);
+                            return;
+                        }
+                        continue 'serve;
                     }
                 }
                 Err(_) => {
@@ -335,6 +355,18 @@ fn handle_connection(stream: TcpStream, shared: Arc<Shared>, poll: Duration) {
                 metrics.bad_request.inc();
             }
             break;
+        }
+        if line.len() - 1 > MAX_LINE_LEN {
+            // A complete but oversized line: one bad request, counted, and
+            // the connection keeps serving.
+            if let Some(metrics) = &shared.metrics {
+                metrics.requests.inc();
+                metrics.bad_request.inc();
+            }
+            if writer.write_all(b"ERR bad-request\n").is_err() {
+                break;
+            }
+            continue;
         }
         reply_buf.clear();
         if let Some(key) = parse_route(line.trim_end()) {
@@ -392,6 +424,49 @@ fn handle_connection(stream: TcpStream, shared: Arc<Shared>, poll: Duration) {
         }
     }
     merge_latency(&shared, &mut local_latency);
+}
+
+/// Answers an unterminated-and-over-the-cap request line with
+/// `ERR bad-request` and discards its bytes up to the next newline, keeping
+/// the connection alive. `Err` means the connection is done (EOF or I/O
+/// failure mid-discard) and the caller should close.
+fn oversized_line(
+    shared: &Shared,
+    reader: &mut BufReader<TcpStream>,
+    writer: &mut TcpStream,
+    line: &mut String,
+) -> io::Result<()> {
+    if let Some(metrics) = &shared.metrics {
+        metrics.requests.inc();
+        metrics.bad_request.inc();
+    }
+    writer.write_all(b"ERR bad-request\n")?;
+    loop {
+        line.clear();
+        match reader.read_line(line) {
+            // EOF while still inside the oversized line: nothing more to
+            // serve (the truncated tail was already answered).
+            Ok(0) => return Err(io::ErrorKind::UnexpectedEof.into()),
+            Ok(_) if line.ends_with('\n') => {
+                line.clear();
+                return Ok(());
+            }
+            Ok(_) => return Err(io::ErrorKind::UnexpectedEof.into()),
+            Err(err)
+                if matches!(
+                    err.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                if shared.shutdown.load(Ordering::Acquire) {
+                    return Err(io::ErrorKind::Interrupted.into());
+                }
+                // Partial progress inside the discarded line: drop it and
+                // keep scanning for the newline.
+            }
+            Err(err) => return Err(err),
+        }
+    }
 }
 
 /// `ROUTE <key>` with a valid key, or `None` (anything else goes through
@@ -513,10 +588,19 @@ fn unknown_ticket(shared: &Shared) -> String {
 
 /// A blocking line-protocol client for [`SocketServer`] — the test/benchmark
 /// counterpart of the server (E17's load generators are `LineClient`s).
+///
+/// The typed helpers (`route`, `release`, …) render requests into an
+/// internal reusable buffer and read replies through
+/// [`LineClient::request_into`], so a steady-state route/release loop does
+/// not allocate a fresh `String` per call.
 #[derive(Debug)]
 pub struct LineClient {
     reader: BufReader<TcpStream>,
     writer: TcpStream,
+    /// Request-render buffer reused by the typed helpers.
+    scratch: String,
+    /// Reply buffer reused by the typed helpers.
+    reply: String,
 }
 
 impl LineClient {
@@ -528,47 +612,85 @@ impl LineClient {
         Ok(Self {
             reader: BufReader::new(stream),
             writer,
+            scratch: String::new(),
+            reply: String::new(),
         })
     }
 
     /// Sends one raw request line and returns the raw reply line (trimmed).
+    /// Allocates a fresh `String` per call; hot loops should prefer
+    /// [`LineClient::request_into`].
     pub fn request(&mut self, line: &str) -> io::Result<String> {
+        let mut reply = String::new();
+        self.request_into(line, &mut reply)?;
+        Ok(reply)
+    }
+
+    /// Sends one raw request line and reads the reply line (trimmed) into
+    /// `reply`, reusing its capacity — the allocation-free form of
+    /// [`LineClient::request`] for steady-state loops.
+    pub fn request_into(&mut self, line: &str, reply: &mut String) -> io::Result<()> {
         self.writer.write_all(line.as_bytes())?;
         self.writer.write_all(b"\n")?;
-        let mut reply = String::new();
-        let n = self.reader.read_line(&mut reply)?;
+        reply.clear();
+        let n = self.reader.read_line(reply)?;
         if n == 0 {
             return Err(io::Error::new(
                 io::ErrorKind::UnexpectedEof,
                 "server closed the connection",
             ));
         }
-        Ok(reply.trim_end().to_string())
+        reply.truncate(reply.trim_end().len());
+        Ok(())
+    }
+
+    /// Renders a request with `render`, round-trips it through the reusable
+    /// scratch/reply buffers, and leaves the trimmed reply in `self.reply`.
+    fn round_trip(&mut self, render: impl FnOnce(&mut String)) -> io::Result<()> {
+        let line = {
+            let mut scratch = std::mem::take(&mut self.scratch);
+            scratch.clear();
+            render(&mut scratch);
+            scratch
+        };
+        let mut reply = std::mem::take(&mut self.reply);
+        let result = self.request_into(&line, &mut reply);
+        self.scratch = line;
+        self.reply = reply;
+        result
     }
 
     /// `ROUTE key` → `(bin, id)`.
     pub fn route(&mut self, key: u64) -> io::Result<(usize, u64)> {
-        let reply = self.request(&format!("ROUTE {key}"))?;
+        use std::fmt::Write as _;
+        self.round_trip(|line| {
+            let _ = write!(line, "ROUTE {key}");
+        })?;
+        let reply = self.reply.as_str();
         let mut parts = reply.split_ascii_whitespace();
         match (parts.next(), parts.next(), parts.next()) {
             (Some("OK"), Some(bin), Some(id)) => match (bin.parse(), id.parse()) {
                 (Ok(bin), Ok(id)) => Ok((bin, id)),
-                _ => Err(protocol_error(&reply)),
+                _ => Err(protocol_error(reply)),
             },
-            _ => Err(protocol_error(&reply)),
+            _ => Err(protocol_error(reply)),
         }
     }
 
     /// `RELEASE id` → `Some(bin)` on success, `None` for an unknown ticket.
     pub fn release(&mut self, id: u64) -> io::Result<Option<usize>> {
-        let reply = self.request(&format!("RELEASE {id}"))?;
+        use std::fmt::Write as _;
+        self.round_trip(|line| {
+            let _ = write!(line, "RELEASE {id}");
+        })?;
+        let reply = self.reply.as_str();
         if reply == "ERR unknown-ticket" {
             return Ok(None);
         }
         let mut parts = reply.split_ascii_whitespace();
         match (parts.next(), parts.next()) {
-            (Some("OK"), Some(bin)) => bin.parse().map(Some).map_err(|_| protocol_error(&reply)),
-            _ => Err(protocol_error(&reply)),
+            (Some("OK"), Some(bin)) => bin.parse().map(Some).map_err(|_| protocol_error(reply)),
+            _ => Err(protocol_error(reply)),
         }
     }
 
@@ -954,6 +1076,58 @@ mod tests {
         let snap = registry.snapshot();
         assert_eq!(snap.counter("server.bad_request"), 5);
         assert_eq!(snap.counter("membership.adds"), 1);
+    }
+
+    #[test]
+    fn oversized_request_lines_get_bad_request_and_the_connection_survives() {
+        let server = instrumented_server(8, 8);
+        let addr = server.local_addr();
+        let mut raw = TcpStream::connect(addr).unwrap();
+        raw.set_nodelay(true).unwrap();
+        // Case 1: a complete oversized line, newline included.
+        let mut big = vec![b'x'; MAX_LINE_LEN * 2];
+        big.push(b'\n');
+        raw.write_all(&big).unwrap();
+        let mut reader = BufReader::new(raw.try_clone().unwrap());
+        let mut line = String::new();
+        assert!(reader.read_line(&mut line).unwrap() > 0, "server hung up");
+        assert_eq!(line.trim_end(), "ERR bad-request");
+        // Case 2: an unterminated oversized line whose newline arrives much
+        // later. The handler's read-timeout check answers it from the cap
+        // and discards up to the newline; either way the connection keeps
+        // serving the ROUTE that follows.
+        raw.write_all(&vec![b'y'; MAX_LINE_LEN * 2]).unwrap();
+        std::thread::sleep(Duration::from_millis(100));
+        raw.write_all(b"tail\nROUTE 5\n").unwrap();
+        line.clear();
+        assert!(reader.read_line(&mut line).unwrap() > 0, "server hung up");
+        assert_eq!(line.trim_end(), "ERR bad-request");
+        line.clear();
+        assert!(reader.read_line(&mut line).unwrap() > 0, "server hung up");
+        assert!(line.starts_with("OK "), "{line}");
+        assert_eq!(server.router().stats().routed, 1);
+        let registry = Arc::clone(&server.router().metrics().unwrap().registry);
+        server.shutdown();
+        assert_eq!(registry.snapshot().counter("server.bad_request"), 2);
+    }
+
+    #[test]
+    fn request_into_reuses_the_reply_buffer() {
+        let server = instrumented_server(8, 8);
+        let mut client = LineClient::connect(server.local_addr()).unwrap();
+        let mut reply = String::new();
+        client.request_into("ROUTE 1", &mut reply).unwrap();
+        assert!(reply.starts_with("OK "), "{reply}");
+        let warmed = reply.capacity();
+        client.request_into("STATS", &mut reply).unwrap();
+        assert!(reply.starts_with("OK routed 1"), "{reply}");
+        client.request_into("FLUSH", &mut reply).unwrap();
+        assert_eq!(reply, "OK 1");
+        assert!(
+            reply.capacity() >= warmed,
+            "the reply buffer must be reused, never shrunk"
+        );
+        server.shutdown();
     }
 
     #[test]

@@ -151,6 +151,52 @@ impl ShardedBins {
         ok
     }
 
+    /// Removes a group of balls — one entry of `bins` per ball — committing
+    /// **one** grouped atomic decrement per distinct bin
+    /// ([`AtomicBins::try_release_many`]) and taking each touched shard's
+    /// stats lock once. The departure-side twin of
+    /// [`ShardedBins::place_group`], equivalent to calling
+    /// [`ShardedBins::depart`] once per entry: each bin's decrement clamps
+    /// at zero exactly where the loop's `try_release` calls would start
+    /// failing. Returns how many balls actually departed (`bins.len()`
+    /// unless some bin underflowed — a caller bug, never silent).
+    pub fn release_group(&self, bins: &[u32]) -> u64 {
+        if bins.is_empty() {
+            return 0;
+        }
+        let mut sorted = bins.to_vec();
+        sorted.sort_unstable();
+        let mut shard = usize::MAX;
+        let mut departed = 0u64;
+        let mut total = 0u64;
+        let mut i = 0;
+        while i < sorted.len() {
+            let bin = sorted[i] as usize;
+            let mut run = 1usize;
+            while i + run < sorted.len() && sorted[i + run] as usize == bin {
+                run += 1;
+            }
+            let owner = self.shard_of(bin);
+            if owner != shard {
+                if shard != usize::MAX && departed > 0 {
+                    let mut stats = self.stats[shard].lock().expect("shard lock");
+                    stats.departed += departed;
+                }
+                shard = owner;
+                departed = 0;
+            }
+            let released = self.bins.try_release_many(bin, run as u32) as u64;
+            departed += released;
+            total += released;
+            i += run;
+        }
+        if departed > 0 {
+            let mut stats = self.stats[shard].lock().expect("shard lock");
+            stats.departed += departed;
+        }
+        total
+    }
+
     /// Current load of `bin`.
     pub fn load(&self, bin: usize) -> u32 {
         self.bins.load(bin)
@@ -275,6 +321,29 @@ mod tests {
         // An empty group is a no-op.
         grouped.place_group(&[]);
         assert_eq!(grouped.all_shard_stats(), looped.all_shard_stats());
+    }
+
+    #[test]
+    fn release_group_equals_a_loop_of_departs() {
+        let grouped = ShardedBins::new(8, 3);
+        let looped = ShardedBins::new(8, 3);
+        for sb in [&grouped, &looped] {
+            for bin in [0usize, 0, 2, 3, 6, 6, 6, 7, 7] {
+                sb.place(bin);
+            }
+        }
+        let group: Vec<u32> = vec![7, 0, 2, 6, 0, 7, 6, 6];
+        assert_eq!(grouped.release_group(&group), group.len() as u64);
+        for &bin in &group {
+            assert!(looped.depart(bin as usize));
+        }
+        assert_eq!(grouped.snapshot(), looped.snapshot());
+        assert_eq!(grouped.all_shard_stats(), looped.all_shard_stats());
+        // An empty group is a no-op; an underflowing group reports the truth
+        // (bin 2 is empty now, so only the bin-3 ball departs).
+        assert_eq!(grouped.release_group(&[]), 0);
+        assert_eq!(grouped.release_group(&[2, 3, 2]), 1);
+        assert_eq!(grouped.load(3), 0);
     }
 
     #[test]

@@ -25,6 +25,7 @@
 //! | [`stats`] | `pba-stats` | tails, histograms, load metrics, fits, tables, multi-seed aggregation |
 //! | [`obs`] | `pba-obs` | the observability substrate: [`MetricsRegistry`](obs::MetricsRegistry) (counters, gauges, log-bucketed latency histograms), pluggable [`MetricSink`](obs::MetricSink)s, the "no silent drops" counter inventory |
 //! | [`replay`] | `pba-replay` | deterministic trace replay: the versioned trace codec ([`Trace`](replay::Trace)), [`TraceRecorder`](replay::TraceRecorder), the [`replay()`](replay::replay::replay) driver (any engine × all policies), golden-snapshot hashing, and the scripted fault-injection harness ([`FaultPlan`](replay::FaultPlan)) with post-fault invariant checks |
+//! | [`net`] | `pba-net` | the event-driven serving path: [`ReactorServer`](net::ReactorServer) (a fixed pool of reactor threads driving nonblocking connections via raw `epoll` on Linux, portable poll-loop fallback elsewhere), the zero-allocation line-protocol codec, and batched `ROUTE`/`RELEASE` pipelining |
 //! | [`workloads`] | `pba-workloads` | experiment configurations and the E1–E19 experiment definitions |
 //!
 //! ## Quick start
@@ -53,6 +54,7 @@ pub use pba_concurrent as concurrent;
 pub use pba_lowerbound as lowerbound;
 pub use pba_membership as membership;
 pub use pba_model as model;
+pub use pba_net as net;
 pub use pba_obs as obs;
 pub use pba_replay as replay;
 pub use pba_stats as stats;
@@ -71,6 +73,7 @@ pub mod prelude {
         AllocationOutcome, Allocator, BinWeights, EngineConfig, OneShotRouter, Placement,
         RouteError, Router, RouterObserver, RouterStats, Ticket,
     };
+    pub use pba_net::{ReactorConfig, ReactorServer};
     pub use pba_obs::{MetricsRegistry, MetricsSnapshot, SinkHub};
     pub use pba_replay::{
         replay::replay, Fault, FaultPlan, ReplayConfig, ReplayEngine, Trace, TraceRecorder,

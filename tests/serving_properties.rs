@@ -1,0 +1,500 @@
+//! Property tests for the event-driven serving path:
+//!
+//! 1. **Codec ≡ `&str` reference** — the zero-allocation byte-slice
+//!    `parse_request` classifies arbitrary lines (valid, malformed, and
+//!    non-UTF-8) exactly as the blocking server's `&str` +
+//!    `split_ascii_whitespace` parse does, with non-UTF-8 mapping to a bad
+//!    request.
+//! 2. **`release_many` ≡ looped `release`** — for arbitrary group
+//!    partitions, with and without a spliced-in bogus ticket, the grouped
+//!    departure surface produces the identical observer event stream, final
+//!    loads, and error behaviour as the one-at-a-time loop.
+//! 3. **Pipelined serving stress** — k concurrent pipelined connections
+//!    through the reactor front-end conserve every ball and drop nothing.
+
+use std::io::{BufRead, BufReader, Write as IoWrite};
+use std::net::TcpStream;
+use std::sync::{Arc, Mutex};
+
+use proptest::prelude::*;
+
+use parallel_balanced_allocations::model::rng::SplitMix64;
+use parallel_balanced_allocations::model::router::ReleaseEvent;
+use parallel_balanced_allocations::model::{RouteError, RouterObserver, Ticket};
+use parallel_balanced_allocations::net::codec::{parse_request, Request};
+use parallel_balanced_allocations::net::{ReactorConfig, ReactorServer};
+use parallel_balanced_allocations::obs::MetricsRegistry;
+use parallel_balanced_allocations::prelude::*;
+use parallel_balanced_allocations::stream::MAX_ADD_TIER;
+
+// ---------------------------------------------------------------------------
+// 1. Codec ≡ &str reference
+// ---------------------------------------------------------------------------
+
+/// The blocking server's classification, restated: decode as UTF-8 (the old
+/// path could only ever see valid UTF-8 out of `read_line`; the codec maps
+/// the rest to `Bad`), then `split_ascii_whitespace` over the verb table.
+fn reference_parse(line: &[u8]) -> Request {
+    let Ok(text) = std::str::from_utf8(line) else {
+        return Request::Bad;
+    };
+    let mut parts = text.split_ascii_whitespace();
+    match (parts.next(), parts.next(), parts.next()) {
+        (Some("ROUTE"), Some(key), None) => match key.parse::<u64>() {
+            Ok(key) => Request::Route { key },
+            Err(_) => Request::Bad,
+        },
+        (Some("RELEASE"), Some(id), None) => match id.parse::<u64>() {
+            Ok(id) => Request::Release { id },
+            Err(_) => Request::Bad,
+        },
+        (Some("ADD"), Some(weight), tier) => {
+            let tier = match tier {
+                None => Some(0u32),
+                Some(t) => t.parse::<u32>().ok().filter(|&t| t <= MAX_ADD_TIER),
+            };
+            match (weight.parse::<f64>(), tier, parts.next()) {
+                (Ok(weight), Some(tier), None) if weight.is_finite() && weight > 0.0 => {
+                    Request::Add {
+                        weight: weight * (1u64 << tier) as f64,
+                    }
+                }
+                _ => Request::Bad,
+            }
+        }
+        (Some("DRAIN"), Some(bin), None) => match bin.parse::<u32>() {
+            Ok(bin) => Request::Drain { bin },
+            Err(_) => Request::Bad,
+        },
+        (Some("REMOVE"), Some(bin), None) => match bin.parse::<u32>() {
+            Ok(bin) => Request::Remove { bin },
+            Err(_) => Request::Bad,
+        },
+        (Some("MIGRATE"), None, None) => Request::Migrate,
+        (Some("FLUSH"), None, None) => Request::Flush,
+        (Some("STATS"), None, None) => Request::Stats,
+        _ => Request::Bad,
+    }
+}
+
+/// Builds one pseudo-random request line: sometimes a well-formed verb,
+/// sometimes a near-miss (bad number, trailing token, huge tier), sometimes
+/// arbitrary bytes including non-UTF-8 and interior control characters.
+fn arbitrary_line(rng: &mut SplitMix64) -> Vec<u8> {
+    let verbs = [
+        "ROUTE", "RELEASE", "ADD", "DRAIN", "REMOVE", "MIGRATE", "FLUSH", "STATS",
+    ];
+    let mut line = Vec::new();
+    match rng.next_u64() % 6 {
+        // Well-formed verb with plausible arguments.
+        0 | 1 => {
+            let verb = verbs[(rng.next_u64() % verbs.len() as u64) as usize];
+            line.extend_from_slice(verb.as_bytes());
+            match verb {
+                "ROUTE" | "RELEASE" => {
+                    line.push(b' ');
+                    line.extend_from_slice(rng.next_u64().to_string().as_bytes());
+                }
+                "DRAIN" | "REMOVE" => {
+                    line.push(b' ');
+                    line.extend_from_slice((rng.next_u64() as u32).to_string().as_bytes());
+                }
+                "ADD" => {
+                    line.push(b' ');
+                    let weight = (rng.next_u64() % 1000) as f64 / 8.0;
+                    line.extend_from_slice(format!("{weight}").as_bytes());
+                    if rng.next_u64().is_multiple_of(2) {
+                        line.push(b' ');
+                        line.extend_from_slice((rng.next_u64() % 40).to_string().as_bytes());
+                    }
+                }
+                _ => {}
+            }
+        }
+        // Near-miss: right verb, wrong shape.
+        2 | 3 => {
+            let verb = verbs[(rng.next_u64() % verbs.len() as u64) as usize];
+            line.extend_from_slice(verb.as_bytes());
+            match rng.next_u64() % 4 {
+                0 => line.extend_from_slice(b" not-a-number"),
+                1 => line.extend_from_slice(b" 12 extra"),
+                2 => line.extend_from_slice(b" -3"),
+                _ => line.extend_from_slice(b"  "),
+            }
+        }
+        // Arbitrary ASCII-ish soup with odd whitespace.
+        4 => {
+            let len = (rng.next_u64() % 40) as usize;
+            for _ in 0..len {
+                let c = match rng.next_u64() % 8 {
+                    0 => b' ',
+                    1 => b'\t',
+                    2..=4 => b'A' + (rng.next_u64() % 26) as u8,
+                    5 | 6 => b'0' + (rng.next_u64() % 10) as u8,
+                    _ => b'!',
+                };
+                line.push(c);
+            }
+        }
+        // Arbitrary bytes, frequently invalid UTF-8.
+        _ => {
+            let len = (rng.next_u64() % 32) as usize;
+            for _ in 0..len {
+                line.push((rng.next_u64() % 256) as u8);
+            }
+        }
+    }
+    line
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The byte-slice codec classifies every generated line exactly as the
+    /// `&str` reference does.
+    #[test]
+    fn codec_matches_the_str_reference_parse(seed in 0u64..10_000) {
+        let mut rng = SplitMix64::for_stream(seed, 0xc0dec, 0);
+        for _ in 0..200 {
+            let line = arbitrary_line(&mut rng);
+            prop_assert_eq!(
+                parse_request(&line),
+                reference_parse(&line),
+                "line {:?}",
+                String::from_utf8_lossy(&line)
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// 2. release_many ≡ looped release
+// ---------------------------------------------------------------------------
+
+/// Records `(id, bin, load_after, resident)` per release event.
+#[derive(Default)]
+struct Tape {
+    events: Vec<(u64, usize, u32, u64)>,
+}
+
+impl RouterObserver for Tape {
+    fn on_release(&mut self, event: &ReleaseEvent) {
+        self.events.push((
+            event.ticket.id(),
+            event.ticket.bin(),
+            event.load_after,
+            event.resident,
+        ));
+    }
+}
+
+/// A fresh taped router with `per` routed balls.
+fn taped_router(
+    bins: usize,
+    per: u64,
+    seed: u64,
+) -> (ConcurrentRouter, Vec<Ticket>, Arc<Mutex<Tape>>) {
+    let router = ConcurrentRouter::new(
+        StreamConfig::new(bins)
+            .batch_size(bins)
+            .seed(seed)
+            .shards(4),
+    );
+    let tape = Arc::new(Mutex::new(Tape::default()));
+    router.add_observer(Arc::clone(&tape) as Arc<Mutex<dyn RouterObserver + Send>>);
+    let mut rng = SplitMix64::for_stream(seed, 0x7e57, 1);
+    let keys: Vec<u64> = (0..per).map(|_| rng.next_u64()).collect();
+    let tickets = router
+        .route_many(&keys)
+        .expect("routing is infallible")
+        .into_iter()
+        .map(|p| p.ticket)
+        .collect();
+    (router, tickets, tape)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Arbitrary group partitions of the departure stream are bit-identical
+    /// to the one-at-a-time loop: same observer events, same final loads,
+    /// same `conserves_balls`.
+    #[test]
+    fn release_many_partitions_are_bit_identical_to_the_loop(
+        bins_exp in 2u32..6,
+        per in 1u64..400,
+        chunk_seed in 0u64..1_000,
+        seed in 0u64..1_000,
+    ) {
+        let bins = 1usize << bins_exp;
+        let (looped, tickets, loop_tape) = taped_router(bins, per, seed);
+        for &ticket in &tickets {
+            looped.release(ticket).expect("issued ticket releases");
+        }
+        let (grouped, tickets2, group_tape) = taped_router(bins, per, seed);
+        // Tickets carry a process-unique realm, so compare the placement
+        // shape (id, bin) rather than the tickets themselves.
+        let shape = |ts: &[Ticket]| ts.iter().map(|t| (t.id(), t.bin())).collect::<Vec<_>>();
+        prop_assert_eq!(
+            shape(&tickets),
+            shape(&tickets2),
+            "identical routers place identically"
+        );
+        let mut chunk_rng = SplitMix64::for_stream(chunk_seed, 0xc41a, 2);
+        let mut at = 0usize;
+        while at < tickets2.len() {
+            let take = 1 + (chunk_rng.next_u64() % 97) as usize;
+            let hi = (at + take).min(tickets2.len());
+            grouped.release_many(&tickets2[at..hi]).expect("issued tickets release");
+            at = hi;
+        }
+        prop_assert_eq!(
+            &loop_tape.lock().unwrap().events,
+            &group_tape.lock().unwrap().events
+        );
+        prop_assert_eq!(looped.loads(), grouped.loads());
+        prop_assert!(grouped.conserves_balls());
+        prop_assert_eq!(grouped.resident(), 0);
+    }
+
+    /// A bogus ticket spliced mid-group reproduces the loop's
+    /// stop-at-first-error behaviour: the prefix commits, the failure names
+    /// the bogus ticket, the suffix stays resident, and the event streams
+    /// up to the failure are identical.
+    #[test]
+    fn release_many_error_path_matches_the_loop(
+        per in 2u64..200,
+        splice in 0u64..1_000,
+        seed in 0u64..1_000,
+    ) {
+        let bins = 16usize;
+        // The bogus ticket comes from a *different* router: same shape, but
+        // a foreign realm — exactly what a stale or forged id looks like.
+        let (foreign, foreign_tickets, _) = taped_router(bins, 1, seed ^ 0xdead);
+        drop(foreign);
+        let bogus = foreign_tickets[0];
+
+        let (looped, tickets, loop_tape) = taped_router(bins, per, seed);
+        let at = (splice % (per + 1)) as usize;
+        let mut spliced = tickets.clone();
+        spliced.insert(at, bogus);
+        let mut loop_err = None;
+        for &ticket in &spliced {
+            if let Err(err) = looped.release(ticket) {
+                loop_err = Some(err);
+                break;
+            }
+        }
+        // Tickets are realm-stamped, so the grouped router gets the same
+        // splice built from its *own* tickets.
+        let (grouped, tickets2, group_tape) = taped_router(bins, per, seed);
+        let mut spliced2 = tickets2.clone();
+        spliced2.insert(at, bogus);
+        let group_err = grouped.release_many(&spliced2).expect_err("bogus ticket fails");
+        // The two errors come from different routers (distinct realms), so
+        // compare their shape: both must blame the bogus ticket's id.
+        match (loop_err.expect("loop fails too"), group_err) {
+            (
+                RouteError::UnknownTicket { ticket: a },
+                RouteError::UnknownTicket { ticket: b },
+            ) => {
+                prop_assert_eq!(a.id(), bogus.id());
+                prop_assert_eq!(b.id(), bogus.id());
+            }
+            other => return Err(format!("unexpected error pair {other:?}")),
+        }
+        // The loop stopped at the bogus ticket; the grouped surface must
+        // have committed exactly the same prefix.
+        prop_assert_eq!(
+            &loop_tape.lock().unwrap().events,
+            &group_tape.lock().unwrap().events
+        );
+        prop_assert_eq!(looped.loads(), grouped.loads());
+        prop_assert_eq!(looped.resident(), grouped.resident());
+        prop_assert_eq!(grouped.resident(), per - at as u64);
+    }
+
+    /// An in-group duplicate (double release) falls back to loop semantics:
+    /// first occurrence redeems, second errors, nothing else is disturbed.
+    #[test]
+    fn release_many_in_group_duplicate_matches_the_loop(
+        per in 2u64..120,
+        dup in 0u64..1_000,
+        seed in 0u64..1_000,
+    ) {
+        let bins = 8usize;
+        let (looped, tickets, loop_tape) = taped_router(bins, per, seed);
+        let at = (dup % per) as usize;
+        let mut spliced = tickets.clone();
+        let repeat = spliced[at];
+        spliced.push(repeat);
+        let mut loop_err = None;
+        for &ticket in &spliced {
+            if let Err(err) = looped.release(ticket) {
+                loop_err = Some(err);
+                break;
+            }
+        }
+        // Same splice, rebuilt from the grouped router's own realm-stamped
+        // tickets.
+        let (grouped, tickets2, group_tape) = taped_router(bins, per, seed);
+        let mut spliced2 = tickets2.clone();
+        spliced2.push(spliced2[at]);
+        let group_err = grouped.release_many(&spliced2).expect_err("duplicate fails");
+        match (loop_err.expect("loop fails too"), group_err) {
+            (
+                RouteError::UnknownTicket { ticket: a },
+                RouteError::UnknownTicket { ticket: b },
+            ) => {
+                prop_assert_eq!(a.id(), repeat.id(), "the duplicate is blamed");
+                prop_assert_eq!(b.id(), repeat.id(), "the duplicate is blamed");
+            }
+            other => return Err(format!("unexpected error pair {other:?}")),
+        }
+        prop_assert_eq!(
+            &loop_tape.lock().unwrap().events,
+            &group_tape.lock().unwrap().events
+        );
+        prop_assert_eq!(looped.loads(), grouped.loads());
+        prop_assert_eq!(grouped.resident(), 0, "every real ticket released once");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// 3. Pipelined serving stress
+// ---------------------------------------------------------------------------
+
+/// One pipelined client: routes `keys` in windows, then releases every
+/// issued ticket the same way; returns the ids it was issued.
+fn pipelined_client(
+    addr: std::net::SocketAddr,
+    seed: u64,
+    stream_id: u64,
+    keys: u64,
+    window: usize,
+) -> Vec<u64> {
+    let raw = TcpStream::connect(addr).expect("connect");
+    raw.set_nodelay(true).expect("nodelay");
+    let mut writer = raw.try_clone().expect("clone");
+    let mut reader = BufReader::new(raw);
+    let mut rng = SplitMix64::for_stream(seed, 0x57e5, stream_id);
+    let mut ids = Vec::with_capacity(keys as usize);
+    let mut line = String::new();
+    let mut sent = 0u64;
+    while sent < keys {
+        let take = window.min((keys - sent) as usize);
+        let mut request = String::new();
+        for _ in 0..take {
+            use std::fmt::Write as _;
+            let _ = writeln!(request, "ROUTE {}", rng.next_u64());
+        }
+        writer.write_all(request.as_bytes()).expect("write routes");
+        for _ in 0..take {
+            line.clear();
+            assert_ne!(
+                reader.read_line(&mut line).expect("reply"),
+                0,
+                "server hung up"
+            );
+            let id: u64 = line
+                .trim_end()
+                .rsplit(' ')
+                .next()
+                .and_then(|id| id.parse().ok())
+                .expect("OK <bin> <id>");
+            ids.push(id);
+        }
+        sent += take as u64;
+    }
+    let mut released = 0usize;
+    while released < ids.len() {
+        let take = window.min(ids.len() - released);
+        let mut request = String::new();
+        for id in &ids[released..released + take] {
+            use std::fmt::Write as _;
+            let _ = writeln!(request, "RELEASE {id}");
+        }
+        writer
+            .write_all(request.as_bytes())
+            .expect("write releases");
+        for _ in 0..take {
+            line.clear();
+            assert_ne!(
+                reader.read_line(&mut line).expect("reply"),
+                0,
+                "server hung up"
+            );
+            assert!(line.starts_with("OK "), "release reply: {line:?}");
+        }
+        released += take;
+    }
+    ids
+}
+
+/// k pipelined connections against one reactor server: every ball routed is
+/// released, the drop ledger stays empty, and the request counter accounts
+/// for every line.
+#[test]
+fn pipelined_connections_conserve_and_drop_nothing() {
+    let (connections, per, window, seed) = (6u64, 200u64, 17usize, 41u64);
+    let registry = Arc::new(MetricsRegistry::new());
+    let router = ConcurrentRouter::with_metrics(
+        StreamConfig::new(32).batch_size(32).seed(seed).shards(4),
+        Arc::clone(&registry),
+    );
+    let server = ReactorServer::start(router, ReactorConfig::default()).expect("bind loopback");
+    let addr = server.local_addr();
+    let all_ids: Vec<Vec<u64>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..connections)
+            .map(|c| scope.spawn(move || pipelined_client(addr, seed, c, per, window)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("client"))
+            .collect()
+    });
+    // Ids are unique across connections: the ticket ledger issued each once.
+    let mut flat: Vec<u64> = all_ids.into_iter().flatten().collect();
+    flat.sort_unstable();
+    flat.dedup();
+    assert_eq!(flat.len() as u64, connections * per, "no id issued twice");
+    assert!(server.router().conserves_balls());
+    assert_eq!(server.router().resident(), 0, "every ball released");
+    server.shutdown();
+    let snap = registry.snapshot();
+    assert_eq!(snap.counter("route.routed"), connections * per);
+    assert_eq!(snap.counter("route.released"), connections * per);
+    assert_eq!(snap.counter("server.requests"), 2 * connections * per);
+    assert_eq!(snap.counter("server.bad_request"), 0);
+    assert_eq!(snap.counter("server.unknown_ticket"), 0);
+    assert_eq!(snap.counter("route.rejected_unknown_ticket"), 0);
+}
+
+/// The same stress through the portable fallback poller: identical
+/// invariants, so the non-epoll path serves correctly too.
+#[test]
+fn pipelined_stress_on_the_fallback_poller() {
+    let (connections, per, window, seed) = (3u64, 120u64, 11usize, 43u64);
+    let registry = Arc::new(MetricsRegistry::new());
+    let router = ConcurrentRouter::with_metrics(
+        StreamConfig::new(16).batch_size(16).seed(seed).shards(4),
+        Arc::clone(&registry),
+    );
+    let config = ReactorConfig {
+        force_fallback_poller: true,
+        ..ReactorConfig::default()
+    };
+    let server = ReactorServer::start(router, config).expect("bind loopback");
+    let addr = server.local_addr();
+    std::thread::scope(|scope| {
+        for c in 0..connections {
+            scope.spawn(move || pipelined_client(addr, seed, c, per, window));
+        }
+    });
+    assert!(server.router().conserves_balls());
+    assert_eq!(server.router().resident(), 0);
+    server.shutdown();
+    let snap = registry.snapshot();
+    assert_eq!(snap.counter("route.routed"), connections * per);
+    assert_eq!(snap.counter("server.bad_request"), 0);
+}
